@@ -1,0 +1,181 @@
+// google-benchmark microbenchmarks for the CDI substrates: hash join,
+// group-by, correlation matrix, Fisher-z CI tests, PC / GES / VARCLUS
+// scaling, d-separation, and the end-to-end pipeline stages.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/varclus.h"
+#include "discovery/ci_test.h"
+#include "discovery/ges.h"
+#include "discovery/pc.h"
+#include "graph/dsep.h"
+#include "graph/random_graph.h"
+#include "stats/correlation.h"
+#include "stats/linalg.h"
+#include "table/aggregate.h"
+#include "table/join.h"
+
+namespace {
+
+using cdi::Rng;
+
+cdi::table::Table RandomKeyedTable(std::size_t rows, std::size_t entities,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> keys;
+  std::vector<double> values;
+  for (std::size_t r = 0; r < rows; ++r) {
+    keys.push_back("entity_" + std::to_string(rng.UniformInt(entities)));
+    values.push_back(rng.Normal());
+  }
+  cdi::table::Table t("bench");
+  CDI_CHECK(
+      t.AddColumn(cdi::table::Column::FromStrings("key", keys)).ok());
+  CDI_CHECK(
+      t.AddColumn(cdi::table::Column::FromDoubles("value", values)).ok());
+  return t;
+}
+
+void BM_HashJoin(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  auto left = RandomKeyedTable(rows, rows / 4, 1);
+  auto right = RandomKeyedTable(rows, rows / 4, 2);
+  for (auto _ : state) {
+    auto j = cdi::table::HashJoin(left, right, "key");
+    benchmark::DoNotOptimize(j->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_HashJoin)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_GroupBy(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  auto t = RandomKeyedTable(rows, rows / 8, 3);
+  for (auto _ : state) {
+    auto g = cdi::table::GroupBy(
+        t, {"key"}, {{"value", cdi::table::AggKind::kMean, "m"}});
+    benchmark::DoNotOptimize(g->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_GroupBy)->Arg(1000)->Arg(10000)->Arg(50000);
+
+std::vector<std::vector<double>> ChainData(std::size_t vars, std::size_t n,
+                                           uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> cols(vars, std::vector<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    cols[0][i] = rng.Normal();
+    for (std::size_t v = 1; v < vars; ++v) {
+      cols[v][i] = 0.6 * cols[v - 1][i] + rng.Normal();
+    }
+  }
+  return cols;
+}
+
+void BM_CorrelationMatrix(benchmark::State& state) {
+  const auto vars = static_cast<std::size_t>(state.range(0));
+  cdi::stats::NumericDataset ds;
+  ds.columns = ChainData(vars, 1000, 5);
+  for (auto _ : state) {
+    auto corr = cdi::stats::CorrelationMatrix(ds);
+    benchmark::DoNotOptimize(corr->rows());
+  }
+}
+BENCHMARK(BM_CorrelationMatrix)->Arg(10)->Arg(30)->Arg(100);
+
+void BM_FisherZPartialCorrelation(benchmark::State& state) {
+  cdi::stats::NumericDataset ds;
+  ds.columns = ChainData(20, 1000, 7);
+  auto test = cdi::discovery::FisherZTest::Create(ds);
+  const std::vector<std::size_t> cond = {2, 5, 9};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*test)->PValue(0, 10, cond));
+  }
+}
+BENCHMARK(BM_FisherZPartialCorrelation);
+
+void BM_PcScaling(benchmark::State& state) {
+  const auto vars = static_cast<std::size_t>(state.range(0));
+  cdi::stats::NumericDataset ds;
+  ds.columns = ChainData(vars, 800, 9);
+  std::vector<std::string> names;
+  for (std::size_t v = 0; v < vars; ++v) {
+    names.push_back("v" + std::to_string(v));
+  }
+  for (auto _ : state) {
+    auto test = cdi::discovery::FisherZTest::Create(ds);
+    auto result = cdi::discovery::RunPc(**test, names);
+    benchmark::DoNotOptimize(result->ci_tests);
+  }
+}
+BENCHMARK(BM_PcScaling)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_GesScaling(benchmark::State& state) {
+  const auto vars = static_cast<std::size_t>(state.range(0));
+  auto data = ChainData(vars, 800, 11);
+  std::vector<std::string> names;
+  for (std::size_t v = 0; v < vars; ++v) {
+    names.push_back("v" + std::to_string(v));
+  }
+  for (auto _ : state) {
+    auto result = cdi::discovery::RunGes(data, names);
+    benchmark::DoNotOptimize(result->bic);
+  }
+}
+BENCHMARK(BM_GesScaling)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_VarClus(benchmark::State& state) {
+  const auto vars = static_cast<std::size_t>(state.range(0));
+  auto data = ChainData(vars, 800, 13);
+  std::vector<std::string> names;
+  for (std::size_t v = 0; v < vars; ++v) {
+    names.push_back("v" + std::to_string(v));
+  }
+  cdi::core::VarClusOptions options;
+  options.min_clusters = static_cast<int>(vars / 3);
+  options.max_clusters = static_cast<int>(vars / 3);
+  for (auto _ : state) {
+    auto result = cdi::core::RunVarClus(data, names, options);
+    benchmark::DoNotOptimize(result->clusters.size());
+  }
+}
+BENCHMARK(BM_VarClus)->Arg(9)->Arg(18)->Arg(36);
+
+void BM_DSeparation(benchmark::State& state) {
+  Rng rng(17);
+  auto g = cdi::graph::RandomDag(static_cast<std::size_t>(state.range(0)),
+                                 0.15, &rng);
+  const std::set<cdi::graph::NodeId> given = {2, 5};
+  for (auto _ : state) {
+    auto sep = cdi::graph::DSeparated(g, 0, 1, given);
+    benchmark::DoNotOptimize(sep.ok());
+  }
+}
+BENCHMARK(BM_DSeparation)->Arg(20)->Arg(100)->Arg(400);
+
+void BM_JacobiEigen(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(19);
+  cdi::stats::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      a(i, j) = rng.Normal();
+      a(j, i) = a(i, j);
+    }
+  }
+  for (auto _ : state) {
+    auto e = cdi::stats::JacobiEigen(a);
+    benchmark::DoNotOptimize(e->values[0]);
+  }
+}
+BENCHMARK(BM_JacobiEigen)->Arg(10)->Arg(30)->Arg(60);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// COVID-19 analysis walkthrough (the paper's §4 scenario): estimate the
+// direct effect of a country on the Covid-19 death rate. The effect is
+// fully mediated (ground truth 0); getting that answer requires mining the
+// mediators from external sources and building the C-DAG.
+//
+// Usage: covid_analysis [seed]
+// Writes covid_cdag.dot.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "core/evaluation.h"
+#include "core/pipeline.h"
+#include "datagen/covid.h"
+#include "graph/dot.h"
+
+int main(int argc, char** argv) {
+  auto spec = cdi::datagen::CovidSpec();
+  if (argc > 1) spec.seed = static_cast<uint64_t>(std::atoll(argv[1]));
+  auto scenario = cdi::datagen::BuildScenario(spec);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+  const auto& s = **scenario;
+
+  std::printf("Input table (%zu countries):\n%s\n", s.input_table.num_rows(),
+              s.input_table.ToString(5).c_str());
+
+  auto options = cdi::core::DefaultEvaluationOptions(s);
+  cdi::core::Pipeline pipeline(&s.kg, &s.lake, s.oracle.get(), &s.topics,
+                               options);
+  auto run = pipeline.Run(s.input_table, spec.entity_column,
+                          s.exposure_attribute, s.outcome_attribute);
+  if (!run.ok()) {
+    std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Stage 1 - Knowledge Extractor:\n");
+  std::printf("  %zu candidate columns from the knowledge graph, %zu from "
+              "the data lake\n",
+              run->extraction.kg_columns_found,
+              run->extraction.lake_columns_found);
+  std::size_t kept = 0;
+  for (const auto& a : run->extraction.attributes) kept += a.kept ? 1 : 0;
+  std::printf("  kept %zu attributes after the relevance filter\n", kept);
+
+  std::printf("Stage 2 - Data Organizer:\n");
+  std::printf("  dropped FD attributes:");
+  for (const auto& d : run->organization.dropped_fd_attributes) {
+    std::printf(" %s", d.c_str());
+  }
+  std::printf("\n  duplicate rows removed: %zu\n",
+              run->organization.duplicate_rows_removed);
+  for (const auto& [attr, cells] : run->organization.winsorized_cells) {
+    std::printf("  winsorized %zu outlier cells in %s\n", cells,
+                attr.c_str());
+  }
+  for (const auto& m : run->organization.missingness) {
+    std::printf("  %-18s %.1f%% missing (p vs T=%.3f, p vs O=%.3f)%s\n",
+                m.attribute.c_str(), 100 * m.missing_fraction,
+                m.p_vs_exposure, m.p_vs_outcome,
+                m.selection_bias_risk ? "  ** selection-bias risk" : "");
+  }
+
+  std::printf("Stage 3 - C-DAG Builder:\n");
+  std::printf("  clusters:");
+  for (const auto& t : run->build.cluster_topics) std::printf(" %s", t.c_str());
+  std::printf("\n  %zu edges (%zu pruned by CI tests, %zu removed in cycle "
+              "repair)\n",
+              run->build.claims.size(), run->build.pruned_edges.size(),
+              run->build.cycle_repaired_edges.size());
+
+  std::printf("\nIdentification from the C-DAG:\n  mediators:");
+  for (const auto& m : run->build.cdag.MediatorClusters()) {
+    std::printf(" %s", m.c_str());
+  }
+  std::printf("\n  confounders:");
+  for (const auto& c : run->build.cdag.ConfounderClusters()) {
+    std::printf(" %s", c.c_str());
+  }
+  std::printf("\n\nEffect estimates (standardized):\n");
+  std::printf("  direct effect of country on death rate: %+.3f "
+              "(ground truth: 0)\n",
+              run->direct_effect.effect);
+  std::printf("  total effect (backdoor adjusted):       %+.3f\n",
+              run->total_effect.effect);
+  std::printf("  E-value of the direct estimate:         %.2f (an unobserved"
+              " confounder would need\n    this association strength with"
+              " both T and O to explain it away)\n",
+              run->direct_effect_sensitivity.e_value);
+
+  std::printf("\nRuntime: %.2f s wall clock; %.0f s simulated external "
+              "services (paper: 304 s end-to-end)\n",
+              run->timings.total_seconds, run->external.TotalSeconds());
+  for (const auto& [service, entry] : run->external.entries()) {
+    std::printf("  %-16s %5ld calls  %7.1f s\n", service.c_str(),
+                static_cast<long>(entry.calls), entry.seconds);
+  }
+
+  cdi::graph::DotOptions dot;
+  dot.highlighted = {run->build.cdag.exposure_cluster(),
+                     run->build.cdag.outcome_cluster()};
+  std::ofstream("covid_cdag.dot") << ToDot(run->build.cdag.graph(), dot);
+  std::printf("\nwrote covid_cdag.dot\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// FLIGHTS analysis walkthrough (§4): estimate the direct effect of the
+// origin city on departure delays — fully mediated through weather,
+// demand, carrier, congestion, distance, and aircraft. This example also
+// contrasts CATER's C-DAG with a pure data-centric baseline (PC) to show
+// why the hybrid matters: PC recovers a decent skeleton but cannot orient
+// the origin's edges, so it identifies no mediators.
+//
+// Usage: flights_analysis [seed]
+// Writes flights_cdag.dot.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "core/evaluation.h"
+#include "core/pipeline.h"
+#include "datagen/flights.h"
+#include "graph/dot.h"
+
+namespace {
+
+cdi::Result<cdi::core::PipelineResult> Run(
+    const cdi::datagen::Scenario& s, cdi::core::EdgeInference inference) {
+  auto options = cdi::core::DefaultEvaluationOptions(s);
+  options.builder.inference = inference;
+  cdi::core::Pipeline pipeline(&s.kg, &s.lake, s.oracle.get(), &s.topics,
+                               options);
+  return pipeline.Run(s.input_table, s.spec.entity_column,
+                      s.exposure_attribute, s.outcome_attribute);
+}
+
+void PrintIdentification(const char* label,
+                         const cdi::core::PipelineResult& run) {
+  std::printf("%s\n", label);
+  std::printf("  edges claimed: %zu\n", run.build.claims.size());
+  std::printf("  mediators:");
+  const auto meds = run.build.cdag.MediatorClusters();
+  if (meds.empty()) std::printf(" (none found)");
+  for (const auto& m : meds) std::printf(" %s", m.c_str());
+  std::printf("\n  direct-effect estimate: %+.3f\n",
+              run.direct_effect.effect);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto spec = cdi::datagen::FlightsSpec();
+  if (argc > 1) spec.seed = static_cast<uint64_t>(std::atoll(argv[1]));
+  auto scenario = cdi::datagen::BuildScenario(spec);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+  const auto& s = **scenario;
+
+  std::printf("Input table (%zu cities):\n%s\n", s.input_table.num_rows(),
+              s.input_table.ToString(5).c_str());
+
+  auto cater = Run(s, cdi::core::EdgeInference::kHybrid);
+  auto pc = Run(s, cdi::core::EdgeInference::kDataPc);
+  if (!cater.ok() || !pc.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s %s\n",
+                 cater.status().ToString().c_str(),
+                 pc.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("C-DAG edges found by CATER:\n");
+  for (const auto& [from, to] : cater->build.claims) {
+    std::printf("  %s -> %s\n", from.c_str(), to.c_str());
+  }
+  std::printf("\n");
+  PrintIdentification("CATER (hybrid text + data):", *cater);
+  std::printf("\n");
+  PrintIdentification("PC (data only, same clusters):", *pc);
+
+  std::printf(
+      "\nThe contrast above is the paper's point: both see similar\n"
+      "skeletons, but only the hybrid can orient the origin's edges and\n"
+      "recover the mediators, driving its direct-effect estimate to ~0.\n");
+
+  std::printf("\nRuntime: %.2f s wall clock; %.0f s simulated external "
+              "services (paper: 645 s end-to-end)\n",
+              cater->timings.total_seconds,
+              cater->external.TotalSeconds());
+
+  cdi::graph::DotOptions dot;
+  dot.highlighted = {cater->build.cdag.exposure_cluster(),
+                     cater->build.cdag.outcome_cluster()};
+  std::ofstream("flights_cdag.dot")
+      << ToDot(cater->build.cdag.graph(), dot);
+  std::printf("wrote flights_cdag.dot\n");
+  return 0;
+}

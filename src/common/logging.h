@@ -1,0 +1,86 @@
+#ifndef CDI_COMMON_LOGGING_H_
+#define CDI_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace cdi {
+
+/// Severity of a log message.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity that is actually emitted (default: kWarning,
+/// so library internals stay quiet in tests and benchmarks).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// LogMessage that aborts the process after emitting (used by CDI_CHECK).
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Turns the streamed FatalLogMessage expression into `void` so CDI_CHECK can
+/// appear in a ternary. `&` binds looser than `<<`, so all streaming into the
+/// message happens first.
+struct Voidifier {
+  void operator&(FatalLogMessage&) {}
+  void operator&(FatalLogMessage&&) {}
+};
+
+}  // namespace internal_logging
+
+#define CDI_LOG(level)                                                  \
+  ::cdi::internal_logging::LogMessage(::cdi::LogLevel::k##level,        \
+                                      __FILE__, __LINE__)
+
+/// Aborts with a message when `cond` is false; extra context may be
+/// streamed in: `CDI_CHECK(i < n) << "i=" << i;`. For internal invariants
+/// only — recoverable conditions should return Status instead.
+#define CDI_CHECK(cond)                                           \
+  (cond) ? (void)0                                                \
+         : ::cdi::internal_logging::Voidifier() &                 \
+               ::cdi::internal_logging::FatalLogMessage(          \
+                   __FILE__, __LINE__, #cond)
+
+#define CDI_DCHECK(cond) CDI_CHECK(cond)
+
+}  // namespace cdi
+
+#endif  // CDI_COMMON_LOGGING_H_

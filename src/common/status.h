@@ -1,0 +1,139 @@
+#ifndef CDI_COMMON_STATUS_H_
+#define CDI_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+
+namespace cdi {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail, in the RocksDB/Arrow idiom.
+///
+/// CDI does not throw exceptions across public API boundaries; fallible
+/// operations return `Status` (or `Result<T>` when they also produce a
+/// value). A default-constructed `Status` is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type `T` or a non-OK `Status`.
+///
+/// Access the value only after checking `ok()`; violating that contract
+/// aborts the process (it is a programming error, not a runtime condition).
+template <typename T>
+class Result {
+ public:
+  /// Implicit so functions can `return value;` / `return status;`.
+  Result(T value) : data_(std::move(value)) {}
+  Result(Status status) : data_(std::move(status)) {
+    CDI_CHECK(!std::get<Status>(data_).ok())
+        << "Result constructed from OK status carries no value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    CDI_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    CDI_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    CDI_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::move(std::get<T>(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK `Status` to the caller.
+#define CDI_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::cdi::Status cdi_status_ = (expr);          \
+    if (!cdi_status_.ok()) return cdi_status_;   \
+  } while (0)
+
+/// Evaluates `rexpr` (a Result<T>), propagating its error or binding `lhs`
+/// to the value.
+#define CDI_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  CDI_ASSIGN_OR_RETURN_IMPL(                      \
+      CDI_STATUS_CONCAT(cdi_result_, __LINE__), lhs, rexpr)
+
+#define CDI_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                              \
+  if (!var.ok()) return var.status();              \
+  lhs = std::move(var).value()
+
+#define CDI_STATUS_CONCAT(a, b) CDI_STATUS_CONCAT_IMPL(a, b)
+#define CDI_STATUS_CONCAT_IMPL(a, b) a##b
+
+}  // namespace cdi
+
+#endif  // CDI_COMMON_STATUS_H_

@@ -1,0 +1,47 @@
+#ifndef CDI_COMMON_STRING_UTIL_H_
+#define CDI_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cdi {
+
+/// Returns `s` with ASCII letters lowered.
+std::string ToLower(std::string_view s);
+
+/// Returns `s` without leading/trailing whitespace.
+std::string Trim(std::string_view s);
+
+/// Splits `s` on `delim`; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// True if `needle` occurs in `haystack` ignoring ASCII case.
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// Canonicalizes an entity name for matching: lower-cases, trims, collapses
+/// runs of whitespace/punctuation to single underscores.
+std::string NormalizeEntityName(std::string_view s);
+
+/// Levenshtein edit distance.
+std::size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler similarity in [0, 1]; 1 means equal strings.
+double JaroWinkler(std::string_view a, std::string_view b);
+
+/// Formats a double with `precision` significant decimal digits after the
+/// point (fixed notation), e.g. FormatDouble(0.456789, 2) == "0.46".
+std::string FormatDouble(double v, int precision);
+
+}  // namespace cdi
+
+#endif  // CDI_COMMON_STRING_UTIL_H_

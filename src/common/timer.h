@@ -1,0 +1,80 @@
+#ifndef CDI_COMMON_TIMER_H_
+#define CDI_COMMON_TIMER_H_
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace cdi {
+
+/// Simple monotonic stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the watch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accounts for latency of *simulated* external services (LLM queries,
+/// knowledge-graph lookups, data-lake scans).
+///
+/// The paper's end-to-end runtimes (645 s FLIGHTS / 304 s COVID-19) are
+/// dominated by remote GPT-3 and DBpedia calls. Our substitutes are
+/// in-process, so to reproduce the runtime *shape* the pipeline charges each
+/// simulated call its nominal real-world latency here, separately from the
+/// actual wall clock.
+class LatencyMeter {
+ public:
+  /// Charges one call of `service` at `seconds_per_call`.
+  void Charge(const std::string& service, double seconds_per_call) {
+    auto& e = entries_[service];
+    e.calls += 1;
+    e.seconds += seconds_per_call;
+  }
+
+  /// Total simulated seconds across all services.
+  double TotalSeconds() const {
+    double t = 0;
+    for (const auto& [name, e] : entries_) t += e.seconds;
+    return t;
+  }
+
+  /// Number of calls charged to `service` (0 if never charged).
+  int64_t Calls(const std::string& service) const {
+    auto it = entries_.find(service);
+    return it == entries_.end() ? 0 : it->second.calls;
+  }
+
+  /// Simulated seconds charged to `service`.
+  double Seconds(const std::string& service) const {
+    auto it = entries_.find(service);
+    return it == entries_.end() ? 0.0 : it->second.seconds;
+  }
+
+  struct Entry {
+    int64_t calls = 0;
+    double seconds = 0.0;
+  };
+
+  /// Per-service accounting, keyed by service name.
+  const std::map<std::string, Entry>& entries() const { return entries_; }
+
+  void Clear() { entries_.clear(); }
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace cdi
+
+#endif  // CDI_COMMON_TIMER_H_

@@ -1,0 +1,46 @@
+#include "core/effect.h"
+
+#include <cmath>
+
+#include "stats/regression.h"
+
+namespace cdi::core {
+
+Result<EffectEstimate> EstimateEffect(const table::Table& t,
+                                      const std::string& exposure,
+                                      const std::string& outcome,
+                                      const std::vector<std::string>& adjustment,
+                                      const std::vector<double>& weights) {
+  CDI_ASSIGN_OR_RETURN(const table::Column* tcol, t.GetColumn(exposure));
+  CDI_ASSIGN_OR_RETURN(const table::Column* ocol, t.GetColumn(outcome));
+  if (!table::IsNumeric(tcol->type()) && tcol->type() != table::DataType::kBool) {
+    return Status::InvalidArgument("exposure must be numeric");
+  }
+  if (!table::IsNumeric(ocol->type()) && ocol->type() != table::DataType::kBool) {
+    return Status::InvalidArgument("outcome must be numeric");
+  }
+
+  std::vector<std::vector<double>> xs;
+  xs.push_back(tcol->ToDoubles());
+  EffectEstimate est;
+  for (const auto& name : adjustment) {
+    if (name == exposure || name == outcome) continue;
+    auto col = t.GetColumn(name);
+    if (!col.ok()) continue;  // adjustment attr not materialized — skip
+    if ((*col)->type() == table::DataType::kString) continue;
+    xs.push_back((*col)->ToDoubles());
+    est.adjusted_for.push_back(name);
+  }
+
+  CDI_ASSIGN_OR_RETURN(stats::OlsFit fit,
+                       stats::FitStandardizedOls(xs, ocol->ToDoubles(),
+                                                 weights));
+  est.effect = fit.beta(0);
+  est.abs_effect = std::fabs(est.effect);
+  est.std_error = fit.std_errors[1];
+  est.p_value = fit.p_values[1];
+  est.n_used = fit.n_used;
+  return est;
+}
+
+}  // namespace cdi::core

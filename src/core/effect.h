@@ -1,0 +1,41 @@
+#ifndef CDI_CORE_EFFECT_H_
+#define CDI_CORE_EFFECT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace cdi::core {
+
+/// Result of a regression-adjustment effect estimate on standardized data.
+struct EffectEstimate {
+  /// Standardized coefficient of the exposure (can be negative).
+  double effect = 0.0;
+  /// |effect| — what Table 3's "Direct Effect" column reports.
+  double abs_effect = 0.0;
+  double std_error = 0.0;
+  double p_value = 1.0;
+  /// Attributes actually adjusted for (requested minus unusable columns).
+  std::vector<std::string> adjusted_for;
+  std::size_t n_used = 0;
+};
+
+/// Estimates the effect of `exposure` on `outcome` by weighted standardized
+/// OLS, adjusting for `adjustment` attributes (numeric columns of `t`;
+/// string columns are skipped with a note in `adjusted_for` semantics —
+/// they simply do not appear there). Empty `weights` means unweighted.
+///
+/// With the mediators of exposure -> outcome in the adjustment set this
+/// estimates the *controlled direct effect*; with only confounders it
+/// estimates the total effect (backdoor adjustment). Ground truth for both
+/// scenarios: the direct effect is 0.
+Result<EffectEstimate> EstimateEffect(
+    const table::Table& t, const std::string& exposure,
+    const std::string& outcome, const std::vector<std::string>& adjustment,
+    const std::vector<double>& weights = {});
+
+}  // namespace cdi::core
+
+#endif  // CDI_CORE_EFFECT_H_

@@ -1,0 +1,63 @@
+#include "core/fd.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace cdi::core {
+
+Result<double> ApproximateFdError(const table::Table& t,
+                                  const std::string& lhs,
+                                  const std::string& rhs) {
+  CDI_ASSIGN_OR_RETURN(const table::Column* l, t.GetColumn(lhs));
+  CDI_ASSIGN_OR_RETURN(const table::Column* r, t.GetColumn(rhs));
+  if (lhs == rhs) return Status::InvalidArgument("lhs == rhs");
+  // For each lhs value, count rhs value frequencies.
+  std::unordered_map<std::string, std::unordered_map<std::string, std::size_t>>
+      groups;
+  std::size_t considered = 0;
+  for (std::size_t row = 0; row < t.num_rows(); ++row) {
+    if (l->IsNull(row)) continue;
+    const std::string lv = l->Get(row).ToString();
+    const std::string rv =
+        r->IsNull(row) ? "\x01<null>" : r->Get(row).ToString();
+    groups[lv][rv] += 1;
+    ++considered;
+  }
+  if (considered == 0) {
+    return Status::FailedPrecondition("no non-null lhs values");
+  }
+  std::size_t kept = 0;
+  for (const auto& [lv, counts] : groups) {
+    std::size_t best = 0;
+    for (const auto& [rv, c] : counts) best = std::max(best, c);
+    kept += best;
+  }
+  return 1.0 - static_cast<double>(kept) / static_cast<double>(considered);
+}
+
+Result<std::vector<FdCandidate>> FindApproximateFds(
+    const table::Table& t, double max_error,
+    double max_lhs_distinct_fraction) {
+  std::vector<FdCandidate> out;
+  const auto names = t.ColumnNames();
+  const double max_distinct =
+      max_lhs_distinct_fraction * static_cast<double>(t.num_rows());
+  for (const auto& lhs : names) {
+    CDI_ASSIGN_OR_RETURN(const table::Column* l, t.GetColumn(lhs));
+    if (static_cast<double>(l->DistinctCount()) > max_distinct) continue;
+    for (const auto& rhs : names) {
+      if (lhs == rhs) continue;
+      auto err = ApproximateFdError(t, lhs, rhs);
+      if (!err.ok()) continue;
+      if (*err <= max_error) out.push_back({lhs, rhs, *err});
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FdCandidate& a, const FdCandidate& b) {
+                     return a.g3_error < b.g3_error;
+                   });
+  return out;
+}
+
+}  // namespace cdi::core

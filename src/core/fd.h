@@ -1,0 +1,41 @@
+#ifndef CDI_CORE_FD_H_
+#define CDI_CORE_FD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace cdi::core {
+
+/// A discovered (approximate) functional dependency lhs -> rhs.
+struct FdCandidate {
+  std::string lhs;
+  std::string rhs;
+  /// g3 error: the minimum fraction of rows that must be removed for the
+  /// FD to hold exactly (0 = exact FD).
+  double g3_error = 0.0;
+};
+
+/// The g3 approximation error of lhs -> rhs: for each lhs value, all but
+/// the most frequent rhs value are violations. Nulls on the lhs are
+/// ignored; a null rhs counts as its own value.
+Result<double> ApproximateFdError(const table::Table& t,
+                                  const std::string& lhs,
+                                  const std::string& rhs);
+
+/// Enumerates single-attribute FDs lhs -> rhs with g3 error at most
+/// `max_error`, over column pairs where the lhs has at most
+/// `max_lhs_distinct_fraction * num_rows` distinct values (FDs from an
+/// all-distinct column are trivial and meaningless). Sorted by error.
+///
+/// This is the "approximate single-LHS" discovery the Data Organizer's
+/// §3.2 failure-mode analysis calls for; exact checks use HoldsFd.
+Result<std::vector<FdCandidate>> FindApproximateFds(
+    const table::Table& t, double max_error = 0.02,
+    double max_lhs_distinct_fraction = 0.9);
+
+}  // namespace cdi::core
+
+#endif  // CDI_CORE_FD_H_

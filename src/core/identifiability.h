@@ -1,0 +1,59 @@
+#ifndef CDI_CORE_IDENTIFIABILITY_H_
+#define CDI_CORE_IDENTIFIABILITY_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/cdag.h"
+#include "graph/digraph.h"
+
+namespace cdi::core {
+
+/// §3.3 "Identifiability" — tools for the paper's open question: when is a
+/// C-DAG faithful enough to the full attribute-level DAG that adjustment
+/// sets read off the C-DAG are correct?
+
+/// The cluster-level graph *induced* by an attribute-level DAG under a
+/// clustering: edge Ci -> Cj iff some attribute edge a -> b exists with
+/// a in Ci, b in Cj (i != j). This is the C-DAG an omniscient builder
+/// would output (Anand et al. 2022's admissible C-DAG).
+Result<graph::Digraph> InduceClusterGraph(
+    const graph::Digraph& attribute_dag,
+    const std::map<std::string, std::vector<std::string>>& members);
+
+/// Report of a C-DAG checked against the attribute-level ground truth.
+struct CdagConsistencyReport {
+  /// Induced cluster edges missing from the C-DAG (threaten completeness:
+  /// a real confounding path may be invisible in the C-DAG).
+  std::vector<std::pair<std::string, std::string>> missing_edges;
+  /// C-DAG edges with no attribute-level support (false claims).
+  std::vector<std::pair<std::string, std::string>> unsupported_edges;
+  /// True when the clustering itself is admissible: the induced cluster
+  /// graph is acyclic (clusters do not mix ancestors with descendants in a
+  /// way that creates cluster-level cycles).
+  bool clustering_admissible = false;
+  /// Cluster-level d-separations asserted by the C-DAG that fail at the
+  /// attribute level (each entry: "A _||_ B | {S}"): these are exactly the
+  /// cases where reading an adjustment set off the C-DAG is unsafe.
+  std::vector<std::string> separation_violations;
+
+  bool fully_consistent() const {
+    return missing_edges.empty() && unsupported_edges.empty() &&
+           clustering_admissible && separation_violations.empty();
+  }
+};
+
+/// Checks a (possibly learned) C-DAG against the true attribute DAG:
+/// edge completeness/soundness, clustering admissibility, and — up to
+/// `max_separation_checks` sampled queries — whether cluster-level
+/// d-separations hold attribute-wise (every pair of member attributes
+/// separated given all member attributes of the conditioning clusters).
+Result<CdagConsistencyReport> CheckCdagConsistency(
+    const graph::Digraph& attribute_dag, const ClusterDag& cdag,
+    std::size_t max_separation_checks = 200);
+
+}  // namespace cdi::core
+
+#endif  // CDI_CORE_IDENTIFIABILITY_H_

@@ -1,0 +1,237 @@
+#include "core/knowledge_extractor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "stats/correlation.h"
+#include "stats/independence.h"
+#include "stats/descriptive.h"
+
+namespace cdi::core {
+
+namespace {
+
+/// |corr| treating NaN results as 0.
+double AbsCorr(const std::vector<double>& a, const std::vector<double>& b) {
+  const double r = stats::PearsonCorrelation(a, b);
+  return std::isnan(r) ? 0.0 : std::fabs(r);
+}
+
+/// Outlier-robust association: max of |Pearson| and |Spearman|.
+double RobustAbsCorr(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  const double s = stats::SpearmanCorrelation(a, b);
+  return std::max(AbsCorr(a, b), std::isnan(s) ? 0.0 : std::fabs(s));
+}
+
+std::size_t PairwiseCount(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+    if (!std::isnan(a[i]) && !std::isnan(b[i])) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+Result<ExtractionResult> KnowledgeExtractor::Extract(
+    const table::Table& input, const std::string& entity_column,
+    const std::string& exposure, const std::string& outcome,
+    LatencyMeter* meter) const {
+  CDI_ASSIGN_OR_RETURN(const table::Column* key_col,
+                       input.GetColumn(entity_column));
+  if (key_col->type() != table::DataType::kString) {
+    return Status::InvalidArgument("entity column must be a string column");
+  }
+  CDI_ASSIGN_OR_RETURN(const table::Column* tcol, input.GetColumn(exposure));
+  CDI_ASSIGN_OR_RETURN(const table::Column* ocol, input.GetColumn(outcome));
+  const std::vector<double> t_vals = tcol->ToDoubles();
+  const std::vector<double> o_vals = ocol->ToDoubles();
+  // Relevance references: the exposure, the outcome, and every observed
+  // numeric input attribute — an extracted attribute associated with any
+  // variable already in the analysis is a candidate parent/child of it and
+  // therefore relevant for the causal DAG.
+  std::vector<std::vector<double>> reference_vals = {t_vals, o_vals};
+  for (const auto& name : input.ColumnNames()) {
+    if (name == entity_column || name == exposure || name == outcome) continue;
+    auto col = input.GetColumn(name);
+    if (col.ok() && table::IsNumeric((*col)->type())) {
+      reference_vals.push_back((*col)->ToDoubles());
+    }
+  }
+  // Relevance of a numeric column: strongest robust association with any
+  // reference, with its significance.
+  auto score_relevance = [&](const std::vector<double>& vals,
+                             double* corr_t, double* corr_o,
+                             double* relevance, bool* significant) {
+    *corr_t = RobustAbsCorr(vals, t_vals);
+    *corr_o = RobustAbsCorr(vals, o_vals);
+    *relevance = 0.0;
+    double best_p = 1.0;
+    for (const auto& ref : reference_vals) {
+      const double r = RobustAbsCorr(vals, ref);
+      const std::size_t n = PairwiseCount(vals, ref);
+      best_p = std::min(best_p, stats::FisherZPValue(r, n, 0));
+      *relevance = std::max(*relevance, r);
+    }
+    if (options_.nonlinear_relevance) {
+      // Binned chi-square catches non-monotone associations Pearson and
+      // Spearman both miss (e.g. a U-shaped confounder). Cramer's V serves
+      // as its effect size for the magnitude floor.
+      const auto bv = stats::QuantileBin(vals, 3);
+      for (const auto& ref : reference_vals) {
+        auto r = stats::ChiSquareIndependence(bv, stats::QuantileBin(ref, 3));
+        if (r.ok()) {
+          best_p = std::min(best_p, r->p_value);
+          if (r->p_value < options_.relevance_alpha) {
+            *relevance = std::max(*relevance, r->strength);
+          }
+        }
+      }
+    }
+    // Bonferroni across the reference columns, so pure-noise attributes do
+    // not slip in just because many references were tried.
+    *significant =
+        best_p < options_.relevance_alpha /
+                     static_cast<double>(reference_vals.size());
+  };
+
+  std::vector<std::string> keys;
+  keys.reserve(input.num_rows());
+  for (std::size_t r = 0; r < input.num_rows(); ++r) {
+    keys.push_back(key_col->IsNull(r) ? "" : key_col->Get(r).as_string());
+  }
+
+  ExtractionResult result;
+  result.augmented = input;
+
+  struct Candidate {
+    table::Column column;
+    ExtractedAttribute info;
+    double relevance = 0.0;
+    bool significant = true;
+  };
+  std::vector<Candidate> candidates;
+
+  // ---- Knowledge-graph extraction. ---------------------------------------
+  if (kg_ != nullptr) {
+    CDI_ASSIGN_OR_RETURN(
+        table::Table kg_table,
+        kg_->ExtractProperties(keys, entity_column, options_.follow_kg_links,
+                               meter));
+    for (std::size_t c = 0; c < kg_table.num_cols(); ++c) {
+      const table::Column& col = kg_table.ColumnAt(c);
+      if (col.name() == entity_column) continue;
+      ++result.kg_columns_found;
+      Candidate cand{col, {}, 0.0};
+      cand.info.name = col.name();
+      cand.info.source = "knowledge_graph";
+      if (table::IsNumeric(col.type()) ||
+          col.type() == table::DataType::kBool) {
+        score_relevance(col.ToDoubles(), &cand.info.corr_with_exposure,
+                        &cand.info.corr_with_outcome, &cand.relevance,
+                        &cand.significant);
+      } else {
+        cand.relevance = 1.0;  // strings judged later by the organizer
+        cand.significant = true;
+      }
+      candidates.push_back(std::move(cand));
+    }
+  }
+
+  // ---- Data-lake extraction. ----------------------------------------------
+  if (lake_ != nullptr) {
+    // Rank joinable numeric columns by association with the outcome, then
+    // with the exposure, merging the two searches.
+    CDI_ASSIGN_OR_RETURN(
+        auto by_outcome,
+        lake_->FindCorrelatedColumns(keys, o_vals, options_.min_containment,
+                                     meter));
+    CDI_ASSIGN_OR_RETURN(
+        auto by_exposure,
+        lake_->FindCorrelatedColumns(keys, t_vals, options_.min_containment,
+                                     nullptr));  // second pass reuses scans
+    std::map<std::pair<std::size_t, std::string>, double> corr_o, corr_t;
+    for (const auto& c : by_outcome) {
+      corr_o[{c.table_index, c.value_column}] = c.abs_correlation;
+    }
+    for (const auto& c : by_exposure) {
+      corr_t[{c.table_index, c.value_column}] = c.abs_correlation;
+    }
+    // Materialize each candidate column aligned to the input rows.
+    std::set<std::pair<std::size_t, std::string>> seen;
+    auto add_lake_candidates =
+        [&](const std::vector<knowledge::DataLake::AugmentationCandidate>&
+                list) -> Status {
+      for (const auto& c : list) {
+        if (!seen.insert({c.table_index, c.value_column}).second) continue;
+        ++result.lake_columns_found;
+        const table::Table& src = lake_->tables()[c.table_index];
+        CDI_ASSIGN_OR_RETURN(const table::Column* kcol,
+                             src.GetColumn(c.key_column));
+        CDI_ASSIGN_OR_RETURN(const table::Column* vcol,
+                             src.GetColumn(c.value_column));
+        // Mean per normalized key (handles duplicates and 1:N tables).
+        std::unordered_map<std::string, std::pair<double, double>> agg;
+        for (std::size_t r = 0; r < src.num_rows(); ++r) {
+          if (kcol->IsNull(r) || vcol->IsNull(r)) continue;
+          auto& [sum, count] =
+              agg[NormalizeEntityName(kcol->Get(r).ToString())];
+          sum += vcol->Get(r).ToNumeric();
+          count += 1;
+        }
+        std::vector<double> aligned(keys.size(), std::nan(""));
+        for (std::size_t i = 0; i < keys.size(); ++i) {
+          auto it = agg.find(NormalizeEntityName(keys[i]));
+          if (it != agg.end() && it->second.second > 0) {
+            aligned[i] = it->second.first / it->second.second;
+          }
+        }
+        Candidate cand{table::Column::FromDoubles(c.value_column, aligned),
+                       {},
+                       0.0};
+        cand.info.name = c.value_column;
+        cand.info.source = src.name();
+        score_relevance(aligned, &cand.info.corr_with_exposure,
+                        &cand.info.corr_with_outcome, &cand.relevance,
+                        &cand.significant);
+        candidates.push_back(std::move(cand));
+      }
+      return Status::OK();
+    };
+    CDI_RETURN_IF_ERROR(add_lake_candidates(by_outcome));
+    CDI_RETURN_IF_ERROR(add_lake_candidates(by_exposure));
+  }
+
+  // ---- Relevance filter + assembly. ----------------------------------------
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.relevance > b.relevance;
+                   });
+  int kept = 0;
+  for (auto& cand : candidates) {
+    if (cand.relevance < options_.min_relevance || !cand.significant) {
+      cand.info.kept = false;
+      cand.info.drop_reason = "irrelevant";
+    } else if (options_.max_attributes >= 0 &&
+               kept >= options_.max_attributes) {
+      cand.info.kept = false;
+      cand.info.drop_reason = "attribute-budget";
+    } else if (result.augmented.HasColumn(cand.info.name)) {
+      cand.info.kept = false;
+      cand.info.drop_reason = "duplicate-name";
+    } else {
+      CDI_RETURN_IF_ERROR(result.augmented.AddColumn(std::move(cand.column)));
+      ++kept;
+    }
+    result.attributes.push_back(std::move(cand.info));
+  }
+  return result;
+}
+
+}  // namespace cdi::core

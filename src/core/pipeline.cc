@@ -1,0 +1,65 @@
+#include "core/pipeline.h"
+
+namespace cdi::core {
+
+Result<PipelineResult> Pipeline::Run(const table::Table& input,
+                                     const std::string& entity_column,
+                                     const std::string& exposure,
+                                     const std::string& outcome) const {
+  PipelineResult result;
+  Stopwatch total;
+
+  // Stage 1: Knowledge Extractor.
+  {
+    Stopwatch sw;
+    KnowledgeExtractor extractor(kg_, lake_, options_.extractor);
+    CDI_ASSIGN_OR_RETURN(result.extraction,
+                         extractor.Extract(input, entity_column, exposure,
+                                           outcome, &result.external));
+    result.timings.extract_seconds = sw.ElapsedSeconds();
+  }
+
+  // Stage 2: Data Organizer.
+  {
+    Stopwatch sw;
+    DataOrganizer organizer(options_.organizer);
+    CDI_ASSIGN_OR_RETURN(
+        result.organization,
+        organizer.Organize(result.extraction.augmented, entity_column,
+                           exposure, outcome));
+    result.timings.organize_seconds = sw.ElapsedSeconds();
+  }
+
+  // Stage 3: C-DAG Builder.
+  {
+    Stopwatch sw;
+    CdagBuilder builder(oracle_, topics_, options_.builder);
+    CDI_ASSIGN_OR_RETURN(
+        result.build,
+        builder.Build(result.organization.organized, entity_column, exposure,
+                      outcome, result.organization.row_weights,
+                      &result.external));
+    result.timings.build_seconds = sw.ElapsedSeconds();
+  }
+
+  // Downstream analysis: the effect estimates the analyst reads off.
+  {
+    const auto& cdag = result.build.cdag;
+    CDI_ASSIGN_OR_RETURN(
+        result.direct_effect,
+        EstimateEffect(result.organization.organized, exposure, outcome,
+                       cdag.DirectEffectAdjustmentAttributes(),
+                       result.organization.row_weights));
+    CDI_ASSIGN_OR_RETURN(
+        result.total_effect,
+        EstimateEffect(result.organization.organized, exposure, outcome,
+                       cdag.TotalEffectAdjustmentAttributes(),
+                       result.organization.row_weights));
+  }
+
+  result.direct_effect_sensitivity = AnalyzeSensitivity(result.direct_effect);
+  result.timings.total_seconds = total.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace cdi::core

@@ -1,0 +1,31 @@
+#include "core/sensitivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cdi::core {
+
+double EValueForRiskRatio(double rr) {
+  if (rr < 1.0) rr = rr > 0 ? 1.0 / rr : 1.0;
+  if (rr <= 1.0) return 1.0;
+  return rr + std::sqrt(rr * (rr - 1.0));
+}
+
+double ConfoundingBiasBound(double rr_eu, double rr_uo) {
+  rr_eu = std::max(rr_eu, 1.0);
+  rr_uo = std::max(rr_uo, 1.0);
+  const double denom = rr_eu + rr_uo - 1.0;
+  return denom > 0 ? (rr_eu * rr_uo) / denom : 1.0;
+}
+
+SensitivityReport AnalyzeSensitivity(const EffectEstimate& estimate) {
+  SensitivityReport report;
+  // Standardized mean difference -> risk ratio (VanderWeele's d-to-RR
+  // conversion, RR ≈ exp(0.91 d)).
+  report.risk_ratio = std::exp(0.91 * std::fabs(estimate.effect));
+  report.e_value = EValueForRiskRatio(report.risk_ratio);
+  report.bias_bound_at_2x = ConfoundingBiasBound(2.0, 2.0);
+  return report;
+}
+
+}  // namespace cdi::core

@@ -1,0 +1,46 @@
+#ifndef CDI_CORE_SENSITIVITY_H_
+#define CDI_CORE_SENSITIVITY_H_
+
+#include "common/status.h"
+#include "core/effect.h"
+
+namespace cdi::core {
+
+/// §5 names unobserved confounding as CDI's central residual risk ("the
+/// generated C-DAG may not be complete ... the unconfoundedness assumption
+/// is violated"). This module quantifies that risk for an effect estimate
+/// in the VanderWeele & Ding E-value framework.
+
+struct SensitivityReport {
+  /// Approximate risk-ratio scale of the estimate (standardized
+  /// coefficients are mapped via the d-to-RR heuristic
+  /// RR ≈ exp(0.91 * d)).
+  double risk_ratio = 1.0;
+  /// E-value of the point estimate: the minimum strength of association
+  /// (risk-ratio scale) an unobserved confounder would need with *both*
+  /// the exposure and the outcome to fully explain the estimate away.
+  double e_value = 1.0;
+  /// Bias factor of a hypothetical unobserved confounder with the given
+  /// association strengths (Ding & VanderWeele bound).
+  double bias_bound_at_2x = 1.0;
+};
+
+/// Sensitivity of `estimate` (a standardized-coefficient effect) to
+/// unobserved confounding. The `bias_bound_at_2x` field reports the
+/// maximum multiplicative bias a confounder with RR_exposure = RR_outcome
+/// = 2 could induce.
+SensitivityReport AnalyzeSensitivity(const EffectEstimate& estimate);
+
+/// The E-value for a risk ratio (>= 1; pass 1/rr for protective effects):
+/// rr + sqrt(rr * (rr - 1)).
+double EValueForRiskRatio(double rr);
+
+/// Ding & VanderWeele joint bias bound: the largest bias factor an
+/// unobserved confounder with exposure-association `rr_eu` and
+/// outcome-association `rr_uo` can produce:
+/// (rr_eu * rr_uo) / (rr_eu + rr_uo - 1).
+double ConfoundingBiasBound(double rr_eu, double rr_uo);
+
+}  // namespace cdi::core
+
+#endif  // CDI_CORE_SENSITIVITY_H_

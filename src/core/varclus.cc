@@ -1,0 +1,278 @@
+#include "core/varclus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/correlation.h"
+#include "stats/linalg.h"
+
+namespace cdi::core {
+
+namespace {
+
+using Cluster = std::vector<std::size_t>;
+
+/// Eigendecomposition of a cluster's correlation submatrix.
+Result<stats::EigenDecomposition> ClusterEigen(const stats::Matrix& corr,
+                                               const Cluster& cluster) {
+  return stats::JacobiEigen(corr.Submatrix(cluster));
+}
+
+double SecondEigenvalue(const stats::Matrix& corr, const Cluster& cluster) {
+  if (cluster.size() < 2) return 0.0;
+  auto eig = ClusterEigen(corr, cluster);
+  if (!eig.ok() || eig->values.size() < 2) return 0.0;
+  return eig->values[1];
+}
+
+/// Squared correlation of variable `v` with the first principal component
+/// of `cluster`: r^2 = (w . R[v, cluster])^2 / lambda1.
+double SquaredPcCorrelation(const stats::Matrix& corr, const Cluster& cluster,
+                            std::size_t v) {
+  if (cluster.empty()) return 0.0;
+  if (cluster.size() == 1) {
+    const double r = corr(v, cluster[0]);
+    return r * r;
+  }
+  auto eig = ClusterEigen(corr, cluster);
+  if (!eig.ok() || eig->values.empty() || eig->values[0] <= 1e-12) return 0.0;
+  double dot = 0;
+  for (std::size_t k = 0; k < cluster.size(); ++k) {
+    dot += eig->vectors(k, 0) * corr(v, cluster[k]);
+  }
+  return dot * dot / eig->values[0];
+}
+
+/// Splits a cluster along its first two principal components; returns
+/// false when no meaningful split exists.
+bool SplitCluster(const stats::Matrix& corr, const Cluster& cluster,
+                  int reassign_passes, Cluster* a, Cluster* b) {
+  if (cluster.size() < 2) return false;
+  auto eig = ClusterEigen(corr, cluster);
+  if (!eig.ok() || eig->values.size() < 2) return false;
+  a->clear();
+  b->clear();
+  const double l1 = std::max(eig->values[0], 1e-12);
+  const double l2 = std::max(eig->values[1], 1e-12);
+  for (std::size_t k = 0; k < cluster.size(); ++k) {
+    const double load1 = std::fabs(eig->vectors(k, 0)) * std::sqrt(l1);
+    const double load2 = std::fabs(eig->vectors(k, 1)) * std::sqrt(l2);
+    (load1 >= load2 ? a : b)->push_back(cluster[k]);
+  }
+  if (a->empty() || b->empty()) {
+    // Degenerate loading pattern: peel off the variable dominating PC2.
+    a->clear();
+    b->clear();
+    std::size_t peel = 0;
+    double best = -1;
+    for (std::size_t k = 0; k < cluster.size(); ++k) {
+      const double w = std::fabs(eig->vectors(k, 1));
+      if (w > best) {
+        best = w;
+        peel = k;
+      }
+    }
+    for (std::size_t k = 0; k < cluster.size(); ++k) {
+      (k == peel ? b : a)->push_back(cluster[k]);
+    }
+  }
+  // NCS reassignment: move each variable to the half whose first PC it
+  // correlates with most.
+  for (int pass = 0; pass < reassign_passes; ++pass) {
+    bool moved = false;
+    Cluster all = *a;
+    all.insert(all.end(), b->begin(), b->end());
+    for (std::size_t v : all) {
+      Cluster a_without = *a;
+      Cluster b_without = *b;
+      a_without.erase(std::remove(a_without.begin(), a_without.end(), v),
+                      a_without.end());
+      b_without.erase(std::remove(b_without.begin(), b_without.end(), v),
+                      b_without.end());
+      const bool in_a =
+          std::find(a->begin(), a->end(), v) != a->end();
+      if ((in_a && a->size() <= 1) || (!in_a && b->size() <= 1)) continue;
+      const double ra = SquaredPcCorrelation(corr, a_without, v);
+      const double rb = SquaredPcCorrelation(corr, b_without, v);
+      const bool should_be_a = ra >= rb;
+      if (should_be_a && !in_a) {
+        b->erase(std::remove(b->begin(), b->end(), v), b->end());
+        a->push_back(v);
+        moved = true;
+      } else if (!should_be_a && in_a) {
+        a->erase(std::remove(a->begin(), a->end(), v), a->end());
+        b->push_back(v);
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+  std::sort(a->begin(), a->end());
+  std::sort(b->begin(), b->end());
+  return !a->empty() && !b->empty();
+}
+
+}  // namespace
+
+Result<VarClusResult> RunVarClus(
+    const std::vector<std::vector<double>>& columns,
+    const std::vector<std::string>& names, const VarClusOptions& options) {
+  if (columns.size() != names.size()) {
+    return Status::InvalidArgument("columns/names size mismatch");
+  }
+  if (columns.empty()) return Status::InvalidArgument("no variables");
+
+  stats::NumericDataset ds;
+  ds.columns = columns;
+  CDI_ASSIGN_OR_RETURN(stats::Matrix corr, stats::CorrelationMatrix(ds));
+
+  std::vector<Cluster> clusters;
+  {
+    Cluster all(columns.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    clusters.push_back(std::move(all));
+  }
+
+  const std::size_t max_clusters =
+      options.max_clusters < 0 ? columns.size()
+                               : static_cast<std::size_t>(options.max_clusters);
+  const std::size_t min_clusters =
+      options.min_clusters < 0 ? 1
+                               : static_cast<std::size_t>(options.min_clusters);
+
+  for (;;) {
+    if (clusters.size() >= max_clusters) break;
+    // Candidate: cluster with the largest second eigenvalue.
+    double best_eig = -1;
+    std::size_t best = 0;
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+      const double e = SecondEigenvalue(corr, clusters[c]);
+      if (e > best_eig) {
+        best_eig = e;
+        best = c;
+      }
+    }
+    const bool need_more = clusters.size() < min_clusters;
+    if (!need_more && best_eig < options.second_eigenvalue_threshold) break;
+    if (best_eig <= 1e-9 && !need_more) break;
+    if (clusters[best].size() < 2) break;  // nothing splittable remains
+    Cluster a, b;
+    if (!SplitCluster(corr, clusters[best], options.reassign_passes, &a,
+                      &b)) {
+      break;
+    }
+    clusters.erase(clusters.begin() + static_cast<std::ptrdiff_t>(best));
+    clusters.push_back(std::move(a));
+    clusters.push_back(std::move(b));
+  }
+
+  // Global reassignment (NCS over all clusters): fix local minima of the
+  // divisive phase by moving each variable to the cluster whose first
+  // principal component it correlates with most. Own-cluster fit is
+  // computed *excluding* the variable so a bad merge can be detected;
+  // moves that would empty a cluster are skipped (the cluster count is
+  // part of the requested configuration).
+  for (int pass = 0; pass < 4; ++pass) {
+    bool moved = false;
+    for (std::size_t v = 0; v < columns.size(); ++v) {
+      std::size_t home = 0;
+      for (std::size_t c = 0; c < clusters.size(); ++c) {
+        if (std::find(clusters[c].begin(), clusters[c].end(), v) !=
+            clusters[c].end()) {
+          home = c;
+        }
+      }
+      if (clusters[home].size() <= 1) continue;  // would empty the cluster
+      Cluster home_without = clusters[home];
+      home_without.erase(
+          std::remove(home_without.begin(), home_without.end(), v),
+          home_without.end());
+      double best_r2 = SquaredPcCorrelation(corr, home_without, v);
+      std::size_t best = home;
+      for (std::size_t c = 0; c < clusters.size(); ++c) {
+        if (c == home) continue;
+        const double r2 = SquaredPcCorrelation(corr, clusters[c], v);
+        if (r2 > best_r2 + 1e-9) {
+          best_r2 = r2;
+          best = c;
+        }
+      }
+      if (best != home) {
+        clusters[home].erase(
+            std::remove(clusters[home].begin(), clusters[home].end(), v),
+            clusters[home].end());
+        clusters[best].push_back(v);
+        std::sort(clusters[best].begin(), clusters[best].end());
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+
+  // Singleton repair: the divisive phase can strand two highly-correlated
+  // variables in separate singleton clusters (it can split but never
+  // merge). A singleton that loads at r^2 >= 0.5 on another cluster's
+  // first PC joins it; the freed cluster budget re-splits the cluster
+  // with the largest second eigenvalue.
+  for (int round = 0; round < 3; ++round) {
+    bool merged = false;
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+      if (clusters[c].size() != 1) continue;
+      const std::size_t v = clusters[c][0];
+      double best_r2 = 0.5;
+      std::size_t best = c;
+      for (std::size_t d = 0; d < clusters.size(); ++d) {
+        if (d == c) continue;
+        const double r2 = SquaredPcCorrelation(corr, clusters[d], v);
+        if (r2 > best_r2) {
+          best_r2 = r2;
+          best = d;
+        }
+      }
+      if (best != c) {
+        clusters[best].push_back(v);
+        std::sort(clusters[best].begin(), clusters[best].end());
+        clusters.erase(clusters.begin() + static_cast<std::ptrdiff_t>(c));
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) break;
+    // Restore the requested cluster count by splitting the worst cluster.
+    while (clusters.size() < min_clusters) {
+      double best_eig = -1;
+      std::size_t best = 0;
+      for (std::size_t c = 0; c < clusters.size(); ++c) {
+        const double e = SecondEigenvalue(corr, clusters[c]);
+        if (e > best_eig) {
+          best_eig = e;
+          best = c;
+        }
+      }
+      Cluster a, b;
+      if (best_eig <= 1e-9 ||
+          !SplitCluster(corr, clusters[best], options.reassign_passes, &a,
+                        &b)) {
+        break;
+      }
+      clusters.erase(clusters.begin() + static_cast<std::ptrdiff_t>(best));
+      clusters.push_back(std::move(a));
+      clusters.push_back(std::move(b));
+    }
+  }
+
+  // Deterministic output order: by smallest member index.
+  std::sort(clusters.begin(), clusters.end(),
+            [](const Cluster& x, const Cluster& y) { return x[0] < y[0]; });
+
+  VarClusResult out;
+  for (const auto& c : clusters) {
+    std::vector<std::string> member_names;
+    for (std::size_t v : c) member_names.push_back(names[v]);
+    out.clusters.push_back(std::move(member_names));
+    out.second_eigenvalues.push_back(SecondEigenvalue(corr, c));
+  }
+  return out;
+}
+
+}  // namespace cdi::core

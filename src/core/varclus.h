@@ -1,0 +1,49 @@
+#ifndef CDI_CORE_VARCLUS_H_
+#define CDI_CORE_VARCLUS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stats/matrix.h"
+
+namespace cdi::core {
+
+struct VarClusOptions {
+  /// A cluster splits while the second eigenvalue of its correlation
+  /// submatrix is at least this (SAS PROC VARCLUS's MAXEIGEN criterion).
+  double second_eigenvalue_threshold = 1.0;
+  /// Optional upper bound on the number of clusters; -1 = unbounded.
+  int max_clusters = -1;
+  /// Optional lower bound: keep splitting (largest second eigenvalue
+  /// first) until at least this many clusters exist, ignoring the
+  /// eigenvalue threshold. -1 disables. The paper "picked our current best
+  /// configurations" — benchmark harnesses use this to fix granularity.
+  int min_clusters = -1;
+  /// Reassignment passes after each split (the NCS phase).
+  int reassign_passes = 2;
+};
+
+struct VarClusResult {
+  /// Variable-name clusters, each sorted by input order.
+  std::vector<std::vector<std::string>> clusters;
+  /// Second eigenvalue of each final cluster (0 for singletons).
+  std::vector<double> second_eigenvalues;
+};
+
+/// Divisive principal-component variable clustering in the style of SAS
+/// PROC VARCLUS (Sarle 1990) — the algorithm CATER uses to group related
+/// attributes (§4). Splits the cluster with the largest second eigenvalue
+/// along its first two principal components, then reassigns variables to
+/// whichever split-half's first component they correlate with most.
+///
+/// `columns` is column-major numeric data (NaN allowed; correlations use
+/// complete rows pairwise through the full correlation matrix).
+Result<VarClusResult> RunVarClus(
+    const std::vector<std::vector<double>>& columns,
+    const std::vector<std::string>& names,
+    const VarClusOptions& options = VarClusOptions());
+
+}  // namespace cdi::core
+
+#endif  // CDI_CORE_VARCLUS_H_

@@ -1,0 +1,201 @@
+#include "datagen/covid.h"
+
+namespace cdi::datagen {
+
+ScenarioSpec CovidSpec() {
+  ScenarioSpec spec;
+  spec.name = "covid19";
+  spec.num_entities = 500;
+  spec.entity_prefix = "Country";
+  spec.entity_column = "country";
+  spec.exposure_cluster = "country";
+  spec.outcome_cluster = "death_rate";
+  spec.noise = NoiseKind::kGaussian;
+  spec.gaussian_exposure_code = true;
+  spec.seed = 2023;
+  spec.one_to_many_tables = {"mobility_report"};
+
+  auto attr = [](std::string name, Placement placement,
+                 std::string lake_table = "") {
+    AttributeSpec a;
+    a.name = std::move(name);
+    a.placement = placement;
+    a.lake_table = std::move(lake_table);
+    return a;
+  };
+
+  // Clusters in topological order; first attribute is the driver.
+  {
+    ClusterSpec c;
+    c.name = "country";
+    c.attributes = {attr("country_code", Placement::kInputTable)};
+    c.topic_keywords = {"country", "nation", "state"};
+    spec.clusters.push_back(c);
+  }
+  {
+    ClusterSpec c;
+    c.name = "population";
+    c.attributes = {
+        attr("pop_size", Placement::kLakeTable, "world_population"),
+        attr("pop_density", Placement::kLakeTable, "world_population")};
+    c.attributes[1].loading = 0.95;
+    c.driver_noise = 1.0;
+    c.member_noise = 0.35;
+    c.topic_keywords = {"population", "pop", "people", "density"};
+    spec.clusters.push_back(c);
+  }
+  {
+    ClusterSpec c;
+    c.name = "economy";
+    c.attributes = {
+        attr("gdp_per_capita", Placement::kLakeTable, "economy_indicators"),
+        attr("poverty_rate", Placement::kLakeTable, "economy_indicators")};
+    c.attributes[0].outlier_rate = 0.01;  // corrupted GDP entries
+    c.attributes[1].loading = -0.9;       // poverty falls with GDP
+    c.driver_noise = 1.0;
+    c.member_noise = 0.35;
+    c.topic_keywords = {"economy", "gdp", "income", "poverty"};
+    spec.clusters.push_back(c);
+  }
+  {
+    ClusterSpec c;
+    c.name = "climate";
+    c.attributes = {attr("avg_temp", Placement::kKnowledgeGraph),
+                    attr("humidity", Placement::kKnowledgeGraph),
+                    attr("precipitation", Placement::kKnowledgeGraph)};
+    c.attributes[1].loading = 0.9;
+    c.attributes[2].loading = 0.85;
+    // The paper's DBpedia example: weather properties are missing for some
+    // states, not at random (snow_inch missing exactly where it is low).
+    c.attributes[2].missing_rate = 0.05;
+    c.attributes[2].mnar_strength = 0.30;
+    c.driver_noise = 1.0;
+    c.member_noise = 0.35;
+    c.topic_keywords = {"climate", "weather", "temp", "humidity", "rain"};
+    spec.clusters.push_back(c);
+  }
+  {
+    ClusterSpec c;
+    c.name = "age";
+    c.attributes = {attr("median_age", Placement::kKnowledgeGraph),
+                    attr("elderly_share", Placement::kKnowledgeGraph)};
+    c.attributes[1].loading = 0.95;
+    c.driver_noise = 1.0;
+    c.member_noise = 0.35;
+    c.topic_keywords = {"age", "elderly", "demographic"};
+    spec.clusters.push_back(c);
+  }
+  {
+    ClusterSpec c;
+    c.name = "healthcare";
+    c.attributes = {
+        attr("hospital_beds", Placement::kLakeTable, "hospital_stats"),
+        attr("health_expenditure", Placement::kLakeTable, "hospital_stats")};
+    c.attributes[1].loading = 0.9;
+    c.driver_noise = 1.0;
+    c.member_noise = 0.35;
+    c.topic_keywords = {"health", "hospital", "care", "beds"};
+    spec.clusters.push_back(c);
+  }
+  {
+    ClusterSpec c;
+    c.name = "policy";
+    c.attributes = {
+        attr("stringency_index", Placement::kLakeTable, "policy_tracker"),
+        attr("mask_policy", Placement::kLakeTable, "policy_tracker")};
+    c.attributes[1].loading = 0.9;
+    c.driver_noise = 1.0;
+    c.member_noise = 0.35;
+    c.topic_keywords = {"policy", "mask", "lockdown", "stringency"};
+    spec.clusters.push_back(c);
+  }
+  {
+    ClusterSpec c;
+    c.name = "mobility";
+    c.attributes = {
+        attr("mobility_index", Placement::kLakeTable, "mobility_report"),
+        attr("transit_use", Placement::kLakeTable, "mobility_report")};
+    c.attributes[1].loading = 0.9;
+    c.driver_noise = 1.0;
+    c.member_noise = 0.35;
+    c.topic_keywords = {"mobility", "transit", "movement", "travel"};
+    spec.clusters.push_back(c);
+  }
+  {
+    ClusterSpec c;
+    c.name = "spread";
+    c.attributes = {attr("confirmed_cases", Placement::kInputTable),
+                    attr("new_cases", Placement::kLakeTable, "covid_stats")};
+    c.attributes[1].loading = 0.95;
+    c.driver_noise = 1.0;
+    c.member_noise = 0.35;
+    c.topic_keywords = {"spread", "cases", "infection", "confirmed"};
+    spec.clusters.push_back(c);
+  }
+  {
+    ClusterSpec c;
+    c.name = "recovery";
+    c.attributes = {
+        attr("recovered_cases", Placement::kLakeTable, "covid_stats")};
+    c.driver_noise = 1.0;
+    c.topic_keywords = {"recovery", "recovered"};
+    spec.clusters.push_back(c);
+  }
+  {
+    ClusterSpec c;
+    c.name = "death_rate";
+    c.attributes = {attr("covid_death_rate", Placement::kInputTable)};
+    c.driver_noise = 1.0;
+    c.topic_keywords = {"death", "mortality", "fatality"};
+    spec.clusters.push_back(c);
+  }
+
+  // 23 cluster-level edges. Coefficients are deliberately weak (plus
+  // Gaussian noise): the relations exist but are hard to recover from data
+  // alone, reproducing the paper's COVID-19 column where every data-centric
+  // baseline scores poorly and finds no mediators.
+  spec.edges = {
+      {"country", "population", 0.40, 0.0},
+      {"country", "economy", 0.40, 0.0},
+      {"country", "climate", 0.30, 0.15},
+      {"country", "healthcare", -0.25, 0.0},
+      {"country", "mobility", 0.35, 0.0},
+      {"country", "policy", -0.35, 0.0},
+      {"country", "age", 0.45, 0.0},
+      {"population", "spread", 0.05, 0.30},
+      {"population", "mobility", 0.35, 0.0},
+      {"economy", "healthcare", 0.40, 0.0},
+      {"economy", "mobility", 0.05, 0.28},
+      {"economy", "policy", -0.35, 0.0},
+      // Climate -> spread is mostly nonlinear: GPT-3 (and the ground
+      // truth) know it; the data-centric baselines cannot see it.
+      {"climate", "spread", 0.02, 0.40},
+      {"climate", "mobility", 0.20, 0.0},
+      {"policy", "spread", -0.40, 0.0},
+      {"policy", "mobility", -0.05, 0.28},
+      {"mobility", "spread", 0.35, 0.0},
+      {"age", "death_rate", 0.35, 0.0},
+      {"spread", "death_rate", 0.40, 0.0},
+      {"spread", "recovery", 0.50, 0.0},
+      {"healthcare", "death_rate", -0.30, 0.0},
+      {"healthcare", "recovery", 0.40, 0.0},
+      {"recovery", "death_rate", -0.35, 0.0},
+  };
+
+  // Functionally determined attributes the Data Organizer must discard.
+  spec.fd_attributes = {
+      {"head_of_government", /*numeric=*/false, Placement::kKnowledgeGraph,
+       ""},
+      {"calling_code", /*numeric=*/true, Placement::kLakeTable,
+       "world_population"},
+  };
+
+  spec.oracle.seed = 77;
+  spec.oracle.direct_recall = 0.99;
+  spec.oracle.transitive_claim_prob = 0.90;
+  spec.oracle.reverse_claim_prob = 0.30;
+  spec.oracle.unrelated_claim_prob = 0.12;
+  return spec;
+}
+
+}  // namespace cdi::datagen

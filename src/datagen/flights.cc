@@ -1,0 +1,166 @@
+#include "datagen/flights.h"
+
+namespace cdi::datagen {
+
+ScenarioSpec FlightsSpec() {
+  ScenarioSpec spec;
+  spec.name = "flights";
+  spec.num_entities = 900;
+  spec.entity_prefix = "City";
+  spec.entity_column = "origin_city";
+  spec.exposure_cluster = "origin";
+  spec.outcome_cluster = "delay";
+  spec.noise = NoiseKind::kLaplace;
+  spec.gaussian_members = true;  // aggregates dilute non-Gaussianity
+  spec.seed = 2020;
+  spec.one_to_many_tables = {"carrier_stats"};
+
+  auto attr = [](std::string name, Placement placement,
+                 std::string lake_table = "") {
+    AttributeSpec a;
+    a.name = std::move(name);
+    a.placement = placement;
+    a.lake_table = std::move(lake_table);
+    return a;
+  };
+
+  {
+    ClusterSpec c;
+    c.name = "origin";
+    c.attributes = {attr("origin_code", Placement::kInputTable)};
+    c.topic_keywords = {"origin", "city", "airport"};
+    spec.clusters.push_back(c);
+  }
+  {
+    ClusterSpec c;
+    c.name = "season";
+    c.attributes = {attr("month_index", Placement::kInputTable)};
+    c.driver_noise = 1.0;
+    c.topic_keywords = {"season", "month", "time"};
+    spec.clusters.push_back(c);
+  }
+  {
+    ClusterSpec c;
+    c.name = "weather";
+    c.attributes = {attr("avg_temp", Placement::kKnowledgeGraph),
+                    attr("snow_inch", Placement::kKnowledgeGraph),
+                    attr("wind_speed", Placement::kKnowledgeGraph)};
+    c.attributes[1].loading = -0.9;  // colder -> more snow
+    c.attributes[2].loading = 0.6;
+    // Snowfall is recorded only where it snows (the paper's Table 2 shows
+    // "-" for FL/CA) — MNAR missingness.
+    c.attributes[1].missing_rate = 0.04;
+    c.attributes[1].mnar_strength = 0.25;
+    c.driver_noise = 0.9;
+    c.member_noise = 0.4;
+    c.gaussian_driver = true;  // mixed-noise scenario: weather is Gaussian
+    c.topic_keywords = {"weather", "temp", "snow", "wind", "climate"};
+    spec.clusters.push_back(c);
+  }
+  {
+    ClusterSpec c;
+    c.name = "demand";
+    c.attributes = {
+        attr("passenger_volume", Placement::kLakeTable, "airport_traffic")};
+    c.driver_noise = 0.9;
+    c.gaussian_driver = true;
+    c.topic_keywords = {"demand", "passenger", "volume"};
+    spec.clusters.push_back(c);
+  }
+  {
+    ClusterSpec c;
+    c.name = "carrier";
+    c.attributes = {
+        attr("carrier_on_time_rate", Placement::kLakeTable, "carrier_stats"),
+        attr("carrier_fleet_score", Placement::kLakeTable, "carrier_stats")};
+    c.attributes[1].loading = 0.9;
+    c.driver_noise = 0.9;
+    c.member_noise = 0.4;
+    c.topic_keywords = {"carrier", "airline", "fleet"};
+    spec.clusters.push_back(c);
+  }
+  {
+    ClusterSpec c;
+    c.name = "distance";
+    c.attributes = {
+        attr("avg_route_distance", Placement::kLakeTable, "route_stats")};
+    c.driver_noise = 1.0;
+    c.gaussian_driver = true;
+    c.topic_keywords = {"distance", "route", "miles"};
+    spec.clusters.push_back(c);
+  }
+  {
+    ClusterSpec c;
+    c.name = "congestion";
+    c.attributes = {
+        attr("airport_traffic_index", Placement::kLakeTable,
+             "airport_traffic"),
+        attr("runway_utilization", Placement::kLakeTable, "airport_traffic")};
+    c.attributes[1].loading = 0.9;
+    c.attributes[0].outlier_rate = 0.008;  // sensor glitches
+    c.driver_noise = 0.8;
+    c.member_noise = 0.4;
+    c.gaussian_driver = true;
+    c.topic_keywords = {"congestion", "traffic", "runway", "capacity"};
+    spec.clusters.push_back(c);
+  }
+  {
+    ClusterSpec c;
+    c.name = "aircraft";
+    c.attributes = {attr("aircraft_age", Placement::kKnowledgeGraph)};
+    c.driver_noise = 0.9;
+    c.gaussian_driver = true;
+    c.topic_keywords = {"aircraft", "fleet", "plane"};
+    spec.clusters.push_back(c);
+  }
+  {
+    ClusterSpec c;
+    c.name = "delay";
+    c.attributes = {attr("departure_delay", Placement::kInputTable)};
+    c.driver_noise = 0.8;
+    c.gaussian_driver = true;
+    c.topic_keywords = {"delay", "departure", "late"};
+    spec.clusters.push_back(c);
+  }
+
+  // 17 cluster-level edges, stronger than COVID-19's. The season ->
+  // weather/demand edges are quadratic-only ("not present in the data" for
+  // linear methods), which removes the v-structures that would otherwise
+  // let the data-centric baselines orient the exposure's outgoing edges —
+  // reproducing the paper's finding that even with high F1 on FLIGHTS,
+  // none of them identifies a single mediator.
+  spec.edges = {
+      {"origin", "weather", 0.50, 0.0},
+      {"origin", "demand", 0.50, 0.0},
+      {"origin", "carrier", -0.50, 0.0},
+      {"distance", "congestion", 0.35, 0.0},
+      {"origin", "distance", 0.50, 0.0},
+      {"season", "weather", 0.0, 0.40},
+      {"season", "demand", 0.0, 0.35},
+      {"season", "delay", 0.22, 0.0},
+      {"weather", "congestion", 0.40, 0.0},
+      {"weather", "delay", 0.45, 0.0},
+      {"demand", "congestion", 0.40, 0.0},
+      {"demand", "delay", 0.22, 0.0},
+      {"carrier", "aircraft", -0.55, 0.0},
+      {"carrier", "delay", -0.40, 0.0},
+      {"congestion", "delay", 0.45, 0.0},
+      {"distance", "delay", 0.20, 0.0},
+      {"aircraft", "delay", 0.25, 0.0},
+  };
+
+  spec.fd_attributes = {
+      {"mayor", /*numeric=*/false, Placement::kKnowledgeGraph, ""},
+      {"airport_iata_rank", /*numeric=*/true, Placement::kLakeTable,
+       "airport_traffic"},
+  };
+
+  spec.oracle.seed = 55;
+  spec.oracle.direct_recall = 0.99;
+  spec.oracle.transitive_claim_prob = 0.90;
+  spec.oracle.reverse_claim_prob = 0.30;
+  spec.oracle.unrelated_claim_prob = 0.12;
+  return spec;
+}
+
+}  // namespace cdi::datagen

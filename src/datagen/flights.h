@@ -1,0 +1,19 @@
+#ifndef CDI_DATAGEN_FLIGHTS_H_
+#define CDI_DATAGEN_FLIGHTS_H_
+
+#include "datagen/scenario.h"
+
+namespace cdi::datagen {
+
+/// The FLIGHTS scenario of §4: 9 clusters, 17 cluster-level edges
+/// (matching the paper's |V| = 9, |E| = 17). Exposure = origin city,
+/// outcome = departure delay; true direct effect zero (mediated through
+/// weather, congestion, carrier, ...). Laplace (non-Gaussian) noise and
+/// stronger coefficients give the data-centric baselines decent skeletons
+/// — but they still cannot orient the exposure's edges, so they find no
+/// mediators (the paper's observation).
+ScenarioSpec FlightsSpec();
+
+}  // namespace cdi::datagen
+
+#endif  // CDI_DATAGEN_FLIGHTS_H_

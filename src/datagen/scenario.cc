@@ -1,0 +1,376 @@
+#include "datagen/scenario.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "stats/descriptive.h"
+
+namespace cdi::datagen {
+
+namespace {
+
+/// "Country_042"-style canonical entity name.
+std::string EntityName(const std::string& prefix, std::size_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s_%04zu", prefix.c_str(), i);
+  return std::string(buf);
+}
+
+/// Short alias, e.g. "C0042".
+std::string ShortAlias(const std::string& prefix, std::size_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%c%04zu", prefix.empty() ? 'E' : prefix[0],
+                i);
+  return std::string(buf);
+}
+
+/// Shouty alias with a space, e.g. "COUNTRY 0042".
+std::string SpacedAlias(const std::string& prefix, std::size_t i) {
+  std::string up;
+  for (char c : prefix) up += static_cast<char>(std::toupper(c));
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s %04zu", up.c_str(), i);
+  return std::string(buf);
+}
+
+Status ValidateSpec(const ScenarioSpec& spec) {
+  if (spec.clusters.empty()) return Status::InvalidArgument("no clusters");
+  if (spec.num_entities < 20) {
+    return Status::InvalidArgument("need at least 20 entities");
+  }
+  std::map<std::string, std::size_t> order;
+  for (std::size_t i = 0; i < spec.clusters.size(); ++i) {
+    const auto& c = spec.clusters[i];
+    if (c.attributes.empty()) {
+      return Status::InvalidArgument("cluster '" + c.name +
+                                     "' has no attributes");
+    }
+    if (!order.emplace(c.name, i).second) {
+      return Status::InvalidArgument("duplicate cluster '" + c.name + "'");
+    }
+  }
+  if (order.count(spec.exposure_cluster) == 0 ||
+      order.count(spec.outcome_cluster) == 0) {
+    return Status::InvalidArgument("exposure/outcome cluster missing");
+  }
+  for (const auto& e : spec.edges) {
+    auto f = order.find(e.from);
+    auto t = order.find(e.to);
+    if (f == order.end() || t == order.end()) {
+      return Status::InvalidArgument("edge endpoint missing: " + e.from +
+                                     " -> " + e.to);
+    }
+    if (f->second >= t->second) {
+      return Status::InvalidArgument(
+          "clusters must be listed in topological order (" + e.from +
+          " -> " + e.to + ")");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Scenario>> BuildScenario(const ScenarioSpec& spec) {
+  CDI_RETURN_IF_ERROR(ValidateSpec(spec));
+  auto scenario = std::make_unique<Scenario>();
+  scenario->spec = spec;
+  const std::size_t n = spec.num_entities;
+
+  // ---- 1. Structural causal model over all attributes. ------------------
+  Scm scm;
+  for (const auto& cluster : spec.clusters) {
+    // Driver equation.
+    ScmNodeSpec driver;
+    driver.name = cluster.attributes[0].name;
+    driver.noise =
+        cluster.gaussian_driver ? NoiseKind::kGaussian : spec.noise;
+    driver.noise_scale = cluster.driver_noise;
+    if (cluster.name == spec.exposure_cluster) {
+      driver.is_exposure_code = true;
+      driver.gaussian_code = spec.gaussian_exposure_code;
+    } else {
+      for (const auto& e : spec.edges) {
+        if (e.to != cluster.name) continue;
+        // Cluster-level influence flows through the parent cluster's
+        // driver attribute (members are noisy indicators of the driver,
+        // so routing through them would attenuate — or, with mixed-sign
+        // loadings, cancel — the designed effect).
+        const ClusterSpec* parent = nullptr;
+        for (const auto& c : spec.clusters) {
+          if (c.name == e.from) parent = &c;
+        }
+        CDI_CHECK(parent != nullptr);
+        const std::string& parent_driver = parent->attributes[0].name;
+        driver.parents.emplace_back(parent_driver, e.coef);
+        if (e.quad != 0.0) {
+          driver.quad_parents.emplace_back(parent_driver, e.quad);
+        }
+      }
+    }
+    CDI_RETURN_IF_ERROR(scm.AddNode(std::move(driver)));
+    // Member equations: member = loading * driver + noise.
+    for (std::size_t m = 1; m < cluster.attributes.size(); ++m) {
+      ScmNodeSpec member;
+      member.name = cluster.attributes[m].name;
+      member.parents.emplace_back(cluster.attributes[0].name,
+                                  cluster.attributes[m].loading);
+      member.noise = spec.gaussian_members ? NoiseKind::kGaussian : spec.noise;
+      member.noise_scale = cluster.member_noise;
+      CDI_RETURN_IF_ERROR(scm.AddNode(std::move(member)));
+    }
+  }
+
+  Rng rng(spec.seed);
+  CDI_ASSIGN_OR_RETURN(scenario->clean_data, scm.Generate(n, &rng));
+  scenario->attribute_dag = scm.dag();
+
+  // ---- 2. Ground-truth cluster DAG & bookkeeping. ------------------------
+  {
+    std::vector<std::string> cluster_names;
+    for (const auto& c : spec.clusters) cluster_names.push_back(c.name);
+    scenario->cluster_dag = graph::Digraph(cluster_names);
+    for (const auto& e : spec.edges) {
+      CDI_RETURN_IF_ERROR(scenario->cluster_dag.AddEdge(e.from, e.to));
+    }
+  }
+  for (const auto& c : spec.clusters) {
+    for (const auto& a : c.attributes) {
+      scenario->cluster_members[c.name].push_back(a.name);
+      scenario->attr_to_cluster[a.name] = c.name;
+    }
+  }
+  scenario->exposure_attribute =
+      scenario->cluster_members.at(spec.exposure_cluster)[0];
+  scenario->outcome_attribute =
+      scenario->cluster_members.at(spec.outcome_cluster)[0];
+
+  // ---- 3. Entity names + aliases. ----------------------------------------
+  for (std::size_t i = 0; i < n; ++i) {
+    scenario->entity_names.push_back(EntityName(spec.entity_prefix, i));
+  }
+
+  // ---- 4. Quality injection (observed copies of each column). ------------
+  Rng quality_rng = rng.Fork(101);
+  std::map<std::string, std::vector<double>> observed = scenario->clean_data;
+  for (const auto& cluster : spec.clusters) {
+    for (const auto& attr : cluster.attributes) {
+      auto& col = observed.at(attr.name);
+      const double mean = stats::Mean(col);
+      const double sd = stats::StdDev(col);
+      for (std::size_t r = 0; r < n; ++r) {
+        if (attr.outlier_rate > 0 &&
+            quality_rng.Bernoulli(attr.outlier_rate)) {
+          col[r] = mean + (col[r] - mean) * 50.0;
+          continue;
+        }
+        double p_missing = attr.missing_rate;
+        if (attr.mnar_strength > 0 && sd > 0) {
+          const double z = (scenario->clean_data.at(attr.name)[r] - mean) / sd;
+          p_missing += attr.mnar_strength * std::clamp(z, 0.0, 2.0) / 2.0;
+        }
+        if (p_missing > 0 && quality_rng.Bernoulli(std::min(0.9, p_missing))) {
+          col[r] = std::nan("");
+        }
+      }
+    }
+  }
+
+  // ---- 5. Input table. ----------------------------------------------------
+  {
+    Rng alias_rng = rng.Fork(202);
+    std::vector<std::string> entity_cells;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (alias_rng.Bernoulli(spec.alias_fraction)) {
+        entity_cells.push_back(alias_rng.Bernoulli(0.5)
+                                   ? ShortAlias(spec.entity_prefix, i)
+                                   : SpacedAlias(spec.entity_prefix, i));
+      } else {
+        entity_cells.push_back(scenario->entity_names[i]);
+      }
+    }
+    table::Table t(spec.name + "_input");
+    CDI_RETURN_IF_ERROR(t.AddColumn(
+        table::Column::FromStrings(spec.entity_column, entity_cells)));
+    CDI_RETURN_IF_ERROR(t.AddColumn(table::Column::FromDoubles(
+        scenario->exposure_attribute,
+        observed.at(scenario->exposure_attribute))));
+    CDI_RETURN_IF_ERROR(t.AddColumn(table::Column::FromDoubles(
+        scenario->outcome_attribute,
+        observed.at(scenario->outcome_attribute))));
+    for (const auto& cluster : spec.clusters) {
+      for (const auto& attr : cluster.attributes) {
+        if (attr.placement != Placement::kInputTable) continue;
+        if (attr.name == scenario->exposure_attribute ||
+            attr.name == scenario->outcome_attribute) {
+          continue;
+        }
+        CDI_RETURN_IF_ERROR(t.AddColumn(table::Column::FromDoubles(
+            attr.name, observed.at(attr.name))));
+      }
+    }
+    scenario->input_table = std::move(t);
+  }
+
+  // ---- 6. Knowledge graph. -------------------------------------------------
+  {
+    Rng kg_rng = rng.Fork(303);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string& e = scenario->entity_names[i];
+      for (const auto& cluster : spec.clusters) {
+        for (const auto& attr : cluster.attributes) {
+          if (attr.placement != Placement::kKnowledgeGraph) continue;
+          const double v = observed.at(attr.name)[i];
+          if (std::isnan(v)) continue;  // missing extraction
+          scenario->kg.AddLiteral(e, attr.name, table::Value(v));
+        }
+      }
+      // Functionally determined attributes.
+      for (const auto& fd : spec.fd_attributes) {
+        if (fd.placement != Placement::kKnowledgeGraph) continue;
+        if (fd.numeric) {
+          scenario->kg.AddLiteral(
+              e, fd.name, table::Value(7.0 * static_cast<double>(i) + 3.0));
+        } else {
+          scenario->kg.AddLiteral(
+              e, fd.name, table::Value(fd.name + "_of_" + e));
+        }
+      }
+      // A followable link to an entity with an irrelevant property — the
+      // extractor's relevance filter must discard it.
+      const std::string capital = "Capital_of_" + e;
+      scenario->kg.AddLiteral(capital, "capital_elevation",
+                              table::Value(kg_rng.Normal(300.0, 120.0)));
+      scenario->kg.AddLink(e, "capital", capital);
+      // Aliases for disambiguation.
+      scenario->kg.AddAlias(e, ShortAlias(spec.entity_prefix, i));
+      scenario->kg.AddAlias(e, SpacedAlias(spec.entity_prefix, i));
+    }
+  }
+
+  // ---- 7. Data lake. --------------------------------------------------------
+  {
+    Rng lake_rng = rng.Fork(404);
+    // Group lake-placed attributes by table.
+    std::map<std::string, std::vector<const AttributeSpec*>> by_table;
+    for (const auto& cluster : spec.clusters) {
+      for (const auto& attr : cluster.attributes) {
+        if (attr.placement == Placement::kLakeTable) {
+          by_table[attr.lake_table.empty() ? "lake_misc" : attr.lake_table]
+              .push_back(&attr);
+        }
+      }
+    }
+    std::map<std::string, std::vector<const FdAttributeSpec*>> fd_by_table;
+    for (const auto& fd : spec.fd_attributes) {
+      if (fd.placement == Placement::kLakeTable) {
+        fd_by_table[fd.lake_table.empty() ? "lake_misc" : fd.lake_table]
+            .push_back(&fd);
+      }
+    }
+    std::set<std::string> table_names;
+    for (const auto& [name, v] : by_table) table_names.insert(name);
+    for (const auto& [name, v] : fd_by_table) table_names.insert(name);
+
+    for (const auto& tname : table_names) {
+      const bool one_to_many = spec.one_to_many_tables.count(tname) > 0;
+      const std::size_t copies = one_to_many ? 3 : 1;
+      std::vector<std::string> keys;
+      std::map<std::string, std::vector<double>> cols;
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t k = 0; k < copies; ++k) {
+          // Lake tables spell keys in their own style.
+          keys.push_back(SpacedAlias(spec.entity_prefix, i));
+          auto bt = by_table.find(tname);
+          if (bt != by_table.end()) {
+            for (const AttributeSpec* attr : bt->second) {
+              double v = observed.at(attr->name)[i];
+              if (!std::isnan(v) && one_to_many) {
+                v += lake_rng.Normal(0.0, 0.05 * (std::fabs(v) + 1.0));
+              }
+              cols[attr->name].push_back(v);
+            }
+          }
+          auto ft = fd_by_table.find(tname);
+          if (ft != fd_by_table.end()) {
+            for (const FdAttributeSpec* fd : ft->second) {
+              cols[fd->name].push_back(7.0 * static_cast<double>(i) + 3.0);
+            }
+          }
+        }
+      }
+      table::Table t(tname);
+      CDI_RETURN_IF_ERROR(
+          t.AddColumn(table::Column::FromStrings("name", keys)));
+      auto bt = by_table.find(tname);
+      if (bt != by_table.end()) {
+        for (const AttributeSpec* attr : bt->second) {
+          CDI_RETURN_IF_ERROR(t.AddColumn(
+              table::Column::FromDoubles(attr->name, cols.at(attr->name))));
+        }
+      }
+      auto ft = fd_by_table.find(tname);
+      if (ft != fd_by_table.end()) {
+        for (const FdAttributeSpec* fd : ft->second) {
+          CDI_RETURN_IF_ERROR(t.AddColumn(
+              table::Column::FromDoubles(fd->name, cols.at(fd->name))));
+        }
+      }
+      // Duplicate-row injection.
+      if (spec.duplicate_row_rate > 0) {
+        std::vector<std::size_t> rows;
+        for (std::size_t r = 0; r < t.num_rows(); ++r) {
+          rows.push_back(r);
+          if (lake_rng.Bernoulli(spec.duplicate_row_rate)) rows.push_back(r);
+        }
+        t = t.TakeRows(rows);
+        t.set_name(tname);
+      }
+      scenario->lake.AddTable(std::move(t));
+    }
+    // A decoy table with no relationship to the scenario at all — the
+    // joinability search must skip it.
+    {
+      std::vector<std::string> keys;
+      std::vector<double> vals;
+      for (std::size_t i = 0; i < 50; ++i) {
+        keys.push_back("Product_" + std::to_string(i));
+        vals.push_back(lake_rng.Normal(10.0, 2.0));
+      }
+      table::Table decoy("unrelated_products");
+      CDI_RETURN_IF_ERROR(
+          decoy.AddColumn(table::Column::FromStrings("product", keys)));
+      CDI_RETURN_IF_ERROR(
+          decoy.AddColumn(table::Column::FromDoubles("price", vals)));
+      scenario->lake.AddTable(std::move(decoy));
+    }
+  }
+
+  // ---- 8. Oracle + topics. ---------------------------------------------------
+  {
+    knowledge::OracleOptions oracle_options = spec.oracle;
+    oracle_options.seed ^= spec.seed * 0x9E3779B97F4A7C15ULL;
+    scenario->oracle = std::make_unique<knowledge::TextCausalOracle>(
+        scenario->cluster_dag, oracle_options);
+    for (const auto& [attr, cluster] : scenario->attr_to_cluster) {
+      scenario->oracle->RegisterAlias(attr, cluster);
+    }
+    scenario->oracle->RegisterAlias(spec.entity_column, spec.exposure_cluster);
+
+    for (const auto& cluster : spec.clusters) {
+      std::vector<std::string> keywords = cluster.topic_keywords;
+      keywords.push_back(cluster.name);
+      for (const auto& attr : cluster.attributes) {
+        keywords.push_back(attr.name);
+      }
+      scenario->topics.AddTopic(cluster.name, keywords);
+    }
+  }
+
+  return scenario;
+}
+
+}  // namespace cdi::datagen

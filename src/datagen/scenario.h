@@ -1,0 +1,154 @@
+#ifndef CDI_DATAGEN_SCENARIO_H_
+#define CDI_DATAGEN_SCENARIO_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/scm.h"
+#include "graph/digraph.h"
+#include "knowledge/data_lake.h"
+#include "knowledge/knowledge_graph.h"
+#include "knowledge/text_oracle.h"
+#include "knowledge/topic_model.h"
+#include "table/table.h"
+
+namespace cdi::datagen {
+
+/// Where a generated attribute is observable from.
+enum class Placement {
+  kInputTable,      ///< the analyst already has it
+  kKnowledgeGraph,  ///< a per-entity property in the simulated DBpedia
+  kLakeTable,       ///< a column of some simulated open-data table
+};
+
+/// One low-level attribute inside a cluster. The first attribute of each
+/// cluster is its *driver*: cross-cluster causal influence flows through it
+/// (parent attributes -> driver -> sibling members), which yields a
+/// well-defined full attribute-level DAG.
+struct AttributeSpec {
+  std::string name;
+  /// Loading of a member on its cluster driver (ignored for the driver).
+  double loading = 1.0;
+  Placement placement = Placement::kKnowledgeGraph;
+  /// Target table name when placement == kLakeTable.
+  std::string lake_table;
+  /// Base missing-completely-at-random rate.
+  double missing_rate = 0.0;
+  /// Extra missingness for high values (missing-not-at-random): rows with
+  /// positive z-score go missing with additional probability
+  /// mnar_strength * min(z, 2)/2 — the paper's selection-bias failure mode.
+  double mnar_strength = 0.0;
+  /// Fraction of cells corrupted into gross outliers (x50 scale).
+  double outlier_rate = 0.0;
+};
+
+struct ClusterSpec {
+  std::string name;
+  /// Attributes; attributes[0] is the driver.
+  std::vector<AttributeSpec> attributes;
+  /// Structural-noise scale of the driver equation.
+  double driver_noise = 1.0;
+  /// Force Gaussian noise on this cluster's driver even when the scenario
+  /// noise is non-Gaussian (mixed-noise scenarios degrade LiNGAM).
+  bool gaussian_driver = false;
+  /// Noise scale of member equations.
+  double member_noise = 0.5;
+  /// Keywords for topic assignment (attribute names are added
+  /// automatically).
+  std::vector<std::string> topic_keywords;
+};
+
+/// Cluster-level causal edge with its structural coefficient (applied to
+/// the standardized mean of the parent cluster's attributes).
+struct ClusterEdgeSpec {
+  std::string from;
+  std::string to;
+  double coef = 0.5;
+  /// Quadratic component (on parent^2 - 1): invisible to linear methods
+  /// and Pearson CI tests. Edges whose signal is mostly quadratic are
+  /// "relations not present in the data" — the text oracle still knows
+  /// them, the data-centric baselines do not.
+  double quad = 0.0;
+};
+
+/// An attribute functionally determined by the entity itself (e.g.
+/// governor, international calling code). These violate strict positivity
+/// w.r.t. the exposure and must be discarded by the Data Organizer.
+struct FdAttributeSpec {
+  std::string name;
+  bool numeric = false;
+  Placement placement = Placement::kKnowledgeGraph;
+  std::string lake_table;
+};
+
+struct ScenarioSpec {
+  std::string name;
+  std::size_t num_entities = 500;
+  /// Entity naming: "<prefix>_<index>"; e.g. "Country_042".
+  std::string entity_prefix = "Entity";
+  /// Name of the entity key column in the input table.
+  std::string entity_column = "entity";
+  std::string exposure_cluster;
+  std::string outcome_cluster;
+  /// Clusters in topological order of `edges`.
+  std::vector<ClusterSpec> clusters;
+  std::vector<ClusterEdgeSpec> edges;
+  std::vector<FdAttributeSpec> fd_attributes;
+  NoiseKind noise = NoiseKind::kGaussian;
+  /// Member equations use Gaussian noise even when `noise` is
+  /// non-Gaussian (dilutes LiNGAM's advantage, as real aggregates do).
+  bool gaussian_members = false;
+  /// Exposure codes follow Gaussian quantiles instead of uniform spacing
+  /// (with Gaussian structural noise this makes the SEM unidentifiable
+  /// for LiNGAM — the paper's COVID-19 regime).
+  bool gaussian_exposure_code = false;
+  knowledge::OracleOptions oracle;
+  uint64_t seed = 7;
+  /// Fraction of duplicated rows injected into every lake table.
+  double duplicate_row_rate = 0.04;
+  /// Fraction of input-table entity cells written as an alias spelling
+  /// ("C042" instead of "Country_042") — exercises entity linking.
+  double alias_fraction = 0.25;
+  /// Lake tables listed here are emitted in one-to-many form (three noisy
+  /// observation rows per entity) — exercises aggregation in the join.
+  std::set<std::string> one_to_many_tables;
+};
+
+/// A fully materialized benchmark scenario.
+struct Scenario {
+  ScenarioSpec spec;
+  /// Ground-truth cluster-level causal DAG (the paper's C-DAG).
+  graph::Digraph cluster_dag;
+  /// Ground-truth full attribute-level DAG.
+  graph::Digraph attribute_dag;
+  /// Cluster name -> member attribute names (driver first).
+  std::map<std::string, std::vector<std::string>> cluster_members;
+  /// Attribute name -> owning cluster.
+  std::map<std::string, std::string> attr_to_cluster;
+  /// Exposure / outcome *attributes* (each a singleton cluster's driver).
+  std::string exposure_attribute;
+  std::string outcome_attribute;
+  /// What the analyst starts with.
+  table::Table input_table;
+  knowledge::KnowledgeGraph kg;
+  knowledge::DataLake lake;
+  std::unique_ptr<knowledge::TextCausalOracle> oracle;
+  knowledge::TopicModel topics;
+  /// Clean generated data (pre quality-injection), for tests.
+  std::map<std::string, std::vector<double>> clean_data;
+  std::vector<std::string> entity_names;
+};
+
+/// Materializes a scenario: runs the SCM, splits attributes across the
+/// input table / knowledge graph / data lake, injects the specified data
+/// quality problems, and wires up the oracle and topic lexicon.
+/// Fully deterministic given spec.seed.
+Result<std::unique_ptr<Scenario>> BuildScenario(const ScenarioSpec& spec);
+
+}  // namespace cdi::datagen
+
+#endif  // CDI_DATAGEN_SCENARIO_H_

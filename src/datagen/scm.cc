@@ -1,0 +1,91 @@
+#include "datagen/scm.h"
+
+#include <cmath>
+
+#include "stats/distributions.h"
+
+namespace cdi::datagen {
+
+Status Scm::AddNode(ScmNodeSpec spec) {
+  if (index_.count(spec.name) > 0) {
+    return Status::AlreadyExists("attribute '" + spec.name + "' exists");
+  }
+  for (const auto& [p, coef] : spec.parents) {
+    if (index_.count(p) == 0) {
+      return Status::InvalidArgument("parent '" + p +
+                                     "' undeclared (order must be "
+                                     "topological)");
+    }
+  }
+  for (const auto& [p, coef] : spec.quad_parents) {
+    if (index_.count(p) == 0) {
+      return Status::InvalidArgument("quad parent '" + p + "' undeclared");
+    }
+  }
+  CDI_ASSIGN_OR_RETURN(graph::NodeId id, dag_.AddNode(spec.name));
+  (void)id;
+  for (const auto& [p, coef] : spec.parents) {
+    CDI_RETURN_IF_ERROR(dag_.AddEdge(p, spec.name));
+  }
+  for (const auto& [p, coef] : spec.quad_parents) {
+    CDI_RETURN_IF_ERROR(dag_.AddEdge(p, spec.name));
+  }
+  index_[spec.name] = nodes_.size();
+  nodes_.push_back(std::move(spec));
+  return Status::OK();
+}
+
+Result<std::map<std::string, std::vector<double>>> Scm::Generate(
+    std::size_t n, Rng* rng) const {
+  if (n == 0) return Status::InvalidArgument("n must be positive");
+  std::map<std::string, std::vector<double>> data;
+  for (const auto& node : nodes_) {
+    std::vector<double> col(n, 0.0);
+    if (node.is_exposure_code) {
+      // Evenly spaced codes in [-sqrt(3), sqrt(3)] (unit variance, like
+      // the standardized structural noise); deterministic in the row
+      // index so the code doubles as the entity identifier.
+      if (node.gaussian_code) {
+        for (std::size_t r = 0; r < n; ++r) {
+          col[r] = stats::NormalQuantile(
+              (static_cast<double>(r) + 0.5) / static_cast<double>(n));
+        }
+      } else {
+        const double half_range = std::sqrt(3.0);
+        for (std::size_t r = 0; r < n; ++r) {
+          col[r] = n == 1 ? 0.0
+                          : half_range *
+                                (-1.0 + 2.0 * static_cast<double>(r) /
+                                            static_cast<double>(n - 1));
+        }
+      }
+    } else {
+      for (std::size_t r = 0; r < n; ++r) {
+        double v = 0;
+        for (const auto& [p, coef] : node.parents) {
+          v += coef * data.at(p)[r];
+        }
+        for (const auto& [p, coef] : node.quad_parents) {
+          const double x = data.at(p)[r];
+          v += coef * (x * x - 1.0);
+        }
+        switch (node.noise) {
+          case NoiseKind::kGaussian:
+            v += rng->Normal(0.0, node.noise_scale);
+            break;
+          case NoiseKind::kLaplace:
+            v += rng->Laplace(node.noise_scale / std::sqrt(2.0));
+            break;
+          case NoiseKind::kUniform:
+            v += rng->UniformNoise(node.noise_scale * std::sqrt(3.0));
+            break;
+        }
+        col[r] = v;
+      }
+    }
+    data[node.name] = std::move(col);
+  }
+  return data;
+}
+
+}  // namespace cdi::datagen

@@ -1,0 +1,69 @@
+#ifndef CDI_DATAGEN_SCM_H_
+#define CDI_DATAGEN_SCM_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/digraph.h"
+
+namespace cdi::datagen {
+
+/// Noise family of a structural equation. FLIGHTS uses non-Gaussian noise
+/// (LiNGAM's assumption holds there), COVID-19 Gaussian (LiNGAM degrades,
+/// matching Table 3).
+enum class NoiseKind { kGaussian, kLaplace, kUniform };
+
+/// One structural equation: value = sum_i coef_i * parent_i + noise.
+struct ScmNodeSpec {
+  std::string name;
+  /// (parent attribute name, coefficient) pairs; parents must be declared
+  /// before children.
+  std::vector<std::pair<std::string, double>> parents;
+  double noise_scale = 1.0;
+  NoiseKind noise = NoiseKind::kGaussian;
+  /// When true, the node ignores parents/noise and takes deterministic,
+  /// evenly spread unit-variance values over the entities (the exposure
+  /// code).
+  bool is_exposure_code = false;
+  /// Distribution shape of the exposure code: uniform spacing (default,
+  /// sub-Gaussian) or Gaussian quantiles. An all-Gaussian SEM (Gaussian
+  /// code + Gaussian noise) is unidentifiable for LiNGAM.
+  bool gaussian_code = false;
+  /// Quadratic terms: value += coef * (parent^2 - 1). Linear methods (and
+  /// Pearson-based CI tests) are blind to these — used to make relations
+  /// "not present in the data" for the data-centric baselines while the
+  /// text oracle still knows them.
+  std::vector<std::pair<std::string, double>> quad_parents;
+};
+
+/// A linear(-ish) structural causal model over named attributes. The node
+/// order given to AddNode must be topological; Generate produces n i.i.d.
+/// samples (one per entity).
+class Scm {
+ public:
+  /// Declares a node; all parents must already exist.
+  Status AddNode(ScmNodeSpec spec);
+
+  /// Ground-truth DAG over the attributes.
+  const graph::Digraph& dag() const { return dag_; }
+
+  const std::vector<ScmNodeSpec>& nodes() const { return nodes_; }
+
+  /// Samples n rows; returns column vectors keyed by attribute name.
+  /// Deterministic given `rng`'s state.
+  Result<std::map<std::string, std::vector<double>>> Generate(
+      std::size_t n, Rng* rng) const;
+
+ private:
+  std::vector<ScmNodeSpec> nodes_;
+  std::map<std::string, std::size_t> index_;
+  graph::Digraph dag_;
+};
+
+}  // namespace cdi::datagen
+
+#endif  // CDI_DATAGEN_SCM_H_

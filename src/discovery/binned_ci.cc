@@ -1,0 +1,47 @@
+#include "discovery/binned_ci.h"
+
+#include "stats/independence.h"
+
+namespace cdi::discovery {
+
+Result<std::unique_ptr<BinnedChiSquareTest>> BinnedChiSquareTest::Create(
+    const std::vector<std::vector<double>>& data, int bins) {
+  if (data.empty()) return Status::InvalidArgument("no variables");
+  if (bins < 2 || bins > 8) {
+    return Status::InvalidArgument("bins must be in [2, 8]");
+  }
+  std::vector<std::vector<int>> codes;
+  codes.reserve(data.size());
+  for (const auto& col : data) {
+    if (col.size() != data[0].size()) {
+      return Status::InvalidArgument("ragged data");
+    }
+    codes.push_back(stats::QuantileBin(col, bins));
+  }
+  return std::unique_ptr<BinnedChiSquareTest>(
+      new BinnedChiSquareTest(std::move(codes)));
+}
+
+double BinnedChiSquareTest::PValue(std::size_t x, std::size_t y,
+                                   const std::vector<std::size_t>& s) const {
+  ++calls;
+  if (x >= codes_.size() || y >= codes_.size()) return 1.0;
+  std::vector<std::vector<int>> z;
+  for (std::size_t idx : s) {
+    if (idx >= codes_.size()) return 1.0;
+    z.push_back(codes_[idx]);
+  }
+  auto r = stats::ConditionalChiSquare(codes_[x], codes_[y], z);
+  return r.ok() ? r->p_value : 1.0;
+}
+
+double BinnedChiSquareTest::Strength(
+    std::size_t x, std::size_t y, const std::vector<std::size_t>& s) const {
+  if (x >= codes_.size() || y >= codes_.size()) return 0.0;
+  std::vector<std::vector<int>> z;
+  for (std::size_t idx : s) z.push_back(codes_[idx]);
+  auto r = stats::ConditionalChiSquare(codes_[x], codes_[y], z);
+  return r.ok() ? r->strength : 0.0;
+}
+
+}  // namespace cdi::discovery

@@ -1,0 +1,84 @@
+#include "discovery/discovery.h"
+
+#include "discovery/ci_test.h"
+#include "discovery/fci.h"
+#include "discovery/pc.h"
+
+namespace cdi::discovery {
+
+const char* AlgorithmName(Algorithm a) {
+  switch (a) {
+    case Algorithm::kPc:
+      return "PC";
+    case Algorithm::kFci:
+      return "FCI";
+    case Algorithm::kGes:
+      return "GES";
+    case Algorithm::kLingam:
+      return "LiNGAM";
+  }
+  return "?";
+}
+
+Result<DiscoverySummary> RunDiscovery(
+    const std::vector<std::vector<double>>& data,
+    const std::vector<std::string>& names, Algorithm algorithm,
+    const DiscoveryOptions& options) {
+  DiscoverySummary out;
+  out.algorithm = algorithm;
+  switch (algorithm) {
+    case Algorithm::kPc: {
+      stats::NumericDataset ds;
+      ds.columns = data;
+      CDI_ASSIGN_OR_RETURN(auto test, FisherZTest::Create(ds));
+      PcOptions pc;
+      pc.alpha = options.alpha;
+      pc.max_cond_size = options.max_cond_size;
+      CDI_ASSIGN_OR_RETURN(PcResult r, RunPc(*test, names, pc));
+      out.claims = r.graph.ToDirectedClaims();
+      out.definite = r.graph.DirectedEdges();
+      out.ci_tests = r.ci_tests;
+      return out;
+    }
+    case Algorithm::kFci: {
+      stats::NumericDataset ds;
+      ds.columns = data;
+      CDI_ASSIGN_OR_RETURN(auto test, FisherZTest::Create(ds));
+      FciOptions fci;
+      fci.alpha = options.alpha;
+      fci.max_cond_size = options.max_cond_size;
+      CDI_ASSIGN_OR_RETURN(FciResult r, RunFci(*test, names, fci));
+      out.claims = r.graph.ToDirectedClaims();
+      for (const auto& [u, v] : r.graph.EdgePairs()) {
+        auto mu = r.graph.MarkAt(u, v, u);
+        auto mv = r.graph.MarkAt(u, v, v);
+        if (mu.ok() && mv.ok() && *mu == graph::EndMark::kTail &&
+            *mv == graph::EndMark::kArrow) {
+          out.definite.emplace_back(u, v);
+        }
+        if (mu.ok() && mv.ok() && *mv == graph::EndMark::kTail &&
+            *mu == graph::EndMark::kArrow) {
+          out.definite.emplace_back(v, u);
+        }
+      }
+      out.ci_tests = r.ci_tests;
+      return out;
+    }
+    case Algorithm::kGes: {
+      CDI_ASSIGN_OR_RETURN(GesResult r, RunGes(data, names, options.ges));
+      out.claims = r.cpdag.ToDirectedClaims();
+      out.definite = r.cpdag.DirectedEdges();
+      return out;
+    }
+    case Algorithm::kLingam: {
+      CDI_ASSIGN_OR_RETURN(LingamResult r,
+                           RunDirectLingam(data, names, options.lingam));
+      out.claims = r.dag.Edges();
+      out.definite = r.dag.Edges();
+      return out;
+    }
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+}  // namespace cdi::discovery

@@ -1,0 +1,136 @@
+#include "discovery/fci.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cdi::discovery {
+
+namespace {
+
+std::pair<std::size_t, std::size_t> Key(std::size_t a, std::size_t b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+bool InSepset(const SepsetMap& sepsets, std::size_t x, std::size_t y,
+              std::size_t z) {
+  const auto it = sepsets.find(Key(x, y));
+  if (it == sepsets.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), z) !=
+         it->second.end();
+}
+
+}  // namespace
+
+Result<FciResult> RunFci(const CiTest& test,
+                         const std::vector<std::string>& names,
+                         const FciOptions& options) {
+  if (names.size() != test.num_vars()) {
+    return Status::InvalidArgument("names/test size mismatch");
+  }
+  const std::size_t calls_before = test.calls;
+
+  PcOptions pc_options;
+  pc_options.alpha = options.alpha;
+  pc_options.max_cond_size = options.max_cond_size;
+  std::vector<std::set<std::size_t>> adjacency;
+  SepsetMap sepsets;
+  CDI_RETURN_IF_ERROR(PcSkeleton(test, pc_options, &adjacency, &sepsets));
+
+  const std::size_t p = test.num_vars();
+  graph::Pag g(names);
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j : adjacency[i]) {
+      if (i < j) CDI_RETURN_IF_ERROR(g.AddEdge(i, j));
+    }
+  }
+
+  // Collider orientation: for unshielded x *-* z *-* y with z not in
+  // sepset(x, y), put arrowheads at z.
+  for (std::size_t z = 0; z < p; ++z) {
+    for (std::size_t x = 0; x < p; ++x) {
+      if (x == z || !g.Adjacent(x, z)) continue;
+      for (std::size_t y = x + 1; y < p; ++y) {
+        if (y == z || !g.Adjacent(y, z) || g.Adjacent(x, y)) continue;
+        if (!InSepset(sepsets, x, y, z)) {
+          CDI_RETURN_IF_ERROR(g.SetMark(x, z, z, graph::EndMark::kArrow));
+          CDI_RETURN_IF_ERROR(g.SetMark(y, z, z, graph::EndMark::kArrow));
+        }
+      }
+    }
+  }
+
+  // Zhang's rules R1-R3 to a fixed point.
+  auto mark = [&](std::size_t a, std::size_t b,
+                  std::size_t at) -> graph::EndMark {
+    auto m = g.MarkAt(a, b, at);
+    CDI_CHECK(m.ok());
+    return *m;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t b = 0; b < p; ++b) {
+      for (std::size_t c : g.AdjacentNodes(b)) {
+        // R1: a *-> b o-* c, a and c nonadjacent  =>  b -> c
+        // (tail at b, arrow at c).
+        for (std::size_t a : g.AdjacentNodes(b)) {
+          if (a == c || g.Adjacent(a, c) || a == b) continue;
+          if (mark(a, b, b) == graph::EndMark::kArrow &&
+              mark(b, c, b) == graph::EndMark::kCircle) {
+            CDI_RETURN_IF_ERROR(g.SetMark(b, c, b, graph::EndMark::kTail));
+            CDI_RETURN_IF_ERROR(g.SetMark(b, c, c, graph::EndMark::kArrow));
+            changed = true;
+          }
+        }
+        // R2: (a -> b *-> c or a *-> b -> c) and a *-o c  =>  a *-> c.
+        for (std::size_t a : g.AdjacentNodes(c)) {
+          if (a == b || !g.Adjacent(a, b)) continue;
+          if (mark(a, c, c) != graph::EndMark::kCircle) continue;
+          const bool chain1 = mark(a, b, b) == graph::EndMark::kArrow &&
+                              mark(a, b, a) == graph::EndMark::kTail &&
+                              mark(b, c, c) == graph::EndMark::kArrow;
+          const bool chain2 = mark(a, b, b) == graph::EndMark::kArrow &&
+                              mark(b, c, c) == graph::EndMark::kArrow &&
+                              mark(b, c, b) == graph::EndMark::kTail;
+          if (chain1 || chain2) {
+            CDI_RETURN_IF_ERROR(g.SetMark(a, c, c, graph::EndMark::kArrow));
+            changed = true;
+          }
+        }
+      }
+    }
+    // R3: a *-> b <-* c, a *-o d o-* c, a and c nonadjacent, d *-o b
+    //   =>  d *-> b.
+    for (std::size_t b = 0; b < p; ++b) {
+      for (std::size_t d : g.AdjacentNodes(b)) {
+        if (mark(d, b, b) != graph::EndMark::kCircle) continue;
+        const auto nbrs = g.AdjacentNodes(b);
+        bool done = false;
+        for (std::size_t a : nbrs) {
+          if (done) break;
+          if (a == d || !g.Adjacent(a, d)) continue;
+          if (mark(a, b, b) != graph::EndMark::kArrow) continue;
+          if (mark(a, d, d) != graph::EndMark::kCircle) continue;
+          for (std::size_t c : nbrs) {
+            if (c == a || c == d || g.Adjacent(a, c) || !g.Adjacent(c, d)) {
+              continue;
+            }
+            if (mark(c, b, b) != graph::EndMark::kArrow) continue;
+            if (mark(c, d, d) != graph::EndMark::kCircle) continue;
+            CDI_RETURN_IF_ERROR(g.SetMark(d, b, b, graph::EndMark::kArrow));
+            changed = true;
+            done = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  FciResult result;
+  result.graph = std::move(g);
+  result.ci_tests = test.calls - calls_before;
+  return result;
+}
+
+}  // namespace cdi::discovery

@@ -1,0 +1,37 @@
+#ifndef CDI_DISCOVERY_FCI_H_
+#define CDI_DISCOVERY_FCI_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "discovery/ci_test.h"
+#include "discovery/pc.h"
+#include "graph/pag.h"
+
+namespace cdi::discovery {
+
+struct FciOptions {
+  double alpha = 0.05;
+  int max_cond_size = -1;
+};
+
+struct FciResult {
+  graph::Pag graph;
+  std::size_t ci_tests = 0;
+};
+
+/// The FCI algorithm (Spirtes et al. 2000) in its commonly used simplified
+/// form (as in RFCI): PC skeleton + sepsets, collider orientation with
+/// circle endpoints elsewhere, then Zhang's orientation rules R1-R3 to a
+/// fixed point. The Possible-D-SEP pruning pass and discriminating-path
+/// rule R4 are omitted — on the latent-free scenarios CDI evaluates they
+/// change nothing, and this matches the behaviour the paper reports
+/// (FCI being the most conservative baseline with many circle endpoints).
+Result<FciResult> RunFci(const CiTest& test,
+                         const std::vector<std::string>& names,
+                         const FciOptions& options = FciOptions());
+
+}  // namespace cdi::discovery
+
+#endif  // CDI_DISCOVERY_FCI_H_

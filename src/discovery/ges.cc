@@ -1,0 +1,158 @@
+#include "discovery/ges.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <string>
+
+#include "stats/regression.h"
+
+namespace cdi::discovery {
+
+namespace {
+
+/// Memoizing wrapper around the Gaussian BIC local score.
+class ScoreCache {
+ public:
+  ScoreCache(const std::vector<std::vector<double>>& data, double penalty)
+      : data_(data), penalty_(penalty) {}
+
+  /// BIC contribution of `target` with the given parent set (lower is
+  /// better). Returns +inf when the regression is degenerate.
+  double Local(std::size_t target, const std::vector<std::size_t>& parents) {
+    std::string key = std::to_string(target) + ":";
+    std::vector<std::size_t> sorted = parents;
+    std::sort(sorted.begin(), sorted.end());
+    for (auto p : sorted) key += std::to_string(p) + ",";
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    auto s = stats::GaussianBicLocalScore(data_, target, sorted);
+    double value;
+    if (!s.ok()) {
+      value = std::numeric_limits<double>::infinity();
+    } else {
+      // Re-weight just the penalty part.
+      const double n = static_cast<double>(data_[target].size());
+      const double base_penalty =
+          std::log(n) * (static_cast<double>(sorted.size()) + 2.0);
+      value = *s - base_penalty + penalty_ * base_penalty;
+    }
+    cache_.emplace(key, value);
+    return value;
+  }
+
+ private:
+  const std::vector<std::vector<double>>& data_;
+  double penalty_;
+  std::map<std::string, double> cache_;
+};
+
+std::vector<std::size_t> ParentsOf(const graph::Digraph& g,
+                                   std::size_t node) {
+  const auto& p = g.Parents(node);
+  return std::vector<std::size_t>(p.begin(), p.end());
+}
+
+}  // namespace
+
+Result<GesResult> RunGes(const std::vector<std::vector<double>>& data,
+                         const std::vector<std::string>& names,
+                         const GesOptions& options) {
+  const std::size_t p = data.size();
+  if (p != names.size()) {
+    return Status::InvalidArgument("data/names size mismatch");
+  }
+  if (p < 2) return Status::InvalidArgument("need at least 2 variables");
+
+  // Listwise-complete rows.
+  std::vector<std::vector<double>> cc(p);
+  const std::size_t n = data[0].size();
+  for (std::size_t r = 0; r < n; ++r) {
+    bool ok = true;
+    for (const auto& col : data) {
+      if (col.size() != n) return Status::InvalidArgument("ragged data");
+      if (std::isnan(col[r])) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      for (std::size_t v = 0; v < p; ++v) cc[v].push_back(data[v][r]);
+    }
+  }
+  if (cc[0].size() < p + 3) {
+    return Status::FailedPrecondition("too few complete rows for GES");
+  }
+
+  ScoreCache score(cc, options.penalty_discount);
+  graph::Digraph g(names);
+  GesResult result;
+
+  // Current local score per node.
+  std::vector<double> local(p);
+  for (std::size_t v = 0; v < p; ++v) local[v] = score.Local(v, {});
+
+  const std::size_t max_parents =
+      options.max_parents < 0 ? p : static_cast<std::size_t>(
+                                        options.max_parents);
+
+  // Forward phase: best single-edge addition while it improves BIC.
+  for (;;) {
+    double best_delta = -1e-9;
+    std::size_t best_u = 0, best_v = 0;
+    bool found = false;
+    for (std::size_t u = 0; u < p; ++u) {
+      for (std::size_t v = 0; v < p; ++v) {
+        if (u == v || g.Adjacent(u, v)) continue;
+        if (g.Parents(v).size() >= max_parents) continue;
+        if (g.HasDirectedPath(v, u)) continue;  // would create a cycle
+        auto parents = ParentsOf(g, v);
+        parents.push_back(u);
+        const double delta = score.Local(v, parents) - local[v];
+        if (delta < best_delta) {
+          best_delta = delta;
+          best_u = u;
+          best_v = v;
+          found = true;
+        }
+      }
+    }
+    if (!found) break;
+    CDI_RETURN_IF_ERROR(g.AddEdge(best_u, best_v));
+    local[best_v] = score.Local(best_v, ParentsOf(g, best_v));
+    ++result.forward_steps;
+  }
+
+  // Backward phase: best single-edge deletion while it improves BIC.
+  for (;;) {
+    double best_delta = -1e-9;
+    graph::Edge best_edge{0, 0};
+    bool found = false;
+    for (const auto& [u, v] : g.Edges()) {
+      std::vector<std::size_t> parents;
+      for (auto q : g.Parents(v)) {
+        if (q != u) parents.push_back(q);
+      }
+      const double delta = score.Local(v, parents) - local[v];
+      if (delta < best_delta) {
+        best_delta = delta;
+        best_edge = {u, v};
+        found = true;
+      }
+    }
+    if (!found) break;
+    g.RemoveEdge(best_edge.first, best_edge.second);
+    local[best_edge.second] =
+        score.Local(best_edge.second, ParentsOf(g, best_edge.second));
+    ++result.backward_steps;
+  }
+
+  result.bic = 0;
+  for (std::size_t v = 0; v < p; ++v) result.bic += local[v];
+  CDI_ASSIGN_OR_RETURN(result.cpdag, graph::Pdag::CpdagOf(g));
+  result.dag = std::move(g);
+  return result;
+}
+
+}  // namespace cdi::discovery

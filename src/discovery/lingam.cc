@@ -1,0 +1,139 @@
+#include "discovery/lingam.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/descriptive.h"
+#include "stats/regression.h"
+
+namespace cdi::discovery {
+
+namespace {
+
+/// Hyvarinen's maximum-entropy approximation of the differential entropy of
+/// a standardized variable. For a Gaussian this equals H(nu); deviations
+/// lower it.
+double ApproxEntropy(const std::vector<double>& u) {
+  const double k1 = 79.047;
+  const double k2 = 7.4129;
+  const double gamma = 0.37457;
+  double mean_logcosh = 0, mean_uexp = 0;
+  std::size_t n = 0;
+  for (double v : u) {
+    if (std::isnan(v)) continue;
+    mean_logcosh += std::log(std::cosh(v));
+    mean_uexp += v * std::exp(-0.5 * v * v);
+    ++n;
+  }
+  if (n == 0) return 0;
+  mean_logcosh /= static_cast<double>(n);
+  mean_uexp /= static_cast<double>(n);
+  const double h_nu = 0.5 * (1.0 + std::log(2.0 * M_PI));
+  return h_nu - k1 * (mean_logcosh - gamma) * (mean_logcosh - gamma) -
+         k2 * mean_uexp * mean_uexp;
+}
+
+/// Residual of standardized y regressed on standardized x, re-standardized.
+std::vector<double> StdResidual(const std::vector<double>& y,
+                                const std::vector<double>& x) {
+  const double r = stats::PearsonCorrelation(x, y);
+  std::vector<double> res(y.size(), std::nan(""));
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (std::isnan(y[i]) || std::isnan(x[i])) continue;
+    res[i] = y[i] - r * x[i];
+  }
+  const double denom = std::sqrt(std::max(1e-12, 1.0 - r * r));
+  for (double& v : res) v /= denom;
+  return res;
+}
+
+}  // namespace
+
+Result<LingamResult> RunDirectLingam(
+    const std::vector<std::vector<double>>& data,
+    const std::vector<std::string>& names, const LingamOptions& options) {
+  const std::size_t p = data.size();
+  if (p != names.size() || p < 2) {
+    return Status::InvalidArgument("bad data/names");
+  }
+  const std::size_t n = data[0].size();
+  for (const auto& col : data) {
+    if (col.size() != n) return Status::InvalidArgument("ragged data");
+  }
+  if (n < p + 3) {
+    return Status::FailedPrecondition("too few rows for DirectLiNGAM");
+  }
+
+  // Working copies, standardized; updated in place as variables are
+  // regressed out.
+  std::vector<std::vector<double>> x(p);
+  for (std::size_t v = 0; v < p; ++v) x[v] = stats::Standardize(data[v]);
+
+  LingamResult result;
+  std::vector<std::size_t> remaining(p);
+  for (std::size_t v = 0; v < p; ++v) remaining[v] = v;
+
+  while (remaining.size() > 1) {
+    // Pick the most exogenous variable by the pairwise LR measure:
+    // M(i, j) > 0 suggests i -> j. The root minimizes
+    // T(i) = sum_j min(0, M(i, j))^2.
+    double best_t = std::numeric_limits<double>::infinity();
+    std::size_t best_pos = 0;
+    for (std::size_t a = 0; a < remaining.size(); ++a) {
+      const std::size_t i = remaining[a];
+      double t_i = 0;
+      for (std::size_t b = 0; b < remaining.size(); ++b) {
+        if (a == b) continue;
+        const std::size_t j = remaining[b];
+        const auto res_j_on_i = StdResidual(x[j], x[i]);
+        const auto res_i_on_j = StdResidual(x[i], x[j]);
+        const double m = (ApproxEntropy(x[j]) + ApproxEntropy(res_i_on_j)) -
+                         (ApproxEntropy(x[i]) + ApproxEntropy(res_j_on_i));
+        const double neg = std::min(0.0, m);
+        t_i += neg * neg;
+      }
+      if (t_i < best_t) {
+        best_t = t_i;
+        best_pos = a;
+      }
+    }
+    const std::size_t root = remaining[best_pos];
+    result.causal_order.push_back(root);
+    remaining.erase(remaining.begin() +
+                    static_cast<std::ptrdiff_t>(best_pos));
+    // Regress the root out of the remaining variables.
+    for (std::size_t j : remaining) {
+      x[j] = StdResidual(x[j], x[root]);
+    }
+  }
+  result.causal_order.push_back(remaining[0]);
+
+  // Prune: regress each variable on all its predecessors in the order and
+  // keep significant coefficients.
+  result.weights.assign(p, std::vector<double>(p, 0.0));
+  graph::Digraph g(names);
+  for (std::size_t pos = 1; pos < result.causal_order.size(); ++pos) {
+    const std::size_t target = result.causal_order[pos];
+    std::vector<std::size_t> preds(result.causal_order.begin(),
+                                   result.causal_order.begin() +
+                                       static_cast<std::ptrdiff_t>(pos));
+    std::vector<std::vector<double>> xs;
+    for (std::size_t q : preds) xs.push_back(stats::Standardize(data[q]));
+    auto fit = stats::FitStandardizedOls(xs, data[target]);
+    if (!fit.ok()) continue;
+    for (std::size_t k = 0; k < preds.size(); ++k) {
+      const double beta = fit->beta(k);
+      const double pv = fit->p_values[k + 1];
+      if (std::fabs(beta) >= options.min_abs_coefficient &&
+          (!std::isnan(pv) && pv < options.prune_alpha)) {
+        result.weights[target][preds[k]] = beta;
+        CDI_RETURN_IF_ERROR(g.AddEdge(preds[k], target));
+      }
+    }
+  }
+  result.dag = std::move(g);
+  return result;
+}
+
+}  // namespace cdi::discovery

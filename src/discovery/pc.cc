@@ -1,0 +1,127 @@
+#include "discovery/pc.h"
+
+#include <algorithm>
+
+#include "discovery/subsets.h"
+
+namespace cdi::discovery {
+
+namespace {
+
+std::pair<std::size_t, std::size_t> Key(std::size_t a, std::size_t b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+}  // namespace
+
+Status PcSkeleton(const CiTest& test, const PcOptions& options,
+                  std::vector<std::set<std::size_t>>* adjacency,
+                  SepsetMap* sepsets) {
+  const std::size_t p = test.num_vars();
+  if (p < 2) return Status::InvalidArgument("need at least 2 variables");
+  adjacency->assign(p, {});
+  sepsets->clear();
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = 0; j < p; ++j) {
+      if (i != j) (*adjacency)[i].insert(j);
+    }
+  }
+
+  const std::size_t max_level =
+      options.max_cond_size < 0
+          ? p
+          : static_cast<std::size_t>(options.max_cond_size);
+
+  for (std::size_t level = 0; level <= max_level; ++level) {
+    // Stop when no node has enough neighbours to condition on.
+    bool any_candidate = false;
+    for (std::size_t i = 0; i < p; ++i) {
+      if ((*adjacency)[i].size() > level) {
+        any_candidate = true;
+        break;
+      }
+    }
+    if (!any_candidate) break;
+
+    // PC-stable: test against a snapshot of the adjacencies so the result
+    // does not depend on edge-removal order within the level.
+    const std::vector<std::set<std::size_t>> snapshot =
+        options.stable ? *adjacency : std::vector<std::set<std::size_t>>();
+    const auto& adj_view = options.stable ? snapshot : *adjacency;
+
+    for (std::size_t x = 0; x < p; ++x) {
+      // Copy: we mutate adjacency during iteration.
+      const std::set<std::size_t> neighbours = (*adjacency)[x];
+      for (std::size_t y : neighbours) {
+        if ((*adjacency)[x].count(y) == 0) continue;  // already removed
+        // Candidate conditioning variables: adj(x) \ {y}.
+        std::vector<std::size_t> candidates;
+        for (std::size_t z : adj_view[x]) {
+          if (z != y) candidates.push_back(z);
+        }
+        if (candidates.size() < level) continue;
+        const bool removed = ForEachSubset<std::size_t>(
+            candidates, level, [&](const std::vector<std::size_t>& s) {
+              if (test.Independent(x, y, s, options.alpha)) {
+                (*adjacency)[x].erase(y);
+                (*adjacency)[y].erase(x);
+                (*sepsets)[Key(x, y)] = s;
+                return true;
+              }
+              return false;
+            });
+        (void)removed;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<PcResult> RunPc(const CiTest& test,
+                       const std::vector<std::string>& names,
+                       const PcOptions& options) {
+  if (names.size() != test.num_vars()) {
+    return Status::InvalidArgument("names/test size mismatch");
+  }
+  PcResult result;
+  std::vector<std::set<std::size_t>> adjacency;
+  const std::size_t calls_before = test.calls;
+  CDI_RETURN_IF_ERROR(PcSkeleton(test, options, &adjacency, &result.sepsets));
+
+  graph::Pdag g(names);
+  for (std::size_t i = 0; i < adjacency.size(); ++i) {
+    for (std::size_t j : adjacency[i]) {
+      if (i < j) CDI_RETURN_IF_ERROR(g.AddUndirected(i, j));
+    }
+  }
+
+  // Orient v-structures x -> z <- y for nonadjacent x, y with common
+  // neighbour z not in sepset(x, y).
+  const std::size_t p = test.num_vars();
+  for (std::size_t z = 0; z < p; ++z) {
+    for (std::size_t x = 0; x < p; ++x) {
+      if (x == z || !g.Adjacent(x, z)) continue;
+      for (std::size_t y = x + 1; y < p; ++y) {
+        if (y == z || y == x || !g.Adjacent(y, z)) continue;
+        if (g.Adjacent(x, y)) continue;
+        const auto it = result.sepsets.find(Key(x, y));
+        const bool z_in_sepset =
+            it != result.sepsets.end() &&
+            std::find(it->second.begin(), it->second.end(), z) !=
+                it->second.end();
+        if (!z_in_sepset) {
+          // Only orient if both edges are still (at least partly)
+          // undirected; conflicting v-structures resolve first-wins.
+          if (g.HasUndirected(x, z)) CDI_RETURN_IF_ERROR(g.Orient(x, z));
+          if (g.HasUndirected(y, z)) CDI_RETURN_IF_ERROR(g.Orient(y, z));
+        }
+      }
+    }
+  }
+  g.ApplyMeekRules();
+  result.graph = std::move(g);
+  result.ci_tests = test.calls - calls_before;
+  return result;
+}
+
+}  // namespace cdi::discovery

@@ -1,0 +1,38 @@
+#ifndef CDI_DISCOVERY_SUBSETS_H_
+#define CDI_DISCOVERY_SUBSETS_H_
+
+#include <functional>
+#include <vector>
+
+namespace cdi::discovery {
+
+/// Calls `visit` with every k-subset of `items` (in lexicographic index
+/// order); stops early when `visit` returns true. Returns whether a visit
+/// returned true.
+template <typename T>
+bool ForEachSubset(const std::vector<T>& items, std::size_t k,
+                   const std::function<bool(const std::vector<T>&)>& visit) {
+  if (k > items.size()) return false;
+  std::vector<std::size_t> idx(k);
+  for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+  std::vector<T> subset(k);
+  for (;;) {
+    for (std::size_t i = 0; i < k; ++i) subset[i] = items[idx[i]];
+    if (visit(subset)) return true;
+    if (k == 0) return false;
+    // Advance to the next combination.
+    std::size_t i = k;
+    while (i-- > 0) {
+      if (idx[i] != i + items.size() - k) {
+        ++idx[i];
+        for (std::size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return false;
+    }
+  }
+}
+
+}  // namespace cdi::discovery
+
+#endif  // CDI_DISCOVERY_SUBSETS_H_

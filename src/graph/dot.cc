@@ -1,0 +1,71 @@
+#include "graph/dot.h"
+
+#include <sstream>
+
+namespace cdi::graph {
+
+namespace {
+
+std::string Quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void EmitNodes(std::ostringstream& os,
+               const std::vector<std::string>& names,
+               const DotOptions& options) {
+  for (const auto& n : names) {
+    std::string attrs;
+    auto it = options.fill_colors.find(n);
+    if (it != options.fill_colors.end()) {
+      attrs = " [style=filled, fillcolor=" + Quote(it->second) + "]";
+    } else {
+      for (const auto& h : options.highlighted) {
+        if (h == n) {
+          attrs = " [style=filled, fillcolor=\"lightblue\"]";
+          break;
+        }
+      }
+    }
+    os << "  " << Quote(n) << attrs << ";\n";
+  }
+}
+
+}  // namespace
+
+std::string ToDot(const Digraph& g, const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph " << options.graph_name << " {\n";
+  os << "  rankdir=LR;\n  node [shape=box, fontname=\"Helvetica\"];\n";
+  EmitNodes(os, g.NodeNames(), options);
+  for (const auto& [u, v] : g.Edges()) {
+    os << "  " << Quote(g.NodeName(u)) << " -> " << Quote(g.NodeName(v))
+       << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string ToDot(const Pdag& g, const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph " << options.graph_name << " {\n";
+  os << "  rankdir=LR;\n  node [shape=box, fontname=\"Helvetica\"];\n";
+  EmitNodes(os, g.NodeNames(), options);
+  for (const auto& [u, v] : g.DirectedEdges()) {
+    os << "  " << Quote(g.NodeName(u)) << " -> " << Quote(g.NodeName(v))
+       << ";\n";
+  }
+  for (const auto& [u, v] : g.UndirectedEdges()) {
+    os << "  " << Quote(g.NodeName(u)) << " -> " << Quote(g.NodeName(v))
+       << " [dir=none];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace cdi::graph

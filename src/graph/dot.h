@@ -1,0 +1,30 @@
+#ifndef CDI_GRAPH_DOT_H_
+#define CDI_GRAPH_DOT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/pdag.h"
+
+namespace cdi::graph {
+
+/// Options for Graphviz export.
+struct DotOptions {
+  std::string graph_name = "G";
+  /// Nodes listed here are drawn highlighted (e.g. exposure/outcome).
+  std::vector<std::string> highlighted;
+  /// Optional fill colors per node name (overrides highlight).
+  std::map<std::string, std::string> fill_colors;
+};
+
+/// Graphviz "digraph" rendering of a directed graph.
+std::string ToDot(const Digraph& g, const DotOptions& options = DotOptions());
+
+/// Graphviz rendering of a PDAG (undirected edges drawn without arrowheads).
+std::string ToDot(const Pdag& g, const DotOptions& options = DotOptions());
+
+}  // namespace cdi::graph
+
+#endif  // CDI_GRAPH_DOT_H_

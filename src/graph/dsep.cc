@@ -1,0 +1,133 @@
+#include "graph/dsep.h"
+
+#include <deque>
+#include <utility>
+#include <vector>
+
+namespace cdi::graph {
+
+Result<bool> DSeparated(const Digraph& g, NodeId x, NodeId y,
+                        const std::set<NodeId>& given) {
+  if (x >= g.num_nodes() || y >= g.num_nodes()) {
+    return Status::OutOfRange("node id out of range");
+  }
+  if (x == y) return Status::InvalidArgument("x == y");
+  if (given.count(x) > 0 || given.count(y) > 0) {
+    return Status::InvalidArgument("x or y is in the conditioning set");
+  }
+  if (!g.IsAcyclic()) {
+    return Status::FailedPrecondition("d-separation requires a DAG");
+  }
+
+  // Ancestors of the conditioning set (needed to open colliders).
+  std::set<NodeId> anc_given = given;
+  for (NodeId z : given) {
+    const auto anc = g.Ancestors(z);
+    anc_given.insert(anc.begin(), anc.end());
+  }
+
+  // Bayes-ball: states are (node, direction) where direction records how we
+  // arrived — kUp = from a child (travelling against edges), kDown = from a
+  // parent (travelling along edges).
+  enum Dir { kUp = 0, kDown = 1 };
+  const std::size_t n = g.num_nodes();
+  std::vector<std::vector<bool>> visited(2, std::vector<bool>(n, false));
+  std::deque<std::pair<NodeId, Dir>> frontier;
+  frontier.emplace_back(x, kUp);
+
+  while (!frontier.empty()) {
+    auto [u, dir] = frontier.front();
+    frontier.pop_front();
+    if (visited[dir][u]) continue;
+    visited[dir][u] = true;
+    const bool in_given = given.count(u) > 0;
+    if (!in_given && u == y) return false;  // reached y: d-connected
+
+    if (dir == kUp) {
+      // Arrived from a child: if u is not conditioned on, the ball passes
+      // to parents (still "up") and to children ("down").
+      if (!in_given) {
+        for (NodeId p : g.Parents(u)) frontier.emplace_back(p, kUp);
+        for (NodeId c : g.Children(u)) frontier.emplace_back(c, kDown);
+      }
+    } else {
+      // Arrived from a parent (chain / collider cases).
+      if (!in_given) {
+        // Chain: continue down to children.
+        for (NodeId c : g.Children(u)) frontier.emplace_back(c, kDown);
+      }
+      // Collider at u opens iff u or a descendant is conditioned on,
+      // i.e. u is an ancestor of (or in) the conditioning set.
+      if (anc_given.count(u) > 0) {
+        for (NodeId p : g.Parents(u)) frontier.emplace_back(p, kUp);
+      }
+    }
+  }
+  return true;
+}
+
+Result<bool> DConnected(const Digraph& g, NodeId x, NodeId y,
+                        const std::set<NodeId>& given) {
+  CDI_ASSIGN_OR_RETURN(bool sep, DSeparated(g, x, y, given));
+  return !sep;
+}
+
+Result<Digraph> MoralGraph(const Digraph& g) {
+  if (!g.IsAcyclic()) {
+    return Status::FailedPrecondition("moralization requires a DAG");
+  }
+  Digraph moral(g.NodeNames());
+  auto add_undirected = [&](NodeId a, NodeId b) {
+    CDI_CHECK(moral.AddEdge(a, b).ok());
+    CDI_CHECK(moral.AddEdge(b, a).ok());
+  };
+  for (const auto& [u, v] : g.Edges()) add_undirected(u, v);
+  for (NodeId c = 0; c < g.num_nodes(); ++c) {
+    const auto& parents = g.Parents(c);
+    for (NodeId a : parents) {
+      for (NodeId b : parents) {
+        if (a < b) add_undirected(a, b);  // marry co-parents
+      }
+    }
+  }
+  return moral;
+}
+
+Result<bool> MoralSeparated(const Digraph& g, NodeId x, NodeId y,
+                            const std::set<NodeId>& given) {
+  if (x >= g.num_nodes() || y >= g.num_nodes()) {
+    return Status::OutOfRange("node id out of range");
+  }
+  if (x == y || given.count(x) > 0 || given.count(y) > 0) {
+    return Status::InvalidArgument("bad query nodes");
+  }
+  // Ancestral subgraph of {x, y} ∪ given.
+  std::set<NodeId> keep{x, y};
+  keep.insert(given.begin(), given.end());
+  for (NodeId v : std::set<NodeId>(keep)) {
+    const auto anc = g.Ancestors(v);
+    keep.insert(anc.begin(), anc.end());
+  }
+  Digraph sub(g.NodeNames());
+  for (const auto& [u, v] : g.Edges()) {
+    if (keep.count(u) > 0 && keep.count(v) > 0) {
+      CDI_RETURN_IF_ERROR(sub.AddEdge(u, v));
+    }
+  }
+  CDI_ASSIGN_OR_RETURN(Digraph moral, MoralGraph(sub));
+  // BFS from x avoiding `given`; separated iff y unreachable.
+  std::set<NodeId> seen{x};
+  std::vector<NodeId> frontier{x};
+  while (!frontier.empty()) {
+    const NodeId u = frontier.back();
+    frontier.pop_back();
+    for (NodeId v : moral.Children(u)) {
+      if (v == y) return false;
+      if (given.count(v) > 0 || keep.count(v) == 0) continue;
+      if (seen.insert(v).second) frontier.push_back(v);
+    }
+  }
+  return true;
+}
+
+}  // namespace cdi::graph

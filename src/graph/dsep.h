@@ -1,0 +1,34 @@
+#ifndef CDI_GRAPH_DSEP_H_
+#define CDI_GRAPH_DSEP_H_
+
+#include <set>
+
+#include "common/status.h"
+#include "graph/digraph.h"
+
+namespace cdi::graph {
+
+/// True iff `x` and `y` are d-separated by the set `given` in the DAG `g`
+/// (reachability formulation of the Bayes-ball algorithm). Fails when `g`
+/// is cyclic or when x == y / x,y ∈ given.
+Result<bool> DSeparated(const Digraph& g, NodeId x, NodeId y,
+                        const std::set<NodeId>& given);
+
+/// Convenience negation: d-connected.
+Result<bool> DConnected(const Digraph& g, NodeId x, NodeId y,
+                        const std::set<NodeId>& given);
+
+/// The moral graph of `g`: parents of a common child are "married" and all
+/// edges undirectioned. Returned as a Digraph with symmetric edge pairs.
+Result<Digraph> MoralGraph(const Digraph& g);
+
+/// The textbook alternative to Bayes-ball: x and y are d-separated by
+/// `given` iff `given` separates them in the moral graph of the ancestral
+/// subgraph of {x, y} ∪ given. Used to cross-check DSeparated in property
+/// tests.
+Result<bool> MoralSeparated(const Digraph& g, NodeId x, NodeId y,
+                            const std::set<NodeId>& given);
+
+}  // namespace cdi::graph
+
+#endif  // CDI_GRAPH_DSEP_H_

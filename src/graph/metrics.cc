@@ -1,0 +1,87 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cdi::graph {
+
+namespace {
+
+Prf MakePrf(double tp, double fp, double fn) {
+  Prf out;
+  out.precision = (tp + fp) > 0 ? tp / (tp + fp) : 0.0;
+  out.recall = (tp + fn) > 0 ? tp / (tp + fn) : 0.0;
+  out.f1 = (out.precision + out.recall) > 0
+               ? 2.0 * out.precision * out.recall /
+                     (out.precision + out.recall)
+               : 0.0;
+  return out;
+}
+
+}  // namespace
+
+EdgeSetMetrics CompareEdgeSets(std::size_t num_nodes,
+                               const std::vector<Edge>& predicted,
+                               const std::vector<Edge>& truth) {
+  std::set<Edge> pred(predicted.begin(), predicted.end());
+  std::set<Edge> gt(truth.begin(), truth.end());
+
+  EdgeSetMetrics m;
+  m.num_predicted = pred.size();
+  m.num_truth = gt.size();
+
+  double tp = 0, fp = 0, fn = 0;
+  for (const Edge& e : pred) {
+    if (gt.count(e) > 0) {
+      tp += 1;
+    } else {
+      fp += 1;
+    }
+  }
+  for (const Edge& e : gt) {
+    if (pred.count(e) == 0) fn += 1;
+  }
+  m.true_positive_edges = static_cast<std::size_t>(tp);
+  m.false_positive_edges = static_cast<std::size_t>(fp);
+  m.false_negative_edges = static_cast<std::size_t>(fn);
+  m.presence = MakePrf(tp, fp, fn);
+
+  // Absence scores over all ordered pairs (u, v), u != v: a pair is
+  // "absent-predicted" when not claimed, "absent-true" when not in the
+  // ground truth.
+  double atp = 0, afp = 0, afn = 0;
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (NodeId v = 0; v < num_nodes; ++v) {
+      if (u == v) continue;
+      const bool pred_absent = pred.count({u, v}) == 0;
+      const bool true_absent = gt.count({u, v}) == 0;
+      if (pred_absent && true_absent) atp += 1;
+      if (pred_absent && !true_absent) afp += 1;
+      if (!pred_absent && true_absent) afn += 1;
+    }
+  }
+  m.absence = MakePrf(atp, afp, afn);
+  return m;
+}
+
+Result<EdgeSetMetrics> CompareGraphs(const Digraph& predicted,
+                                     const Digraph& truth) {
+  // Match node universes by name.
+  std::set<std::string> pn(predicted.NodeNames().begin(),
+                           predicted.NodeNames().end());
+  std::set<std::string> tn(truth.NodeNames().begin(),
+                           truth.NodeNames().end());
+  if (pn != tn) {
+    return Status::InvalidArgument("graphs have different node sets");
+  }
+  // Re-index the predicted graph into the truth graph's id space.
+  std::vector<Edge> pred_edges;
+  for (const auto& [u, v] : predicted.Edges()) {
+    CDI_ASSIGN_OR_RETURN(NodeId tu, truth.NodeIdOf(predicted.NodeName(u)));
+    CDI_ASSIGN_OR_RETURN(NodeId tv, truth.NodeIdOf(predicted.NodeName(v)));
+    pred_edges.emplace_back(tu, tv);
+  }
+  return CompareEdgeSets(truth.num_nodes(), pred_edges, truth.Edges());
+}
+
+}  // namespace cdi::graph

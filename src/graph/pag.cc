@@ -1,0 +1,72 @@
+#include "graph/pag.h"
+
+#include <algorithm>
+
+namespace cdi::graph {
+
+Status Pag::AddEdge(NodeId u, NodeId v) {
+  if (u >= names_.size() || v >= names_.size() || u == v) {
+    return Status::InvalidArgument("bad endpoints");
+  }
+  marks_.emplace(MakeKey(u, v),
+                 std::make_pair(EndMark::kCircle, EndMark::kCircle));
+  return Status::OK();
+}
+
+void Pag::RemoveEdge(NodeId u, NodeId v) { marks_.erase(MakeKey(u, v)); }
+
+bool Pag::Adjacent(NodeId u, NodeId v) const {
+  return marks_.count(MakeKey(u, v)) > 0;
+}
+
+Status Pag::SetMark(NodeId u, NodeId v, NodeId at, EndMark mark) {
+  auto it = marks_.find(MakeKey(u, v));
+  if (it == marks_.end()) return Status::NotFound("no such edge");
+  if (at == it->first.first) {
+    it->second.first = mark;
+  } else if (at == it->first.second) {
+    it->second.second = mark;
+  } else {
+    return Status::InvalidArgument("'at' is not an endpoint");
+  }
+  return Status::OK();
+}
+
+Result<EndMark> Pag::MarkAt(NodeId u, NodeId v, NodeId at) const {
+  auto it = marks_.find(MakeKey(u, v));
+  if (it == marks_.end()) return Status::NotFound("no such edge");
+  if (at == it->first.first) return it->second.first;
+  if (at == it->first.second) return it->second.second;
+  return Status::InvalidArgument("'at' is not an endpoint");
+}
+
+std::vector<Edge> Pag::EdgePairs() const {
+  std::vector<Edge> out;
+  out.reserve(marks_.size());
+  for (const auto& [key, m] : marks_) out.push_back(key);
+  return out;
+}
+
+std::vector<NodeId> Pag::AdjacentNodes(NodeId u) const {
+  std::vector<NodeId> out;
+  for (const auto& [key, m] : marks_) {
+    if (key.first == u) out.push_back(key.second);
+    if (key.second == u) out.push_back(key.first);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Edge> Pag::ToDirectedClaims() const {
+  std::vector<Edge> out;
+  for (const auto& [key, m] : marks_) {
+    const auto [u, v] = key;
+    const auto [mark_u, mark_v] = m;
+    if (mark_v != EndMark::kTail) out.emplace_back(u, v);
+    if (mark_u != EndMark::kTail) out.emplace_back(v, u);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace cdi::graph

@@ -1,0 +1,73 @@
+#ifndef CDI_GRAPH_PAG_H_
+#define CDI_GRAPH_PAG_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/digraph.h"
+
+namespace cdi::graph {
+
+/// Endpoint mark of a partial ancestral graph edge.
+enum class EndMark {
+  kCircle,  ///< undetermined (o)
+  kArrow,   ///< arrowhead (>)
+  kTail,    ///< tail (-)
+};
+
+/// Partial ancestral graph — the output language of FCI. Every edge carries
+/// a mark at each endpoint (o-o, o->, ->, <->, -).
+class Pag {
+ public:
+  Pag() = default;
+  explicit Pag(const std::vector<std::string>& names) : names_(names) {}
+
+  std::size_t num_nodes() const { return names_.size(); }
+  const std::vector<std::string>& NodeNames() const { return names_; }
+
+  /// Adds an edge with circle marks at both ends; duplicate adds are no-ops.
+  Status AddEdge(NodeId u, NodeId v);
+
+  void RemoveEdge(NodeId u, NodeId v);
+
+  bool Adjacent(NodeId u, NodeId v) const;
+
+  /// Sets the mark at the `at` endpoint of edge {u,v}; edge must exist and
+  /// `at` must be u or v.
+  Status SetMark(NodeId u, NodeId v, NodeId at, EndMark mark);
+
+  /// Mark at endpoint `at` of edge {u,v}; edge must exist.
+  Result<EndMark> MarkAt(NodeId u, NodeId v, NodeId at) const;
+
+  /// All adjacent pairs (u < v).
+  std::vector<Edge> EdgePairs() const;
+
+  std::size_t num_edges() const { return marks_.size(); }
+
+  /// Neighbours of u.
+  std::vector<NodeId> AdjacentNodes(NodeId u) const;
+
+  /// Evaluation view: for each edge {u,v}, claim (u, v) unless the mark at
+  /// v is a tail (a tail at v rules out u causing v); likewise for (v, u).
+  /// Definite directions (tail-arrow) therefore contribute one claim and
+  /// uncertain edges (o-o, o->, <->) two — matching how the paper counts
+  /// FCI's inflated |E|.
+  std::vector<Edge> ToDirectedClaims() const;
+
+ private:
+  /// Key is (min, max); value holds (mark at key.first, mark at key.second).
+  using Key = std::pair<NodeId, NodeId>;
+  static Key MakeKey(NodeId u, NodeId v) {
+    return u < v ? Key{u, v} : Key{v, u};
+  }
+
+  std::vector<std::string> names_;
+  std::map<Key, std::pair<EndMark, EndMark>> marks_;
+};
+
+}  // namespace cdi::graph
+
+#endif  // CDI_GRAPH_PAG_H_

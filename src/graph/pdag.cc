@@ -1,0 +1,192 @@
+#include "graph/pdag.h"
+
+#include <algorithm>
+
+namespace cdi::graph {
+
+Pdag::Pdag(const std::vector<std::string>& names)
+    : names_(names),
+      directed_(names.size()),
+      undirected_(names.size()) {}
+
+const std::string& Pdag::NodeName(NodeId id) const {
+  CDI_CHECK(id < names_.size());
+  return names_[id];
+}
+
+Result<NodeId> Pdag::NodeIdOf(const std::string& name) const {
+  for (NodeId i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  return Status::NotFound("no node '" + name + "'");
+}
+
+Status Pdag::AddUndirected(NodeId u, NodeId v) {
+  if (u >= names_.size() || v >= names_.size() || u == v) {
+    return Status::InvalidArgument("bad endpoints");
+  }
+  if (HasDirected(u, v) || HasDirected(v, u)) {
+    return Status::AlreadyExists("directed edge already present");
+  }
+  undirected_[u].insert(v);
+  undirected_[v].insert(u);
+  return Status::OK();
+}
+
+void Pdag::RemoveUndirected(NodeId u, NodeId v) {
+  if (u >= names_.size() || v >= names_.size()) return;
+  undirected_[u].erase(v);
+  undirected_[v].erase(u);
+}
+
+Status Pdag::AddDirected(NodeId u, NodeId v) {
+  if (u >= names_.size() || v >= names_.size() || u == v) {
+    return Status::InvalidArgument("bad endpoints");
+  }
+  RemoveUndirected(u, v);
+  directed_[u].insert(v);
+  return Status::OK();
+}
+
+void Pdag::RemoveDirected(NodeId u, NodeId v) {
+  if (u >= names_.size() || v >= names_.size()) return;
+  directed_[u].erase(v);
+}
+
+Status Pdag::Orient(NodeId u, NodeId v) {
+  if (!HasUndirected(u, v)) {
+    return Status::FailedPrecondition("no undirected edge to orient");
+  }
+  return AddDirected(u, v);
+}
+
+bool Pdag::HasUndirected(NodeId u, NodeId v) const {
+  return u < names_.size() && undirected_[u].count(v) > 0;
+}
+
+bool Pdag::HasDirected(NodeId u, NodeId v) const {
+  return u < names_.size() && directed_[u].count(v) > 0;
+}
+
+bool Pdag::Adjacent(NodeId u, NodeId v) const {
+  return HasUndirected(u, v) || HasDirected(u, v) || HasDirected(v, u);
+}
+
+std::set<NodeId> Pdag::AdjacentNodes(NodeId u) const {
+  std::set<NodeId> out = undirected_[u];
+  out.insert(directed_[u].begin(), directed_[u].end());
+  for (NodeId v = 0; v < names_.size(); ++v) {
+    if (directed_[v].count(u) > 0) out.insert(v);
+  }
+  return out;
+}
+
+std::vector<Edge> Pdag::DirectedEdges() const {
+  std::vector<Edge> out;
+  for (NodeId u = 0; u < names_.size(); ++u) {
+    for (NodeId v : directed_[u]) out.emplace_back(u, v);
+  }
+  return out;
+}
+
+std::vector<Edge> Pdag::UndirectedEdges() const {
+  std::vector<Edge> out;
+  for (NodeId u = 0; u < names_.size(); ++u) {
+    for (NodeId v : undirected_[u]) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+std::size_t Pdag::num_directed() const { return DirectedEdges().size(); }
+std::size_t Pdag::num_undirected() const { return UndirectedEdges().size(); }
+
+void Pdag::ApplyMeekRules() {
+  // Rules R1-R3 applied to a fixed point. R4 is only required when
+  // orientations come from external background knowledge (Meek 1995); CDI
+  // only orients v-structures first, for which R1-R3 are complete.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId b = 0; b < names_.size(); ++b) {
+      // Work on a copy: Orient() mutates undirected_[b].
+      const std::set<NodeId> nbrs = undirected_[b];
+      for (NodeId c : nbrs) {
+        if (!HasUndirected(b, c)) continue;
+        // R1: a -> b, b - c, a and c nonadjacent  =>  b -> c.
+        bool oriented = false;
+        for (NodeId a = 0; a < names_.size() && !oriented; ++a) {
+          if (HasDirected(a, b) && !Adjacent(a, c) && a != c) {
+            CDI_CHECK(Orient(b, c).ok());
+            changed = true;
+            oriented = true;
+          }
+        }
+        if (oriented) continue;
+        // R2: b -> a -> c and b - c  =>  b -> c.
+        for (NodeId a = 0; a < names_.size() && !oriented; ++a) {
+          if (HasDirected(b, a) && HasDirected(a, c)) {
+            CDI_CHECK(Orient(b, c).ok());
+            changed = true;
+            oriented = true;
+          }
+        }
+        if (oriented) continue;
+        // R3: b - a1, b - a2, a1 -> c, a2 -> c, a1/a2 nonadjacent => b -> c.
+        const std::set<NodeId> bn = undirected_[b];
+        for (NodeId a1 : bn) {
+          if (oriented) break;
+          if (a1 == c || !HasDirected(a1, c)) continue;
+          for (NodeId a2 : bn) {
+            if (a2 == a1 || a2 == c || !HasDirected(a2, c)) continue;
+            if (!Adjacent(a1, a2)) {
+              CDI_CHECK(Orient(b, c).ok());
+              changed = true;
+              oriented = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<Edge> Pdag::ToDirectedClaims() const {
+  std::vector<Edge> out = DirectedEdges();
+  for (const auto& [u, v] : UndirectedEdges()) {
+    out.emplace_back(u, v);
+    out.emplace_back(v, u);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<Pdag> Pdag::CpdagOf(const Digraph& dag) {
+  if (!dag.IsAcyclic()) {
+    return Status::FailedPrecondition("CpdagOf requires a DAG");
+  }
+  Pdag p(dag.NodeNames());
+  // Skeleton.
+  for (const auto& [u, v] : dag.Edges()) {
+    CDI_RETURN_IF_ERROR(p.AddUndirected(u, v));
+  }
+  // V-structures: a -> c <- b with a, b nonadjacent.
+  for (NodeId c = 0; c < dag.num_nodes(); ++c) {
+    const auto& parents = dag.Parents(c);
+    for (NodeId a : parents) {
+      for (NodeId b : parents) {
+        if (a >= b) continue;
+        if (!dag.Adjacent(a, b)) {
+          CDI_RETURN_IF_ERROR(p.AddDirected(a, c));
+          CDI_RETURN_IF_ERROR(p.AddDirected(b, c));
+        }
+      }
+    }
+  }
+  p.ApplyMeekRules();
+  return p;
+}
+
+}  // namespace cdi::graph

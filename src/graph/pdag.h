@@ -1,0 +1,74 @@
+#ifndef CDI_GRAPH_PDAG_H_
+#define CDI_GRAPH_PDAG_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/digraph.h"
+
+namespace cdi::graph {
+
+/// Partially directed acyclic graph: a skeleton where each adjacent pair is
+/// either directed (u -> v) or undirected (u - v). This is the output type
+/// of constraint/score-based discovery (a CPDAG represents a Markov
+/// equivalence class).
+class Pdag {
+ public:
+  Pdag() = default;
+  explicit Pdag(const std::vector<std::string>& names);
+
+  std::size_t num_nodes() const { return names_.size(); }
+  const std::vector<std::string>& NodeNames() const { return names_; }
+  const std::string& NodeName(NodeId id) const;
+  Result<NodeId> NodeIdOf(const std::string& name) const;
+
+  /// Adds / removes an undirected edge u - v.
+  Status AddUndirected(NodeId u, NodeId v);
+  void RemoveUndirected(NodeId u, NodeId v);
+
+  /// Adds a directed edge u -> v (replacing any undirected u - v).
+  Status AddDirected(NodeId u, NodeId v);
+  void RemoveDirected(NodeId u, NodeId v);
+
+  /// Orients an existing undirected edge u - v as u -> v; fails if absent.
+  Status Orient(NodeId u, NodeId v);
+
+  bool HasUndirected(NodeId u, NodeId v) const;
+  bool HasDirected(NodeId u, NodeId v) const;
+  bool Adjacent(NodeId u, NodeId v) const;
+
+  /// Neighbours adjacent via any edge kind.
+  std::set<NodeId> AdjacentNodes(NodeId u) const;
+
+  std::vector<Edge> DirectedEdges() const;
+  /// Each undirected edge reported once with u < v.
+  std::vector<Edge> UndirectedEdges() const;
+
+  std::size_t num_directed() const;
+  std::size_t num_undirected() const;
+
+  /// Applies Meek's orientation rules R1-R4 to a fixed point.
+  void ApplyMeekRules();
+
+  /// Interprets the PDAG as a set of directed claims for evaluation: each
+  /// directed edge u -> v contributes (u, v); each undirected edge
+  /// contributes both (u, v) and (v, u). This mirrors how the paper counts
+  /// |E| for PC/FCI outputs (inflating it relative to the ground truth).
+  std::vector<Edge> ToDirectedClaims() const;
+
+  /// The CPDAG of a DAG: same skeleton and v-structures, compelled edges
+  /// directed, reversible edges undirected (computed via v-structure
+  /// detection + Meek closure).
+  static Result<Pdag> CpdagOf(const Digraph& dag);
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::set<NodeId>> directed_;    // directed_[u] = {v : u -> v}
+  std::vector<std::set<NodeId>> undirected_;  // symmetric
+};
+
+}  // namespace cdi::graph
+
+#endif  // CDI_GRAPH_PDAG_H_

@@ -1,0 +1,107 @@
+#include "knowledge/data_lake.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "stats/descriptive.h"
+
+namespace cdi::knowledge {
+
+namespace {
+
+std::set<std::string> NormalizedValueSet(const table::Column& col) {
+  std::set<std::string> out;
+  for (std::size_t r = 0; r < col.size(); ++r) {
+    if (!col.IsNull(r)) out.insert(NormalizeEntityName(col.Get(r).ToString()));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<DataLake::JoinCandidate> DataLake::FindJoinable(
+    const std::vector<std::string>& keys, double min_containment,
+    LatencyMeter* meter) const {
+  std::set<std::string> key_set;
+  for (const auto& k : keys) key_set.insert(NormalizeEntityName(k));
+  std::vector<JoinCandidate> out;
+  if (key_set.empty()) return out;
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    if (meter != nullptr) meter->Charge(kServiceName, kSecondsPerTableScan);
+    for (std::size_t c = 0; c < tables_[t].num_cols(); ++c) {
+      const table::Column& col = tables_[t].ColumnAt(c);
+      if (col.type() != table::DataType::kString) continue;
+      const auto values = NormalizedValueSet(col);
+      std::size_t hits = 0;
+      for (const auto& k : key_set) hits += values.count(k);
+      const double containment =
+          static_cast<double>(hits) / static_cast<double>(key_set.size());
+      if (containment >= min_containment) {
+        out.push_back({t, col.name(), containment});
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const JoinCandidate& a, const JoinCandidate& b) {
+                     return a.containment > b.containment;
+                   });
+  return out;
+}
+
+Result<std::vector<DataLake::AugmentationCandidate>>
+DataLake::FindCorrelatedColumns(const std::vector<std::string>& keys,
+                                const std::vector<double>& target,
+                                double min_containment,
+                                LatencyMeter* meter) const {
+  if (keys.size() != target.size()) {
+    return Status::InvalidArgument("keys/target size mismatch");
+  }
+  const auto joinable = FindJoinable(keys, min_containment, meter);
+  std::vector<AugmentationCandidate> out;
+  for (const auto& jc : joinable) {
+    const table::Table& t = tables_[jc.table_index];
+    CDI_ASSIGN_OR_RETURN(const table::Column* key_col,
+                         t.GetColumn(jc.key_column));
+    // Mean of each numeric column per normalized key value.
+    for (std::size_t c = 0; c < t.num_cols(); ++c) {
+      const table::Column& col = t.ColumnAt(c);
+      if (!table::IsNumeric(col.type())) continue;
+      std::unordered_map<std::string, std::pair<double, double>> agg;
+      for (std::size_t r = 0; r < t.num_rows(); ++r) {
+        if (key_col->IsNull(r) || col.IsNull(r)) continue;
+        auto& [sum, count] =
+            agg[NormalizeEntityName(key_col->Get(r).ToString())];
+        sum += col.Get(r).ToNumeric();
+        count += 1;
+      }
+      // Align with the input keys.
+      std::vector<double> aligned(keys.size(), std::nan(""));
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        auto it = agg.find(NormalizeEntityName(keys[i]));
+        if (it != agg.end() && it->second.second > 0) {
+          aligned[i] = it->second.first / it->second.second;
+        }
+      }
+      const double r = stats::PearsonCorrelation(aligned, target);
+      if (std::isnan(r)) continue;
+      AugmentationCandidate ac;
+      ac.table_index = jc.table_index;
+      ac.key_column = jc.key_column;
+      ac.value_column = col.name();
+      ac.containment = jc.containment;
+      ac.abs_correlation = std::fabs(r);
+      out.push_back(ac);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const AugmentationCandidate& a,
+                      const AugmentationCandidate& b) {
+                     return a.abs_correlation > b.abs_correlation;
+                   });
+  return out;
+}
+
+}  // namespace cdi::knowledge

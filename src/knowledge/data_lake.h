@@ -1,0 +1,68 @@
+#ifndef CDI_KNOWLEDGE_DATA_LAKE_H_
+#define CDI_KNOWLEDGE_DATA_LAKE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+#include "table/table.h"
+
+namespace cdi::knowledge {
+
+/// A corpus of tables standing in for an open-data lake (data.gov, FRED).
+/// Provides the two discovery primitives the paper cites: joinability
+/// search by key containment (JOSIE-style) and correlation-aware column
+/// selection against a target column (COCOA-style).
+class DataLake {
+ public:
+  /// Nominal latency charged per table scanned (a catalog/API request).
+  static constexpr double kSecondsPerTableScan = 0.4;
+  static constexpr char kServiceName[] = "data_lake";
+
+  /// Adds a table to the lake (tables should carry distinct names).
+  void AddTable(table::Table t) { tables_.push_back(std::move(t)); }
+
+  const std::vector<table::Table>& tables() const { return tables_; }
+  std::size_t num_tables() const { return tables_.size(); }
+
+  /// A column in a lake table that can be equi-joined with the input keys.
+  struct JoinCandidate {
+    std::size_t table_index = 0;
+    std::string key_column;
+    /// Fraction of distinct input key values present in the column.
+    double containment = 0.0;
+  };
+
+  /// Finds lake columns whose value set contains at least
+  /// `min_containment` of the distinct values of `keys` (string rendering,
+  /// case-normalized). Results sorted by descending containment.
+  std::vector<JoinCandidate> FindJoinable(
+      const std::vector<std::string>& keys, double min_containment,
+      LatencyMeter* meter = nullptr) const;
+
+  /// A joinable numeric column ranked by association with a target.
+  struct AugmentationCandidate {
+    std::size_t table_index = 0;
+    std::string key_column;
+    std::string value_column;
+    double containment = 0.0;
+    /// |Pearson correlation| with the target after the join.
+    double abs_correlation = 0.0;
+  };
+
+  /// COCOA-style search: for every joinable table, joins it (aggregating
+  /// duplicates by mean) against (keys, target) and ranks each numeric
+  /// column by absolute correlation with `target`. Candidates under
+  /// `min_containment` are skipped. Sorted by descending |correlation|.
+  Result<std::vector<AugmentationCandidate>> FindCorrelatedColumns(
+      const std::vector<std::string>& keys, const std::vector<double>& target,
+      double min_containment, LatencyMeter* meter = nullptr) const;
+
+ private:
+  std::vector<table::Table> tables_;
+};
+
+}  // namespace cdi::knowledge
+
+#endif  // CDI_KNOWLEDGE_DATA_LAKE_H_

@@ -1,0 +1,80 @@
+#ifndef CDI_KNOWLEDGE_KNOWLEDGE_GRAPH_H_
+#define CDI_KNOWLEDGE_KNOWLEDGE_GRAPH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+#include "knowledge/entity_linker.h"
+#include "table/table.h"
+
+namespace cdi::knowledge {
+
+/// In-memory RDF-style triple store standing in for DBpedia. Entities have
+/// literal-valued properties ("avg_temp" -> 61.17) and entity-valued
+/// properties ("governor" -> another entity), which the extractor can
+/// follow one level deep — the paper's "follow links in the KG" idea.
+class KnowledgeGraph {
+ public:
+  /// Nominal per-lookup latency charged to a LatencyMeter (a remote SPARQL
+  /// endpoint round-trip).
+  static constexpr double kSecondsPerLookup = 0.15;
+  static constexpr char kServiceName[] = "knowledge_graph";
+
+  /// Adds entity if missing and sets a literal property value.
+  void AddLiteral(const std::string& entity, const std::string& property,
+                  table::Value value);
+
+  /// Adds an entity-valued property (a link).
+  void AddLink(const std::string& entity, const std::string& property,
+               const std::string& target_entity);
+
+  /// Registers an alias for entity disambiguation.
+  void AddAlias(const std::string& entity, const std::string& alias) {
+    linker_.AddAlias(entity, alias);
+  }
+
+  bool HasEntity(const std::string& entity) const;
+
+  /// Literal property names of `entity` (sorted).
+  std::vector<std::string> LiteralProperties(const std::string& entity) const;
+
+  /// Link property names of `entity` (sorted).
+  std::vector<std::string> LinkProperties(const std::string& entity) const;
+
+  Result<table::Value> GetLiteral(const std::string& entity,
+                                  const std::string& property) const;
+
+  Result<std::string> GetLink(const std::string& entity,
+                              const std::string& property) const;
+
+  const EntityLinker& linker() const { return linker_; }
+  EntityLinker& mutable_linker() { return linker_; }
+
+  std::size_t num_entities() const { return literals_.size(); }
+
+  /// Extracts a property table for `surface_keys` (one row each, in
+  /// order): links each key via the entity linker, emits one column per
+  /// literal property observed on any linked entity (null where absent),
+  /// and — when `follow_links` is true — additionally pulls the literal
+  /// properties of link targets as "<link>_<property>" columns.
+  /// Keys that fail to link produce all-null rows. Each entity lookup is
+  /// charged to `meter` (may be null). Column `key_name` holds the
+  /// original surface keys so the result joins back to the input table.
+  Result<table::Table> ExtractProperties(
+      const std::vector<std::string>& surface_keys,
+      const std::string& key_name, bool follow_links,
+      LatencyMeter* meter) const;
+
+ private:
+  // entity -> property -> value
+  std::map<std::string, std::map<std::string, table::Value>> literals_;
+  std::map<std::string, std::map<std::string, std::string>> links_;
+  EntityLinker linker_;
+};
+
+}  // namespace cdi::knowledge
+
+#endif  // CDI_KNOWLEDGE_KNOWLEDGE_GRAPH_H_

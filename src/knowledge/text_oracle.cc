@@ -1,0 +1,128 @@
+#include "knowledge/text_oracle.h"
+
+#include <map>
+
+#include "common/string_util.h"
+
+namespace cdi::knowledge {
+
+TextCausalOracle::TextCausalOracle(const graph::Digraph& world,
+                                   OracleOptions options)
+    : world_(world), options_(options) {
+  const std::size_t n = world_.num_nodes();
+  reachable_.assign(n, std::vector<bool>(n, false));
+  for (std::size_t u = 0; u < n; ++u) {
+    for (graph::NodeId v : world_.Descendants(u)) reachable_[u][v] = true;
+  }
+}
+
+void TextCausalOracle::RegisterAlias(const std::string& alias,
+                                     const std::string& concept_name) {
+  aliases_[NormalizeEntityName(alias)] = concept_name;
+}
+
+std::size_t TextCausalOracle::Resolve(const std::string& name) const {
+  auto direct = world_.NodeIdOf(name);
+  if (direct.ok()) return *direct;
+  const std::string norm = NormalizeEntityName(name);
+  auto it = aliases_.find(norm);
+  if (it != aliases_.end()) {
+    auto id = world_.NodeIdOf(it->second);
+    if (id.ok()) return *id;
+  }
+  // Normalized name match against world concepts.
+  for (std::size_t i = 0; i < world_.num_nodes(); ++i) {
+    if (NormalizeEntityName(world_.NodeName(i)) == norm) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+double TextCausalOracle::HashUniform(const std::string& a,
+                                     const std::string& b,
+                                     uint64_t salt) const {
+  // FNV-1a over the templated query string, mixed with seed + salt.
+  const std::string q = "does " + a + " cause " + b + "?";
+  uint64_t h = 1469598103934665603ULL ^ (options_.seed * 0x9E3779B97F4A7C15ULL)
+               ^ (salt * 0xBF58476D1CE4E5B9ULL);
+  for (char c : q) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  // splitmix-style finalizer.
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool TextCausalOracle::DoesCause(const std::string& a, const std::string& b,
+                                 LatencyMeter* meter) const {
+  ++query_count_;
+  if (meter != nullptr) {
+    meter->Charge(kServiceName, options_.seconds_per_query);
+  }
+  const std::size_t ia = Resolve(a);
+  const std::size_t ib = Resolve(b);
+  const double u = HashUniform(a, b, 0);
+  if (ia == static_cast<std::size_t>(-1) ||
+      ib == static_cast<std::size_t>(-1) || ia == ib) {
+    return u < options_.unknown_concept_claim_prob;
+  }
+  if (world_.HasEdge(ia, ib)) {
+    return u < options_.direct_recall;
+  }
+  if (reachable_[ia][ib]) {
+    return u < options_.transitive_claim_prob;
+  }
+  if (reachable_[ib][ia] || world_.HasEdge(ib, ia)) {
+    return u < options_.reverse_claim_prob;
+  }
+  return u < options_.unrelated_claim_prob;
+}
+
+int TextCausalOracle::PreferredDirection(const std::string& a,
+                                         const std::string& b,
+                                         LatencyMeter* meter) const {
+  ++query_count_;
+  if (meter != nullptr) {
+    meter->Charge(kServiceName, options_.seconds_per_query);
+  }
+  const std::size_t ia = Resolve(a);
+  const std::size_t ib = Resolve(b);
+  if (ia == static_cast<std::size_t>(-1) ||
+      ib == static_cast<std::size_t>(-1) || ia == ib) {
+    return 0;
+  }
+  auto score = [&](std::size_t from, std::size_t to) {
+    if (world_.HasEdge(from, to)) return 3;
+    if (reachable_[from][to]) return 2;
+    return 0;
+  };
+  const int forward = score(ia, ib);
+  const int backward = score(ib, ia);
+  if (forward == backward) {
+    // No structural preference; like a real LLM the oracle still commits
+    // to an answer occasionally, deterministically per pair.
+    if (forward == 0) return 0;
+    return HashUniform(a, b, 7) < 0.5 ? 1 : -1;
+  }
+  return forward > backward ? 1 : -1;
+}
+
+graph::Digraph TextCausalOracle::QueryAllPairs(
+    const std::vector<std::string>& concepts, LatencyMeter* meter) const {
+  graph::Digraph g(concepts);
+  for (std::size_t i = 0; i < concepts.size(); ++i) {
+    for (std::size_t j = 0; j < concepts.size(); ++j) {
+      if (i == j) continue;
+      if (DoesCause(concepts[i], concepts[j], meter)) {
+        CDI_CHECK(g.AddEdge(i, j).ok());
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace cdi::knowledge

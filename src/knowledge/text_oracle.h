@@ -1,0 +1,87 @@
+#ifndef CDI_KNOWLEDGE_TEXT_ORACLE_H_
+#define CDI_KNOWLEDGE_TEXT_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "graph/digraph.h"
+
+namespace cdi::knowledge {
+
+/// Behavioural knobs of the simulated LLM.
+struct OracleOptions {
+  /// Probability of correctly affirming a *direct* causal edge.
+  double direct_recall = 0.97;
+  /// Probability of (incorrectly) affirming an *indirect* causal relation
+  /// as a direct edge — the paper's key GPT-3 failure mode ("unable to
+  /// distinguish between direct and indirect effect").
+  double transitive_claim_prob = 0.85;
+  /// Probability of claiming the reverse of a true causal relation
+  /// (produces the 2-cycles the paper observed, e.g. economy <-> pop size).
+  double reverse_claim_prob = 0.12;
+  /// Probability of affirming a causally unrelated pair.
+  double unrelated_claim_prob = 0.03;
+  /// Probability of affirming when either concept is unknown to the oracle
+  /// ("sensitive to the quality of attribute names").
+  double unknown_concept_claim_prob = 0.02;
+  /// Deterministic seed: answers are a pure function of (a, b, seed).
+  uint64_t seed = 17;
+  /// Nominal per-query latency (one GPT-3 completion round-trip).
+  double seconds_per_query = 1.5;
+};
+
+/// Simulated GPT-3 answering the paper's templated causal queries
+/// ("Does <a> cause <b>? Answer yes or no."). Substitution for the real
+/// API: the oracle's latent world knowledge is the *transitive closure* of
+/// a concept-level ground-truth DAG plus seeded noise, reproducing the
+/// failure modes §4 reports — extra edges, direct/indirect confusion,
+/// 2-cycles, and name sensitivity. Every answer is deterministic given
+/// (concept pair, seed), like a temperature-0 completion.
+class TextCausalOracle {
+ public:
+  static constexpr char kServiceName[] = "text_oracle";
+
+  TextCausalOracle(const graph::Digraph& world, OracleOptions options);
+
+  /// Registers an alternative surface name for a world concept, e.g.
+  /// attribute "avg_temp" -> concept "weather".
+  void RegisterAlias(const std::string& alias, const std::string& concept_name);
+
+  /// Templated query: does `a` cause `b`? Charges `meter` when non-null.
+  bool DoesCause(const std::string& a, const std::string& b,
+                 LatencyMeter* meter = nullptr) const;
+
+  /// Follow-up disambiguation prompt ("Which is more likely: <a> causes
+  /// <b>, or <b> causes <a>?"). Returns +1 when the oracle prefers a -> b,
+  /// -1 for b -> a, 0 when it cannot tell. CATER's cycle repair asks this
+  /// to break 2-cycles in the claimed edges.
+  int PreferredDirection(const std::string& a, const std::string& b,
+                         LatencyMeter* meter = nullptr) const;
+
+  /// Queries every ordered concept pair and returns the claimed edge list
+  /// as a Digraph over `concepts` (may be cyclic!).
+  graph::Digraph QueryAllPairs(const std::vector<std::string>& concepts,
+                               LatencyMeter* meter = nullptr) const;
+
+  std::size_t query_count() const { return query_count_; }
+
+ private:
+  /// Resolves a surface name to a world node id (or npos).
+  std::size_t Resolve(const std::string& name) const;
+
+  /// Deterministic uniform in [0,1) keyed by the query.
+  double HashUniform(const std::string& a, const std::string& b,
+                     uint64_t salt) const;
+
+  graph::Digraph world_;
+  OracleOptions options_;
+  std::vector<std::vector<bool>> reachable_;  // transitive closure
+  std::map<std::string, std::string> aliases_;
+  mutable std::size_t query_count_ = 0;
+};
+
+}  // namespace cdi::knowledge
+
+#endif  // CDI_KNOWLEDGE_TEXT_ORACLE_H_

@@ -1,0 +1,43 @@
+#include "knowledge/topic_model.h"
+
+#include "common/string_util.h"
+
+namespace cdi::knowledge {
+
+void TopicModel::AddTopic(const std::string& topic,
+                          const std::vector<std::string>& keywords) {
+  std::vector<std::string> normalized;
+  normalized.reserve(keywords.size());
+  for (const auto& k : keywords) normalized.push_back(NormalizeEntityName(k));
+  topics_.emplace_back(topic, std::move(normalized));
+}
+
+std::string TopicModel::AssignTopic(
+    const std::vector<std::string>& attribute_names,
+    LatencyMeter* meter) const {
+  if (meter != nullptr) meter->Charge(kServiceName, kSecondsPerQuery);
+  if (attribute_names.empty()) return "unknown";
+  std::size_t best_hits = 0;
+  const std::string* best_topic = nullptr;
+  for (const auto& [topic, keywords] : topics_) {
+    // Score = number of (keyword, attribute) containment pairs, so a topic
+    // with several matching keywords beats one with a single generic hit
+    // (e.g. "recovery" beats "spread" for {recovered_cases} even though
+    // both share the token "cases").
+    std::size_t hits = 0;
+    for (const auto& attr : attribute_names) {
+      const std::string norm = NormalizeEntityName(attr);
+      for (const auto& kw : keywords) {
+        if (norm.find(kw) != std::string::npos) ++hits;
+      }
+    }
+    if (hits > best_hits) {
+      best_hits = hits;
+      best_topic = &topic;
+    }
+  }
+  if (best_topic != nullptr) return *best_topic;
+  return attribute_names[0];
+}
+
+}  // namespace cdi::knowledge

@@ -1,0 +1,40 @@
+#ifndef CDI_KNOWLEDGE_TOPIC_MODEL_H_
+#define CDI_KNOWLEDGE_TOPIC_MODEL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace cdi::knowledge {
+
+/// Zero-shot topic assignment for attribute clusters — the C-DAG Builder
+/// asks it to name each cluster ("avg_temp, snow_inch" -> "weather").
+/// Substitution for the paper's GPT-3 topic labelling: a keyword lexicon
+/// scored by token overlap; deterministic.
+class TopicModel {
+ public:
+  static constexpr char kServiceName[] = "topic_model";
+  static constexpr double kSecondsPerQuery = 1.0;
+
+  /// Registers a topic and the keywords that indicate it. Keyword matching
+  /// is by normalized-token containment, so "temp" matches "avg_temp".
+  void AddTopic(const std::string& topic,
+                const std::vector<std::string>& keywords);
+
+  /// Names a cluster from its attribute names: the topic with the highest
+  /// keyword-hit count wins (ties break by registration order). With no
+  /// hits the cluster is named after its first attribute.
+  std::string AssignTopic(const std::vector<std::string>& attribute_names,
+                          LatencyMeter* meter = nullptr) const;
+
+  std::size_t num_topics() const { return topics_.size(); }
+
+ private:
+  std::vector<std::pair<std::string, std::vector<std::string>>> topics_;
+};
+
+}  // namespace cdi::knowledge
+
+#endif  // CDI_KNOWLEDGE_TOPIC_MODEL_H_

@@ -1,0 +1,145 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/distributions.h"
+#include "stats/linalg.h"
+
+namespace cdi::stats {
+
+namespace {
+
+/// Indices of rows with no NaN in any variable.
+std::vector<std::size_t> CompleteRows(const NumericDataset& data) {
+  std::vector<std::size_t> rows;
+  const std::size_t n = data.num_rows();
+  for (std::size_t r = 0; r < n; ++r) {
+    bool ok = true;
+    for (const auto& col : data.columns) {
+      if (std::isnan(col[r])) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) rows.push_back(r);
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::size_t CompleteRowCount(const NumericDataset& data) {
+  return CompleteRows(data).size();
+}
+
+Result<Matrix> CovarianceMatrix(const NumericDataset& data) {
+  const std::size_t p = data.num_vars();
+  if (p == 0) return Status::InvalidArgument("no variables");
+  for (const auto& col : data.columns) {
+    if (col.size() != data.num_rows()) {
+      return Status::InvalidArgument("ragged dataset");
+    }
+  }
+  if (!data.weights.empty() && data.weights.size() != data.num_rows()) {
+    return Status::InvalidArgument("weights size mismatch");
+  }
+  const auto rows = CompleteRows(data);
+  if (rows.size() < 2) {
+    return Status::FailedPrecondition("fewer than 2 complete rows");
+  }
+  // Weighted means.
+  std::vector<double> mean(p, 0.0);
+  double wsum = 0;
+  for (std::size_t r : rows) {
+    const double w = data.weights.empty() ? 1.0 : data.weights[r];
+    wsum += w;
+    for (std::size_t v = 0; v < p; ++v) mean[v] += w * data.columns[v][r];
+  }
+  if (wsum <= 0) return Status::InvalidArgument("weights sum to zero");
+  for (double& m : mean) m /= wsum;
+
+  Matrix cov(p, p);
+  for (std::size_t r : rows) {
+    const double w = data.weights.empty() ? 1.0 : data.weights[r];
+    for (std::size_t a = 0; a < p; ++a) {
+      const double da = data.columns[a][r] - mean[a];
+      for (std::size_t b = a; b < p; ++b) {
+        cov(a, b) += w * da * (data.columns[b][r] - mean[b]);
+      }
+    }
+  }
+  // Unbiased-ish normalization: effective sample size - 1.
+  const double denom = std::max(1.0, wsum - 1.0);
+  for (std::size_t a = 0; a < p; ++a) {
+    for (std::size_t b = a; b < p; ++b) {
+      cov(a, b) /= denom;
+      cov(b, a) = cov(a, b);
+    }
+  }
+  return cov;
+}
+
+Result<Matrix> CorrelationMatrix(const NumericDataset& data) {
+  CDI_ASSIGN_OR_RETURN(Matrix cov, CovarianceMatrix(data));
+  const std::size_t p = cov.rows();
+  Matrix corr(p, p);
+  for (std::size_t a = 0; a < p; ++a) {
+    corr(a, a) = 1.0;
+    for (std::size_t b = a + 1; b < p; ++b) {
+      const double va = cov(a, a);
+      const double vb = cov(b, b);
+      double r = 0.0;
+      if (va > 0 && vb > 0) {
+        r = std::clamp(cov(a, b) / std::sqrt(va * vb), -1.0, 1.0);
+      }
+      corr(a, b) = r;
+      corr(b, a) = r;
+    }
+  }
+  return corr;
+}
+
+Result<double> PartialCorrelation(const Matrix& corr, std::size_t i,
+                                  std::size_t j,
+                                  const std::vector<std::size_t>& given) {
+  if (i >= corr.rows() || j >= corr.rows() || i == j) {
+    return Status::InvalidArgument("bad variable indices");
+  }
+  if (given.empty()) return corr(i, j);
+  if (given.size() == 1) {
+    // Closed form for a single conditioning variable.
+    const std::size_t k = given[0];
+    const double rij = corr(i, j);
+    const double rik = corr(i, k);
+    const double rjk = corr(j, k);
+    const double den = std::sqrt((1 - rik * rik) * (1 - rjk * rjk));
+    if (den <= 1e-12) return 0.0;
+    return std::clamp((rij - rik * rjk) / den, -1.0, 1.0);
+  }
+  // General case: invert the submatrix over {i, j} ∪ given; the partial
+  // correlation is -P_01 / sqrt(P_00 P_11) where P is the precision matrix.
+  std::vector<std::size_t> idx = {i, j};
+  idx.insert(idx.end(), given.begin(), given.end());
+  Matrix sub = corr.Submatrix(idx);
+  // Tiny ridge guards against singular submatrices from deterministic
+  // relationships.
+  for (std::size_t d = 0; d < sub.rows(); ++d) sub(d, d) += 1e-10;
+  auto inv = Inverse(sub);
+  if (!inv.ok()) return 0.0;  // treat a degenerate system as uncorrelated
+  const Matrix& p = *inv;
+  const double den = std::sqrt(p(0, 0) * p(1, 1));
+  if (den <= 1e-12 || !std::isfinite(den)) return 0.0;
+  return std::clamp(-p(0, 1) / den, -1.0, 1.0);
+}
+
+double FisherZPValue(double r, std::size_t n, std::size_t k) {
+  if (n <= k + 3) return 1.0;
+  r = std::clamp(r, -0.9999999, 0.9999999);
+  const double z = 0.5 * std::log((1.0 + r) / (1.0 - r));
+  const double stat =
+      std::sqrt(static_cast<double>(n - k) - 3.0) * std::fabs(z);
+  return 2.0 * NormalSf(stat);
+}
+
+}  // namespace cdi::stats

@@ -1,0 +1,48 @@
+#ifndef CDI_STATS_CORRELATION_H_
+#define CDI_STATS_CORRELATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "stats/matrix.h"
+
+namespace cdi::stats {
+
+/// A dataset view for multivariate statistics: column-major numeric data
+/// (one vector per variable; NaN = missing) with optional row weights.
+struct NumericDataset {
+  std::vector<std::vector<double>> columns;
+  /// Optional per-row weights (e.g. IPW weights). Empty means all 1.
+  std::vector<double> weights;
+
+  std::size_t num_vars() const { return columns.size(); }
+  std::size_t num_rows() const {
+    return columns.empty() ? 0 : columns[0].size();
+  }
+};
+
+/// Sample covariance matrix over complete rows (listwise deletion of rows
+/// with any NaN among the variables; weighted when weights are given).
+Result<Matrix> CovarianceMatrix(const NumericDataset& data);
+
+/// Sample correlation matrix over complete rows. Variables with zero
+/// variance get correlation 0 with everything (1 on the diagonal).
+Result<Matrix> CorrelationMatrix(const NumericDataset& data);
+
+/// Number of complete rows used by the listwise-deletion estimators.
+std::size_t CompleteRowCount(const NumericDataset& data);
+
+/// Partial correlation rho(i, j | given) computed from a correlation
+/// matrix by inverting the submatrix over {i, j} ∪ given.
+Result<double> PartialCorrelation(const Matrix& corr, std::size_t i,
+                                  std::size_t j,
+                                  const std::vector<std::size_t>& given);
+
+/// Fisher-z two-sided p-value for testing rho = 0, where `r` is the
+/// (partial) correlation, `n` the sample size and `k` the size of the
+/// conditioning set. Returns 1 when n - k - 3 <= 0.
+double FisherZPValue(double r, std::size_t n, std::size_t k);
+
+}  // namespace cdi::stats
+
+#endif  // CDI_STATS_CORRELATION_H_

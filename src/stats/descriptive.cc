@@ -1,0 +1,201 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace cdi::stats {
+
+namespace {
+
+const double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+std::vector<double> ValidValues(const std::vector<double>& x) {
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (double v : x) {
+    if (!std::isnan(v)) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t ValidCount(const std::vector<double>& x) {
+  std::size_t n = 0;
+  for (double v : x) n += std::isnan(v) ? 0 : 1;
+  return n;
+}
+
+double Mean(const std::vector<double>& x) {
+  double s = 0;
+  std::size_t n = 0;
+  for (double v : x) {
+    if (std::isnan(v)) continue;
+    s += v;
+    ++n;
+  }
+  return n == 0 ? kNaN : s / static_cast<double>(n);
+}
+
+double Variance(const std::vector<double>& x) {
+  const double m = Mean(x);
+  if (std::isnan(m)) return kNaN;
+  double ss = 0;
+  std::size_t n = 0;
+  for (double v : x) {
+    if (std::isnan(v)) continue;
+    ss += (v - m) * (v - m);
+    ++n;
+  }
+  return n < 2 ? kNaN : ss / static_cast<double>(n - 1);
+}
+
+double StdDev(const std::vector<double>& x) {
+  const double v = Variance(x);
+  return std::isnan(v) ? kNaN : std::sqrt(v);
+}
+
+double Min(const std::vector<double>& x) {
+  auto v = ValidValues(x);
+  return v.empty() ? kNaN : *std::min_element(v.begin(), v.end());
+}
+
+double Max(const std::vector<double>& x) {
+  auto v = ValidValues(x);
+  return v.empty() ? kNaN : *std::max_element(v.begin(), v.end());
+}
+
+double Median(const std::vector<double>& x) { return Quantile(x, 0.5); }
+
+double Quantile(const std::vector<double>& x, double q) {
+  auto v = ValidValues(x);
+  if (v.empty()) return kNaN;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double Skewness(const std::vector<double>& x) {
+  auto v = ValidValues(x);
+  if (v.size() < 3) return kNaN;
+  const double m = Mean(v);
+  double m2 = 0, m3 = 0;
+  for (double xi : v) {
+    const double d = xi - m;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  m2 /= static_cast<double>(v.size());
+  m3 /= static_cast<double>(v.size());
+  if (m2 <= 0) return 0.0;
+  return m3 / std::pow(m2, 1.5);
+}
+
+double ExcessKurtosis(const std::vector<double>& x) {
+  auto v = ValidValues(x);
+  if (v.size() < 4) return kNaN;
+  const double m = Mean(v);
+  double m2 = 0, m4 = 0;
+  for (double xi : v) {
+    const double d = xi - m;
+    m2 += d * d;
+    m4 += d * d * d * d;
+  }
+  m2 /= static_cast<double>(v.size());
+  m4 /= static_cast<double>(v.size());
+  if (m2 <= 0) return 0.0;
+  return m4 / (m2 * m2) - 3.0;
+}
+
+double WeightedMean(const std::vector<double>& x,
+                    const std::vector<double>& w) {
+  if (x.size() != w.size()) return kNaN;
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (std::isnan(x[i]) || std::isnan(w[i])) continue;
+    num += w[i] * x[i];
+    den += w[i];
+  }
+  return den == 0 ? kNaN : num / den;
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  if (x.size() != y.size()) return kNaN;
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (std::isnan(x[i]) || std::isnan(y[i])) continue;
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    syy += y[i] * y[i];
+    sxy += x[i] * y[i];
+    ++n;
+  }
+  if (n < 2) return kNaN;
+  const double nn = static_cast<double>(n);
+  const double cov = sxy - sx * sy / nn;
+  const double vx = sxx - sx * sx / nn;
+  const double vy = syy - sy * sy / nn;
+  if (vx <= 0 || vy <= 0) return kNaN;
+  return std::clamp(cov / std::sqrt(vx * vy), -1.0, 1.0);
+}
+
+namespace {
+
+std::vector<double> AverageRanks(const std::vector<double>& v) {
+  const std::size_t n = v.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+  std::vector<double> ranks(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && v[order[j + 1]] == v[order[i]]) ++j;
+    const double avg = 0.5 * (static_cast<double>(i) + static_cast<double>(j)) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  if (x.size() != y.size()) return kNaN;
+  std::vector<double> xv, yv;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (std::isnan(x[i]) || std::isnan(y[i])) continue;
+    xv.push_back(x[i]);
+    yv.push_back(y[i]);
+  }
+  if (xv.size() < 2) return kNaN;
+  return PearsonCorrelation(AverageRanks(xv), AverageRanks(yv));
+}
+
+std::vector<double> Standardize(const std::vector<double>& x) {
+  const double m = Mean(x);
+  const double s = StdDev(x);
+  std::vector<double> out(x.size(), kNaN);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (std::isnan(x[i])) continue;
+    out[i] = (std::isnan(s) || s <= 0) ? 0.0 : (x[i] - m) / s;
+  }
+  return out;
+}
+
+std::vector<double> ZScores(const std::vector<double>& x) {
+  return Standardize(x);
+}
+
+}  // namespace cdi::stats

@@ -1,0 +1,60 @@
+#ifndef CDI_STATS_DESCRIPTIVE_H_
+#define CDI_STATS_DESCRIPTIVE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cdi::stats {
+
+/// Descriptive statistics over vectors of doubles. Every function skips NaN
+/// entries (the table layer encodes nulls as NaN), so callers can pass
+/// Column::ToDoubles() output directly. Functions return NaN when fewer
+/// valid values remain than the statistic needs.
+
+double Mean(const std::vector<double>& x);
+
+/// Unbiased (n-1) sample variance.
+double Variance(const std::vector<double>& x);
+
+double StdDev(const std::vector<double>& x);
+
+double Min(const std::vector<double>& x);
+double Max(const std::vector<double>& x);
+
+double Median(const std::vector<double>& x);
+
+/// Linear-interpolated quantile, q in [0, 1].
+double Quantile(const std::vector<double>& x, double q);
+
+/// Sample skewness (Fisher-Pearson, bias-unadjusted).
+double Skewness(const std::vector<double>& x);
+
+/// Excess kurtosis.
+double ExcessKurtosis(const std::vector<double>& x);
+
+/// Weighted mean; entries with NaN value or weight are skipped.
+double WeightedMean(const std::vector<double>& x,
+                    const std::vector<double>& w);
+
+/// Number of non-NaN entries.
+std::size_t ValidCount(const std::vector<double>& x);
+
+/// Pearson correlation over pairwise-complete entries.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Spearman rank correlation over pairwise-complete entries
+/// (average ranks for ties).
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+/// (x - mean) / stddev; NaN entries stay NaN. A constant vector maps to all
+/// zeros.
+std::vector<double> Standardize(const std::vector<double>& x);
+
+/// Z-score of each entry against the vector's own mean/stddev (NaN for NaN).
+std::vector<double> ZScores(const std::vector<double>& x);
+
+}  // namespace cdi::stats
+
+#endif  // CDI_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,45 @@
+#ifndef CDI_STATS_DISTRIBUTIONS_H_
+#define CDI_STATS_DISTRIBUTIONS_H_
+
+namespace cdi::stats {
+
+/// P(Z <= z) for standard normal Z.
+double NormalCdf(double z);
+
+/// P(Z > z) = 1 - NormalCdf(z), computed accurately in the tail.
+double NormalSf(double z);
+
+/// Inverse of NormalCdf (Acklam's rational approximation, |err| < 1.2e-9).
+/// Requires 0 < p < 1.
+double NormalQuantile(double p);
+
+/// ln Gamma(x) for x > 0 (Lanczos).
+double LogGamma(double x);
+
+/// Regularized lower incomplete gamma P(a, x), a > 0, x >= 0.
+double RegularizedGammaP(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+/// Chi-square CDF with k degrees of freedom.
+double ChiSquareCdf(double x, double k);
+
+/// Chi-square survival function (p-value of a chi-square statistic).
+double ChiSquareSf(double x, double k);
+
+/// Regularized incomplete beta I_x(a, b) via continued fraction.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// Student-t CDF with `dof` degrees of freedom.
+double StudentTCdf(double t, double dof);
+
+/// Two-sided Student-t p-value: P(|T| >= |t|).
+double StudentTTwoSidedPValue(double t, double dof);
+
+/// F-distribution survival function with d1, d2 degrees of freedom.
+double FSf(double f, double d1, double d2);
+
+}  // namespace cdi::stats
+
+#endif  // CDI_STATS_DISTRIBUTIONS_H_

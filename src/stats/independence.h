@@ -1,0 +1,42 @@
+#ifndef CDI_STATS_INDEPENDENCE_H_
+#define CDI_STATS_INDEPENDENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cdi::stats {
+
+/// Result of an (un)conditional independence test.
+struct IndependenceResult {
+  double statistic = 0.0;
+  double p_value = 1.0;
+  /// Effect-size proxy (|partial correlation| or Cramer's V).
+  double strength = 0.0;
+};
+
+/// Chi-square test of independence between two discrete variables encoded
+/// as small non-negative integer codes (-1 = missing, skipped pairwise).
+Result<IndependenceResult> ChiSquareIndependence(
+    const std::vector<int>& x, const std::vector<int>& y);
+
+/// Conditional chi-square test of X ⟂ Y | Z: statistic and degrees of
+/// freedom sum over the strata of the (joint) conditioning codes. Strata
+/// with fewer than `min_stratum` rows are skipped.
+Result<IndependenceResult> ConditionalChiSquare(
+    const std::vector<int>& x, const std::vector<int>& y,
+    const std::vector<std::vector<int>>& z, std::size_t min_stratum = 5);
+
+/// Plug-in discrete mutual information I(X; Y) in nats (missing codes
+/// skipped pairwise).
+double DiscreteMutualInformation(const std::vector<int>& x,
+                                 const std::vector<int>& y);
+
+/// Quantile-bins a numeric vector into `bins` integer codes (NaN -> -1).
+/// Used to compute mutual information of continuous attributes.
+std::vector<int> QuantileBin(const std::vector<double>& x, int bins);
+
+}  // namespace cdi::stats
+
+#endif  // CDI_STATS_INDEPENDENCE_H_

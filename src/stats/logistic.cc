@@ -1,0 +1,113 @@
+#include "stats/logistic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/linalg.h"
+#include "stats/matrix.h"
+
+namespace cdi::stats {
+
+namespace {
+double Sigmoid(double z) {
+  if (z >= 0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+}  // namespace
+
+double LogisticFit::Predict(const std::vector<double>& x) const {
+  CDI_CHECK(x.size() + 1 == coefficients.size());
+  double z = coefficients[0];
+  for (std::size_t i = 0; i < x.size(); ++i) z += coefficients[i + 1] * x[i];
+  return Sigmoid(z);
+}
+
+Result<LogisticFit> FitLogistic(const std::vector<std::vector<double>>& xs,
+                                const std::vector<double>& y,
+                                int max_iterations, double ridge) {
+  const std::size_t n = y.size();
+  for (const auto& x : xs) {
+    if (x.size() != n) return Status::InvalidArgument("ragged predictors");
+  }
+  std::vector<std::size_t> rows;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (std::isnan(y[r])) continue;
+    if (y[r] != 0.0 && y[r] != 1.0) {
+      return Status::InvalidArgument("y must be 0/1");
+    }
+    bool ok = true;
+    for (const auto& x : xs) {
+      if (std::isnan(x[r])) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) rows.push_back(r);
+  }
+  const std::size_t m = rows.size();
+  const std::size_t p = xs.size() + 1;
+  if (m <= p) return Status::FailedPrecondition("too few complete rows");
+
+  Matrix design(m, p);
+  std::vector<double> yy(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    design(i, 0) = 1.0;
+    for (std::size_t j = 0; j < xs.size(); ++j) {
+      design(i, j + 1) = xs[j][rows[i]];
+    }
+    yy[i] = y[rows[i]];
+  }
+
+  LogisticFit fit;
+  std::vector<double> beta(p, 0.0);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    // IRLS step: solve (X^T W X + ridge I) d = X^T (y - mu).
+    Matrix h(p, p);
+    std::vector<double> g(p, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      double z = 0;
+      for (std::size_t a = 0; a < p; ++a) z += design(i, a) * beta[a];
+      const double mu = Sigmoid(z);
+      const double w = std::max(mu * (1.0 - mu), 1e-10);
+      const double resid = yy[i] - mu;
+      for (std::size_t a = 0; a < p; ++a) {
+        g[a] += design(i, a) * resid;
+        for (std::size_t b = a; b < p; ++b) {
+          h(a, b) += w * design(i, a) * design(i, b);
+        }
+      }
+    }
+    for (std::size_t a = 0; a < p; ++a) {
+      h(a, a) += ridge;
+      for (std::size_t b = a + 1; b < p; ++b) h(b, a) = h(a, b);
+      g[a] -= ridge * beta[a];
+    }
+    CDI_ASSIGN_OR_RETURN(std::vector<double> step, CholeskySolve(h, g));
+    double max_step = 0;
+    for (std::size_t a = 0; a < p; ++a) {
+      beta[a] += step[a];
+      max_step = std::max(max_step, std::fabs(step[a]));
+    }
+    fit.iterations = iter + 1;
+    if (max_step < 1e-8) {
+      fit.converged = true;
+      break;
+    }
+  }
+  fit.coefficients = beta;
+  fit.log_likelihood = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    double z = 0;
+    for (std::size_t a = 0; a < p; ++a) z += design(i, a) * beta[a];
+    const double mu = std::clamp(Sigmoid(z), 1e-12, 1.0 - 1e-12);
+    fit.log_likelihood +=
+        yy[i] > 0.5 ? std::log(mu) : std::log(1.0 - mu);
+  }
+  return fit;
+}
+
+}  // namespace cdi::stats

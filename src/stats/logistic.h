@@ -1,0 +1,33 @@
+#ifndef CDI_STATS_LOGISTIC_H_
+#define CDI_STATS_LOGISTIC_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace cdi::stats {
+
+/// Fitted logistic-regression model.
+struct LogisticFit {
+  /// Intercept followed by one coefficient per predictor.
+  std::vector<double> coefficients;
+  bool converged = false;
+  int iterations = 0;
+  /// In-sample log-likelihood.
+  double log_likelihood = 0.0;
+
+  /// Predicted probability for one feature vector (without intercept term).
+  double Predict(const std::vector<double>& x) const;
+};
+
+/// Fits P(y=1 | x) = sigmoid(b0 + b.x) via iteratively reweighted least
+/// squares with an L2 ridge for separation robustness. `y` entries must be
+/// 0 or 1; rows with NaN anywhere are dropped. This powers the Data
+/// Organizer's missingness propensity model (IPW).
+Result<LogisticFit> FitLogistic(const std::vector<std::vector<double>>& xs,
+                                const std::vector<double>& y,
+                                int max_iterations = 50, double ridge = 1e-6);
+
+}  // namespace cdi::stats
+
+#endif  // CDI_STATS_LOGISTIC_H_

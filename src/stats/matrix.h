@@ -1,0 +1,79 @@
+#ifndef CDI_STATS_MATRIX_H_
+#define CDI_STATS_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace cdi::stats {
+
+/// Dense row-major matrix of doubles.
+///
+/// Sized for CDI's workloads (correlation matrices over at most a few
+/// hundred attributes); all algorithms that use it are O(n^3) or better.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Identity matrix of order n.
+  static Matrix Identity(std::size_t n);
+
+  /// Builds a matrix from nested initializer-style data (rows of equal
+  /// length).
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    CDI_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    CDI_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw storage (row-major).
+  const std::vector<double>& data() const { return data_; }
+
+  Matrix Transpose() const;
+
+  /// Matrix product; inner dimensions must agree.
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Matrix-vector product; v.size() must equal cols().
+  std::vector<double> MultiplyVector(const std::vector<double>& v) const;
+
+  /// Elementwise sum/difference; shapes must agree.
+  Matrix Add(const Matrix& other) const;
+  Matrix Subtract(const Matrix& other) const;
+
+  /// Scales every element.
+  Matrix Scale(double s) const;
+
+  /// Rows/columns restricted to `idx` (square selection), preserving order.
+  Matrix Submatrix(const std::vector<std::size_t>& idx) const;
+
+  /// Maximum |a_ij - b_ij|; shapes must agree.
+  double MaxAbsDiff(const Matrix& other) const;
+
+  /// True if the matrix is square and symmetric within `tol`.
+  bool IsSymmetric(double tol = 1e-9) const;
+
+  /// Debug rendering.
+  std::string ToString(int precision = 4) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace cdi::stats
+
+#endif  // CDI_STATS_MATRIX_H_

@@ -1,0 +1,158 @@
+#include "stats/regression.h"
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/distributions.h"
+#include "stats/linalg.h"
+
+namespace cdi::stats {
+
+Result<OlsFit> FitOls(const std::vector<std::vector<double>>& xs,
+                      const std::vector<double>& y,
+                      const std::vector<double>& weights) {
+  const std::size_t n = y.size();
+  for (const auto& x : xs) {
+    if (x.size() != n) return Status::InvalidArgument("ragged predictors");
+  }
+  if (!weights.empty() && weights.size() != n) {
+    return Status::InvalidArgument("weights size mismatch");
+  }
+  // Complete cases.
+  std::vector<std::size_t> rows;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (std::isnan(y[r])) continue;
+    bool ok = true;
+    for (const auto& x : xs) {
+      if (std::isnan(x[r])) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) rows.push_back(r);
+  }
+  const std::size_t m = rows.size();
+  const std::size_t p = xs.size() + 1;  // + intercept
+  if (m <= p) {
+    return Status::FailedPrecondition(
+        "need more complete rows (" + std::to_string(m) +
+        ") than parameters (" + std::to_string(p) + ")");
+  }
+
+  Matrix design(m, p);
+  std::vector<double> yy(m);
+  std::vector<double> ww(m, 1.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t r = rows[i];
+    design(i, 0) = 1.0;
+    for (std::size_t j = 0; j < xs.size(); ++j) design(i, j + 1) = xs[j][r];
+    yy[i] = y[r];
+    if (!weights.empty()) ww[i] = weights[r];
+  }
+
+  CDI_ASSIGN_OR_RETURN(std::vector<double> beta,
+                       WeightedLeastSquares(design, yy, ww));
+
+  OlsFit fit;
+  fit.coefficients = beta;
+  fit.n_used = m;
+  fit.residuals.assign(n, std::nan(""));
+
+  double rss = 0, tss = 0;
+  const double ymean = [&] {
+    double s = 0, wsum = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      s += ww[i] * yy[i];
+      wsum += ww[i];
+    }
+    return s / wsum;
+  }();
+  for (std::size_t i = 0; i < m; ++i) {
+    double pred = beta[0];
+    for (std::size_t j = 0; j < xs.size(); ++j) {
+      pred += beta[j + 1] * design(i, j + 1);
+    }
+    const double e = yy[i] - pred;
+    fit.residuals[rows[i]] = e;
+    rss += ww[i] * e * e;
+    tss += ww[i] * (yy[i] - ymean) * (yy[i] - ymean);
+  }
+  fit.rss = rss;
+  fit.r_squared = tss > 0 ? 1.0 - rss / tss : 0.0;
+  const double dof = static_cast<double>(m - p);
+  fit.adjusted_r_squared =
+      tss > 0 ? 1.0 - (rss / dof) / (tss / static_cast<double>(m - 1)) : 0.0;
+
+  // Standard errors from sigma^2 (X^T W X)^-1.
+  const double sigma2 = rss / dof;
+  Matrix xtwx(p, p);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t a = 0; a < p; ++a) {
+      for (std::size_t b = a; b < p; ++b) {
+        xtwx(a, b) += ww[i] * design(i, a) * design(i, b);
+      }
+    }
+  }
+  for (std::size_t a = 0; a < p; ++a) {
+    for (std::size_t b = a + 1; b < p; ++b) xtwx(b, a) = xtwx(a, b);
+    xtwx(a, a) += 1e-10;
+  }
+  fit.std_errors.assign(p, std::nan(""));
+  fit.t_values.assign(p, std::nan(""));
+  fit.p_values.assign(p, std::nan(""));
+  auto inv = Inverse(xtwx);
+  if (inv.ok()) {
+    for (std::size_t a = 0; a < p; ++a) {
+      const double var = sigma2 * (*inv)(a, a);
+      if (var >= 0) {
+        fit.std_errors[a] = std::sqrt(var);
+        if (fit.std_errors[a] > 0) {
+          fit.t_values[a] = beta[a] / fit.std_errors[a];
+          fit.p_values[a] = StudentTTwoSidedPValue(fit.t_values[a], dof);
+        }
+      }
+    }
+  }
+  return fit;
+}
+
+Result<OlsFit> FitStandardizedOls(const std::vector<std::vector<double>>& xs,
+                                  const std::vector<double>& y,
+                                  const std::vector<double>& weights) {
+  std::vector<std::vector<double>> zx;
+  zx.reserve(xs.size());
+  for (const auto& x : xs) zx.push_back(Standardize(x));
+  return FitOls(zx, Standardize(y), weights);
+}
+
+Result<double> GaussianBicLocalScore(
+    const std::vector<std::vector<double>>& data, std::size_t target,
+    const std::vector<std::size_t>& parents) {
+  if (target >= data.size()) {
+    return Status::InvalidArgument("bad target index");
+  }
+  const std::size_t n = data[target].size();
+  if (n < parents.size() + 3) {
+    return Status::FailedPrecondition("too few rows for BIC");
+  }
+  double rss;
+  if (parents.empty()) {
+    const double m = Mean(data[target]);
+    rss = 0;
+    for (double v : data[target]) rss += (v - m) * (v - m);
+  } else {
+    std::vector<std::vector<double>> xs;
+    for (std::size_t pidx : parents) xs.push_back(data[pidx]);
+    CDI_ASSIGN_OR_RETURN(OlsFit fit, FitOls(xs, data[target]));
+    rss = fit.rss;
+  }
+  const double nn = static_cast<double>(n);
+  const double sigma2 = std::max(rss / nn, 1e-12);
+  // -2 log L = n log(2*pi*sigma^2) + n; BIC penalty: (|pa| + 2) params
+  // (coefficients + intercept + variance).
+  const double neg2_loglik = nn * std::log(2.0 * M_PI * sigma2) + nn;
+  return neg2_loglik +
+         std::log(nn) * (static_cast<double>(parents.size()) + 2.0);
+}
+
+}  // namespace cdi::stats

@@ -1,0 +1,60 @@
+#ifndef CDI_STATS_REGRESSION_H_
+#define CDI_STATS_REGRESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stats/matrix.h"
+
+namespace cdi::stats {
+
+/// Fitted ordinary (or weighted) least-squares model.
+struct OlsFit {
+  /// Intercept followed by one coefficient per predictor, in input order.
+  std::vector<double> coefficients;
+  /// Standard error per coefficient (same indexing).
+  std::vector<double> std_errors;
+  /// t statistic per coefficient.
+  std::vector<double> t_values;
+  /// Two-sided p-value per coefficient.
+  std::vector<double> p_values;
+  double r_squared = 0.0;
+  double adjusted_r_squared = 0.0;
+  /// Residual sum of squares.
+  double rss = 0.0;
+  /// Rows actually used (complete cases).
+  std::size_t n_used = 0;
+  std::vector<double> residuals;
+
+  /// Coefficient of predictor `i` (0-based, excludes intercept).
+  double beta(std::size_t i) const { return coefficients.at(i + 1); }
+  double intercept() const { return coefficients.at(0); }
+};
+
+/// Ordinary least squares of `y` on `xs` (one vector per predictor) with an
+/// intercept. Rows containing NaN in y or any predictor are dropped
+/// (listwise); optional non-negative row `weights` turn this into WLS
+/// (weights of dropped rows are ignored). Requires more complete rows than
+/// predictors.
+Result<OlsFit> FitOls(const std::vector<std::vector<double>>& xs,
+                      const std::vector<double>& y,
+                      const std::vector<double>& weights = {});
+
+/// OLS on standardized variables (y and every predictor z-scored first).
+/// The returned coefficients are then comparable across predictors; this is
+/// what the paper's "direct effect" column reports.
+Result<OlsFit> FitStandardizedOls(const std::vector<std::vector<double>>& xs,
+                                  const std::vector<double>& y,
+                                  const std::vector<double>& weights = {});
+
+/// Gaussian BIC of regressing `target` on `parents` (columns of `data`),
+/// the local score used by GES: -2 log L + log(n) * (|parents| + 2).
+/// Lower is better.
+Result<double> GaussianBicLocalScore(
+    const std::vector<std::vector<double>>& data, std::size_t target,
+    const std::vector<std::size_t>& parents);
+
+}  // namespace cdi::stats
+
+#endif  // CDI_STATS_REGRESSION_H_

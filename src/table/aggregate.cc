@@ -1,0 +1,164 @@
+#include "table/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace cdi::table {
+
+const char* AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kMean:
+      return "mean";
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kFirst:
+      return "first";
+    case AggKind::kMedian:
+      return "median";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Reduces the non-null values of `col` at `rows`.
+Value Reduce(const Column& col, const std::vector<std::size_t>& rows,
+             AggKind kind) {
+  if (kind == AggKind::kCount) {
+    int64_t n = 0;
+    for (std::size_t r : rows) n += col.IsNull(r) ? 0 : 1;
+    return Value(n);
+  }
+  if (kind == AggKind::kFirst) {
+    for (std::size_t r : rows) {
+      if (!col.IsNull(r)) return col.Get(r);
+    }
+    return Value::Null();
+  }
+  // Numeric reductions.
+  std::vector<double> vals;
+  vals.reserve(rows.size());
+  for (std::size_t r : rows) {
+    if (!col.IsNull(r)) vals.push_back(col.Get(r).ToNumeric());
+  }
+  if (vals.empty()) return Value::Null();
+  switch (kind) {
+    case AggKind::kMean: {
+      double s = 0;
+      for (double v : vals) s += v;
+      return Value(s / static_cast<double>(vals.size()));
+    }
+    case AggKind::kSum: {
+      double s = 0;
+      for (double v : vals) s += v;
+      return Value(s);
+    }
+    case AggKind::kMin:
+      return Value(*std::min_element(vals.begin(), vals.end()));
+    case AggKind::kMax:
+      return Value(*std::max_element(vals.begin(), vals.end()));
+    case AggKind::kMedian: {
+      std::sort(vals.begin(), vals.end());
+      const std::size_t n = vals.size();
+      return Value(n % 2 == 1 ? vals[n / 2]
+                              : 0.5 * (vals[n / 2 - 1] + vals[n / 2]));
+    }
+    case AggKind::kCount:
+    case AggKind::kFirst:
+      break;  // handled above
+  }
+  return Value::Null();
+}
+
+DataType OutputType(const Column& col, AggKind kind) {
+  if (kind == AggKind::kCount) return DataType::kInt64;
+  if (kind == AggKind::kFirst) return col.type();
+  return DataType::kDouble;
+}
+
+}  // namespace
+
+Result<Table> GroupBy(const Table& t, const std::vector<std::string>& keys,
+                      const std::vector<AggSpec>& aggs) {
+  std::vector<const Column*> key_cols;
+  for (const auto& k : keys) {
+    CDI_ASSIGN_OR_RETURN(const Column* c, t.GetColumn(k));
+    key_cols.push_back(c);
+  }
+  for (const auto& spec : aggs) {
+    CDI_ASSIGN_OR_RETURN(const Column* c, t.GetColumn(spec.column));
+    if (spec.kind != AggKind::kCount && spec.kind != AggKind::kFirst &&
+        c->type() == DataType::kString) {
+      return Status::InvalidArgument("cannot " +
+                                     std::string(AggKindName(spec.kind)) +
+                                     " string column '" + spec.column + "'");
+    }
+  }
+
+  // Bucket rows by composite key.
+  std::unordered_map<std::string, std::size_t> group_of;
+  std::vector<std::vector<std::size_t>> groups;
+  std::vector<std::size_t> rep_row;  // representative row per group
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    std::string key;
+    for (const Column* c : key_cols) {
+      key += c->IsNull(r) ? "\x01<null>" : c->Get(r).ToString();
+      key += '\x02';
+    }
+    auto [it, inserted] = group_of.emplace(key, groups.size());
+    if (inserted) {
+      groups.emplace_back();
+      rep_row.push_back(r);
+    }
+    groups[it->second].push_back(r);
+  }
+
+  Table out(t.name() + "_grouped");
+  for (std::size_t ki = 0; ki < keys.size(); ++ki) {
+    Column kc(keys[ki], key_cols[ki]->type());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      CDI_RETURN_IF_ERROR(kc.Append(key_cols[ki]->Get(rep_row[g])));
+    }
+    CDI_RETURN_IF_ERROR(out.AddColumn(std::move(kc)));
+  }
+  for (const auto& spec : aggs) {
+    CDI_ASSIGN_OR_RETURN(const Column* c, t.GetColumn(spec.column));
+    const std::string out_name =
+        spec.out_name.empty()
+            ? std::string(AggKindName(spec.kind)) + "_" + spec.column
+            : spec.out_name;
+    Column ac(out_name, OutputType(*c, spec.kind));
+    for (const auto& rows : groups) {
+      CDI_RETURN_IF_ERROR(ac.Append(Reduce(*c, rows, spec.kind)));
+    }
+    CDI_RETURN_IF_ERROR(out.AddColumn(std::move(ac)));
+  }
+  return out;
+}
+
+Result<Table> CollapseByKeys(const Table& t,
+                             const std::vector<std::string>& keys,
+                             AggKind numeric_kind) {
+  std::vector<AggSpec> aggs;
+  for (const auto& name : t.ColumnNames()) {
+    if (std::find(keys.begin(), keys.end(), name) != keys.end()) continue;
+    CDI_ASSIGN_OR_RETURN(const Column* c, t.GetColumn(name));
+    AggSpec spec;
+    spec.column = name;
+    spec.kind = (c->type() == DataType::kString || c->type() == DataType::kBool)
+                    ? AggKind::kFirst
+                    : numeric_kind;
+    spec.out_name = name;
+    aggs.push_back(spec);
+  }
+  return GroupBy(t, keys, aggs);
+}
+
+}  // namespace cdi::table

@@ -1,0 +1,52 @@
+#ifndef CDI_TABLE_AGGREGATE_H_
+#define CDI_TABLE_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace cdi::table {
+
+/// Aggregation function applied within each group. Nulls are skipped; a
+/// group with only nulls aggregates to null.
+enum class AggKind {
+  kMean,
+  kSum,
+  kMin,
+  kMax,
+  kCount,   ///< number of non-null values (int64)
+  kFirst,   ///< first value in row order (any type)
+  kMedian,
+};
+
+/// One requested aggregate: `column` reduced by `kind`, emitted as
+/// `out_name` (defaults to "<kind>_<column>" when empty).
+struct AggSpec {
+  std::string column;
+  AggKind kind = AggKind::kMean;
+  std::string out_name;
+};
+
+/// Stable display name for an AggKind ("mean", "sum", ...).
+const char* AggKindName(AggKind kind);
+
+/// Groups `t` by the `keys` columns (null keys form their own group) and
+/// computes the requested aggregates. Output has one row per distinct key
+/// combination, in first-appearance order: key columns first, then one
+/// column per AggSpec.
+Result<Table> GroupBy(const Table& t, const std::vector<std::string>& keys,
+                      const std::vector<AggSpec>& aggs);
+
+/// Convenience: groups by `keys` and aggregates every other column — numeric
+/// columns by `numeric_kind`, non-numeric by kFirst — keeping original
+/// column names. This is how the Data Organizer collapses one-to-many
+/// extractions into a single row per entity.
+Result<Table> CollapseByKeys(const Table& t,
+                             const std::vector<std::string>& keys,
+                             AggKind numeric_kind = AggKind::kMean);
+
+}  // namespace cdi::table
+
+#endif  // CDI_TABLE_AGGREGATE_H_

@@ -1,0 +1,127 @@
+#include "table/column.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace cdi::table {
+
+Column Column::FromDoubles(std::string name, std::vector<double> values) {
+  Column c(std::move(name), DataType::kDouble);
+  c.values_.reserve(values.size());
+  for (double v : values) {
+    if (std::isnan(v)) {
+      c.values_.emplace_back();
+    } else {
+      c.values_.emplace_back(v);
+    }
+  }
+  return c;
+}
+
+Column Column::FromInts(std::string name, std::vector<int64_t> values) {
+  Column c(std::move(name), DataType::kInt64);
+  c.values_.reserve(values.size());
+  for (int64_t v : values) c.values_.emplace_back(v);
+  return c;
+}
+
+Column Column::FromStrings(std::string name, std::vector<std::string> values) {
+  Column c(std::move(name), DataType::kString);
+  c.values_.reserve(values.size());
+  for (auto& v : values) c.values_.emplace_back(std::move(v));
+  return c;
+}
+
+Status Column::CheckType(const Value& v) const {
+  if (v.is_null()) return Status::OK();
+  switch (type_) {
+    case DataType::kDouble:
+      if (v.is_double() || v.is_int64()) return Status::OK();
+      break;
+    case DataType::kInt64:
+      if (v.is_int64()) return Status::OK();
+      break;
+    case DataType::kString:
+      if (v.is_string()) return Status::OK();
+      break;
+    case DataType::kBool:
+      if (v.is_bool()) return Status::OK();
+      break;
+  }
+  return Status::InvalidArgument("value does not match column '" + name_ +
+                                 "' of type " + DataTypeName(type_));
+}
+
+Status Column::Append(Value v) {
+  CDI_RETURN_IF_ERROR(CheckType(v));
+  if (type_ == DataType::kDouble && v.is_int64()) {
+    v = Value(static_cast<double>(v.as_int64()));
+  }
+  values_.push_back(std::move(v));
+  return Status::OK();
+}
+
+Status Column::Set(std::size_t row, Value v) {
+  if (row >= values_.size()) {
+    return Status::OutOfRange("row " + std::to_string(row) + " out of range");
+  }
+  CDI_RETURN_IF_ERROR(CheckType(v));
+  if (type_ == DataType::kDouble && v.is_int64()) {
+    v = Value(static_cast<double>(v.as_int64()));
+  }
+  values_[row] = std::move(v);
+  return Status::OK();
+}
+
+std::size_t Column::NullCount() const {
+  std::size_t n = 0;
+  for (const auto& v : values_) n += v.is_null() ? 1 : 0;
+  return n;
+}
+
+double Column::NullFraction() const {
+  return values_.empty()
+             ? 0.0
+             : static_cast<double>(NullCount()) / values_.size();
+}
+
+std::vector<double> Column::ToDoubles() const {
+  CDI_CHECK(type_ != DataType::kString)
+      << "ToDoubles on string column '" << name_ << "'";
+  std::vector<double> out;
+  out.reserve(values_.size());
+  for (const auto& v : values_) {
+    out.push_back(v.is_null() ? std::nan("") : v.ToNumeric());
+  }
+  return out;
+}
+
+std::vector<Value> Column::DistinctValues() const {
+  std::vector<Value> out;
+  std::unordered_set<std::string> seen;
+  for (const auto& v : values_) {
+    if (v.is_null()) continue;
+    const std::string key = v.ToString();
+    if (seen.insert(key).second) out.push_back(v);
+  }
+  return out;
+}
+
+Column Column::Take(const std::vector<std::size_t>& rows) const {
+  Column out(name_, type_);
+  out.values_.reserve(rows.size());
+  for (std::size_t r : rows) {
+    CDI_CHECK(r < values_.size());
+    out.values_.push_back(values_[r]);
+  }
+  return out;
+}
+
+bool Column::TypeChecks() const {
+  for (const auto& v : values_) {
+    if (!CheckType(v).ok()) return false;
+  }
+  return true;
+}
+
+}  // namespace cdi::table

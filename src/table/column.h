@@ -1,0 +1,83 @@
+#ifndef CDI_TABLE_COLUMN_H_
+#define CDI_TABLE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/value.h"
+
+namespace cdi::table {
+
+/// A named, typed, null-aware column of values.
+///
+/// Storage is a vector of `Value` for simplicity; numeric bulk access is
+/// provided by `ToDoubles()` which materializes a dense vector (NaN for
+/// nulls). For the scales CDI operates at (thousands of rows, hundreds of
+/// columns) this is comfortably fast and keeps the code obvious.
+class Column {
+ public:
+  Column(std::string name, DataType type)
+      : name_(std::move(name)), type_(type) {}
+
+  /// Builds a double column from raw values.
+  static Column FromDoubles(std::string name, std::vector<double> values);
+  /// Builds an int64 column from raw values.
+  static Column FromInts(std::string name, std::vector<int64_t> values);
+  /// Builds a string column from raw values.
+  static Column FromStrings(std::string name, std::vector<std::string> values);
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  DataType type() const { return type_; }
+  std::size_t size() const { return values_.size(); }
+
+  /// Appends a value; a null is always accepted, otherwise the value's type
+  /// must match the column type (int64 is implicitly widened into a double
+  /// column).
+  Status Append(Value v);
+
+  /// Unchecked access.
+  const Value& Get(std::size_t row) const {
+    CDI_CHECK(row < values_.size());
+    return values_[row];
+  }
+
+  /// Overwrites a cell (same typing rules as Append).
+  Status Set(std::size_t row, Value v);
+
+  bool IsNull(std::size_t row) const { return Get(row).is_null(); }
+
+  /// Number of null cells.
+  std::size_t NullCount() const;
+
+  /// Fraction of null cells (0 for an empty column).
+  double NullFraction() const;
+
+  /// Dense numeric view; nulls become NaN. Requires a numeric or bool column.
+  std::vector<double> ToDoubles() const;
+
+  /// Distinct non-null values in first-appearance order.
+  std::vector<Value> DistinctValues() const;
+
+  /// Number of distinct non-null values.
+  std::size_t DistinctCount() const { return DistinctValues().size(); }
+
+  /// New column with only the given rows, in order.
+  Column Take(const std::vector<std::size_t>& rows) const;
+
+  /// True if every non-null cell type-checks against the column type.
+  bool TypeChecks() const;
+
+ private:
+  Status CheckType(const Value& v) const;
+
+  std::string name_;
+  DataType type_;
+  std::vector<Value> values_;
+};
+
+}  // namespace cdi::table
+
+#endif  // CDI_TABLE_COLUMN_H_

@@ -1,0 +1,238 @@
+#include "table/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace cdi::table {
+
+namespace {
+
+/// Splits one CSV record honoring double-quote escaping.
+std::vector<std::string> SplitRecord(const std::string& line, char delim) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delim) {
+      fields.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(cur);
+  return fields;
+}
+
+bool ParseInt(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseBool(const std::string& s, bool* out) {
+  const std::string l = ToLower(s);
+  if (l == "true" || l == "yes") {
+    *out = true;
+    return true;
+  }
+  if (l == "false" || l == "no") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Table> ReadCsvString(const std::string& text,
+                            const CsvOptions& options) {
+  std::vector<std::string> lines;
+  {
+    std::string cur;
+    for (char c : text) {
+      if (c == '\n') {
+        if (!cur.empty() && cur.back() == '\r') cur.pop_back();
+        lines.push_back(cur);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    if (!cur.empty()) lines.push_back(cur);
+  }
+  if (lines.empty()) return Status::InvalidArgument("empty CSV input");
+
+  std::vector<std::string> header;
+  std::size_t first_data = 0;
+  if (options.has_header) {
+    header = SplitRecord(lines[0], options.delimiter);
+    for (auto& h : header) h = Trim(h);
+    first_data = 1;
+  } else {
+    const std::size_t n = SplitRecord(lines[0], options.delimiter).size();
+    for (std::size_t i = 0; i < n; ++i) header.push_back("c" + std::to_string(i));
+  }
+  const std::size_t ncols = header.size();
+
+  auto is_null_token = [&](const std::string& s) {
+    if (s.empty()) return true;
+    for (const auto& t : options.null_tokens) {
+      if (s == t) return true;
+    }
+    return false;
+  };
+
+  std::vector<std::vector<std::string>> raw(ncols);
+  for (std::size_t li = first_data; li < lines.size(); ++li) {
+    if (lines[li].empty()) continue;
+    auto fields = SplitRecord(lines[li], options.delimiter);
+    if (fields.size() != ncols) {
+      return Status::InvalidArgument(
+          "CSV line " + std::to_string(li + 1) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(ncols));
+    }
+    for (std::size_t c = 0; c < ncols; ++c) raw[c].push_back(Trim(fields[c]));
+  }
+
+  Table t("csv");
+  for (std::size_t c = 0; c < ncols; ++c) {
+    bool all_int = true;
+    bool all_double = true;
+    bool all_bool = true;
+    bool any_value = false;
+    for (const auto& cell : raw[c]) {
+      if (is_null_token(cell)) continue;
+      any_value = true;
+      int64_t iv;
+      double dv;
+      bool bv;
+      if (!ParseInt(cell, &iv)) all_int = false;
+      if (!ParseDouble(cell, &dv)) all_double = false;
+      if (!ParseBool(cell, &bv)) all_bool = false;
+    }
+    DataType type = DataType::kString;
+    if (any_value) {
+      if (all_int) {
+        type = DataType::kInt64;
+      } else if (all_double) {
+        type = DataType::kDouble;
+      } else if (all_bool) {
+        type = DataType::kBool;
+      }
+    }
+    Column col(header[c], type);
+    for (const auto& cell : raw[c]) {
+      if (is_null_token(cell)) {
+        CDI_RETURN_IF_ERROR(col.Append(Value::Null()));
+        continue;
+      }
+      switch (type) {
+        case DataType::kInt64: {
+          int64_t iv = 0;
+          ParseInt(cell, &iv);
+          CDI_RETURN_IF_ERROR(col.Append(Value(iv)));
+          break;
+        }
+        case DataType::kDouble: {
+          double dv = 0;
+          ParseDouble(cell, &dv);
+          CDI_RETURN_IF_ERROR(col.Append(Value(dv)));
+          break;
+        }
+        case DataType::kBool: {
+          bool bv = false;
+          ParseBool(cell, &bv);
+          CDI_RETURN_IF_ERROR(col.Append(Value(bv)));
+          break;
+        }
+        case DataType::kString:
+          CDI_RETURN_IF_ERROR(col.Append(Value(cell)));
+          break;
+      }
+    }
+    CDI_RETURN_IF_ERROR(t.AddColumn(std::move(col)));
+  }
+  return t;
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ReadCsvString(buf.str(), options);
+}
+
+std::string WriteCsvString(const Table& t, char delimiter) {
+  auto quote = [&](const std::string& s) {
+    if (s.find(delimiter) == std::string::npos &&
+        s.find('"') == std::string::npos &&
+        s.find('\n') == std::string::npos) {
+      return s;
+    }
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  const auto names = t.ColumnNames();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    os << (i ? std::string(1, delimiter) : "") << quote(names[i]);
+  }
+  os << '\n';
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    for (std::size_t c = 0; c < t.num_cols(); ++c) {
+      os << (c ? std::string(1, delimiter) : "")
+         << quote(t.ColumnAt(c).Get(r).ToString());
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+Status WriteCsvFile(const Table& t, const std::string& path, char delimiter) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot write '" + path + "'");
+  out << WriteCsvString(t, delimiter);
+  return Status::OK();
+}
+
+}  // namespace cdi::table

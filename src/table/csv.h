@@ -1,0 +1,41 @@
+#ifndef CDI_TABLE_CSV_H_
+#define CDI_TABLE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace cdi::table {
+
+/// Options for CSV parsing.
+struct CsvOptions {
+  char delimiter = ',';
+  /// When true the first record provides column names; otherwise columns are
+  /// named c0, c1, ...
+  bool has_header = true;
+  /// Cells equal to any of these (after trimming) parse as null, in addition
+  /// to the empty cell.
+  std::vector<std::string> null_tokens = {"NA", "null", "-"};
+};
+
+/// Parses CSV text into a table with per-column type inference
+/// (int64 -> double -> bool -> string, the narrowest type all non-null cells
+/// fit). Quoted fields with embedded delimiters/quotes are supported.
+Result<Table> ReadCsvString(const std::string& text,
+                            const CsvOptions& options = CsvOptions());
+
+/// Reads a CSV file from disk.
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvOptions& options = CsvOptions());
+
+/// Serializes a table to CSV (header row included; nulls as empty cells).
+std::string WriteCsvString(const Table& t, char delimiter = ',');
+
+/// Writes a table to a CSV file.
+Status WriteCsvFile(const Table& t, const std::string& path,
+                    char delimiter = ',');
+
+}  // namespace cdi::table
+
+#endif  // CDI_TABLE_CSV_H_

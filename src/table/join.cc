@@ -1,0 +1,123 @@
+#include "table/join.h"
+
+#include <unordered_map>
+
+namespace cdi::table {
+
+namespace {
+
+std::string RowKey(const std::vector<const Column*>& key_cols, std::size_t r,
+                   bool* has_null) {
+  std::string key;
+  *has_null = false;
+  for (const Column* c : key_cols) {
+    if (c->IsNull(r)) {
+      *has_null = true;
+      return key;
+    }
+    key += c->Get(r).ToString();
+    key += '\x02';
+  }
+  return key;
+}
+
+}  // namespace
+
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::vector<std::string>& left_keys,
+                       const std::vector<std::string>& right_keys,
+                       const JoinOptions& options) {
+  if (left_keys.size() != right_keys.size() || left_keys.empty()) {
+    return Status::InvalidArgument("join key lists must be non-empty and "
+                                   "of equal length");
+  }
+
+  // Under kAggregate, first collapse the right side to one row per key.
+  Table right_eff = right;
+  if (options.multi_match == MultiMatchPolicy::kAggregate) {
+    CDI_ASSIGN_OR_RETURN(right_eff,
+                         CollapseByKeys(right, right_keys,
+                                        options.numeric_agg));
+  }
+
+  std::vector<const Column*> lkeys;
+  for (const auto& k : left_keys) {
+    CDI_ASSIGN_OR_RETURN(const Column* c, left.GetColumn(k));
+    lkeys.push_back(c);
+  }
+  std::vector<const Column*> rkeys;
+  for (const auto& k : right_keys) {
+    CDI_ASSIGN_OR_RETURN(const Column* c, right_eff.GetColumn(k));
+    rkeys.push_back(c);
+  }
+
+  // Right columns to carry over (non-key), with collision-safe names.
+  std::vector<std::size_t> rcols;
+  std::vector<std::string> rnames;
+  for (std::size_t i = 0; i < right_eff.num_cols(); ++i) {
+    const std::string& n = right_eff.ColumnAt(i).name();
+    bool is_key = false;
+    for (const auto& k : right_keys) {
+      if (k == n) is_key = true;
+    }
+    if (is_key) continue;
+    rcols.push_back(i);
+    std::string out_name = n;
+    while (left.HasColumn(out_name)) out_name += options.right_suffix;
+    rnames.push_back(out_name);
+  }
+
+  // Build hash index over the right side.
+  std::unordered_map<std::string, std::vector<std::size_t>> index;
+  for (std::size_t r = 0; r < right_eff.num_rows(); ++r) {
+    bool has_null = false;
+    const std::string key = RowKey(rkeys, r, &has_null);
+    if (has_null) continue;
+    index[key].push_back(r);
+  }
+
+  // Probe.
+  std::vector<std::size_t> out_left_rows;
+  std::vector<std::ptrdiff_t> out_right_rows;  // -1 = no match (left join)
+  for (std::size_t r = 0; r < left.num_rows(); ++r) {
+    bool has_null = false;
+    const std::string key = RowKey(lkeys, r, &has_null);
+    const auto it = has_null ? index.end() : index.find(key);
+    if (it == index.end() || it->second.empty()) {
+      if (options.type == JoinType::kLeft) {
+        out_left_rows.push_back(r);
+        out_right_rows.push_back(-1);
+      }
+      continue;
+    }
+    if (options.multi_match == MultiMatchPolicy::kExpand) {
+      for (std::size_t rr : it->second) {
+        out_left_rows.push_back(r);
+        out_right_rows.push_back(static_cast<std::ptrdiff_t>(rr));
+      }
+    } else {
+      out_left_rows.push_back(r);
+      out_right_rows.push_back(static_cast<std::ptrdiff_t>(it->second[0]));
+    }
+  }
+
+  Table out = left.TakeRows(out_left_rows);
+  out.set_name(left.name() + "_join_" + right.name());
+  for (std::size_t ci = 0; ci < rcols.size(); ++ci) {
+    const Column& src = right_eff.ColumnAt(rcols[ci]);
+    Column col(rnames[ci], src.type());
+    for (std::ptrdiff_t rr : out_right_rows) {
+      CDI_RETURN_IF_ERROR(col.Append(
+          rr < 0 ? Value::Null() : src.Get(static_cast<std::size_t>(rr))));
+    }
+    CDI_RETURN_IF_ERROR(out.AddColumn(std::move(col)));
+  }
+  return out;
+}
+
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::string& key, const JoinOptions& options) {
+  return HashJoin(left, right, {key}, {key}, options);
+}
+
+}  // namespace cdi::table

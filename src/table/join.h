@@ -1,0 +1,56 @@
+#ifndef CDI_TABLE_JOIN_H_
+#define CDI_TABLE_JOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/aggregate.h"
+#include "table/table.h"
+
+namespace cdi::table {
+
+/// Join semantics for unmatched left rows.
+enum class JoinType {
+  kInner,  ///< drop left rows without a match
+  kLeft,   ///< keep left rows, filling right columns with null
+};
+
+/// How multiple right matches for one left row are resolved.
+enum class MultiMatchPolicy {
+  kExpand,     ///< emit one output row per (left, right-match) pair
+  kAggregate,  ///< pre-aggregate right rows per key (numeric: mean,
+               ///< other: first), so output keeps one row per left row
+  kFirst,      ///< take the first matching right row
+};
+
+struct JoinOptions {
+  JoinType type = JoinType::kLeft;
+  MultiMatchPolicy multi_match = MultiMatchPolicy::kAggregate;
+  /// Aggregation used for numeric right columns under kAggregate.
+  AggKind numeric_agg = AggKind::kMean;
+  /// Suffix appended to right column names that collide with left names.
+  std::string right_suffix = "_r";
+};
+
+/// Hash-joins `left` with `right` on equal values of the paired key columns
+/// (`left_keys[i]` matches `right_keys[i]`; values compare by their string
+/// rendering so an int64 key can match a double key). Null keys never match.
+///
+/// The output contains all left columns followed by the non-key right
+/// columns (renamed on collision). The default options (left join +
+/// per-key aggregation) are what the CDI Data Organizer uses to attach
+/// extracted attributes to input rows without duplicating them.
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::vector<std::string>& left_keys,
+                       const std::vector<std::string>& right_keys,
+                       const JoinOptions& options = JoinOptions());
+
+/// Convenience single-key join.
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::string& key,
+                       const JoinOptions& options = JoinOptions());
+
+}  // namespace cdi::table
+
+#endif  // CDI_TABLE_JOIN_H_

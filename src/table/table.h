@@ -1,0 +1,109 @@
+#ifndef CDI_TABLE_TABLE_H_
+#define CDI_TABLE_TABLE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "table/column.h"
+
+namespace cdi::table {
+
+/// An in-memory relational table: a list of equally sized named columns.
+///
+/// `Table` is a value type (copyable); all mutating operations validate
+/// their inputs and return `Status`. Row-producing operations return new
+/// tables.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  /// Builds a table from columns; all columns must have equal length and
+  /// distinct names.
+  static Result<Table> FromColumns(std::string name,
+                                   std::vector<Column> columns);
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  std::size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+  std::size_t num_cols() const { return columns_.size(); }
+
+  /// Column names in schema order.
+  std::vector<std::string> ColumnNames() const;
+
+  bool HasColumn(const std::string& name) const;
+
+  /// Index of `name` in the schema, or error.
+  Result<std::size_t> ColumnIndex(const std::string& name) const;
+
+  /// Borrowed pointer into this table (invalidated by column add/drop).
+  Result<const Column*> GetColumn(const std::string& name) const;
+  Result<Column*> MutableColumn(const std::string& name);
+
+  const Column& ColumnAt(std::size_t i) const {
+    CDI_CHECK(i < columns_.size());
+    return columns_[i];
+  }
+  Column& MutableColumnAt(std::size_t i) {
+    CDI_CHECK(i < columns_.size());
+    return columns_[i];
+  }
+
+  /// Appends a column; its length must equal num_rows() (any length is
+  /// accepted for the first column) and its name must be fresh.
+  Status AddColumn(Column column);
+
+  Status DropColumn(const std::string& name);
+  Status RenameColumn(const std::string& from, const std::string& to);
+
+  /// Cell access.
+  Result<Value> GetCell(std::size_t row, const std::string& column) const;
+  Status SetCell(std::size_t row, const std::string& column, Value v);
+
+  /// Appends one row; `values` must match the schema arity and types.
+  Status AppendRow(const std::vector<Value>& values);
+
+  /// New table with only the named columns, in the given order.
+  Result<Table> SelectColumns(const std::vector<std::string>& names) const;
+
+  /// New table with the given rows (indices may repeat / reorder).
+  Table TakeRows(const std::vector<std::size_t>& rows) const;
+
+  /// New table with rows where `pred(row_index)` is true.
+  Table FilterRows(const std::function<bool(std::size_t)>& pred) const;
+
+  /// New table with rows having no null in any column.
+  Table DropNullRows() const;
+
+  /// First `n` rows.
+  Table Head(std::size_t n) const;
+
+  /// Uniform sample of `n` distinct rows (all rows when n >= num_rows()),
+  /// in original row order. Deterministic given `rng`.
+  Table SampleRows(std::size_t n, Rng* rng) const;
+
+  /// Rows sorted by `column` (nulls last). Strings sort lexicographically,
+  /// numerics numerically. Stable.
+  Result<Table> SortBy(const std::string& column, bool ascending = true) const;
+
+  /// Removes exact duplicate rows (all columns equal), keeping first
+  /// occurrences.
+  Table DistinctRows() const;
+
+  /// Pretty-prints up to `max_rows` rows in a fixed-width layout.
+  std::string ToString(std::size_t max_rows = 20) const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace cdi::table
+
+#endif  // CDI_TABLE_TABLE_H_

@@ -1,0 +1,35 @@
+#include "table/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cdi::table {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kDouble:
+      return "double";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kString:
+      return "string";
+    case DataType::kBool:
+      return "bool";
+  }
+  return "?";
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "";
+  if (is_string()) return as_string();
+  if (is_bool()) return as_bool() ? "true" : "false";
+  if (is_int64()) return std::to_string(as_int64());
+  const double d = as_double();
+  if (std::isnan(d)) return "nan";
+  // Shortest round-trippable-ish rendering without trailing zeros.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", d);
+  return std::string(buf);
+}
+
+}  // namespace cdi::table

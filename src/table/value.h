@@ -1,0 +1,87 @@
+#ifndef CDI_TABLE_VALUE_H_
+#define CDI_TABLE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/logging.h"
+
+namespace cdi::table {
+
+/// Physical type of a column.
+enum class DataType {
+  kDouble,
+  kInt64,
+  kString,
+  kBool,
+};
+
+/// Stable name for a DataType ("double", "int64", "string", "bool").
+const char* DataTypeName(DataType type);
+
+/// True for kDouble / kInt64.
+inline bool IsNumeric(DataType type) {
+  return type == DataType::kDouble || type == DataType::kInt64;
+}
+
+/// A single nullable cell. Null is represented by std::monostate.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  /// Implicit constructors keep call sites readable: Value(3.5), Value("x").
+  Value(double d) : v_(d) {}
+  Value(int64_t i) : v_(i) {}
+  Value(int i) : v_(static_cast<int64_t>(i)) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(const char* s) : v_(std::string(s)) {}
+  Value(bool b) : v_(b) {}
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+
+  double as_double() const {
+    CDI_CHECK(is_double()) << "Value is not a double";
+    return std::get<double>(v_);
+  }
+  int64_t as_int64() const {
+    CDI_CHECK(is_int64()) << "Value is not an int64";
+    return std::get<int64_t>(v_);
+  }
+  const std::string& as_string() const {
+    CDI_CHECK(is_string()) << "Value is not a string";
+    return std::get<std::string>(v_);
+  }
+  bool as_bool() const {
+    CDI_CHECK(is_bool()) << "Value is not a bool";
+    return std::get<bool>(v_);
+  }
+
+  /// Numeric view: double as-is, int64 widened, bool as 0/1.
+  /// Must not be called on null or string values.
+  double ToNumeric() const {
+    if (is_double()) return std::get<double>(v_);
+    if (is_int64()) return static_cast<double>(std::get<int64_t>(v_));
+    if (is_bool()) return std::get<bool>(v_) ? 1.0 : 0.0;
+    CDI_CHECK(false) << "Value has no numeric view";
+    return 0.0;
+  }
+
+  /// Render for CSV/printing; null renders as the empty string.
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) { return a.v_ == b.v_; }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+ private:
+  std::variant<std::monostate, double, int64_t, std::string, bool> v_;
+};
+
+}  // namespace cdi::table
+
+#endif  // CDI_TABLE_VALUE_H_

@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace cdi {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  CDI_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  auto ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  auto err = Quarter(6);  // 6/2 = 3, odd
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.Next() == b.Next() ? 1 : 0;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(9);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntRangeAndCoverage) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformInt(uint64_t{10});
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    const int64_t v = rng.UniformInt(int64_t{-3}, int64_t{3});
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(17);
+  const int n = 50000;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParams) {
+  Rng rng(19);
+  const int n = 20000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, LaplaceVariance) {
+  // Var of Laplace(0, b) is 2 b^2.
+  Rng rng(29);
+  const double b = 1.5;
+  const int n = 50000;
+  double sumsq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Laplace(b);
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sumsq / n, 2 * b * b, 0.15);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(31);
+  const int n = 30000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(37);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) counts[rng.Categorical(w)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(41);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(RngTest, ForkIndependentStreams) {
+  Rng base(5);
+  Rng a = base.Fork(1);
+  Rng b = base.Fork(2);
+  Rng a2 = Rng(5).Fork(1);
+  EXPECT_EQ(a.Next(), a2.Next());  // reproducible
+  EXPECT_NE(a.Next(), b.Next());   // distinct streams (overwhelmingly)
+}
+
+// ---------------------------------------------------------- string_util
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("AbC dEf"), "abc def");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("\t x\n"), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  const auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("hello", "lo"));
+  EXPECT_TRUE(EndsWith("hello", "lo"));
+  EXPECT_FALSE(EndsWith("hello", "he"));
+}
+
+TEST(StringUtilTest, ContainsIgnoreCase) {
+  EXPECT_TRUE(ContainsIgnoreCase("Massachusetts", "CHUSE"));
+  EXPECT_FALSE(ContainsIgnoreCase("Massachusetts", "florida"));
+}
+
+TEST(StringUtilTest, NormalizeEntityName) {
+  EXPECT_EQ(NormalizeEntityName("  New   York "), "new_york");
+  EXPECT_EQ(NormalizeEntityName("COUNTRY 0042"), "country_0042");
+  EXPECT_EQ(NormalizeEntityName("a-b.c"), "a_b_c");
+  EXPECT_EQ(NormalizeEntityName(""), "");
+}
+
+TEST(StringUtilTest, EditDistance) {
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("same", "same"), 0u);
+}
+
+TEST(StringUtilTest, JaroWinklerBounds) {
+  EXPECT_DOUBLE_EQ(JaroWinkler("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroWinkler("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroWinkler("abc", ""), 0.0);
+  const double s = JaroWinkler("massachusetts", "masachusets");
+  EXPECT_GT(s, 0.85);
+  EXPECT_LT(JaroWinkler("abc", "xyz"), 0.1);
+}
+
+TEST(StringUtilTest, JaroWinklerPrefixBonus) {
+  // Winkler bonus rewards common prefixes.
+  EXPECT_GT(JaroWinkler("martha", "marhta"), JaroWinkler("amrtha", "amrhta") - 1e-12);
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.456789, 2), "0.46");
+  EXPECT_EQ(FormatDouble(1.0, 3), "1.000");
+}
+
+// ---------------------------------------------------------------- timer
+
+TEST(TimerTest, StopwatchAdvances) {
+  Stopwatch sw;
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  // Keep the loop observable so it is not optimized away.
+  EXPECT_GT(sink, 0.0);
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+  sw.Reset();
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+}
+
+TEST(TimerTest, LatencyMeterAccounting) {
+  LatencyMeter meter;
+  meter.Charge("llm", 1.5);
+  meter.Charge("llm", 1.5);
+  meter.Charge("kg", 0.2);
+  EXPECT_EQ(meter.Calls("llm"), 2);
+  EXPECT_DOUBLE_EQ(meter.Seconds("llm"), 3.0);
+  EXPECT_DOUBLE_EQ(meter.TotalSeconds(), 3.2);
+  EXPECT_EQ(meter.Calls("absent"), 0);
+  meter.Clear();
+  EXPECT_DOUBLE_EQ(meter.TotalSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace cdi

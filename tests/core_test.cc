@@ -1,0 +1,621 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/cdag.h"
+#include "core/data_organizer.h"
+#include "core/effect.h"
+#include "core/knowledge_extractor.h"
+#include "core/varclus.h"
+#include "stats/descriptive.h"
+
+namespace cdi::core {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// ----------------------------------------------------------------VarClus
+
+/// Three blocks of correlated variables plus block-level cross noise.
+std::vector<std::vector<double>> BlockData(std::size_t n, uint64_t seed,
+                                           std::vector<std::string>* names) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> cols;
+  *names = {"a1", "a2", "a3", "b1", "b2", "c1", "c2"};
+  std::vector<double> fa(n), fb(n), fc(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    fa[i] = rng.Normal();
+    fb[i] = 0.3 * fa[i] + rng.Normal();
+    fc[i] = rng.Normal();
+  }
+  auto member = [&](const std::vector<double>& f, double loading) {
+    std::vector<double> m(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      m[i] = loading * f[i] + 0.4 * rng.Normal();
+    }
+    return m;
+  };
+  cols.push_back(member(fa, 1.0));
+  cols.push_back(member(fa, 0.9));
+  cols.push_back(member(fa, -0.8));  // negative loading
+  cols.push_back(member(fb, 1.0));
+  cols.push_back(member(fb, 0.9));
+  cols.push_back(member(fc, 1.0));
+  cols.push_back(member(fc, 0.9));
+  return cols;
+}
+
+TEST(VarClusTest, RecoversBlockStructure) {
+  std::vector<std::string> names;
+  auto cols = BlockData(1500, 5, &names);
+  VarClusOptions options;
+  options.min_clusters = 3;
+  options.max_clusters = 3;
+  auto result = RunVarClus(cols, names, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->clusters.size(), 3u);
+  // Find the cluster containing a1; it must contain exactly {a1,a2,a3}.
+  for (const auto& cluster : result->clusters) {
+    if (std::find(cluster.begin(), cluster.end(), "a1") == cluster.end()) {
+      continue;
+    }
+    EXPECT_EQ(cluster.size(), 3u);
+    EXPECT_NE(std::find(cluster.begin(), cluster.end(), "a3"),
+              cluster.end());
+  }
+}
+
+TEST(VarClusTest, ThresholdStopsSplitting) {
+  std::vector<std::string> names;
+  auto cols = BlockData(1500, 7, &names);
+  VarClusOptions options;
+  options.second_eigenvalue_threshold = 100.0;  // never split
+  auto result = RunVarClus(cols, names, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clusters.size(), 1u);
+}
+
+TEST(VarClusTest, MaxClustersCap) {
+  std::vector<std::string> names;
+  auto cols = BlockData(800, 9, &names);
+  VarClusOptions options;
+  options.second_eigenvalue_threshold = 0.0;  // split forever...
+  options.max_clusters = 2;                   // ...but capped
+  auto result = RunVarClus(cols, names, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clusters.size(), 2u);
+}
+
+TEST(VarClusTest, SingletonInput) {
+  auto result = RunVarClus({{1.0, 2.0, 3.0, 4.0, 5.0, 6.0}}, {"only"});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->clusters.size(), 1u);
+  EXPECT_EQ(result->clusters[0][0], "only");
+}
+
+TEST(VarClusTest, AllVariablesAssignedExactlyOnce) {
+  std::vector<std::string> names;
+  auto cols = BlockData(1000, 11, &names);
+  for (int k = 1; k <= 5; ++k) {
+    VarClusOptions options;
+    options.min_clusters = k;
+    options.max_clusters = k;
+    auto result = RunVarClus(cols, names, options);
+    ASSERT_TRUE(result.ok());
+    std::size_t total = 0;
+    std::set<std::string> seen;
+    for (const auto& c : result->clusters) {
+      total += c.size();
+      seen.insert(c.begin(), c.end());
+    }
+    EXPECT_EQ(total, names.size()) << "k=" << k;
+    EXPECT_EQ(seen.size(), names.size()) << "k=" << k;
+  }
+}
+
+// ------------------------------------------------------------- ClusterDag
+
+Result<ClusterDag> MakeCdag() {
+  std::map<std::string, std::vector<std::string>> members = {
+      {"t", {"exposure"}},
+      {"o", {"outcome"}},
+      {"med", {"m1", "m2"}},
+      {"conf", {"z1"}},
+      {"other", {"x1"}},
+  };
+  auto cdag = ClusterDag::Create(members, "t", "o");
+  if (!cdag.ok()) return cdag;
+  CDI_CHECK(cdag->mutable_graph().AddEdge("conf", "t").ok());
+  CDI_CHECK(cdag->mutable_graph().AddEdge("conf", "o").ok());
+  CDI_CHECK(cdag->mutable_graph().AddEdge("t", "med").ok());
+  CDI_CHECK(cdag->mutable_graph().AddEdge("med", "o").ok());
+  CDI_CHECK(cdag->mutable_graph().AddEdge("other", "conf").ok());
+  return cdag;
+}
+
+TEST(ClusterDagTest, CreateValidations) {
+  std::map<std::string, std::vector<std::string>> members = {
+      {"t", {"e1", "e2"}}, {"o", {"out"}}};
+  EXPECT_FALSE(ClusterDag::Create(members, "t", "o").ok());  // not singleton
+  members["t"] = {"e1"};
+  EXPECT_TRUE(ClusterDag::Create(members, "t", "o").ok());
+  EXPECT_FALSE(ClusterDag::Create(members, "zz", "o").ok());
+  members["dup"] = {"e1"};  // attribute in two clusters
+  EXPECT_FALSE(ClusterDag::Create(members, "t", "o").ok());
+}
+
+TEST(ClusterDagTest, LookupsAndIdentification) {
+  auto cdag = MakeCdag();
+  ASSERT_TRUE(cdag.ok());
+  EXPECT_EQ(cdag->exposure_attribute(), "exposure");
+  EXPECT_EQ(cdag->outcome_attribute(), "outcome");
+  EXPECT_EQ(*cdag->ClusterOf("m2"), "med");
+  EXPECT_FALSE(cdag->ClusterOf("nope").ok());
+  EXPECT_EQ(cdag->MembersOf("med")->size(), 2u);
+
+  const auto meds = cdag->MediatorClusters();
+  EXPECT_EQ(meds.size(), 1u);
+  EXPECT_TRUE(meds.count("med"));
+  const auto confs = cdag->ConfounderClusters();
+  EXPECT_EQ(confs.size(), 2u);  // conf and its ancestor "other"
+  EXPECT_TRUE(confs.count("conf"));
+}
+
+TEST(ClusterDagTest, AdjustmentAttributeSets) {
+  auto cdag = MakeCdag();
+  ASSERT_TRUE(cdag.ok());
+  const auto direct = cdag->DirectEffectAdjustmentAttributes();
+  EXPECT_EQ(direct.size(), 4u);  // m1, m2, z1, x1
+  const auto total = cdag->TotalEffectAdjustmentAttributes();
+  EXPECT_EQ(total.size(), 2u);  // z1, x1
+}
+
+TEST(ClusterDagTest, WorksOnCyclicClaimGraphs) {
+  std::map<std::string, std::vector<std::string>> members = {
+      {"t", {"e"}}, {"o", {"y"}}, {"m", {"m1"}}};
+  auto cdag = ClusterDag::Create(members, "t", "o");
+  ASSERT_TRUE(cdag.ok());
+  CDI_CHECK(cdag->mutable_graph().AddEdge("t", "m").ok());
+  CDI_CHECK(cdag->mutable_graph().AddEdge("m", "t").ok());  // 2-cycle
+  CDI_CHECK(cdag->mutable_graph().AddEdge("m", "o").ok());
+  const auto meds = cdag->MediatorClusters();
+  EXPECT_TRUE(meds.count("m"));
+}
+
+// -------------------------------------------------------------- HoldsFd
+
+TEST(HoldsFdTest, DetectsExactDependency) {
+  table::Table t("t");
+  CDI_CHECK(t.AddColumn(table::Column::FromStrings(
+                            "state", {"MA", "MA", "FL", "CA"}))
+                .ok());
+  CDI_CHECK(t.AddColumn(table::Column::FromStrings(
+                            "governor", {"Healey", "Healey", "DeSantis",
+                                         "Newsom"}))
+                .ok());
+  CDI_CHECK(t.AddColumn(table::Column::FromStrings(
+                            "city", {"Boston", "Springfield", "Miami",
+                                     "LA"}))
+                .ok());
+  EXPECT_TRUE(*HoldsFd(t, "state", "governor"));
+  EXPECT_TRUE(*HoldsFd(t, "governor", "state"));
+  EXPECT_FALSE(*HoldsFd(t, "state", "city"));
+  EXPECT_TRUE(*HoldsFd(t, "city", "state"));
+}
+
+// ---------------------------------------------------------- DataOrganizer
+
+table::Table OrganizerInput(std::size_t n, uint64_t seed,
+                            std::vector<double>* t_out,
+                            std::vector<double>* o_out) {
+  Rng rng(seed);
+  std::vector<double> tv(n), ov(n), good(n), fd(n), outliered(n);
+  std::vector<std::string> entity(n), governor(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tv[i] = rng.Normal();
+    good[i] = 0.5 * tv[i] + rng.Normal();
+    ov[i] = 0.7 * good[i] + rng.Normal();
+    fd[i] = 3.0 * tv[i] + 1.0;  // deterministic in the exposure
+    outliered[i] = rng.Normal() + (i % 97 == 0 ? 80.0 : 0.0);
+    entity[i] = "E" + std::to_string(i);
+    governor[i] = "Gov_" + std::to_string(i);
+  }
+  *t_out = tv;
+  *o_out = ov;
+  table::Table t("in");
+  CDI_CHECK(t.AddColumn(table::Column::FromStrings("entity", entity)).ok());
+  CDI_CHECK(t.AddColumn(table::Column::FromDoubles("t", tv)).ok());
+  CDI_CHECK(t.AddColumn(table::Column::FromDoubles("o", ov)).ok());
+  CDI_CHECK(t.AddColumn(table::Column::FromDoubles("good", good)).ok());
+  CDI_CHECK(t.AddColumn(table::Column::FromDoubles("fd_numeric", fd)).ok());
+  CDI_CHECK(
+      t.AddColumn(table::Column::FromDoubles("outliered", outliered)).ok());
+  CDI_CHECK(
+      t.AddColumn(table::Column::FromStrings("governor", governor)).ok());
+  return t;
+}
+
+TEST(DataOrganizerTest, DropsFunctionalDependencies) {
+  std::vector<double> tv, ov;
+  auto input = OrganizerInput(300, 3, &tv, &ov);
+  DataOrganizer organizer;
+  auto result = organizer.Organize(input, "entity", "t", "o");
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->organized.HasColumn("fd_numeric"));
+  EXPECT_FALSE(result->organized.HasColumn("governor"));
+  EXPECT_TRUE(result->organized.HasColumn("good"));
+  EXPECT_EQ(result->dropped_fd_attributes.size(), 2u);
+}
+
+TEST(DataOrganizerTest, MonotoneNonlinearFdAlsoDropped) {
+  // exp(t) is deterministic in t but only Spearman sees r = 1.
+  Rng rng(5);
+  const std::size_t n = 200;
+  std::vector<double> tv(n), ov(n), fd(n);
+  std::vector<std::string> entity(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tv[i] = rng.Normal();
+    ov[i] = rng.Normal();
+    fd[i] = std::exp(2.0 * tv[i]);
+    entity[i] = "E" + std::to_string(i);
+  }
+  table::Table t("in");
+  CDI_CHECK(t.AddColumn(table::Column::FromStrings("entity", entity)).ok());
+  CDI_CHECK(t.AddColumn(table::Column::FromDoubles("t", tv)).ok());
+  CDI_CHECK(t.AddColumn(table::Column::FromDoubles("o", ov)).ok());
+  CDI_CHECK(t.AddColumn(table::Column::FromDoubles("fd", fd)).ok());
+  DataOrganizer organizer;
+  auto result = organizer.Organize(t, "entity", "t", "o");
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->organized.HasColumn("fd"));
+}
+
+TEST(DataOrganizerTest, RemovesDuplicateRows) {
+  std::vector<double> tv, ov;
+  auto input = OrganizerInput(100, 7, &tv, &ov);
+  // Duplicate the table's rows.
+  std::vector<std::size_t> rows;
+  for (std::size_t r = 0; r < input.num_rows(); ++r) {
+    rows.push_back(r);
+    rows.push_back(r);
+  }
+  table::Table doubled = input.TakeRows(rows);
+  DataOrganizer organizer;
+  auto result = organizer.Organize(doubled, "entity", "t", "o");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->organized.num_rows(), 100u);
+  EXPECT_EQ(result->duplicate_rows_removed, 100u);
+}
+
+TEST(DataOrganizerTest, WinsorizesOutliers) {
+  std::vector<double> tv, ov;
+  auto input = OrganizerInput(300, 9, &tv, &ov);
+  DataOrganizer organizer;
+  auto result = organizer.Organize(input, "entity", "t", "o");
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->winsorized_cells.count("outliered"));
+  const auto vals =
+      (*result->organized.GetColumn("outliered"))->ToDoubles();
+  EXPECT_LT(stats::Max(vals), 50.0);  // the 80s are clipped
+}
+
+TEST(DataOrganizerTest, OutlierHandlingCanBeDisabled) {
+  std::vector<double> tv, ov;
+  auto input = OrganizerInput(300, 9, &tv, &ov);
+  OrganizerOptions options;
+  options.outlier_robust_z = 0.0;
+  DataOrganizer organizer(options);
+  auto result = organizer.Organize(input, "entity", "t", "o");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->winsorized_cells.empty());
+}
+
+TEST(DataOrganizerTest, DiagnosesSelectionBiasAndWeights) {
+  Rng rng(11);
+  const std::size_t n = 500;
+  std::vector<double> tv(n), ov(n), attr(n);
+  std::vector<std::string> entity(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tv[i] = rng.Normal();
+    ov[i] = 0.6 * tv[i] + rng.Normal();
+    // Attribute missing preferentially when the outcome is high (MNAR).
+    attr[i] = (ov[i] > 0.5 && rng.Bernoulli(0.7)) ? kNaN
+                                                  : 0.4 * tv[i] + rng.Normal();
+    entity[i] = "E" + std::to_string(i);
+  }
+  table::Table t("in");
+  CDI_CHECK(t.AddColumn(table::Column::FromStrings("entity", entity)).ok());
+  CDI_CHECK(t.AddColumn(table::Column::FromDoubles("t", tv)).ok());
+  CDI_CHECK(t.AddColumn(table::Column::FromDoubles("o", ov)).ok());
+  CDI_CHECK(t.AddColumn(table::Column::FromDoubles("attr", attr)).ok());
+  DataOrganizer organizer;
+  auto result = organizer.Organize(t, "entity", "t", "o");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->missingness.size(), 1u);
+  EXPECT_EQ(result->missingness[0].attribute, "attr");
+  EXPECT_TRUE(result->missingness[0].selection_bias_risk);
+  EXPECT_LT(result->missingness[0].p_vs_outcome, 0.05);
+  // IPW: complete rows with high outcome are rarer -> larger weights.
+  double high_w = 0, high_n = 0, low_w = 0, low_n = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::isnan(attr[i])) continue;
+    if (ov[i] > 0.5) {
+      high_w += result->row_weights[i];
+      high_n += 1;
+    } else {
+      low_w += result->row_weights[i];
+      low_n += 1;
+    }
+  }
+  EXPECT_GT(high_w / high_n, low_w / low_n);
+}
+
+TEST(DataOrganizerTest, NoBiasMeansUnitWeights) {
+  std::vector<double> tv, ov;
+  auto input = OrganizerInput(300, 13, &tv, &ov);
+  DataOrganizer organizer;
+  auto result = organizer.Organize(input, "entity", "t", "o");
+  ASSERT_TRUE(result.ok());
+  for (double w : result->row_weights) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+// --------------------------------------------------------------- effect
+
+TEST(EffectTest, MediationAdjustmentRecoversZeroDirectEffect) {
+  // t -> m -> o with zero direct effect.
+  Rng rng(17);
+  const std::size_t n = 4000;
+  std::vector<double> tv(n), m(n), ov(n);
+  std::vector<std::string> entity(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tv[i] = rng.Normal();
+    m[i] = 0.8 * tv[i] + rng.Normal();
+    ov[i] = 0.8 * m[i] + rng.Normal();
+    entity[i] = "E" + std::to_string(i);
+  }
+  table::Table t("t");
+  CDI_CHECK(t.AddColumn(table::Column::FromStrings("entity", entity)).ok());
+  CDI_CHECK(t.AddColumn(table::Column::FromDoubles("t", tv)).ok());
+  CDI_CHECK(t.AddColumn(table::Column::FromDoubles("m", m)).ok());
+  CDI_CHECK(t.AddColumn(table::Column::FromDoubles("o", ov)).ok());
+
+  auto total = EstimateEffect(t, "t", "o", {});
+  ASSERT_TRUE(total.ok());
+  EXPECT_GT(total->abs_effect, 0.3);  // unadjusted: strong total effect
+  auto direct = EstimateEffect(t, "t", "o", {"m"});
+  ASSERT_TRUE(direct.ok());
+  EXPECT_LT(direct->abs_effect, 0.05);  // adjusted: ~0 direct effect
+  EXPECT_EQ(direct->adjusted_for.size(), 1u);
+}
+
+TEST(EffectTest, ConfounderAdjustmentRemovesBias) {
+  // z -> t, z -> o; true causal effect of t is zero.
+  Rng rng(19);
+  const std::size_t n = 4000;
+  std::vector<double> z(n), tv(n), ov(n);
+  std::vector<std::string> entity(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    z[i] = rng.Normal();
+    tv[i] = 0.8 * z[i] + rng.Normal();
+    ov[i] = 0.8 * z[i] + rng.Normal();
+    entity[i] = "E" + std::to_string(i);
+  }
+  table::Table t("t");
+  CDI_CHECK(t.AddColumn(table::Column::FromStrings("entity", entity)).ok());
+  CDI_CHECK(t.AddColumn(table::Column::FromDoubles("t", tv)).ok());
+  CDI_CHECK(t.AddColumn(table::Column::FromDoubles("z", z)).ok());
+  CDI_CHECK(t.AddColumn(table::Column::FromDoubles("o", ov)).ok());
+  auto unadjusted = EstimateEffect(t, "t", "o", {});
+  auto adjusted = EstimateEffect(t, "t", "o", {"z"});
+  ASSERT_TRUE(unadjusted.ok() && adjusted.ok());
+  EXPECT_GT(unadjusted->abs_effect, 0.2);   // confounding bias
+  EXPECT_LT(adjusted->abs_effect, 0.05);    // removed by backdoor adjustment
+}
+
+TEST(EffectTest, SkipsStringAndMissingAdjustmentColumns) {
+  Rng rng(23);
+  const std::size_t n = 200;
+  std::vector<double> tv(n), ov(n);
+  std::vector<std::string> s(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tv[i] = rng.Normal();
+    ov[i] = rng.Normal();
+    s[i] = "x";
+  }
+  table::Table t("t");
+  CDI_CHECK(t.AddColumn(table::Column::FromDoubles("t", tv)).ok());
+  CDI_CHECK(t.AddColumn(table::Column::FromDoubles("o", ov)).ok());
+  CDI_CHECK(t.AddColumn(table::Column::FromStrings("s", s)).ok());
+  auto est = EstimateEffect(t, "t", "o", {"s", "not_a_column"});
+  ASSERT_TRUE(est.ok());
+  EXPECT_TRUE(est->adjusted_for.empty());
+}
+
+TEST(EffectTest, RejectsStringExposure) {
+  table::Table t("t");
+  CDI_CHECK(
+      t.AddColumn(table::Column::FromStrings("t", {"a", "b", "c", "d", "e",
+                                                   "f", "g", "h"}))
+          .ok());
+  CDI_CHECK(t.AddColumn(table::Column::FromDoubles(
+                            "o", {1, 2, 3, 4, 5, 6, 7, 8}))
+                .ok());
+  EXPECT_FALSE(EstimateEffect(t, "t", "o", {}).ok());
+}
+
+TEST(EffectTest, WeightsChangeTheEstimate) {
+  // Two subpopulations with opposite effects; weights pick one.
+  const std::size_t n = 400;
+  std::vector<double> tv(n), ov(n), w(n);
+  Rng rng(29);
+  for (std::size_t i = 0; i < n; ++i) {
+    tv[i] = rng.Normal();
+    const bool first = i < n / 2;
+    ov[i] = (first ? 1.0 : -1.0) * tv[i] + 0.2 * rng.Normal();
+    w[i] = first ? 1.0 : 0.0;
+  }
+  table::Table t("t");
+  CDI_CHECK(t.AddColumn(table::Column::FromDoubles("t", tv)).ok());
+  CDI_CHECK(t.AddColumn(table::Column::FromDoubles("o", ov)).ok());
+  auto weighted = EstimateEffect(t, "t", "o", {}, w);
+  ASSERT_TRUE(weighted.ok());
+  EXPECT_GT(weighted->effect, 0.8);
+}
+
+// ------------------------------------------------------ KnowledgeExtractor
+
+TEST(KnowledgeExtractorTest, ExtractsRelevantDropsIrrelevant) {
+  Rng rng(31);
+  const std::size_t n = 400;
+  std::vector<double> tv(n), ov(n), relevant(n), noise(n);
+  std::vector<std::string> entity(n);
+  knowledge::KnowledgeGraph kg;
+  for (std::size_t i = 0; i < n; ++i) {
+    entity[i] = "E" + std::to_string(i);
+    tv[i] = rng.Normal();
+    relevant[i] = 0.7 * tv[i] + 0.6 * rng.Normal();
+    ov[i] = 0.7 * relevant[i] + rng.Normal();
+    noise[i] = rng.Normal();
+    kg.AddLiteral(entity[i], "relevant_attr", table::Value(relevant[i]));
+    kg.AddLiteral(entity[i], "noise_attr", table::Value(noise[i]));
+  }
+  table::Table input("in");
+  CDI_CHECK(
+      input.AddColumn(table::Column::FromStrings("entity", entity)).ok());
+  CDI_CHECK(input.AddColumn(table::Column::FromDoubles("t", tv)).ok());
+  CDI_CHECK(input.AddColumn(table::Column::FromDoubles("o", ov)).ok());
+
+  KnowledgeExtractor extractor(&kg, nullptr);
+  auto result = extractor.Extract(input, "entity", "t", "o");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->augmented.HasColumn("relevant_attr"));
+  EXPECT_FALSE(result->augmented.HasColumn("noise_attr"));
+  bool found_drop = false;
+  for (const auto& a : result->attributes) {
+    if (a.name == "noise_attr") {
+      EXPECT_FALSE(a.kept);
+      EXPECT_EQ(a.drop_reason, "irrelevant");
+      found_drop = true;
+    }
+  }
+  EXPECT_TRUE(found_drop);
+}
+
+TEST(KnowledgeExtractorTest, LakeColumnsJoinedAndAligned) {
+  Rng rng(37);
+  const std::size_t n = 300;
+  std::vector<double> tv(n), ov(n), lake_attr(n);
+  std::vector<std::string> entity(n), lake_keys;
+  std::vector<double> lake_vals;
+  for (std::size_t i = 0; i < n; ++i) {
+    entity[i] = "City_" + std::to_string(i);
+    tv[i] = rng.Normal();
+    lake_attr[i] = 0.8 * tv[i] + 0.5 * rng.Normal();
+    ov[i] = 0.8 * lake_attr[i] + rng.Normal();
+    // Lake spells keys differently; two noisy observations per entity.
+    for (int k = 0; k < 2; ++k) {
+      lake_keys.push_back("CITY " + std::to_string(i));
+      lake_vals.push_back(lake_attr[i] + 0.01 * rng.Normal());
+    }
+  }
+  knowledge::DataLake lake;
+  table::Table lt("lake_stats");
+  CDI_CHECK(lt.AddColumn(table::Column::FromStrings("name", lake_keys)).ok());
+  CDI_CHECK(
+      lt.AddColumn(table::Column::FromDoubles("lake_attr", lake_vals)).ok());
+  lake.AddTable(std::move(lt));
+
+  table::Table input("in");
+  CDI_CHECK(
+      input.AddColumn(table::Column::FromStrings("entity", entity)).ok());
+  CDI_CHECK(input.AddColumn(table::Column::FromDoubles("t", tv)).ok());
+  CDI_CHECK(input.AddColumn(table::Column::FromDoubles("o", ov)).ok());
+
+  KnowledgeExtractor extractor(nullptr, &lake);
+  auto result = extractor.Extract(input, "entity", "t", "o");
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->augmented.HasColumn("lake_attr"));
+  // Row alignment: extracted values match per-entity values.
+  const auto extracted =
+      (*result->augmented.GetColumn("lake_attr"))->ToDoubles();
+  EXPECT_NEAR(stats::PearsonCorrelation(extracted, lake_attr), 1.0, 0.01);
+}
+
+TEST(KnowledgeExtractorTest, MaxAttributesBudget) {
+  Rng rng(41);
+  const std::size_t n = 300;
+  std::vector<double> tv(n), ov(n);
+  std::vector<std::string> entity(n);
+  knowledge::KnowledgeGraph kg;
+  for (std::size_t i = 0; i < n; ++i) {
+    entity[i] = "E" + std::to_string(i);
+    tv[i] = rng.Normal();
+    ov[i] = 0.8 * tv[i] + rng.Normal();
+    for (int a = 0; a < 6; ++a) {
+      kg.AddLiteral(entity[i], "attr" + std::to_string(a),
+                    table::Value(0.7 * tv[i] + 0.5 * rng.Normal()));
+    }
+  }
+  table::Table input("in");
+  CDI_CHECK(
+      input.AddColumn(table::Column::FromStrings("entity", entity)).ok());
+  CDI_CHECK(input.AddColumn(table::Column::FromDoubles("t", tv)).ok());
+  CDI_CHECK(input.AddColumn(table::Column::FromDoubles("o", ov)).ok());
+  ExtractorOptions options;
+  options.max_attributes = 3;
+  KnowledgeExtractor extractor(&kg, nullptr, options);
+  auto result = extractor.Extract(input, "entity", "t", "o");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->augmented.num_cols(), 3u + 3u);  // input + 3 extracted
+}
+
+TEST(KnowledgeExtractorTest, NonlinearRelevanceKeepsUShapedConfounder) {
+  // An attribute related to the outcome only through a U-shape: Pearson
+  // and Spearman are both ~0, the binned chi-square is not.
+  Rng rng(43);
+  const std::size_t n = 600;
+  std::vector<double> tv(n), ov(n), ushape(n);
+  std::vector<std::string> entity(n);
+  knowledge::KnowledgeGraph kg;
+  for (std::size_t i = 0; i < n; ++i) {
+    entity[i] = "E" + std::to_string(i);
+    tv[i] = rng.Normal();
+    ushape[i] = rng.Normal();
+    ov[i] = 0.8 * (ushape[i] * ushape[i] - 1.0) + rng.Normal();
+    kg.AddLiteral(entity[i], "u_attr", table::Value(ushape[i]));
+  }
+  table::Table input("in");
+  CDI_CHECK(
+      input.AddColumn(table::Column::FromStrings("entity", entity)).ok());
+  CDI_CHECK(input.AddColumn(table::Column::FromDoubles("t", tv)).ok());
+  CDI_CHECK(input.AddColumn(table::Column::FromDoubles("o", ov)).ok());
+
+  ExtractorOptions with;
+  with.nonlinear_relevance = true;
+  KnowledgeExtractor on(&kg, nullptr, with);
+  auto kept = on.Extract(input, "entity", "t", "o");
+  ASSERT_TRUE(kept.ok());
+  EXPECT_TRUE(kept->augmented.HasColumn("u_attr"));
+
+  ExtractorOptions without;
+  without.nonlinear_relevance = false;
+  KnowledgeExtractor off(&kg, nullptr, without);
+  auto dropped = off.Extract(input, "entity", "t", "o");
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_FALSE(dropped->augmented.HasColumn("u_attr"));
+}
+
+TEST(KnowledgeExtractorTest, RequiresStringEntityColumn) {
+  table::Table input("in");
+  CDI_CHECK(input.AddColumn(table::Column::FromDoubles("entity", {1, 2}))
+                .ok());
+  CDI_CHECK(input.AddColumn(table::Column::FromDoubles("t", {1, 2})).ok());
+  CDI_CHECK(input.AddColumn(table::Column::FromDoubles("o", {1, 2})).ok());
+  knowledge::KnowledgeGraph kg;
+  KnowledgeExtractor extractor(&kg, nullptr);
+  EXPECT_FALSE(extractor.Extract(input, "entity", "t", "o").ok());
+}
+
+}  // namespace
+}  // namespace cdi::core

@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "datagen/covid.h"
+#include "datagen/flights.h"
+#include "datagen/scenario.h"
+#include "datagen/scm.h"
+#include "stats/descriptive.h"
+
+namespace cdi::datagen {
+namespace {
+
+// ------------------------------------------------------------------- Scm
+
+TEST(ScmTest, TopologicalDeclarationEnforced) {
+  Scm scm;
+  ScmNodeSpec bad;
+  bad.name = "child";
+  bad.parents = {{"missing", 0.5}};
+  EXPECT_FALSE(scm.AddNode(bad).ok());
+  ScmNodeSpec a;
+  a.name = "a";
+  EXPECT_TRUE(scm.AddNode(a).ok());
+  EXPECT_FALSE(scm.AddNode(a).ok());  // duplicate
+}
+
+TEST(ScmTest, LinearMechanismRecoverable) {
+  Scm scm;
+  ScmNodeSpec a;
+  a.name = "a";
+  a.noise_scale = 1.0;
+  CDI_CHECK(scm.AddNode(a).ok());
+  ScmNodeSpec b;
+  b.name = "b";
+  b.parents = {{"a", 0.7}};
+  b.noise_scale = 0.5;
+  CDI_CHECK(scm.AddNode(b).ok());
+  Rng rng(1);
+  auto data = scm.Generate(20000, &rng);
+  ASSERT_TRUE(data.ok());
+  // Regression slope of b on a recovers the structural coefficient.
+  const auto& av = data->at("a");
+  const auto& bv = data->at("b");
+  const double slope = stats::PearsonCorrelation(av, bv) *
+                       stats::StdDev(bv) / stats::StdDev(av);
+  EXPECT_NEAR(slope, 0.7, 0.03);
+}
+
+TEST(ScmTest, ExposureCodeUnitVariance) {
+  Scm scm;
+  ScmNodeSpec t;
+  t.name = "t";
+  t.is_exposure_code = true;
+  CDI_CHECK(scm.AddNode(t).ok());
+  Rng rng(2);
+  auto data = scm.Generate(1000, &rng);
+  ASSERT_TRUE(data.ok());
+  EXPECT_NEAR(stats::Mean(data->at("t")), 0.0, 1e-9);
+  EXPECT_NEAR(stats::Variance(data->at("t")), 1.0, 0.01);
+}
+
+TEST(ScmTest, GaussianCodeHasGaussianShape) {
+  Scm scm;
+  ScmNodeSpec t;
+  t.name = "t";
+  t.is_exposure_code = true;
+  t.gaussian_code = true;
+  CDI_CHECK(scm.AddNode(t).ok());
+  Rng rng(3);
+  auto data = scm.Generate(5000, &rng);
+  ASSERT_TRUE(data.ok());
+  EXPECT_NEAR(stats::ExcessKurtosis(data->at("t")), 0.0, 0.1);
+  // Uniform code has negative excess kurtosis (-1.2).
+  Scm scm2;
+  t.gaussian_code = false;
+  CDI_CHECK(scm2.AddNode(t).ok());
+  auto data2 = scm2.Generate(5000, &rng);
+  EXPECT_NEAR(stats::ExcessKurtosis(data2->at("t")), -1.2, 0.1);
+}
+
+TEST(ScmTest, QuadraticParentInvisibleToPearson) {
+  Scm scm;
+  ScmNodeSpec a;
+  a.name = "a";
+  CDI_CHECK(scm.AddNode(a).ok());
+  ScmNodeSpec b;
+  b.name = "b";
+  b.quad_parents = {{"a", 0.6}};
+  b.noise_scale = 0.5;
+  CDI_CHECK(scm.AddNode(b).ok());
+  Rng rng(4);
+  auto data = scm.Generate(8000, &rng);
+  ASSERT_TRUE(data.ok());
+  EXPECT_LT(std::fabs(stats::PearsonCorrelation(data->at("a"),
+                                                data->at("b"))),
+            0.05);
+  // But a^2 correlates strongly.
+  std::vector<double> a2(8000);
+  for (int i = 0; i < 8000; ++i) a2[i] = data->at("a")[i] * data->at("a")[i];
+  EXPECT_GT(stats::PearsonCorrelation(a2, data->at("b")), 0.5);
+  // The edge appears in the DAG.
+  EXPECT_TRUE(scm.dag().HasEdge("a", "b"));
+}
+
+TEST(ScmTest, DeterministicGivenSeed) {
+  auto make = [] {
+    Scm scm;
+    ScmNodeSpec a;
+    a.name = "a";
+    CDI_CHECK(scm.AddNode(a).ok());
+    return scm;
+  };
+  Rng r1(9), r2(9);
+  auto d1 = make().Generate(100, &r1);
+  auto d2 = make().Generate(100, &r2);
+  EXPECT_EQ(d1->at("a"), d2->at("a"));
+}
+
+TEST(ScmTest, NoiseKindsHaveRightTails) {
+  for (NoiseKind kind :
+       {NoiseKind::kGaussian, NoiseKind::kLaplace, NoiseKind::kUniform}) {
+    Scm scm;
+    ScmNodeSpec a;
+    a.name = "a";
+    a.noise = kind;
+    CDI_CHECK(scm.AddNode(a).ok());
+    Rng rng(11);
+    auto data = scm.Generate(30000, &rng);
+    const double kurt = stats::ExcessKurtosis(data->at("a"));
+    if (kind == NoiseKind::kGaussian) {
+      EXPECT_NEAR(kurt, 0.0, 0.15);
+    } else if (kind == NoiseKind::kLaplace) {
+      EXPECT_GT(kurt, 1.5);
+    } else {
+      EXPECT_LT(kurt, -0.8);
+    }
+    // All normalized to (roughly) unit variance.
+    EXPECT_NEAR(stats::Variance(data->at("a")), 1.0, 0.05);
+  }
+}
+
+// -------------------------------------------------------------- Scenario
+
+TEST(ScenarioTest, ValidationRejectsBadSpecs) {
+  ScenarioSpec spec;
+  EXPECT_FALSE(BuildScenario(spec).ok());  // no clusters
+
+  spec = CovidSpec();
+  spec.num_entities = 5;
+  EXPECT_FALSE(BuildScenario(spec).ok());  // too few entities
+
+  spec = CovidSpec();
+  std::swap(spec.clusters[0], spec.clusters[1]);  // breaks topo order
+  EXPECT_FALSE(BuildScenario(spec).ok());
+}
+
+TEST(ScenarioTest, CovidMatchesPaperGraphSize) {
+  auto s = BuildScenario(CovidSpec());
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ((*s)->cluster_dag.num_nodes(), 11u);  // paper: |V| = 11
+  EXPECT_EQ((*s)->cluster_dag.num_edges(), 23u);  // paper: |E| = 23
+  EXPECT_TRUE((*s)->cluster_dag.IsAcyclic());
+}
+
+TEST(ScenarioTest, FlightsMatchesPaperGraphSize) {
+  auto s = BuildScenario(FlightsSpec());
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ((*s)->cluster_dag.num_nodes(), 9u);   // paper: |V| = 9
+  EXPECT_EQ((*s)->cluster_dag.num_edges(), 17u);  // paper: |E| = 17
+  EXPECT_TRUE((*s)->cluster_dag.IsAcyclic());
+}
+
+TEST(ScenarioTest, DirectEffectIsZeroByConstruction) {
+  // The defining property of both scenarios: no direct exposure -> outcome
+  // edge; the effect is fully mediated.
+  for (auto spec : {CovidSpec(), FlightsSpec()}) {
+    auto s = BuildScenario(spec);
+    ASSERT_TRUE(s.ok());
+    EXPECT_FALSE((*s)->cluster_dag.HasEdge(spec.exposure_cluster,
+                                           spec.outcome_cluster));
+    // But there is at least one mediated path.
+    auto t = (*s)->cluster_dag.NodeIdOf(spec.exposure_cluster);
+    auto o = (*s)->cluster_dag.NodeIdOf(spec.outcome_cluster);
+    EXPECT_TRUE((*s)->cluster_dag.HasDirectedPath(*t, *o));
+  }
+}
+
+TEST(ScenarioTest, InputTableShape) {
+  auto s = BuildScenario(CovidSpec());
+  ASSERT_TRUE(s.ok());
+  const auto& t = (*s)->input_table;
+  EXPECT_EQ(t.num_rows(), CovidSpec().num_entities);
+  EXPECT_TRUE(t.HasColumn("country"));
+  EXPECT_TRUE(t.HasColumn("country_code"));
+  EXPECT_TRUE(t.HasColumn("covid_death_rate"));
+  EXPECT_TRUE(t.HasColumn("confirmed_cases"));
+  // Most attributes are NOT in the input table (they must be mined).
+  EXPECT_FALSE(t.HasColumn("avg_temp"));
+  EXPECT_FALSE(t.HasColumn("pop_size"));
+}
+
+TEST(ScenarioTest, EntityAliasesUsedInInputTable) {
+  auto s = BuildScenario(CovidSpec());
+  ASSERT_TRUE(s.ok());
+  const auto* col = *(*s)->input_table.GetColumn("country");
+  std::size_t canonical = 0, alias = 0;
+  for (std::size_t r = 0; r < col->size(); ++r) {
+    const std::string& v = col->Get(r).as_string();
+    if (v == (*s)->entity_names[r]) {
+      ++canonical;
+    } else {
+      ++alias;
+    }
+  }
+  EXPECT_GT(canonical, 0u);
+  EXPECT_GT(alias, 0u);  // value-mismatch challenge is actually present
+}
+
+TEST(ScenarioTest, KnowledgeGraphHoldsKgAttributes) {
+  auto s = BuildScenario(CovidSpec());
+  ASSERT_TRUE(s.ok());
+  const auto& kg = (*s)->kg;
+  EXPECT_TRUE(kg.HasEntity((*s)->entity_names[0]));
+  auto temp = kg.GetLiteral((*s)->entity_names[0], "avg_temp");
+  EXPECT_TRUE(temp.ok());
+  // FD attribute present in the KG (the organizer must drop it later).
+  EXPECT_TRUE(
+      kg.GetLiteral((*s)->entity_names[0], "head_of_government").ok());
+  // Link following target exists.
+  auto capital = kg.GetLink((*s)->entity_names[0], "capital");
+  ASSERT_TRUE(capital.ok());
+  EXPECT_TRUE(kg.GetLiteral(*capital, "capital_elevation").ok());
+}
+
+TEST(ScenarioTest, LakeTablesWithDecoy) {
+  auto s = BuildScenario(CovidSpec());
+  ASSERT_TRUE(s.ok());
+  const auto& lake = (*s)->lake;
+  EXPECT_GE(lake.num_tables(), 5u);
+  bool has_decoy = false;
+  for (const auto& t : lake.tables()) {
+    if (t.name() == "unrelated_products") has_decoy = true;
+  }
+  EXPECT_TRUE(has_decoy);
+}
+
+TEST(ScenarioTest, OneToManyTableHasMultipleRowsPerEntity) {
+  auto spec = CovidSpec();
+  auto s = BuildScenario(spec);
+  ASSERT_TRUE(s.ok());
+  for (const auto& t : (*s)->lake.tables()) {
+    if (t.name() != "mobility_report") continue;
+    EXPECT_GE(t.num_rows(), spec.num_entities * 3);
+    return;
+  }
+  FAIL() << "mobility_report table missing";
+}
+
+TEST(ScenarioTest, MnarMissingnessInjected) {
+  auto s = BuildScenario(CovidSpec());
+  ASSERT_TRUE(s.ok());
+  // precipitation has MNAR missingness: some entities lack the property.
+  std::size_t missing = 0;
+  for (const auto& e : (*s)->entity_names) {
+    if (!(*s)->kg.GetLiteral(e, "precipitation").ok()) ++missing;
+  }
+  EXPECT_GT(missing, 10u);
+  EXPECT_LT(missing, (*s)->entity_names.size() / 2);
+}
+
+TEST(ScenarioTest, MissingnessIsNotAtRandom) {
+  // Rows whose precipitation got dropped have *higher* clean values.
+  auto s = BuildScenario(CovidSpec());
+  ASSERT_TRUE(s.ok());
+  const auto& clean = (*s)->clean_data.at("precipitation");
+  std::vector<double> observed_vals, missing_vals;
+  for (std::size_t i = 0; i < (*s)->entity_names.size(); ++i) {
+    if ((*s)->kg.GetLiteral((*s)->entity_names[i], "precipitation").ok()) {
+      observed_vals.push_back(clean[i]);
+    } else {
+      missing_vals.push_back(clean[i]);
+    }
+  }
+  EXPECT_GT(stats::Mean(missing_vals), stats::Mean(observed_vals));
+}
+
+TEST(ScenarioTest, DeterministicAcrossBuilds) {
+  auto a = BuildScenario(CovidSpec());
+  auto b = BuildScenario(CovidSpec());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ((*a)->clean_data.at("covid_death_rate"),
+            (*b)->clean_data.at("covid_death_rate"));
+  EXPECT_TRUE((*a)->cluster_dag == (*b)->cluster_dag);
+}
+
+TEST(ScenarioTest, SeedChangesData) {
+  auto spec = CovidSpec();
+  auto a = BuildScenario(spec);
+  spec.seed += 1;
+  auto b = BuildScenario(spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE((*a)->clean_data.at("covid_death_rate"),
+            (*b)->clean_data.at("covid_death_rate"));
+}
+
+TEST(ScenarioTest, AttributeDagConsistentWithClusterDag) {
+  auto s = BuildScenario(FlightsSpec());
+  ASSERT_TRUE(s.ok());
+  // Every cluster edge is realized as (parent driver -> child driver).
+  for (const auto& [u, v] : (*s)->cluster_dag.Edges()) {
+    const auto& pu = (*s)->cluster_members.at(
+        (*s)->cluster_dag.NodeName(u))[0];
+    const auto& pv = (*s)->cluster_members.at(
+        (*s)->cluster_dag.NodeName(v))[0];
+    EXPECT_TRUE((*s)->attribute_dag.HasEdge(pu, pv))
+        << pu << " -> " << pv;
+  }
+  // Members hang off their driver.
+  for (const auto& [cluster, members] : (*s)->cluster_members) {
+    for (std::size_t m = 1; m < members.size(); ++m) {
+      EXPECT_TRUE((*s)->attribute_dag.HasEdge(members[0], members[m]));
+    }
+  }
+  EXPECT_TRUE((*s)->attribute_dag.IsAcyclic());
+}
+
+TEST(ScenarioTest, OracleKnowsClusterRelations) {
+  auto s = BuildScenario(CovidSpec());
+  ASSERT_TRUE(s.ok());
+  // The oracle should affirm the vast majority of true direct edges.
+  std::size_t affirmed = 0;
+  for (const auto& [u, v] : (*s)->cluster_dag.Edges()) {
+    if ((*s)->oracle->DoesCause((*s)->cluster_dag.NodeName(u),
+                                (*s)->cluster_dag.NodeName(v))) {
+      ++affirmed;
+    }
+  }
+  EXPECT_GE(affirmed, 21u);  // 23 edges, direct_recall = 0.99
+  // And it resolves attribute aliases to concepts.
+  EXPECT_TRUE((*s)->oracle->DoesCause("confirmed_cases",
+                                      "covid_death_rate") ||
+              (*s)->oracle->DoesCause("spread", "death_rate"));
+}
+
+}  // namespace
+}  // namespace cdi::datagen

@@ -1,0 +1,411 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "discovery/ci_test.h"
+#include "discovery/discovery.h"
+#include "discovery/fci.h"
+#include "discovery/ges.h"
+#include "discovery/lingam.h"
+#include "discovery/pc.h"
+#include "discovery/subsets.h"
+#include "graph/metrics.h"
+#include "graph/random_graph.h"
+
+namespace cdi::discovery {
+namespace {
+
+// --------------------------------------------------------------- subsets
+
+TEST(SubsetsTest, EnumeratesAllKSubsets) {
+  std::vector<int> items = {1, 2, 3, 4};
+  int count = 0;
+  ForEachSubset<int>(items, 2, [&](const std::vector<int>& s) {
+    EXPECT_EQ(s.size(), 2u);
+    ++count;
+    return false;
+  });
+  EXPECT_EQ(count, 6);
+}
+
+TEST(SubsetsTest, EmptySubset) {
+  std::vector<int> items = {1, 2};
+  int count = 0;
+  ForEachSubset<int>(items, 0, [&](const std::vector<int>& s) {
+    EXPECT_TRUE(s.empty());
+    ++count;
+    return false;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(SubsetsTest, EarlyStop) {
+  std::vector<int> items = {1, 2, 3, 4, 5};
+  int count = 0;
+  const bool stopped = ForEachSubset<int>(items, 2, [&](const auto&) {
+    ++count;
+    return count == 3;
+  });
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SubsetsTest, KLargerThanNIsEmpty) {
+  std::vector<int> items = {1};
+  int count = 0;
+  ForEachSubset<int>(items, 2, [&](const auto&) {
+    ++count;
+    return false;
+  });
+  EXPECT_EQ(count, 0);
+}
+
+// ---------------------------------------------------------------- CiTest
+
+/// Linear-Gaussian data for a -> b -> c, a -> c.
+stats::NumericDataset TriangleData(std::size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> a(n), b(n), c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng.Normal();
+    b[i] = 0.7 * a[i] + rng.Normal();
+    c[i] = 0.6 * b[i] + 0.5 * a[i] + rng.Normal();
+  }
+  stats::NumericDataset ds;
+  ds.columns = {a, b, c};
+  return ds;
+}
+
+TEST(FisherZTest, DetectsDependenceAndIndependence) {
+  auto test = FisherZTest::Create(TriangleData(2000, 5));
+  ASSERT_TRUE(test.ok());
+  EXPECT_LT((*test)->PValue(0, 1, {}), 1e-8);
+  EXPECT_LT((*test)->PValue(0, 2, {1}), 1e-6);  // direct edge remains
+  EXPECT_GT((*test)->Strength(0, 1, {}), 0.3);
+}
+
+TEST(FisherZTest, ChainConditionalIndependence) {
+  // Pure chain: a -> b -> c.
+  Rng rng(7);
+  const std::size_t n = 3000;
+  std::vector<double> a(n), b(n), c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng.Normal();
+    b[i] = 0.8 * a[i] + rng.Normal();
+    c[i] = 0.8 * b[i] + rng.Normal();
+  }
+  stats::NumericDataset ds;
+  ds.columns = {a, b, c};
+  auto test = FisherZTest::Create(ds);
+  ASSERT_TRUE(test.ok());
+  EXPECT_LT((*test)->PValue(0, 2, {}), 1e-8);
+  EXPECT_GT((*test)->PValue(0, 2, {1}), 0.01);
+}
+
+TEST(FisherZTest, TooFewRowsFails) {
+  stats::NumericDataset ds;
+  ds.columns = {{1, 2}, {2, 3}};
+  EXPECT_FALSE(FisherZTest::Create(ds).ok());
+}
+
+TEST(DSeparationOracleTest, MatchesGraph) {
+  graph::Digraph g({"a", "b", "c"});
+  CDI_CHECK(g.AddEdge("a", "b").ok());
+  CDI_CHECK(g.AddEdge("b", "c").ok());
+  auto oracle = DSeparationOracle::Create(g);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_DOUBLE_EQ((*oracle)->PValue(0, 2, {}), 0.0);
+  EXPECT_DOUBLE_EQ((*oracle)->PValue(0, 2, {1}), 1.0);
+  EXPECT_TRUE((*oracle)->Independent(0, 2, {1}, 0.05));
+}
+
+// -------------------------------------------------------------------- PC
+
+TEST(PcTest, RecoversVStructureFromOracle) {
+  graph::Digraph g({"a", "b", "c"});
+  CDI_CHECK(g.AddEdge("a", "c").ok());
+  CDI_CHECK(g.AddEdge("b", "c").ok());
+  auto oracle = DSeparationOracle::Create(g);
+  auto result = RunPc(**oracle, {"a", "b", "c"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->graph.HasDirected(0, 2));
+  EXPECT_TRUE(result->graph.HasDirected(1, 2));
+  EXPECT_FALSE(result->graph.Adjacent(0, 1));
+}
+
+TEST(PcTest, ChainYieldsUndirectedCpdag) {
+  graph::Digraph g({"a", "b", "c"});
+  CDI_CHECK(g.AddEdge("a", "b").ok());
+  CDI_CHECK(g.AddEdge("b", "c").ok());
+  auto oracle = DSeparationOracle::Create(g);
+  auto result = RunPc(**oracle, {"a", "b", "c"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->graph.HasUndirected(0, 1));
+  EXPECT_TRUE(result->graph.HasUndirected(1, 2));
+  EXPECT_FALSE(result->graph.Adjacent(0, 2));
+  // Sepset of (a, c) should be {b}.
+  auto it = result->sepsets.find({0, 2});
+  ASSERT_NE(it, result->sepsets.end());
+  ASSERT_EQ(it->second.size(), 1u);
+  EXPECT_EQ(it->second[0], 1u);
+}
+
+TEST(PcTest, OracleRecoversCpdagOnRandomDags) {
+  // Property: with a perfect CI oracle, PC must recover exactly the CPDAG
+  // of the generating DAG.
+  Rng rng(11);
+  for (int trial = 0; trial < 15; ++trial) {
+    graph::Digraph g = graph::RandomDag(7, 0.3, &rng);
+    auto truth = graph::Pdag::CpdagOf(g);
+    ASSERT_TRUE(truth.ok());
+    auto oracle = DSeparationOracle::Create(g);
+    auto result = RunPc(**oracle, g.NodeNames());
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->graph.DirectedEdges(), truth->DirectedEdges())
+        << "trial " << trial;
+    EXPECT_EQ(result->graph.UndirectedEdges(), truth->UndirectedEdges())
+        << "trial " << trial;
+  }
+}
+
+TEST(PcTest, GaussianDataRecoversSkeleton) {
+  auto test = FisherZTest::Create(TriangleData(4000, 13));
+  ASSERT_TRUE(test.ok());
+  auto result = RunPc(**test, {"a", "b", "c"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->graph.Adjacent(0, 1));
+  EXPECT_TRUE(result->graph.Adjacent(1, 2));
+  EXPECT_TRUE(result->graph.Adjacent(0, 2));
+  EXPECT_GT(result->ci_tests, 0u);
+}
+
+TEST(PcTest, MaxCondSizeLimitsTests) {
+  auto test = FisherZTest::Create(TriangleData(500, 17));
+  PcOptions options;
+  options.max_cond_size = 0;
+  auto result = RunPc(**test, {"a", "b", "c"}, options);
+  ASSERT_TRUE(result.ok());
+  // With only marginal tests, the dense triangle stays complete.
+  EXPECT_EQ(result->graph.num_directed() + result->graph.num_undirected(),
+            3u);
+}
+
+// ------------------------------------------------------------------- FCI
+
+TEST(FciTest, VStructureGetsArrowheads) {
+  graph::Digraph g({"a", "b", "c"});
+  CDI_CHECK(g.AddEdge("a", "c").ok());
+  CDI_CHECK(g.AddEdge("b", "c").ok());
+  auto oracle = DSeparationOracle::Create(g);
+  auto result = RunFci(**oracle, {"a", "b", "c"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result->graph.MarkAt(0, 2, 2), graph::EndMark::kArrow);
+  EXPECT_EQ(*result->graph.MarkAt(1, 2, 2), graph::EndMark::kArrow);
+  EXPECT_FALSE(result->graph.Adjacent(0, 1));
+}
+
+TEST(FciTest, R1OrientsAwayFromCollider) {
+  // a -> c <- b, c - d chain: R1 gives c -> d (tail at c, arrow at d).
+  graph::Digraph g({"a", "b", "c", "d"});
+  CDI_CHECK(g.AddEdge("a", "c").ok());
+  CDI_CHECK(g.AddEdge("b", "c").ok());
+  CDI_CHECK(g.AddEdge("c", "d").ok());
+  auto oracle = DSeparationOracle::Create(g);
+  auto result = RunFci(**oracle, g.NodeNames());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result->graph.MarkAt(2, 3, 2), graph::EndMark::kTail);
+  EXPECT_EQ(*result->graph.MarkAt(2, 3, 3), graph::EndMark::kArrow);
+}
+
+TEST(FciTest, SkeletonMatchesPcOnOracle) {
+  Rng rng(19);
+  for (int trial = 0; trial < 10; ++trial) {
+    graph::Digraph g = graph::RandomDag(6, 0.35, &rng);
+    auto oracle = DSeparationOracle::Create(g);
+    auto pc = RunPc(**oracle, g.NodeNames());
+    auto fci = RunFci(**oracle, g.NodeNames());
+    ASSERT_TRUE(pc.ok() && fci.ok());
+    for (graph::NodeId u = 0; u < 6; ++u) {
+      for (graph::NodeId v = u + 1; v < 6; ++v) {
+        EXPECT_EQ(pc->graph.Adjacent(u, v), fci->graph.Adjacent(u, v));
+      }
+    }
+  }
+}
+
+TEST(FciTest, ClaimsSupersetOfDefiniteArrows) {
+  graph::Digraph g({"a", "b", "c"});
+  CDI_CHECK(g.AddEdge("a", "b").ok());
+  CDI_CHECK(g.AddEdge("b", "c").ok());
+  auto oracle = DSeparationOracle::Create(g);
+  auto result = RunFci(**oracle, g.NodeNames());
+  ASSERT_TRUE(result.ok());
+  // Chain has no collider: everything stays o-o, claims both directions.
+  EXPECT_EQ(result->graph.ToDirectedClaims().size(), 4u);
+}
+
+// ------------------------------------------------------------------- GES
+
+TEST(GesTest, RecoversSkeletonOfLinearSem) {
+  Rng rng(23);
+  const std::size_t n = 3000;
+  std::vector<double> a(n), b(n), c(n), d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng.Normal();
+    b[i] = 0.8 * a[i] + rng.Normal();
+    c[i] = 0.8 * b[i] + rng.Normal();
+    d[i] = rng.Normal();
+  }
+  auto result = RunGes({a, b, c, d}, {"a", "b", "c", "d"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->dag.Adjacent(0, 1));
+  EXPECT_TRUE(result->dag.Adjacent(1, 2));
+  EXPECT_FALSE(result->dag.Adjacent(0, 2));
+  EXPECT_FALSE(result->dag.Adjacent(0, 3));
+  EXPECT_GT(result->forward_steps, 0u);
+}
+
+TEST(GesTest, VStructureOrientedInCpdag) {
+  Rng rng(29);
+  const std::size_t n = 4000;
+  std::vector<double> a(n), b(n), c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng.Normal();
+    b[i] = rng.Normal();
+    c[i] = 0.7 * a[i] + 0.7 * b[i] + rng.Normal();
+  }
+  auto result = RunGes({a, b, c}, {"a", "b", "c"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->cpdag.HasDirected(0, 2));
+  EXPECT_TRUE(result->cpdag.HasDirected(1, 2));
+  EXPECT_FALSE(result->cpdag.Adjacent(0, 1));
+}
+
+TEST(GesTest, PenaltyDiscountControlsDensity) {
+  Rng rng(31);
+  const std::size_t n = 800;
+  std::vector<std::vector<double>> cols(5, std::vector<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    cols[0][i] = rng.Normal();
+    for (int j = 1; j < 5; ++j) {
+      cols[j][i] = 0.3 * cols[j - 1][i] + rng.Normal();
+    }
+  }
+  GesOptions lenient;
+  lenient.penalty_discount = 0.2;
+  GesOptions strict;
+  strict.penalty_discount = 8.0;
+  auto loose = RunGes(cols, {"a", "b", "c", "d", "e"}, lenient);
+  auto tight = RunGes(cols, {"a", "b", "c", "d", "e"}, strict);
+  ASSERT_TRUE(loose.ok() && tight.ok());
+  EXPECT_GE(loose->dag.num_edges(), tight->dag.num_edges());
+}
+
+TEST(GesTest, MaxParentsRespected) {
+  Rng rng(37);
+  const std::size_t n = 1000;
+  std::vector<std::vector<double>> cols(4, std::vector<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int j = 0; j < 3; ++j) cols[j][i] = rng.Normal();
+    cols[3][i] = cols[0][i] + cols[1][i] + cols[2][i] + 0.3 * rng.Normal();
+  }
+  GesOptions options;
+  options.max_parents = 1;
+  auto result = RunGes(cols, {"a", "b", "c", "y"}, options);
+  ASSERT_TRUE(result.ok());
+  for (graph::NodeId v = 0; v < 4; ++v) {
+    EXPECT_LE(result->dag.Parents(v).size(), 1u);
+  }
+}
+
+// ---------------------------------------------------------------- LiNGAM
+
+TEST(LingamTest, RecoversOrderWithLaplaceNoise) {
+  Rng rng(41);
+  const std::size_t n = 4000;
+  std::vector<double> a(n), b(n), c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng.Laplace(1.0);
+    b[i] = 0.8 * a[i] + rng.Laplace(0.7);
+    c[i] = 0.8 * b[i] + rng.Laplace(0.7);
+  }
+  auto result = RunDirectLingam({a, b, c}, {"a", "b", "c"});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->causal_order.size(), 3u);
+  EXPECT_EQ(result->causal_order[0], 0u);
+  EXPECT_EQ(result->causal_order[1], 1u);
+  EXPECT_EQ(result->causal_order[2], 2u);
+  EXPECT_TRUE(result->dag.HasEdge(0, 1));
+  EXPECT_TRUE(result->dag.HasEdge(1, 2));
+  EXPECT_FALSE(result->dag.HasEdge(0, 2));
+  EXPECT_NEAR(result->weights[1][0], 0.8 / std::sqrt(0.8 * 0.8 + 0.49), 0.2);
+}
+
+TEST(LingamTest, PrunesSpuriousEdges) {
+  Rng rng(43);
+  const std::size_t n = 3000;
+  std::vector<double> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng.Laplace(1.0);
+    b[i] = rng.Laplace(1.0);  // independent
+  }
+  auto result = RunDirectLingam({a, b}, {"a", "b"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->dag.num_edges(), 0u);
+}
+
+TEST(LingamTest, GaussianDataGivesUnreliableOrder) {
+  // With Gaussian noise the model is unidentifiable; we only check the
+  // call succeeds and prunes to a sparse-ish graph rather than crashing.
+  Rng rng(47);
+  const std::size_t n = 1500;
+  std::vector<double> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng.Normal();
+    b[i] = 0.8 * a[i] + rng.Normal();
+  }
+  auto result = RunDirectLingam({a, b}, {"a", "b"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->dag.num_edges(), 1u);
+}
+
+TEST(LingamTest, TooFewRowsFails) {
+  EXPECT_FALSE(RunDirectLingam({{1, 2, 3}, {1, 2, 3}}, {"a", "b"}).ok());
+}
+
+// ----------------------------------------------------------- RunDiscovery
+
+TEST(RunDiscoveryTest, AllAlgorithmsProduceClaims) {
+  Rng rng(53);
+  const std::size_t n = 1500;
+  std::vector<double> a(n), b(n), c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng.Laplace(1.0);
+    b[i] = 0.7 * a[i] + rng.Laplace(0.7);
+    c[i] = 0.7 * b[i] + rng.Laplace(0.7);
+  }
+  const std::vector<std::string> names = {"a", "b", "c"};
+  for (Algorithm alg : {Algorithm::kPc, Algorithm::kFci, Algorithm::kGes,
+                        Algorithm::kLingam}) {
+    auto summary = RunDiscovery({a, b, c}, names, alg);
+    ASSERT_TRUE(summary.ok()) << AlgorithmName(alg);
+    EXPECT_FALSE(summary->claims.empty()) << AlgorithmName(alg);
+    // Definite edges are always a subset of claims.
+    for (const auto& e : summary->definite) {
+      EXPECT_TRUE(std::count(summary->claims.begin(), summary->claims.end(),
+                             e) > 0)
+          << AlgorithmName(alg);
+    }
+  }
+}
+
+TEST(RunDiscoveryTest, AlgorithmNames) {
+  EXPECT_STREQ(AlgorithmName(Algorithm::kPc), "PC");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kFci), "FCI");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kGes), "GES");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kLingam), "LiNGAM");
+}
+
+}  // namespace
+}  // namespace cdi::discovery

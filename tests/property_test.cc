@@ -1,0 +1,432 @@
+// Parameterized property tests on the statistical / graphical invariants
+// the CDI pipeline relies on. Each suite sweeps a parameter grid with
+// TEST_P / INSTANTIATE_TEST_SUITE_P.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/effect.h"
+#include "core/varclus.h"
+#include "discovery/ci_test.h"
+#include "discovery/pc.h"
+#include "graph/dsep.h"
+#include "graph/metrics.h"
+#include "graph/pdag.h"
+#include "graph/random_graph.h"
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+#include "table/csv.h"
+
+namespace cdi {
+namespace {
+
+// ---------------------------------------------------------------------
+// Property: on data generated from a random linear-Gaussian SEM, the
+// Fisher-z CI test agrees with d-separation in the generating DAG for the
+// overwhelming majority of (x, y | S) queries.
+// ---------------------------------------------------------------------
+
+struct SemCase {
+  std::size_t num_nodes;
+  double edge_prob;
+  uint64_t seed;
+};
+
+class FisherZFaithfulnessTest : public ::testing::TestWithParam<SemCase> {};
+
+TEST_P(FisherZFaithfulnessTest, MatchesDSeparation) {
+  const SemCase param = GetParam();
+  Rng rng(param.seed);
+  graph::Digraph g = graph::RandomDag(param.num_nodes, param.edge_prob,
+                                      &rng);
+  // Sample the SEM: coefficients in ±[0.5, 1.0] (bounded away from zero so
+  // near-unfaithful cancellations are rare).
+  const std::size_t n = 4000;
+  auto order = g.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  std::map<graph::NodeId, std::map<graph::NodeId, double>> coef;
+  for (const auto& [u, v] : g.Edges()) {
+    const double c = rng.Uniform(0.5, 1.0) * (rng.Bernoulli(0.5) ? 1 : -1);
+    coef[v][u] = c;
+  }
+  std::vector<std::vector<double>> data(param.num_nodes,
+                                        std::vector<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (graph::NodeId v : *order) {
+      double x = rng.Normal();
+      for (const auto& [p, c] : coef[v]) x += c * data[p][i];
+      data[v][i] = x;
+    }
+  }
+  stats::NumericDataset ds;
+  ds.columns = data;
+  auto test = discovery::FisherZTest::Create(ds);
+  ASSERT_TRUE(test.ok());
+
+  std::size_t agree = 0, total = 0;
+  for (graph::NodeId x = 0; x < param.num_nodes; ++x) {
+    for (graph::NodeId y = x + 1; y < param.num_nodes; ++y) {
+      for (int trial = 0; trial < 3; ++trial) {
+        std::set<graph::NodeId> given;
+        std::vector<std::size_t> s;
+        for (graph::NodeId z = 0; z < param.num_nodes; ++z) {
+          if (z != x && z != y && rng.Bernoulli(0.3)) {
+            given.insert(z);
+            s.push_back(z);
+          }
+        }
+        auto sep = graph::DSeparated(g, x, y, given);
+        ASSERT_TRUE(sep.ok());
+        const bool test_independent =
+            (*test)->Independent(x, y, s, /*alpha=*/0.01);
+        agree += (test_independent == *sep) ? 1 : 0;
+        ++total;
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(total), 0.9)
+      << "agreement " << agree << "/" << total;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FisherZFaithfulnessTest,
+    ::testing::Values(SemCase{5, 0.3, 11}, SemCase{6, 0.25, 22},
+                      SemCase{7, 0.2, 33}, SemCase{8, 0.15, 44},
+                      SemCase{6, 0.4, 55}));
+
+// ---------------------------------------------------------------------
+// Property: with a perfect d-separation oracle, PC recovers exactly the
+// CPDAG of the generating DAG — across graph sizes and densities.
+// ---------------------------------------------------------------------
+
+class PcOracleExactnessTest : public ::testing::TestWithParam<SemCase> {};
+
+TEST_P(PcOracleExactnessTest, RecoversCpdag) {
+  const SemCase param = GetParam();
+  Rng rng(param.seed);
+  for (int trial = 0; trial < 8; ++trial) {
+    graph::Digraph g =
+        graph::RandomDag(param.num_nodes, param.edge_prob, &rng);
+    auto truth = graph::Pdag::CpdagOf(g);
+    ASSERT_TRUE(truth.ok());
+    auto oracle = discovery::DSeparationOracle::Create(g);
+    ASSERT_TRUE(oracle.ok());
+    auto result = discovery::RunPc(**oracle, g.NodeNames());
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->graph.DirectedEdges(), truth->DirectedEdges());
+    EXPECT_EQ(result->graph.UndirectedEdges(), truth->UndirectedEdges());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PcOracleExactnessTest,
+    ::testing::Values(SemCase{4, 0.4, 3}, SemCase{6, 0.3, 5},
+                      SemCase{8, 0.25, 7}, SemCase{10, 0.15, 9}));
+
+// ---------------------------------------------------------------------
+// Property: backdoor adjustment via EstimateEffect recovers a planted
+// direct effect under confounding, across effect sizes.
+// ---------------------------------------------------------------------
+
+class BackdoorRecoveryTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BackdoorRecoveryTest, RecoversPlantedEffect) {
+  const double planted = GetParam();
+  Rng rng(static_cast<uint64_t>(1000 + planted * 100));
+  const std::size_t n = 6000;
+  std::vector<double> z(n), t(n), o(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    z[i] = rng.Normal();
+    t[i] = 0.8 * z[i] + rng.Normal();
+    o[i] = planted * t[i] + 0.9 * z[i] + rng.Normal();
+  }
+  table::Table tab("t");
+  CDI_CHECK(tab.AddColumn(table::Column::FromDoubles("t", t)).ok());
+  CDI_CHECK(tab.AddColumn(table::Column::FromDoubles("z", z)).ok());
+  CDI_CHECK(tab.AddColumn(table::Column::FromDoubles("o", o)).ok());
+  auto est = core::EstimateEffect(tab, "t", "o", {"z"});
+  ASSERT_TRUE(est.ok());
+  // Standardized coefficient: planted * sd(t)/sd(o).
+  const double expected = planted * stats::StdDev(t) / stats::StdDev(o);
+  EXPECT_NEAR(est->effect, expected, 0.06) << "planted=" << planted;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BackdoorRecoveryTest,
+                         ::testing::Values(-0.8, -0.3, 0.0, 0.2, 0.5, 1.0));
+
+// ---------------------------------------------------------------------
+// Property: VARCLUS recovers planted block structure across block counts
+// and within-block loadings.
+// ---------------------------------------------------------------------
+
+struct BlockCase {
+  std::size_t blocks;
+  std::size_t per_block;
+  double loading;
+  uint64_t seed;
+};
+
+class VarClusRecoveryTest : public ::testing::TestWithParam<BlockCase> {};
+
+TEST_P(VarClusRecoveryTest, RecoversBlocks) {
+  const BlockCase param = GetParam();
+  Rng rng(param.seed);
+  const std::size_t n = 2000;
+  std::vector<std::vector<double>> cols;
+  std::vector<std::string> names;
+  for (std::size_t b = 0; b < param.blocks; ++b) {
+    std::vector<double> factor(n);
+    for (auto& f : factor) f = rng.Normal();
+    for (std::size_t m = 0; m < param.per_block; ++m) {
+      std::vector<double> col(n);
+      const double sign = (m % 2 == 0) ? 1.0 : -1.0;  // mixed-sign loadings
+      for (std::size_t i = 0; i < n; ++i) {
+        col[i] = sign * param.loading * factor[i] +
+                 std::sqrt(1 - param.loading * param.loading) * rng.Normal();
+      }
+      cols.push_back(std::move(col));
+      names.push_back("b" + std::to_string(b) + "m" + std::to_string(m));
+    }
+  }
+  core::VarClusOptions options;
+  options.min_clusters = static_cast<int>(param.blocks);
+  options.max_clusters = static_cast<int>(param.blocks);
+  auto result = core::RunVarClus(cols, names, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->clusters.size(), param.blocks);
+  // Every recovered cluster must be exactly one planted block.
+  for (const auto& cluster : result->clusters) {
+    ASSERT_FALSE(cluster.empty());
+    const char block = cluster[0][1];
+    EXPECT_EQ(cluster.size(), param.per_block);
+    for (const auto& member : cluster) {
+      EXPECT_EQ(member[1], block) << "mixed cluster";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, VarClusRecoveryTest,
+    ::testing::Values(BlockCase{2, 3, 0.9, 1}, BlockCase{3, 2, 0.85, 2},
+                      BlockCase{4, 3, 0.9, 3}, BlockCase{5, 2, 0.9, 4},
+                      BlockCase{3, 4, 0.8, 5}));
+
+// ---------------------------------------------------------------------
+// Property: CompareEdgeSets metric identities — F1 bounds, symmetry of
+// perfect agreement, monotonicity under added false positives.
+// ---------------------------------------------------------------------
+
+class MetricPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricPropertyTest, InvariantsHold) {
+  Rng rng(GetParam());
+  const std::size_t n = 6;
+  graph::Digraph truth = graph::RandomDag(n, 0.35, &rng);
+  graph::Digraph pred = graph::RandomDag(n, 0.35, &rng);
+  auto m = graph::CompareEdgeSets(n, pred.Edges(), truth.Edges());
+  // Bounds.
+  for (double v : {m.presence.precision, m.presence.recall, m.presence.f1,
+                   m.absence.precision, m.absence.recall, m.absence.f1}) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  // Count identities.
+  EXPECT_EQ(m.true_positive_edges + m.false_positive_edges,
+            m.num_predicted);
+  EXPECT_EQ(m.true_positive_edges + m.false_negative_edges, m.num_truth);
+  // Self-comparison is perfect.
+  auto self = graph::CompareEdgeSets(n, truth.Edges(), truth.Edges());
+  EXPECT_DOUBLE_EQ(self.presence.f1, truth.num_edges() > 0 ? 1.0 : 0.0);
+  EXPECT_DOUBLE_EQ(self.absence.f1, 1.0);
+  // Adding a false positive cannot raise presence precision.
+  auto edges = pred.Edges();
+  for (graph::NodeId u = 0; u < n && edges.size() < n * (n - 1); ++u) {
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (u != v && !pred.HasEdge(u, v) && !truth.HasEdge(u, v)) {
+        edges.emplace_back(u, v);
+        auto worse = graph::CompareEdgeSets(n, edges, truth.Edges());
+        EXPECT_LE(worse.presence.precision, m.presence.precision + 1e-12);
+        return;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MetricPropertyTest,
+                         ::testing::Values(10, 20, 30, 40, 50, 60, 70, 80));
+
+// ---------------------------------------------------------------------
+// Property: CSV writer/reader round-trips random tables exactly (strings,
+// doubles, ints, nulls, quoting).
+// ---------------------------------------------------------------------
+
+class CsvRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsvRoundTripTest, RoundTripsRandomTable) {
+  Rng rng(GetParam());
+  const std::size_t rows = 30 + rng.UniformInt(uint64_t{40});
+  table::Table t("fuzz");
+  // String column with hostile characters.
+  {
+    table::Column c("s", table::DataType::kString);
+    const char* pieces[] = {"plain", "with,comma", "with\"quote", "x"};
+    for (std::size_t r = 0; r < rows; ++r) {
+      CDI_CHECK(
+          c.Append(table::Value(std::string(pieces[rng.UniformInt(
+                       uint64_t{4})]) +
+                   std::to_string(r)))
+              .ok());
+    }
+    CDI_CHECK(t.AddColumn(std::move(c)).ok());
+  }
+  // Int column with nulls.
+  {
+    table::Column c("i", table::DataType::kInt64);
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (rng.Bernoulli(0.2)) {
+        CDI_CHECK(c.Append(table::Value::Null()).ok());
+      } else {
+        CDI_CHECK(c.Append(table::Value(rng.UniformInt(int64_t{-500},
+                                                       int64_t{500})))
+                      .ok());
+      }
+    }
+    CDI_CHECK(t.AddColumn(std::move(c)).ok());
+  }
+  // Double column.
+  {
+    std::vector<double> vals(rows);
+    for (auto& v : vals) v = std::round(rng.Normal() * 1e6) / 1e6;
+    CDI_CHECK(
+        t.AddColumn(table::Column::FromDoubles("d", std::move(vals))).ok());
+  }
+
+  auto back = table::ReadCsvString(table::WriteCsvString(t));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->num_rows(), rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    EXPECT_EQ(back->GetCell(r, "s")->as_string(),
+              t.GetCell(r, "s")->as_string());
+    EXPECT_EQ(back->GetCell(r, "i")->is_null(),
+              t.GetCell(r, "i")->is_null());
+    if (!t.GetCell(r, "i")->is_null()) {
+      EXPECT_EQ(back->GetCell(r, "i")->as_int64(),
+                t.GetCell(r, "i")->as_int64());
+    }
+    EXPECT_NEAR(back->GetCell(r, "d")->as_double(),
+                t.GetCell(r, "d")->as_double(), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CsvRoundTripTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+// ---------------------------------------------------------------------
+// Property: IPW-weighted means recover population means under
+// missing-at-random selection (the Data Organizer's correction target).
+// ---------------------------------------------------------------------
+
+class IpwRecoveryTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(IpwRecoveryTest, WeightedMeanUnbiasedUnderMar) {
+  const double selection_strength = GetParam();
+  Rng rng(static_cast<uint64_t>(7000 + selection_strength * 10));
+  const std::size_t n = 20000;
+  std::vector<double> x(n), y(n), weights;
+  std::vector<double> observed_y, naive_weights;
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.Normal();
+    y[i] = 1.0 + 0.8 * x[i] + rng.Normal();
+    // Observation probability depends on x (MAR given x).
+    const double p =
+        1.0 / (1.0 + std::exp(-(0.3 + selection_strength * x[i])));
+    if (rng.Bernoulli(p)) {
+      observed_y.push_back(y[i]);
+      naive_weights.push_back(1.0);
+      weights.push_back(1.0 / p);  // true inverse propensity
+    }
+  }
+  const double truth = 1.0;  // E[y]
+  const double naive = stats::Mean(observed_y);
+  const double ipw = stats::WeightedMean(observed_y, weights);
+  if (selection_strength > 0.2) {
+    EXPECT_GT(std::fabs(naive - truth), 0.05)
+        << "selection should bias the naive mean";
+  }
+  EXPECT_NEAR(ipw, truth, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IpwRecoveryTest,
+                         ::testing::Values(0.0, 0.5, 1.0, 1.5, 2.0));
+
+// ---------------------------------------------------------------------
+// Property: d-separation is monotone-safe under edge removal — removing
+// an edge can only create new separations, never destroy existing ones.
+// ---------------------------------------------------------------------
+
+class DSepEdgeRemovalTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DSepEdgeRemovalTest, RemovingEdgesPreservesSeparations) {
+  Rng rng(GetParam());
+  graph::Digraph g = graph::RandomDag(7, 0.3, &rng);
+  auto edges = g.Edges();
+  if (edges.empty()) return;
+  const auto victim = edges[rng.UniformInt(edges.size())];
+  graph::Digraph h = g;
+  h.RemoveEdge(victim.first, victim.second);
+  for (graph::NodeId x = 0; x < 7; ++x) {
+    for (graph::NodeId y = x + 1; y < 7; ++y) {
+      std::set<graph::NodeId> given;
+      for (graph::NodeId z = 0; z < 7; ++z) {
+        if (z != x && z != y && rng.Bernoulli(0.3)) given.insert(z);
+      }
+      auto before = graph::DSeparated(g, x, y, given);
+      auto after = graph::DSeparated(h, x, y, given);
+      ASSERT_TRUE(before.ok() && after.ok());
+      if (*before) {
+        EXPECT_TRUE(*after)
+            << "removing an edge destroyed a separation";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DSepEdgeRemovalTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// ---------------------------------------------------------------------
+// Property: the Bayes-ball implementation of d-separation agrees exactly
+// with the textbook moralization criterion on random DAGs.
+// ---------------------------------------------------------------------
+
+class MoralEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MoralEquivalenceTest, BayesBallEqualsMoralization) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 5; ++trial) {
+    graph::Digraph g = graph::RandomDag(8, 0.3, &rng);
+    for (graph::NodeId x = 0; x < 8; ++x) {
+      for (graph::NodeId y = x + 1; y < 8; ++y) {
+        for (int q = 0; q < 3; ++q) {
+          std::set<graph::NodeId> given;
+          for (graph::NodeId z = 0; z < 8; ++z) {
+            if (z != x && z != y && rng.Bernoulli(0.3)) given.insert(z);
+          }
+          auto bayes = graph::DSeparated(g, x, y, given);
+          auto moral = graph::MoralSeparated(g, x, y, given);
+          ASSERT_TRUE(bayes.ok() && moral.ok());
+          ASSERT_EQ(*bayes, *moral)
+              << "x=" << x << " y=" << y << " trial=" << trial;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MoralEquivalenceTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace cdi

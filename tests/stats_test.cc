@@ -1,0 +1,654 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+#include "stats/distributions.h"
+#include "stats/independence.h"
+#include "stats/linalg.h"
+#include "stats/logistic.h"
+#include "stats/matrix.h"
+#include "stats/regression.h"
+
+namespace cdi::stats {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// ---------------------------------------------------------------- Matrix
+
+TEST(MatrixTest, IdentityAndAccess) {
+  Matrix m = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+  m(1, 2) = 5;
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+}
+
+TEST(MatrixTest, MultiplyAgainstHand) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(MatrixTest, TransposeAndSymmetry) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = a.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6);
+  EXPECT_FALSE(Matrix::FromRows({{1, 2}, {3, 4}}).IsSymmetric());
+  EXPECT_TRUE(Matrix::FromRows({{1, 2}, {2, 4}}).IsSymmetric());
+}
+
+TEST(MatrixTest, SubmatrixSelection) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+  Matrix s = a.Submatrix({0, 2});
+  EXPECT_DOUBLE_EQ(s(0, 0), 1);
+  EXPECT_DOUBLE_EQ(s(0, 1), 3);
+  EXPECT_DOUBLE_EQ(s(1, 0), 7);
+  EXPECT_DOUBLE_EQ(s(1, 1), 9);
+}
+
+TEST(MatrixTest, MultiplyVector) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const auto v = a.MultiplyVector({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(v[0], 3);
+  EXPECT_DOUBLE_EQ(v[1], 7);
+}
+
+// ---------------------------------------------------------------- linalg
+
+TEST(LinalgTest, CholeskyReconstructs) {
+  Matrix a = Matrix::FromRows({{4, 2, 0.6}, {2, 3, 0.4}, {0.6, 0.4, 2}});
+  auto l = Cholesky(a);
+  ASSERT_TRUE(l.ok());
+  Matrix back = l->Multiply(l->Transpose());
+  EXPECT_LT(back.MaxAbsDiff(a), 1e-10);
+}
+
+TEST(LinalgTest, CholeskyRejectsNonSpd) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 1}});  // indefinite
+  EXPECT_FALSE(Cholesky(a).ok());
+}
+
+TEST(LinalgTest, CholeskySolve) {
+  Matrix a = Matrix::FromRows({{4, 2}, {2, 3}});
+  auto x = CholeskySolve(a, {10, 9});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.5, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(LinalgTest, SolveLinearGeneral) {
+  Matrix a = Matrix::FromRows({{0, 1}, {2, 0}});  // needs pivoting
+  auto x = SolveLinear(a, {3, 4});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(LinalgTest, SolveLinearSingularFails) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 4}});
+  EXPECT_FALSE(SolveLinear(a, {1, 2}).ok());
+}
+
+TEST(LinalgTest, InverseRoundTrip) {
+  Matrix a = Matrix::FromRows({{2, 1, 0}, {1, 3, 1}, {0, 1, 2}});
+  auto inv = Inverse(a);
+  ASSERT_TRUE(inv.ok());
+  Matrix prod = a.Multiply(*inv);
+  EXPECT_LT(prod.MaxAbsDiff(Matrix::Identity(3)), 1e-10);
+}
+
+TEST(LinalgTest, JacobiEigenDiagonal) {
+  Matrix a = Matrix::FromRows({{3, 0}, {0, 1}});
+  auto e = JacobiEigen(a);
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(e->values[0], 3.0, 1e-12);
+  EXPECT_NEAR(e->values[1], 1.0, 1e-12);
+}
+
+TEST(LinalgTest, JacobiEigenKnownPair) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  Matrix a = Matrix::FromRows({{2, 1}, {1, 2}});
+  auto e = JacobiEigen(a);
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(e->values[0], 3.0, 1e-10);
+  EXPECT_NEAR(e->values[1], 1.0, 1e-10);
+  // Eigenvector for lambda=3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::fabs(e->vectors(0, 0)), std::sqrt(0.5), 1e-8);
+  EXPECT_NEAR(std::fabs(e->vectors(1, 0)), std::sqrt(0.5), 1e-8);
+}
+
+TEST(LinalgTest, JacobiEigenReconstruction) {
+  Rng rng(3);
+  const std::size_t n = 6;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      a(i, j) = rng.Normal();
+      a(j, i) = a(i, j);
+    }
+  }
+  auto e = JacobiEigen(a);
+  ASSERT_TRUE(e.ok());
+  // Reconstruct A = V diag(vals) V^T.
+  Matrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i) d(i, i) = e->values[i];
+  Matrix back = e->vectors.Multiply(d).Multiply(e->vectors.Transpose());
+  EXPECT_LT(back.MaxAbsDiff(a), 1e-8);
+}
+
+TEST(LinalgTest, LeastSquaresExact) {
+  // y = 2 + 3x, exactly.
+  Matrix x(4, 2);
+  std::vector<double> y(4);
+  for (int i = 0; i < 4; ++i) {
+    x(i, 0) = 1.0;
+    x(i, 1) = i;
+    y[i] = 2.0 + 3.0 * i;
+  }
+  auto beta = LeastSquares(x, y);
+  ASSERT_TRUE(beta.ok());
+  EXPECT_NEAR((*beta)[0], 2.0, 1e-6);
+  EXPECT_NEAR((*beta)[1], 3.0, 1e-6);
+}
+
+TEST(LinalgTest, WeightedLeastSquaresIgnoresZeroWeightRows) {
+  Matrix x(4, 1);
+  std::vector<double> y = {1, 1, 100, 1};
+  std::vector<double> w = {1, 1, 0, 1};
+  for (int i = 0; i < 4; ++i) x(i, 0) = 1.0;
+  auto beta = WeightedLeastSquares(x, y, w);
+  ASSERT_TRUE(beta.ok());
+  EXPECT_NEAR((*beta)[0], 1.0, 1e-6);
+}
+
+TEST(LinalgTest, LogDetSpd) {
+  Matrix a = Matrix::FromRows({{2, 0}, {0, 8}});
+  auto ld = LogDetSpd(a);
+  ASSERT_TRUE(ld.ok());
+  EXPECT_NEAR(*ld, std::log(16.0), 1e-12);
+}
+
+// --------------------------------------------------------- distributions
+
+TEST(DistributionsTest, NormalCdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(NormalCdf(-1.959963985), 0.025, 1e-6);
+  EXPECT_NEAR(NormalSf(1.0), 1.0 - NormalCdf(1.0), 1e-12);
+}
+
+TEST(DistributionsTest, NormalQuantileInvertsCdf) {
+  for (double p : {0.001, 0.025, 0.2, 0.5, 0.8, 0.975, 0.999}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-7) << "p=" << p;
+  }
+}
+
+TEST(DistributionsTest, LogGammaMatchesFactorials) {
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-10);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+}
+
+TEST(DistributionsTest, ChiSquareCdfKnown) {
+  // Chi-square with 2 dof is Exp(1/2): CDF(x) = 1 - exp(-x/2).
+  for (double x : {0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(ChiSquareCdf(x, 2), 1.0 - std::exp(-x / 2.0), 1e-9);
+  }
+  EXPECT_NEAR(ChiSquareSf(3.841458821, 1), 0.05, 1e-6);
+}
+
+TEST(DistributionsTest, GammaPQComplement) {
+  for (double a : {0.5, 2.0, 7.5}) {
+    for (double x : {0.1, 1.0, 5.0, 20.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x) + RegularizedGammaQ(a, x), 1.0,
+                  1e-10);
+    }
+  }
+}
+
+TEST(DistributionsTest, IncompleteBetaEdgeCases) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2, 3, 1.0), 1.0);
+  // I_x(1, 1) = x (uniform).
+  EXPECT_NEAR(RegularizedIncompleteBeta(1, 1, 0.3), 0.3, 1e-10);
+}
+
+TEST(DistributionsTest, StudentTSymmetricAndKnown) {
+  EXPECT_NEAR(StudentTCdf(0.0, 5), 0.5, 1e-12);
+  // t with 1 dof is Cauchy: CDF(1) = 3/4.
+  EXPECT_NEAR(StudentTCdf(1.0, 1), 0.75, 1e-8);
+  EXPECT_NEAR(StudentTTwoSidedPValue(2.570581836, 5), 0.05, 1e-6);
+}
+
+TEST(DistributionsTest, TApproachesNormalForLargeDof) {
+  EXPECT_NEAR(StudentTCdf(1.96, 10000), NormalCdf(1.96), 1e-4);
+}
+
+TEST(DistributionsTest, FSfMonotone) {
+  EXPECT_GT(FSf(1.0, 3, 10), FSf(2.0, 3, 10));
+  EXPECT_NEAR(FSf(0.0, 3, 10), 1.0, 1e-12);
+}
+
+// ----------------------------------------------------------- descriptive
+
+TEST(DescriptiveTest, BasicMoments) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Mean(x), 3.0);
+  EXPECT_DOUBLE_EQ(Variance(x), 2.5);
+  EXPECT_DOUBLE_EQ(StdDev(x), std::sqrt(2.5));
+  EXPECT_DOUBLE_EQ(Min(x), 1.0);
+  EXPECT_DOUBLE_EQ(Max(x), 5.0);
+  EXPECT_DOUBLE_EQ(Median(x), 3.0);
+}
+
+TEST(DescriptiveTest, SkipsNaN) {
+  std::vector<double> x = {1, kNaN, 3, kNaN, 5};
+  EXPECT_DOUBLE_EQ(Mean(x), 3.0);
+  EXPECT_EQ(ValidCount(x), 3u);
+}
+
+TEST(DescriptiveTest, EmptyAndDegenerate) {
+  EXPECT_TRUE(std::isnan(Mean({})));
+  EXPECT_TRUE(std::isnan(Variance({1.0})));
+  EXPECT_TRUE(std::isnan(Mean({kNaN, kNaN})));
+}
+
+TEST(DescriptiveTest, QuantileInterpolation) {
+  std::vector<double> x = {0, 10};
+  EXPECT_DOUBLE_EQ(Quantile(x, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(x, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile(x, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(Quantile(x, 0.25), 2.5);
+}
+
+TEST(DescriptiveTest, MedianEvenCount) {
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(DescriptiveTest, SkewnessSign) {
+  EXPECT_GT(Skewness({1, 1, 1, 1, 10}), 1.0);
+  EXPECT_LT(Skewness({-10, 1, 1, 1, 1}), -1.0);
+  EXPECT_NEAR(Skewness({-2, -1, 0, 1, 2}), 0.0, 1e-12);
+}
+
+TEST(DescriptiveTest, KurtosisOfNormalNearZero) {
+  Rng rng(99);
+  std::vector<double> x(50000);
+  for (auto& v : x) v = rng.Normal();
+  EXPECT_NEAR(ExcessKurtosis(x), 0.0, 0.1);
+  // Laplace has excess kurtosis 3.
+  for (auto& v : x) v = rng.Laplace(1.0);
+  EXPECT_NEAR(ExcessKurtosis(x), 3.0, 0.4);
+}
+
+TEST(DescriptiveTest, WeightedMean) {
+  EXPECT_DOUBLE_EQ(WeightedMean({1, 3}, {1, 3}), 2.5);
+  EXPECT_DOUBLE_EQ(WeightedMean({1, kNaN, 3}, {1, 1, 1}), 2.0);
+}
+
+TEST(DescriptiveTest, PearsonCorrelationPerfect) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {2, 4, 6, 8};
+  std::vector<double> ny = {-2, -4, -6, -8};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(x, ny), -1.0, 1e-12);
+}
+
+TEST(DescriptiveTest, PearsonPairwiseDeletion) {
+  std::vector<double> x = {1, 2, kNaN, 4};
+  std::vector<double> y = {1, 2, 100, 4};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(DescriptiveTest, SpearmanRobustToMonotoneTransform) {
+  Rng rng(7);
+  std::vector<double> x(500), y(500);
+  for (int i = 0; i < 500; ++i) {
+    x[i] = rng.Normal();
+    y[i] = std::exp(2.0 * x[i]);  // monotone, nonlinear
+  }
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-9);
+  EXPECT_LT(PearsonCorrelation(x, y), 0.95);
+}
+
+TEST(DescriptiveTest, StandardizeProperties) {
+  std::vector<double> x = {2, 4, 6, kNaN};
+  const auto z = Standardize(x);
+  EXPECT_TRUE(std::isnan(z[3]));
+  EXPECT_NEAR(Mean(z), 0.0, 1e-12);
+  EXPECT_NEAR(StdDev(z), 1.0, 1e-12);
+  // Constant column maps to zeros.
+  const auto zc = Standardize({5, 5, 5});
+  EXPECT_DOUBLE_EQ(zc[0], 0.0);
+}
+
+// ----------------------------------------------------------- correlation
+
+TEST(CorrelationTest, CorrelationMatrixBlockStructure) {
+  Rng rng(5);
+  const int n = 2000;
+  std::vector<double> a(n), b(n), c(n);
+  for (int i = 0; i < n; ++i) {
+    a[i] = rng.Normal();
+    b[i] = 0.8 * a[i] + 0.6 * rng.Normal();
+    c[i] = rng.Normal();
+  }
+  NumericDataset ds;
+  ds.columns = {a, b, c};
+  auto corr = CorrelationMatrix(ds);
+  ASSERT_TRUE(corr.ok());
+  EXPECT_NEAR((*corr)(0, 1), 0.8, 0.03);
+  EXPECT_NEAR((*corr)(0, 2), 0.0, 0.05);
+  EXPECT_DOUBLE_EQ((*corr)(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ((*corr)(0, 1), (*corr)(1, 0));
+}
+
+TEST(CorrelationTest, ListwiseDeletion) {
+  NumericDataset ds;
+  ds.columns = {{1, 2, 3, kNaN}, {1, 2, 3, 100}};
+  EXPECT_EQ(CompleteRowCount(ds), 3u);
+  auto corr = CorrelationMatrix(ds);
+  ASSERT_TRUE(corr.ok());
+  EXPECT_NEAR((*corr)(0, 1), 1.0, 1e-12);
+}
+
+TEST(CorrelationTest, WeightedCorrelation) {
+  NumericDataset ds;
+  ds.columns = {{1, 2, 3, 10}, {1, 2, 3, -10}};
+  ds.weights = {1, 1, 1, 0};  // kill the discordant row
+  auto corr = CorrelationMatrix(ds);
+  ASSERT_TRUE(corr.ok());
+  EXPECT_NEAR((*corr)(0, 1), 1.0, 1e-9);
+}
+
+TEST(CorrelationTest, PartialCorrelationChain) {
+  // a -> b -> c: partial corr(a, c | b) should be ~0.
+  Rng rng(11);
+  const int n = 5000;
+  std::vector<double> a(n), b(n), c(n);
+  for (int i = 0; i < n; ++i) {
+    a[i] = rng.Normal();
+    b[i] = 0.8 * a[i] + rng.Normal();
+    c[i] = 0.8 * b[i] + rng.Normal();
+  }
+  NumericDataset ds;
+  ds.columns = {a, b, c};
+  auto corr = CorrelationMatrix(ds);
+  ASSERT_TRUE(corr.ok());
+  auto marginal = PartialCorrelation(*corr, 0, 2, {});
+  auto partial = PartialCorrelation(*corr, 0, 2, {1});
+  ASSERT_TRUE(partial.ok());
+  EXPECT_GT(std::fabs(*marginal), 0.3);
+  EXPECT_NEAR(*partial, 0.0, 0.05);
+}
+
+TEST(CorrelationTest, PartialCorrelationCollider) {
+  // a -> c <- b: conditioning on the collider c induces dependence.
+  Rng rng(13);
+  const int n = 5000;
+  std::vector<double> a(n), b(n), c(n);
+  for (int i = 0; i < n; ++i) {
+    a[i] = rng.Normal();
+    b[i] = rng.Normal();
+    c[i] = a[i] + b[i] + 0.5 * rng.Normal();
+  }
+  NumericDataset ds;
+  ds.columns = {a, b, c};
+  auto corr = CorrelationMatrix(ds);
+  ASSERT_TRUE(corr.ok());
+  auto marginal = PartialCorrelation(*corr, 0, 1, {});
+  auto partial = PartialCorrelation(*corr, 0, 1, {2});
+  EXPECT_NEAR(*marginal, 0.0, 0.05);
+  EXPECT_LT(*partial, -0.3);
+}
+
+TEST(CorrelationTest, FisherZPValueBehaviour) {
+  EXPECT_LT(FisherZPValue(0.5, 200, 0), 1e-8);
+  EXPECT_GT(FisherZPValue(0.01, 100, 0), 0.5);
+  EXPECT_DOUBLE_EQ(FisherZPValue(0.9, 4, 1), 1.0);  // too few samples
+  // Conditioning set size reduces effective sample size.
+  EXPECT_GT(FisherZPValue(0.2, 50, 10), FisherZPValue(0.2, 50, 0));
+}
+
+// ------------------------------------------------------------ regression
+
+TEST(RegressionTest, RecoversCoefficients) {
+  Rng rng(17);
+  const int n = 2000;
+  std::vector<double> x1(n), x2(n), y(n);
+  for (int i = 0; i < n; ++i) {
+    x1[i] = rng.Normal();
+    x2[i] = rng.Normal();
+    y[i] = 1.0 + 2.0 * x1[i] - 3.0 * x2[i] + 0.5 * rng.Normal();
+  }
+  auto fit = FitOls({x1, x2}, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->intercept(), 1.0, 0.05);
+  EXPECT_NEAR(fit->beta(0), 2.0, 0.05);
+  EXPECT_NEAR(fit->beta(1), -3.0, 0.05);
+  EXPECT_GT(fit->r_squared, 0.9);
+  EXPECT_LT(fit->p_values[1], 1e-10);
+}
+
+TEST(RegressionTest, DropsIncompleteRows) {
+  std::vector<double> x = {1, 2, 3, 4, kNaN, 6, 7, 8};
+  std::vector<double> y = {2, 4, 6, 8, 100, 12, 14, 16};
+  auto fit = FitOls({x}, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_EQ(fit->n_used, 7u);
+  EXPECT_NEAR(fit->beta(0), 2.0, 1e-9);
+  EXPECT_TRUE(std::isnan(fit->residuals[4]));
+}
+
+TEST(RegressionTest, TooFewRowsFails) {
+  EXPECT_FALSE(FitOls({{1, 2}}, {1, 2}).ok());
+}
+
+TEST(RegressionTest, StandardizedCoefficientIsCorrelationForSimpleCase) {
+  Rng rng(19);
+  const int n = 3000;
+  std::vector<double> x(n), y(n);
+  for (int i = 0; i < n; ++i) {
+    x[i] = rng.Normal();
+    y[i] = 0.6 * x[i] + 0.8 * rng.Normal();
+  }
+  auto fit = FitStandardizedOls({x}, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->beta(0), PearsonCorrelation(x, y), 1e-9);
+}
+
+TEST(RegressionTest, WeightedFitFollowsWeights) {
+  // Two populations with different slopes; weights select the first.
+  std::vector<double> x, y, w;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(2.0 * i);
+    w.push_back(1.0);
+    x.push_back(i);
+    y.push_back(-2.0 * i);
+    w.push_back(0.0);
+  }
+  auto fit = FitOls({x}, y, w);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->beta(0), 2.0, 1e-6);
+}
+
+TEST(RegressionTest, GaussianBicPrefersTrueParents) {
+  Rng rng(23);
+  const int n = 1500;
+  std::vector<double> a(n), b(n), c(n);
+  for (int i = 0; i < n; ++i) {
+    a[i] = rng.Normal();
+    b[i] = 0.9 * a[i] + 0.5 * rng.Normal();
+    c[i] = rng.Normal();
+  }
+  std::vector<std::vector<double>> data = {a, b, c};
+  auto with_parent = GaussianBicLocalScore(data, 1, {0});
+  auto without = GaussianBicLocalScore(data, 1, {});
+  auto with_junk = GaussianBicLocalScore(data, 1, {0, 2});
+  ASSERT_TRUE(with_parent.ok());
+  EXPECT_LT(*with_parent, *without);        // true parent improves fit
+  EXPECT_LT(*with_parent, *with_junk);      // junk parent costs penalty
+}
+
+// -------------------------------------------------------------- logistic
+
+TEST(LogisticTest, RecoversCoefficients) {
+  Rng rng(29);
+  const int n = 4000;
+  std::vector<double> x(n), y(n);
+  for (int i = 0; i < n; ++i) {
+    x[i] = rng.Normal();
+    const double p = 1.0 / (1.0 + std::exp(-(0.5 + 1.5 * x[i])));
+    y[i] = rng.Bernoulli(p) ? 1.0 : 0.0;
+  }
+  auto fit = FitLogistic({x}, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_TRUE(fit->converged);
+  EXPECT_NEAR(fit->coefficients[0], 0.5, 0.15);
+  EXPECT_NEAR(fit->coefficients[1], 1.5, 0.2);
+}
+
+TEST(LogisticTest, PredictIsProbability) {
+  Rng rng(31);
+  const int n = 500;
+  std::vector<double> x(n), y(n);
+  for (int i = 0; i < n; ++i) {
+    x[i] = rng.Normal();
+    y[i] = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+  }
+  auto fit = FitLogistic({x}, y);
+  ASSERT_TRUE(fit.ok());
+  const double p = fit->Predict({0.3});
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1.0);
+}
+
+TEST(LogisticTest, RejectsNonBinary) {
+  EXPECT_FALSE(FitLogistic({{1, 2, 3, 4, 5}}, {0, 1, 2, 0, 1}).ok());
+}
+
+TEST(LogisticTest, SeparableDataStillConverges) {
+  // Perfect separation: ridge keeps the solve bounded.
+  std::vector<double> x, y;
+  for (int i = 0; i < 40; ++i) {
+    x.push_back(i < 20 ? -1.0 - 0.1 * i : 1.0 + 0.1 * i);
+    y.push_back(i < 20 ? 0.0 : 1.0);
+  }
+  auto fit = FitLogistic({x}, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GT(fit->coefficients[1], 0.0);
+}
+
+// ---------------------------------------------------------- independence
+
+TEST(IndependenceTest, ChiSquareDetectsDependence) {
+  Rng rng(37);
+  std::vector<int> x, y;
+  for (int i = 0; i < 800; ++i) {
+    const int xi = static_cast<int>(rng.UniformInt(uint64_t{3}));
+    x.push_back(xi);
+    y.push_back(rng.Bernoulli(0.8) ? xi : static_cast<int>(
+                                              rng.UniformInt(uint64_t{3})));
+  }
+  auto r = ChiSquareIndependence(x, y);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->p_value, 1e-6);
+  EXPECT_GT(r->strength, 0.3);
+}
+
+TEST(IndependenceTest, ChiSquareIndependentPair) {
+  Rng rng(41);
+  std::vector<int> x, y;
+  for (int i = 0; i < 800; ++i) {
+    x.push_back(static_cast<int>(rng.UniformInt(uint64_t{3})));
+    y.push_back(static_cast<int>(rng.UniformInt(uint64_t{3})));
+  }
+  auto r = ChiSquareIndependence(x, y);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->p_value, 0.001);
+}
+
+TEST(IndependenceTest, ConditionalChiSquareBlocksChain) {
+  // x -> z -> y with discrete variables: x ⟂ y | z.
+  Rng rng(43);
+  std::vector<int> x, y, z;
+  for (int i = 0; i < 4000; ++i) {
+    const int xi = static_cast<int>(rng.UniformInt(uint64_t{2}));
+    const int zi = rng.Bernoulli(0.85) ? xi : 1 - xi;
+    const int yi = rng.Bernoulli(0.85) ? zi : 1 - zi;
+    x.push_back(xi);
+    z.push_back(zi);
+    y.push_back(yi);
+  }
+  auto marginal = ChiSquareIndependence(x, y);
+  auto conditional = ConditionalChiSquare(x, y, {z});
+  ASSERT_TRUE(conditional.ok());
+  EXPECT_LT(marginal->p_value, 1e-10);
+  EXPECT_GT(conditional->p_value, 0.001);
+}
+
+TEST(IndependenceTest, MutualInformationOrdering) {
+  Rng rng(47);
+  std::vector<int> x, same, noisy, indep;
+  for (int i = 0; i < 2000; ++i) {
+    const int xi = static_cast<int>(rng.UniformInt(uint64_t{4}));
+    x.push_back(xi);
+    same.push_back(xi);
+    noisy.push_back(rng.Bernoulli(0.5)
+                        ? xi
+                        : static_cast<int>(rng.UniformInt(uint64_t{4})));
+    indep.push_back(static_cast<int>(rng.UniformInt(uint64_t{4})));
+  }
+  const double mi_same = DiscreteMutualInformation(x, same);
+  const double mi_noisy = DiscreteMutualInformation(x, noisy);
+  const double mi_indep = DiscreteMutualInformation(x, indep);
+  EXPECT_GT(mi_same, mi_noisy);
+  EXPECT_GT(mi_noisy, mi_indep + 0.05);
+  EXPECT_NEAR(mi_same, std::log(4.0), 0.05);
+}
+
+TEST(IndependenceTest, QuantileBinBalanced) {
+  Rng rng(53);
+  std::vector<double> x(999);
+  for (auto& v : x) v = rng.Normal();
+  const auto bins = stats::QuantileBin(x, 3);
+  int counts[3] = {0, 0, 0};
+  for (int b : bins) {
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, 3);
+    counts[b]++;
+  }
+  EXPECT_NEAR(counts[0], 333, 40);
+  EXPECT_NEAR(counts[1], 333, 40);
+  EXPECT_NEAR(counts[2], 333, 40);
+}
+
+TEST(IndependenceTest, BinnedChiSquareSeesQuadraticRelation) {
+  // The CATER pruning backstop: y = x^2 dependence is invisible to Pearson
+  // but visible after binning.
+  Rng rng(59);
+  const int n = 1200;
+  std::vector<double> x(n), y(n);
+  for (int i = 0; i < n; ++i) {
+    x[i] = rng.Normal();
+    y[i] = x[i] * x[i] - 1.0 + 0.8 * rng.Normal();
+  }
+  EXPECT_LT(std::fabs(PearsonCorrelation(x, y)), 0.1);
+  auto r = ChiSquareIndependence(QuantileBin(x, 3), QuantileBin(y, 3));
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->p_value, 1e-6);
+}
+
+}  // namespace
+}  // namespace cdi::stats

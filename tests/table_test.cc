@@ -1,0 +1,474 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "table/aggregate.h"
+#include "table/csv.h"
+#include "table/join.h"
+#include "table/table.h"
+#include "table/value.h"
+
+namespace cdi::table {
+namespace {
+
+// ----------------------------------------------------------------- Value
+
+TEST(ValueTest, NullAndTypes) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value(1.5).is_double());
+  EXPECT_TRUE(Value(int64_t{3}).is_int64());
+  EXPECT_TRUE(Value(3).is_int64());
+  EXPECT_TRUE(Value("x").is_string());
+  EXPECT_TRUE(Value(true).is_bool());
+}
+
+TEST(ValueTest, NumericView) {
+  EXPECT_DOUBLE_EQ(Value(2.5).ToNumeric(), 2.5);
+  EXPECT_DOUBLE_EQ(Value(7).ToNumeric(), 7.0);
+  EXPECT_DOUBLE_EQ(Value(true).ToNumeric(), 1.0);
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value().ToString(), "");
+  EXPECT_EQ(Value(3).ToString(), "3");
+  EXPECT_EQ(Value("hi").ToString(), "hi");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value(3), Value(3));
+  EXPECT_NE(Value(3), Value(3.0));  // different types
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+// ---------------------------------------------------------------- Column
+
+TEST(ColumnTest, AppendTypeChecking) {
+  Column c("x", DataType::kDouble);
+  EXPECT_TRUE(c.Append(Value(1.5)).ok());
+  EXPECT_TRUE(c.Append(Value(2)).ok());  // int widened to double
+  EXPECT_TRUE(c.Append(Value::Null()).ok());
+  EXPECT_FALSE(c.Append(Value("no")).ok());
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_TRUE(c.Get(1).is_double());
+}
+
+TEST(ColumnTest, NullAccounting) {
+  Column c = Column::FromDoubles("x", {1.0, std::nan(""), 3.0});
+  EXPECT_EQ(c.NullCount(), 1u);
+  EXPECT_NEAR(c.NullFraction(), 1.0 / 3.0, 1e-12);
+  EXPECT_TRUE(c.IsNull(1));
+  const auto d = c.ToDoubles();
+  EXPECT_TRUE(std::isnan(d[1]));
+  EXPECT_DOUBLE_EQ(d[2], 3.0);
+}
+
+TEST(ColumnTest, DistinctValues) {
+  Column c = Column::FromStrings("x", {"a", "b", "a", "c", "b"});
+  EXPECT_EQ(c.DistinctCount(), 3u);
+  const auto d = c.DistinctValues();
+  EXPECT_EQ(d[0].as_string(), "a");  // first-appearance order
+  EXPECT_EQ(d[1].as_string(), "b");
+}
+
+TEST(ColumnTest, TakeReordersAndRepeats) {
+  Column c = Column::FromInts("x", {10, 20, 30});
+  Column t = c.Take({2, 0, 2});
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.Get(0).as_int64(), 30);
+  EXPECT_EQ(t.Get(1).as_int64(), 10);
+  EXPECT_EQ(t.Get(2).as_int64(), 30);
+}
+
+// ----------------------------------------------------------------- Table
+
+Table MakeCities() {
+  Table t("cities");
+  CDI_CHECK(t.AddColumn(Column::FromStrings("name", {"MA", "FL", "CA", "SD"}))
+                .ok());
+  CDI_CHECK(t.AddColumn(Column::FromDoubles("temp", {48.1, 71.8, 61.2, 45.5}))
+                .ok());
+  CDI_CHECK(
+      t.AddColumn(Column::FromInts("cases", {121046, 640978, 735235, 15300}))
+          .ok());
+  return t;
+}
+
+TEST(TableTest, BasicShape) {
+  Table t = MakeCities();
+  EXPECT_EQ(t.num_rows(), 4u);
+  EXPECT_EQ(t.num_cols(), 3u);
+  EXPECT_TRUE(t.HasColumn("temp"));
+  EXPECT_FALSE(t.HasColumn("absent"));
+  EXPECT_EQ(t.ColumnNames()[2], "cases");
+}
+
+TEST(TableTest, AddColumnValidations) {
+  Table t = MakeCities();
+  EXPECT_FALSE(t.AddColumn(Column::FromInts("temp", {1, 2, 3, 4})).ok());
+  EXPECT_FALSE(t.AddColumn(Column::FromInts("short", {1, 2})).ok());
+  EXPECT_TRUE(t.AddColumn(Column::FromInts("ok", {1, 2, 3, 4})).ok());
+}
+
+TEST(TableTest, CellAccess) {
+  Table t = MakeCities();
+  auto v = t.GetCell(1, "name");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->as_string(), "FL");
+  EXPECT_FALSE(t.GetCell(10, "name").ok());
+  EXPECT_FALSE(t.GetCell(0, "zz").ok());
+  EXPECT_TRUE(t.SetCell(0, "temp", Value(50.0)).ok());
+  EXPECT_DOUBLE_EQ(t.GetCell(0, "temp")->as_double(), 50.0);
+}
+
+TEST(TableTest, AppendRowAtomicity) {
+  Table t = MakeCities();
+  // Wrong type in the middle: nothing should be appended.
+  EXPECT_FALSE(
+      t.AppendRow({Value("TX"), Value("oops"), Value(5)}).ok());
+  EXPECT_EQ(t.num_rows(), 4u);
+  EXPECT_TRUE(t.AppendRow({Value("TX"), Value(65.0), Value(42)}).ok());
+  EXPECT_EQ(t.num_rows(), 5u);
+}
+
+TEST(TableTest, SelectAndDropColumns) {
+  Table t = MakeCities();
+  auto sel = t.SelectColumns({"cases", "name"});
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->num_cols(), 2u);
+  EXPECT_EQ(sel->ColumnNames()[0], "cases");
+  EXPECT_TRUE(t.DropColumn("temp").ok());
+  EXPECT_FALSE(t.HasColumn("temp"));
+  EXPECT_FALSE(t.DropColumn("temp").ok());
+}
+
+TEST(TableTest, RenameColumn) {
+  Table t = MakeCities();
+  EXPECT_TRUE(t.RenameColumn("temp", "avg_temp").ok());
+  EXPECT_TRUE(t.HasColumn("avg_temp"));
+  EXPECT_FALSE(t.RenameColumn("cases", "avg_temp").ok());  // collision
+}
+
+TEST(TableTest, FilterRows) {
+  Table t = MakeCities();
+  Table hot = t.FilterRows([&](std::size_t r) {
+    return t.GetCell(r, "temp")->as_double() > 50.0;
+  });
+  EXPECT_EQ(hot.num_rows(), 2u);
+}
+
+TEST(TableTest, SortByNumericAndString) {
+  Table t = MakeCities();
+  auto by_temp = t.SortBy("temp");
+  ASSERT_TRUE(by_temp.ok());
+  EXPECT_EQ(by_temp->GetCell(0, "name")->as_string(), "SD");
+  EXPECT_EQ(by_temp->GetCell(3, "name")->as_string(), "FL");
+  auto desc = t.SortBy("name", /*ascending=*/false);
+  EXPECT_EQ(desc->GetCell(0, "name")->as_string(), "SD");
+}
+
+TEST(TableTest, SortPutsNullsLast) {
+  Table t("t");
+  CDI_CHECK(t.AddColumn(Column::FromDoubles(
+                            "x", {2.0, std::nan(""), 1.0}))
+                .ok());
+  auto sorted = t.SortBy("x");
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_DOUBLE_EQ(sorted->GetCell(0, "x")->as_double(), 1.0);
+  EXPECT_TRUE(sorted->GetCell(2, "x")->is_null());
+}
+
+TEST(TableTest, DistinctRows) {
+  Table t("t");
+  CDI_CHECK(t.AddColumn(Column::FromStrings("k", {"a", "b", "a", "a"})).ok());
+  CDI_CHECK(t.AddColumn(Column::FromInts("v", {1, 2, 1, 3})).ok());
+  Table d = t.DistinctRows();
+  EXPECT_EQ(d.num_rows(), 3u);  // (a,1), (b,2), (a,3)
+}
+
+TEST(TableTest, DropNullRows) {
+  Table t("t");
+  CDI_CHECK(t.AddColumn(Column::FromDoubles("x", {1, std::nan(""), 3})).ok());
+  CDI_CHECK(t.AddColumn(Column::FromDoubles("y", {1, 2, std::nan("")})).ok());
+  EXPECT_EQ(t.DropNullRows().num_rows(), 1u);
+}
+
+TEST(TableTest, HeadAndToString) {
+  Table t = MakeCities();
+  EXPECT_EQ(t.Head(2).num_rows(), 2u);
+  EXPECT_EQ(t.Head(99).num_rows(), 4u);
+  const std::string s = t.ToString(2);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("more rows"), std::string::npos);
+}
+
+TEST(TableTest, SampleRowsDeterministicSubset) {
+  Table t("t");
+  std::vector<double> vals;
+  for (int i = 0; i < 100; ++i) vals.push_back(i);
+  CDI_CHECK(t.AddColumn(Column::FromDoubles("v", vals)).ok());
+  cdi::Rng rng(5);
+  Table s = t.SampleRows(10, &rng);
+  EXPECT_EQ(s.num_rows(), 10u);
+  // In original order and distinct.
+  double prev = -1;
+  for (std::size_t r = 0; r < s.num_rows(); ++r) {
+    const double v = s.GetCell(r, "v")->as_double();
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+  // Same seed -> same sample.
+  cdi::Rng rng2(5);
+  Table s2 = t.SampleRows(10, &rng2);
+  EXPECT_EQ(s.GetCell(0, "v")->as_double(), s2.GetCell(0, "v")->as_double());
+  // n >= rows returns everything.
+  cdi::Rng rng3(5);
+  EXPECT_EQ(t.SampleRows(500, &rng3).num_rows(), 100u);
+}
+
+// ------------------------------------------------------------------- CSV
+
+TEST(CsvTest, RoundTrip) {
+  Table t = MakeCities();
+  const std::string text = WriteCsvString(t);
+  auto back = ReadCsvString(text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 4u);
+  EXPECT_EQ(back->GetCell(2, "name")->as_string(), "CA");
+  EXPECT_DOUBLE_EQ(back->GetCell(1, "temp")->as_double(), 71.8);
+  EXPECT_EQ(back->GetCell(0, "cases")->as_int64(), 121046);
+}
+
+TEST(CsvTest, TypeInference) {
+  auto t = ReadCsvString("a,b,c,d\n1,1.5,yes,text\n2,2.5,no,more\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t->GetColumn("a"))->type(), DataType::kInt64);
+  EXPECT_EQ((*t->GetColumn("b"))->type(), DataType::kDouble);
+  EXPECT_EQ((*t->GetColumn("c"))->type(), DataType::kBool);
+  EXPECT_EQ((*t->GetColumn("d"))->type(), DataType::kString);
+}
+
+TEST(CsvTest, NullTokens) {
+  auto t = ReadCsvString("x,y\n1,-\n,2\nNA,3\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t->GetColumn("x"))->NullCount(), 2u);
+  EXPECT_EQ((*t->GetColumn("y"))->NullCount(), 1u);
+  // Column with nulls still infers int64 from remaining values.
+  EXPECT_EQ((*t->GetColumn("x"))->type(), DataType::kInt64);
+}
+
+TEST(CsvTest, QuotedFields) {
+  auto t = ReadCsvString("a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->GetCell(0, "a")->as_string(), "x,y");
+  EXPECT_EQ(t->GetCell(0, "b")->as_string(), "he said \"hi\"");
+}
+
+TEST(CsvTest, QuotedRoundTrip) {
+  Table t("q");
+  CDI_CHECK(t.AddColumn(Column::FromStrings("s", {"a,b", "c\"d"})).ok());
+  auto back = ReadCsvString(WriteCsvString(t));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->GetCell(0, "s")->as_string(), "a,b");
+  EXPECT_EQ(back->GetCell(1, "s")->as_string(), "c\"d");
+}
+
+TEST(CsvTest, RaggedLineFails) {
+  EXPECT_FALSE(ReadCsvString("a,b\n1,2,3\n").ok());
+}
+
+TEST(CsvTest, NoHeaderMode) {
+  CsvOptions options;
+  options.has_header = false;
+  auto t = ReadCsvString("1,2\n3,4\n", options);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->ColumnNames()[0], "c0");
+  EXPECT_EQ(t->num_rows(), 2u);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table t = MakeCities();
+  const std::string path = ::testing::TempDir() + "/cdi_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(t, path).ok());
+  auto back = ReadCsvFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 4u);
+  EXPECT_FALSE(ReadCsvFile("/definitely/not/there.csv").ok());
+}
+
+// --------------------------------------------------------------- GroupBy
+
+TEST(AggregateTest, GroupByMeanSumCount) {
+  Table t("t");
+  CDI_CHECK(
+      t.AddColumn(Column::FromStrings("g", {"a", "a", "b", "b", "b"})).ok());
+  CDI_CHECK(t.AddColumn(Column::FromDoubles("v", {1, 3, 10, 20, 30})).ok());
+  auto g = GroupBy(t, {"g"},
+                   {{"v", AggKind::kMean, "m"},
+                    {"v", AggKind::kSum, "s"},
+                    {"v", AggKind::kCount, "n"}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(g->GetCell(0, "m")->as_double(), 2.0);
+  EXPECT_DOUBLE_EQ(g->GetCell(1, "s")->as_double(), 60.0);
+  EXPECT_EQ(g->GetCell(1, "n")->as_int64(), 3);
+}
+
+TEST(AggregateTest, MinMaxMedianFirst) {
+  Table t("t");
+  CDI_CHECK(t.AddColumn(Column::FromStrings("g", {"a", "a", "a"})).ok());
+  CDI_CHECK(t.AddColumn(Column::FromDoubles("v", {5, 1, 3})).ok());
+  CDI_CHECK(t.AddColumn(Column::FromStrings("s", {"x", "y", "z"})).ok());
+  auto g = GroupBy(t, {"g"},
+                   {{"v", AggKind::kMin, "lo"},
+                    {"v", AggKind::kMax, "hi"},
+                    {"v", AggKind::kMedian, "med"},
+                    {"s", AggKind::kFirst, "first_s"}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->GetCell(0, "lo")->as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(g->GetCell(0, "hi")->as_double(), 5.0);
+  EXPECT_DOUBLE_EQ(g->GetCell(0, "med")->as_double(), 3.0);
+  EXPECT_EQ(g->GetCell(0, "first_s")->as_string(), "x");
+}
+
+TEST(AggregateTest, NullsSkippedAndAllNullGroup) {
+  Table t("t");
+  CDI_CHECK(t.AddColumn(Column::FromStrings("g", {"a", "a", "b"})).ok());
+  CDI_CHECK(t.AddColumn(
+                 Column::FromDoubles("v", {1.0, std::nan(""), std::nan("")}))
+                .ok());
+  auto g = GroupBy(t, {"g"}, {{"v", AggKind::kMean, "m"}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->GetCell(0, "m")->as_double(), 1.0);
+  EXPECT_TRUE(g->GetCell(1, "m")->is_null());
+}
+
+TEST(AggregateTest, CannotAverageStrings) {
+  Table t("t");
+  CDI_CHECK(t.AddColumn(Column::FromStrings("g", {"a"})).ok());
+  CDI_CHECK(t.AddColumn(Column::FromStrings("s", {"x"})).ok());
+  EXPECT_FALSE(GroupBy(t, {"g"}, {{"s", AggKind::kMean, ""}}).ok());
+}
+
+TEST(AggregateTest, CollapseByKeys) {
+  Table t("t");
+  CDI_CHECK(t.AddColumn(Column::FromStrings("k", {"a", "a", "b"})).ok());
+  CDI_CHECK(t.AddColumn(Column::FromDoubles("v", {1, 3, 7})).ok());
+  CDI_CHECK(t.AddColumn(Column::FromStrings("s", {"p", "q", "r"})).ok());
+  auto c = CollapseByKeys(t, {"k"});
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(c->GetCell(0, "v")->as_double(), 2.0);
+  EXPECT_EQ(c->GetCell(0, "s")->as_string(), "p");
+  EXPECT_EQ(c->ColumnNames(), t.ColumnNames());  // names preserved
+}
+
+// ------------------------------------------------------------------ Join
+
+Table LeftTable() {
+  Table t("left");
+  CDI_CHECK(
+      t.AddColumn(Column::FromStrings("k", {"a", "b", "c", "d"})).ok());
+  CDI_CHECK(t.AddColumn(Column::FromInts("lv", {1, 2, 3, 4})).ok());
+  return t;
+}
+
+TEST(JoinTest, LeftJoinKeepsUnmatched) {
+  Table right("right");
+  CDI_CHECK(right.AddColumn(Column::FromStrings("k", {"a", "c"})).ok());
+  CDI_CHECK(right.AddColumn(Column::FromDoubles("rv", {10, 30})).ok());
+  auto j = HashJoin(LeftTable(), right, "k");
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j->num_rows(), 4u);
+  EXPECT_DOUBLE_EQ(j->GetCell(0, "rv")->as_double(), 10.0);
+  EXPECT_TRUE(j->GetCell(1, "rv")->is_null());
+  EXPECT_DOUBLE_EQ(j->GetCell(2, "rv")->as_double(), 30.0);
+}
+
+TEST(JoinTest, InnerJoinDropsUnmatched) {
+  Table right("right");
+  CDI_CHECK(right.AddColumn(Column::FromStrings("k", {"a", "c"})).ok());
+  CDI_CHECK(right.AddColumn(Column::FromDoubles("rv", {10, 30})).ok());
+  JoinOptions options;
+  options.type = JoinType::kInner;
+  auto j = HashJoin(LeftTable(), right, {"k"}, {"k"}, options);
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j->num_rows(), 2u);
+}
+
+TEST(JoinTest, AggregatePolicyAveragesDuplicates) {
+  Table right("right");
+  CDI_CHECK(
+      right.AddColumn(Column::FromStrings("k", {"a", "a", "a", "b"})).ok());
+  CDI_CHECK(right.AddColumn(Column::FromDoubles("rv", {1, 2, 3, 9})).ok());
+  auto j = HashJoin(LeftTable(), right, "k");  // default: aggregate + left
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j->num_rows(), 4u);
+  EXPECT_DOUBLE_EQ(j->GetCell(0, "rv")->as_double(), 2.0);  // mean(1,2,3)
+  EXPECT_DOUBLE_EQ(j->GetCell(1, "rv")->as_double(), 9.0);
+}
+
+TEST(JoinTest, ExpandPolicyMultipliesRows) {
+  Table right("right");
+  CDI_CHECK(right.AddColumn(Column::FromStrings("k", {"a", "a"})).ok());
+  CDI_CHECK(right.AddColumn(Column::FromDoubles("rv", {1, 2})).ok());
+  JoinOptions options;
+  options.type = JoinType::kInner;
+  options.multi_match = MultiMatchPolicy::kExpand;
+  auto j = HashJoin(LeftTable(), right, {"k"}, {"k"}, options);
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j->num_rows(), 2u);
+}
+
+TEST(JoinTest, NameCollisionGetsSuffix) {
+  Table right("right");
+  CDI_CHECK(right.AddColumn(Column::FromStrings("k", {"a"})).ok());
+  CDI_CHECK(right.AddColumn(Column::FromDoubles("lv", {7.0})).ok());
+  auto j = HashJoin(LeftTable(), right, "k");
+  ASSERT_TRUE(j.ok());
+  EXPECT_TRUE(j->HasColumn("lv"));
+  EXPECT_TRUE(j->HasColumn("lv_r"));
+}
+
+TEST(JoinTest, MultiKeyJoin) {
+  Table left("l");
+  CDI_CHECK(left.AddColumn(Column::FromStrings("k1", {"a", "a"})).ok());
+  CDI_CHECK(left.AddColumn(Column::FromStrings("k2", {"x", "y"})).ok());
+  Table right("r");
+  CDI_CHECK(right.AddColumn(Column::FromStrings("k1", {"a", "a"})).ok());
+  CDI_CHECK(right.AddColumn(Column::FromStrings("k2", {"y", "z"})).ok());
+  CDI_CHECK(right.AddColumn(Column::FromInts("v", {1, 2})).ok());
+  auto j = HashJoin(left, right, {"k1", "k2"}, {"k1", "k2"});
+  ASSERT_TRUE(j.ok());
+  EXPECT_TRUE(j->GetCell(0, "v")->is_null());
+  // Aggregation policy averages the right side, widening ints.
+  EXPECT_DOUBLE_EQ(j->GetCell(1, "v")->ToNumeric(), 1.0);
+}
+
+TEST(JoinTest, NullKeysNeverMatch) {
+  Table left("l");
+  Column k("k", DataType::kString);
+  CDI_CHECK(k.Append(Value::Null()).ok());
+  CDI_CHECK(k.Append(Value("a")).ok());
+  CDI_CHECK(left.AddColumn(std::move(k)).ok());
+  Table right("r");
+  Column rk("k", DataType::kString);
+  CDI_CHECK(rk.Append(Value::Null()).ok());
+  CDI_CHECK(right.AddColumn(std::move(rk)).ok());
+  CDI_CHECK(right.AddColumn(Column::FromInts("v", {5})).ok());
+  auto j = HashJoin(left, right, "k");
+  ASSERT_TRUE(j.ok());
+  EXPECT_TRUE(j->GetCell(0, "v")->is_null());
+}
+
+TEST(JoinTest, EmptyKeysRejected) {
+  const std::vector<std::string> none;
+  const std::vector<std::string> just_k = {"k"};
+  EXPECT_FALSE(HashJoin(LeftTable(), LeftTable(), none, none).ok());
+  EXPECT_FALSE(HashJoin(LeftTable(), LeftTable(), just_k, none).ok());
+}
+
+}  // namespace
+}  // namespace cdi::table

@@ -1,0 +1,305 @@
+// cdi_cli — run the Causal Data Integration pipeline on CSV inputs.
+//
+// Usage:
+//   cdi_cli --input cohort.csv --entity-col id --exposure t --outcome o \
+//           [--kg triples.csv] [--lake table.csv]... \
+//           [--knowledge domain.txt] [--clusters K] [--out-prefix cdi]
+//
+// Inputs:
+//   --input      the analyst's table (must contain the entity, exposure
+//                and outcome columns)
+//   --kg         optional knowledge-graph triples CSV with columns
+//                entity,property,value (repeatable)
+//   --lake       optional data-lake table CSV (repeatable; any string
+//                column can serve as a join key)
+//   --knowledge  optional domain-knowledge file for the causal oracle and
+//                topic lexicon; line formats:
+//                    edge <concept_a> <concept_b>     # a causes b
+//                    alias <attribute> <concept>
+//                    topic <name> <keyword> [keyword...]
+//   --clusters   target number of (non-exposure/outcome) clusters;
+//                default: VARCLUS's eigenvalue criterion decides
+//
+// Outputs: <prefix>_augmented.csv (the organized, augmented dataset),
+// <prefix>_cdag.dot (the C-DAG), and a report on stdout.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/pipeline.h"
+#include "graph/dot.h"
+#include "knowledge/data_lake.h"
+#include "knowledge/knowledge_graph.h"
+#include "knowledge/text_oracle.h"
+#include "knowledge/topic_model.h"
+#include "table/csv.h"
+
+namespace {
+
+struct Args {
+  std::string input;
+  std::string entity_col;
+  std::string exposure;
+  std::string outcome;
+  std::vector<std::string> kg_files;
+  std::vector<std::string> lake_files;
+  std::string knowledge_file;
+  int clusters = -1;
+  std::string out_prefix = "cdi";
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --input T.csv --entity-col C --exposure T "
+               "--outcome O [--kg triples.csv]... [--lake table.csv]... "
+               "[--knowledge domain.txt] [--clusters K] [--out-prefix P]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (flag == "--input" && (v = next())) {
+      args->input = v;
+    } else if (flag == "--entity-col" && (v = next())) {
+      args->entity_col = v;
+    } else if (flag == "--exposure" && (v = next())) {
+      args->exposure = v;
+    } else if (flag == "--outcome" && (v = next())) {
+      args->outcome = v;
+    } else if (flag == "--kg" && (v = next())) {
+      args->kg_files.push_back(v);
+    } else if (flag == "--lake" && (v = next())) {
+      args->lake_files.push_back(v);
+    } else if (flag == "--knowledge" && (v = next())) {
+      args->knowledge_file = v;
+    } else if (flag == "--clusters" && (v = next())) {
+      args->clusters = std::atoi(v);
+    } else if (flag == "--out-prefix" && (v = next())) {
+      args->out_prefix = v;
+    } else {
+      std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return !args->input.empty() && !args->entity_col.empty() &&
+         !args->exposure.empty() && !args->outcome.empty();
+}
+
+/// Loads entity,property,value triples into the KG.
+cdi::Status LoadKg(const std::string& path,
+                   cdi::knowledge::KnowledgeGraph* kg) {
+  CDI_ASSIGN_OR_RETURN(cdi::table::Table t, cdi::table::ReadCsvFile(path));
+  if (t.num_cols() < 3) {
+    return cdi::Status::InvalidArgument(
+        path + ": expected entity,property,value columns");
+  }
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    const auto& ec = t.ColumnAt(0);
+    const auto& pc = t.ColumnAt(1);
+    const auto& vc = t.ColumnAt(2);
+    if (ec.IsNull(r) || pc.IsNull(r) || vc.IsNull(r)) continue;
+    kg->AddLiteral(ec.Get(r).ToString(), pc.Get(r).ToString(), vc.Get(r));
+  }
+  return cdi::Status::OK();
+}
+
+/// Parses the domain-knowledge file into a concept graph, aliases, topics.
+cdi::Status LoadKnowledge(const std::string& path,
+                          std::vector<std::pair<std::string, std::string>>*
+                              edges,
+                          std::vector<std::pair<std::string, std::string>>*
+                              aliases,
+                          std::map<std::string, std::vector<std::string>>*
+                              topics) {
+  std::ifstream in(path);
+  if (!in) return cdi::Status::NotFound("cannot open " + path);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    line = cdi::Trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string kind;
+    ss >> kind;
+    if (kind == "edge") {
+      std::string a, b;
+      ss >> a >> b;
+      if (a.empty() || b.empty()) {
+        return cdi::Status::InvalidArgument(path + ":" +
+                                            std::to_string(lineno));
+      }
+      edges->emplace_back(a, b);
+    } else if (kind == "alias") {
+      std::string attr, concept_name;
+      ss >> attr >> concept_name;
+      aliases->emplace_back(attr, concept_name);
+    } else if (kind == "topic") {
+      std::string name, kw;
+      ss >> name;
+      while (ss >> kw) (*topics)[name].push_back(kw);
+    } else {
+      return cdi::Status::InvalidArgument(path + ":" +
+                                          std::to_string(lineno) +
+                                          ": unknown directive " + kind);
+    }
+  }
+  return cdi::Status::OK();
+}
+
+int Run(const Args& args) {
+  auto input = cdi::table::ReadCsvFile(args.input);
+  if (!input.ok()) {
+    std::fprintf(stderr, "reading %s: %s\n", args.input.c_str(),
+                 input.status().ToString().c_str());
+    return 1;
+  }
+
+  cdi::knowledge::KnowledgeGraph kg;
+  for (const auto& f : args.kg_files) {
+    auto s = LoadKg(f, &kg);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  cdi::knowledge::DataLake lake;
+  for (const auto& f : args.lake_files) {
+    auto t = cdi::table::ReadCsvFile(f);
+    if (!t.ok()) {
+      std::fprintf(stderr, "reading %s: %s\n", f.c_str(),
+                   t.status().ToString().c_str());
+      return 1;
+    }
+    t->set_name(f);
+    lake.AddTable(std::move(*t));
+  }
+
+  // Domain knowledge -> oracle + topics. With no file, the oracle knows
+  // nothing and the build degrades to data-only augmentation + naming.
+  std::vector<std::pair<std::string, std::string>> edges, aliases;
+  std::map<std::string, std::vector<std::string>> topic_map;
+  if (!args.knowledge_file.empty()) {
+    auto s = LoadKnowledge(args.knowledge_file, &edges, &aliases,
+                           &topic_map);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  std::set<std::string> concept_names;
+  for (const auto& [a, b] : edges) {
+    concept_names.insert(a);
+    concept_names.insert(b);
+  }
+  cdi::graph::Digraph concepts(std::vector<std::string>(
+      concept_names.begin(), concept_names.end()));
+  for (const auto& [a, b] : edges) {
+    auto s = concepts.AddEdge(a, b);
+    if (!s.ok()) {
+      std::fprintf(stderr, "knowledge edge %s -> %s: %s\n", a.c_str(),
+                   b.c_str(), s.ToString().c_str());
+      return 1;
+    }
+  }
+  cdi::knowledge::OracleOptions oracle_options;
+  cdi::knowledge::TextCausalOracle oracle(concepts, oracle_options);
+  for (const auto& [attr, concept_name] : aliases) {
+    oracle.RegisterAlias(attr, concept_name);
+  }
+  cdi::knowledge::TopicModel topics;
+  for (const auto& [name, keywords] : topic_map) {
+    topics.AddTopic(name, keywords);
+  }
+
+  cdi::core::PipelineOptions options;
+  if (args.clusters > 0) {
+    options.builder.varclus.min_clusters = args.clusters;
+    options.builder.varclus.max_clusters = args.clusters;
+  }
+  cdi::core::Pipeline pipeline(&kg, &lake, &oracle, &topics, options);
+  auto run = pipeline.Run(*input, args.entity_col, args.exposure,
+                          args.outcome);
+  if (!run.ok()) {
+    std::fprintf(stderr, "pipeline: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+
+  // ---- Report. ------------------------------------------------------------
+  std::printf("extracted %zu candidate attributes (%zu kept)\n",
+              run->extraction.attributes.size(),
+              run->organization.organized.num_cols() - input->num_cols());
+  for (const auto& a : run->extraction.attributes) {
+    std::printf("  %-24s %-18s corrT=%.2f corrO=%.2f %s%s\n", a.name.c_str(),
+                a.source.c_str(), a.corr_with_exposure, a.corr_with_outcome,
+                a.kept ? "kept" : "dropped:", a.kept ? "" : a.drop_reason.c_str());
+  }
+  if (!run->organization.dropped_fd_attributes.empty()) {
+    std::printf("dropped for functional dependencies:");
+    for (const auto& d : run->organization.dropped_fd_attributes) {
+      std::printf(" %s", d.c_str());
+    }
+    std::printf("\n");
+  }
+  for (const auto& m : run->organization.missingness) {
+    std::printf("missingness %-20s %.1f%%%s\n", m.attribute.c_str(),
+                100 * m.missing_fraction,
+                m.selection_bias_risk ? "  (selection-bias risk, IPW on)"
+                                      : "");
+  }
+  std::printf("\nC-DAG (%zu clusters, %zu edges):\n",
+              run->build.cdag.num_clusters(), run->build.claims.size());
+  for (const auto& [from, to] : run->build.claims) {
+    std::printf("  %s -> %s\n", from.c_str(), to.c_str());
+  }
+  std::printf("mediators:");
+  for (const auto& m : run->build.cdag.MediatorClusters()) {
+    std::printf(" %s", m.c_str());
+  }
+  std::printf("\nconfounders:");
+  for (const auto& c : run->build.cdag.ConfounderClusters()) {
+    std::printf(" %s", c.c_str());
+  }
+  std::printf("\n\neffect of %s on %s (standardized):\n",
+              args.exposure.c_str(), args.outcome.c_str());
+  std::printf("  total  (backdoor adjusted): %+.4f (p=%.3g)\n",
+              run->total_effect.effect, run->total_effect.p_value);
+  std::printf("  direct (mediators adjusted): %+.4f (p=%.3g)\n",
+              run->direct_effect.effect, run->direct_effect.p_value);
+
+  // ---- Artifacts. ----------------------------------------------------------
+  const std::string csv_path = args.out_prefix + "_augmented.csv";
+  auto ws = cdi::table::WriteCsvFile(run->organization.organized, csv_path);
+  if (!ws.ok()) {
+    std::fprintf(stderr, "%s\n", ws.ToString().c_str());
+    return 1;
+  }
+  cdi::graph::DotOptions dot;
+  dot.highlighted = {run->build.cdag.exposure_cluster(),
+                     run->build.cdag.outcome_cluster()};
+  const std::string dot_path = args.out_prefix + "_cdag.dot";
+  std::ofstream(dot_path) << ToDot(run->build.cdag.graph(), dot);
+  std::printf("\nwrote %s and %s\n", csv_path.c_str(), dot_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
+  return Run(args);
+}
