@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro.cc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o" "gcc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cdi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/cdi_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/cdi_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/knowledge/CMakeFiles/cdi_knowledge.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cdi_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cdi_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/cdi_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cdi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

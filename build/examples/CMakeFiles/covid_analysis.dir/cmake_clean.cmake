@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covid_analysis.dir/covid_analysis.cpp.o"
+  "CMakeFiles/covid_analysis.dir/covid_analysis.cpp.o.d"
+  "covid_analysis"
+  "covid_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covid_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_source.dir/custom_source.cpp.o"
+  "CMakeFiles/custom_source.dir/custom_source.cpp.o.d"
+  "custom_source"
+  "custom_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

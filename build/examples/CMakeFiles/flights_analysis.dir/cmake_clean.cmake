@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flights_analysis.dir/flights_analysis.cpp.o"
+  "CMakeFiles/flights_analysis.dir/flights_analysis.cpp.o.d"
+  "flights_analysis"
+  "flights_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flights_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

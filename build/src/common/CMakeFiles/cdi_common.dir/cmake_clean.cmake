@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdi_common.dir/logging.cc.o"
+  "CMakeFiles/cdi_common.dir/logging.cc.o.d"
+  "CMakeFiles/cdi_common.dir/rng.cc.o"
+  "CMakeFiles/cdi_common.dir/rng.cc.o.d"
+  "CMakeFiles/cdi_common.dir/status.cc.o"
+  "CMakeFiles/cdi_common.dir/status.cc.o.d"
+  "CMakeFiles/cdi_common.dir/string_util.cc.o"
+  "CMakeFiles/cdi_common.dir/string_util.cc.o.d"
+  "libcdi_common.a"
+  "libcdi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cdag.cc" "src/core/CMakeFiles/cdi_core.dir/cdag.cc.o" "gcc" "src/core/CMakeFiles/cdi_core.dir/cdag.cc.o.d"
+  "/root/repo/src/core/cdag_builder.cc" "src/core/CMakeFiles/cdi_core.dir/cdag_builder.cc.o" "gcc" "src/core/CMakeFiles/cdi_core.dir/cdag_builder.cc.o.d"
+  "/root/repo/src/core/data_organizer.cc" "src/core/CMakeFiles/cdi_core.dir/data_organizer.cc.o" "gcc" "src/core/CMakeFiles/cdi_core.dir/data_organizer.cc.o.d"
+  "/root/repo/src/core/effect.cc" "src/core/CMakeFiles/cdi_core.dir/effect.cc.o" "gcc" "src/core/CMakeFiles/cdi_core.dir/effect.cc.o.d"
+  "/root/repo/src/core/evaluation.cc" "src/core/CMakeFiles/cdi_core.dir/evaluation.cc.o" "gcc" "src/core/CMakeFiles/cdi_core.dir/evaluation.cc.o.d"
+  "/root/repo/src/core/fd.cc" "src/core/CMakeFiles/cdi_core.dir/fd.cc.o" "gcc" "src/core/CMakeFiles/cdi_core.dir/fd.cc.o.d"
+  "/root/repo/src/core/identifiability.cc" "src/core/CMakeFiles/cdi_core.dir/identifiability.cc.o" "gcc" "src/core/CMakeFiles/cdi_core.dir/identifiability.cc.o.d"
+  "/root/repo/src/core/knowledge_extractor.cc" "src/core/CMakeFiles/cdi_core.dir/knowledge_extractor.cc.o" "gcc" "src/core/CMakeFiles/cdi_core.dir/knowledge_extractor.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/cdi_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/cdi_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/sensitivity.cc" "src/core/CMakeFiles/cdi_core.dir/sensitivity.cc.o" "gcc" "src/core/CMakeFiles/cdi_core.dir/sensitivity.cc.o.d"
+  "/root/repo/src/core/varclus.cc" "src/core/CMakeFiles/cdi_core.dir/varclus.cc.o" "gcc" "src/core/CMakeFiles/cdi_core.dir/varclus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cdi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/cdi_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/cdi_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cdi_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/knowledge/CMakeFiles/cdi_knowledge.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cdi_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/cdi_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

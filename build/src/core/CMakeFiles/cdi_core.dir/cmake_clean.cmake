@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdi_core.dir/cdag.cc.o"
+  "CMakeFiles/cdi_core.dir/cdag.cc.o.d"
+  "CMakeFiles/cdi_core.dir/cdag_builder.cc.o"
+  "CMakeFiles/cdi_core.dir/cdag_builder.cc.o.d"
+  "CMakeFiles/cdi_core.dir/data_organizer.cc.o"
+  "CMakeFiles/cdi_core.dir/data_organizer.cc.o.d"
+  "CMakeFiles/cdi_core.dir/effect.cc.o"
+  "CMakeFiles/cdi_core.dir/effect.cc.o.d"
+  "CMakeFiles/cdi_core.dir/evaluation.cc.o"
+  "CMakeFiles/cdi_core.dir/evaluation.cc.o.d"
+  "CMakeFiles/cdi_core.dir/fd.cc.o"
+  "CMakeFiles/cdi_core.dir/fd.cc.o.d"
+  "CMakeFiles/cdi_core.dir/identifiability.cc.o"
+  "CMakeFiles/cdi_core.dir/identifiability.cc.o.d"
+  "CMakeFiles/cdi_core.dir/knowledge_extractor.cc.o"
+  "CMakeFiles/cdi_core.dir/knowledge_extractor.cc.o.d"
+  "CMakeFiles/cdi_core.dir/pipeline.cc.o"
+  "CMakeFiles/cdi_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/cdi_core.dir/sensitivity.cc.o"
+  "CMakeFiles/cdi_core.dir/sensitivity.cc.o.d"
+  "CMakeFiles/cdi_core.dir/varclus.cc.o"
+  "CMakeFiles/cdi_core.dir/varclus.cc.o.d"
+  "libcdi_core.a"
+  "libcdi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

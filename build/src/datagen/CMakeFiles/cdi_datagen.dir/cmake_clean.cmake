@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdi_datagen.dir/covid.cc.o"
+  "CMakeFiles/cdi_datagen.dir/covid.cc.o.d"
+  "CMakeFiles/cdi_datagen.dir/flights.cc.o"
+  "CMakeFiles/cdi_datagen.dir/flights.cc.o.d"
+  "CMakeFiles/cdi_datagen.dir/scenario.cc.o"
+  "CMakeFiles/cdi_datagen.dir/scenario.cc.o.d"
+  "CMakeFiles/cdi_datagen.dir/scm.cc.o"
+  "CMakeFiles/cdi_datagen.dir/scm.cc.o.d"
+  "libcdi_datagen.a"
+  "libcdi_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdi_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

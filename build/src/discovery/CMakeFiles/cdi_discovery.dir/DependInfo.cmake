@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/discovery/binned_ci.cc" "src/discovery/CMakeFiles/cdi_discovery.dir/binned_ci.cc.o" "gcc" "src/discovery/CMakeFiles/cdi_discovery.dir/binned_ci.cc.o.d"
+  "/root/repo/src/discovery/ci_test.cc" "src/discovery/CMakeFiles/cdi_discovery.dir/ci_test.cc.o" "gcc" "src/discovery/CMakeFiles/cdi_discovery.dir/ci_test.cc.o.d"
+  "/root/repo/src/discovery/discovery.cc" "src/discovery/CMakeFiles/cdi_discovery.dir/discovery.cc.o" "gcc" "src/discovery/CMakeFiles/cdi_discovery.dir/discovery.cc.o.d"
+  "/root/repo/src/discovery/fci.cc" "src/discovery/CMakeFiles/cdi_discovery.dir/fci.cc.o" "gcc" "src/discovery/CMakeFiles/cdi_discovery.dir/fci.cc.o.d"
+  "/root/repo/src/discovery/ges.cc" "src/discovery/CMakeFiles/cdi_discovery.dir/ges.cc.o" "gcc" "src/discovery/CMakeFiles/cdi_discovery.dir/ges.cc.o.d"
+  "/root/repo/src/discovery/lingam.cc" "src/discovery/CMakeFiles/cdi_discovery.dir/lingam.cc.o" "gcc" "src/discovery/CMakeFiles/cdi_discovery.dir/lingam.cc.o.d"
+  "/root/repo/src/discovery/pc.cc" "src/discovery/CMakeFiles/cdi_discovery.dir/pc.cc.o" "gcc" "src/discovery/CMakeFiles/cdi_discovery.dir/pc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cdi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cdi_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cdi_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

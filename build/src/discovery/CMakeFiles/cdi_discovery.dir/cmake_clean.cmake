@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdi_discovery.dir/binned_ci.cc.o"
+  "CMakeFiles/cdi_discovery.dir/binned_ci.cc.o.d"
+  "CMakeFiles/cdi_discovery.dir/ci_test.cc.o"
+  "CMakeFiles/cdi_discovery.dir/ci_test.cc.o.d"
+  "CMakeFiles/cdi_discovery.dir/discovery.cc.o"
+  "CMakeFiles/cdi_discovery.dir/discovery.cc.o.d"
+  "CMakeFiles/cdi_discovery.dir/fci.cc.o"
+  "CMakeFiles/cdi_discovery.dir/fci.cc.o.d"
+  "CMakeFiles/cdi_discovery.dir/ges.cc.o"
+  "CMakeFiles/cdi_discovery.dir/ges.cc.o.d"
+  "CMakeFiles/cdi_discovery.dir/lingam.cc.o"
+  "CMakeFiles/cdi_discovery.dir/lingam.cc.o.d"
+  "CMakeFiles/cdi_discovery.dir/pc.cc.o"
+  "CMakeFiles/cdi_discovery.dir/pc.cc.o.d"
+  "libcdi_discovery.a"
+  "libcdi_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdi_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/adjustment.cc" "src/graph/CMakeFiles/cdi_graph.dir/adjustment.cc.o" "gcc" "src/graph/CMakeFiles/cdi_graph.dir/adjustment.cc.o.d"
+  "/root/repo/src/graph/digraph.cc" "src/graph/CMakeFiles/cdi_graph.dir/digraph.cc.o" "gcc" "src/graph/CMakeFiles/cdi_graph.dir/digraph.cc.o.d"
+  "/root/repo/src/graph/dot.cc" "src/graph/CMakeFiles/cdi_graph.dir/dot.cc.o" "gcc" "src/graph/CMakeFiles/cdi_graph.dir/dot.cc.o.d"
+  "/root/repo/src/graph/dsep.cc" "src/graph/CMakeFiles/cdi_graph.dir/dsep.cc.o" "gcc" "src/graph/CMakeFiles/cdi_graph.dir/dsep.cc.o.d"
+  "/root/repo/src/graph/metrics.cc" "src/graph/CMakeFiles/cdi_graph.dir/metrics.cc.o" "gcc" "src/graph/CMakeFiles/cdi_graph.dir/metrics.cc.o.d"
+  "/root/repo/src/graph/pag.cc" "src/graph/CMakeFiles/cdi_graph.dir/pag.cc.o" "gcc" "src/graph/CMakeFiles/cdi_graph.dir/pag.cc.o.d"
+  "/root/repo/src/graph/pdag.cc" "src/graph/CMakeFiles/cdi_graph.dir/pdag.cc.o" "gcc" "src/graph/CMakeFiles/cdi_graph.dir/pdag.cc.o.d"
+  "/root/repo/src/graph/random_graph.cc" "src/graph/CMakeFiles/cdi_graph.dir/random_graph.cc.o" "gcc" "src/graph/CMakeFiles/cdi_graph.dir/random_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cdi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

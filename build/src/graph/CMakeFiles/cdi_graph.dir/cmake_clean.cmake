@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdi_graph.dir/adjustment.cc.o"
+  "CMakeFiles/cdi_graph.dir/adjustment.cc.o.d"
+  "CMakeFiles/cdi_graph.dir/digraph.cc.o"
+  "CMakeFiles/cdi_graph.dir/digraph.cc.o.d"
+  "CMakeFiles/cdi_graph.dir/dot.cc.o"
+  "CMakeFiles/cdi_graph.dir/dot.cc.o.d"
+  "CMakeFiles/cdi_graph.dir/dsep.cc.o"
+  "CMakeFiles/cdi_graph.dir/dsep.cc.o.d"
+  "CMakeFiles/cdi_graph.dir/metrics.cc.o"
+  "CMakeFiles/cdi_graph.dir/metrics.cc.o.d"
+  "CMakeFiles/cdi_graph.dir/pag.cc.o"
+  "CMakeFiles/cdi_graph.dir/pag.cc.o.d"
+  "CMakeFiles/cdi_graph.dir/pdag.cc.o"
+  "CMakeFiles/cdi_graph.dir/pdag.cc.o.d"
+  "CMakeFiles/cdi_graph.dir/random_graph.cc.o"
+  "CMakeFiles/cdi_graph.dir/random_graph.cc.o.d"
+  "libcdi_graph.a"
+  "libcdi_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdi_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

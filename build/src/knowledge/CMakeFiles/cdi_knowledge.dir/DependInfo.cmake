@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/knowledge/data_lake.cc" "src/knowledge/CMakeFiles/cdi_knowledge.dir/data_lake.cc.o" "gcc" "src/knowledge/CMakeFiles/cdi_knowledge.dir/data_lake.cc.o.d"
+  "/root/repo/src/knowledge/entity_linker.cc" "src/knowledge/CMakeFiles/cdi_knowledge.dir/entity_linker.cc.o" "gcc" "src/knowledge/CMakeFiles/cdi_knowledge.dir/entity_linker.cc.o.d"
+  "/root/repo/src/knowledge/knowledge_graph.cc" "src/knowledge/CMakeFiles/cdi_knowledge.dir/knowledge_graph.cc.o" "gcc" "src/knowledge/CMakeFiles/cdi_knowledge.dir/knowledge_graph.cc.o.d"
+  "/root/repo/src/knowledge/text_oracle.cc" "src/knowledge/CMakeFiles/cdi_knowledge.dir/text_oracle.cc.o" "gcc" "src/knowledge/CMakeFiles/cdi_knowledge.dir/text_oracle.cc.o.d"
+  "/root/repo/src/knowledge/topic_model.cc" "src/knowledge/CMakeFiles/cdi_knowledge.dir/topic_model.cc.o" "gcc" "src/knowledge/CMakeFiles/cdi_knowledge.dir/topic_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cdi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cdi_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cdi_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/cdi_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdi_knowledge.dir/data_lake.cc.o"
+  "CMakeFiles/cdi_knowledge.dir/data_lake.cc.o.d"
+  "CMakeFiles/cdi_knowledge.dir/entity_linker.cc.o"
+  "CMakeFiles/cdi_knowledge.dir/entity_linker.cc.o.d"
+  "CMakeFiles/cdi_knowledge.dir/knowledge_graph.cc.o"
+  "CMakeFiles/cdi_knowledge.dir/knowledge_graph.cc.o.d"
+  "CMakeFiles/cdi_knowledge.dir/text_oracle.cc.o"
+  "CMakeFiles/cdi_knowledge.dir/text_oracle.cc.o.d"
+  "CMakeFiles/cdi_knowledge.dir/topic_model.cc.o"
+  "CMakeFiles/cdi_knowledge.dir/topic_model.cc.o.d"
+  "libcdi_knowledge.a"
+  "libcdi_knowledge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdi_knowledge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

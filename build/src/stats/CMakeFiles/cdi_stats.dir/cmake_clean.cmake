@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdi_stats.dir/correlation.cc.o"
+  "CMakeFiles/cdi_stats.dir/correlation.cc.o.d"
+  "CMakeFiles/cdi_stats.dir/descriptive.cc.o"
+  "CMakeFiles/cdi_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/cdi_stats.dir/distributions.cc.o"
+  "CMakeFiles/cdi_stats.dir/distributions.cc.o.d"
+  "CMakeFiles/cdi_stats.dir/independence.cc.o"
+  "CMakeFiles/cdi_stats.dir/independence.cc.o.d"
+  "CMakeFiles/cdi_stats.dir/linalg.cc.o"
+  "CMakeFiles/cdi_stats.dir/linalg.cc.o.d"
+  "CMakeFiles/cdi_stats.dir/logistic.cc.o"
+  "CMakeFiles/cdi_stats.dir/logistic.cc.o.d"
+  "CMakeFiles/cdi_stats.dir/matrix.cc.o"
+  "CMakeFiles/cdi_stats.dir/matrix.cc.o.d"
+  "CMakeFiles/cdi_stats.dir/regression.cc.o"
+  "CMakeFiles/cdi_stats.dir/regression.cc.o.d"
+  "libcdi_stats.a"
+  "libcdi_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdi_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcdi_stats.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdi_table.dir/aggregate.cc.o"
+  "CMakeFiles/cdi_table.dir/aggregate.cc.o.d"
+  "CMakeFiles/cdi_table.dir/column.cc.o"
+  "CMakeFiles/cdi_table.dir/column.cc.o.d"
+  "CMakeFiles/cdi_table.dir/csv.cc.o"
+  "CMakeFiles/cdi_table.dir/csv.cc.o.d"
+  "CMakeFiles/cdi_table.dir/join.cc.o"
+  "CMakeFiles/cdi_table.dir/join.cc.o.d"
+  "CMakeFiles/cdi_table.dir/table.cc.o"
+  "CMakeFiles/cdi_table.dir/table.cc.o.d"
+  "CMakeFiles/cdi_table.dir/value.cc.o"
+  "CMakeFiles/cdi_table.dir/value.cc.o.d"
+  "libcdi_table.a"
+  "libcdi_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdi_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

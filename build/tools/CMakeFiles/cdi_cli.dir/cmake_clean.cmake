@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdi_cli.dir/cdi_cli.cc.o"
+  "CMakeFiles/cdi_cli.dir/cdi_cli.cc.o.d"
+  "cdi_cli"
+  "cdi_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdi_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
