@@ -5,9 +5,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <memory>
+#include <utility>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/varclus.h"
+#include "discovery/cached_ci.h"
 #include "discovery/ci_test.h"
 #include "discovery/ges.h"
 #include "discovery/pc.h"
@@ -115,6 +119,57 @@ void BM_PcScaling(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PcScaling)->Arg(5)->Arg(10)->Arg(20);
+
+// Threads × cache sweep over the PC-stable skeleton. Arg(0) = threads,
+// Arg(1) = cache on/off. The cached engine computes the correlation
+// matrix once and memoizes every (x, y, S) query — after the first
+// iteration the cache is warm, which is the steady state of the hybrid
+// builder (pruning, augmentation and cycle repair revisit the same
+// queries). Compare against BM_PcScaling, which rebuilds a plain
+// FisherZTest (full correlation matrix) per run.
+void BM_PcThreadsCacheSweep(benchmark::State& state) {
+  const std::size_t vars = 20;
+  const int threads = static_cast<int>(state.range(0));
+  const bool cached = state.range(1) != 0;
+  cdi::stats::NumericDataset ds;
+  ds.columns = ChainData(vars, 800, 9);
+  std::vector<std::string> names;
+  for (std::size_t v = 0; v < vars; ++v) {
+    names.push_back("v" + std::to_string(v));
+  }
+  cdi::discovery::PcOptions options;
+  options.num_threads = threads;
+  // The pool is long-lived in real use (one engine, many runs); spawning
+  // threads inside the timed region would benchmark pthread_create.
+  std::unique_ptr<cdi::ThreadPool> pool;
+  if (threads > 1) {
+    pool = std::make_unique<cdi::ThreadPool>(
+        static_cast<std::size_t>(threads));
+    options.pool = pool.get();
+  }
+  std::unique_ptr<cdi::discovery::CiTest> test;
+  if (cached) {
+    auto t = cdi::discovery::CachedCiTest::ForGaussian(ds);
+    CDI_CHECK(t.ok());
+    test = std::move(*t);
+  } else {
+    auto t = cdi::discovery::FisherZTest::Create(ds);
+    CDI_CHECK(t.ok());
+    test = std::move(*t);
+  }
+  for (auto _ : state) {
+    auto result = cdi::discovery::RunPc(*test, names, options);
+    benchmark::DoNotOptimize(result->ci_tests);
+  }
+  state.SetLabel((cached ? "cached" : "plain") + std::string("/t") +
+                 std::to_string(threads));
+}
+BENCHMARK(BM_PcThreadsCacheSweep)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({8, 1});
 
 void BM_GesScaling(benchmark::State& state) {
   const auto vars = static_cast<std::size_t>(state.range(0));

@@ -1,0 +1,100 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace cdi {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t n = std::max<std::size_t>(1, num_threads);
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock,
+                       [this] { return stopping_ || !queue_.empty(); });
+      // Drain the queue even when stopping so ~ThreadPool never abandons
+      // submitted work (callers block in ParallelFor on its completion).
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn) {
+  if (pool == nullptr || pool->size() <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Dynamic scheduling: workers pull the next index from a shared counter.
+  // Small loops wake only as many workers as can get a useful share of the
+  // indices: CDI's parallel bodies (one cached CI query chain per edge) are
+  // mostly sub-microsecond, so a worker must receive tens of indices before
+  // its wakeup cost pays for itself.
+  constexpr std::size_t kMinPerWorker = 64;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> live{0};
+  std::mutex mu;
+  std::condition_variable done;
+  const std::size_t workers = std::min(
+      pool->size(), std::max<std::size_t>(1, n / kMinPerWorker));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  live.store(workers, std::memory_order_relaxed);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool->Submit([&] {
+      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+           i < n; i = next.fetch_add(1, std::memory_order_relaxed)) {
+        fn(i);
+      }
+      if (live.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::unique_lock<std::mutex> lock(mu);
+        done.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  done.wait(lock, [&] { return live.load(std::memory_order_acquire) == 0; });
+}
+
+}  // namespace cdi

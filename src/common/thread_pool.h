@@ -1,0 +1,64 @@
+#ifndef CDI_COMMON_THREAD_POOL_H_
+#define CDI_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cdi {
+
+/// Fixed-size pool of worker threads with a shared FIFO task queue.
+///
+/// There is deliberately no work stealing and no dynamic sizing: CDI's
+/// parallel sections are data-parallel loops whose tasks are independent
+/// and whose results are written to pre-assigned slots, so a plain queue
+/// keeps the implementation small and the behaviour easy to reason about
+/// under TSAN. The destructor drains the queue and joins every worker.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  std::size_t size() const { return threads_.size(); }
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // queued + currently running
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Runs `fn(0) .. fn(n - 1)` across the pool's workers and blocks until
+/// all calls return. Iterations must be independent; they are handed out
+/// dynamically, so any iteration may run on any worker in any order —
+/// callers that need determinism must write results to per-index slots.
+/// Runs inline (plain loop) when `pool` is null, has a single worker, or
+/// `n <= 1`.
+void ParallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace cdi
+
+#endif  // CDI_COMMON_THREAD_POOL_H_

@@ -4,8 +4,11 @@
 #include <cmath>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <set>
 
+#include "common/thread_pool.h"
+#include "discovery/cached_ci.h"
 #include "discovery/ci_test.h"
 #include "discovery/subsets.h"
 #include "stats/descriptive.h"
@@ -171,7 +174,11 @@ Result<CdagBuildResult> CdagBuilder::Build(
   stats::NumericDataset rep_ds;
   rep_ds.columns = reps;
   rep_ds.weights = row_weights;
-  CDI_ASSIGN_OR_RETURN(auto ci_test, discovery::FisherZTest::Create(rep_ds));
+  // The cached engine computes the correlation matrix once and memoizes
+  // every (x, y, S) query — pruning, augmentation and cycle repair all
+  // revisit the same pairs.
+  CDI_ASSIGN_OR_RETURN(auto ci_test,
+                       discovery::CachedCiTest::ForGaussian(rep_ds));
   const std::size_t k = clusters.size();
 
   // ---- 5. Edge inference. ----------------------------------------------------
@@ -202,19 +209,26 @@ Result<CdagBuildResult> CdagBuilder::Build(
           auto r = stats::ChiSquareIndependence(bu, bv);
           return r.ok() && r->p_value < options_.alpha;
         };
-        std::vector<graph::Edge> claimed = claim_graph.Edges();
-        for (const auto& [u, v] : claimed) {
+        // Every prune decision is made against a snapshot of the oracle
+        // claim graph (PC-stable style): decisions become pure functions
+        // of the snapshot, independent of edge order and thread count.
+        const std::vector<graph::Edge> claimed = claim_graph.Edges();
+        std::vector<char> prune_edge(claimed.size(), 0);
+        std::unique_ptr<ThreadPool> pool;
+        if (options_.num_threads > 1) {
+          pool = std::make_unique<ThreadPool>(
+              static_cast<std::size_t>(options_.num_threads));
+        }
+        ParallelFor(pool.get(), claimed.size(), [&](std::size_t e) {
+          const auto [u, v] = claimed[e];
           if (options_.prune_requires_marginal_dependence &&
               ci_test->Independent(u, v, {}, options_.alpha)) {
             // Fisher-z sees nothing. If the binned test also sees nothing,
             // the data positively contradicts the oracle claim — prune it.
             // If the binned test fires, the relation is real but nonlinear
             // ("not present in the data" for linear methods) — keep it.
-            if (!nonlinear_dependent(u, v)) {
-              claim_graph.RemoveEdge(u, v);
-              result.pruned_edges.push_back(edge_name(u, v));
-            }
-            continue;
+            prune_edge[e] = nonlinear_dependent(u, v) ? 0 : 1;
+            return;
           }
           // Redundancy is judged against the *claimed parents* of the two
           // endpoints: a direct edge u -> v is redundant iff u ⟂ v given
@@ -243,10 +257,13 @@ Result<CdagBuildResult> CdagBuilder::Build(
                          options_.prune_p_threshold;
                 });
           }
-          if (pruned) {
-            claim_graph.RemoveEdge(u, v);
-            result.pruned_edges.push_back(edge_name(u, v));
-          }
+          prune_edge[e] = pruned ? 1 : 0;
+        });
+        for (std::size_t e = 0; e < claimed.size(); ++e) {
+          if (!prune_edge[e]) continue;
+          claim_graph.RemoveEdge(claimed[e].first, claimed[e].second);
+          result.pruned_edges.push_back(
+              edge_name(claimed[e].first, claimed[e].second));
         }
         // Direction verification: for each surviving edge, re-prompt the
         // oracle for its preferred direction; a claim whose reverse the
@@ -349,6 +366,7 @@ Result<CdagBuildResult> CdagBuilder::Build(
       }
       discovery::DiscoveryOptions dopt = options_.discovery;
       dopt.alpha = options_.alpha;
+      dopt.num_threads = options_.num_threads;
       CDI_ASSIGN_OR_RETURN(discovery::DiscoverySummary summary,
                            discovery::RunDiscovery(reps, topics, alg, dopt));
       result.ci_tests = summary.ci_tests;

@@ -56,6 +56,11 @@ struct CdagBuilderOptions {
   /// present in the data" (nonlinear/semantic), which is exactly where
   /// the paper's hybrid approach must trust the text side.
   bool prune_requires_marginal_dependence = true;
+  /// Worker threads for the pruning stage's CI tests and for the data-only
+  /// baselines. Prune decisions are made against a snapshot of the oracle
+  /// claim graph (PC-stable style), so the result is bitwise-identical at
+  /// any thread count.
+  int num_threads = 1;
   discovery::DiscoveryOptions discovery;
 };
 

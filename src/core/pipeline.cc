@@ -33,7 +33,12 @@ Result<PipelineResult> Pipeline::Run(const table::Table& input,
   // Stage 3: C-DAG Builder.
   {
     Stopwatch sw;
-    CdagBuilder builder(oracle_, topics_, options_.builder);
+    CdagBuilderOptions builder_options = options_.builder;
+    if (options_.num_threads > 1) {
+      builder_options.num_threads = options_.num_threads;
+      builder_options.discovery.num_threads = options_.num_threads;
+    }
+    CdagBuilder builder(oracle_, topics_, builder_options);
     CDI_ASSIGN_OR_RETURN(
         result.build,
         builder.Build(result.organization.organized, entity_column, exposure,

@@ -18,6 +18,11 @@ struct PipelineOptions {
   ExtractorOptions extractor;
   OrganizerOptions organizer;
   CdagBuilderOptions builder;
+  /// Worker threads for the C-DAG Builder's CI-test stages (copied into
+  /// `builder.num_threads`/`builder.discovery.num_threads` by Run). All
+  /// parallel stages are bitwise-deterministic, so the pipeline output is
+  /// identical at any thread count.
+  int num_threads = 1;
 };
 
 /// Wall-clock seconds per stage (actual compute on this machine).

@@ -1,0 +1,103 @@
+#include "discovery/cached_ci.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <utility>
+
+namespace cdi::discovery {
+
+Result<std::unique_ptr<CachedCiTest>> CachedCiTest::ForGaussian(
+    const stats::NumericDataset& data) {
+  CDI_ASSIGN_OR_RETURN(std::unique_ptr<FisherZTest> base,
+                       FisherZTest::Create(data));
+  return std::make_unique<CachedCiTest>(std::unique_ptr<CiTest>(
+      std::move(base)));
+}
+
+void CachedCiTest::EncodeKey(std::size_t x, std::size_t y,
+                             const std::vector<std::size_t>& s,
+                             std::string* key) {
+  if (x > y) std::swap(x, y);
+  // Encode on the stack for typical conditioning-set sizes: this runs once
+  // per CI query, and a heap-backed scratch vector would dominate the cost
+  // of a cache hit.
+  constexpr std::size_t kStackIds = 32;
+  std::uint32_t stack_ids[kStackIds];
+  std::vector<std::uint32_t> heap_ids;
+  const std::size_t count = s.size() + 2;
+  std::uint32_t* ids = stack_ids;
+  if (count > kStackIds) {
+    heap_ids.resize(count);
+    ids = heap_ids.data();
+  }
+  ids[0] = static_cast<std::uint32_t>(x);
+  ids[1] = static_cast<std::uint32_t>(y);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    ids[2 + i] = static_cast<std::uint32_t>(s[i]);
+  }
+  std::sort(ids + 2, ids + count);
+  key->assign(reinterpret_cast<const char*>(ids),
+              count * sizeof(std::uint32_t));
+}
+
+CachedCiTest::Shard& CachedCiTest::ShardFor(const std::string& key) const {
+  return shards_[std::hash<std::string>{}(key) % kNumShards];
+}
+
+double CachedCiTest::PValue(std::size_t x, std::size_t y,
+                            const std::vector<std::size_t>& s) const {
+  ++calls;
+  thread_local std::string key;  // reused buffer: hit path stays alloc-free
+  EncodeKey(x, y, s, &key);
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end() && it->second.has_p) {
+      ++hits_;
+      return it->second.p;
+    }
+  }
+  ++misses_;
+  // Evaluate outside the lock so concurrent misses don't serialize. The
+  // base test may itself be a CachedCiTest and clobber the thread-local
+  // buffer, so re-encode before the insert.
+  const double p = base_->PValue(x, y, s);
+  EncodeKey(x, y, s, &key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    Entry& e = shard.map[key];
+    e.p = p;
+    e.has_p = true;
+  }
+  return p;
+}
+
+double CachedCiTest::Strength(std::size_t x, std::size_t y,
+                              const std::vector<std::size_t>& s) const {
+  thread_local std::string key;  // reused buffer: hit path stays alloc-free
+  EncodeKey(x, y, s, &key);
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end() && it->second.has_strength) {
+      ++hits_;
+      return it->second.strength;
+    }
+  }
+  ++misses_;
+  const double strength = base_->Strength(x, y, s);
+  EncodeKey(x, y, s, &key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    Entry& e = shard.map[key];
+    e.strength = strength;
+    e.has_strength = true;
+  }
+  return strength;
+}
+
+}  // namespace cdi::discovery

@@ -1,6 +1,7 @@
 #ifndef CDI_DISCOVERY_CI_TEST_H_
 #define CDI_DISCOVERY_CI_TEST_H_
 
+#include <atomic>
 #include <memory>
 #include <set>
 #include <vector>
@@ -14,7 +15,8 @@ namespace cdi::discovery {
 
 /// Interface for conditional-independence tests used by the constraint-based
 /// discovery algorithms (PC, FCI) and CATER's pruning stage. Implementations
-/// are deterministic.
+/// are deterministic, and PValue/Strength must be safe to call from several
+/// threads at once (the parallel skeleton phases do exactly that).
 class CiTest {
  public:
   virtual ~CiTest() = default;
@@ -38,7 +40,8 @@ class CiTest {
   }
 
   /// Number of PValue evaluations performed (statistics/benchmarks).
-  mutable std::size_t calls = 0;
+  /// Atomic: evaluations may run concurrently.
+  mutable std::atomic<std::size_t> calls{0};
 };
 
 /// Gaussian (Fisher-z) partial-correlation test. Precomputes the

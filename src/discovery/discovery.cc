@@ -1,10 +1,30 @@
 #include "discovery/discovery.h"
 
+#include "discovery/cached_ci.h"
 #include "discovery/ci_test.h"
 #include "discovery/fci.h"
 #include "discovery/pc.h"
 
 namespace cdi::discovery {
+
+namespace {
+
+/// Gaussian CI test for the constraint-based baselines, optionally behind
+/// the memoizing cache.
+Result<std::unique_ptr<CiTest>> MakeGaussianTest(
+    const std::vector<std::vector<double>>& data,
+    const DiscoveryOptions& options) {
+  stats::NumericDataset ds;
+  ds.columns = data;
+  if (options.use_ci_cache) {
+    CDI_ASSIGN_OR_RETURN(auto cached, CachedCiTest::ForGaussian(ds));
+    return std::unique_ptr<CiTest>(std::move(cached));
+  }
+  CDI_ASSIGN_OR_RETURN(auto fisher, FisherZTest::Create(ds));
+  return std::unique_ptr<CiTest>(std::move(fisher));
+}
+
+}  // namespace
 
 const char* AlgorithmName(Algorithm a) {
   switch (a) {
@@ -28,12 +48,11 @@ Result<DiscoverySummary> RunDiscovery(
   out.algorithm = algorithm;
   switch (algorithm) {
     case Algorithm::kPc: {
-      stats::NumericDataset ds;
-      ds.columns = data;
-      CDI_ASSIGN_OR_RETURN(auto test, FisherZTest::Create(ds));
+      CDI_ASSIGN_OR_RETURN(auto test, MakeGaussianTest(data, options));
       PcOptions pc;
       pc.alpha = options.alpha;
       pc.max_cond_size = options.max_cond_size;
+      pc.num_threads = options.num_threads;
       CDI_ASSIGN_OR_RETURN(PcResult r, RunPc(*test, names, pc));
       out.claims = r.graph.ToDirectedClaims();
       out.definite = r.graph.DirectedEdges();
@@ -41,12 +60,11 @@ Result<DiscoverySummary> RunDiscovery(
       return out;
     }
     case Algorithm::kFci: {
-      stats::NumericDataset ds;
-      ds.columns = data;
-      CDI_ASSIGN_OR_RETURN(auto test, FisherZTest::Create(ds));
+      CDI_ASSIGN_OR_RETURN(auto test, MakeGaussianTest(data, options));
       FciOptions fci;
       fci.alpha = options.alpha;
       fci.max_cond_size = options.max_cond_size;
+      fci.num_threads = options.num_threads;
       CDI_ASSIGN_OR_RETURN(FciResult r, RunFci(*test, names, fci));
       out.claims = r.graph.ToDirectedClaims();
       for (const auto& [u, v] : r.graph.EdgePairs()) {
@@ -65,7 +83,9 @@ Result<DiscoverySummary> RunDiscovery(
       return out;
     }
     case Algorithm::kGes: {
-      CDI_ASSIGN_OR_RETURN(GesResult r, RunGes(data, names, options.ges));
+      GesOptions ges = options.ges;
+      ges.num_threads = options.num_threads;
+      CDI_ASSIGN_OR_RETURN(GesResult r, RunGes(data, names, ges));
       out.claims = r.cpdag.ToDirectedClaims();
       out.definite = r.cpdag.DirectedEdges();
       return out;

@@ -22,6 +22,11 @@ struct DiscoveryOptions {
   double alpha = 0.05;
   /// Largest conditioning set (PC / FCI); -1 = unbounded.
   int max_cond_size = -1;
+  /// Worker threads for the parallel phases (PC/FCI skeleton edge tests,
+  /// GES candidate scoring). Results are bitwise-identical at any count.
+  int num_threads = 1;
+  /// Memoize CI queries behind a CachedCiTest (PC / FCI).
+  bool use_ci_cache = true;
   GesOptions ges;
   LingamOptions lingam;
 };

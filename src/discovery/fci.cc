@@ -32,6 +32,7 @@ Result<FciResult> RunFci(const CiTest& test,
   PcOptions pc_options;
   pc_options.alpha = options.alpha;
   pc_options.max_cond_size = options.max_cond_size;
+  pc_options.num_threads = options.num_threads;
   std::vector<std::set<std::size_t>> adjacency;
   SepsetMap sepsets;
   CDI_RETURN_IF_ERROR(PcSkeleton(test, pc_options, &adjacency, &sepsets));

@@ -14,6 +14,8 @@ namespace cdi::discovery {
 struct FciOptions {
   double alpha = 0.05;
   int max_cond_size = -1;
+  /// Worker threads for the skeleton phase (see PcOptions::num_threads).
+  int num_threads = 1;
 };
 
 struct FciResult {

@@ -4,15 +4,20 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "stats/regression.h"
 
 namespace cdi::discovery {
 
 namespace {
 
-/// Memoizing wrapper around the Gaussian BIC local score.
+/// Memoizing wrapper around the Gaussian BIC local score. Thread-safe:
+/// concurrent misses on the same key both compute the same deterministic
+/// value, so cache content is independent of interleaving.
 class ScoreCache {
  public:
   ScoreCache(const std::vector<std::vector<double>>& data, double penalty)
@@ -25,8 +30,11 @@ class ScoreCache {
     std::vector<std::size_t> sorted = parents;
     std::sort(sorted.begin(), sorted.end());
     for (auto p : sorted) key += std::to_string(p) + ",";
-    auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = cache_.find(key);
+      if (it != cache_.end()) return it->second;
+    }
     auto s = stats::GaussianBicLocalScore(data_, target, sorted);
     double value;
     if (!s.ok()) {
@@ -38,6 +46,7 @@ class ScoreCache {
           std::log(n) * (static_cast<double>(sorted.size()) + 2.0);
       value = *s - base_penalty + penalty_ * base_penalty;
     }
+    std::lock_guard<std::mutex> lock(mu_);
     cache_.emplace(key, value);
     return value;
   }
@@ -45,7 +54,17 @@ class ScoreCache {
  private:
   const std::vector<std::vector<double>>& data_;
   double penalty_;
+  std::mutex mu_;
   std::map<std::string, double> cache_;
+};
+
+/// A candidate move: score `target` with `parents`, delta vs. its current
+/// local score.
+struct Move {
+  std::size_t u = 0;
+  std::size_t v = 0;
+  std::vector<std::size_t> parents;
+  double delta = 0.0;
 };
 
 std::vector<std::size_t> ParentsOf(const graph::Digraph& g,
@@ -89,6 +108,12 @@ Result<GesResult> RunGes(const std::vector<std::vector<double>>& data,
   graph::Digraph g(names);
   GesResult result;
 
+  std::unique_ptr<ThreadPool> pool;
+  if (options.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(options.num_threads));
+  }
+
   // Current local score per node.
   std::vector<double> local(p);
   for (std::size_t v = 0; v < p; ++v) local[v] = score.Local(v, {});
@@ -97,11 +122,30 @@ Result<GesResult> RunGes(const std::vector<std::vector<double>>& data,
       options.max_parents < 0 ? p : static_cast<std::size_t>(
                                         options.max_parents);
 
+  // Each greedy step first collects the legal moves (cheap graph checks,
+  // serial), scores them in parallel (each score is a pure function of the
+  // data and the proposed parent set), then picks the winner by scanning in
+  // the original candidate order with the original strict-< tie-break — so
+  // the trajectory matches the serial search exactly.
+  auto best_move = [&](std::vector<Move>& moves) -> const Move* {
+    ParallelFor(pool.get(), moves.size(), [&](std::size_t i) {
+      moves[i].delta =
+          score.Local(moves[i].v, moves[i].parents) - local[moves[i].v];
+    });
+    double best_delta = -1e-9;
+    const Move* best = nullptr;
+    for (const Move& m : moves) {
+      if (m.delta < best_delta) {
+        best_delta = m.delta;
+        best = &m;
+      }
+    }
+    return best;
+  };
+
   // Forward phase: best single-edge addition while it improves BIC.
   for (;;) {
-    double best_delta = -1e-9;
-    std::size_t best_u = 0, best_v = 0;
-    bool found = false;
+    std::vector<Move> moves;
     for (std::size_t u = 0; u < p; ++u) {
       for (std::size_t v = 0; v < p; ++v) {
         if (u == v || g.Adjacent(u, v)) continue;
@@ -109,42 +153,30 @@ Result<GesResult> RunGes(const std::vector<std::vector<double>>& data,
         if (g.HasDirectedPath(v, u)) continue;  // would create a cycle
         auto parents = ParentsOf(g, v);
         parents.push_back(u);
-        const double delta = score.Local(v, parents) - local[v];
-        if (delta < best_delta) {
-          best_delta = delta;
-          best_u = u;
-          best_v = v;
-          found = true;
-        }
+        moves.push_back({u, v, std::move(parents), 0.0});
       }
     }
-    if (!found) break;
-    CDI_RETURN_IF_ERROR(g.AddEdge(best_u, best_v));
-    local[best_v] = score.Local(best_v, ParentsOf(g, best_v));
+    const Move* best = best_move(moves);
+    if (best == nullptr) break;
+    CDI_RETURN_IF_ERROR(g.AddEdge(best->u, best->v));
+    local[best->v] = score.Local(best->v, ParentsOf(g, best->v));
     ++result.forward_steps;
   }
 
   // Backward phase: best single-edge deletion while it improves BIC.
   for (;;) {
-    double best_delta = -1e-9;
-    graph::Edge best_edge{0, 0};
-    bool found = false;
+    std::vector<Move> moves;
     for (const auto& [u, v] : g.Edges()) {
       std::vector<std::size_t> parents;
       for (auto q : g.Parents(v)) {
         if (q != u) parents.push_back(q);
       }
-      const double delta = score.Local(v, parents) - local[v];
-      if (delta < best_delta) {
-        best_delta = delta;
-        best_edge = {u, v};
-        found = true;
-      }
+      moves.push_back({u, v, std::move(parents), 0.0});
     }
-    if (!found) break;
-    g.RemoveEdge(best_edge.first, best_edge.second);
-    local[best_edge.second] =
-        score.Local(best_edge.second, ParentsOf(g, best_edge.second));
+    const Move* best = best_move(moves);
+    if (best == nullptr) break;
+    g.RemoveEdge(best->u, best->v);
+    local[best->v] = score.Local(best->v, ParentsOf(g, best->v));
     ++result.backward_steps;
   }
 

@@ -15,6 +15,11 @@ struct GesOptions {
   double penalty_discount = 1.0;
   /// Hard cap on parents per node (guards the O(2^p) regime); -1 = none.
   int max_parents = -1;
+  /// Worker threads for candidate local-score evaluation. Each greedy step
+  /// scores all candidates (a pure function of data + current DAG) in
+  /// parallel, then picks the winner in the serial iteration order, so the
+  /// search trajectory is bitwise-identical at any thread count.
+  int num_threads = 1;
 };
 
 struct GesResult {

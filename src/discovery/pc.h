@@ -11,6 +11,10 @@
 #include "discovery/ci_test.h"
 #include "graph/pdag.h"
 
+namespace cdi {
+class ThreadPool;
+}
+
 namespace cdi::discovery {
 
 struct PcOptions {
@@ -20,6 +24,15 @@ struct PcOptions {
   int max_cond_size = -1;
   /// Order-independent ("PC-stable") skeleton phase.
   bool stable = true;
+  /// Worker threads for the per-level edge tests. The stable skeleton is
+  /// order-independent by construction, so the result is bitwise-identical
+  /// at any thread count. Ignored (serial) when `stable` is false, whose
+  /// semantics are inherently order-dependent.
+  int num_threads = 1;
+  /// Optional externally owned worker pool, reused across runs (spawning
+  /// threads per call would dominate small problems). When null and
+  /// `num_threads` > 1, a private pool is created for the call.
+  ThreadPool* pool = nullptr;
 };
 
 /// Separating sets found during skeleton construction, keyed by the

@@ -1,21 +1,27 @@
 #ifndef CDI_DISCOVERY_SUBSETS_H_
 #define CDI_DISCOVERY_SUBSETS_H_
 
-#include <functional>
 #include <vector>
 
 namespace cdi::discovery {
 
 /// Calls `visit` with every k-subset of `items` (in lexicographic index
 /// order); stops early when `visit` returns true. Returns whether a visit
-/// returned true.
-template <typename T>
+/// returned true. The visitor is a template parameter (not std::function):
+/// the skeleton calls this once per edge orientation per level, and a
+/// type-erased callback would heap-allocate its capture every time. The
+/// index and subset scratch buffers are thread-local for the same reason —
+/// which makes this non-reentrant: `visit` must not itself call
+/// ForEachSubset with the same element type.
+template <typename T, typename Visit>
 bool ForEachSubset(const std::vector<T>& items, std::size_t k,
-                   const std::function<bool(const std::vector<T>&)>& visit) {
+                   Visit&& visit) {
   if (k > items.size()) return false;
-  std::vector<std::size_t> idx(k);
+  thread_local std::vector<std::size_t> idx;
+  thread_local std::vector<T> subset;
+  idx.resize(k);
   for (std::size_t i = 0; i < k; ++i) idx[i] = i;
-  std::vector<T> subset(k);
+  subset.resize(k);
   for (;;) {
     for (std::size_t i = 0; i < k; ++i) subset[i] = items[idx[i]];
     if (visit(subset)) return true;

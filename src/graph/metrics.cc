@@ -7,6 +7,11 @@ namespace cdi::graph {
 
 namespace {
 
+/// Precision/recall/F1 with the 0/0 := 0 convention: an empty predicted
+/// set has precision 0 (not NaN), an empty truth set has recall 0, and
+/// F1 is 0 whenever either component is — so comparing a method that
+/// predicts nothing (or a truth-free benchmark row) yields finite,
+/// sortable scores instead of NaNs that poison downstream aggregation.
 Prf MakePrf(double tp, double fp, double fn) {
   Prf out;
   out.precision = (tp + fp) > 0 ? tp / (tp + fp) : 0.0;

@@ -117,15 +117,34 @@ Result<double> PartialCorrelation(const Matrix& corr, std::size_t i,
     if (den <= 1e-12) return 0.0;
     return std::clamp((rij - rik * rjk) / den, -1.0, 1.0);
   }
-  // General case: invert the submatrix over {i, j} ∪ given; the partial
-  // correlation is -P_01 / sqrt(P_00 P_11) where P is the precision matrix.
-  std::vector<std::size_t> idx = {i, j};
-  idx.insert(idx.end(), given.begin(), given.end());
+  // General case via Cholesky of the submatrix ordered (given..., i, j):
+  // with L the factor, the trailing 2x2 block [[a, 0], [b, c]] satisfies
+  // Cov(i, j | given) = [[a^2, ab], [ab, b^2 + c^2]], so the partial
+  // correlation is b / sqrt(b^2 + c^2). One factorization, no pivoting —
+  // this is the per-query hot path of the cached CI engine.
+  std::vector<std::size_t> idx(given);
+  idx.push_back(i);
+  idx.push_back(j);
   Matrix sub = corr.Submatrix(idx);
   // Tiny ridge guards against singular submatrices from deterministic
   // relationships.
   for (std::size_t d = 0; d < sub.rows(); ++d) sub(d, d) += 1e-10;
-  auto inv = Inverse(sub);
+  auto chol = Cholesky(sub);
+  if (chol.ok()) {
+    const std::size_t m = sub.rows();
+    const double b = (*chol)(m - 1, m - 2);
+    const double c = (*chol)(m - 1, m - 1);
+    const double den = std::sqrt(b * b + c * c);
+    if (den <= 1e-12 || !std::isfinite(den)) return 0.0;
+    return std::clamp(b / den, -1.0, 1.0);
+  }
+  // Non-SPD even with the ridge (severely collinear conditioning set):
+  // fall back to the precision-matrix route, whose pivoting tolerates it.
+  std::vector<std::size_t> pidx = {i, j};
+  pidx.insert(pidx.end(), given.begin(), given.end());
+  Matrix psub = corr.Submatrix(pidx);
+  for (std::size_t d = 0; d < psub.rows(); ++d) psub(d, d) += 1e-10;
+  auto inv = Inverse(psub);
   if (!inv.ok()) return 0.0;  // treat a degenerate system as uncorrelated
   const Matrix& p = *inv;
   const double den = std::sqrt(p(0, 0) * p(1, 1));
@@ -135,8 +154,14 @@ Result<double> PartialCorrelation(const Matrix& corr, std::size_t i,
 
 double FisherZPValue(double r, std::size_t n, std::size_t k) {
   if (n <= k + 3) return 1.0;
-  r = std::clamp(r, -0.9999999, 0.9999999);
-  const double z = 0.5 * std::log((1.0 + r) / (1.0 - r));
+  // A degenerate estimate (NaN partial correlation from a zero-variance or
+  // otherwise broken column) carries no evidence against independence.
+  if (std::isnan(r)) return 1.0;
+  // atanh diverges as |r| -> 1; clamp so exactly/near-collinear columns
+  // yield a huge finite statistic (p ~ 0) instead of inf/NaN.
+  constexpr double kMaxAbsR = 1.0 - 1e-12;
+  r = std::clamp(r, -kMaxAbsR, kMaxAbsR);
+  const double z = std::atanh(r);
   const double stat =
       std::sqrt(static_cast<double>(n - k) - 3.0) * std::fabs(z);
   return 2.0 * NormalSf(stat);

@@ -11,35 +11,69 @@ namespace cdi::table {
 
 namespace {
 
-/// Splits one CSV record honoring double-quote escaping.
-std::vector<std::string> SplitRecord(const std::string& line, char delim) {
-  std::vector<std::string> fields;
-  std::string cur;
+/// One scanned field: its text plus whether any part of it was quoted.
+/// Quoted fields are taken verbatim — no trimming, no null-token
+/// conversion — so `""` means the empty string, not a missing value.
+struct RawField {
+  std::string text;
+  bool quoted = false;
+};
+
+/// Scans the whole CSV text into records with one quote-aware pass.
+/// Record terminators (`\n` or `\r\n`) are only recognized *outside*
+/// quotes — a quoted field may contain literal newlines and carriage
+/// returns. Splitting into lines first (the old approach) corrupted
+/// both: embedded newlines broke a record in two, and CRLF stripping
+/// ate a literal `\r` at the end of a quoted field.
+std::vector<std::vector<RawField>> ScanRecords(const std::string& text,
+                                               char delim) {
+  std::vector<std::vector<RawField>> records;
+  std::vector<RawField> fields;
+  RawField cur;
   bool in_quotes = false;
-  for (std::size_t i = 0; i < line.size(); ++i) {
-    const char c = line[i];
+  auto end_field = [&]() {
+    fields.push_back(std::move(cur));
+    cur = RawField();
+  };
+  auto end_record = [&]() {
+    end_field();
+    // Blank lines (a single empty unquoted field) are not data rows.
+    if (fields.size() != 1 || !fields[0].text.empty() || fields[0].quoted) {
+      records.push_back(std::move(fields));
+    }
+    fields.clear();
+  };
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
     if (in_quotes) {
       if (c == '"') {
-        if (i + 1 < line.size() && line[i + 1] == '"') {
-          cur += '"';
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cur.text += '"';
           ++i;
         } else {
           in_quotes = false;
         }
       } else {
-        cur += c;
+        cur.text += c;  // delimiters, \n and \r are all literal here
       }
     } else if (c == '"') {
       in_quotes = true;
+      cur.quoted = true;
     } else if (c == delim) {
-      fields.push_back(cur);
-      cur.clear();
+      end_field();
+    } else if (c == '\n') {
+      end_record();
+    } else if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') {
+      end_record();
+      ++i;
     } else {
-      cur += c;
+      cur.text += c;  // a lone \r outside quotes stays literal
     }
   }
-  fields.push_back(cur);
-  return fields;
+  // Final record without a trailing newline (an unterminated quote is
+  // treated leniently as ending at EOF).
+  if (!cur.text.empty() || cur.quoted || !fields.empty()) end_record();
+  return records;
 }
 
 bool ParseInt(const std::string& s, int64_t* out) {
@@ -79,53 +113,45 @@ bool ParseBool(const std::string& s, bool* out) {
 
 Result<Table> ReadCsvString(const std::string& text,
                             const CsvOptions& options) {
-  std::vector<std::string> lines;
-  {
-    std::string cur;
-    for (char c : text) {
-      if (c == '\n') {
-        if (!cur.empty() && cur.back() == '\r') cur.pop_back();
-        lines.push_back(cur);
-        cur.clear();
-      } else {
-        cur += c;
-      }
-    }
-    if (!cur.empty()) lines.push_back(cur);
-  }
-  if (lines.empty()) return Status::InvalidArgument("empty CSV input");
+  const auto records = ScanRecords(text, options.delimiter);
+  if (records.empty()) return Status::InvalidArgument("empty CSV input");
 
   std::vector<std::string> header;
   std::size_t first_data = 0;
   if (options.has_header) {
-    header = SplitRecord(lines[0], options.delimiter);
-    for (auto& h : header) h = Trim(h);
+    for (const auto& f : records[0]) {
+      header.push_back(f.quoted ? f.text : Trim(f.text));
+    }
     first_data = 1;
   } else {
-    const std::size_t n = SplitRecord(lines[0], options.delimiter).size();
+    const std::size_t n = records[0].size();
     for (std::size_t i = 0; i < n; ++i) header.push_back("c" + std::to_string(i));
   }
   const std::size_t ncols = header.size();
 
-  auto is_null_token = [&](const std::string& s) {
-    if (s.empty()) return true;
+  auto is_null_token = [&](const RawField& f) {
+    if (f.quoted) return false;  // "" and "NA" are data, not missing
+    if (f.text.empty()) return true;
     for (const auto& t : options.null_tokens) {
-      if (s == t) return true;
+      if (f.text == t) return true;
     }
     return false;
   };
 
-  std::vector<std::vector<std::string>> raw(ncols);
-  for (std::size_t li = first_data; li < lines.size(); ++li) {
-    if (lines[li].empty()) continue;
-    auto fields = SplitRecord(lines[li], options.delimiter);
+  std::vector<std::vector<RawField>> raw(ncols);
+  for (std::size_t ri = first_data; ri < records.size(); ++ri) {
+    const auto& fields = records[ri];
     if (fields.size() != ncols) {
       return Status::InvalidArgument(
-          "CSV line " + std::to_string(li + 1) + " has " +
+          "CSV record " + std::to_string(ri + 1) + " has " +
           std::to_string(fields.size()) + " fields, expected " +
           std::to_string(ncols));
     }
-    for (std::size_t c = 0; c < ncols; ++c) raw[c].push_back(Trim(fields[c]));
+    for (std::size_t c = 0; c < ncols; ++c) {
+      RawField f = fields[c];
+      if (!f.quoted) f.text = Trim(f.text);
+      raw[c].push_back(std::move(f));
+    }
   }
 
   Table t("csv");
@@ -140,9 +166,9 @@ Result<Table> ReadCsvString(const std::string& text,
       int64_t iv;
       double dv;
       bool bv;
-      if (!ParseInt(cell, &iv)) all_int = false;
-      if (!ParseDouble(cell, &dv)) all_double = false;
-      if (!ParseBool(cell, &bv)) all_bool = false;
+      if (!ParseInt(cell.text, &iv)) all_int = false;
+      if (!ParseDouble(cell.text, &dv)) all_double = false;
+      if (!ParseBool(cell.text, &bv)) all_bool = false;
     }
     DataType type = DataType::kString;
     if (any_value) {
@@ -163,24 +189,24 @@ Result<Table> ReadCsvString(const std::string& text,
       switch (type) {
         case DataType::kInt64: {
           int64_t iv = 0;
-          ParseInt(cell, &iv);
+          ParseInt(cell.text, &iv);
           CDI_RETURN_IF_ERROR(col.Append(Value(iv)));
           break;
         }
         case DataType::kDouble: {
           double dv = 0;
-          ParseDouble(cell, &dv);
+          ParseDouble(cell.text, &dv);
           CDI_RETURN_IF_ERROR(col.Append(Value(dv)));
           break;
         }
         case DataType::kBool: {
           bool bv = false;
-          ParseBool(cell, &bv);
+          ParseBool(cell.text, &bv);
           CDI_RETURN_IF_ERROR(col.Append(Value(bv)));
           break;
         }
         case DataType::kString:
-          CDI_RETURN_IF_ERROR(col.Append(Value(cell)));
+          CDI_RETURN_IF_ERROR(col.Append(Value(cell.text)));
           break;
       }
     }
@@ -201,7 +227,8 @@ std::string WriteCsvString(const Table& t, char delimiter) {
   auto quote = [&](const std::string& s) {
     if (s.find(delimiter) == std::string::npos &&
         s.find('"') == std::string::npos &&
-        s.find('\n') == std::string::npos) {
+        s.find('\n') == std::string::npos &&
+        s.find('\r') == std::string::npos) {
       return s;
     }
     std::string out = "\"";

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 
 namespace cdi {
@@ -291,6 +294,70 @@ TEST(TimerTest, StopwatchAdvances) {
   EXPECT_GE(sw.ElapsedSeconds(), 0.0);
   sw.Reset();
   EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+}
+
+// ---------------------------------------------------------------- threads
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { ++count; });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { ++count; });
+    }
+  }  // ~ThreadPool joins after running everything already submitted
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { ++count; });
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  ParallelFor(&pool, hits.size(),
+                      [&hits](std::size_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRunsInlineWithoutPool) {
+  std::vector<int> hits(10, 0);
+  ParallelFor(nullptr, hits.size(),
+                      [&hits](std::size_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+  ParallelFor(nullptr, 0, [&hits](std::size_t) { hits[0] = 99; });
+  EXPECT_EQ(hits[0], 1);  // n == 0: the body never runs
+}
+
+TEST(ThreadPoolTest, ParallelForMatchesSerialSum) {
+  ThreadPool pool(8);
+  std::vector<double> out(500, 0.0);
+  ParallelFor(&pool, out.size(), [&out](std::size_t i) {
+    out[i] = std::sqrt(static_cast<double>(i));
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], std::sqrt(static_cast<double>(i)));
+  }
 }
 
 TEST(TimerTest, LatencyMeterAccounting) {

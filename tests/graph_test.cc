@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/rng.h"
 #include "graph/adjustment.h"
 #include "graph/digraph.h"
@@ -436,6 +438,31 @@ TEST(MetricsTest, EmptyPrediction) {
   EXPECT_DOUBLE_EQ(m.presence.precision, 0.0);
   EXPECT_DOUBLE_EQ(m.presence.recall, 0.0);
   EXPECT_DOUBLE_EQ(m.absence.recall, 1.0);
+}
+
+TEST(MetricsTest, EmptyTruthGivesFiniteZeroScores) {
+  // 0/0 := 0 convention — never NaN, so aggregation over benchmark rows
+  // with an empty ground truth stays finite and sortable.
+  const std::vector<Edge> pred = {{0, 1}};
+  auto m = CompareEdgeSets(2, pred, {});
+  EXPECT_DOUBLE_EQ(m.presence.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.presence.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.presence.f1, 0.0);
+  EXPECT_FALSE(std::isnan(m.absence.precision));
+  EXPECT_FALSE(std::isnan(m.absence.f1));
+}
+
+TEST(MetricsTest, BothSetsEmptyGivesFiniteScores) {
+  auto m = CompareEdgeSets(3, {}, {});
+  EXPECT_DOUBLE_EQ(m.presence.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.presence.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.presence.f1, 0.0);
+  // Everything is correctly absent.
+  EXPECT_DOUBLE_EQ(m.absence.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.absence.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.absence.f1, 1.0);
+  EXPECT_EQ(m.num_predicted, 0u);
+  EXPECT_EQ(m.num_truth, 0u);
 }
 
 TEST(MetricsTest, DuplicateClaimsDeduplicated) {

@@ -95,6 +95,40 @@ TEST(PipelineIntegrationTest, FlightsEndToEnd) {
   EXPECT_FALSE(run.organization.organized.HasColumn("airport_iata_rank"));
 }
 
+TEST(PipelineIntegrationTest, CaterBitwiseIdenticalAcrossThreadCounts) {
+  // The acceptance bar for the parallel CI engine: the full hybrid build
+  // (pruning, augmentation, cycle repair, effect estimates) must be
+  // bitwise-identical at 1 and 8 threads. Fresh scenarios per run so the
+  // oracle's mutable query state starts identical.
+  auto run_with_threads = [](int threads) {
+    auto scenario = Build(datagen::CovidSpec());
+    auto options = core::DefaultEvaluationOptions(*scenario);
+    options.builder.inference = EdgeInference::kHybrid;
+    options.num_threads = threads;
+    core::Pipeline pipeline(&scenario->kg, &scenario->lake,
+                            scenario->oracle.get(), &scenario->topics,
+                            options);
+    auto result = pipeline.Run(scenario->input_table,
+                               scenario->spec.entity_column,
+                               scenario->exposure_attribute,
+                               scenario->outcome_attribute);
+    CDI_CHECK(result.ok()) << result.status().ToString();
+    return std::move(*result);
+  };
+  const auto serial = run_with_threads(1);
+  const auto parallel = run_with_threads(8);
+  EXPECT_EQ(serial.build.claims, parallel.build.claims);
+  EXPECT_EQ(serial.build.definite, parallel.build.definite);
+  EXPECT_EQ(serial.build.pruned_edges, parallel.build.pruned_edges);
+  EXPECT_EQ(serial.build.cycle_repaired_edges,
+            parallel.build.cycle_repaired_edges);
+  EXPECT_EQ(serial.build.cluster_topics, parallel.build.cluster_topics);
+  EXPECT_EQ(serial.build.oracle_queries, parallel.build.oracle_queries);
+  EXPECT_EQ(serial.build.ci_tests, parallel.build.ci_tests);
+  EXPECT_EQ(serial.direct_effect.effect, parallel.direct_effect.effect);
+  EXPECT_EQ(serial.total_effect.effect, parallel.total_effect.effect);
+}
+
 TEST(PipelineIntegrationTest, VarclusRecoversGroundTruthClusters) {
   auto scenario = Build(datagen::CovidSpec());
   auto run = RunCater(*scenario);

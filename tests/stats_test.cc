@@ -420,6 +420,67 @@ TEST(CorrelationTest, FisherZPValueBehaviour) {
   EXPECT_GT(FisherZPValue(0.2, 50, 10), FisherZPValue(0.2, 50, 0));
 }
 
+TEST(CorrelationTest, FisherZPValueBoundaryCorrelations) {
+  // atanh(±1) is infinite; the clamp must turn |r| = 1 into an extreme
+  // but finite z, i.e. p ≈ 0 — never NaN or a spuriously large p.
+  for (double r : {1.0, -1.0, 1.0 - 1e-15, -(1.0 - 1e-15)}) {
+    const double p = FisherZPValue(r, 100, 0);
+    EXPECT_FALSE(std::isnan(p)) << "r=" << r;
+    EXPECT_LT(p, 1e-12) << "r=" << r;
+  }
+  // NaN correlation (degenerate column) is treated as "no evidence".
+  EXPECT_DOUBLE_EQ(FisherZPValue(std::nan(""), 100, 0), 1.0);
+}
+
+TEST(CorrelationTest, PartialCorrelationExactlyCollinearPair) {
+  // y = 2x exactly: the correlation matrix is singular, but the partial
+  // correlation of the pair given a third variable must still come back
+  // at (or clamped to) ±1, and its Fisher-z p-value at ~0.
+  Rng rng(15);
+  const int n = 500;
+  std::vector<double> x(n), y(n), w(n);
+  for (int i = 0; i < n; ++i) {
+    x[i] = rng.Normal();
+    y[i] = 2.0 * x[i];
+    w[i] = rng.Normal();
+  }
+  NumericDataset ds;
+  ds.columns = {x, y, w};
+  auto corr = CorrelationMatrix(ds);
+  ASSERT_TRUE(corr.ok());
+  auto partial = PartialCorrelation(*corr, 0, 1, {2});
+  ASSERT_TRUE(partial.ok());
+  EXPECT_FALSE(std::isnan(*partial));
+  EXPECT_NEAR(std::fabs(*partial), 1.0, 1e-6);
+  EXPECT_LT(FisherZPValue(*partial, n, 1), 1e-12);
+}
+
+TEST(CorrelationTest, PartialCorrelationCholeskyMatchesInverse) {
+  // The Cholesky fast path must agree with a direct check on well-
+  // conditioned input: chain a -> b -> c gives corr(a, c | b) ~ 0 and
+  // corr(a, b | c) far from 0.
+  Rng rng(21);
+  const int n = 4000;
+  std::vector<double> a(n), b(n), c(n);
+  for (int i = 0; i < n; ++i) {
+    a[i] = rng.Normal();
+    b[i] = 0.7 * a[i] + rng.Normal();
+    c[i] = 0.7 * b[i] + rng.Normal();
+  }
+  NumericDataset ds;
+  ds.columns = {a, b, c};
+  auto corr = CorrelationMatrix(ds);
+  ASSERT_TRUE(corr.ok());
+  auto r_ac = PartialCorrelation(*corr, 0, 2, {1});
+  auto r_ab = PartialCorrelation(*corr, 0, 1, {2});
+  ASSERT_TRUE(r_ac.ok());
+  ASSERT_TRUE(r_ab.ok());
+  EXPECT_NEAR(*r_ac, 0.0, 0.05);
+  EXPECT_GT(std::fabs(*r_ab), 0.3);
+  EXPECT_GE(*r_ab, -1.0);
+  EXPECT_LE(*r_ab, 1.0);
+}
+
 // ------------------------------------------------------------ regression
 
 TEST(RegressionTest, RecoversCoefficients) {

@@ -279,6 +279,51 @@ TEST(CsvTest, RaggedLineFails) {
   EXPECT_FALSE(ReadCsvString("a,b\n1,2,3\n").ok());
 }
 
+TEST(CsvTest, QuotedFieldWithEmbeddedNewline) {
+  // A newline inside quotes is field content, not a record terminator.
+  auto t = ReadCsvString("a,b\n\"line1\nline2\",x\n\"p\r\nq\",y\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->GetCell(0, "a")->as_string(), "line1\nline2");
+  EXPECT_EQ(t->GetCell(0, "b")->as_string(), "x");
+  EXPECT_EQ(t->GetCell(1, "a")->as_string(), "p\r\nq");
+}
+
+TEST(CsvTest, CrlfTerminatorsAndLiteralCarriageReturn) {
+  // CRLF ends a record outside quotes; a trailing \r *inside* quotes is
+  // data the old line-splitter used to eat.
+  auto t = ReadCsvString("a,b\r\n1,\"x\r\"\r\n2,y\r\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->GetCell(0, "b")->as_string(), "x\r");
+  EXPECT_EQ(t->GetCell(1, "b")->as_string(), "y");
+  EXPECT_EQ(t->GetCell(0, "a")->as_int64(), 1);
+}
+
+TEST(CsvTest, QuotedEmptyStringIsNotNull) {
+  // "" is the empty string; a bare empty field is missing.
+  auto t = ReadCsvString("x,y\n\"\",1\n,2\n\"NA\",3\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t->GetColumn("x"))->NullCount(), 1u);
+  EXPECT_EQ(t->GetCell(0, "x")->as_string(), "");
+  EXPECT_EQ(t->GetCell(2, "x")->as_string(), "NA");
+}
+
+TEST(CsvTest, NewlineAndCarriageReturnRoundTrip) {
+  // Writer must quote \n and \r so the reader reconstructs them exactly.
+  Table t("q");
+  CDI_CHECK(t.AddColumn(
+                 Column::FromStrings("s", {"two\nlines", "tail\r", "plain"}))
+                .ok());
+  const std::string text = WriteCsvString(t);
+  auto back = ReadCsvString(text);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->num_rows(), 3u);
+  EXPECT_EQ(back->GetCell(0, "s")->as_string(), "two\nlines");
+  EXPECT_EQ(back->GetCell(1, "s")->as_string(), "tail\r");
+  EXPECT_EQ(back->GetCell(2, "s")->as_string(), "plain");
+}
+
 TEST(CsvTest, NoHeaderMode) {
   CsvOptions options;
   options.has_header = false;

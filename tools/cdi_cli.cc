@@ -3,7 +3,8 @@
 // Usage:
 //   cdi_cli --input cohort.csv --entity-col id --exposure t --outcome o \
 //           [--kg triples.csv] [--lake table.csv]... \
-//           [--knowledge domain.txt] [--clusters K] [--out-prefix cdi]
+//           [--knowledge domain.txt] [--clusters K] [--num-threads N] \
+//           [--out-prefix cdi]
 //
 // Inputs:
 //   --input      the analyst's table (must contain the entity, exposure
@@ -19,6 +20,8 @@
 //                    topic <name> <keyword> [keyword...]
 //   --clusters   target number of (non-exposure/outcome) clusters;
 //                default: VARCLUS's eigenvalue criterion decides
+//   --num-threads  worker threads for the CI-test stages; the result is
+//                bitwise-identical at any thread count (default 1)
 //
 // Outputs: <prefix>_augmented.csv (the organized, augmented dataset),
 // <prefix>_cdag.dot (the C-DAG), and a report on stdout.
@@ -52,6 +55,7 @@ struct Args {
   std::vector<std::string> lake_files;
   std::string knowledge_file;
   int clusters = -1;
+  int num_threads = 1;
   std::string out_prefix = "cdi";
 };
 
@@ -59,7 +63,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --input T.csv --entity-col C --exposure T "
                "--outcome O [--kg triples.csv]... [--lake table.csv]... "
-               "[--knowledge domain.txt] [--clusters K] [--out-prefix P]\n",
+               "[--knowledge domain.txt] [--clusters K] [--num-threads N] "
+               "[--out-prefix P]\n",
                argv0);
   return 2;
 }
@@ -87,6 +92,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->knowledge_file = v;
     } else if (flag == "--clusters" && (v = next())) {
       args->clusters = std::atoi(v);
+    } else if (flag == "--num-threads" && (v = next())) {
+      args->num_threads = std::atoi(v);
     } else if (flag == "--out-prefix" && (v = next())) {
       args->out_prefix = v;
     } else {
@@ -230,6 +237,7 @@ int Run(const Args& args) {
     options.builder.varclus.min_clusters = args.clusters;
     options.builder.varclus.max_clusters = args.clusters;
   }
+  options.num_threads = args.num_threads;
   cdi::core::Pipeline pipeline(&kg, &lake, &oracle, &topics, options);
   auto run = pipeline.Run(*input, args.entity_col, args.exposure,
                           args.outcome);
