@@ -10,7 +10,11 @@
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "core/pipeline.h"
+#include "core/evaluation.h"
 #include "core/varclus.h"
+#include "datagen/covid.h"
+#include "datagen/flights.h"
 #include "discovery/cached_ci.h"
 #include "discovery/ci_test.h"
 #include "discovery/ges.h"
@@ -84,8 +88,7 @@ std::vector<std::vector<double>> ChainData(std::size_t vars, std::size_t n,
 
 void BM_CorrelationMatrix(benchmark::State& state) {
   const auto vars = static_cast<std::size_t>(state.range(0));
-  cdi::stats::NumericDataset ds;
-  ds.columns = ChainData(vars, 1000, 5);
+  auto ds = cdi::stats::NumericDataset::Own(ChainData(vars, 1000, 5));
   for (auto _ : state) {
     auto corr = cdi::stats::CorrelationMatrix(ds);
     benchmark::DoNotOptimize(corr->rows());
@@ -94,8 +97,7 @@ void BM_CorrelationMatrix(benchmark::State& state) {
 BENCHMARK(BM_CorrelationMatrix)->Arg(10)->Arg(30)->Arg(100);
 
 void BM_FisherZPartialCorrelation(benchmark::State& state) {
-  cdi::stats::NumericDataset ds;
-  ds.columns = ChainData(20, 1000, 7);
+  auto ds = cdi::stats::NumericDataset::Own(ChainData(20, 1000, 7));
   auto test = cdi::discovery::FisherZTest::Create(ds);
   const std::vector<std::size_t> cond = {2, 5, 9};
   for (auto _ : state) {
@@ -106,8 +108,7 @@ BENCHMARK(BM_FisherZPartialCorrelation);
 
 void BM_PcScaling(benchmark::State& state) {
   const auto vars = static_cast<std::size_t>(state.range(0));
-  cdi::stats::NumericDataset ds;
-  ds.columns = ChainData(vars, 800, 9);
+  auto ds = cdi::stats::NumericDataset::Own(ChainData(vars, 800, 9));
   std::vector<std::string> names;
   for (std::size_t v = 0; v < vars; ++v) {
     names.push_back("v" + std::to_string(v));
@@ -131,8 +132,7 @@ void BM_PcThreadsCacheSweep(benchmark::State& state) {
   const std::size_t vars = 20;
   const int threads = static_cast<int>(state.range(0));
   const bool cached = state.range(1) != 0;
-  cdi::stats::NumericDataset ds;
-  ds.columns = ChainData(vars, 800, 9);
+  auto ds = cdi::stats::NumericDataset::Own(ChainData(vars, 800, 9));
   std::vector<std::string> names;
   for (std::size_t v = 0; v < vars; ++v) {
     names.push_back("v" + std::to_string(v));
@@ -179,7 +179,7 @@ void BM_GesScaling(benchmark::State& state) {
     names.push_back("v" + std::to_string(v));
   }
   for (auto _ : state) {
-    auto result = cdi::discovery::RunGes(data, names);
+    auto result = cdi::discovery::RunGes(cdi::SpansOf(data), names);
     benchmark::DoNotOptimize(result->bic);
   }
 }
@@ -196,11 +196,125 @@ void BM_VarClus(benchmark::State& state) {
   options.min_clusters = static_cast<int>(vars / 3);
   options.max_clusters = static_cast<int>(vars / 3);
   for (auto _ : state) {
-    auto result = cdi::core::RunVarClus(data, names, options);
+    auto result = cdi::core::RunVarClus(cdi::SpansOf(data), names, options);
     benchmark::DoNotOptimize(result->clusters.size());
   }
 }
 BENCHMARK(BM_VarClus)->Arg(9)->Arg(18)->Arg(36);
+
+// ------------------------------------------------- storage sweep
+// Copy path (ToDoubles per access) vs the zero-copy DoubleSpan view over
+// the typed column buffer. See EXPERIMENTS.md "Typed storage sweep".
+
+cdi::table::Table WideDoubleTable(std::size_t vars, std::size_t n,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  cdi::table::Table t("wide");
+  for (std::size_t v = 0; v < vars; ++v) {
+    std::vector<double> col(n);
+    for (std::size_t i = 0; i < n; ++i) col[i] = rng.Normal();
+    CDI_CHECK(t.AddColumn(cdi::table::Column::FromDoubles(
+                              "v" + std::to_string(v), col))
+                  .ok());
+  }
+  return t;
+}
+
+void BM_ColumnScanCopy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto t = WideDoubleTable(1, n, 21);
+  const auto& col = t.ColumnAt(0);
+  for (auto _ : state) {
+    const std::vector<double> vals = col.ToDoubles();
+    double s = 0;
+    for (double v : vals) s += v;
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ColumnScanCopy)->Arg(10000)->Arg(100000)->Arg(1000000)->Arg(4000000);
+
+// Per-cell boxed access: what a scan cost when columns stored
+// std::vector<Value> (each read re-boxes a Value). ToDoubles() on the
+// typed buffer is a single memcpy, so Copy-vs-View isolates just the
+// materialization overhead; Boxed-vs-View is the full storage win.
+void BM_ColumnScanBoxed(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto t = WideDoubleTable(1, n, 21);
+  const auto& col = t.ColumnAt(0);
+  for (auto _ : state) {
+    double s = 0;
+    for (std::size_t r = 0; r < n; ++r) s += col.Get(r).ToNumeric();
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ColumnScanBoxed)->Arg(10000)->Arg(100000)->Arg(1000000)->Arg(4000000);
+
+void BM_ColumnScanView(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto t = WideDoubleTable(1, n, 21);
+  const auto& col = t.ColumnAt(0);
+  for (auto _ : state) {
+    const cdi::DoubleSpan vals = col.View();
+    double s = 0;
+    for (double v : vals) s += v;
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ColumnScanView)->Arg(10000)->Arg(100000)->Arg(1000000)->Arg(4000000);
+
+void BM_CorrMatrixFromTableCopy(benchmark::State& state) {
+  const auto vars = static_cast<std::size_t>(state.range(0));
+  auto t = WideDoubleTable(vars, 2000, 23);
+  for (auto _ : state) {
+    std::vector<std::vector<double>> cols;
+    cols.reserve(vars);
+    for (std::size_t v = 0; v < vars; ++v) {
+      cols.push_back(t.ColumnAt(v).ToDoubles());
+    }
+    auto ds = cdi::stats::NumericDataset::Own(std::move(cols));
+    auto corr = cdi::stats::CorrelationMatrix(ds);
+    benchmark::DoNotOptimize(corr->rows());
+  }
+}
+BENCHMARK(BM_CorrMatrixFromTableCopy)->Arg(10)->Arg(30)->Arg(100);
+
+void BM_CorrMatrixFromTableView(benchmark::State& state) {
+  const auto vars = static_cast<std::size_t>(state.range(0));
+  auto t = WideDoubleTable(vars, 2000, 23);
+  for (auto _ : state) {
+    cdi::stats::NumericDataset ds;
+    ds.columns.reserve(vars);
+    for (std::size_t v = 0; v < vars; ++v) {
+      ds.columns.push_back(t.ColumnAt(v).View());
+    }
+    auto corr = cdi::stats::CorrelationMatrix(ds);
+    benchmark::DoNotOptimize(corr->rows());
+  }
+}
+BENCHMARK(BM_CorrMatrixFromTableView)->Arg(10)->Arg(30)->Arg(100);
+
+void BM_PipelineEndToEnd(benchmark::State& state) {
+  const bool covid = state.range(0) != 0;
+  const cdi::datagen::ScenarioSpec spec =
+      covid ? cdi::datagen::CovidSpec() : cdi::datagen::FlightsSpec();
+  auto scenario = cdi::datagen::BuildScenario(spec);
+  CDI_CHECK(scenario.ok());
+  const auto& s = **scenario;
+  const auto options = cdi::core::DefaultEvaluationOptions(s);
+  for (auto _ : state) {
+    cdi::core::Pipeline pipeline(&s.kg, &s.lake, s.oracle.get(), &s.topics,
+                                 options);
+    auto run = pipeline.Run(s.input_table, spec.entity_column,
+                            s.exposure_attribute, s.outcome_attribute);
+    CDI_CHECK(run.ok());
+    benchmark::DoNotOptimize(run->direct_effect.effect);
+  }
+  state.SetLabel(covid ? "covid" : "flights");
+}
+BENCHMARK(BM_PipelineEndToEnd)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_DSeparation(benchmark::State& state) {
   Rng rng(17);

@@ -1,0 +1,84 @@
+#ifndef CDI_COMMON_SPAN_H_
+#define CDI_COMMON_SPAN_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace cdi {
+
+/// A read-only view over a contiguous run of doubles (NaN = missing).
+///
+/// The span either *borrows* a caller-owned buffer (constructed from an
+/// lvalue vector or via Borrow()) or *owns* a buffer shared across copies
+/// (constructed from an rvalue vector). Owning spans let APIs that must
+/// materialize data — e.g. an int64 column widened to doubles — hand the
+/// result to span-typed consumers without the caller managing a side
+/// buffer. Copying a span never copies the data.
+///
+/// Lifetime: a borrowed span is valid while the backing buffer lives and
+/// is not reallocated. See DESIGN.md "Physical storage layout" for the
+/// rules the table layer guarantees (in-place writes show through views;
+/// appends may invalidate them).
+///
+/// Element access is unchecked, like a raw pointer: this is the innermost
+/// loop of every estimator.
+class DoubleSpan {
+ public:
+  DoubleSpan() = default;
+
+  /// Borrows `v`; the caller keeps it alive and unresized.
+  DoubleSpan(const std::vector<double>& v)  // NOLINT(runtime/explicit)
+      : data_(v.data()), size_(v.size()) {}
+
+  /// Adopts `v` into a shared buffer the span (and its copies) keep alive.
+  DoubleSpan(std::vector<double>&& v)  // NOLINT(runtime/explicit)
+      : owned_(std::make_shared<const std::vector<double>>(std::move(v))) {
+    data_ = owned_->data();
+    size_ = owned_->size();
+  }
+
+  /// Owning span over a braced literal, e.g. `Mean({1.0, 2.0})`.
+  DoubleSpan(std::initializer_list<double> v)  // NOLINT(runtime/explicit)
+      : DoubleSpan(std::vector<double>(v)) {}
+
+  /// Borrows a raw buffer of `size` doubles.
+  static DoubleSpan Borrow(const double* data, std::size_t size) {
+    DoubleSpan s;
+    s.data_ = data;
+    s.size_ = size;
+    return s;
+  }
+
+  const double* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  double operator[](std::size_t i) const { return data_[i]; }
+  const double* begin() const { return data_; }
+  const double* end() const { return data_ + size_; }
+
+  /// Dense copy (for callers that need to mutate or outlive the buffer).
+  std::vector<double> ToVector() const {
+    return std::vector<double>(data_, data_ + size_);
+  }
+
+ private:
+  const double* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::shared_ptr<const std::vector<double>> owned_;
+};
+
+/// Borrowing spans over each of `cols`; the vectors must outlive the spans.
+inline std::vector<DoubleSpan> SpansOf(
+    const std::vector<std::vector<double>>& cols) {
+  std::vector<DoubleSpan> out;
+  out.reserve(cols.size());
+  for (const auto& c : cols) out.emplace_back(c);
+  return out;
+}
+
+}  // namespace cdi
+
+#endif  // CDI_COMMON_SPAN_H_

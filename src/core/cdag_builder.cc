@@ -7,6 +7,7 @@
 #include <memory>
 #include <set>
 
+#include "common/span.h"
 #include "common/thread_pool.h"
 #include "discovery/cached_ci.h"
 #include "discovery/ci_test.h"
@@ -42,12 +43,12 @@ namespace {
 /// cluster like {gdp_per_capita, poverty_rate} does not cancel itself out.
 /// Pairwise-available: a row is NaN only when every member is missing.
 std::vector<double> ClusterRepresentative(
-    const std::vector<const std::vector<double>*>& member_columns) {
+    const std::vector<cdi::DoubleSpan>& member_columns) {
   CDI_CHECK(!member_columns.empty());
-  const std::size_t n = member_columns[0]->size();
+  const std::size_t n = member_columns[0].size();
   std::vector<std::vector<double>> z;
   z.reserve(member_columns.size());
-  for (const auto* col : member_columns) z.push_back(stats::Standardize(*col));
+  for (const auto& col : member_columns) z.push_back(stats::Standardize(col));
   for (std::size_t j = 1; j < z.size(); ++j) {
     if (stats::PearsonCorrelation(z[0], z[j]) < 0) {
       for (double& v : z[j]) v = -v;
@@ -108,7 +109,7 @@ Result<CdagBuildResult> CdagBuilder::Build(
     const std::vector<double>& row_weights, LatencyMeter* meter) const {
   // ---- 1. Collect numeric attributes (exposure/outcome kept aside). ------
   std::vector<std::string> attr_names;
-  std::vector<std::vector<double>> attr_columns;
+  std::vector<DoubleSpan> attr_columns;  // zero-copy views over `organized`
   for (const auto& name : organized.ColumnNames()) {
     if (name == entity_column || name == exposure || name == outcome) continue;
     CDI_ASSIGN_OR_RETURN(const table::Column* col, organized.GetColumn(name));
@@ -117,7 +118,7 @@ Result<CdagBuildResult> CdagBuilder::Build(
       continue;
     }
     attr_names.push_back(name);
-    attr_columns.push_back(col->ToDoubles());
+    attr_columns.push_back(col->View());
   }
   if (attr_names.empty()) {
     return Status::FailedPrecondition("no extracted numeric attributes");
@@ -151,28 +152,26 @@ Result<CdagBuildResult> CdagBuilder::Build(
   const std::string outcome_topic = topics[topics.size() - 1];
 
   // ---- 4. Cluster representatives + CI test. -------------------------------
-  std::map<std::string, const std::vector<double>*> column_of;
+  std::map<std::string, DoubleSpan> column_of;
   for (std::size_t i = 0; i < attr_names.size(); ++i) {
-    column_of[attr_names[i]] = &attr_columns[i];
+    column_of[attr_names[i]] = attr_columns[i];
   }
   CDI_ASSIGN_OR_RETURN(const table::Column* tcol,
                        organized.GetColumn(exposure));
   CDI_ASSIGN_OR_RETURN(const table::Column* ocol,
                        organized.GetColumn(outcome));
-  const std::vector<double> t_vals = tcol->ToDoubles();
-  const std::vector<double> o_vals = ocol->ToDoubles();
-  column_of[exposure] = &t_vals;
-  column_of[outcome] = &o_vals;
+  column_of[exposure] = tcol->View();
+  column_of[outcome] = ocol->View();
 
   std::vector<std::vector<double>> reps;
   for (const auto& members : clusters) {
-    std::vector<const std::vector<double>*> cols;
+    std::vector<DoubleSpan> cols;
     for (const auto& m : members) cols.push_back(column_of.at(m));
     reps.push_back(ClusterRepresentative(cols));
   }
 
   stats::NumericDataset rep_ds;
-  rep_ds.columns = reps;
+  rep_ds.columns = cdi::SpansOf(reps);  // `reps` outlives the CI engine
   rep_ds.weights = row_weights;
   // The cached engine computes the correlation matrix once and memoizes
   // every (x, y, S) query — pruning, augmentation and cycle repair all
@@ -368,7 +367,8 @@ Result<CdagBuildResult> CdagBuilder::Build(
       dopt.alpha = options_.alpha;
       dopt.num_threads = options_.num_threads;
       CDI_ASSIGN_OR_RETURN(discovery::DiscoverySummary summary,
-                           discovery::RunDiscovery(reps, topics, alg, dopt));
+                           discovery::RunDiscovery(cdi::SpansOf(reps), topics,
+                                                   alg, dopt));
       result.ci_tests = summary.ci_tests;
       for (const auto& [u, v] : summary.claims) {
         result.claims.push_back(edge_name(u, v));

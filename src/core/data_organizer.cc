@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/span.h"
 #include "stats/descriptive.h"
 #include "stats/distributions.h"
 #include "stats/logistic.h"
@@ -14,8 +15,8 @@ namespace {
 
 /// Two-sided p-value of the point-biserial correlation between a 0/1
 /// indicator and a numeric vector (t-test on the correlation).
-double IndicatorAssociationPValue(const std::vector<double>& indicator,
-                                  const std::vector<double>& values) {
+double IndicatorAssociationPValue(cdi::DoubleSpan indicator,
+                                  cdi::DoubleSpan values) {
   const double r = stats::PearsonCorrelation(indicator, values);
   if (std::isnan(r)) return 1.0;
   std::size_t n = 0;
@@ -57,6 +58,9 @@ Result<OrganizerResult> DataOrganizer::Organize(
 
   CDI_ASSIGN_OR_RETURN(const table::Column* tcol, t.GetColumn(exposure));
   CDI_ASSIGN_OR_RETURN(const table::Column* ocol, t.GetColumn(outcome));
+  // Deliberate deep copies, not views: winsorization (step 3) rewrites
+  // numeric columns — including the outcome — in place, and steps 2/4 must
+  // see the pre-winsorization exposure/outcome values.
   const std::vector<double> t_vals = tcol->ToDoubles();
   const std::vector<double> o_vals = ocol->ToDoubles();
 
@@ -68,9 +72,8 @@ Result<OrganizerResult> DataOrganizer::Organize(
     if (table::IsNumeric(col->type())) {
       // Spearman catches monotone-but-nonlinear deterministic relations
       // (e.g. a calling code that is a monotone function of the exposure).
-      const auto vals = col->ToDoubles();
-      auto assoc = [](const std::vector<double>& a,
-                      const std::vector<double>& b) {
+      const cdi::DoubleSpan vals = col->View();
+      auto assoc = [](cdi::DoubleSpan a, cdi::DoubleSpan b) {
         const double rp = stats::PearsonCorrelation(a, b);
         const double rs = stats::SpearmanCorrelation(a, b);
         return std::max(std::isnan(rp) ? 0.0 : std::fabs(rp),
@@ -101,7 +104,10 @@ Result<OrganizerResult> DataOrganizer::Organize(
       if (name == entity_column || name == exposure) continue;
       CDI_ASSIGN_OR_RETURN(table::Column * col, t.MutableColumn(name));
       if (!table::IsNumeric(col->type())) continue;
-      const auto vals = col->ToDoubles();
+      // A borrowed view is safe here: every read of row r happens before
+      // the in-place Set of row r, and the median/MAD pass completes
+      // before any write.
+      const cdi::DoubleSpan vals = col->View();
       const double med = stats::Median(vals);
       std::vector<double> absdev;
       absdev.reserve(vals.size());

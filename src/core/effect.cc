@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/span.h"
 #include "stats/regression.h"
 
 namespace cdi::core {
@@ -20,20 +21,21 @@ Result<EffectEstimate> EstimateEffect(const table::Table& t,
     return Status::InvalidArgument("outcome must be numeric");
   }
 
-  std::vector<std::vector<double>> xs;
-  xs.push_back(tcol->ToDoubles());
+  // Zero-copy views over `t`, which outlives the fit below.
+  std::vector<cdi::DoubleSpan> xs;
+  xs.push_back(tcol->View());
   EffectEstimate est;
   for (const auto& name : adjustment) {
     if (name == exposure || name == outcome) continue;
     auto col = t.GetColumn(name);
     if (!col.ok()) continue;  // adjustment attr not materialized — skip
     if ((*col)->type() == table::DataType::kString) continue;
-    xs.push_back((*col)->ToDoubles());
+    xs.push_back((*col)->View());
     est.adjusted_for.push_back(name);
   }
 
   CDI_ASSIGN_OR_RETURN(stats::OlsFit fit,
-                       stats::FitStandardizedOls(xs, ocol->ToDoubles(),
+                       stats::FitStandardizedOls(xs, ocol->View(),
                                                  weights));
   est.effect = fit.beta(0);
   est.abs_effect = std::fabs(est.effect);

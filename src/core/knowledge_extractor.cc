@@ -6,6 +6,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "common/span.h"
 #include "common/string_util.h"
 #include "stats/correlation.h"
 #include "stats/independence.h"
@@ -16,20 +17,18 @@ namespace cdi::core {
 namespace {
 
 /// |corr| treating NaN results as 0.
-double AbsCorr(const std::vector<double>& a, const std::vector<double>& b) {
+double AbsCorr(cdi::DoubleSpan a, cdi::DoubleSpan b) {
   const double r = stats::PearsonCorrelation(a, b);
   return std::isnan(r) ? 0.0 : std::fabs(r);
 }
 
 /// Outlier-robust association: max of |Pearson| and |Spearman|.
-double RobustAbsCorr(const std::vector<double>& a,
-                     const std::vector<double>& b) {
+double RobustAbsCorr(cdi::DoubleSpan a, cdi::DoubleSpan b) {
   const double s = stats::SpearmanCorrelation(a, b);
   return std::max(AbsCorr(a, b), std::isnan(s) ? 0.0 : std::fabs(s));
 }
 
-std::size_t PairwiseCount(const std::vector<double>& a,
-                          const std::vector<double>& b) {
+std::size_t PairwiseCount(cdi::DoubleSpan a, cdi::DoubleSpan b) {
   std::size_t n = 0;
   for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
     if (!std::isnan(a[i]) && !std::isnan(b[i])) ++n;
@@ -50,23 +49,25 @@ Result<ExtractionResult> KnowledgeExtractor::Extract(
   }
   CDI_ASSIGN_OR_RETURN(const table::Column* tcol, input.GetColumn(exposure));
   CDI_ASSIGN_OR_RETURN(const table::Column* ocol, input.GetColumn(outcome));
-  const std::vector<double> t_vals = tcol->ToDoubles();
-  const std::vector<double> o_vals = ocol->ToDoubles();
+  // Zero-copy views over `input`, which outlives every use below (the
+  // augmented copy is assembled separately).
+  const DoubleSpan t_vals = tcol->View();
+  const DoubleSpan o_vals = ocol->View();
   // Relevance references: the exposure, the outcome, and every observed
   // numeric input attribute — an extracted attribute associated with any
   // variable already in the analysis is a candidate parent/child of it and
   // therefore relevant for the causal DAG.
-  std::vector<std::vector<double>> reference_vals = {t_vals, o_vals};
+  std::vector<DoubleSpan> reference_vals = {t_vals, o_vals};
   for (const auto& name : input.ColumnNames()) {
     if (name == entity_column || name == exposure || name == outcome) continue;
     auto col = input.GetColumn(name);
     if (col.ok() && table::IsNumeric((*col)->type())) {
-      reference_vals.push_back((*col)->ToDoubles());
+      reference_vals.push_back((*col)->View());
     }
   }
   // Relevance of a numeric column: strongest robust association with any
   // reference, with its significance.
-  auto score_relevance = [&](const std::vector<double>& vals,
+  auto score_relevance = [&](DoubleSpan vals,
                              double* corr_t, double* corr_o,
                              double* relevance, bool* significant) {
     *corr_t = RobustAbsCorr(vals, t_vals);
@@ -104,7 +105,7 @@ Result<ExtractionResult> KnowledgeExtractor::Extract(
   std::vector<std::string> keys;
   keys.reserve(input.num_rows());
   for (std::size_t r = 0; r < input.num_rows(); ++r) {
-    keys.push_back(key_col->IsNull(r) ? "" : key_col->Get(r).as_string());
+    keys.push_back(key_col->IsNull(r) ? "" : key_col->StringAt(r));
   }
 
   ExtractionResult result;
@@ -133,7 +134,7 @@ Result<ExtractionResult> KnowledgeExtractor::Extract(
       cand.info.source = "knowledge_graph";
       if (table::IsNumeric(col.type()) ||
           col.type() == table::DataType::kBool) {
-        score_relevance(col.ToDoubles(), &cand.info.corr_with_exposure,
+        score_relevance(col.View(), &cand.info.corr_with_exposure,
                         &cand.info.corr_with_outcome, &cand.relevance,
                         &cand.significant);
       } else {
@@ -182,7 +183,7 @@ Result<ExtractionResult> KnowledgeExtractor::Extract(
           if (kcol->IsNull(r) || vcol->IsNull(r)) continue;
           auto& [sum, count] =
               agg[NormalizeEntityName(kcol->Get(r).ToString())];
-          sum += vcol->Get(r).ToNumeric();
+          sum += vcol->NumericAt(r);
           count += 1;
         }
         std::vector<double> aligned(keys.size(), std::nan(""));

@@ -115,7 +115,7 @@ bool SplitCluster(const stats::Matrix& corr, const Cluster& cluster,
 }  // namespace
 
 Result<VarClusResult> RunVarClus(
-    const std::vector<std::vector<double>>& columns,
+    const std::vector<DoubleSpan>& columns,
     const std::vector<std::string>& names, const VarClusOptions& options) {
   if (columns.size() != names.size()) {
     return Status::InvalidArgument("columns/names size mismatch");

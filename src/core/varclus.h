@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/span.h"
 #include "common/status.h"
 #include "stats/matrix.h"
 
@@ -40,7 +41,7 @@ struct VarClusResult {
 /// `columns` is column-major numeric data (NaN allowed; correlations use
 /// complete rows pairwise through the full correlation matrix).
 Result<VarClusResult> RunVarClus(
-    const std::vector<std::vector<double>>& columns,
+    const std::vector<DoubleSpan>& columns,
     const std::vector<std::string>& names,
     const VarClusOptions& options = VarClusOptions());
 

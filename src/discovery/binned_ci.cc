@@ -5,7 +5,7 @@
 namespace cdi::discovery {
 
 Result<std::unique_ptr<BinnedChiSquareTest>> BinnedChiSquareTest::Create(
-    const std::vector<std::vector<double>>& data, int bins) {
+    const std::vector<DoubleSpan>& data, int bins) {
   if (data.empty()) return Status::InvalidArgument("no variables");
   if (bins < 2 || bins > 8) {
     return Status::InvalidArgument("bins must be in [2, 8]");

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/span.h"
 #include "discovery/ci_test.h"
 
 namespace cdi::discovery {
@@ -21,7 +22,7 @@ class BinnedChiSquareTest : public CiTest {
  public:
   /// Bins each column of `data` (NaN -> missing). `bins` in [2, 8].
   static Result<std::unique_ptr<BinnedChiSquareTest>> Create(
-      const std::vector<std::vector<double>>& data, int bins = 3);
+      const std::vector<DoubleSpan>& data, int bins = 3);
 
   std::size_t num_vars() const override { return codes_.size(); }
 

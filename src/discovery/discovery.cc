@@ -12,7 +12,7 @@ namespace {
 /// Gaussian CI test for the constraint-based baselines, optionally behind
 /// the memoizing cache.
 Result<std::unique_ptr<CiTest>> MakeGaussianTest(
-    const std::vector<std::vector<double>>& data,
+    const std::vector<DoubleSpan>& data,
     const DiscoveryOptions& options) {
   stats::NumericDataset ds;
   ds.columns = data;
@@ -41,7 +41,7 @@ const char* AlgorithmName(Algorithm a) {
 }
 
 Result<DiscoverySummary> RunDiscovery(
-    const std::vector<std::vector<double>>& data,
+    const std::vector<DoubleSpan>& data,
     const std::vector<std::string>& names, Algorithm algorithm,
     const DiscoveryOptions& options) {
   DiscoverySummary out;

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/span.h"
 #include "common/status.h"
 #include "discovery/ges.h"
 #include "discovery/lingam.h"
@@ -44,10 +45,10 @@ struct DiscoverySummary {
   std::size_t ci_tests = 0;
 };
 
-/// Runs one baseline on column-major numeric data (NaN = missing; each
+/// Runs one baseline on column-major numeric spans (NaN = missing; each
 /// algorithm applies listwise deletion internally).
 Result<DiscoverySummary> RunDiscovery(
-    const std::vector<std::vector<double>>& data,
+    const std::vector<DoubleSpan>& data,
     const std::vector<std::string>& names, Algorithm algorithm,
     const DiscoveryOptions& options = DiscoveryOptions());
 

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/span.h"
 #include "common/thread_pool.h"
 #include "stats/regression.h"
 
@@ -20,8 +21,8 @@ namespace {
 /// value, so cache content is independent of interleaving.
 class ScoreCache {
  public:
-  ScoreCache(const std::vector<std::vector<double>>& data, double penalty)
-      : data_(data), penalty_(penalty) {}
+  ScoreCache(std::vector<cdi::DoubleSpan> data, double penalty)
+      : data_(std::move(data)), penalty_(penalty) {}
 
   /// BIC contribution of `target` with the given parent set (lower is
   /// better). Returns +inf when the regression is degenerate.
@@ -52,7 +53,7 @@ class ScoreCache {
   }
 
  private:
-  const std::vector<std::vector<double>>& data_;
+  const std::vector<cdi::DoubleSpan> data_;
   double penalty_;
   std::mutex mu_;
   std::map<std::string, double> cache_;
@@ -75,7 +76,7 @@ std::vector<std::size_t> ParentsOf(const graph::Digraph& g,
 
 }  // namespace
 
-Result<GesResult> RunGes(const std::vector<std::vector<double>>& data,
+Result<GesResult> RunGes(const std::vector<DoubleSpan>& data,
                          const std::vector<std::string>& names,
                          const GesOptions& options) {
   const std::size_t p = data.size();
@@ -104,7 +105,8 @@ Result<GesResult> RunGes(const std::vector<std::vector<double>>& data,
     return Status::FailedPrecondition("too few complete rows for GES");
   }
 
-  ScoreCache score(cc, options.penalty_discount);
+  // The cache borrows `cc`, which lives for the rest of this function.
+  ScoreCache score(cdi::SpansOf(cc), options.penalty_discount);
   graph::Digraph g(names);
   GesResult result;
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/span.h"
 #include "common/status.h"
 #include "graph/digraph.h"
 #include "graph/pdag.h"
@@ -38,9 +39,9 @@ struct GesResult {
 /// insertion with the best score improvement, a backward phase greedily
 /// deletes. The search state is a DAG (the standard simplification of
 /// full equivalence-class search); the result is reported as a CPDAG.
-/// `data` is column-major (one vector per variable); rows with NaN anywhere
+/// `data` is column-major (one span per variable); rows with NaN anywhere
 /// are dropped up front.
-Result<GesResult> RunGes(const std::vector<std::vector<double>>& data,
+Result<GesResult> RunGes(const std::vector<DoubleSpan>& data,
                          const std::vector<std::string>& names,
                          const GesOptions& options = GesOptions());
 

@@ -51,7 +51,7 @@ std::vector<double> StdResidual(const std::vector<double>& y,
 }  // namespace
 
 Result<LingamResult> RunDirectLingam(
-    const std::vector<std::vector<double>>& data,
+    const std::vector<DoubleSpan>& data,
     const std::vector<std::string>& names, const LingamOptions& options) {
   const std::size_t p = data.size();
   if (p != names.size() || p < 2) {
@@ -118,8 +118,8 @@ Result<LingamResult> RunDirectLingam(
     std::vector<std::size_t> preds(result.causal_order.begin(),
                                    result.causal_order.begin() +
                                        static_cast<std::ptrdiff_t>(pos));
-    std::vector<std::vector<double>> xs;
-    for (std::size_t q : preds) xs.push_back(stats::Standardize(data[q]));
+    std::vector<cdi::DoubleSpan> xs;
+    for (std::size_t q : preds) xs.emplace_back(stats::Standardize(data[q]));
     auto fit = stats::FitStandardizedOls(xs, data[target]);
     if (!fit.ok()) continue;
     for (std::size_t k = 0; k < preds.size(); ++k) {

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/span.h"
 #include "common/status.h"
 #include "graph/digraph.h"
 
@@ -33,7 +34,7 @@ struct LingamResult {
 /// signal and the output degrades towards an empty graph — exactly the
 /// failure mode Table 3 reports for LiNGAM on COVID-19.
 Result<LingamResult> RunDirectLingam(
-    const std::vector<std::vector<double>>& data,
+    const std::vector<DoubleSpan>& data,
     const std::vector<std::string>& names,
     const LingamOptions& options = LingamOptions());
 

@@ -53,7 +53,7 @@ std::vector<DataLake::JoinCandidate> DataLake::FindJoinable(
 
 Result<std::vector<DataLake::AugmentationCandidate>>
 DataLake::FindCorrelatedColumns(const std::vector<std::string>& keys,
-                                const std::vector<double>& target,
+                                DoubleSpan target,
                                 double min_containment,
                                 LatencyMeter* meter) const {
   if (keys.size() != target.size()) {
@@ -74,7 +74,7 @@ DataLake::FindCorrelatedColumns(const std::vector<std::string>& keys,
         if (key_col->IsNull(r) || col.IsNull(r)) continue;
         auto& [sum, count] =
             agg[NormalizeEntityName(key_col->Get(r).ToString())];
-        sum += col.Get(r).ToNumeric();
+        sum += col.NumericAt(r);
         count += 1;
       }
       // Align with the input keys.

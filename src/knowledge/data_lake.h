@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/span.h"
 #include "common/status.h"
 #include "common/timer.h"
 #include "table/table.h"
@@ -56,7 +57,7 @@ class DataLake {
   /// column by absolute correlation with `target`. Candidates under
   /// `min_containment` are skipped. Sorted by descending |correlation|.
   Result<std::vector<AugmentationCandidate>> FindCorrelatedColumns(
-      const std::vector<std::string>& keys, const std::vector<double>& target,
+      const std::vector<std::string>& keys, DoubleSpan target,
       double min_containment, LatencyMeter* meter = nullptr) const;
 
  private:

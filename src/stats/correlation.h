@@ -1,23 +1,40 @@
 #ifndef CDI_STATS_CORRELATION_H_
 #define CDI_STATS_CORRELATION_H_
 
+#include <utility>
 #include <vector>
 
+#include "common/span.h"
 #include "common/status.h"
 #include "stats/matrix.h"
 
 namespace cdi::stats {
 
 /// A dataset view for multivariate statistics: column-major numeric data
-/// (one vector per variable; NaN = missing) with optional row weights.
+/// (one span per variable; NaN = missing) with optional row weights.
+///
+/// The columns are `DoubleSpan`s, so a dataset built over table columns or
+/// caller-held vectors copies nothing — it is constructed once per
+/// pipeline run and passed by view through the estimators. Use Own() to
+/// make the dataset keep materialized columns alive, or assign borrowing
+/// spans (e.g. `cdi::SpansOf(vectors)`, `Column::View()`) when the
+/// backing buffers outlive the dataset.
 struct NumericDataset {
-  std::vector<std::vector<double>> columns;
+  std::vector<DoubleSpan> columns;
   /// Optional per-row weights (e.g. IPW weights). Empty means all 1.
   std::vector<double> weights;
 
   std::size_t num_vars() const { return columns.size(); }
   std::size_t num_rows() const {
     return columns.empty() ? 0 : columns[0].size();
+  }
+
+  /// Dataset that owns `cols` (each span shares its vector's lifetime).
+  static NumericDataset Own(std::vector<std::vector<double>> cols) {
+    NumericDataset ds;
+    ds.columns.reserve(cols.size());
+    for (auto& c : cols) ds.columns.emplace_back(std::move(c));
+    return ds;
   }
 };
 

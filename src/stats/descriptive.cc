@@ -11,7 +11,7 @@ namespace {
 
 const double kNaN = std::numeric_limits<double>::quiet_NaN();
 
-std::vector<double> ValidValues(const std::vector<double>& x) {
+std::vector<double> ValidValues(cdi::DoubleSpan x) {
   std::vector<double> out;
   out.reserve(x.size());
   for (double v : x) {
@@ -22,13 +22,13 @@ std::vector<double> ValidValues(const std::vector<double>& x) {
 
 }  // namespace
 
-std::size_t ValidCount(const std::vector<double>& x) {
+std::size_t ValidCount(DoubleSpan x) {
   std::size_t n = 0;
   for (double v : x) n += std::isnan(v) ? 0 : 1;
   return n;
 }
 
-double Mean(const std::vector<double>& x) {
+double Mean(DoubleSpan x) {
   double s = 0;
   std::size_t n = 0;
   for (double v : x) {
@@ -39,7 +39,7 @@ double Mean(const std::vector<double>& x) {
   return n == 0 ? kNaN : s / static_cast<double>(n);
 }
 
-double Variance(const std::vector<double>& x) {
+double Variance(DoubleSpan x) {
   const double m = Mean(x);
   if (std::isnan(m)) return kNaN;
   double ss = 0;
@@ -52,24 +52,24 @@ double Variance(const std::vector<double>& x) {
   return n < 2 ? kNaN : ss / static_cast<double>(n - 1);
 }
 
-double StdDev(const std::vector<double>& x) {
+double StdDev(DoubleSpan x) {
   const double v = Variance(x);
   return std::isnan(v) ? kNaN : std::sqrt(v);
 }
 
-double Min(const std::vector<double>& x) {
+double Min(DoubleSpan x) {
   auto v = ValidValues(x);
   return v.empty() ? kNaN : *std::min_element(v.begin(), v.end());
 }
 
-double Max(const std::vector<double>& x) {
+double Max(DoubleSpan x) {
   auto v = ValidValues(x);
   return v.empty() ? kNaN : *std::max_element(v.begin(), v.end());
 }
 
-double Median(const std::vector<double>& x) { return Quantile(x, 0.5); }
+double Median(DoubleSpan x) { return Quantile(x, 0.5); }
 
-double Quantile(const std::vector<double>& x, double q) {
+double Quantile(DoubleSpan x, double q) {
   auto v = ValidValues(x);
   if (v.empty()) return kNaN;
   q = std::clamp(q, 0.0, 1.0);
@@ -81,7 +81,7 @@ double Quantile(const std::vector<double>& x, double q) {
   return v[lo] * (1.0 - frac) + v[hi] * frac;
 }
 
-double Skewness(const std::vector<double>& x) {
+double Skewness(DoubleSpan x) {
   auto v = ValidValues(x);
   if (v.size() < 3) return kNaN;
   const double m = Mean(v);
@@ -97,7 +97,7 @@ double Skewness(const std::vector<double>& x) {
   return m3 / std::pow(m2, 1.5);
 }
 
-double ExcessKurtosis(const std::vector<double>& x) {
+double ExcessKurtosis(DoubleSpan x) {
   auto v = ValidValues(x);
   if (v.size() < 4) return kNaN;
   const double m = Mean(v);
@@ -113,8 +113,8 @@ double ExcessKurtosis(const std::vector<double>& x) {
   return m4 / (m2 * m2) - 3.0;
 }
 
-double WeightedMean(const std::vector<double>& x,
-                    const std::vector<double>& w) {
+double WeightedMean(DoubleSpan x,
+                    DoubleSpan w) {
   if (x.size() != w.size()) return kNaN;
   double num = 0, den = 0;
   for (std::size_t i = 0; i < x.size(); ++i) {
@@ -125,8 +125,8 @@ double WeightedMean(const std::vector<double>& x,
   return den == 0 ? kNaN : num / den;
 }
 
-double PearsonCorrelation(const std::vector<double>& x,
-                          const std::vector<double>& y) {
+double PearsonCorrelation(DoubleSpan x,
+                          DoubleSpan y) {
   if (x.size() != y.size()) return kNaN;
   double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
   std::size_t n = 0;
@@ -170,8 +170,8 @@ std::vector<double> AverageRanks(const std::vector<double>& v) {
 
 }  // namespace
 
-double SpearmanCorrelation(const std::vector<double>& x,
-                           const std::vector<double>& y) {
+double SpearmanCorrelation(DoubleSpan x,
+                           DoubleSpan y) {
   if (x.size() != y.size()) return kNaN;
   std::vector<double> xv, yv;
   for (std::size_t i = 0; i < x.size(); ++i) {
@@ -183,7 +183,7 @@ double SpearmanCorrelation(const std::vector<double>& x,
   return PearsonCorrelation(AverageRanks(xv), AverageRanks(yv));
 }
 
-std::vector<double> Standardize(const std::vector<double>& x) {
+std::vector<double> Standardize(DoubleSpan x) {
   const double m = Mean(x);
   const double s = StdDev(x);
   std::vector<double> out(x.size(), kNaN);
@@ -194,7 +194,7 @@ std::vector<double> Standardize(const std::vector<double>& x) {
   return out;
 }
 
-std::vector<double> ZScores(const std::vector<double>& x) {
+std::vector<double> ZScores(DoubleSpan x) {
   return Standardize(x);
 }
 

@@ -4,56 +4,59 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/span.h"
+
 namespace cdi::stats {
 
-/// Descriptive statistics over vectors of doubles. Every function skips NaN
+/// Descriptive statistics over numeric spans. Every function skips NaN
 /// entries (the table layer encodes nulls as NaN), so callers can pass
-/// Column::ToDoubles() output directly. Functions return NaN when fewer
-/// valid values remain than the statistic needs.
+/// Column::View() output directly — zero-copy for double columns — or any
+/// std::vector<double> (which converts implicitly). Functions return NaN
+/// when fewer valid values remain than the statistic needs.
 
-double Mean(const std::vector<double>& x);
+double Mean(DoubleSpan x);
 
 /// Unbiased (n-1) sample variance.
-double Variance(const std::vector<double>& x);
+double Variance(DoubleSpan x);
 
-double StdDev(const std::vector<double>& x);
+double StdDev(DoubleSpan x);
 
-double Min(const std::vector<double>& x);
-double Max(const std::vector<double>& x);
+double Min(DoubleSpan x);
+double Max(DoubleSpan x);
 
-double Median(const std::vector<double>& x);
+double Median(DoubleSpan x);
 
 /// Linear-interpolated quantile, q in [0, 1].
-double Quantile(const std::vector<double>& x, double q);
+double Quantile(DoubleSpan x, double q);
 
 /// Sample skewness (Fisher-Pearson, bias-unadjusted).
-double Skewness(const std::vector<double>& x);
+double Skewness(DoubleSpan x);
 
 /// Excess kurtosis.
-double ExcessKurtosis(const std::vector<double>& x);
+double ExcessKurtosis(DoubleSpan x);
 
 /// Weighted mean; entries with NaN value or weight are skipped.
-double WeightedMean(const std::vector<double>& x,
-                    const std::vector<double>& w);
+double WeightedMean(DoubleSpan x,
+                    DoubleSpan w);
 
 /// Number of non-NaN entries.
-std::size_t ValidCount(const std::vector<double>& x);
+std::size_t ValidCount(DoubleSpan x);
 
 /// Pearson correlation over pairwise-complete entries.
-double PearsonCorrelation(const std::vector<double>& x,
-                          const std::vector<double>& y);
+double PearsonCorrelation(DoubleSpan x,
+                          DoubleSpan y);
 
 /// Spearman rank correlation over pairwise-complete entries
 /// (average ranks for ties).
-double SpearmanCorrelation(const std::vector<double>& x,
-                           const std::vector<double>& y);
+double SpearmanCorrelation(DoubleSpan x,
+                           DoubleSpan y);
 
 /// (x - mean) / stddev; NaN entries stay NaN. A constant vector maps to all
 /// zeros.
-std::vector<double> Standardize(const std::vector<double>& x);
+std::vector<double> Standardize(DoubleSpan x);
 
 /// Z-score of each entry against the vector's own mean/stddev (NaN for NaN).
-std::vector<double> ZScores(const std::vector<double>& x);
+std::vector<double> ZScores(DoubleSpan x);
 
 }  // namespace cdi::stats
 

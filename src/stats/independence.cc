@@ -177,7 +177,7 @@ double DiscreteMutualInformation(const std::vector<int>& x,
   return std::max(0.0, mi);
 }
 
-std::vector<int> QuantileBin(const std::vector<double>& x, int bins) {
+std::vector<int> QuantileBin(DoubleSpan x, int bins) {
   std::vector<double> edges;
   for (int b = 1; b < bins; ++b) {
     edges.push_back(Quantile(x, static_cast<double>(b) / bins));

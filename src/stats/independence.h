@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/span.h"
 #include "common/status.h"
 
 namespace cdi::stats {
@@ -35,7 +36,7 @@ double DiscreteMutualInformation(const std::vector<int>& x,
 
 /// Quantile-bins a numeric vector into `bins` integer codes (NaN -> -1).
 /// Used to compute mutual information of continuous attributes.
-std::vector<int> QuantileBin(const std::vector<double>& x, int bins);
+std::vector<int> QuantileBin(DoubleSpan x, int bins);
 
 }  // namespace cdi::stats
 

@@ -26,8 +26,8 @@ double LogisticFit::Predict(const std::vector<double>& x) const {
   return Sigmoid(z);
 }
 
-Result<LogisticFit> FitLogistic(const std::vector<std::vector<double>>& xs,
-                                const std::vector<double>& y,
+Result<LogisticFit> FitLogistic(const std::vector<DoubleSpan>& xs,
+                                DoubleSpan y,
                                 int max_iterations, double ridge) {
   const std::size_t n = y.size();
   for (const auto& x : xs) {

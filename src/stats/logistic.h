@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/span.h"
 #include "common/status.h"
 
 namespace cdi::stats {
@@ -24,8 +25,8 @@ struct LogisticFit {
 /// squares with an L2 ridge for separation robustness. `y` entries must be
 /// 0 or 1; rows with NaN anywhere are dropped. This powers the Data
 /// Organizer's missingness propensity model (IPW).
-Result<LogisticFit> FitLogistic(const std::vector<std::vector<double>>& xs,
-                                const std::vector<double>& y,
+Result<LogisticFit> FitLogistic(const std::vector<DoubleSpan>& xs,
+                                DoubleSpan y,
                                 int max_iterations = 50, double ridge = 1e-6);
 
 }  // namespace cdi::stats

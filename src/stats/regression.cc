@@ -8,8 +8,7 @@
 
 namespace cdi::stats {
 
-Result<OlsFit> FitOls(const std::vector<std::vector<double>>& xs,
-                      const std::vector<double>& y,
+Result<OlsFit> FitOls(const std::vector<DoubleSpan>& xs, DoubleSpan y,
                       const std::vector<double>& weights) {
   const std::size_t n = y.size();
   for (const auto& x : xs) {
@@ -116,17 +115,17 @@ Result<OlsFit> FitOls(const std::vector<std::vector<double>>& xs,
   return fit;
 }
 
-Result<OlsFit> FitStandardizedOls(const std::vector<std::vector<double>>& xs,
-                                  const std::vector<double>& y,
+Result<OlsFit> FitStandardizedOls(const std::vector<DoubleSpan>& xs,
+                                  DoubleSpan y,
                                   const std::vector<double>& weights) {
-  std::vector<std::vector<double>> zx;
+  std::vector<DoubleSpan> zx;
   zx.reserve(xs.size());
-  for (const auto& x : xs) zx.push_back(Standardize(x));
+  for (const auto& x : xs) zx.emplace_back(Standardize(x));
   return FitOls(zx, Standardize(y), weights);
 }
 
 Result<double> GaussianBicLocalScore(
-    const std::vector<std::vector<double>>& data, std::size_t target,
+    const std::vector<DoubleSpan>& data, std::size_t target,
     const std::vector<std::size_t>& parents) {
   if (target >= data.size()) {
     return Status::InvalidArgument("bad target index");
@@ -141,7 +140,7 @@ Result<double> GaussianBicLocalScore(
     rss = 0;
     for (double v : data[target]) rss += (v - m) * (v - m);
   } else {
-    std::vector<std::vector<double>> xs;
+    std::vector<DoubleSpan> xs;
     for (std::size_t pidx : parents) xs.push_back(data[pidx]);
     CDI_ASSIGN_OR_RETURN(OlsFit fit, FitOls(xs, data[target]));
     rss = fit.rss;

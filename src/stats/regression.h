@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/span.h"
 #include "common/status.h"
 #include "stats/matrix.h"
 
@@ -32,27 +33,26 @@ struct OlsFit {
   double intercept() const { return coefficients.at(0); }
 };
 
-/// Ordinary least squares of `y` on `xs` (one vector per predictor) with an
+/// Ordinary least squares of `y` on `xs` (one span per predictor) with an
 /// intercept. Rows containing NaN in y or any predictor are dropped
 /// (listwise); optional non-negative row `weights` turn this into WLS
 /// (weights of dropped rows are ignored). Requires more complete rows than
 /// predictors.
-Result<OlsFit> FitOls(const std::vector<std::vector<double>>& xs,
-                      const std::vector<double>& y,
+Result<OlsFit> FitOls(const std::vector<DoubleSpan>& xs, DoubleSpan y,
                       const std::vector<double>& weights = {});
 
 /// OLS on standardized variables (y and every predictor z-scored first).
 /// The returned coefficients are then comparable across predictors; this is
 /// what the paper's "direct effect" column reports.
-Result<OlsFit> FitStandardizedOls(const std::vector<std::vector<double>>& xs,
-                                  const std::vector<double>& y,
+Result<OlsFit> FitStandardizedOls(const std::vector<DoubleSpan>& xs,
+                                  DoubleSpan y,
                                   const std::vector<double>& weights = {});
 
 /// Gaussian BIC of regressing `target` on `parents` (columns of `data`),
 /// the local score used by GES: -2 log L + log(n) * (|parents| + 2).
 /// Lower is better.
 Result<double> GaussianBicLocalScore(
-    const std::vector<std::vector<double>>& data, std::size_t target,
+    const std::vector<DoubleSpan>& data, std::size_t target,
     const std::vector<std::size_t>& parents);
 
 }  // namespace cdi::stats

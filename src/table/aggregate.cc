@@ -46,7 +46,7 @@ Value Reduce(const Column& col, const std::vector<std::size_t>& rows,
   std::vector<double> vals;
   vals.reserve(rows.size());
   for (std::size_t r : rows) {
-    if (!col.IsNull(r)) vals.push_back(col.Get(r).ToNumeric());
+    if (!col.IsNull(r)) vals.push_back(col.NumericAt(r));
   }
   if (vals.empty()) return Value::Null();
   switch (kind) {
@@ -102,15 +102,18 @@ Result<Table> GroupBy(const Table& t, const std::vector<std::string>& keys,
     }
   }
 
-  // Bucket rows by composite key.
+  // Bucket rows by composite key. Keys are exact typed encodings (bit
+  // patterns for numerics, dictionary codes for strings — all key columns
+  // belong to `t`, so per-column codes are valid); nulls group together
+  // under a dedicated tag, as before.
   std::unordered_map<std::string, std::size_t> group_of;
   std::vector<std::vector<std::size_t>> groups;
   std::vector<std::size_t> rep_row;  // representative row per group
+  std::string key;
   for (std::size_t r = 0; r < t.num_rows(); ++r) {
-    std::string key;
+    key.clear();
     for (const Column* c : key_cols) {
-      key += c->IsNull(r) ? "\x01<null>" : c->Get(r).ToString();
-      key += '\x02';
+      c->AppendKeyBytes(r, /*column_local=*/true, &key);
     }
     auto [it, inserted] = group_of.emplace(key, groups.size());
     if (inserted) {
@@ -123,8 +126,9 @@ Result<Table> GroupBy(const Table& t, const std::vector<std::string>& keys,
   Table out(t.name() + "_grouped");
   for (std::size_t ki = 0; ki < keys.size(); ++ki) {
     Column kc(keys[ki], key_cols[ki]->type());
+    kc.Reserve(groups.size());
     for (std::size_t g = 0; g < groups.size(); ++g) {
-      CDI_RETURN_IF_ERROR(kc.Append(key_cols[ki]->Get(rep_row[g])));
+      CDI_RETURN_IF_ERROR(kc.AppendFrom(*key_cols[ki], rep_row[g]));
     }
     CDI_RETURN_IF_ERROR(out.AddColumn(std::move(kc)));
   }

@@ -1,18 +1,45 @@
 #include "table/column.h"
 
+#include <bit>
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <unordered_set>
+#include <utility>
 
 namespace cdi::table {
 
+namespace {
+
+constexpr char kKeyNull = '\x00';
+constexpr char kKeyNumeric = 'n';
+constexpr char kKeyBool = 'b';
+constexpr char kKeyString = 's';
+constexpr char kKeyCode = 'c';
+
+/// One canonical bit pattern for every NaN, so NaN keys compare equal
+/// (matching the old decimal-rendering behavior where every NaN printed
+/// "nan"). +0.0 and -0.0 keep their distinct patterns, as before.
+uint64_t CanonicalBits(double v) {
+  if (std::isnan(v)) v = std::numeric_limits<double>::quiet_NaN();
+  return std::bit_cast<uint64_t>(v);
+}
+
+void AppendRaw(std::string* out, const void* p, std::size_t n) {
+  out->append(static_cast<const char*>(p), n);
+}
+
+}  // namespace
+
 Column Column::FromDoubles(std::string name, std::vector<double> values) {
   Column c(std::move(name), DataType::kDouble);
-  c.values_.reserve(values.size());
+  c.Reserve(values.size());
   for (double v : values) {
     if (std::isnan(v)) {
-      c.values_.emplace_back();
+      c.AppendNull();
     } else {
-      c.values_.emplace_back(v);
+      c.doubles_.push_back(v);
+      c.PushBack(/*is_null=*/false);
     }
   }
   return c;
@@ -20,16 +47,38 @@ Column Column::FromDoubles(std::string name, std::vector<double> values) {
 
 Column Column::FromInts(std::string name, std::vector<int64_t> values) {
   Column c(std::move(name), DataType::kInt64);
-  c.values_.reserve(values.size());
-  for (int64_t v : values) c.values_.emplace_back(v);
+  c.ints_ = std::move(values);
+  c.null_bits_.assign((c.ints_.size() + 63) / 64, 0);
+  c.size_ = c.ints_.size();
   return c;
 }
 
 Column Column::FromStrings(std::string name, std::vector<std::string> values) {
   Column c(std::move(name), DataType::kString);
-  c.values_.reserve(values.size());
-  for (auto& v : values) c.values_.emplace_back(std::move(v));
+  c.Reserve(values.size());
+  for (auto& v : values) {
+    c.codes_.push_back(c.Intern(std::move(v)));
+    c.PushBack(/*is_null=*/false);
+  }
   return c;
+}
+
+void Column::Reserve(std::size_t n) {
+  null_bits_.reserve((n + 63) / 64);
+  switch (type_) {
+    case DataType::kDouble:
+      doubles_.reserve(n);
+      break;
+    case DataType::kInt64:
+      ints_.reserve(n);
+      break;
+    case DataType::kString:
+      codes_.reserve(n);
+      break;
+    case DataType::kBool:
+      bools_.reserve(n);
+      break;
+  }
 }
 
 Status Column::CheckType(const Value& v) const {
@@ -52,76 +101,433 @@ Status Column::CheckType(const Value& v) const {
                                  "' of type " + DataTypeName(type_));
 }
 
-Status Column::Append(Value v) {
-  CDI_RETURN_IF_ERROR(CheckType(v));
-  if (type_ == DataType::kDouble && v.is_int64()) {
-    v = Value(static_cast<double>(v.as_int64()));
+void Column::PushBack(bool is_null) {
+  const std::size_t word = size_ >> 6;
+  if (word >= null_bits_.size()) null_bits_.push_back(0);
+  if (is_null) {
+    null_bits_[word] |= uint64_t{1} << (size_ & 63);
+    ++null_count_;
   }
-  values_.push_back(std::move(v));
+  ++size_;
+}
+
+void Column::SetNullBit(std::size_t row, bool is_null) {
+  const uint64_t mask = uint64_t{1} << (row & 63);
+  uint64_t& word = null_bits_[row >> 6];
+  const bool was_null = (word & mask) != 0;
+  if (is_null == was_null) return;
+  if (is_null) {
+    word |= mask;
+    ++null_count_;
+  } else {
+    word &= ~mask;
+    --null_count_;
+  }
+}
+
+int32_t Column::Intern(std::string s) {
+  const auto it = dict_index_.find(s);
+  if (it != dict_index_.end()) return it->second;
+  const int32_t code = static_cast<int32_t>(dict_.size());
+  dict_index_.emplace(s, code);
+  dict_.push_back(std::move(s));
+  return code;
+}
+
+void Column::AppendNull() {
+  switch (type_) {
+    case DataType::kDouble:
+      doubles_.push_back(std::nan(""));
+      break;
+    case DataType::kInt64:
+      ints_.push_back(0);
+      break;
+    case DataType::kString:
+      codes_.push_back(-1);
+      break;
+    case DataType::kBool:
+      bools_.push_back(0);
+      break;
+  }
+  PushBack(/*is_null=*/true);
+}
+
+Status Column::AppendDouble(double v) {
+  if (type_ != DataType::kDouble) {
+    return Status::InvalidArgument("value does not match column '" + name_ +
+                                   "' of type " + DataTypeName(type_));
+  }
+  doubles_.push_back(v);
+  PushBack(/*is_null=*/false);
   return Status::OK();
+}
+
+Status Column::AppendInt64(int64_t v) {
+  if (type_ == DataType::kDouble) {
+    doubles_.push_back(static_cast<double>(v));
+  } else if (type_ == DataType::kInt64) {
+    ints_.push_back(v);
+  } else {
+    return Status::InvalidArgument("value does not match column '" + name_ +
+                                   "' of type " + DataTypeName(type_));
+  }
+  PushBack(/*is_null=*/false);
+  return Status::OK();
+}
+
+Status Column::AppendBool(bool v) {
+  if (type_ != DataType::kBool) {
+    return Status::InvalidArgument("value does not match column '" + name_ +
+                                   "' of type " + DataTypeName(type_));
+  }
+  bools_.push_back(v ? 1 : 0);
+  PushBack(/*is_null=*/false);
+  return Status::OK();
+}
+
+Status Column::AppendString(std::string v) {
+  if (type_ != DataType::kString) {
+    return Status::InvalidArgument("value does not match column '" + name_ +
+                                   "' of type " + DataTypeName(type_));
+  }
+  codes_.push_back(Intern(std::move(v)));
+  PushBack(/*is_null=*/false);
+  return Status::OK();
+}
+
+Status Column::Append(Value v) {
+  if (v.is_null()) {
+    AppendNull();
+    return Status::OK();
+  }
+  if (v.is_double()) return AppendDouble(v.as_double());
+  if (v.is_int64()) return AppendInt64(v.as_int64());
+  if (v.is_bool()) return AppendBool(v.as_bool());
+  return AppendString(v.as_string());
+}
+
+Status Column::AppendFrom(const Column& src, std::size_t row) {
+  CDI_CHECK(row < src.size_);
+  if (src.NullBit(row)) {
+    AppendNull();
+    return Status::OK();
+  }
+  switch (src.type_) {
+    case DataType::kDouble:
+      return AppendDouble(src.doubles_[row]);
+    case DataType::kInt64:
+      return AppendInt64(src.ints_[row]);
+    case DataType::kString:
+      return AppendString(src.dict_[src.codes_[row]]);
+    case DataType::kBool:
+      return AppendBool(src.bools_[row] != 0);
+  }
+  return Status::Internal("bad column type");
+}
+
+Value Column::Get(std::size_t row) const {
+  CDI_CHECK(row < size_);
+  if (NullBit(row)) return Value::Null();
+  switch (type_) {
+    case DataType::kDouble:
+      return Value(doubles_[row]);
+    case DataType::kInt64:
+      return Value(ints_[row]);
+    case DataType::kString:
+      return Value(dict_[codes_[row]]);
+    case DataType::kBool:
+      return Value(bools_[row] != 0);
+  }
+  return Value::Null();
 }
 
 Status Column::Set(std::size_t row, Value v) {
-  if (row >= values_.size()) {
+  if (row >= size_) {
     return Status::OutOfRange("row " + std::to_string(row) + " out of range");
   }
   CDI_RETURN_IF_ERROR(CheckType(v));
-  if (type_ == DataType::kDouble && v.is_int64()) {
-    v = Value(static_cast<double>(v.as_int64()));
+  if (v.is_null()) {
+    switch (type_) {
+      case DataType::kDouble:
+        doubles_[row] = std::nan("");
+        break;
+      case DataType::kInt64:
+        ints_[row] = 0;
+        break;
+      case DataType::kString:
+        codes_[row] = -1;
+        break;
+      case DataType::kBool:
+        bools_[row] = 0;
+        break;
+    }
+    SetNullBit(row, true);
+    return Status::OK();
   }
-  values_[row] = std::move(v);
+  switch (type_) {
+    case DataType::kDouble:
+      doubles_[row] = v.is_int64() ? static_cast<double>(v.as_int64())
+                                   : v.as_double();
+      break;
+    case DataType::kInt64:
+      ints_[row] = v.as_int64();
+      break;
+    case DataType::kString:
+      codes_[row] = Intern(v.as_string());
+      break;
+    case DataType::kBool:
+      bools_[row] = v.as_bool() ? 1 : 0;
+      break;
+  }
+  SetNullBit(row, false);
   return Status::OK();
 }
 
-std::size_t Column::NullCount() const {
-  std::size_t n = 0;
-  for (const auto& v : values_) n += v.is_null() ? 1 : 0;
-  return n;
+double Column::NullFraction() const {
+  return size_ == 0 ? 0.0
+                    : static_cast<double>(null_count_) /
+                          static_cast<double>(size_);
 }
 
-double Column::NullFraction() const {
-  return values_.empty()
-             ? 0.0
-             : static_cast<double>(NullCount()) / values_.size();
+double Column::NumericAt(std::size_t row) const {
+  CDI_CHECK(row < size_);
+  CDI_CHECK(type_ != DataType::kString)
+      << "NumericAt on string column '" << name_ << "'";
+  switch (type_) {
+    case DataType::kDouble:
+      return doubles_[row];  // null slots already hold NaN
+    case DataType::kInt64:
+      return NullBit(row) ? std::nan("")
+                          : static_cast<double>(ints_[row]);
+    case DataType::kBool:
+      return NullBit(row) ? std::nan("") : (bools_[row] ? 1.0 : 0.0);
+    case DataType::kString:
+      break;
+  }
+  return std::nan("");
+}
+
+const std::string& Column::StringAt(std::size_t row) const {
+  CDI_CHECK(row < size_);
+  CDI_CHECK(type_ == DataType::kString)
+      << "StringAt on non-string column '" << name_ << "'";
+  CDI_CHECK(!NullBit(row)) << "StringAt on null cell of '" << name_ << "'";
+  return dict_[codes_[row]];
 }
 
 std::vector<double> Column::ToDoubles() const {
   CDI_CHECK(type_ != DataType::kString)
       << "ToDoubles on string column '" << name_ << "'";
+  if (type_ == DataType::kDouble) return doubles_;
   std::vector<double> out;
-  out.reserve(values_.size());
-  for (const auto& v : values_) {
-    out.push_back(v.is_null() ? std::nan("") : v.ToNumeric());
-  }
+  out.reserve(size_);
+  for (std::size_t r = 0; r < size_; ++r) out.push_back(NumericAt(r));
   return out;
+}
+
+DoubleSpan Column::View() const {
+  CDI_CHECK(type_ != DataType::kString)
+      << "View on string column '" << name_ << "'";
+  if (type_ == DataType::kDouble) {
+    return DoubleSpan::Borrow(doubles_.data(), size_);
+  }
+  return DoubleSpan(ToDoubles());  // owning span over the widened copy
 }
 
 std::vector<Value> Column::DistinctValues() const {
   std::vector<Value> out;
-  std::unordered_set<std::string> seen;
-  for (const auto& v : values_) {
-    if (v.is_null()) continue;
-    const std::string key = v.ToString();
-    if (seen.insert(key).second) out.push_back(v);
+  switch (type_) {
+    case DataType::kDouble: {
+      std::unordered_set<uint64_t> seen;
+      for (std::size_t r = 0; r < size_; ++r) {
+        if (NullBit(r)) continue;
+        if (seen.insert(CanonicalBits(doubles_[r])).second) {
+          out.emplace_back(doubles_[r]);
+        }
+      }
+      break;
+    }
+    case DataType::kInt64: {
+      std::unordered_set<int64_t> seen;
+      for (std::size_t r = 0; r < size_; ++r) {
+        if (NullBit(r)) continue;
+        if (seen.insert(ints_[r]).second) out.emplace_back(ints_[r]);
+      }
+      break;
+    }
+    case DataType::kString: {
+      // The dictionary may hold entries stranded by Set, so walk the rows.
+      std::vector<char> seen(dict_.size(), 0);
+      for (std::size_t r = 0; r < size_; ++r) {
+        if (NullBit(r)) continue;
+        const int32_t c = codes_[r];
+        if (!seen[static_cast<std::size_t>(c)]) {
+          seen[static_cast<std::size_t>(c)] = 1;
+          out.emplace_back(dict_[static_cast<std::size_t>(c)]);
+        }
+      }
+      break;
+    }
+    case DataType::kBool: {
+      bool seen[2] = {false, false};
+      for (std::size_t r = 0; r < size_; ++r) {
+        if (NullBit(r)) continue;
+        const int b = bools_[r] ? 1 : 0;
+        if (!seen[b]) {
+          seen[b] = true;
+          out.emplace_back(b != 0);
+        }
+      }
+      break;
+    }
   }
   return out;
 }
 
+std::size_t Column::DistinctCount() const {
+  switch (type_) {
+    case DataType::kDouble: {
+      std::unordered_set<uint64_t> seen;
+      seen.reserve(size_ - null_count_);
+      for (std::size_t r = 0; r < size_; ++r) {
+        if (!NullBit(r)) seen.insert(CanonicalBits(doubles_[r]));
+      }
+      return seen.size();
+    }
+    case DataType::kInt64: {
+      std::unordered_set<int64_t> seen;
+      seen.reserve(size_ - null_count_);
+      for (std::size_t r = 0; r < size_; ++r) {
+        if (!NullBit(r)) seen.insert(ints_[r]);
+      }
+      return seen.size();
+    }
+    case DataType::kString: {
+      std::vector<char> seen(dict_.size(), 0);
+      std::size_t n = 0;
+      for (std::size_t r = 0; r < size_; ++r) {
+        if (NullBit(r)) continue;
+        char& flag = seen[static_cast<std::size_t>(codes_[r])];
+        n += flag ? 0 : 1;
+        flag = 1;
+      }
+      return n;
+    }
+    case DataType::kBool: {
+      bool seen[2] = {false, false};
+      for (std::size_t r = 0; r < size_; ++r) {
+        if (!NullBit(r)) seen[bools_[r] ? 1 : 0] = true;
+      }
+      return static_cast<std::size_t>(seen[0]) +
+             static_cast<std::size_t>(seen[1]);
+    }
+  }
+  return 0;
+}
+
 Column Column::Take(const std::vector<std::size_t>& rows) const {
   Column out(name_, type_);
-  out.values_.reserve(rows.size());
-  for (std::size_t r : rows) {
-    CDI_CHECK(r < values_.size());
-    out.values_.push_back(values_[r]);
+  out.Reserve(rows.size());
+  switch (type_) {
+    case DataType::kDouble:
+      for (std::size_t r : rows) {
+        CDI_CHECK(r < size_);
+        out.doubles_.push_back(doubles_[r]);
+        out.PushBack(NullBit(r));
+      }
+      break;
+    case DataType::kInt64:
+      for (std::size_t r : rows) {
+        CDI_CHECK(r < size_);
+        out.ints_.push_back(ints_[r]);
+        out.PushBack(NullBit(r));
+      }
+      break;
+    case DataType::kString:
+      // Codes stay valid because the whole dictionary is shared (copied);
+      // stranded entries cost memory, not correctness.
+      out.dict_ = dict_;
+      out.dict_index_ = dict_index_;
+      for (std::size_t r : rows) {
+        CDI_CHECK(r < size_);
+        out.codes_.push_back(codes_[r]);
+        out.PushBack(NullBit(r));
+      }
+      break;
+    case DataType::kBool:
+      for (std::size_t r : rows) {
+        CDI_CHECK(r < size_);
+        out.bools_.push_back(bools_[r]);
+        out.PushBack(NullBit(r));
+      }
+      break;
   }
   return out;
 }
 
 bool Column::TypeChecks() const {
-  for (const auto& v : values_) {
-    if (!CheckType(v).ok()) return false;
+  const std::size_t active = type_ == DataType::kDouble   ? doubles_.size()
+                             : type_ == DataType::kInt64  ? ints_.size()
+                             : type_ == DataType::kString ? codes_.size()
+                                                          : bools_.size();
+  if (active != size_) return false;
+  if (null_bits_.size() != (size_ + 63) / 64) return false;
+  if (type_ == DataType::kString) {
+    for (std::size_t r = 0; r < size_; ++r) {
+      const int32_t c = codes_[r];
+      if (NullBit(r) ? c != -1
+                     : (c < 0 || static_cast<std::size_t>(c) >= dict_.size())) {
+        return false;
+      }
+    }
   }
   return true;
+}
+
+void Column::AppendKeyBytes(std::size_t row, bool column_local,
+                            std::string* out) const {
+  CDI_CHECK(row < size_);
+  if (NullBit(row)) {
+    out->push_back(kKeyNull);
+    return;
+  }
+  switch (type_) {
+    case DataType::kDouble: {
+      out->push_back(kKeyNumeric);
+      const uint64_t bits = CanonicalBits(doubles_[row]);
+      AppendRaw(out, &bits, sizeof(bits));
+      break;
+    }
+    case DataType::kInt64: {
+      // Same encoding as doubles, so int64 keys match equal-valued double
+      // keys across a join (Append already widens ints into double
+      // columns; this keeps the key domains consistent).
+      out->push_back(kKeyNumeric);
+      const uint64_t bits =
+          CanonicalBits(static_cast<double>(ints_[row]));
+      AppendRaw(out, &bits, sizeof(bits));
+      break;
+    }
+    case DataType::kString: {
+      if (column_local) {
+        out->push_back(kKeyCode);
+        const int32_t code = codes_[row];
+        AppendRaw(out, &code, sizeof(code));
+      } else {
+        const std::string& s = dict_[codes_[row]];
+        out->push_back(kKeyString);
+        const uint64_t len = s.size();
+        AppendRaw(out, &len, sizeof(len));
+        out->append(s);
+      }
+      break;
+    }
+    case DataType::kBool: {
+      out->push_back(kKeyBool);
+      out->push_back(bools_[row] ? '\x01' : '\x00');
+      break;
+    }
+  }
 }
 
 }  // namespace cdi::table

@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "common/span.h"
 #include "common/status.h"
 #include "table/value.h"
 
@@ -12,16 +14,22 @@ namespace cdi::table {
 
 /// A named, typed, null-aware column of values.
 ///
-/// Storage is a vector of `Value` for simplicity; numeric bulk access is
-/// provided by `ToDoubles()` which materializes a dense vector (NaN for
-/// nulls). For the scales CDI operates at (thousands of rows, hundreds of
-/// columns) this is comfortably fast and keeps the code obvious.
+/// Storage is typed and contiguous: one dense buffer per physical type
+/// (`double` / `int64_t` / `uint8_t` bool / dictionary codes for strings)
+/// plus a null bitmap. Null slots hold a type-specific filler (NaN for
+/// doubles, 0 for ints/bools, code -1 for strings) so numeric bulk access
+/// is a straight buffer read. `View()` exposes a double column zero-copy
+/// as a `DoubleSpan`; `ToDoubles()` still materializes a dense copy for
+/// callers that need one. String cells are dictionary-encoded: each
+/// distinct string is stored once and rows hold 32-bit codes.
+/// See DESIGN.md "Physical storage layout" for buffer and view lifetime
+/// rules.
 class Column {
  public:
   Column(std::string name, DataType type)
       : name_(std::move(name)), type_(type) {}
 
-  /// Builds a double column from raw values.
+  /// Builds a double column from raw values (NaN becomes null).
   static Column FromDoubles(std::string name, std::vector<double> values);
   /// Builds an int64 column from raw values.
   static Column FromInts(std::string name, std::vector<int64_t> values);
@@ -31,51 +39,113 @@ class Column {
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
   DataType type() const { return type_; }
-  std::size_t size() const { return values_.size(); }
+  std::size_t size() const { return size_; }
+
+  /// Pre-sizes the buffers for `n` total rows.
+  void Reserve(std::size_t n);
 
   /// Appends a value; a null is always accepted, otherwise the value's type
   /// must match the column type (int64 is implicitly widened into a double
   /// column).
   Status Append(Value v);
 
-  /// Unchecked access.
-  const Value& Get(std::size_t row) const {
-    CDI_CHECK(row < values_.size());
-    return values_[row];
-  }
+  /// Typed appends — the fast paths the CSV reader and table kernels use;
+  /// same typing rules as Append without boxing through Value.
+  void AppendNull();
+  Status AppendDouble(double v);
+  Status AppendInt64(int64_t v);
+  Status AppendBool(bool v);
+  Status AppendString(std::string v);
+  /// Appends `src`'s cell at `row` (types must be compatible as in Append).
+  Status AppendFrom(const Column& src, std::size_t row);
 
-  /// Overwrites a cell (same typing rules as Append).
+  /// Unchecked access; reconstructs a Value from the typed buffers.
+  Value Get(std::size_t row) const;
+
+  /// Overwrites a cell in place (same typing rules as Append). Never
+  /// reallocates, so live views keep observing the column.
   Status Set(std::size_t row, Value v);
 
-  bool IsNull(std::size_t row) const { return Get(row).is_null(); }
+  bool IsNull(std::size_t row) const {
+    CDI_CHECK(row < size_);
+    return NullBit(row);
+  }
 
-  /// Number of null cells.
-  std::size_t NullCount() const;
+  /// Number of null cells. O(1): maintained incrementally.
+  std::size_t NullCount() const { return null_count_; }
 
   /// Fraction of null cells (0 for an empty column).
   double NullFraction() const;
 
-  /// Dense numeric view; nulls become NaN. Requires a numeric or bool column.
+  /// Numeric value at `row` (nulls are NaN). Requires a non-string column.
+  double NumericAt(std::size_t row) const;
+
+  /// String content at `row`; requires a non-null string cell. The
+  /// reference is into the dictionary and stays valid while the column
+  /// lives.
+  const std::string& StringAt(std::size_t row) const;
+
+  /// Dense numeric copy; nulls become NaN. Requires a numeric or bool
+  /// column. Prefer View() on hot paths.
   std::vector<double> ToDoubles() const;
 
-  /// Distinct non-null values in first-appearance order.
+  /// Numeric view (nulls are NaN). Zero-copy for double columns; int64 and
+  /// bool columns materialize a shared buffer the span owns. Requires a
+  /// non-string column. Valid until the next Append/Reserve (Set writes
+  /// show through); see DESIGN.md for the lifetime rules.
+  DoubleSpan View() const;
+
+  /// Distinct non-null values in first-appearance order. Distinctness is
+  /// exact typed equality (bit patterns for doubles, all NaNs equal).
   std::vector<Value> DistinctValues() const;
 
-  /// Number of distinct non-null values.
-  std::size_t DistinctCount() const { return DistinctValues().size(); }
+  /// Number of distinct non-null values. O(n) via typed hash sets; never
+  /// materializes the values.
+  std::size_t DistinctCount() const;
 
   /// New column with only the given rows, in order.
   Column Take(const std::vector<std::size_t>& rows) const;
 
-  /// True if every non-null cell type-checks against the column type.
+  /// Structural invariants: buffer sizes match, dictionary codes in range.
   bool TypeChecks() const;
+
+  /// Appends an exact typed encoding of the cell at `row` to `out`, for
+  /// composite hash keys (join / group-by / distinct). Numeric cells
+  /// (double, int64) encode as the bit pattern of their double value with
+  /// NaN canonicalized, so keys match exactly — never through a decimal
+  /// rendering. Strings encode as length + content, or as the 32-bit
+  /// dictionary code when `column_local` (valid only for keys drawn from
+  /// this same column, e.g. group-by; cross-column joins must pass false).
+  /// Nulls encode as a dedicated tag. Each cell's encoding is prefix-free,
+  /// so concatenated composite keys are unambiguous.
+  void AppendKeyBytes(std::size_t row, bool column_local,
+                      std::string* out) const;
 
  private:
   Status CheckType(const Value& v) const;
+  bool NullBit(std::size_t row) const {
+    return (null_bits_[row >> 6] >> (row & 63)) & 1;
+  }
+  void PushBack(bool is_null);
+  void SetNullBit(std::size_t row, bool is_null);
+  int32_t Intern(std::string s);
 
   std::string name_;
   DataType type_;
-  std::vector<Value> values_;
+  std::size_t size_ = 0;
+  std::size_t null_count_ = 0;
+  /// Bit r set = row r is null.
+  std::vector<uint64_t> null_bits_;
+  /// Exactly one of these is active, per type_; null slots hold fillers
+  /// (NaN / 0 / 0 / -1) so bulk numeric reads need no bitmap probe.
+  std::vector<double> doubles_;
+  std::vector<int64_t> ints_;
+  std::vector<uint8_t> bools_;
+  std::vector<int32_t> codes_;
+  /// String dictionary: dict_[code] is the content, dict_index_ its
+  /// reverse map. Entries are never removed (Set may strand one).
+  std::vector<std::string> dict_;
+  std::unordered_map<std::string, int32_t> dict_index_;
 };
 
 }  // namespace cdi::table

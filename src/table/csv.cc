@@ -180,33 +180,36 @@ Result<Table> ReadCsvString(const std::string& text,
         type = DataType::kBool;
       }
     }
+    // Parsed cells go straight into the column's typed buffers — no Value
+    // boxing on the bulk ingest path.
     Column col(header[c], type);
-    for (const auto& cell : raw[c]) {
+    col.Reserve(raw[c].size());
+    for (auto& cell : raw[c]) {
       if (is_null_token(cell)) {
-        CDI_RETURN_IF_ERROR(col.Append(Value::Null()));
+        col.AppendNull();
         continue;
       }
       switch (type) {
         case DataType::kInt64: {
           int64_t iv = 0;
           ParseInt(cell.text, &iv);
-          CDI_RETURN_IF_ERROR(col.Append(Value(iv)));
+          CDI_RETURN_IF_ERROR(col.AppendInt64(iv));
           break;
         }
         case DataType::kDouble: {
           double dv = 0;
           ParseDouble(cell.text, &dv);
-          CDI_RETURN_IF_ERROR(col.Append(Value(dv)));
+          CDI_RETURN_IF_ERROR(col.AppendDouble(dv));
           break;
         }
         case DataType::kBool: {
           bool bv = false;
           ParseBool(cell.text, &bv);
-          CDI_RETURN_IF_ERROR(col.Append(Value(bv)));
+          CDI_RETURN_IF_ERROR(col.AppendBool(bv));
           break;
         }
         case DataType::kString:
-          CDI_RETURN_IF_ERROR(col.Append(Value(cell.text)));
+          CDI_RETURN_IF_ERROR(col.AppendString(std::move(cell.text)));
           break;
       }
     }

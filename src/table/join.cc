@@ -6,19 +6,24 @@ namespace cdi::table {
 
 namespace {
 
-std::string RowKey(const std::vector<const Column*>& key_cols, std::size_t r,
-                   bool* has_null) {
-  std::string key;
+/// Writes the composite key for row `r` into `key` (cleared first).
+/// Keys are exact typed encodings — bit patterns for numerics, content for
+/// strings (dictionary codes are per-column and the two sides of a join
+/// have different dictionaries) — so distinct doubles never collide
+/// through a decimal rendering. Returns false (and sets *has_null) when
+/// any key cell is null; null keys never match.
+bool RowKey(const std::vector<const Column*>& key_cols, std::size_t r,
+            std::string* key, bool* has_null) {
+  key->clear();
   *has_null = false;
   for (const Column* c : key_cols) {
     if (c->IsNull(r)) {
       *has_null = true;
-      return key;
+      return false;
     }
-    key += c->Get(r).ToString();
-    key += '\x02';
+    c->AppendKeyBytes(r, /*column_local=*/false, key);
   }
-  return key;
+  return true;
 }
 
 }  // namespace
@@ -69,10 +74,10 @@ Result<Table> HashJoin(const Table& left, const Table& right,
 
   // Build hash index over the right side.
   std::unordered_map<std::string, std::vector<std::size_t>> index;
+  std::string key;
   for (std::size_t r = 0; r < right_eff.num_rows(); ++r) {
     bool has_null = false;
-    const std::string key = RowKey(rkeys, r, &has_null);
-    if (has_null) continue;
+    if (!RowKey(rkeys, r, &key, &has_null)) continue;
     index[key].push_back(r);
   }
 
@@ -81,7 +86,7 @@ Result<Table> HashJoin(const Table& left, const Table& right,
   std::vector<std::ptrdiff_t> out_right_rows;  // -1 = no match (left join)
   for (std::size_t r = 0; r < left.num_rows(); ++r) {
     bool has_null = false;
-    const std::string key = RowKey(lkeys, r, &has_null);
+    RowKey(lkeys, r, &key, &has_null);
     const auto it = has_null ? index.end() : index.find(key);
     if (it == index.end() || it->second.empty()) {
       if (options.type == JoinType::kLeft) {
@@ -106,9 +111,14 @@ Result<Table> HashJoin(const Table& left, const Table& right,
   for (std::size_t ci = 0; ci < rcols.size(); ++ci) {
     const Column& src = right_eff.ColumnAt(rcols[ci]);
     Column col(rnames[ci], src.type());
+    col.Reserve(out_right_rows.size());
     for (std::ptrdiff_t rr : out_right_rows) {
-      CDI_RETURN_IF_ERROR(col.Append(
-          rr < 0 ? Value::Null() : src.Get(static_cast<std::size_t>(rr))));
+      if (rr < 0) {
+        col.AppendNull();
+      } else {
+        CDI_RETURN_IF_ERROR(
+            col.AppendFrom(src, static_cast<std::size_t>(rr)));
+      }
     }
     CDI_RETURN_IF_ERROR(out.AddColumn(std::move(col)));
   }

@@ -166,18 +166,15 @@ Result<Table> Table::SortBy(const std::string& column, bool ascending) const {
   std::vector<std::size_t> order(num_rows());
   std::iota(order.begin(), order.end(), 0);
   auto less = [&](std::size_t a, std::size_t b) {
-    const Value& va = c.Get(a);
-    const Value& vb = c.Get(b);
-    if (va.is_null() || vb.is_null()) return vb.is_null() && !va.is_null();
-    bool lt;
+    const bool na = c.IsNull(a);
+    const bool nb = c.IsNull(b);
+    if (na || nb) return nb && !na;
     if (c.type() == DataType::kString) {
-      lt = va.as_string() < vb.as_string();
-    } else {
-      lt = va.ToNumeric() < vb.ToNumeric();
+      return ascending ? c.StringAt(a) < c.StringAt(b)
+                       : c.StringAt(b) < c.StringAt(a);
     }
-    return ascending ? lt : (c.type() == DataType::kString
-                                 ? vb.as_string() < va.as_string()
-                                 : vb.ToNumeric() < va.ToNumeric());
+    return ascending ? c.NumericAt(a) < c.NumericAt(b)
+                     : c.NumericAt(b) < c.NumericAt(a);
   };
   std::stable_sort(order.begin(), order.end(), less);
   return TakeRows(order);
@@ -186,11 +183,11 @@ Result<Table> Table::SortBy(const std::string& column, bool ascending) const {
 Table Table::DistinctRows() const {
   std::unordered_set<std::string> seen;
   std::vector<std::size_t> keep;
+  std::string key;
   for (std::size_t r = 0; r < num_rows(); ++r) {
-    std::string key;
+    key.clear();
     for (const auto& c : columns_) {
-      key += c.Get(r).is_null() ? "\x01<null>" : c.Get(r).ToString();
-      key += '\x02';
+      c.AppendKeyBytes(r, /*column_local=*/true, &key);
     }
     if (seen.insert(key).second) keep.push_back(r);
   }

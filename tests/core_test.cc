@@ -52,7 +52,7 @@ TEST(VarClusTest, RecoversBlockStructure) {
   VarClusOptions options;
   options.min_clusters = 3;
   options.max_clusters = 3;
-  auto result = RunVarClus(cols, names, options);
+  auto result = RunVarClus(cdi::SpansOf(cols), names, options);
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->clusters.size(), 3u);
   // Find the cluster containing a1; it must contain exactly {a1,a2,a3}.
@@ -71,7 +71,7 @@ TEST(VarClusTest, ThresholdStopsSplitting) {
   auto cols = BlockData(1500, 7, &names);
   VarClusOptions options;
   options.second_eigenvalue_threshold = 100.0;  // never split
-  auto result = RunVarClus(cols, names, options);
+  auto result = RunVarClus(cdi::SpansOf(cols), names, options);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->clusters.size(), 1u);
 }
@@ -82,7 +82,7 @@ TEST(VarClusTest, MaxClustersCap) {
   VarClusOptions options;
   options.second_eigenvalue_threshold = 0.0;  // split forever...
   options.max_clusters = 2;                   // ...but capped
-  auto result = RunVarClus(cols, names, options);
+  auto result = RunVarClus(cdi::SpansOf(cols), names, options);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->clusters.size(), 2u);
 }
@@ -101,7 +101,7 @@ TEST(VarClusTest, AllVariablesAssignedExactlyOnce) {
     VarClusOptions options;
     options.min_clusters = k;
     options.max_clusters = k;
-    auto result = RunVarClus(cols, names, options);
+    auto result = RunVarClus(cdi::SpansOf(cols), names, options);
     ASSERT_TRUE(result.ok());
     std::size_t total = 0;
     std::set<std::string> seen;

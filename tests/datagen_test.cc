@@ -207,7 +207,7 @@ TEST(ScenarioTest, EntityAliasesUsedInInputTable) {
   const auto* col = *(*s)->input_table.GetColumn("country");
   std::size_t canonical = 0, alias = 0;
   for (std::size_t r = 0; r < col->size(); ++r) {
-    const std::string& v = col->Get(r).as_string();
+    const std::string& v = col->StringAt(r);
     if (v == (*s)->entity_names[r]) {
       ++canonical;
     } else {

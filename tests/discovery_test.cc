@@ -74,7 +74,9 @@ stats::NumericDataset TriangleData(std::size_t n, uint64_t seed) {
     c[i] = 0.6 * b[i] + 0.5 * a[i] + rng.Normal();
   }
   stats::NumericDataset ds;
-  ds.columns = {a, b, c};
+  // Owning spans: the dataset escapes this scope, so it must keep the
+  // buffers alive itself.
+  ds.columns = {std::move(a), std::move(b), std::move(c)};
   return ds;
 }
 
@@ -297,8 +299,8 @@ TEST(GesTest, PenaltyDiscountControlsDensity) {
   lenient.penalty_discount = 0.2;
   GesOptions strict;
   strict.penalty_discount = 8.0;
-  auto loose = RunGes(cols, {"a", "b", "c", "d", "e"}, lenient);
-  auto tight = RunGes(cols, {"a", "b", "c", "d", "e"}, strict);
+  auto loose = RunGes(cdi::SpansOf(cols), {"a", "b", "c", "d", "e"}, lenient);
+  auto tight = RunGes(cdi::SpansOf(cols), {"a", "b", "c", "d", "e"}, strict);
   ASSERT_TRUE(loose.ok() && tight.ok());
   EXPECT_GE(loose->dag.num_edges(), tight->dag.num_edges());
 }
@@ -313,7 +315,7 @@ TEST(GesTest, MaxParentsRespected) {
   }
   GesOptions options;
   options.max_parents = 1;
-  auto result = RunGes(cols, {"a", "b", "c", "y"}, options);
+  auto result = RunGes(cdi::SpansOf(cols), {"a", "b", "c", "y"}, options);
   ASSERT_TRUE(result.ok());
   for (graph::NodeId v = 0; v < 4; ++v) {
     EXPECT_LE(result->dag.Parents(v).size(), 1u);
@@ -492,7 +494,7 @@ std::vector<std::vector<double>> WideChainData(std::size_t vars,
 TEST(ThreadDeterminismTest, PcIdenticalAtAnyThreadCount) {
   const auto cols = WideChainData(10, 800, 43);
   stats::NumericDataset ds;
-  ds.columns = cols;
+  ds.columns = cdi::SpansOf(cols);
   std::vector<std::string> names;
   for (std::size_t v = 0; v < cols.size(); ++v) {
     names.push_back("v" + std::to_string(v));
@@ -518,7 +520,7 @@ TEST(ThreadDeterminismTest, PcIdenticalAtAnyThreadCount) {
 TEST(ThreadDeterminismTest, FciIdenticalAtAnyThreadCount) {
   const auto cols = WideChainData(8, 800, 47);
   stats::NumericDataset ds;
-  ds.columns = cols;
+  ds.columns = cdi::SpansOf(cols);
   std::vector<std::string> names;
   for (std::size_t v = 0; v < cols.size(); ++v) {
     names.push_back("v" + std::to_string(v));
@@ -549,8 +551,8 @@ TEST(ThreadDeterminismTest, GesIdenticalAtAnyThreadCount) {
   serial.num_threads = 1;
   GesOptions parallel = serial;
   parallel.num_threads = 8;
-  auto r1 = RunGes(cols, names, serial);
-  auto r8 = RunGes(cols, names, parallel);
+  auto r1 = RunGes(cdi::SpansOf(cols), names, serial);
+  auto r8 = RunGes(cdi::SpansOf(cols), names, parallel);
   ASSERT_TRUE(r1.ok());
   ASSERT_TRUE(r8.ok());
   EXPECT_EQ(r1->dag.Edges(), r8->dag.Edges());
@@ -572,8 +574,8 @@ TEST(ThreadDeterminismTest, RunDiscoveryCacheDoesNotChangeResults) {
     DiscoveryOptions without_cache = with_cache;
     without_cache.use_ci_cache = false;
     without_cache.num_threads = 1;
-    auto a = RunDiscovery(cols, names, alg, with_cache);
-    auto b = RunDiscovery(cols, names, alg, without_cache);
+    auto a = RunDiscovery(cdi::SpansOf(cols), names, alg, with_cache);
+    auto b = RunDiscovery(cdi::SpansOf(cols), names, alg, without_cache);
     ASSERT_TRUE(a.ok());
     ASSERT_TRUE(b.ok());
     EXPECT_EQ(a->claims, b->claims);

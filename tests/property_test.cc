@@ -61,7 +61,7 @@ TEST_P(FisherZFaithfulnessTest, MatchesDSeparation) {
     }
   }
   stats::NumericDataset ds;
-  ds.columns = data;
+  ds.columns = cdi::SpansOf(data);
   auto test = discovery::FisherZTest::Create(ds);
   ASSERT_TRUE(test.ok());
 
@@ -193,7 +193,7 @@ TEST_P(VarClusRecoveryTest, RecoversBlocks) {
   core::VarClusOptions options;
   options.min_clusters = static_cast<int>(param.blocks);
   options.max_clusters = static_cast<int>(param.blocks);
-  auto result = core::RunVarClus(cols, names, options);
+  auto result = core::RunVarClus(cdi::SpansOf(cols), names, options);
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->clusters.size(), param.blocks);
   // Every recovered cluster must be exactly one planted block.

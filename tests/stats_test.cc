@@ -554,9 +554,9 @@ TEST(RegressionTest, GaussianBicPrefersTrueParents) {
     c[i] = rng.Normal();
   }
   std::vector<std::vector<double>> data = {a, b, c};
-  auto with_parent = GaussianBicLocalScore(data, 1, {0});
-  auto without = GaussianBicLocalScore(data, 1, {});
-  auto with_junk = GaussianBicLocalScore(data, 1, {0, 2});
+  auto with_parent = GaussianBicLocalScore(cdi::SpansOf(data), 1, {0});
+  auto without = GaussianBicLocalScore(cdi::SpansOf(data), 1, {});
+  auto with_junk = GaussianBicLocalScore(cdi::SpansOf(data), 1, {0, 2});
   ASSERT_TRUE(with_parent.ok());
   EXPECT_LT(*with_parent, *without);        // true parent improves fit
   EXPECT_LT(*with_parent, *with_junk);      // junk parent costs penalty

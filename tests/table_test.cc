@@ -515,5 +515,138 @@ TEST(JoinTest, EmptyKeysRejected) {
   EXPECT_FALSE(HashJoin(LeftTable(), LeftTable(), just_k, none).ok());
 }
 
+TEST(JoinTest, DoubleKeysJoinOnExactBitPatterns) {
+  // Two doubles that agree to 17 significant digits but differ in the
+  // last bit. A decimal-rendered join key would conflate them; the typed
+  // key must not.
+  const double a = 0.1;
+  const double b = std::nextafter(a, 1.0);
+  ASSERT_NE(a, b);
+  Table left("l");
+  CDI_CHECK(left.AddColumn(Column::FromDoubles("k", {a, b})).ok());
+  Table right("r");
+  CDI_CHECK(right.AddColumn(Column::FromDoubles("k", {b})).ok());
+  CDI_CHECK(right.AddColumn(Column::FromInts("v", {7})).ok());
+  auto j = HashJoin(left, right, "k");
+  ASSERT_TRUE(j.ok());
+  EXPECT_TRUE(j->GetCell(0, "v")->is_null());  // a must not match b
+  EXPECT_DOUBLE_EQ(j->GetCell(1, "v")->ToNumeric(), 7.0);
+}
+
+TEST(JoinTest, IntAndDoubleKeysMatchNumerically) {
+  Table left("l");
+  CDI_CHECK(left.AddColumn(Column::FromInts("k", {3, 4})).ok());
+  Table right("r");
+  CDI_CHECK(right.AddColumn(Column::FromDoubles("k", {3.0})).ok());
+  CDI_CHECK(right.AddColumn(Column::FromInts("v", {9})).ok());
+  auto j = HashJoin(left, right, "k");
+  ASSERT_TRUE(j.ok());
+  EXPECT_DOUBLE_EQ(j->GetCell(0, "v")->ToNumeric(), 9.0);
+  EXPECT_TRUE(j->GetCell(1, "v")->is_null());
+}
+
+// ----------------------------------------------- typed storage semantics
+
+TEST(ColumnTest, NullBitmapThroughSetAndAppend) {
+  Column c = Column::FromDoubles("x", {1.0, 2.0, 3.0});
+  EXPECT_EQ(c.NullCount(), 0u);
+  CDI_CHECK(c.Set(1, Value::Null()).ok());
+  EXPECT_EQ(c.NullCount(), 1u);
+  EXPECT_TRUE(c.IsNull(1));
+  EXPECT_TRUE(std::isnan(c.NumericAt(1)));
+  CDI_CHECK(c.Set(1, Value(5.0)).ok());  // null -> value clears the bit
+  EXPECT_EQ(c.NullCount(), 0u);
+  EXPECT_DOUBLE_EQ(c.NumericAt(1), 5.0);
+  c.AppendNull();
+  CDI_CHECK(c.Append(Value(7.0)).ok());
+  EXPECT_EQ(c.NullCount(), 1u);
+  EXPECT_TRUE(c.IsNull(3));
+  EXPECT_FALSE(c.IsNull(4));
+}
+
+TEST(ColumnTest, NullBitmapSurvivesTakeFilterAppendRow) {
+  Table t("t");
+  Column x("x", DataType::kDouble);
+  CDI_CHECK(x.Append(Value(1.0)).ok());
+  CDI_CHECK(x.Append(Value::Null()).ok());
+  CDI_CHECK(x.Append(Value(3.0)).ok());
+  CDI_CHECK(t.AddColumn(std::move(x)).ok());
+  CDI_CHECK(t.AppendRow({Value::Null()}).ok());
+  ASSERT_EQ(t.num_rows(), 4u);
+  const Column& col = t.ColumnAt(0);
+  EXPECT_EQ(col.NullCount(), 2u);
+
+  Table took = t.TakeRows({3, 1, 0});
+  EXPECT_EQ(took.ColumnAt(0).NullCount(), 2u);
+  EXPECT_TRUE(took.ColumnAt(0).IsNull(0));
+  EXPECT_TRUE(took.ColumnAt(0).IsNull(1));
+  EXPECT_FALSE(took.ColumnAt(0).IsNull(2));
+
+  Table kept = t.FilterRows(
+      [&](std::size_t r) { return !t.ColumnAt(0).IsNull(r); });
+  EXPECT_EQ(kept.num_rows(), 2u);
+  EXPECT_EQ(kept.ColumnAt(0).NullCount(), 0u);
+}
+
+TEST(ColumnTest, DistinctCountTypedEquality) {
+  // +0.0 and -0.0 are distinct bit patterns; NaN inputs become nulls,
+  // and nulls are excluded from the distinct set (as before).
+  Column c = Column::FromDoubles(
+      "x", {0.0, -0.0, 1.0, 1.0, std::nan(""), std::nan("")});
+  EXPECT_EQ(c.DistinctCount(), 3u);
+  EXPECT_EQ(c.DistinctValues().size(), 3u);
+
+  Column s = Column::FromStrings("s", {"a", "b", "a"});
+  CDI_CHECK(s.Set(0, Value("z")).ok());  // may strand "a"... 
+  EXPECT_EQ(s.DistinctCount(), 3u);      // z, b, a (row 2)
+  CDI_CHECK(s.Set(2, Value("b")).ok());  // now "a" is fully stranded
+  EXPECT_EQ(s.DistinctCount(), 2u);      // dictionary size is 4, rows say 2
+}
+
+TEST(ColumnTest, ViewIsZeroCopyForDoublesAndSeesInPlaceWrites) {
+  Column c = Column::FromDoubles("x", {1.0, 2.0, 3.0});
+  const cdi::DoubleSpan v = c.View();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(c.View().data(), v.data());  // same buffer every time: zero-copy
+  // In-place Set never reallocates, so the borrowed view sees the write.
+  CDI_CHECK(c.Set(1, Value(42.0)).ok());
+  EXPECT_DOUBLE_EQ(v[1], 42.0);
+  CDI_CHECK(c.Set(0, Value::Null()).ok());
+  EXPECT_TRUE(std::isnan(v[0]));
+}
+
+TEST(ColumnTest, IntViewIsDetachedOwningCopy) {
+  Column c = Column::FromInts("x", {1, 2, 3});
+  cdi::DoubleSpan v = c.View();  // widened copy, owned by the span
+  CDI_CHECK(c.Set(0, Value(99)).ok());
+  EXPECT_DOUBLE_EQ(v[0], 1.0);  // detached: write not visible
+  EXPECT_DOUBLE_EQ(c.NumericAt(0), 99.0);
+}
+
+TEST(ColumnTest, ViewSizeIsFixedAtCreation) {
+  Column c = Column::FromDoubles("x", {1.0, 2.0});
+  // A view taken before an append keeps its original extent; callers must
+  // re-take views after growing the column (growth may reallocate).
+  EXPECT_EQ(c.View().size(), 2u);
+  CDI_CHECK(c.Append(Value(3.0)).ok());
+  EXPECT_EQ(c.View().size(), 3u);
+}
+
+TEST(CsvTest, DictionaryStringRoundTrip) {
+  Table t("t");
+  CDI_CHECK(t.AddColumn(Column::FromStrings(
+                            "city", {"rome", "oslo", "rome", "rome", "oslo"}))
+                .ok());
+  CDI_CHECK(t.AddColumn(Column::FromInts("n", {1, 2, 3, 4, 5})).ok());
+  auto back = ReadCsvString(WriteCsvString(t));
+  ASSERT_TRUE(back.ok());
+  const Column* city = *back->GetColumn("city");
+  EXPECT_EQ(city->type(), DataType::kString);
+  EXPECT_EQ(city->DistinctCount(), 2u);
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(city->StringAt(r), t.ColumnAt(0).StringAt(r));
+  }
+}
+
 }  // namespace
 }  // namespace cdi::table

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Pre-PR gate: build + test Release, then AddressSanitizer +
+# UndefinedBehaviorSanitizer, and run the full ctest suite on both.
+#
+#   tools/check.sh            # both configurations
+#   tools/check.sh --fast     # Release only (skip the sanitizer build)
+#
+# The sanitizer configuration matters here: the typed column storage
+# works over raw buffers, bit casts and a packed null bitmap, which is
+# exactly the kind of code ASan/UBSan catch regressions in.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+run_suite() {
+  local dir="$1"; shift
+  cmake -B "$dir" -S . "$@" >/dev/null
+  cmake --build "$dir" -j
+  (cd "$dir" && ctest --output-on-failure -j)
+}
+
+echo "== Release build + ctest =="
+run_suite build -DCMAKE_BUILD_TYPE=Release
+
+if [[ "$FAST" == "0" ]]; then
+  echo "== ASan/UBSan build + ctest =="
+  run_suite build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCDI_ASAN=ON -DCDI_UBSAN=ON
+fi
+
+echo "== check.sh: all green =="
