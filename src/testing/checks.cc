@@ -1,0 +1,196 @@
+#include "testing/checks.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "core/effect.h"
+#include "core/identifiability.h"
+#include "graph/dsep.h"
+
+namespace cdi::testing {
+
+namespace {
+
+std::string Fmt(const char* format, double a, double b) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), format, a, b);
+  return buf;
+}
+
+void Fail(std::vector<CheckFailure>* out, std::string check,
+          std::string detail) {
+  out->push_back({std::move(check), std::move(detail)});
+}
+
+/// Truth-DAG node ids of the named clusters, skipping names the truth does
+/// not know (unknown topics) and the endpoints themselves.
+std::set<graph::NodeId> TruthIds(const graph::Digraph& truth,
+                                 const std::vector<std::string>& names,
+                                 graph::NodeId t, graph::NodeId o) {
+  std::set<graph::NodeId> ids;
+  for (const auto& name : names) {
+    auto id = truth.NodeIdOf(name);
+    if (id.ok() && *id != t && *id != o) ids.insert(*id);
+  }
+  return ids;
+}
+
+std::string JoinNames(const graph::Digraph& g,
+                      const std::set<graph::NodeId>& ids) {
+  std::string out = "{";
+  for (graph::NodeId id : ids) {
+    if (out.size() > 1) out += ", ";
+    out += g.NodeName(id);
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+std::vector<CheckFailure> CheckScenarioGroundTruth(
+    const datagen::Scenario& scenario) {
+  std::vector<CheckFailure> failures;
+  const auto& dag = scenario.cluster_dag;
+  if (!dag.IsAcyclic()) {
+    Fail(&failures, "truth-acyclic", "ground-truth cluster DAG has a cycle");
+  }
+  if (!scenario.attribute_dag.IsAcyclic()) {
+    Fail(&failures, "truth-acyclic", "attribute DAG has a cycle");
+  }
+  const auto& spec = scenario.spec;
+  if (dag.HasEdge(spec.exposure_cluster, spec.outcome_cluster)) {
+    Fail(&failures, "truth-fully-mediated",
+         "direct exposure -> outcome edge present");
+  }
+  auto t = dag.NodeIdOf(spec.exposure_cluster);
+  auto o = dag.NodeIdOf(spec.outcome_cluster);
+  if (!t.ok() || !o.ok()) {
+    Fail(&failures, "truth-endpoints", "exposure/outcome cluster missing");
+    return failures;
+  }
+  if (!dag.HasDirectedPath(*t, *o)) {
+    Fail(&failures, "truth-fully-mediated",
+         "no mediated exposure -> outcome path");
+  }
+  // The attribute DAG must induce exactly the cluster DAG (the C-DAG an
+  // omniscient builder would output).
+  auto induced = core::InduceClusterGraph(scenario.attribute_dag,
+                                          scenario.cluster_members);
+  if (!induced.ok()) {
+    Fail(&failures, "truth-induced", induced.status().ToString());
+  } else if (!(*induced == dag)) {
+    Fail(&failures, "truth-induced",
+         "induced cluster graph differs from ground-truth cluster DAG");
+  }
+  if (scenario.input_table.num_rows() != scenario.entity_names.size()) {
+    Fail(&failures, "truth-table-shape",
+         "input table rows != entity count");
+  }
+  return failures;
+}
+
+graph::EdgeSetMetrics ScoreClaims(
+    const datagen::Scenario& scenario,
+    const std::vector<std::pair<std::string, std::string>>& claims) {
+  const graph::Digraph& truth = scenario.cluster_dag;
+  std::map<std::string, graph::NodeId> extra;
+  auto id_of = [&](const std::string& name) -> graph::NodeId {
+    auto id = truth.NodeIdOf(name);
+    if (id.ok()) return *id;
+    auto [it, inserted] =
+        extra.emplace(name, truth.num_nodes() + extra.size());
+    return it->second;
+  };
+  std::vector<graph::Edge> mapped;
+  for (const auto& [from, to] : claims) {
+    mapped.emplace_back(id_of(from), id_of(to));
+  }
+  return graph::CompareEdgeSets(truth.num_nodes(), mapped, truth.Edges());
+}
+
+std::vector<CheckFailure> CheckPipelineAgainstTruth(
+    const datagen::Scenario& scenario, const core::PipelineResult& run,
+    const CheckOptions& options) {
+  std::vector<CheckFailure> failures;
+  const graph::Digraph& truth = scenario.cluster_dag;
+  const auto& spec = scenario.spec;
+  auto t = truth.NodeIdOf(spec.exposure_cluster);
+  auto o = truth.NodeIdOf(spec.outcome_cluster);
+  CDI_CHECK(t.ok() && o.ok());
+
+  // ---- adjustment-separation (differential d-separation oracle). ----------
+  {
+    std::set<graph::NodeId> truth_set;
+    for (graph::NodeId v : truth.NodesOnDirectedPaths(*t, *o)) {
+      truth_set.insert(v);
+    }
+    const std::set<graph::NodeId> anc_t = truth.Ancestors(*t);
+    const std::set<graph::NodeId> anc_o = truth.Ancestors(*o);
+    for (graph::NodeId v = 0; v < truth.num_nodes(); ++v) {
+      if (v == *t || v == *o) continue;
+      if (anc_t.count(v) && anc_o.count(v)) truth_set.insert(v);
+    }
+    auto truth_sep = graph::DSeparated(truth, *t, *o, truth_set);
+    // Recovered adjustment set, projected onto clusters the truth knows.
+    std::vector<std::string> recovered;
+    for (const auto& m : run.build.cdag.MediatorClusters()) {
+      recovered.push_back(m);
+    }
+    for (const auto& c : run.build.cdag.ConfounderClusters()) {
+      recovered.push_back(c);
+    }
+    const std::set<graph::NodeId> rec_set =
+        TruthIds(truth, recovered, *t, *o);
+    auto rec_sep = graph::DSeparated(truth, *t, *o, rec_set);
+    if (!truth_sep.ok() || !rec_sep.ok()) {
+      Fail(&failures, "adjustment-separation", "d-separation query failed");
+    } else if (*truth_sep && !*rec_sep) {
+      Fail(&failures, "adjustment-separation",
+           "recovered adjustment set " + JoinNames(truth, rec_set) +
+               " leaves exposure and outcome d-connected in the truth DAG "
+               "(truth-derived set " + JoinNames(truth, truth_set) +
+               " separates them)");
+    }
+  }
+
+  // ---- direct-effect (fully mediated => ~0). ------------------------------
+  {
+    auto est = core::EstimateEffect(
+        run.organization.organized, scenario.exposure_attribute,
+        scenario.outcome_attribute,
+        run.build.cdag.DirectEffectAdjustmentAttributes(),
+        run.organization.row_weights);
+    if (!est.ok()) {
+      Fail(&failures, "direct-effect", est.status().ToString());
+    } else if (est->abs_effect > options.direct_effect_tolerance) {
+      Fail(&failures, "direct-effect",
+           Fmt("|direct effect| = %.3f exceeds tolerance %.3f",
+               est->abs_effect, options.direct_effect_tolerance));
+    }
+  }
+
+  // ---- edge-metrics (per-size P/R/F1 floors). -----------------------------
+  {
+    const auto metrics = ScoreClaims(scenario, run.build.claims);
+    const double presence_floor =
+        truth.num_nodes() <= options.small_graph_clusters
+            ? options.presence_f1_floor_small
+            : options.presence_f1_floor_large;
+    if (metrics.presence.f1 < presence_floor) {
+      Fail(&failures, "edge-metrics",
+           Fmt("presence F1 = %.3f below floor %.3f", metrics.presence.f1,
+               presence_floor));
+    }
+    if (metrics.absence.f1 < options.absence_f1_floor) {
+      Fail(&failures, "edge-metrics",
+           Fmt("absence F1 = %.3f below floor %.3f", metrics.absence.f1,
+               options.absence_f1_floor));
+    }
+  }
+  return failures;
+}
+
+}  // namespace cdi::testing

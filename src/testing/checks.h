@@ -1,0 +1,69 @@
+#ifndef CDI_TESTING_CHECKS_H_
+#define CDI_TESTING_CHECKS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/pipeline.h"
+#include "datagen/scenario.h"
+#include "graph/metrics.h"
+
+namespace cdi::testing {
+
+/// One failed check: which invariant broke and a human-readable detail
+/// (values, edges, thresholds) for the failure report.
+struct CheckFailure {
+  std::string check;
+  std::string detail;
+};
+
+/// Thresholds of the oracle checks. The floors are deliberately loose —
+/// they must pass on *every* seeded draw of the scenario family — while
+/// staying tight enough to catch structural bugs (a flipped edge, a broken
+/// CI decision) that wreck the recovered graph.
+struct CheckOptions {
+  /// |standardized direct effect| ceiling; ground truth is exactly 0
+  /// (scenarios are fully mediated by construction).
+  double direct_effect_tolerance = 0.20;
+  /// Per-size floors for the recovered edge set: small graphs (few
+  /// clusters) must score higher than large ones.
+  double presence_f1_floor_small = 0.55;   ///< <= 6 truth clusters
+  double presence_f1_floor_large = 0.45;   ///< > 6 truth clusters
+  double absence_f1_floor = 0.60;
+  std::size_t small_graph_clusters = 6;
+};
+
+/// Ground-truth self-checks on a materialized scenario: the cluster DAG is
+/// acyclic with no direct exposure -> outcome edge but at least one
+/// mediated path, the attribute DAG is acyclic and induces exactly the
+/// cluster DAG, and the input table is row-aligned with the entities.
+std::vector<CheckFailure> CheckScenarioGroundTruth(
+    const datagen::Scenario& scenario);
+
+/// Oracle checks of a pipeline run against the scenario's ground truth:
+///
+///  * adjustment-separation — the adjustment set read off the *recovered*
+///    C-DAG must d-separate exposure and outcome in the ground-truth
+///    cluster DAG whenever the truth-derived adjustment set does (a
+///    differential oracle: scenarios where even the true mediator set
+///    fails — mediator-outcome confounding — are not charged to CATER);
+///  * direct-effect — re-estimating the direct effect with the recovered
+///    adjustment set must give |effect| <= direct_effect_tolerance
+///    (ground truth: 0, fully mediated);
+///  * edge-metrics — presence/absence F1 of the recovered claims against
+///    the truth DAG must clear the per-size floors.
+std::vector<CheckFailure> CheckPipelineAgainstTruth(
+    const datagen::Scenario& scenario, const core::PipelineResult& run,
+    const CheckOptions& options = {});
+
+/// Scores recovered claims (topic-name pairs) against the ground-truth
+/// cluster DAG; topics unknown to the truth count as presence false
+/// positives (the evaluation harness's convention).
+graph::EdgeSetMetrics ScoreClaims(
+    const datagen::Scenario& scenario,
+    const std::vector<std::pair<std::string, std::string>>& claims);
+
+}  // namespace cdi::testing
+
+#endif  // CDI_TESTING_CHECKS_H_

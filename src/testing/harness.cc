@@ -1,0 +1,270 @@
+#include "testing/harness.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "core/evaluation.h"
+#include "core/pipeline.h"
+#include "table/csv.h"
+
+namespace cdi::testing {
+
+namespace {
+
+/// Reverses edge (from -> to) in the recovered build result: the claim
+/// graph, the claim list, and the definite list all flip consistently, as
+/// a real orientation bug in discovery would.
+void FlipEdge(core::CdagBuildResult* build, const std::string& from,
+              const std::string& to) {
+  auto& g = build->cdag.mutable_graph();
+  auto f = g.NodeIdOf(from);
+  auto t = g.NodeIdOf(to);
+  if (f.ok() && t.ok()) {
+    g.RemoveEdge(*f, *t);
+    CDI_CHECK(g.AddEdge(*t, *f).ok() || g.HasEdge(*t, *f));
+  }
+  for (auto* list : {&build->claims, &build->definite}) {
+    for (auto& [a, b] : *list) {
+      if (a == from && b == to) std::swap(a, b);
+    }
+  }
+}
+
+void InjectFault(FaultKind kind, const datagen::Scenario& scenario,
+                 core::PipelineResult* run) {
+  if (kind == FaultKind::kNone) return;
+  auto& build = run->build;
+  if (kind == FaultKind::kFlipOutcomeEdges) {
+    const std::string outcome = build.cdag.outcome_cluster();
+    const auto& g = build.cdag.graph();
+    auto o = g.NodeIdOf(outcome);
+    if (!o.ok()) return;
+    std::vector<std::string> parents;
+    for (graph::NodeId p : g.Parents(*o)) parents.push_back(g.NodeName(p));
+    for (const auto& p : parents) FlipEdge(&build, p, outcome);
+    return;
+  }
+  // kFlipTrueEdge: reverse the first recovered claim that matches a
+  // ground-truth edge.
+  for (const auto& [a, b] : build.claims) {
+    if (scenario.cluster_dag.HasNode(a) && scenario.cluster_dag.HasNode(b) &&
+        scenario.cluster_dag.HasEdge(a, b)) {
+      FlipEdge(&build, a, b);
+      return;
+    }
+  }
+}
+
+/// Deterministic flat rendering of all scenario tables for the bitwise
+/// seed-stability differential.
+std::string FlattenScenario(const datagen::Scenario& s) {
+  std::string out = table::WriteCsvString(s.input_table);
+  for (const auto& t : s.lake.tables()) {
+    out += "\n--" + t.name() + "\n" + table::WriteCsvString(t);
+  }
+  return out;
+}
+
+std::string ClaimsToString(
+    const std::vector<std::pair<std::string, std::string>>& claims) {
+  std::string out;
+  for (const auto& [a, b] : claims) out += a + "->" + b + ";";
+  return out;
+}
+
+}  // namespace
+
+Result<FaultKind> ParseFaultKind(const std::string& name) {
+  if (name == "none") return FaultKind::kNone;
+  if (name == "flip-outcome-edges") return FaultKind::kFlipOutcomeEdges;
+  if (name == "flip-true-edge") return FaultKind::kFlipTrueEdge;
+  return Status::InvalidArgument("unknown fault kind: " + name);
+}
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kFlipOutcomeEdges:
+      return "flip-outcome-edges";
+    case FaultKind::kFlipTrueEdge:
+      return "flip-true-edge";
+  }
+  return "none";
+}
+
+Result<TrialResult> RunFuzzTrial(uint64_t seed, const FuzzOptions& options) {
+  TrialResult result;
+  result.seed = seed;
+
+  CDI_ASSIGN_OR_RETURN(datagen::ScenarioSpec spec,
+                       RandomScenarioSpec(seed, options.scenario));
+  CDI_ASSIGN_OR_RETURN(std::unique_ptr<datagen::Scenario> scenario,
+                       datagen::BuildScenario(spec));
+  result.num_clusters = scenario->cluster_dag.num_nodes();
+  result.num_entities = spec.num_entities;
+
+  // ---- ground-truth self-checks + seed stability. -------------------------
+  for (auto& f : CheckScenarioGroundTruth(*scenario)) {
+    result.failures.push_back(std::move(f));
+  }
+  {
+    auto again = datagen::BuildScenario(spec);
+    if (!again.ok()) {
+      result.failures.push_back(
+          {"seed-stability", "rebuild failed: " + again.status().ToString()});
+    } else if (FlattenScenario(*scenario) != FlattenScenario(**again) ||
+               !(scenario->cluster_dag == (*again)->cluster_dag) ||
+               !(scenario->attribute_dag == (*again)->attribute_dag)) {
+      result.failures.push_back(
+          {"seed-stability",
+           "same spec materialized to different tables or ground truth"});
+    }
+  }
+
+  // ---- pipeline: serial reference + parallel bitwise differential. --------
+  core::PipelineOptions pipe_options =
+      core::DefaultEvaluationOptions(*scenario);
+  pipe_options.num_threads = 1;
+  // The scenarios plant KG decoy columns the extractor should — but, with
+  // the oracle's unknown-concept noise, occasionally does not — discard. A
+  // surviving decoy must not steal a VarClus slot from a true cluster, so
+  // leave headroom above the pinned granularity and let splitting continue
+  // past it: an all-noise column splits off into its own singleton instead
+  // of forcing two true clusters to merge. The generator's member loadings
+  // (|0.80..0.95|) keep every true cluster's second eigenvalue below
+  // ~0.40, so a 0.5 split threshold cannot shatter a real cluster but does
+  // break up a decoy-induced merge.
+  pipe_options.builder.varclus.max_clusters += 2;
+  pipe_options.builder.varclus.second_eigenvalue_threshold = 0.5;
+  core::Pipeline pipeline(&scenario->kg, &scenario->lake,
+                          scenario->oracle.get(), &scenario->topics,
+                          pipe_options);
+  auto run = pipeline.Run(scenario->input_table, spec.entity_column,
+                          scenario->exposure_attribute,
+                          scenario->outcome_attribute);
+  if (!run.ok()) {
+    result.failures.push_back({"pipeline", run.status().ToString()});
+    return result;
+  }
+  if (options.num_threads > 1) {
+    core::PipelineOptions parallel_options = pipe_options;
+    parallel_options.num_threads = options.num_threads;
+    core::Pipeline parallel(&scenario->kg, &scenario->lake,
+                            scenario->oracle.get(), &scenario->topics,
+                            parallel_options);
+    auto prun = parallel.Run(scenario->input_table, spec.entity_column,
+                             scenario->exposure_attribute,
+                             scenario->outcome_attribute);
+    if (!prun.ok()) {
+      result.failures.push_back(
+          {"differential-pipeline-threads", prun.status().ToString()});
+    } else if (prun->build.claims != run->build.claims ||
+               prun->build.definite != run->build.definite ||
+               table::WriteCsvString(prun->organization.organized) !=
+                   table::WriteCsvString(run->organization.organized)) {
+      std::ostringstream os;
+      os << "1-thread vs " << options.num_threads
+         << "-thread pipeline runs differ (serial: "
+         << ClaimsToString(run->build.claims) << ")";
+      result.failures.push_back(
+          {"differential-pipeline-threads", os.str()});
+    }
+  }
+
+  // ---- fault injection + oracle checks. -----------------------------------
+  InjectFault(options.fault, *scenario, &*run);
+  for (auto& f :
+       CheckPipelineAgainstTruth(*scenario, *run, options.checks)) {
+    result.failures.push_back(std::move(f));
+  }
+  {
+    const auto metrics = ScoreClaims(*scenario, run->build.claims);
+    result.presence_f1 = metrics.presence.f1;
+    result.absence_f1 = metrics.absence.f1;
+    auto est = core::EstimateEffect(
+        run->organization.organized, scenario->exposure_attribute,
+        scenario->outcome_attribute,
+        run->build.cdag.DirectEffectAdjustmentAttributes(),
+        run->organization.row_weights);
+    if (est.ok()) result.direct_effect = est->abs_effect;
+  }
+
+  // ---- discovery-layer metamorphic relations. -----------------------------
+  if (options.run_metamorphic) {
+    std::vector<std::vector<double>> columns;
+    std::vector<std::string> names;
+    for (const auto& [name, col] : scenario->clean_data) {
+      names.push_back(name);
+      columns.push_back(col);
+    }
+    for (auto& f : CheckDiscoveryInvariances(columns, names, seed,
+                                             options.metamorphic)) {
+      result.failures.push_back(std::move(f));
+    }
+  }
+  return result;
+}
+
+std::string ReproducerCommand(uint64_t seed, const FuzzOptions& options) {
+  std::ostringstream os;
+  os << "cdi_fuzz --trials 1 --seed " << seed << " --num-threads "
+     << options.num_threads;
+  if (!options.run_metamorphic) os << " --no-metamorphic";
+  if (options.fault != FaultKind::kNone) {
+    os << " --inject-bug " << FaultKindName(options.fault);
+  }
+  return os.str();
+}
+
+FuzzSummary RunFuzz(uint64_t base_seed, std::size_t trials,
+                    const FuzzOptions& options, std::ostream* log) {
+  FuzzSummary summary;
+  double presence_sum = 0.0;
+  for (std::size_t i = 0; i < trials; ++i) {
+    const uint64_t seed = base_seed + i;
+    auto trial = RunFuzzTrial(seed, options);
+    TrialResult r;
+    if (trial.ok()) {
+      r = std::move(*trial);
+    } else {
+      r.seed = seed;
+      r.failures.push_back({"harness", trial.status().ToString()});
+    }
+    ++summary.trials;
+    presence_sum += r.presence_f1;
+    summary.min_presence_f1 = std::min(summary.min_presence_f1,
+                                       r.presence_f1);
+    summary.min_absence_f1 = std::min(summary.min_absence_f1, r.absence_f1);
+    summary.max_direct_effect =
+        std::max(summary.max_direct_effect, r.direct_effect);
+    if (!r.passed()) {
+      ++summary.failed_trials;
+      if (log != nullptr) {
+        for (const auto& f : r.failures) {
+          *log << "FAIL seed=" << r.seed << " [" << f.check << "] "
+               << f.detail << "\n";
+        }
+        *log << "  reproduce: " << ReproducerCommand(r.seed, options)
+             << "\n";
+      }
+      summary.failures.push_back(std::move(r));
+    }
+  }
+  if (summary.trials > 0) {
+    summary.mean_presence_f1 = presence_sum / summary.trials;
+  }
+  if (log != nullptr) {
+    *log << "cdi_fuzz: " << summary.trials - summary.failed_trials << "/"
+         << summary.trials << " trials passed"
+         << " (presence F1 min " << summary.min_presence_f1 << " mean "
+         << summary.mean_presence_f1 << ", absence F1 min "
+         << summary.min_absence_f1 << ", max |direct effect| "
+         << summary.max_direct_effect << ")\n";
+  }
+  return summary;
+}
+
+}  // namespace cdi::testing

@@ -1,0 +1,361 @@
+#include "testing/random_scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace cdi::testing {
+
+namespace {
+
+/// Globally unique, single-token attribute name: cluster i, member j ->
+/// "c3x0". Single tokens keep the topic model's keyword containment
+/// unambiguous across clusters (with <= 9 clusters no name is a prefix of
+/// another cluster's names).
+std::string MemberName(std::size_t cluster, std::size_t member) {
+  return "c" + std::to_string(cluster) + "x" + std::to_string(member);
+}
+
+double SignedCoef(Rng* rng, const RandomScenarioOptions& o) {
+  const double magnitude = rng->Uniform(o.coef_lo, o.coef_hi);
+  return rng->Bernoulli(o.negative_coef_prob) ? -magnitude : magnitude;
+}
+
+/// Gauss-Jordan inverse of a small SPD matrix (conditioning sets are <= 2,
+/// so m is at most 4x4).
+std::vector<std::vector<double>> Inverse(std::vector<std::vector<double>> m) {
+  const std::size_t n = m.size();
+  std::vector<std::vector<double>> inv(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) inv[i][i] = 1.0;
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(m[r][col]) > std::abs(m[pivot][col])) pivot = r;
+    }
+    std::swap(m[col], m[pivot]);
+    std::swap(inv[col], inv[pivot]);
+    const double d = m[col][col];
+    for (std::size_t c = 0; c < n; ++c) {
+      m[col][c] /= d;
+      inv[col][c] /= d;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = m[r][col];
+      for (std::size_t c = 0; c < n; ++c) {
+        m[r][c] -= f * m[col][c];
+        inv[r][c] -= f * inv[col][c];
+      }
+    }
+  }
+  return inv;
+}
+
+/// Partial correlation of variables i, j given `cond`, from a covariance
+/// matrix: invert the submatrix over {i, j} ∪ cond and normalize the
+/// off-diagonal precision entry.
+double PartialCorr(const std::vector<std::vector<double>>& sigma,
+                   std::size_t i, std::size_t j,
+                   const std::vector<std::size_t>& cond) {
+  std::vector<std::size_t> idx = {i, j};
+  idx.insert(idx.end(), cond.begin(), cond.end());
+  std::vector<std::vector<double>> sub(idx.size(),
+                                       std::vector<double>(idx.size()));
+  for (std::size_t a = 0; a < idx.size(); ++a) {
+    for (std::size_t b = 0; b < idx.size(); ++b) {
+      sub[a][b] = sigma[idx[a]][idx[b]];
+    }
+  }
+  const auto prec = Inverse(std::move(sub));
+  return -prec[0][1] / std::sqrt(prec[0][0] * prec[1][1]);
+}
+
+/// Minimum |partial correlation| over all true cluster edges and all
+/// conditioning sets of size <= 2 drawn from the remaining clusters,
+/// computed analytically from the spec's linear SCM over cluster drivers
+/// (X = B^T X + e, Sigma = A D A^T with A = (I - B^T)^{-1}). A small value
+/// means some conditioning set renders a true edge statistically
+/// invisible — a (near-)faithfulness violation no CI-based pruner can see
+/// through, so such specs are rejected by the generator.
+double MinTrueEdgePartialCorr(const datagen::ScenarioSpec& spec) {
+  const std::size_t n = spec.clusters.size();
+  std::map<std::string, std::size_t> index;
+  for (std::size_t i = 0; i < n; ++i) index[spec.clusters[i].name] = i;
+
+  // A = (I - B^T)^{-1} by forward substitution (clusters are topological,
+  // so B^T is strictly lower triangular). Row i of A expresses driver i in
+  // the noise basis: X_i = sum_k A[i][k] e_k.
+  std::vector<std::vector<double>> coef(n, std::vector<double>(n, 0.0));
+  for (const auto& e : spec.edges) {
+    coef[index.at(e.to)][index.at(e.from)] = e.coef;
+  }
+  std::vector<std::vector<double>> a(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i][i] = 1.0;
+    for (std::size_t p = 0; p < i; ++p) {
+      if (coef[i][p] == 0.0) continue;
+      for (std::size_t k = 0; k <= p; ++k) a[i][k] += coef[i][p] * a[p][k];
+    }
+  }
+  // Noise variances: the exposure code is unit variance; every other
+  // driver's noise is variance-normalized to driver_noise^2 (scm.cc).
+  std::vector<double> var(n, 1.0);
+  for (std::size_t i = 1; i < n; ++i) {
+    var[i] = spec.clusters[i].driver_noise * spec.clusters[i].driver_noise;
+  }
+  std::vector<std::vector<double>> sigma(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k <= std::min(i, j); ++k) {
+        s += a[i][k] * var[k] * a[j][k];
+      }
+      sigma[i][j] = sigma[j][i] = s;
+    }
+  }
+
+  double min_abs = 1.0;
+  for (const auto& e : spec.edges) {
+    const std::size_t i = index.at(e.from);
+    const std::size_t j = index.at(e.to);
+    std::vector<std::size_t> others;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k != i && k != j) others.push_back(k);
+    }
+    min_abs = std::min(min_abs, std::abs(PartialCorr(sigma, i, j, {})));
+    for (std::size_t s = 0; s < others.size(); ++s) {
+      min_abs = std::min(
+          min_abs, std::abs(PartialCorr(sigma, i, j, {others[s]})));
+      for (std::size_t t = s + 1; t < others.size(); ++t) {
+        min_abs = std::min(
+            min_abs,
+            std::abs(PartialCorr(sigma, i, j, {others[s], others[t]})));
+      }
+    }
+  }
+  return min_abs;
+}
+
+Status Validate(const RandomScenarioOptions& o) {
+  if (o.min_clusters < 4 || o.max_clusters < o.min_clusters) {
+    return Status::InvalidArgument(
+        "need min_clusters >= 4 (exposure + outcome + 2 intermediates) "
+        "and max_clusters >= min_clusters");
+  }
+  if (o.min_entities < 20 || o.max_entities < o.min_entities) {
+    return Status::InvalidArgument("bad entity range");
+  }
+  if (o.max_members == 0) {
+    return Status::InvalidArgument("max_members must be >= 1");
+  }
+  if (o.coef_lo <= 0.0 || o.coef_hi < o.coef_lo) {
+    return Status::InvalidArgument("bad coefficient range");
+  }
+  return Status::OK();
+}
+
+/// One unconstrained draw from the scenario distribution; RandomScenarioSpec
+/// wraps this in the strong-faithfulness rejection loop.
+datagen::ScenarioSpec GenerateOnce(Rng& rng, uint64_t seed,
+                                   const RandomScenarioOptions& options) {
+  using datagen::AttributeSpec;
+  using datagen::ClusterSpec;
+  using datagen::NoiseKind;
+  using datagen::Placement;
+
+  datagen::ScenarioSpec spec;
+  spec.name = "fuzz_" + std::to_string(seed);
+  spec.seed = seed;
+  spec.num_entities = options.min_entities +
+                      rng.UniformInt(static_cast<uint64_t>(
+                          options.max_entities - options.min_entities + 1));
+  spec.entity_prefix = "Ent";
+  spec.entity_column = "entity_key";
+
+  const std::size_t num_clusters =
+      options.min_clusters +
+      rng.UniformInt(static_cast<uint64_t>(options.max_clusters -
+                                           options.min_clusters + 1));
+  const std::size_t outcome = num_clusters - 1;  // cluster indices
+
+  // Noise regime: like COVID (all-Gaussian) or FLIGHTS (non-Gaussian).
+  if (options.allow_non_gaussian && rng.Bernoulli(0.5)) {
+    spec.noise = rng.Bernoulli(0.5) ? NoiseKind::kLaplace
+                                    : NoiseKind::kUniform;
+    spec.gaussian_members = rng.Bernoulli(0.5);
+  } else {
+    spec.noise = NoiseKind::kGaussian;
+    spec.gaussian_exposure_code = rng.Bernoulli(0.5);
+  }
+
+  // ---- Clusters (index 0 = exposure, last = outcome). ---------------------
+  std::size_t num_lake_tables =
+      1 + rng.UniformInt(static_cast<uint64_t>(options.max_lake_tables));
+  std::vector<std::string> lake_names;
+  for (std::size_t t = 0; t < num_lake_tables; ++t) {
+    lake_names.push_back("lake_t" + std::to_string(t));
+  }
+
+  for (std::size_t i = 0; i < num_clusters; ++i) {
+    ClusterSpec c;
+    c.name = "c" + std::to_string(i);
+    const bool singleton = (i == 0 || i == outcome);
+    const std::size_t members =
+        singleton ? 1
+                  : 1 + rng.UniformInt(
+                            static_cast<uint64_t>(options.max_members));
+    for (std::size_t m = 0; m < members; ++m) {
+      AttributeSpec a;
+      a.name = MemberName(i, m);
+      if (singleton) {
+        // The analyst observes the exposure and outcome directly.
+        a.placement = Placement::kInputTable;
+      } else if (rng.Bernoulli(options.lake_placement_prob)) {
+        a.placement = Placement::kLakeTable;
+        a.lake_table = lake_names[rng.UniformInt(
+            static_cast<uint64_t>(lake_names.size()))];
+      } else {
+        a.placement = Placement::kKnowledgeGraph;
+      }
+      if (m > 0) {
+        // Loadings >= 0.80 (with member noise <= 0.45 below) keep every
+        // true cluster's second eigenvalue under ~0.40, so the harness's
+        // VarClus split threshold can sit at 0.5 without shattering a
+        // real cluster while still separating decoy-induced merges.
+        a.loading = rng.Uniform(0.80, 0.95) *
+                    (rng.Bernoulli(0.25) ? -1.0 : 1.0);
+      }
+      // Mild data-quality injection (never on the exposure/outcome, whose
+      // rows anchor the analysis like COVID's input columns do).
+      if (!singleton) {
+        if (rng.Bernoulli(options.missing_attr_prob)) {
+          a.missing_rate = options.missing_rate;
+        }
+        if (rng.Bernoulli(options.mnar_attr_prob)) {
+          a.mnar_strength = options.mnar_strength;
+        }
+        if (rng.Bernoulli(options.outlier_attr_prob)) {
+          a.outlier_rate = options.outlier_rate;
+        }
+      }
+      c.attributes.push_back(std::move(a));
+    }
+    c.driver_noise = rng.Uniform(0.8, 1.2);
+    c.member_noise = rng.Uniform(0.30, 0.45);
+    c.topic_keywords = {};  // cluster + attribute names suffice as keywords
+    spec.clusters.push_back(std::move(c));
+  }
+  spec.exposure_cluster = spec.clusters.front().name;
+  spec.outcome_cluster = spec.clusters.back().name;
+
+  // ---- Random cluster DAG (indices are already topological). --------------
+  // No direct exposure -> outcome edge: the effect must be fully mediated,
+  // which is the invariant the direct-effect oracle check keys on.
+  std::vector<std::vector<bool>> has_edge(
+      num_clusters, std::vector<bool>(num_clusters, false));
+  for (std::size_t i = 0; i < num_clusters; ++i) {
+    for (std::size_t j = i + 1; j < num_clusters; ++j) {
+      if (i == 0 && j == outcome) continue;
+      double p = options.edge_prob;
+      if (i == 0) p = options.exposure_edge_prob;
+      if (j == outcome) p = options.outcome_edge_prob;
+      has_edge[i][j] = rng.Bernoulli(p);
+    }
+  }
+  // Force one strong mediated chain exposure -> m -> outcome.
+  const std::size_t forced =
+      1 + rng.UniformInt(static_cast<uint64_t>(outcome - 1));
+  has_edge[0][forced] = true;
+  has_edge[forced][outcome] = true;
+  // Every intermediate cluster must be downstream of the exposure, so its
+  // attributes pass the extractor's relevance filter (COVID/FLIGHTS have
+  // the same shape: the entity code drives every cluster).
+  std::vector<bool> reached(num_clusters, false);
+  reached[0] = true;
+  for (std::size_t j = 1; j < num_clusters; ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      if (reached[i] && has_edge[i][j]) reached[j] = true;
+    }
+    if (!reached[j] && j != outcome) {
+      has_edge[0][j] = true;
+      reached[j] = true;
+    }
+  }
+
+  for (std::size_t i = 0; i < num_clusters; ++i) {
+    for (std::size_t j = i + 1; j < num_clusters; ++j) {
+      if (!has_edge[i][j]) continue;
+      datagen::ClusterEdgeSpec e;
+      e.from = spec.clusters[i].name;
+      e.to = spec.clusters[j].name;
+      e.coef = SignedCoef(&rng, options);
+      if (i == 0 && j == forced) e.coef = rng.Uniform(0.5, 0.7);
+      if (i == forced && j == outcome) e.coef = rng.Uniform(0.5, 0.7);
+      e.quad = 0.0;  // keep relations visible to the data side
+      spec.edges.push_back(std::move(e));
+    }
+  }
+
+  // ---- FD decoy + scenario-wide knobs. ------------------------------------
+  if (rng.Bernoulli(options.fd_attribute_prob)) {
+    datagen::FdAttributeSpec fd;
+    fd.name = "fdtag";
+    fd.numeric = rng.Bernoulli(0.5);
+    if (rng.Bernoulli(0.5) && fd.numeric) {
+      fd.placement = datagen::Placement::kLakeTable;
+      fd.lake_table = lake_names[0];
+    } else {
+      fd.placement = datagen::Placement::kKnowledgeGraph;
+    }
+    spec.fd_attributes.push_back(std::move(fd));
+  }
+  for (const auto& name : lake_names) {
+    if (rng.Bernoulli(options.one_to_many_prob)) {
+      spec.one_to_many_tables.insert(name);
+    }
+  }
+  spec.duplicate_row_rate = 0.03;
+  spec.alias_fraction = rng.Uniform(0.0, 0.3);
+
+  // High-recall oracle: the checks test CATER's machinery, not how it
+  // degrades under an unreliable LLM (COVID/FLIGHTS cover that regime).
+  spec.oracle.seed = seed ^ 0xA5A5A5A5ULL;
+  spec.oracle.direct_recall = 0.99;
+  spec.oracle.transitive_claim_prob = 0.60;
+  spec.oracle.reverse_claim_prob = 0.10;
+  spec.oracle.unrelated_claim_prob = 0.04;
+  return spec;
+}
+
+}  // namespace
+
+Result<datagen::ScenarioSpec> RandomScenarioSpec(
+    uint64_t seed, const RandomScenarioOptions& options) {
+  CDI_RETURN_IF_ERROR(Validate(options));
+  // Derived stream, decorrelated from the materialization stream that
+  // BuildScenario seeds with spec.seed. Rejection sampling keeps the
+  // result a pure function of (seed, options): each rejected draw simply
+  // consumes more of the same stream.
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL);
+  constexpr int kMaxAttempts = 64;
+  datagen::ScenarioSpec best;
+  double best_margin = -1.0;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    datagen::ScenarioSpec spec = GenerateOnce(rng, seed, options);
+    const double margin = MinTrueEdgePartialCorr(spec);
+    if (margin >= options.min_edge_partial_corr) return spec;
+    if (margin > best_margin) {
+      best_margin = margin;
+      best = std::move(spec);
+    }
+  }
+  // Every draw violated the margin (only plausible with an extreme
+  // options combination); fall back to the most faithful one seen.
+  return best;
+}
+
+}  // namespace cdi::testing

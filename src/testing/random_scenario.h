@@ -1,0 +1,80 @@
+#ifndef CDI_TESTING_RANDOM_SCENARIO_H_
+#define CDI_TESTING_RANDOM_SCENARIO_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "datagen/scenario.h"
+
+namespace cdi::testing {
+
+/// Knobs of the randomized scenario family. The defaults are tuned so the
+/// CATER pipeline *should* succeed on every draw: edges are linear with
+/// coefficients bounded away from both zero (relevance filter) and one
+/// (FD filter), the oracle is given high recall, and data-quality
+/// injection stays mild. Oracle checks then treat any failure as a bug,
+/// not as an unlucky scenario.
+struct RandomScenarioOptions {
+  /// Total cluster count range, *including* the exposure and outcome
+  /// singletons (so num_clusters - 2 intermediate clusters).
+  std::size_t min_clusters = 5;
+  std::size_t max_clusters = 8;
+  /// Attributes per intermediate cluster (first is the driver).
+  std::size_t max_members = 3;
+  /// Entity count range.
+  std::size_t min_entities = 280;
+  std::size_t max_entities = 480;
+  /// Probability of a causal edge between an ordered intermediate pair.
+  double edge_prob = 0.30;
+  /// Probability of exposure -> intermediate / intermediate -> outcome
+  /// edges (one mediated exposure -> m -> outcome chain is always forced).
+  double exposure_edge_prob = 0.55;
+  double outcome_edge_prob = 0.35;
+  /// Structural coefficient magnitude range for cluster edges.
+  double coef_lo = 0.45;
+  double coef_hi = 0.70;
+  /// Kept low: mixed-sign coefficients let direct and indirect paths
+  /// cancel (a faithfulness violation), making true edges statistically
+  /// invisible to any CI-based pruner — not a pipeline bug.
+  double negative_coef_prob = 0.10;
+  /// Strong-faithfulness margin: every true cluster edge must keep
+  /// |partial corr| >= this under every conditioning set of size <= 2
+  /// (computed analytically from the linear SCM). Draws violating it are
+  /// rejected and redrawn from a derived stream — near-cancellations make
+  /// true edges statistically invisible to any CI-based method, so
+  /// scenarios breaking the margin cannot serve as oracles. Set to 0 to
+  /// disable the screen.
+  double min_edge_partial_corr = 0.20;
+  /// Attribute placement mix: lake vs knowledge graph (input table is
+  /// reserved for the exposure/outcome attributes, as in COVID/FLIGHTS).
+  double lake_placement_prob = 0.45;
+  /// Number of distinct lake tables to spread lake attributes over.
+  std::size_t max_lake_tables = 3;
+  double one_to_many_prob = 0.25;
+  /// Mild data-quality injection.
+  double missing_attr_prob = 0.25;
+  double missing_rate = 0.05;
+  double mnar_attr_prob = 0.10;
+  double mnar_strength = 0.20;
+  double outlier_attr_prob = 0.10;
+  double outlier_rate = 0.01;
+  /// Probability of including a functionally-determined decoy attribute
+  /// (the Data Organizer must drop it).
+  double fd_attribute_prob = 0.50;
+  /// Allow non-Gaussian structural noise (Laplace / uniform) draws.
+  bool allow_non_gaussian = true;
+};
+
+/// Deterministically derives a scenario spec from `seed`: a random cluster
+/// DAG (exposure first, outcome last, no direct exposure -> outcome edge,
+/// at least one forced mediated chain, every intermediate cluster reachable
+/// from the exposure), random member attributes split across the knowledge
+/// graph and data lake, and mild data-quality injection. The result is a
+/// parameterized generalization of datagen/covid.cc and flights.cc; feed
+/// it to datagen::BuildScenario to materialize tables + ground truth.
+Result<datagen::ScenarioSpec> RandomScenarioSpec(
+    uint64_t seed, const RandomScenarioOptions& options = {});
+
+}  // namespace cdi::testing
+
+#endif  // CDI_TESTING_RANDOM_SCENARIO_H_

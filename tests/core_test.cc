@@ -6,6 +6,7 @@
 #include "core/cdag.h"
 #include "core/data_organizer.h"
 #include "core/effect.h"
+#include "core/identifiability.h"
 #include "core/knowledge_extractor.h"
 #include "core/varclus.h"
 #include "stats/descriptive.h"
@@ -615,6 +616,125 @@ TEST(KnowledgeExtractorTest, RequiresStringEntityColumn) {
   knowledge::KnowledgeGraph kg;
   KnowledgeExtractor extractor(&kg, nullptr);
   EXPECT_FALSE(extractor.Extract(input, "entity", "t", "o").ok());
+}
+
+// --------------------------------------------------------- identifiability
+
+TEST(IdentifiabilityTest, InduceClusterGraphDropsIntraClusterEdges) {
+  graph::Digraph attrs({"a1", "a2", "b1"});
+  CDI_CHECK(attrs.AddEdge("a1", "a2").ok());  // intra-cluster: no edge
+  CDI_CHECK(attrs.AddEdge("a2", "b1").ok());  // cross-cluster: A -> B
+  auto induced = InduceClusterGraph(attrs, {{"A", {"a1", "a2"}},
+                                            {"B", {"b1"}}});
+  ASSERT_TRUE(induced.ok());
+  EXPECT_EQ(induced->num_edges(), 1u);
+  EXPECT_TRUE(induced->HasEdge("A", "B"));
+  EXPECT_FALSE(induced->HasEdge("A", "A"));
+}
+
+TEST(IdentifiabilityTest, InduceClusterGraphIgnoresUnclusteredAttributes) {
+  graph::Digraph attrs({"a", "b", "stray"});
+  CDI_CHECK(attrs.AddEdge("a", "stray").ok());
+  CDI_CHECK(attrs.AddEdge("stray", "b").ok());
+  auto induced = InduceClusterGraph(attrs, {{"A", {"a"}}, {"B", {"b"}}});
+  ASSERT_TRUE(induced.ok());
+  // Edges through the unclustered attribute vanish rather than erroring.
+  EXPECT_EQ(induced->num_edges(), 0u);
+}
+
+TEST(IdentifiabilityTest, InduceClusterGraphRejectsOverlappingClusters) {
+  graph::Digraph attrs({"a", "b"});
+  EXPECT_FALSE(
+      InduceClusterGraph(attrs, {{"A", {"a", "b"}}, {"B", {"b"}}}).ok());
+}
+
+TEST(IdentifiabilityTest, ConsistencyOnExactCdag) {
+  graph::Digraph attrs({"t", "m", "o"});
+  CDI_CHECK(attrs.AddEdge("t", "m").ok());
+  CDI_CHECK(attrs.AddEdge("m", "o").ok());
+  auto cdag = ClusterDag::Create(
+      {{"T", {"t"}}, {"M", {"m"}}, {"O", {"o"}}}, "T", "O");
+  ASSERT_TRUE(cdag.ok());
+  CDI_CHECK(cdag->mutable_graph().AddEdge("T", "M").ok());
+  CDI_CHECK(cdag->mutable_graph().AddEdge("M", "O").ok());
+  auto report = CheckCdagConsistency(attrs, *cdag);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->fully_consistent());
+  EXPECT_TRUE(report->clustering_admissible);
+}
+
+TEST(IdentifiabilityTest, ConsistencyFlagsMissingAndUnsupportedEdges) {
+  graph::Digraph attrs({"t", "m", "o"});
+  CDI_CHECK(attrs.AddEdge("t", "m").ok());
+  CDI_CHECK(attrs.AddEdge("m", "o").ok());
+  auto cdag = ClusterDag::Create(
+      {{"T", {"t"}}, {"M", {"m"}}, {"O", {"o"}}}, "T", "O");
+  ASSERT_TRUE(cdag.ok());
+  // The C-DAG claims T -> O (no attribute support) and omits M -> O.
+  CDI_CHECK(cdag->mutable_graph().AddEdge("T", "M").ok());
+  CDI_CHECK(cdag->mutable_graph().AddEdge("T", "O").ok());
+  auto report = CheckCdagConsistency(attrs, *cdag);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->fully_consistent());
+  ASSERT_EQ(report->missing_edges.size(), 1u);
+  EXPECT_EQ(report->missing_edges[0],
+            (std::pair<std::string, std::string>{"M", "O"}));
+  ASSERT_EQ(report->unsupported_edges.size(), 1u);
+  EXPECT_EQ(report->unsupported_edges[0],
+            (std::pair<std::string, std::string>{"T", "O"}));
+}
+
+TEST(IdentifiabilityTest, ConsistencyRejectsCyclicAttributeGraph) {
+  graph::Digraph attrs({"a", "b"});
+  CDI_CHECK(attrs.AddEdge("a", "b").ok());
+  CDI_CHECK(attrs.AddEdge("b", "a").ok());
+  auto cdag = ClusterDag::Create({{"A", {"a"}}, {"B", {"b"}}}, "A", "B");
+  ASSERT_TRUE(cdag.ok());
+  EXPECT_FALSE(CheckCdagConsistency(attrs, *cdag).ok());
+}
+
+// -------------------------------------------------- effect (empty adjust)
+
+TEST(EffectTest, EmptyAdjustmentSetEstimatesMarginalSlope) {
+  // o = 0.8 * t exactly; with no adjustment the standardized slope is 1.
+  std::vector<double> t, o;
+  for (int i = 0; i < 50; ++i) {
+    t.push_back(static_cast<double>(i));
+    o.push_back(0.8 * static_cast<double>(i));
+  }
+  table::Table tab("tab");
+  CDI_CHECK(tab.AddColumn(table::Column::FromDoubles("t", t)).ok());
+  CDI_CHECK(tab.AddColumn(table::Column::FromDoubles("o", o)).ok());
+  auto est = EstimateEffect(tab, "t", "o", /*adjustment=*/{});
+  ASSERT_TRUE(est.ok());
+  EXPECT_TRUE(est->adjusted_for.empty());
+  EXPECT_NEAR(est->abs_effect, 1.0, 1e-9);
+  EXPECT_EQ(est->n_used, 50u);
+}
+
+TEST(EffectTest, FullyMediatedDirectEffectIsZero) {
+  // t -> m -> o with no direct edge: adjusting for the mediator must zero
+  // the estimated direct effect, while the empty set recovers the total.
+  Rng rng(99);
+  std::vector<double> t, m, o;
+  for (int i = 0; i < 400; ++i) {
+    const double tv = rng.Normal();
+    const double mv = 0.9 * tv + 0.2 * rng.Normal();
+    const double ov = 0.9 * mv + 0.2 * rng.Normal();
+    t.push_back(tv);
+    m.push_back(mv);
+    o.push_back(ov);
+  }
+  table::Table tab("tab");
+  CDI_CHECK(tab.AddColumn(table::Column::FromDoubles("t", t)).ok());
+  CDI_CHECK(tab.AddColumn(table::Column::FromDoubles("m", m)).ok());
+  CDI_CHECK(tab.AddColumn(table::Column::FromDoubles("o", o)).ok());
+  auto direct = EstimateEffect(tab, "t", "o", {"m"});
+  ASSERT_TRUE(direct.ok());
+  EXPECT_LT(direct->abs_effect, 0.1);
+  auto total = EstimateEffect(tab, "t", "o", {});
+  ASSERT_TRUE(total.ok());
+  EXPECT_GT(total->abs_effect, 0.5);
 }
 
 }  // namespace

@@ -7,7 +7,9 @@
 #include "datagen/flights.h"
 #include "datagen/scenario.h"
 #include "datagen/scm.h"
+#include "discovery/discovery.h"
 #include "stats/descriptive.h"
+#include "table/csv.h"
 
 namespace cdi::datagen {
 namespace {
@@ -342,6 +344,78 @@ TEST(ScenarioTest, OracleKnowsClusterRelations) {
   EXPECT_TRUE((*s)->oracle->DoesCause("confirmed_cases",
                                       "covid_death_rate") ||
               (*s)->oracle->DoesCause("spread", "death_rate"));
+}
+
+// --------------------------------------------------------- seed stability
+
+/// Flat deterministic rendering of everything a scenario materializes:
+/// input table, every lake table, and both ground-truth DAGs.
+std::string Fingerprint(const Scenario& s) {
+  std::string out = table::WriteCsvString(s.input_table);
+  for (const auto& t : s.lake.tables()) {
+    out += "\n--" + t.name() + "\n" + table::WriteCsvString(t);
+  }
+  out += "\n--cluster-dag\n";
+  for (const auto& [u, v] : s.cluster_dag.Edges()) {
+    out += s.cluster_dag.NodeName(u) + ">" + s.cluster_dag.NodeName(v) +
+           ";";
+  }
+  out += "\n--attribute-dag\n";
+  for (const auto& [u, v] : s.attribute_dag.Edges()) {
+    out += s.attribute_dag.NodeName(u) + ">" + s.attribute_dag.NodeName(v) +
+           ";";
+  }
+  return out;
+}
+
+/// Same seed must give bitwise-identical tables and ground truth, and the
+/// rebuild must be immune to unrelated parallel work in between: the
+/// discovery engine's thread pool must not leak nondeterminism (thread-
+/// local RNG state, allocation order) into scenario materialization.
+void ExpectRebuildStable(const ScenarioSpec& spec) {
+  auto first = BuildScenario(spec);
+  ASSERT_TRUE(first.ok());
+  const std::string before = Fingerprint(**first);
+
+  // Exercise the parallel CI engine between the two builds.
+  std::vector<std::vector<double>> columns;
+  std::vector<std::string> names;
+  for (const auto& [name, col] : (*first)->clean_data) {
+    names.push_back(name);
+    columns.push_back(col);
+    if (columns.size() == 6) break;
+  }
+  discovery::DiscoveryOptions d;
+  d.num_threads = 8;
+  d.max_cond_size = 1;
+  ASSERT_TRUE(discovery::RunDiscovery(SpansOf(columns), names,
+                                      discovery::Algorithm::kPc, d)
+                  .ok());
+
+  auto second = BuildScenario(spec);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(before, Fingerprint(**second));
+  EXPECT_TRUE((*first)->cluster_dag == (*second)->cluster_dag);
+  EXPECT_TRUE((*first)->attribute_dag == (*second)->attribute_dag);
+}
+
+TEST(SeedStabilityTest, CovidRebuildsBitwiseIdentical) {
+  ExpectRebuildStable(CovidSpec());
+}
+
+TEST(SeedStabilityTest, FlightsRebuildsBitwiseIdentical) {
+  ExpectRebuildStable(FlightsSpec());
+}
+
+TEST(SeedStabilityTest, SeedChangesTheData) {
+  ScenarioSpec spec = CovidSpec();
+  auto a = BuildScenario(spec);
+  spec.seed += 1;
+  auto b = BuildScenario(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(table::WriteCsvString((*a)->input_table),
+            table::WriteCsvString((*b)->input_table));
 }
 
 }  // namespace

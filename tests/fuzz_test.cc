@@ -1,0 +1,184 @@
+// Tests for the cdi::testing fuzz harness itself: the random scenario
+// generator's structural guarantees, the oracle checks, the metamorphic
+// relations, and — crucially — that an intentionally injected discovery
+// bug is *caught* with a usable reproducer.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "datagen/scenario.h"
+#include "testing/checks.h"
+#include "testing/harness.h"
+#include "testing/metamorphic.h"
+#include "testing/random_scenario.h"
+
+namespace cdi {
+namespace {
+
+/// Small scenarios keep the suite inside the tier-1 time budget.
+testing::RandomScenarioOptions SmallScenarios() {
+  testing::RandomScenarioOptions o;
+  o.min_entities = 120;
+  o.max_entities = 200;
+  o.max_clusters = 6;
+  return o;
+}
+
+// --------------------------------------------------------------- generator
+
+TEST(RandomScenarioTest, SameSeedSameSpec) {
+  auto a = testing::RandomScenarioSpec(7);
+  auto b = testing::RandomScenarioSpec(7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->name, b->name);
+  EXPECT_EQ(a->num_entities, b->num_entities);
+  EXPECT_EQ(a->clusters.size(), b->clusters.size());
+  ASSERT_EQ(a->edges.size(), b->edges.size());
+  for (std::size_t i = 0; i < a->edges.size(); ++i) {
+    EXPECT_EQ(a->edges[i].from, b->edges[i].from);
+    EXPECT_EQ(a->edges[i].to, b->edges[i].to);
+    EXPECT_DOUBLE_EQ(a->edges[i].coef, b->edges[i].coef);
+  }
+}
+
+TEST(RandomScenarioTest, DifferentSeedsDiffer) {
+  auto a = testing::RandomScenarioSpec(1);
+  auto b = testing::RandomScenarioSpec(2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Either size or structure must differ (equality of all of these would
+  // mean the seed is being ignored somewhere).
+  std::vector<std::pair<std::string, std::string>> ea, eb;
+  for (const auto& e : a->edges) ea.emplace_back(e.from, e.to);
+  for (const auto& e : b->edges) eb.emplace_back(e.from, e.to);
+  EXPECT_FALSE(a->num_entities == b->num_entities &&
+               a->clusters.size() == b->clusters.size() && ea == eb);
+}
+
+TEST(RandomScenarioTest, StructuralGuaranteesAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    auto spec = testing::RandomScenarioSpec(seed, SmallScenarios());
+    ASSERT_TRUE(spec.ok()) << "seed " << seed;
+    const std::string& exposure = spec->exposure_cluster;
+    const std::string& outcome = spec->outcome_cluster;
+    std::set<std::string> from_exposure;
+    bool direct_t_to_o = false;
+    for (const auto& e : spec->edges) {
+      if (e.from == exposure && e.to == outcome) direct_t_to_o = true;
+      if (e.from == exposure) from_exposure.insert(e.to);
+    }
+    EXPECT_FALSE(direct_t_to_o) << "seed " << seed;
+    // At least one forced mediated chain exposure -> m -> outcome.
+    bool mediated = false;
+    for (const auto& e : spec->edges) {
+      if (e.to == outcome && from_exposure.count(e.from)) mediated = true;
+    }
+    EXPECT_TRUE(mediated) << "seed " << seed;
+  }
+}
+
+TEST(RandomScenarioTest, MaterializesAndPassesGroundTruthChecks) {
+  for (uint64_t seed : {3, 11, 19}) {
+    auto spec = testing::RandomScenarioSpec(seed, SmallScenarios());
+    ASSERT_TRUE(spec.ok());
+    auto scenario = datagen::BuildScenario(*spec);
+    ASSERT_TRUE(scenario.ok()) << "seed " << seed;
+    const auto failures = testing::CheckScenarioGroundTruth(**scenario);
+    EXPECT_TRUE(failures.empty())
+        << "seed " << seed << ": " << failures.front().check << " — "
+        << failures.front().detail;
+  }
+}
+
+TEST(RandomScenarioTest, RejectsBadOptions) {
+  testing::RandomScenarioOptions o;
+  o.min_clusters = 2;  // below exposure + outcome + 2 intermediates
+  EXPECT_FALSE(testing::RandomScenarioSpec(1, o).ok());
+  o = testing::RandomScenarioOptions();
+  o.coef_lo = -0.1;
+  EXPECT_FALSE(testing::RandomScenarioSpec(1, o).ok());
+  o = testing::RandomScenarioOptions();
+  o.max_entities = o.min_entities - 1;
+  EXPECT_FALSE(testing::RandomScenarioSpec(1, o).ok());
+}
+
+// ------------------------------------------------------------ fuzz trials
+
+TEST(FuzzTrialTest, CleanTrialsPass) {
+  testing::FuzzOptions options;
+  options.scenario = SmallScenarios();
+  for (uint64_t seed : {1, 2}) {
+    auto trial = testing::RunFuzzTrial(seed, options);
+    ASSERT_TRUE(trial.ok());
+    EXPECT_TRUE(trial->passed())
+        << "seed " << seed << ": " << trial->failures.front().check << " — "
+        << trial->failures.front().detail;
+    EXPECT_GT(trial->presence_f1, 0.0);
+    EXPECT_GT(trial->num_clusters, 0u);
+  }
+}
+
+TEST(FuzzTrialTest, InjectedOutcomeFlipIsCaught) {
+  testing::FuzzOptions options;
+  options.scenario = SmallScenarios();
+  options.fault = testing::FaultKind::kFlipOutcomeEdges;
+  options.run_metamorphic = false;  // the fault targets the oracle checks
+  const auto summary = testing::RunFuzz(1, 3, options);
+  EXPECT_GE(summary.failed_trials, 1u)
+      << "an intentionally flipped discovery edge must be caught";
+  // The reproducer replays the failing seed with the same fault.
+  ASSERT_FALSE(summary.failures.empty());
+  const std::string repro =
+      testing::ReproducerCommand(summary.failures[0].seed, options);
+  EXPECT_NE(repro.find("--seed"), std::string::npos);
+  EXPECT_NE(repro.find("--inject-bug flip-outcome-edges"),
+            std::string::npos);
+  EXPECT_NE(repro.find("--trials 1"), std::string::npos);
+}
+
+TEST(FuzzTrialTest, FailureBudgetGatesSummary) {
+  testing::FuzzSummary summary;
+  summary.trials = 100;
+  summary.failed_trials = 1;
+  EXPECT_FALSE(summary.all_passed());
+  EXPECT_TRUE(summary.within_budget(1));
+  EXPECT_FALSE(summary.within_budget(0));
+}
+
+TEST(FuzzTrialTest, ParseFaultKindRoundTrips) {
+  for (auto kind :
+       {testing::FaultKind::kNone, testing::FaultKind::kFlipOutcomeEdges,
+        testing::FaultKind::kFlipTrueEdge}) {
+    auto parsed = testing::ParseFaultKind(testing::FaultKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(testing::ParseFaultKind("bogus").ok());
+}
+
+// ------------------------------------------------------------- metamorphic
+
+TEST(MetamorphicTest, RelationsHoldOnCleanData) {
+  auto spec = testing::RandomScenarioSpec(5, SmallScenarios());
+  ASSERT_TRUE(spec.ok());
+  auto scenario = datagen::BuildScenario(*spec);
+  ASSERT_TRUE(scenario.ok());
+  std::vector<std::vector<double>> columns;
+  std::vector<std::string> names;
+  for (const auto& [name, col] : (*scenario)->clean_data) {
+    names.push_back(name);
+    columns.push_back(col);
+  }
+  const auto failures =
+      testing::CheckDiscoveryInvariances(columns, names, /*seed=*/5);
+  EXPECT_TRUE(failures.empty())
+      << failures.front().check << " — " << failures.front().detail;
+}
+
+}  // namespace
+}  // namespace cdi

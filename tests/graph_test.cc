@@ -527,5 +527,100 @@ TEST(RandomGraphTest, EdgeCountExact) {
   EXPECT_EQ(full.num_edges(), 6u);
 }
 
+// ----------------------------------------------------- PAG edge-mark marks
+
+TEST(PagTest, EdgeMarkRoundTrips) {
+  Pag pag({"x", "y", "z"});
+  ASSERT_TRUE(pag.AddEdge(0, 1).ok());
+  // Fresh edges carry circles at both ends.
+  ASSERT_TRUE(pag.MarkAt(0, 1, 0).ok());
+  EXPECT_EQ(*pag.MarkAt(0, 1, 0), EndMark::kCircle);
+  EXPECT_EQ(*pag.MarkAt(0, 1, 1), EndMark::kCircle);
+  // Set and read back every mark kind, through both endpoint orders.
+  for (EndMark mark :
+       {EndMark::kArrow, EndMark::kTail, EndMark::kCircle}) {
+    ASSERT_TRUE(pag.SetMark(0, 1, 1, mark).ok());
+    EXPECT_EQ(*pag.MarkAt(0, 1, 1), mark);
+    EXPECT_EQ(*pag.MarkAt(1, 0, 1), mark);  // order-insensitive key
+    EXPECT_EQ(*pag.MarkAt(0, 1, 0), EndMark::kCircle);  // other end intact
+  }
+  // Mark queries/sets on absent edges or foreign endpoints fail.
+  EXPECT_FALSE(pag.MarkAt(0, 2, 0).ok());
+  EXPECT_FALSE(pag.SetMark(0, 1, 2, EndMark::kArrow).ok());
+  // Removal forgets the marks; re-adding starts back at circles.
+  ASSERT_TRUE(pag.SetMark(0, 1, 1, EndMark::kArrow).ok());
+  pag.RemoveEdge(1, 0);
+  EXPECT_FALSE(pag.Adjacent(0, 1));
+  EXPECT_FALSE(pag.MarkAt(0, 1, 0).ok());
+  ASSERT_TRUE(pag.AddEdge(0, 1).ok());
+  EXPECT_EQ(*pag.MarkAt(0, 1, 1), EndMark::kCircle);
+}
+
+TEST(PagTest, DirectedClaimsRespectTails) {
+  Pag pag({"a", "b", "c", "d"});
+  // a -> b (tail at a, arrow at b): one claim a -> b.
+  ASSERT_TRUE(pag.AddEdge(0, 1).ok());
+  ASSERT_TRUE(pag.SetMark(0, 1, 0, EndMark::kTail).ok());
+  ASSERT_TRUE(pag.SetMark(0, 1, 1, EndMark::kArrow).ok());
+  // b <-> c: two claims (either could cause the other via a latent).
+  ASSERT_TRUE(pag.AddEdge(1, 2).ok());
+  ASSERT_TRUE(pag.SetMark(1, 2, 1, EndMark::kArrow).ok());
+  ASSERT_TRUE(pag.SetMark(1, 2, 2, EndMark::kArrow).ok());
+  // c o-o d: two claims.
+  ASSERT_TRUE(pag.AddEdge(2, 3).ok());
+  const auto claims = pag.ToDirectedClaims();
+  auto has = [&](NodeId u, NodeId v) {
+    return std::find(claims.begin(), claims.end(), Edge{u, v}) !=
+           claims.end();
+  };
+  EXPECT_TRUE(has(0, 1));
+  EXPECT_FALSE(has(1, 0));  // tail at a rules out b -> a
+  EXPECT_TRUE(has(1, 2));
+  EXPECT_TRUE(has(2, 1));
+  EXPECT_TRUE(has(2, 3));
+  EXPECT_TRUE(has(3, 2));
+  EXPECT_EQ(claims.size(), 5u);
+}
+
+// ----------------------------------------- adjustment with disconnected T/O
+
+TEST(AdjustmentTest, DisconnectedExposureOutcome) {
+  Digraph g({"t", "o", "z"});
+  CDI_CHECK(g.AddEdge("z", "o").ok());  // z touches only the outcome
+  const NodeId t = 0, o = 1;
+  auto med = Mediators(g, t, o);
+  ASSERT_TRUE(med.ok());
+  EXPECT_TRUE(med->empty());
+  auto conf = Confounders(g, t, o);
+  ASSERT_TRUE(conf.ok());
+  EXPECT_TRUE(conf->empty());
+  // With no connecting path at all, T and O are d-separated by the empty
+  // set, and the empty set is a valid backdoor set.
+  auto sep = DSeparated(g, t, o, {});
+  ASSERT_TRUE(sep.ok());
+  EXPECT_TRUE(*sep);
+  auto valid = IsValidBackdoorSet(g, t, o, {});
+  ASSERT_TRUE(valid.ok());
+  EXPECT_TRUE(*valid);
+  auto minimal = MinimalBackdoorSet(g, t, o);
+  ASSERT_TRUE(minimal.ok());
+  EXPECT_TRUE(minimal->empty());
+}
+
+TEST(AdjustmentTest, EmptySetsOnDirectEdgeOnlyGraph) {
+  Digraph g({"t", "o"});
+  CDI_CHECK(g.AddEdge("t", "o").ok());
+  auto med = Mediators(g, 0, 1);
+  ASSERT_TRUE(med.ok());
+  EXPECT_TRUE(med->empty());  // nothing strictly between t and o
+  auto direct = DirectEffectAdjustmentSet(g, 0, 1);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(direct->empty());
+  // The direct edge d-connects t and o under any conditioning set.
+  auto sep = DSeparated(g, 0, 1, {});
+  ASSERT_TRUE(sep.ok());
+  EXPECT_FALSE(*sep);
+}
+
 }  // namespace
 }  // namespace cdi::graph

@@ -1,33 +1,59 @@
 #!/usr/bin/env bash
 # Pre-PR gate: build + test Release, then AddressSanitizer +
-# UndefinedBehaviorSanitizer, and run the full ctest suite on both.
+# UndefinedBehaviorSanitizer.
 #
-#   tools/check.sh            # both configurations
-#   tools/check.sh --fast     # Release only (skip the sanitizer build)
+#   tools/check.sh            # tier1 suites, both configurations
+#   tools/check.sh --fast     # tier1 suites, Release only
+#   tools/check.sh --slow     # tier1 + slow suites (full fuzz sweeps)
 #
-# The sanitizer configuration matters here: the typed column storage
-# works over raw buffers, bit casts and a packed null bitmap, which is
-# exactly the kind of code ASan/UBSan catch regressions in.
+# Tests carry ctest labels: `tier1` is the fast always-on gate, `slow`
+# holds the long randomized fuzz sweeps (see tests/CMakeLists.txt and
+# tools/CMakeLists.txt). The sanitizer configuration matters here: the
+# typed column storage works over raw buffers, bit casts and a packed
+# null bitmap, which is exactly the kind of code ASan/UBSan catch
+# regressions in.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAST=0
-[[ "${1:-}" == "--fast" ]] && FAST=1
+SLOW=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    --slow) SLOW=1 ;;
+    *) echo "usage: tools/check.sh [--fast] [--slow]" >&2; exit 2 ;;
+  esac
+done
+
+# Report which build flavor was running when a command failed, so a red
+# gate pinpoints "Release" vs "ASan/UBSan" without scrolling.
+FLAVOR="setup"
+trap 'status=$?; [[ $status -ne 0 ]] &&
+  echo "== check.sh: FAILED in flavor: $FLAVOR (exit $status) ==" >&2 ||
+  true' EXIT
 
 run_suite() {
   local dir="$1"; shift
   cmake -B "$dir" -S . "$@" >/dev/null
   cmake --build "$dir" -j
-  (cd "$dir" && ctest --output-on-failure -j)
+  # Keep -L before the bare -j: ctest's optional-valued -j would
+  # otherwise swallow "-L" and silently drop the label filter.
+  (cd "$dir" && ctest --output-on-failure -L tier1 -j)
+  if [[ "$SLOW" == "1" ]]; then
+    (cd "$dir" && ctest --output-on-failure -L slow -j)
+  fi
 }
 
-echo "== Release build + ctest =="
+FLAVOR="Release"
+echo "== Release build + ctest (tier1) =="
 run_suite build -DCMAKE_BUILD_TYPE=Release
 
 if [[ "$FAST" == "0" ]]; then
-  echo "== ASan/UBSan build + ctest =="
+  FLAVOR="ASan/UBSan"
+  echo "== ASan/UBSan build + ctest (tier1) =="
   run_suite build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCDI_ASAN=ON -DCDI_UBSAN=ON
 fi
 
+FLAVOR="done"
 echo "== check.sh: all green =="
