@@ -23,6 +23,7 @@
 #include "graph/random_graph.h"
 #include "stats/correlation.h"
 #include "stats/linalg.h"
+#include "stats/sufficient_stats.h"
 #include "table/aggregate.h"
 #include "table/join.h"
 
@@ -94,7 +95,88 @@ void BM_CorrelationMatrix(benchmark::State& state) {
     benchmark::DoNotOptimize(corr->rows());
   }
 }
-BENCHMARK(BM_CorrelationMatrix)->Arg(10)->Arg(30)->Arg(100);
+BENCHMARK(BM_CorrelationMatrix)->Arg(10)->Arg(30)->Arg(100)->Arg(200)->Arg(400);
+
+// ------------------------------------- sufficient-statistics sweep
+// The blocked Gram kernel vs the retired scalar reference, a threads ×
+// vars sweep, and incremental column append vs full recompute. See
+// EXPERIMENTS.md "Sufficient-statistics sweep".
+
+void BM_CovarianceReference(benchmark::State& state) {
+  const auto vars = static_cast<std::size_t>(state.range(0));
+  auto ds = cdi::stats::NumericDataset::Own(ChainData(vars, 2000, 5));
+  for (auto _ : state) {
+    auto cov = cdi::stats::ReferenceCovarianceMatrix(ds);
+    benchmark::DoNotOptimize(cov->rows());
+  }
+}
+BENCHMARK(BM_CovarianceReference)->Arg(100)->Arg(200)->Arg(400);
+
+// Arg(0) = threads, Arg(1) = vars. The pool is created outside the timed
+// region (long-lived in real use); results are bitwise identical across
+// every thread count, so this sweep measures pure scheduling overhead /
+// speedup.
+void BM_CovarianceBlockedSweep(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const auto vars = static_cast<std::size_t>(state.range(1));
+  auto ds = cdi::stats::NumericDataset::Own(ChainData(vars, 2000, 5));
+  std::unique_ptr<cdi::ThreadPool> pool;
+  if (threads > 1) {
+    pool = std::make_unique<cdi::ThreadPool>(
+        static_cast<std::size_t>(threads));
+  }
+  for (auto _ : state) {
+    auto cov = cdi::stats::CovarianceMatrix(ds, pool.get());
+    benchmark::DoNotOptimize(cov->rows());
+  }
+  state.SetLabel("t" + std::to_string(threads) + "/v" +
+                 std::to_string(vars));
+}
+// UseRealTime: with a pool the work runs on worker threads, whose CPU the
+// default (main-thread) cpu_time does not see — wall clock is the honest
+// metric for the threaded rows.
+BENCHMARK(BM_CovarianceBlockedSweep)
+    ->UseRealTime()
+    ->Args({1, 100})
+    ->Args({1, 200})
+    ->Args({1, 400})
+    ->Args({2, 200})
+    ->Args({4, 200})
+    ->Args({8, 200})
+    ->Args({8, 400});
+
+// Extending a 200-attribute Gram with 10 new columns: the incremental
+// cross-term path (O(n * k * (p + k))) vs recomputing all 210 columns
+// from scratch. Same data, bitwise-identical results.
+void BM_SufficientStatsAppendIncremental(benchmark::State& state) {
+  auto data = ChainData(210, 2000, 5);
+  cdi::stats::NumericDataset base;
+  for (std::size_t v = 0; v < 200; ++v) base.columns.push_back(data[v]);
+  std::vector<cdi::DoubleSpan> extra(data.begin() + 200, data.end());
+  auto stats = cdi::stats::SufficientStats::Compute(base);
+  CDI_CHECK(stats.ok());
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto s = *stats;
+    state.ResumeTiming();
+    CDI_CHECK(s.AppendColumns(extra).ok());
+    CDI_CHECK(s.last_append_incremental());
+    benchmark::DoNotOptimize(s.num_vars());
+  }
+}
+BENCHMARK(BM_SufficientStatsAppendIncremental);
+
+void BM_SufficientStatsAppendRecompute(benchmark::State& state) {
+  auto data = ChainData(210, 2000, 5);
+  auto ds = cdi::stats::NumericDataset();
+  for (auto& col : data) ds.columns.push_back(col);
+  for (auto _ : state) {
+    auto s = cdi::stats::SufficientStats::Compute(ds);
+    CDI_CHECK(s.ok());
+    benchmark::DoNotOptimize(s->num_vars());
+  }
+}
+BENCHMARK(BM_SufficientStatsAppendRecompute);
 
 void BM_FisherZPartialCorrelation(benchmark::State& state) {
   auto ds = cdi::stats::NumericDataset::Own(ChainData(20, 1000, 7));

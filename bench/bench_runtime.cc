@@ -7,8 +7,14 @@
 // call would have cost against real endpoints (GPT-3 completion ~1.5 s,
 // KG lookup ~0.15 s, lake catalog scan ~0.4 s). The reproduction target is
 // the shape: external time dwarfs compute, and FLIGHTS > COVID-19.
+//
+// `--json` switches the report to machine-readable JSON (one object with a
+// "scenarios" array) so the perf trajectory can be tracked across PRs; see
+// tools/perf_smoke.py and BENCH_PR4.json.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "core/evaluation.h"
 #include "core/pipeline.h"
@@ -18,7 +24,7 @@
 namespace {
 
 int RunOne(const char* label, const cdi::datagen::ScenarioSpec& spec,
-           double paper_seconds) {
+           double paper_seconds, bool json, bool first) {
   auto scenario = cdi::datagen::BuildScenario(spec);
   if (!scenario.ok()) {
     std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
@@ -33,6 +39,31 @@ int RunOne(const char* label, const cdi::datagen::ScenarioSpec& spec,
   if (!run.ok()) {
     std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
     return 1;
+  }
+  if (json) {
+    std::printf("%s    {\"name\": \"%s\", \"entities\": %zu,\n",
+                first ? "" : ",\n", label, spec.num_entities);
+    std::printf("     \"wall_ms\": {\"extract\": %.3f, \"organize\": %.3f, "
+                "\"build\": %.3f, \"total\": %.3f},\n",
+                1e3 * run->timings.extract_seconds,
+                1e3 * run->timings.organize_seconds,
+                1e3 * run->timings.build_seconds,
+                1e3 * run->timings.total_seconds);
+    std::printf("     \"external\": [");
+    bool first_entry = true;
+    for (const auto& [service, entry] : run->external.entries()) {
+      std::printf("%s{\"service\": \"%s\", \"calls\": %ld, "
+                  "\"seconds\": %.1f}",
+                  first_entry ? "" : ", ", service.c_str(),
+                  static_cast<long>(entry.calls), entry.seconds);
+      first_entry = false;
+    }
+    std::printf("],\n");
+    std::printf("     \"simulated_end_to_end_seconds\": %.1f, "
+                "\"paper_seconds\": %.0f}",
+                run->external.TotalSeconds() + run->timings.total_seconds,
+                paper_seconds);
+    return 0;
   }
   std::printf("%s (%zu entities)\n", label, spec.num_entities);
   std::printf("  wall clock:  extract %6.1f ms | organize %6.1f ms | "
@@ -54,11 +85,21 @@ int RunOne(const char* label, const cdi::datagen::ScenarioSpec& spec,
 
 }  // namespace
 
-int main() {
-  std::printf("End-to-end runtime reproduction (see EXPERIMENTS.md)\n");
-  std::printf("====================================================\n\n");
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+  if (json) {
+    std::printf("{\n  \"benchmark\": \"bench_runtime\",\n"
+                "  \"scenarios\": [\n");
+  } else {
+    std::printf("End-to-end runtime reproduction (see EXPERIMENTS.md)\n");
+    std::printf("====================================================\n\n");
+  }
   int rc = 0;
-  rc |= RunOne("FLIGHTS", cdi::datagen::FlightsSpec(), 645.0);
-  rc |= RunOne("COVID-19", cdi::datagen::CovidSpec(), 304.0);
+  rc |= RunOne("FLIGHTS", cdi::datagen::FlightsSpec(), 645.0, json, true);
+  rc |= RunOne("COVID-19", cdi::datagen::CovidSpec(), 304.0, json, false);
+  if (json) std::printf("\n  ]\n}\n");
   return rc;
 }

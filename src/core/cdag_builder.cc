@@ -12,8 +12,10 @@
 #include "discovery/cached_ci.h"
 #include "discovery/ci_test.h"
 #include "discovery/subsets.h"
+#include "stats/correlation.h"
 #include "stats/descriptive.h"
 #include "stats/independence.h"
+#include "stats/sufficient_stats.h"
 
 namespace cdi::core {
 
@@ -124,9 +126,24 @@ Result<CdagBuildResult> CdagBuilder::Build(
     return Status::FailedPrecondition("no extracted numeric attributes");
   }
 
+  // One pool serves every parallel stage below (sufficient statistics,
+  // edge pruning); all of them are bitwise-deterministic in thread count.
+  std::unique_ptr<ThreadPool> pool;
+  if (options_.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(options_.num_threads));
+  }
+
   // ---- 2. VARCLUS grouping. ------------------------------------------------
+  // One blocked sufficient-statistics pass over the attribute columns;
+  // VARCLUS runs entirely on its correlation matrix.
+  stats::NumericDataset attr_ds;
+  attr_ds.columns = attr_columns;
+  CDI_ASSIGN_OR_RETURN(stats::SufficientStats attr_stats,
+                       stats::SufficientStats::Compute(attr_ds, pool.get()));
   CDI_ASSIGN_OR_RETURN(VarClusResult vc,
-                       RunVarClus(attr_columns, attr_names, options_.varclus));
+                       RunVarClusOnCorrelation(attr_stats.Correlation(),
+                                               attr_names, options_.varclus));
 
   // ---- 3. Topic assignment (exposure/outcome are singletons). --------------
   CdagBuildResult result;
@@ -173,11 +190,19 @@ Result<CdagBuildResult> CdagBuilder::Build(
   stats::NumericDataset rep_ds;
   rep_ds.columns = cdi::SpansOf(reps);  // `reps` outlives the CI engine
   rep_ds.weights = row_weights;
-  // The cached engine computes the correlation matrix once and memoizes
-  // every (x, y, S) query — pruning, augmentation and cycle repair all
-  // revisit the same pairs.
+  const std::size_t rep_complete = stats::CompleteRowCount(rep_ds);
+  if (rep_complete < 5) {
+    return Status::FailedPrecondition(
+        "FisherZTest needs at least 5 complete rows, got " +
+        std::to_string(rep_complete));
+  }
+  // The cached engine computes the correlation matrix once (from the shared
+  // sufficient statistics) and memoizes every (x, y, S) query — pruning,
+  // augmentation and cycle repair all revisit the same pairs.
+  CDI_ASSIGN_OR_RETURN(stats::SufficientStats rep_stats,
+                       stats::SufficientStats::Compute(rep_ds, pool.get()));
   CDI_ASSIGN_OR_RETURN(auto ci_test,
-                       discovery::CachedCiTest::ForGaussian(rep_ds));
+                       discovery::CachedCiTest::ForGaussian(rep_stats));
   const std::size_t k = clusters.size();
 
   // ---- 5. Edge inference. ----------------------------------------------------
@@ -213,11 +238,6 @@ Result<CdagBuildResult> CdagBuilder::Build(
         // of the snapshot, independent of edge order and thread count.
         const std::vector<graph::Edge> claimed = claim_graph.Edges();
         std::vector<char> prune_edge(claimed.size(), 0);
-        std::unique_ptr<ThreadPool> pool;
-        if (options_.num_threads > 1) {
-          pool = std::make_unique<ThreadPool>(
-              static_cast<std::size_t>(options_.num_threads));
-        }
         ParallelFor(pool.get(), claimed.size(), [&](std::size_t e) {
           const auto [u, v] = claimed[e];
           if (options_.prune_requires_marginal_dependence &&

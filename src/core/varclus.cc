@@ -116,7 +116,8 @@ bool SplitCluster(const stats::Matrix& corr, const Cluster& cluster,
 
 Result<VarClusResult> RunVarClus(
     const std::vector<DoubleSpan>& columns,
-    const std::vector<std::string>& names, const VarClusOptions& options) {
+    const std::vector<std::string>& names, const VarClusOptions& options,
+    ThreadPool* pool) {
   if (columns.size() != names.size()) {
     return Status::InvalidArgument("columns/names size mismatch");
   }
@@ -124,17 +125,27 @@ Result<VarClusResult> RunVarClus(
 
   stats::NumericDataset ds;
   ds.columns = columns;
-  CDI_ASSIGN_OR_RETURN(stats::Matrix corr, stats::CorrelationMatrix(ds));
+  CDI_ASSIGN_OR_RETURN(stats::Matrix corr, stats::CorrelationMatrix(ds, pool));
+  return RunVarClusOnCorrelation(corr, names, options);
+}
+
+Result<VarClusResult> RunVarClusOnCorrelation(
+    const stats::Matrix& corr, const std::vector<std::string>& names,
+    const VarClusOptions& options) {
+  if (corr.rows() != corr.cols() || corr.rows() != names.size()) {
+    return Status::InvalidArgument("correlation/names size mismatch");
+  }
+  if (names.empty()) return Status::InvalidArgument("no variables");
 
   std::vector<Cluster> clusters;
   {
-    Cluster all(columns.size());
+    Cluster all(corr.rows());
     for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
     clusters.push_back(std::move(all));
   }
 
   const std::size_t max_clusters =
-      options.max_clusters < 0 ? columns.size()
+      options.max_clusters < 0 ? corr.rows()
                                : static_cast<std::size_t>(options.max_clusters);
   const std::size_t min_clusters =
       options.min_clusters < 0 ? 1
@@ -174,7 +185,7 @@ Result<VarClusResult> RunVarClus(
   // part of the requested configuration).
   for (int pass = 0; pass < 4; ++pass) {
     bool moved = false;
-    for (std::size_t v = 0; v < columns.size(); ++v) {
+    for (std::size_t v = 0; v < corr.rows(); ++v) {
       std::size_t home = 0;
       for (std::size_t c = 0; c < clusters.size(); ++c) {
         if (std::find(clusters[c].begin(), clusters[c].end(), v) !=

@@ -8,6 +8,10 @@
 #include "common/status.h"
 #include "stats/matrix.h"
 
+namespace cdi {
+class ThreadPool;
+}  // namespace cdi
+
 namespace cdi::core {
 
 struct VarClusOptions {
@@ -39,10 +43,21 @@ struct VarClusResult {
 /// whichever split-half's first component they correlate with most.
 ///
 /// `columns` is column-major numeric data (NaN allowed; correlations use
-/// complete rows pairwise through the full correlation matrix).
+/// complete rows pairwise through the full correlation matrix). `pool`
+/// parallelizes the correlation pass (bitwise-deterministic; null =
+/// serial).
 Result<VarClusResult> RunVarClus(
     const std::vector<DoubleSpan>& columns,
     const std::vector<std::string>& names,
+    const VarClusOptions& options = VarClusOptions(),
+    ThreadPool* pool = nullptr);
+
+/// Clustering over a precomputed correlation matrix (e.g. from a shared
+/// stats::SufficientStats instance) — VARCLUS never re-reads raw rows, so
+/// this is the whole algorithm; RunVarClus is this plus one correlation
+/// pass. `corr` must be square with names.size() rows.
+Result<VarClusResult> RunVarClusOnCorrelation(
+    const stats::Matrix& corr, const std::vector<std::string>& names,
     const VarClusOptions& options = VarClusOptions());
 
 }  // namespace cdi::core

@@ -9,9 +9,17 @@
 namespace cdi::discovery {
 
 Result<std::unique_ptr<CachedCiTest>> CachedCiTest::ForGaussian(
-    const stats::NumericDataset& data) {
+    const stats::NumericDataset& data, ThreadPool* pool) {
   CDI_ASSIGN_OR_RETURN(std::unique_ptr<FisherZTest> base,
-                       FisherZTest::Create(data));
+                       FisherZTest::Create(data, pool));
+  return std::make_unique<CachedCiTest>(std::unique_ptr<CiTest>(
+      std::move(base)));
+}
+
+Result<std::unique_ptr<CachedCiTest>> CachedCiTest::ForGaussian(
+    const stats::SufficientStats& stats) {
+  CDI_ASSIGN_OR_RETURN(std::unique_ptr<FisherZTest> base,
+                       FisherZTest::Create(stats));
   return std::make_unique<CachedCiTest>(std::unique_ptr<CiTest>(
       std::move(base)));
 }

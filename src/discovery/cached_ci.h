@@ -44,9 +44,15 @@ class CachedCiTest : public CiTest {
 
   /// Convenience: a Fisher-z test over `data` (the correlation matrix is
   /// the shared sufficient statistic, computed once here) wrapped in a
-  /// cache.
+  /// cache. `pool` parallelizes the statistics pass
+  /// (bitwise-deterministic; null = serial).
   static Result<std::unique_ptr<CachedCiTest>> ForGaussian(
-      const stats::NumericDataset& data);
+      const stats::NumericDataset& data, ThreadPool* pool = nullptr);
+
+  /// Same, from an already-computed sufficient-statistics instance — no
+  /// pass over the raw rows.
+  static Result<std::unique_ptr<CachedCiTest>> ForGaussian(
+      const stats::SufficientStats& stats);
 
   std::size_t num_vars() const override { return base_->num_vars(); }
   double PValue(std::size_t x, std::size_t y,

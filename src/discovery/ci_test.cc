@@ -7,15 +7,27 @@
 namespace cdi::discovery {
 
 Result<std::unique_ptr<FisherZTest>> FisherZTest::Create(
-    const stats::NumericDataset& data) {
+    const stats::NumericDataset& data, ThreadPool* pool) {
   const std::size_t n = stats::CompleteRowCount(data);
   if (n < 5) {
     return Status::FailedPrecondition(
         "FisherZTest needs at least 5 complete rows, got " +
         std::to_string(n));
   }
-  CDI_ASSIGN_OR_RETURN(stats::Matrix corr, stats::CorrelationMatrix(data));
+  CDI_ASSIGN_OR_RETURN(stats::Matrix corr,
+                       stats::CorrelationMatrix(data, pool));
   return std::unique_ptr<FisherZTest>(new FisherZTest(std::move(corr), n));
+}
+
+Result<std::unique_ptr<FisherZTest>> FisherZTest::Create(
+    const stats::SufficientStats& stats) {
+  const std::size_t n = stats.complete_rows();
+  if (n < 5) {
+    return Status::FailedPrecondition(
+        "FisherZTest needs at least 5 complete rows, got " +
+        std::to_string(n));
+  }
+  return std::unique_ptr<FisherZTest>(new FisherZTest(stats.Correlation(), n));
 }
 
 double FisherZTest::PValue(std::size_t x, std::size_t y,

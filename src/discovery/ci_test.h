@@ -10,6 +10,7 @@
 #include "graph/digraph.h"
 #include "stats/correlation.h"
 #include "stats/matrix.h"
+#include "stats/sufficient_stats.h"
 
 namespace cdi::discovery {
 
@@ -49,9 +50,15 @@ class CiTest {
 /// submatrix.
 class FisherZTest : public CiTest {
  public:
-  /// Fails when fewer than 5 complete rows exist.
+  /// Fails when fewer than 5 complete rows exist. `pool` parallelizes the
+  /// sufficient-statistics pass (bitwise-deterministic; null = serial).
   static Result<std::unique_ptr<FisherZTest>> Create(
-      const stats::NumericDataset& data);
+      const stats::NumericDataset& data, ThreadPool* pool = nullptr);
+
+  /// Builds the test from an already-computed sufficient-statistics
+  /// instance — no pass over the raw rows.
+  static Result<std::unique_ptr<FisherZTest>> Create(
+      const stats::SufficientStats& stats);
 
   std::size_t num_vars() const override { return corr_.rows(); }
   double PValue(std::size_t x, std::size_t y,

@@ -1,5 +1,6 @@
 #include "discovery/discovery.h"
 
+#include "common/thread_pool.h"
 #include "discovery/cached_ci.h"
 #include "discovery/ci_test.h"
 #include "discovery/fci.h"
@@ -10,17 +11,24 @@ namespace cdi::discovery {
 namespace {
 
 /// Gaussian CI test for the constraint-based baselines, optionally behind
-/// the memoizing cache.
+/// the memoizing cache. The sufficient-statistics pass runs on a transient
+/// pool sized by options.num_threads (deterministic: same bits at any
+/// thread count).
 Result<std::unique_ptr<CiTest>> MakeGaussianTest(
     const std::vector<DoubleSpan>& data,
     const DiscoveryOptions& options) {
   stats::NumericDataset ds;
   ds.columns = data;
+  std::unique_ptr<ThreadPool> pool;
+  if (options.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(options.num_threads);
+  }
   if (options.use_ci_cache) {
-    CDI_ASSIGN_OR_RETURN(auto cached, CachedCiTest::ForGaussian(ds));
+    CDI_ASSIGN_OR_RETURN(auto cached,
+                         CachedCiTest::ForGaussian(ds, pool.get()));
     return std::unique_ptr<CiTest>(std::move(cached));
   }
-  CDI_ASSIGN_OR_RETURN(auto fisher, FisherZTest::Create(ds));
+  CDI_ASSIGN_OR_RETURN(auto fisher, FisherZTest::Create(ds, pool.get()));
   return std::unique_ptr<CiTest>(std::move(fisher));
 }
 

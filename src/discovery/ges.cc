@@ -10,19 +10,22 @@
 
 #include "common/span.h"
 #include "common/thread_pool.h"
-#include "stats/regression.h"
+#include "stats/sufficient_stats.h"
 
 namespace cdi::discovery {
 
 namespace {
 
-/// Memoizing wrapper around the Gaussian BIC local score. Thread-safe:
-/// concurrent misses on the same key both compute the same deterministic
-/// value, so cache content is independent of interleaving.
+/// Memoizing wrapper around the Gaussian BIC local score, computed from
+/// the dataset's shared sufficient statistics (Cholesky on a covariance
+/// submatrix — no pass over raw rows per score). Thread-safe: concurrent
+/// misses on the same key both compute the same deterministic value, so
+/// cache content is independent of interleaving.
 class ScoreCache {
  public:
-  ScoreCache(std::vector<cdi::DoubleSpan> data, double penalty)
-      : data_(std::move(data)), penalty_(penalty) {}
+  /// Borrows `stats`, which must outlive the cache.
+  ScoreCache(const stats::SufficientStats& stats, double penalty)
+      : stats_(stats), penalty_(penalty) {}
 
   /// BIC contribution of `target` with the given parent set (lower is
   /// better). Returns +inf when the regression is degenerate.
@@ -36,13 +39,13 @@ class ScoreCache {
       auto it = cache_.find(key);
       if (it != cache_.end()) return it->second;
     }
-    auto s = stats::GaussianBicLocalScore(data_, target, sorted);
+    auto s = stats_.GaussianBicLocal(target, sorted);
     double value;
     if (!s.ok()) {
       value = std::numeric_limits<double>::infinity();
     } else {
       // Re-weight just the penalty part.
-      const double n = static_cast<double>(data_[target].size());
+      const double n = static_cast<double>(stats_.complete_rows());
       const double base_penalty =
           std::log(n) * (static_cast<double>(sorted.size()) + 2.0);
       value = *s - base_penalty + penalty_ * base_penalty;
@@ -53,7 +56,7 @@ class ScoreCache {
   }
 
  private:
-  const std::vector<cdi::DoubleSpan> data_;
+  const stats::SufficientStats& stats_;
   double penalty_;
   std::mutex mu_;
   std::map<std::string, double> cache_;
@@ -85,36 +88,35 @@ Result<GesResult> RunGes(const std::vector<DoubleSpan>& data,
   }
   if (p < 2) return Status::InvalidArgument("need at least 2 variables");
 
-  // Listwise-complete rows.
-  std::vector<std::vector<double>> cc(p);
   const std::size_t n = data[0].size();
-  for (std::size_t r = 0; r < n; ++r) {
-    bool ok = true;
-    for (const auto& col : data) {
-      if (col.size() != n) return Status::InvalidArgument("ragged data");
-      if (std::isnan(col[r])) {
-        ok = false;
-        break;
-      }
-    }
-    if (ok) {
-      for (std::size_t v = 0; v < p; ++v) cc[v].push_back(data[v][r]);
-    }
+  for (const auto& col : data) {
+    if (col.size() != n) return Status::InvalidArgument("ragged data");
   }
-  if (cc[0].size() < p + 3) {
-    return Status::FailedPrecondition("too few complete rows for GES");
-  }
-
-  // The cache borrows `cc`, which lives for the rest of this function.
-  ScoreCache score(cdi::SpansOf(cc), options.penalty_discount);
-  graph::Digraph g(names);
-  GesResult result;
 
   std::unique_ptr<ThreadPool> pool;
   if (options.num_threads > 1) {
     pool = std::make_unique<ThreadPool>(
         static_cast<std::size_t>(options.num_threads));
   }
+
+  // One blocked sufficient-statistics pass replaces the listwise-complete
+  // copy; every local score below is linear algebra on its covariance
+  // submatrices. A dataset with under 2 complete rows fails inside
+  // Compute, which the p + 3 floor below subsumes.
+  stats::NumericDataset ds;
+  ds.columns = data;
+  auto stats = stats::SufficientStats::Compute(ds, pool.get());
+  if (!stats.ok() && stats.status().code() == StatusCode::kFailedPrecondition) {
+    return Status::FailedPrecondition("too few complete rows for GES");
+  }
+  CDI_RETURN_IF_ERROR(stats.status());
+  if (stats->complete_rows() < p + 3) {
+    return Status::FailedPrecondition("too few complete rows for GES");
+  }
+
+  ScoreCache score(*stats, options.penalty_discount);
+  graph::Digraph g(names);
+  GesResult result;
 
   // Current local score per node.
   std::vector<double> local(p);
@@ -134,13 +136,15 @@ Result<GesResult> RunGes(const std::vector<DoubleSpan>& data,
       moves[i].delta =
           score.Local(moves[i].v, moves[i].parents) - local[moves[i].v];
     });
-    double best_delta = -1e-9;
+    // Moves whose deltas are equal in exact arithmetic (e.g. the two
+    // directions of the first edge into an empty graph) can differ in the
+    // last bits depending on how the score kernel rounded; resolve such
+    // ties toward the earliest candidate so the greedy trajectory does not
+    // hinge on floating-point noise.
     const Move* best = nullptr;
     for (const Move& m : moves) {
-      if (m.delta < best_delta) {
-        best_delta = m.delta;
-        best = &m;
-      }
+      if (m.delta >= -1e-9) continue;  // not an improvement
+      if (best == nullptr || m.delta < best->delta - 1e-6) best = &m;
     }
     return best;
   };

@@ -5,99 +5,23 @@
 
 #include "stats/distributions.h"
 #include "stats/linalg.h"
+#include "stats/sufficient_stats.h"
 
 namespace cdi::stats {
 
-namespace {
+// CompleteRowCount is defined in sufficient_stats.cc alongside the mask
+// machinery it shares with the blocked kernel.
 
-/// Indices of rows with no NaN in any variable.
-std::vector<std::size_t> CompleteRows(const NumericDataset& data) {
-  std::vector<std::size_t> rows;
-  const std::size_t n = data.num_rows();
-  for (std::size_t r = 0; r < n; ++r) {
-    bool ok = true;
-    for (const auto& col : data.columns) {
-      if (std::isnan(col[r])) {
-        ok = false;
-        break;
-      }
-    }
-    if (ok) rows.push_back(r);
-  }
-  return rows;
+Result<Matrix> CovarianceMatrix(const NumericDataset& data,
+                                ThreadPool* pool) {
+  CDI_ASSIGN_OR_RETURN(SufficientStats s, SufficientStats::Compute(data, pool));
+  return s.Covariance();
 }
 
-}  // namespace
-
-std::size_t CompleteRowCount(const NumericDataset& data) {
-  return CompleteRows(data).size();
-}
-
-Result<Matrix> CovarianceMatrix(const NumericDataset& data) {
-  const std::size_t p = data.num_vars();
-  if (p == 0) return Status::InvalidArgument("no variables");
-  for (const auto& col : data.columns) {
-    if (col.size() != data.num_rows()) {
-      return Status::InvalidArgument("ragged dataset");
-    }
-  }
-  if (!data.weights.empty() && data.weights.size() != data.num_rows()) {
-    return Status::InvalidArgument("weights size mismatch");
-  }
-  const auto rows = CompleteRows(data);
-  if (rows.size() < 2) {
-    return Status::FailedPrecondition("fewer than 2 complete rows");
-  }
-  // Weighted means.
-  std::vector<double> mean(p, 0.0);
-  double wsum = 0;
-  for (std::size_t r : rows) {
-    const double w = data.weights.empty() ? 1.0 : data.weights[r];
-    wsum += w;
-    for (std::size_t v = 0; v < p; ++v) mean[v] += w * data.columns[v][r];
-  }
-  if (wsum <= 0) return Status::InvalidArgument("weights sum to zero");
-  for (double& m : mean) m /= wsum;
-
-  Matrix cov(p, p);
-  for (std::size_t r : rows) {
-    const double w = data.weights.empty() ? 1.0 : data.weights[r];
-    for (std::size_t a = 0; a < p; ++a) {
-      const double da = data.columns[a][r] - mean[a];
-      for (std::size_t b = a; b < p; ++b) {
-        cov(a, b) += w * da * (data.columns[b][r] - mean[b]);
-      }
-    }
-  }
-  // Unbiased-ish normalization: effective sample size - 1.
-  const double denom = std::max(1.0, wsum - 1.0);
-  for (std::size_t a = 0; a < p; ++a) {
-    for (std::size_t b = a; b < p; ++b) {
-      cov(a, b) /= denom;
-      cov(b, a) = cov(a, b);
-    }
-  }
-  return cov;
-}
-
-Result<Matrix> CorrelationMatrix(const NumericDataset& data) {
-  CDI_ASSIGN_OR_RETURN(Matrix cov, CovarianceMatrix(data));
-  const std::size_t p = cov.rows();
-  Matrix corr(p, p);
-  for (std::size_t a = 0; a < p; ++a) {
-    corr(a, a) = 1.0;
-    for (std::size_t b = a + 1; b < p; ++b) {
-      const double va = cov(a, a);
-      const double vb = cov(b, b);
-      double r = 0.0;
-      if (va > 0 && vb > 0) {
-        r = std::clamp(cov(a, b) / std::sqrt(va * vb), -1.0, 1.0);
-      }
-      corr(a, b) = r;
-      corr(b, a) = r;
-    }
-  }
-  return corr;
+Result<Matrix> CorrelationMatrix(const NumericDataset& data,
+                                 ThreadPool* pool) {
+  CDI_ASSIGN_OR_RETURN(SufficientStats s, SufficientStats::Compute(data, pool));
+  return s.Correlation();
 }
 
 Result<double> PartialCorrelation(const Matrix& corr, std::size_t i,

@@ -1,12 +1,17 @@
 #ifndef CDI_STATS_CORRELATION_H_
 #define CDI_STATS_CORRELATION_H_
 
+#include <cstdint>
 #include <utility>
 #include <vector>
 
 #include "common/span.h"
 #include "common/status.h"
 #include "stats/matrix.h"
+
+namespace cdi {
+class ThreadPool;
+}  // namespace cdi
 
 namespace cdi::stats {
 
@@ -23,6 +28,16 @@ struct NumericDataset {
   std::vector<DoubleSpan> columns;
   /// Optional per-row weights (e.g. IPW weights). Empty means all 1.
   std::vector<double> weights;
+  /// Optional per-column null bitmaps (bit r set = row r null; see
+  /// Column::NullWords), LSB-first, (num_rows + 63) / 64 words each. When
+  /// a column's pointer is non-null, the listwise-deletion mask reads it
+  /// instead of scanning the column for NaN — an opt-in that is only
+  /// valid when null <=> NaN holds for that column. It always holds for
+  /// int64/bool column views; a *double* column may carry non-null NaN
+  /// cells (a CSV literal "nan", AppendDouble(NaN)) and must then not opt
+  /// in. Empty (the default) or null entries mean: NaN scan. Shorter than
+  /// `columns` is fine; missing tail entries are NaN-scanned.
+  std::vector<const std::uint64_t*> null_words;
 
   std::size_t num_vars() const { return columns.size(); }
   std::size_t num_rows() const {
@@ -40,13 +55,19 @@ struct NumericDataset {
 
 /// Sample covariance matrix over complete rows (listwise deletion of rows
 /// with any NaN among the variables; weighted when weights are given).
-Result<Matrix> CovarianceMatrix(const NumericDataset& data);
+/// Runs the blocked SufficientStats kernel; `pool` parallelizes it with a
+/// bitwise-deterministic reduction (null = serial, same bits).
+Result<Matrix> CovarianceMatrix(const NumericDataset& data,
+                                ThreadPool* pool = nullptr);
 
 /// Sample correlation matrix over complete rows. Variables with zero
 /// variance get correlation 0 with everything (1 on the diagonal).
-Result<Matrix> CorrelationMatrix(const NumericDataset& data);
+Result<Matrix> CorrelationMatrix(const NumericDataset& data,
+                                 ThreadPool* pool = nullptr);
 
 /// Number of complete rows used by the listwise-deletion estimators.
+/// Word-at-a-time over the columns (null bitmaps when opted in, NaN scans
+/// otherwise); allocates nothing.
 std::size_t CompleteRowCount(const NumericDataset& data);
 
 /// Partial correlation rho(i, j | given) computed from a correlation

@@ -193,6 +193,20 @@ Result<EigenDecomposition> JacobiEigen(const Matrix& a, int max_sweeps,
   return sorted;
 }
 
+Result<std::vector<double>> SolveNormalEquations(
+    Matrix xtx, const std::vector<double>& xty, double ridge) {
+  const std::size_t p = xtx.rows();
+  for (std::size_t a = 0; a < p; ++a) {
+    xtx(a, a) += ridge;
+    for (std::size_t b = a + 1; b < p; ++b) xtx(b, a) = xtx(a, b);
+  }
+  auto sol = CholeskySolve(xtx, xty);
+  if (sol.ok()) return sol;
+  // Collinear design: retry with a stronger ridge before giving up.
+  for (std::size_t a = 0; a < p; ++a) xtx(a, a) += 1e-6;
+  return CholeskySolve(xtx, xty);
+}
+
 Result<std::vector<double>> LeastSquares(const Matrix& x,
                                          const std::vector<double>& y,
                                          double ridge) {
@@ -211,15 +225,7 @@ Result<std::vector<double>> LeastSquares(const Matrix& x,
       }
     }
   }
-  for (std::size_t a = 0; a < p; ++a) {
-    xtx(a, a) += ridge;
-    for (std::size_t b = a + 1; b < p; ++b) xtx(b, a) = xtx(a, b);
-  }
-  auto sol = CholeskySolve(xtx, xty);
-  if (sol.ok()) return sol;
-  // Collinear design: retry with a stronger ridge before giving up.
-  for (std::size_t a = 0; a < p; ++a) xtx(a, a) += 1e-6;
-  return CholeskySolve(xtx, xty);
+  return SolveNormalEquations(std::move(xtx), xty, ridge);
 }
 
 Result<std::vector<double>> WeightedLeastSquares(const Matrix& x,
@@ -247,14 +253,7 @@ Result<std::vector<double>> WeightedLeastSquares(const Matrix& x,
       for (std::size_t b = a; b < p; ++b) xtx(a, b) += wi * xa * x(i, b);
     }
   }
-  for (std::size_t a = 0; a < p; ++a) {
-    xtx(a, a) += ridge;
-    for (std::size_t b = a + 1; b < p; ++b) xtx(b, a) = xtx(a, b);
-  }
-  auto sol = CholeskySolve(xtx, xty);
-  if (sol.ok()) return sol;
-  for (std::size_t a = 0; a < p; ++a) xtx(a, a) += 1e-6;
-  return CholeskySolve(xtx, xty);
+  return SolveNormalEquations(std::move(xtx), xty, ridge);
 }
 
 Result<double> LogDetSpd(const Matrix& a) {

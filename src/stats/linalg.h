@@ -37,6 +37,17 @@ Result<EigenDecomposition> JacobiEigen(const Matrix& a,
                                        int max_sweeps = 64,
                                        double tol = 1e-12);
 
+/// Solves the normal equations xtx beta = xty, where `xtx` carries the
+/// accumulated Gram in its upper triangle (the lower triangle is ignored
+/// and overwritten by mirroring). Adds `ridge` to the diagonal, solves by
+/// Cholesky, and retries once with a stronger 1e-6 ridge for collinear
+/// systems — the shared tail of LeastSquares / WeightedLeastSquares /
+/// FitOls and of every sufficient-statistics consumer that regresses on a
+/// covariance submatrix.
+Result<std::vector<double>> SolveNormalEquations(Matrix xtx,
+                                                 const std::vector<double>& xty,
+                                                 double ridge);
+
 /// Minimum-norm least squares: minimizes ||X beta - y||^2 via the normal
 /// equations with a tiny ridge (`ridge`) added to the diagonal for
 /// numerical robustness against collinear columns.

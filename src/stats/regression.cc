@@ -38,19 +38,39 @@ Result<OlsFit> FitOls(const std::vector<DoubleSpan>& xs, DoubleSpan y,
         ") than parameters (" + std::to_string(p) + ")");
   }
 
-  Matrix design(m, p);
   std::vector<double> yy(m);
   std::vector<double> ww(m, 1.0);
   for (std::size_t i = 0; i < m; ++i) {
     const std::size_t r = rows[i];
-    design(i, 0) = 1.0;
-    for (std::size_t j = 0; j < xs.size(); ++j) design(i, j + 1) = xs[j][r];
     yy[i] = y[r];
     if (!weights.empty()) ww[i] = weights[r];
   }
+  double wsum = 0;
+  for (double wi : ww) {
+    if (wi < 0) return Status::InvalidArgument("negative weight");
+    wsum += wi;
+  }
+  if (wsum <= 0) return Status::InvalidArgument("weights sum to zero");
 
+  // Normal equations accumulated straight from the spans — no m-by-p
+  // design matrix is ever materialized. Column 0 is the intercept.
+  const auto xval = [&xs](std::size_t r, std::size_t a) {
+    return a == 0 ? 1.0 : xs[a - 1][r];
+  };
+  Matrix xtx(p, p);
+  std::vector<double> xty(p, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double wi = ww[i];
+    if (wi == 0) continue;
+    const std::size_t r = rows[i];
+    for (std::size_t a = 0; a < p; ++a) {
+      const double xa = xval(r, a);
+      xty[a] += wi * xa * yy[i];
+      for (std::size_t b = a; b < p; ++b) xtx(a, b) += wi * xa * xval(r, b);
+    }
+  }
   CDI_ASSIGN_OR_RETURN(std::vector<double> beta,
-                       WeightedLeastSquares(design, yy, ww));
+                       SolveNormalEquations(std::move(xtx), xty, 1e-9));
 
   OlsFit fit;
   fit.coefficients = beta;
@@ -69,7 +89,7 @@ Result<OlsFit> FitOls(const std::vector<DoubleSpan>& xs, DoubleSpan y,
   for (std::size_t i = 0; i < m; ++i) {
     double pred = beta[0];
     for (std::size_t j = 0; j < xs.size(); ++j) {
-      pred += beta[j + 1] * design(i, j + 1);
+      pred += beta[j + 1] * xs[j][rows[i]];
     }
     const double e = yy[i] - pred;
     fit.residuals[rows[i]] = e;
@@ -86,9 +106,10 @@ Result<OlsFit> FitOls(const std::vector<DoubleSpan>& xs, DoubleSpan y,
   const double sigma2 = rss / dof;
   Matrix xtwx(p, p);
   for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t r = rows[i];
     for (std::size_t a = 0; a < p; ++a) {
       for (std::size_t b = a; b < p; ++b) {
-        xtwx(a, b) += ww[i] * design(i, a) * design(i, b);
+        xtwx(a, b) += ww[i] * xval(r, a) * xval(r, b);
       }
     }
   }

@@ -1,0 +1,597 @@
+#include "stats/sufficient_stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "stats/linalg.h"
+
+namespace cdi::stats {
+
+namespace {
+
+/// Microkernel tile width: each parallel task owns a kTile x kTile block
+/// of the Gram matrix. 8 doubles = one cache line per packed tile row,
+/// and the inner y-loop vectorizes with one independent accumulator per
+/// entry (lanewise identical to scalar evaluation — no reduction
+/// reassociation).
+constexpr std::size_t kTile = 8;
+
+/// Rows per blocked sweep. The sweep re-reads the packed chunk once per
+/// tile pair, so the chunk (kRowBlock x padded-p doubles) should sit in
+/// cache: 256 rows x 400 attrs x 8 B ~ 820 KB.
+constexpr std::size_t kRowBlock = 256;
+
+/// Row-unroll depth of the microkernel: deep enough to amortize the
+/// accumulator loads/stores over several rows (the difference between a
+/// spill-bound and a near-peak kernel), shallow enough not to blow the
+/// register file. The unrolled adds feed one accumulator sequentially in
+/// row order, so the depth never changes results.
+constexpr std::size_t kRowUnroll = 4;
+
+/// Accumulates a kTile x kTile Gram tile over `count` packed rows:
+/// local[x][y] += sum_i ablk[i][x] * bblk[i][y], each entry summed in
+/// ascending row order. `ablk`/`bblk` are tile-contiguous panels (row i
+/// of a tile is kTile adjacent doubles — one cache line).
+void GramTile(const double* ablk, const double* bblk, std::size_t count,
+              double* local) {
+  std::size_t i = 0;
+  for (; i + kRowUnroll <= count; i += kRowUnroll) {
+    for (std::size_t x = 0; x < kTile; ++x) {
+      for (std::size_t y = 0; y < kTile; ++y) {
+        double t = local[x * kTile + y];
+        for (std::size_t u = 0; u < kRowUnroll; ++u) {
+          t += ablk[(i + u) * kTile + x] * bblk[(i + u) * kTile + y];
+        }
+        local[x * kTile + y] = t;
+      }
+    }
+  }
+  for (; i < count; ++i) {
+    for (std::size_t x = 0; x < kTile; ++x) {
+      const double ax = ablk[i * kTile + x];
+      for (std::size_t y = 0; y < kTile; ++y) {
+        local[x * kTile + y] += ax * bblk[i * kTile + y];
+      }
+    }
+  }
+}
+
+std::size_t WordCount(std::size_t n) { return (n + 63) / 64; }
+
+/// Present (not-NaN) bits of col[0..count) packed LSB-first, branchlessly.
+inline std::uint64_t PresentBitsWord(const double* col, std::size_t count) {
+  std::uint64_t bits = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    bits |= static_cast<std::uint64_t>(col[i] == col[i]) << i;
+  }
+  return bits;
+}
+
+/// mask &= present bits of `col` (n rows). Words already dead are skipped.
+void AndColumnMask(const double* col, std::size_t n, std::uint64_t* mask) {
+  std::size_t w = 0;
+  std::size_t r = 0;
+  for (; r + 64 <= n; r += 64, ++w) {
+    if (mask[w] != 0) mask[w] &= PresentBitsWord(col + r, 64);
+  }
+  if (r < n && mask[w] != 0) mask[w] &= PresentBitsWord(col + r, n - r);
+}
+
+/// Complete-row mask of `data`: all-ones (tail-clipped), AND'ed with each
+/// column's present bits — from its null bitmap when the caller opted in
+/// via NumericDataset::null_words, else from a NaN scan.
+std::vector<std::uint64_t> BuildMask(const NumericDataset& data) {
+  const std::size_t n = data.num_rows();
+  const std::size_t words = WordCount(n);
+  std::vector<std::uint64_t> mask(words, ~std::uint64_t{0});
+  if (n % 64 != 0 && words > 0) {
+    mask[words - 1] = (std::uint64_t{1} << (n % 64)) - 1;
+  }
+  for (std::size_t v = 0; v < data.columns.size(); ++v) {
+    const std::uint64_t* nulls =
+        v < data.null_words.size() ? data.null_words[v] : nullptr;
+    if (nulls != nullptr) {
+      for (std::size_t w = 0; w < words; ++w) mask[w] &= ~nulls[w];
+    } else {
+      AndColumnMask(data.columns[v].data(), n, mask.data());
+    }
+  }
+  return mask;
+}
+
+std::size_t PopCount(const std::vector<std::uint64_t>& mask) {
+  std::size_t c = 0;
+  for (std::uint64_t w : mask) c += static_cast<std::size_t>(std::popcount(w));
+  return c;
+}
+
+/// Ascending indices of the set bits of `mask`.
+std::vector<std::size_t> SetBitIndices(const std::vector<std::uint64_t>& mask,
+                                       std::size_t count) {
+  std::vector<std::size_t> rows;
+  rows.reserve(count);
+  for (std::size_t w = 0; w < mask.size(); ++w) {
+    std::uint64_t bits = mask[w];
+    while (bits != 0) {
+      rows.push_back(w * 64 + static_cast<std::size_t>(std::countr_zero(bits)));
+      bits &= bits - 1;
+    }
+  }
+  return rows;
+}
+
+/// Centered weighted cross-product matrix over the complete rows, blocked
+/// and parallel. Every (a, b) entry is accumulated by exactly one task
+/// slot, over rows in ascending order, as ((w * da) * db) — the exact
+/// expression shape of the straight-line reference kernel — so the result
+/// is bitwise identical to the reference and to any thread count.
+Matrix BlockedGram(const std::vector<DoubleSpan>& cols,
+                   const std::vector<double>& weights,
+                   const std::vector<std::size_t>& rows,
+                   const std::vector<double>& means, ThreadPool* pool) {
+  const std::size_t p = cols.size();
+  const std::size_t m = rows.size();
+  const bool weighted = !weights.empty();
+  const std::size_t padded = (p + kTile - 1) / kTile * kTile;
+  const std::size_t tiles = padded / kTile;
+
+  // Upper-triangle tile pairs; each is one task owning its kTile x kTile
+  // accumulator slab across all row chunks.
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(tiles * (tiles + 1) / 2);
+  for (std::size_t ta = 0; ta < tiles; ++ta) {
+    for (std::size_t tb = ta; tb < tiles; ++tb) pairs.emplace_back(ta, tb);
+  }
+  std::vector<double> acc(pairs.size() * kTile * kTile, 0.0);
+
+  // Chunk panels, packed tile-contiguous with zero padding: tile t's rows
+  // occupy a dense count x kTile block, so the microkernel streams both
+  // operands with unit stride. B holds centered values (x - mean), A
+  // additionally scales by the row weight. Unweighted runs alias A to B
+  // ((1.0 * da) == da bitwise).
+  std::vector<double> bpanel(kRowBlock * padded);
+  std::vector<double> apanel(weighted ? kRowBlock * padded : 0);
+
+  for (std::size_t start = 0; start < m; start += kRowBlock) {
+    const std::size_t count = std::min(kRowBlock, m - start);
+    const std::size_t tile_stride = count * kTile;
+    // One pack task per tile: contiguous column reads, one strided write
+    // stream per column, disjoint destination slots.
+    ParallelFor(pool, tiles, [&](std::size_t t) {
+      for (std::size_t lane = 0; lane < kTile; ++lane) {
+        const std::size_t v = t * kTile + lane;
+        double* dst = bpanel.data() + t * tile_stride + lane;
+        if (v >= p) {
+          for (std::size_t i = 0; i < count; ++i) dst[i * kTile] = 0.0;
+          if (weighted) {
+            double* wdst = apanel.data() + t * tile_stride + lane;
+            for (std::size_t i = 0; i < count; ++i) wdst[i * kTile] = 0.0;
+          }
+          continue;
+        }
+        const DoubleSpan& col = cols[v];
+        const double mv = means[v];
+        for (std::size_t i = 0; i < count; ++i) {
+          dst[i * kTile] = col[rows[start + i]] - mv;
+        }
+        if (weighted) {
+          double* wdst = apanel.data() + t * tile_stride + lane;
+          for (std::size_t i = 0; i < count; ++i) {
+            wdst[i * kTile] = weights[rows[start + i]] * dst[i * kTile];
+          }
+        }
+      }
+    });
+    const double* a_base = weighted ? apanel.data() : bpanel.data();
+    const double* b_base = bpanel.data();
+    ParallelFor(pool, pairs.size(), [&](std::size_t q) {
+      double local[kTile * kTile];
+      std::memcpy(local, acc.data() + q * kTile * kTile, sizeof(local));
+      GramTile(a_base + pairs[q].first * tile_stride,
+               b_base + pairs[q].second * tile_stride, count, local);
+      std::memcpy(acc.data() + q * kTile * kTile, local, sizeof(local));
+    });
+  }
+
+  // Scatter the tile slabs into the symmetric matrix; padded lanes and the
+  // sub-diagonal halves of diagonal tiles are discarded.
+  Matrix sxx(p, p);
+  for (std::size_t q = 0; q < pairs.size(); ++q) {
+    const std::size_t a0 = pairs[q].first * kTile;
+    const std::size_t b0 = pairs[q].second * kTile;
+    const double* slab = acc.data() + q * kTile * kTile;
+    for (std::size_t x = 0; x < kTile; ++x) {
+      const std::size_t a = a0 + x;
+      if (a >= p) break;
+      for (std::size_t y = 0; y < kTile; ++y) {
+        const std::size_t b = b0 + y;
+        if (b >= p) break;
+        if (b < a) continue;
+        sxx(a, b) = slab[x * kTile + y];
+        sxx(b, a) = slab[x * kTile + y];
+      }
+    }
+  }
+  return sxx;
+}
+
+/// Normal-equations solve with the LeastSquares ridge policy: tiny ridge,
+/// then a stronger retry for collinear systems.
+Result<std::vector<double>> SolveRidged(Matrix a,
+                                        const std::vector<double>& b) {
+  for (std::size_t d = 0; d < a.rows(); ++d) a(d, d) += 1e-9;
+  auto sol = CholeskySolve(a, b);
+  if (sol.ok()) return sol;
+  for (std::size_t d = 0; d < a.rows(); ++d) a(d, d) += 1e-6;
+  return CholeskySolve(a, b);
+}
+
+}  // namespace
+
+Result<SufficientStats> SufficientStats::Compute(const NumericDataset& data,
+                                                 ThreadPool* pool) {
+  const std::size_t p = data.num_vars();
+  if (p == 0) return Status::InvalidArgument("no variables");
+  for (const auto& col : data.columns) {
+    if (col.size() != data.num_rows()) {
+      return Status::InvalidArgument("ragged dataset");
+    }
+  }
+  if (!data.weights.empty() && data.weights.size() != data.num_rows()) {
+    return Status::InvalidArgument("weights size mismatch");
+  }
+
+  SufficientStats s;
+  s.columns_ = data.columns;
+  s.weights_ = data.weights;
+  s.num_rows_ = data.num_rows();
+  s.mask_ = BuildMask(data);
+  s.complete_rows_ = PopCount(s.mask_);
+  if (s.complete_rows_ < 2) {
+    return Status::FailedPrecondition("fewer than 2 complete rows");
+  }
+  const auto rows = SetBitIndices(s.mask_, s.complete_rows_);
+  if (s.weights_.empty()) {
+    // Sequential += 1.0 is exact for any realistic row count, so the
+    // popcount equals the reference kernel's accumulated weight sum.
+    s.wsum_ = static_cast<double>(s.complete_rows_);
+  } else {
+    double w = 0.0;
+    for (std::size_t r : rows) w += s.weights_[r];
+    s.wsum_ = w;
+  }
+  if (s.wsum_ <= 0) return Status::InvalidArgument("weights sum to zero");
+
+  s.means_.assign(p, 0.0);
+  ParallelFor(pool, p, [&](std::size_t v) {
+    const DoubleSpan& col = s.columns_[v];
+    double mv = 0.0;
+    if (s.weights_.empty()) {
+      for (std::size_t r : rows) mv += col[r];
+    } else {
+      for (std::size_t r : rows) mv += s.weights_[r] * col[r];
+    }
+    s.means_[v] = mv / s.wsum_;
+  });
+
+  s.sxx_ = BlockedGram(s.columns_, s.weights_, rows, s.means_, pool);
+  return s;
+}
+
+Matrix SufficientStats::Covariance() const {
+  const std::size_t p = num_vars();
+  const double denom = std::max(1.0, wsum_ - 1.0);
+  Matrix cov(p, p);
+  for (std::size_t a = 0; a < p; ++a) {
+    for (std::size_t b = a; b < p; ++b) {
+      cov(a, b) = sxx_(a, b) / denom;
+      cov(b, a) = cov(a, b);
+    }
+  }
+  return cov;
+}
+
+Matrix SufficientStats::Correlation() const {
+  const Matrix cov = Covariance();
+  const std::size_t p = cov.rows();
+  Matrix corr(p, p);
+  for (std::size_t a = 0; a < p; ++a) {
+    corr(a, a) = 1.0;
+    for (std::size_t b = a + 1; b < p; ++b) {
+      const double va = cov(a, a);
+      const double vb = cov(b, b);
+      double r = 0.0;
+      if (va > 0 && vb > 0) {
+        r = std::clamp(cov(a, b) / std::sqrt(va * vb), -1.0, 1.0);
+      }
+      corr(a, b) = r;
+      corr(b, a) = r;
+    }
+  }
+  return corr;
+}
+
+Status SufficientStats::AppendColumns(const std::vector<DoubleSpan>& cols,
+                                      ThreadPool* pool) {
+  if (columns_.empty()) {
+    return Status::FailedPrecondition("append to empty SufficientStats");
+  }
+  if (cols.empty()) {
+    last_append_incremental_ = true;
+    return Status::OK();
+  }
+  for (const auto& col : cols) {
+    if (col.size() != num_rows_) {
+      return Status::InvalidArgument("ragged dataset");
+    }
+  }
+
+  // If the new columns are missing on any currently-complete row, every
+  // entry's row set changes: recompute from scratch (still blocked).
+  std::vector<std::uint64_t> merged = mask_;
+  for (const auto& col : cols) {
+    AndColumnMask(col.data(), num_rows_, merged.data());
+  }
+  if (merged != mask_) {
+    NumericDataset all;
+    all.columns = columns_;
+    all.columns.insert(all.columns.end(), cols.begin(), cols.end());
+    all.weights = weights_;
+    CDI_ASSIGN_OR_RETURN(SufficientStats fresh, Compute(all, pool));
+    *this = std::move(fresh);
+    last_append_incremental_ = false;
+    return Status::OK();
+  }
+
+  // Incremental path: the complete-row set (hence mask, weight sum, and
+  // every existing mean and S entry) is unchanged; only the k new columns'
+  // means, the p x k cross block, and the k x k tail are computed —
+  // O(n * k * (p + k)) instead of O(n * (p + k)^2). Expression shapes and
+  // per-entry row order match BlockedGram, so the extended S is bitwise
+  // identical to a full recompute.
+  const std::size_t p = columns_.size();
+  const std::size_t k = cols.size();
+  const bool weighted = !weights_.empty();
+  const auto rows = SetBitIndices(mask_, complete_rows_);
+  const std::size_t m = rows.size();
+
+  std::vector<double> nmeans(k, 0.0);
+  ParallelFor(pool, k, [&](std::size_t j) {
+    const DoubleSpan& col = cols[j];
+    double mv = 0.0;
+    if (weighted) {
+      for (std::size_t r : rows) mv += weights_[r] * col[r];
+    } else {
+      for (std::size_t r : rows) mv += col[r];
+    }
+    nmeans[j] = mv / wsum_;
+  });
+
+  // Centered new-column panel (m x k row-major) + its w-scaled A-side.
+  std::vector<double> npanel(m * k);
+  std::vector<double> wnpanel(weighted ? m * k : 0);
+  ParallelFor(pool, m, [&](std::size_t i) {
+    const std::size_t r = rows[i];
+    double* row = npanel.data() + i * k;
+    for (std::size_t j = 0; j < k; ++j) row[j] = cols[j][r] - nmeans[j];
+    if (weighted) {
+      const double w = weights_[r];
+      double* wrow = wnpanel.data() + i * k;
+      for (std::size_t j = 0; j < k; ++j) wrow[j] = w * row[j];
+    }
+  });
+
+  Matrix ns(p + k, p + k);
+  for (std::size_t a = 0; a < p; ++a) {
+    for (std::size_t b = 0; b < p; ++b) ns(a, b) = sxx_(a, b);
+  }
+
+  // Cross block: entry (a, p + j) accumulates ((w * da) * dnew_j) over
+  // rows ascending — the lower index a supplies the weighted side, as in
+  // the full kernel. One task per existing column. Rows are unrolled by 4
+  // with each entry still accumulated in ascending row order into a single
+  // scalar, so the result stays bitwise identical to a full recompute
+  // while the local[j] load/store is amortized (same trick as GramTile).
+  ParallelFor(pool, p, [&](std::size_t a) {
+    const DoubleSpan& col = columns_[a];
+    const double ma = means_[a];
+    std::vector<double> local(k, 0.0);
+    const auto wda_at = [&](std::size_t i) {
+      const std::size_t r = rows[i];
+      const double da = col[r] - ma;
+      return weighted ? weights_[r] * da : da;
+    };
+    std::size_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+      const double w0 = wda_at(i), w1 = wda_at(i + 1);
+      const double w2 = wda_at(i + 2), w3 = wda_at(i + 3);
+      const double* r0 = npanel.data() + i * k;
+      for (std::size_t j = 0; j < k; ++j) {
+        double t = local[j];
+        t += w0 * r0[j];
+        t += w1 * r0[k + j];
+        t += w2 * r0[2 * k + j];
+        t += w3 * r0[3 * k + j];
+        local[j] = t;
+      }
+    }
+    for (; i < m; ++i) {
+      const double wda = wda_at(i);
+      const double* row = npanel.data() + i * k;
+      for (std::size_t j = 0; j < k; ++j) local[j] += wda * row[j];
+    }
+    for (std::size_t j = 0; j < k; ++j) {
+      ns(a, p + j) = local[j];
+      ns(p + j, a) = local[j];
+    }
+  });
+
+  // New x new tail.
+  ParallelFor(pool, k, [&](std::size_t x) {
+    const double* aside = weighted ? wnpanel.data() : npanel.data();
+    for (std::size_t y = x; y < k; ++y) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        s += aside[i * k + x] * npanel[i * k + y];
+      }
+      ns(p + x, p + y) = s;
+      ns(p + y, p + x) = s;
+    }
+  });
+
+  columns_.insert(columns_.end(), cols.begin(), cols.end());
+  means_.insert(means_.end(), nmeans.begin(), nmeans.end());
+  sxx_ = std::move(ns);
+  last_append_incremental_ = true;
+  return Status::OK();
+}
+
+Result<double> SufficientStats::GaussianBicLocal(
+    std::size_t target, const std::vector<std::size_t>& parents) const {
+  const std::size_t p = num_vars();
+  if (target >= p) return Status::InvalidArgument("bad target index");
+  for (std::size_t pa : parents) {
+    if (pa >= p || pa == target) {
+      return Status::InvalidArgument("bad parent index");
+    }
+  }
+  if (complete_rows_ < parents.size() + 3) {
+    return Status::FailedPrecondition("too few rows for BIC");
+  }
+  double rss;
+  if (parents.empty()) {
+    // S(t, t) accumulates (v - m)^2 over complete rows in ascending order
+    // — bitwise the legacy GaussianBicLocalScore residual sum.
+    rss = sxx_(target, target);
+  } else {
+    Matrix spp = sxx_.Submatrix(parents);
+    std::vector<double> spy(parents.size());
+    for (std::size_t j = 0; j < parents.size(); ++j) {
+      spy[j] = sxx_(parents[j], target);
+    }
+    CDI_ASSIGN_OR_RETURN(std::vector<double> beta, SolveRidged(spp, spy));
+    double fitted = 0.0;
+    for (std::size_t j = 0; j < beta.size(); ++j) fitted += beta[j] * spy[j];
+    rss = sxx_(target, target) - fitted;
+    // Cancellation near a perfect fit can leave a tiny negative residual.
+    if (!(rss > 0.0)) rss = 0.0;
+  }
+  const double nn = static_cast<double>(complete_rows_);
+  const double sigma2 = std::max(rss / nn, 1e-12);
+  const double neg2_loglik = nn * std::log(2.0 * M_PI * sigma2) + nn;
+  return neg2_loglik +
+         std::log(nn) * (static_cast<double>(parents.size()) + 2.0);
+}
+
+Result<std::vector<double>> SufficientStats::OlsCoefficients(
+    std::size_t y, const std::vector<std::size_t>& xs) const {
+  const std::size_t p = num_vars();
+  if (y >= p) return Status::InvalidArgument("bad target index");
+  for (std::size_t x : xs) {
+    if (x >= p) return Status::InvalidArgument("bad predictor index");
+  }
+  std::vector<double> out;
+  out.reserve(xs.size() + 1);
+  if (xs.empty()) {
+    out.push_back(means_[y]);
+    return out;
+  }
+  Matrix sxs = sxx_.Submatrix(xs);
+  std::vector<double> sxy(xs.size());
+  for (std::size_t j = 0; j < xs.size(); ++j) sxy[j] = sxx_(xs[j], y);
+  CDI_ASSIGN_OR_RETURN(std::vector<double> beta, SolveRidged(sxs, sxy));
+  double intercept = means_[y];
+  for (std::size_t j = 0; j < xs.size(); ++j) {
+    intercept -= beta[j] * means_[xs[j]];
+  }
+  out.push_back(intercept);
+  out.insert(out.end(), beta.begin(), beta.end());
+  return out;
+}
+
+Result<Matrix> ReferenceCovarianceMatrix(const NumericDataset& data) {
+  const std::size_t p = data.num_vars();
+  if (p == 0) return Status::InvalidArgument("no variables");
+  for (const auto& col : data.columns) {
+    if (col.size() != data.num_rows()) {
+      return Status::InvalidArgument("ragged dataset");
+    }
+  }
+  if (!data.weights.empty() && data.weights.size() != data.num_rows()) {
+    return Status::InvalidArgument("weights size mismatch");
+  }
+  std::vector<std::size_t> rows;
+  const std::size_t n = data.num_rows();
+  for (std::size_t r = 0; r < n; ++r) {
+    bool ok = true;
+    for (const auto& col : data.columns) {
+      if (std::isnan(col[r])) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) rows.push_back(r);
+  }
+  if (rows.size() < 2) {
+    return Status::FailedPrecondition("fewer than 2 complete rows");
+  }
+  std::vector<double> mean(p, 0.0);
+  double wsum = 0;
+  for (std::size_t r : rows) {
+    const double w = data.weights.empty() ? 1.0 : data.weights[r];
+    wsum += w;
+    for (std::size_t v = 0; v < p; ++v) mean[v] += w * data.columns[v][r];
+  }
+  if (wsum <= 0) return Status::InvalidArgument("weights sum to zero");
+  for (double& m : mean) m /= wsum;
+
+  Matrix cov(p, p);
+  for (std::size_t r : rows) {
+    const double w = data.weights.empty() ? 1.0 : data.weights[r];
+    for (std::size_t a = 0; a < p; ++a) {
+      const double da = data.columns[a][r] - mean[a];
+      for (std::size_t b = a; b < p; ++b) {
+        cov(a, b) += w * da * (data.columns[b][r] - mean[b]);
+      }
+    }
+  }
+  const double denom = std::max(1.0, wsum - 1.0);
+  for (std::size_t a = 0; a < p; ++a) {
+    for (std::size_t b = a; b < p; ++b) {
+      cov(a, b) /= denom;
+      cov(b, a) = cov(a, b);
+    }
+  }
+  return cov;
+}
+
+std::size_t CompleteRowCount(const NumericDataset& data) {
+  // Word-at-a-time AND over the columns' present bits, counting as we go —
+  // no index vector, no mask buffer. Rows past a short (ragged) column are
+  // treated as incomplete.
+  std::size_t n = data.num_rows();
+  for (const auto& col : data.columns) n = std::min(n, col.size());
+  std::size_t count = 0;
+  for (std::size_t base = 0; base < n; base += 64) {
+    const std::size_t len = std::min<std::size_t>(64, n - base);
+    std::uint64_t bits =
+        len == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << len) - 1;
+    for (std::size_t v = 0; v < data.columns.size() && bits != 0; ++v) {
+      const std::uint64_t* nulls =
+          v < data.null_words.size() ? data.null_words[v] : nullptr;
+      if (nulls != nullptr) {
+        bits &= ~nulls[base / 64];
+      } else {
+        bits &= PresentBitsWord(data.columns[v].data() + base, len);
+      }
+    }
+    count += static_cast<std::size_t>(std::popcount(bits));
+  }
+  return count;
+}
+
+}  // namespace cdi::stats

@@ -1,0 +1,138 @@
+#ifndef CDI_STATS_SUFFICIENT_STATS_H_
+#define CDI_STATS_SUFFICIENT_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/span.h"
+#include "common/status.h"
+#include "stats/correlation.h"
+#include "stats/matrix.h"
+
+namespace cdi {
+class ThreadPool;
+}  // namespace cdi
+
+namespace cdi::stats {
+
+/// Shared sufficient statistics of a numeric dataset: the complete-row
+/// mask, per-column weighted means and the centered weighted
+/// cross-product matrix S(a, b) = sum_r w_r (x_a - m_a)(x_b - m_b) over
+/// listwise-complete rows. Once S is known, every Gaussian stage of the
+/// pipeline — Fisher-z CI tests, VARCLUS correlations, GES BIC local
+/// scores, OLS effect estimates — is small linear algebra on submatrices
+/// of S; nothing downstream re-reads the raw rows.
+///
+/// The kernel is cache-blocked (tiled syrk-style over column pairs) and
+/// parallelized with ParallelFor, with a *deterministic reduction*: each
+/// matrix entry is accumulated by exactly one task, sequentially over
+/// complete rows in ascending order. Results are therefore bitwise
+/// identical for any thread count — and bitwise identical to the plain
+/// scalar reference kernel, because the per-entry floating-point
+/// operation sequence is the same; only the memory access order changes.
+///
+/// The complete-row mask is built word-level: each column's NaN positions
+/// are packed into 64-bit words (branchlessly, or taken from a
+/// caller-provided null bitmap — see NumericDataset::null_words) and
+/// combined with bitwise AND, replacing the branchy per-row
+/// isnan-over-all-columns prescan.
+///
+/// AppendColumns extends the statistics with `k` new columns in
+/// O(n * k * (p + k)) when the new columns do not shrink the
+/// complete-row set (the common case: the knowledge extractor joins
+/// fully-aligned attributes); the result is bitwise identical to a full
+/// recompute, because per-entry accumulation order does not depend on
+/// which other entries are computed. When a new column introduces NaNs in
+/// previously-complete rows, every entry's row set changes and the
+/// statistics are recomputed in full (still through the blocked kernel).
+class SufficientStats {
+ public:
+  SufficientStats() = default;
+
+  /// Builds the statistics over `data`. NaN cells mark missing values;
+  /// rows with any missing value are excluded (listwise deletion).
+  /// `pool` parallelizes the kernel (null = serial); the result is
+  /// bitwise independent of the pool.
+  ///
+  /// Fails like the legacy CovarianceMatrix: no variables, ragged
+  /// columns, weight size mismatch, fewer than 2 complete rows, or
+  /// weights summing to zero.
+  static Result<SufficientStats> Compute(const NumericDataset& data,
+                                         ThreadPool* pool = nullptr);
+
+  std::size_t num_vars() const { return columns_.size(); }
+  /// Raw row count (before listwise deletion).
+  std::size_t num_rows() const { return num_rows_; }
+  /// Complete (listwise-retained) row count — popcount of the mask.
+  std::size_t complete_rows() const { return complete_rows_; }
+  /// Sum of weights over complete rows (= complete_rows() unweighted).
+  double weight_sum() const { return wsum_; }
+  bool weighted() const { return !weights_.empty(); }
+
+  /// Weighted column means over complete rows.
+  const std::vector<double>& means() const { return means_; }
+
+  /// Complete-row bitmap (bit r set = row r complete), LSB-first within
+  /// each 64-bit word.
+  const std::vector<std::uint64_t>& complete_mask() const { return mask_; }
+
+  /// Centered weighted cross-product matrix S (p x p, symmetric).
+  const Matrix& cross_products() const { return sxx_; }
+
+  /// Sample covariance: S / max(1, weight_sum() - 1). Entrywise equal to
+  /// the legacy CovarianceMatrix.
+  Matrix Covariance() const;
+
+  /// Sample correlation derived from Covariance(); zero-variance columns
+  /// correlate 0 with everything (1 on the diagonal).
+  Matrix Correlation() const;
+
+  /// Extends the statistics with `cols` (each of num_rows() rows).
+  /// Incremental — O(n * k * (p + k)) — when the new columns leave the
+  /// complete-row set unchanged, full recompute otherwise; either way the
+  /// result is bitwise identical to Compute() over all p + k columns.
+  /// On error the object is unchanged.
+  Status AppendColumns(const std::vector<DoubleSpan>& cols,
+                       ThreadPool* pool = nullptr);
+
+  /// Whether the last AppendColumns took the incremental path
+  /// (benchmark/test introspection).
+  bool last_append_incremental() const { return last_append_incremental_; }
+
+  /// Gaussian BIC of regressing `target` on `parents`, computed from S by
+  /// Cholesky on the parents' submatrix (no pass over raw rows):
+  /// n log(2 pi sigma^2) + n + log(n) (|parents| + 2), sigma^2 = rss / n
+  /// with n = complete_rows(). Matches GaussianBicLocalScore semantics;
+  /// for empty parent sets the value is bitwise identical.
+  Result<double> GaussianBicLocal(
+      std::size_t target, const std::vector<std::size_t>& parents) const;
+
+  /// OLS coefficients (intercept first, then one slope per entry of `xs`,
+  /// in order) of column `y` on columns `xs`, solved from the normal
+  /// equations in centered form: slopes from S[xs, xs] beta = S[xs, y]
+  /// (tiny ridge, as LeastSquares), intercept from the means.
+  Result<std::vector<double>> OlsCoefficients(
+      std::size_t y, const std::vector<std::size_t>& xs) const;
+
+ private:
+  std::vector<DoubleSpan> columns_;
+  std::vector<double> weights_;
+  std::vector<std::uint64_t> mask_;
+  std::size_t num_rows_ = 0;
+  std::size_t complete_rows_ = 0;
+  double wsum_ = 0.0;
+  std::vector<double> means_;
+  Matrix sxx_;
+  bool last_append_incremental_ = false;
+};
+
+/// Straight-line scalar covariance kernel (the pre-blocking
+/// implementation): listwise deletion via a per-row isnan scan, then a
+/// row-interleaved O(n p^2) accumulation. Kept as the bitwise reference
+/// for the blocked kernel's tests and as the "before" side of the
+/// benchmark sweep; production callers use SufficientStats.
+Result<Matrix> ReferenceCovarianceMatrix(const NumericDataset& data);
+
+}  // namespace cdi::stats
+
+#endif  // CDI_STATS_SUFFICIENT_STATS_H_

@@ -74,6 +74,14 @@ class Column {
   /// Number of null cells. O(1): maintained incrementally.
   std::size_t NullCount() const { return null_count_; }
 
+  /// Null bitmap words, LSB-first (bit r set = row r null), sized
+  /// (size() + 63) / 64. For wiring into NumericDataset::null_words —
+  /// note the null <=> NaN caveat documented there: a double column can
+  /// hold non-null NaN cells, so only non-double columns (whose views
+  /// materialize NaN exactly at nulls) may rely on this unconditionally.
+  /// Valid until the next Append/Reserve, like View().
+  const uint64_t* NullWords() const { return null_bits_.data(); }
+
   /// Fraction of null cells (0 for an empty column).
   double NullFraction() const;
 

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <memory>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "stats/correlation.h"
 #include "stats/descriptive.h"
 #include "stats/distributions.h"
@@ -11,6 +14,7 @@
 #include "stats/logistic.h"
 #include "stats/matrix.h"
 #include "stats/regression.h"
+#include "stats/sufficient_stats.h"
 
 namespace cdi::stats {
 namespace {
@@ -709,6 +713,258 @@ TEST(IndependenceTest, BinnedChiSquareSeesQuadraticRelation) {
   auto r = ChiSquareIndependence(QuantileBin(x, 3), QuantileBin(y, 3));
   ASSERT_TRUE(r.ok());
   EXPECT_LT(r->p_value, 1e-6);
+}
+
+// -------------------------------------------------- SufficientStats
+
+std::vector<std::vector<double>> NoisyData(std::size_t vars, std::size_t n,
+                                           double nan_rate, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> cols(vars, std::vector<double>(n));
+  for (auto& col : cols) {
+    for (auto& v : col) {
+      v = rng.Normal();
+      if (nan_rate > 0 && rng.Uniform() < nan_rate) v = kNaN;
+    }
+  }
+  return cols;
+}
+
+bool BitwiseEqual(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data().data(), b.data().data(),
+                     sizeof(double) * a.rows() * a.cols()) == 0;
+}
+
+TEST(SufficientStatsTest, BlockedMatchesReferenceBitwiseAcrossThreads) {
+  // 37 columns: not a multiple of the 8-wide tile, so the padding lanes
+  // are exercised; 5% NaN exercises the complete-row mask.
+  auto data = NoisyData(37, 1000, 0.05, 101);
+  auto ds = NumericDataset::Own(std::move(data));
+  auto ref = ReferenceCovarianceMatrix(ds);
+  ASSERT_TRUE(ref.ok());
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                              std::size_t{8}}) {
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+    auto cov = CovarianceMatrix(ds, pool.get());
+    ASSERT_TRUE(cov.ok());
+    EXPECT_TRUE(BitwiseEqual(*ref, *cov)) << threads << " threads";
+  }
+}
+
+TEST(SufficientStatsTest, WeightedEqualsRowReplication) {
+  // Integer weights {0,1,2,3}: the weighted covariance must equal the
+  // covariance of the dataset with each row physically repeated weight
+  // times (the classic frequency-weight semantics). Not bitwise — the
+  // replicated sum adds t twice where the weighted sum adds 2t once — so
+  // compare to tight relative tolerance.
+  Rng rng(103);
+  const std::size_t n = 400;
+  auto data = NoisyData(6, n, 0.02, 105);
+  std::vector<double> w(n);
+  for (auto& x : w) x = static_cast<double>(rng.UniformInt(4));
+  std::vector<std::vector<double>> replicated(6);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (int copy = 0; copy < static_cast<int>(w[r]); ++copy) {
+      for (std::size_t v = 0; v < 6; ++v) {
+        replicated[v].push_back(data[v][r]);
+      }
+    }
+  }
+  NumericDataset wds;
+  wds.columns = cdi::SpansOf(data);
+  wds.weights = w;
+  NumericDataset rds;
+  rds.columns = cdi::SpansOf(replicated);
+  auto ws = SufficientStats::Compute(wds);
+  auto rs = SufficientStats::Compute(rds);
+  ASSERT_TRUE(ws.ok());
+  ASSERT_TRUE(rs.ok());
+  EXPECT_DOUBLE_EQ(ws->weight_sum(), rs->weight_sum());
+  for (std::size_t v = 0; v < 6; ++v) {
+    EXPECT_NEAR(ws->means()[v], rs->means()[v], 1e-12);
+  }
+  const Matrix wc = ws->Covariance();
+  const Matrix rc = rs->Covariance();
+  for (std::size_t a = 0; a < 6; ++a) {
+    for (std::size_t b = 0; b < 6; ++b) {
+      EXPECT_NEAR(wc(a, b), rc(a, b), 1e-10 * (1.0 + std::fabs(rc(a, b))));
+    }
+  }
+}
+
+TEST(SufficientStatsTest, NanPatternGoldens) {
+  // NaNs planted exactly at the 64-row mask-word boundaries: rows 0, 63,
+  // 64, 127, 128 and the ragged tail row. 130 rows = 2 full words + 2
+  // tail bits.
+  const std::size_t n = 130;
+  std::vector<std::vector<double>> data(3, std::vector<double>(n));
+  for (std::size_t v = 0; v < 3; ++v) {
+    for (std::size_t i = 0; i < n; ++i) {
+      data[v][i] = static_cast<double>((v + 1) * (i % 17)) - 8.0;
+    }
+  }
+  data[0][0] = kNaN;
+  data[1][63] = kNaN;
+  data[1][64] = kNaN;
+  data[2][127] = kNaN;
+  data[0][128] = kNaN;
+  data[2][129] = kNaN;
+  auto ds = NumericDataset::Own(std::move(data));
+  auto stats = SufficientStats::Compute(ds);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->complete_rows(), n - 6);
+  EXPECT_EQ(CompleteRowCount(ds), n - 6);
+  const auto& mask = stats->complete_mask();
+  ASSERT_EQ(mask.size(), 3u);  // ceil(130 / 64)
+  for (std::size_t bad : {0, 63, 64, 127, 128, 129}) {
+    EXPECT_EQ((mask[bad / 64] >> (bad % 64)) & 1u, 0u) << "row " << bad;
+  }
+  EXPECT_EQ((mask[0] >> 1) & 1u, 1u);
+  auto ref = ReferenceCovarianceMatrix(ds);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_TRUE(BitwiseEqual(*ref, stats->Covariance()));
+  // A 64-row dataset: the mask is exactly one full word.
+  auto ds64 = NumericDataset::Own(NoisyData(4, 64, 0.1, 107));
+  auto s64 = SufficientStats::Compute(ds64);
+  ASSERT_TRUE(s64.ok());
+  EXPECT_EQ(s64->complete_mask().size(), 1u);
+  EXPECT_TRUE(BitwiseEqual(*ReferenceCovarianceMatrix(ds64),
+                           s64->Covariance()));
+}
+
+TEST(SufficientStatsTest, TooFewCompleteRowsFails) {
+  std::vector<std::vector<double>> data = {{1.0, kNaN, 3.0},
+                                           {kNaN, 2.0, kNaN}};
+  auto ds = NumericDataset::Own(std::move(data));
+  auto stats = SufficientStats::Compute(ds);
+  EXPECT_FALSE(stats.ok());
+}
+
+TEST(SufficientStatsTest, AppendEqualsRecomputeExact) {
+  // Base columns carry the NaNs; appended columns are complete on the
+  // base's complete rows, so the mask is unchanged and the incremental
+  // cross-term path runs. The extended S must be bitwise the full
+  // recompute.
+  auto data = NoisyData(29, 500, 0.04, 109);
+  auto extra_data = NoisyData(5, 500, 0.0, 111);
+  NumericDataset base;
+  base.columns = cdi::SpansOf(data);
+  auto stats = SufficientStats::Compute(base);
+  ASSERT_TRUE(stats.ok());
+  auto appended = *stats;
+  ASSERT_TRUE(appended.AppendColumns(cdi::SpansOf(extra_data)).ok());
+  EXPECT_TRUE(appended.last_append_incremental());
+  NumericDataset all;
+  all.columns = cdi::SpansOf(data);
+  for (const auto& col : extra_data) all.columns.emplace_back(col);
+  auto full = SufficientStats::Compute(all);
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(BitwiseEqual(appended.cross_products(),
+                           full->cross_products()));
+  ASSERT_EQ(appended.means().size(), full->means().size());
+  for (std::size_t v = 0; v < full->means().size(); ++v) {
+    EXPECT_EQ(appended.means()[v], full->means()[v]) << "mean " << v;
+  }
+  EXPECT_TRUE(BitwiseEqual(appended.Covariance(), full->Covariance()));
+}
+
+TEST(SufficientStatsTest, AppendWithNewNansFallsBackToRecompute) {
+  auto data = NoisyData(8, 300, 0.02, 113);
+  auto extra_data = NoisyData(2, 300, 0.0, 115);
+  extra_data[1][5] = kNaN;  // shrinks the complete-row set
+  NumericDataset base;
+  base.columns = cdi::SpansOf(data);
+  auto stats = SufficientStats::Compute(base);
+  ASSERT_TRUE(stats.ok());
+  auto appended = *stats;
+  ASSERT_TRUE(appended.AppendColumns(cdi::SpansOf(extra_data)).ok());
+  EXPECT_FALSE(appended.last_append_incremental());
+  NumericDataset all;
+  all.columns = cdi::SpansOf(data);
+  for (const auto& col : extra_data) all.columns.emplace_back(col);
+  auto full = SufficientStats::Compute(all);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(appended.complete_rows(), full->complete_rows());
+  EXPECT_TRUE(BitwiseEqual(appended.cross_products(),
+                           full->cross_products()));
+}
+
+TEST(SufficientStatsTest, NullWordsMaskMatchesNanScan) {
+  // Columns whose null bitmap agrees with their NaN cells (the typed
+  // Column contract for int64/bool views): supplying null_words must give
+  // bitwise the same result as the NaN prescan, just without reading the
+  // data.
+  const std::size_t n = 200;
+  auto data = NoisyData(4, n, 0.0, 117);
+  Rng rng(119);
+  const std::size_t words = (n + 63) / 64;
+  std::vector<std::vector<uint64_t>> bitmaps(4,
+                                             std::vector<uint64_t>(words));
+  for (std::size_t v = 0; v < 4; ++v) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.Uniform() < 0.06) {  // null: bitmap bit set, cell NaN
+        bitmaps[v][i / 64] |= uint64_t{1} << (i % 64);
+        data[v][i] = kNaN;
+      }
+    }
+  }
+  NumericDataset plain;
+  plain.columns = cdi::SpansOf(data);
+  NumericDataset mapped = plain;
+  for (const auto& bm : bitmaps) mapped.null_words.push_back(bm.data());
+  auto a = SufficientStats::Compute(plain);
+  auto b = SufficientStats::Compute(mapped);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->complete_rows(), b->complete_rows());
+  EXPECT_EQ(a->complete_mask(), b->complete_mask());
+  EXPECT_TRUE(BitwiseEqual(a->cross_products(), b->cross_products()));
+  EXPECT_EQ(CompleteRowCount(plain), CompleteRowCount(mapped));
+}
+
+TEST(SufficientStatsTest, BicMatchesLegacyScore) {
+  auto data = NoisyData(5, 600, 0.0, 121);
+  const auto spans = cdi::SpansOf(data);
+  NumericDataset ds;
+  ds.columns = spans;
+  auto stats = SufficientStats::Compute(ds);
+  ASSERT_TRUE(stats.ok());
+  // Empty parents: the same (v - mean)^2 accumulation in the same order —
+  // bitwise equal to the legacy per-call score.
+  for (std::size_t t = 0; t < 5; ++t) {
+    auto legacy = GaussianBicLocalScore(spans, t, {});
+    auto fast = stats->GaussianBicLocal(t, {});
+    ASSERT_TRUE(legacy.ok());
+    ASSERT_TRUE(fast.ok());
+    EXPECT_EQ(*legacy, *fast) << "target " << t;
+  }
+  // Non-empty parents solve different (equivalent) normal equations;
+  // agreement is to rounding, not bitwise.
+  auto legacy = GaussianBicLocalScore(spans, 2, {0, 1, 3});
+  auto fast = stats->GaussianBicLocal(2, {0, 1, 3});
+  ASSERT_TRUE(legacy.ok());
+  ASSERT_TRUE(fast.ok());
+  EXPECT_NEAR(*legacy, *fast, 1e-6 * std::fabs(*legacy));
+}
+
+TEST(CorrelationTest, CompleteRowCountEdgePatterns) {
+  // Ragged columns: the count clamps to the shortest column.
+  std::vector<double> longcol(10, 1.0);
+  std::vector<double> shortcol(4, 1.0);
+  NumericDataset ragged;
+  ragged.columns = {longcol, shortcol};
+  EXPECT_EQ(CompleteRowCount(ragged), 4u);
+  NumericDataset empty;
+  EXPECT_EQ(CompleteRowCount(empty), 0u);
+  // NaN exactly at both sides of a word boundary.
+  std::vector<double> col(128, 2.0);
+  col[63] = kNaN;
+  col[64] = kNaN;
+  NumericDataset ds;
+  ds.columns = {col};
+  EXPECT_EQ(CompleteRowCount(ds), 126u);
 }
 
 }  // namespace

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Perf smoke gate for the sufficient-statistics kernel benchmarks.
+
+Runs the bench_micro kernel benchmarks (blocked covariance, reference
+kernel, incremental append) with a short --benchmark_min_time, then
+compares per-benchmark cpu_time against the checked-in baseline
+(BENCH_PR4.json at the repo root). Exits non-zero when the benchmark
+binary crashes or any benchmark regresses by more than --max-regression
+(default 3x) — a deliberately loose bound that tolerates runner-to-runner
+variance while still catching algorithmic regressions (e.g. the blocked
+kernel silently falling back to a quadratic path).
+
+Usage:
+  perf_smoke.py --bench build/bench/bench_micro [--baseline BENCH_PR4.json]
+  perf_smoke.py --bench build/bench/bench_micro --write-baseline BENCH_PR4.json
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+# The benchmarks guarded by this gate. Kept to the kernels this layer owns
+# so unrelated benches (joins, pipeline end-to-end) don't add noise.
+BENCH_FILTER = (
+    "BM_CorrelationMatrix|BM_CovarianceReference|BM_CovarianceBlockedSweep|"
+    "BM_SufficientStatsAppend"
+)
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def run_benchmarks(bench, min_time):
+    cmd = [
+        bench,
+        f"--benchmark_filter={BENCH_FILTER}",
+        f"--benchmark_min_time={min_time}",
+        "--benchmark_format=json",
+    ]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=1800)
+    except (OSError, subprocess.TimeoutExpired) as e:
+        print(f"FAIL: could not run {bench}: {e}", file=sys.stderr)
+        sys.exit(1)
+    if proc.returncode != 0:
+        print(f"FAIL: {bench} exited with {proc.returncode}", file=sys.stderr)
+        sys.stderr.write(proc.stderr)
+        sys.exit(1)
+    try:
+        report = json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        print(f"FAIL: benchmark output is not JSON: {e}", file=sys.stderr)
+        sys.exit(1)
+    results = {}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        unit = TIME_UNIT_NS.get(b.get("time_unit", "ns"), 1.0)
+        # UseRealTime benchmarks (threaded kernels) are compared on wall
+        # clock; the default main-thread cpu_time would not see pool work.
+        key = "real_time" if b["name"].endswith("/real_time") else "cpu_time"
+        results[b["name"]] = b[key] * unit
+    if not results:
+        print("FAIL: no benchmarks matched the filter", file=sys.stderr)
+        sys.exit(1)
+    return results
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--bench", required=True, help="path to bench_micro")
+    ap.add_argument("--baseline", default="BENCH_PR4.json")
+    ap.add_argument("--write-baseline", metavar="PATH",
+                    help="write the current run as the new baseline and exit")
+    ap.add_argument("--max-regression", type=float, default=3.0)
+    ap.add_argument("--min-time", default="0.05")
+    args = ap.parse_args()
+
+    results = run_benchmarks(args.bench, args.min_time)
+
+    if args.write_baseline:
+        payload = {
+            "note": "cpu_time in nanoseconds; written by tools/perf_smoke.py",
+            "benchmarks": {k: round(v, 1) for k, v in sorted(results.items())},
+        }
+        with open(args.write_baseline, "w") as f:
+            json.dump(payload, f, indent=2)
+            f.write("\n")
+        print(f"wrote baseline with {len(results)} entries to "
+              f"{args.write_baseline}")
+        return 0
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)["benchmarks"]
+    except (OSError, KeyError, json.JSONDecodeError) as e:
+        print(f"FAIL: cannot read baseline {args.baseline}: {e}",
+              file=sys.stderr)
+        return 1
+
+    failed = []
+    for name, base_ns in sorted(baseline.items()):
+        now_ns = results.get(name)
+        if now_ns is None:
+            failed.append(f"{name}: missing from current run")
+            continue
+        ratio = now_ns / base_ns if base_ns > 0 else float("inf")
+        status = "OK" if ratio <= args.max_regression else "REGRESSION"
+        print(f"  {status:10s} {name:55s} {base_ns:14.1f} -> {now_ns:14.1f} ns"
+              f"  ({ratio:.2f}x)")
+        if ratio > args.max_regression:
+            failed.append(f"{name}: {ratio:.2f}x (limit "
+                          f"{args.max_regression:.1f}x)")
+    for name in sorted(set(results) - set(baseline)):
+        print(f"  NEW        {name:55s} {'':>14s}    {results[name]:14.1f} ns")
+
+    if failed:
+        print(f"\nFAIL: {len(failed)} benchmark(s) regressed:",
+              file=sys.stderr)
+        for f_ in failed:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print(f"\nperf smoke OK: {len(baseline)} benchmarks within "
+          f"{args.max_regression:.1f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
