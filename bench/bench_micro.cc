@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <future>
 #include <memory>
 #include <utility>
 
@@ -21,6 +22,8 @@
 #include "discovery/pc.h"
 #include "graph/dsep.h"
 #include "graph/random_graph.h"
+#include "serve/query_server.h"
+#include "serve/scenario_registry.h"
 #include "stats/correlation.h"
 #include "stats/linalg.h"
 #include "stats/sufficient_stats.h"
@@ -426,6 +429,83 @@ void BM_JacobiEigen(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_JacobiEigen)->Arg(10)->Arg(30)->Arg(60);
+
+// ----------------------------------------------------------Serving layer
+
+/// Shared registry + server for the serving benches. Magic statics make
+/// the one-time setup (scenario build, registration, warmup run) safe
+/// under google-benchmark's ->Threads(N).
+struct ServeFixture {
+  cdi::serve::ScenarioRegistry registry;
+  cdi::serve::QueryServer server;
+  cdi::serve::CdiQuery query;
+
+  ServeFixture()
+      : server(&registry, [] {
+          cdi::serve::QueryServerOptions options;
+          options.num_workers = 4;
+          return options;
+        }()) {
+    auto spec = cdi::datagen::CovidSpec();
+    spec.num_entities = 120;
+    auto built = cdi::datagen::BuildScenario(spec);
+    CDI_CHECK(built.ok()) << built.status().ToString();
+    auto bundle = registry.Register(
+        "covid", std::unique_ptr<const cdi::datagen::Scenario>(
+                     std::move(built).value()));
+    CDI_CHECK(bundle.ok());
+    const auto& attrs = (*bundle)->numeric_attributes;
+    query.scenario = "covid";
+    query.exposure = attrs[0];
+    query.outcome = attrs[1];
+    CDI_CHECK(server.Execute(query).status.ok());  // warm the cache
+  }
+
+  static ServeFixture& Get() {
+    static ServeFixture fixture;
+    return fixture;
+  }
+};
+
+/// Warm-cache hit path: admission + cache lookup + response, no pipeline
+/// work. ->Threads(8) measures lock contention on the hit path.
+void BM_ServeCacheHit(benchmark::State& state) {
+  auto& f = ServeFixture::Get();
+  for (auto _ : state) {
+    auto response = f.server.Execute(f.query);
+    benchmark::DoNotOptimize(response.status.ok());
+  }
+}
+BENCHMARK(BM_ServeCacheHit)->UseRealTime()->Threads(1)->Threads(8);
+
+/// Cold path: every iteration invalidates the cache, so the request runs
+/// the full pipeline on a worker (the serving-layer overhead rides on a
+/// complete COVID run).
+void BM_ServeCacheMiss(benchmark::State& state) {
+  auto& f = ServeFixture::Get();
+  for (auto _ : state) {
+    f.server.InvalidateCache();
+    auto response = f.server.Execute(f.query);
+    benchmark::DoNotOptimize(response.status.ok());
+  }
+}
+BENCHMARK(BM_ServeCacheMiss)->UseRealTime();
+
+/// Single-flight under contention: 8 identical queries race on a cold
+/// key; one executes, seven coalesce onto it.
+void BM_ServeSingleFlight(benchmark::State& state) {
+  auto& f = ServeFixture::Get();
+  std::vector<std::future<cdi::serve::QueryResponse>> futures;
+  for (auto _ : state) {
+    f.server.InvalidateCache();
+    futures.clear();
+    for (int i = 0; i < 8; ++i) futures.push_back(f.server.Submit(f.query));
+    for (auto& future : futures) {
+      benchmark::DoNotOptimize(future.get().status.ok());
+    }
+  }
+}
+BENCHMARK(BM_ServeSingleFlight)->UseRealTime();
 
 }  // namespace
 

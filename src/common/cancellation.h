@@ -1,0 +1,65 @@
+#ifndef CDI_COMMON_CANCELLATION_H_
+#define CDI_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+
+#include "common/status.h"
+
+namespace cdi {
+
+/// Cooperative cancellation signal with an optional absolute deadline.
+///
+/// A CancelToken is created by the initiator of a unit of work (e.g. the
+/// query server, one token per request) and passed by const pointer down
+/// into long-running code, which polls `Check()` at natural stopping
+/// points (stage boundaries). Cancellation is cooperative: nothing is
+/// interrupted preemptively; the work notices the signal at its next
+/// check and unwinds by returning the non-OK Status.
+///
+/// Thread-safety: `Cancel()` may be called from any thread while workers
+/// poll `Check()`; the flag is a relaxed atomic (the only consequence of
+/// a stale read is one extra stage of work). The deadline must be set
+/// before the token is shared.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+
+  /// Sets an absolute deadline; after it passes, Check() returns
+  /// kDeadlineExceeded. Call before sharing the token across threads.
+  void set_deadline(Clock::time_point deadline) { deadline_ = deadline; }
+  Clock::time_point deadline() const { return deadline_; }
+  bool has_deadline() const { return deadline_ != Clock::time_point::max(); }
+
+  /// Signals cancellation (idempotent).
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// OK while the work should keep running; kCancelled after Cancel(),
+  /// kDeadlineExceeded once the deadline has passed. Null-token friendly
+  /// call sites should use `CheckCancel(token)` below.
+  Status Check() const {
+    if (cancelled()) return Status::Cancelled("work was cancelled");
+    if (has_deadline() && Clock::now() >= deadline_) {
+      return Status::DeadlineExceeded("deadline expired");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  Clock::time_point deadline_ = Clock::time_point::max();
+};
+
+/// Check() through a possibly-null token (null = never cancelled).
+inline Status CheckCancel(const CancelToken* token) {
+  return token == nullptr ? Status::OK() : token->Check();
+}
+
+}  // namespace cdi
+
+#endif  // CDI_COMMON_CANCELLATION_H_

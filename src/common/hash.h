@@ -1,0 +1,73 @@
+#ifndef CDI_COMMON_HASH_H_
+#define CDI_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace cdi {
+
+/// Incremental FNV-1a hasher for canonical fingerprints (cache keys,
+/// options hashes). Deliberately simple and fully specified so fingerprints
+/// are stable across platforms and process runs — unlike std::hash, whose
+/// value is implementation-defined.
+///
+/// Composite keys must be *prefix-free*: variable-length fields (strings)
+/// are length-prefixed by Mix(std::string_view), so ("ab","c") and
+/// ("a","bc") hash differently.
+class Fnv1a {
+ public:
+  Fnv1a() = default;
+  /// Seeds the stream with a domain tag (e.g. "CdiQuery/v1") so keys from
+  /// different key spaces never collide structurally.
+  explicit Fnv1a(std::string_view domain_tag) { Mix(domain_tag); }
+
+  Fnv1a& MixBytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= p[i];
+      h_ *= 1099511628211ULL;
+    }
+    return *this;
+  }
+
+  Fnv1a& Mix(std::uint64_t v) { return MixBytes(&v, sizeof(v)); }
+  Fnv1a& Mix(std::int64_t v) { return MixBytes(&v, sizeof(v)); }
+  Fnv1a& Mix(std::int32_t v) { return Mix(static_cast<std::int64_t>(v)); }
+  Fnv1a& Mix(bool v) { return Mix(static_cast<std::uint64_t>(v ? 1 : 0)); }
+
+  /// Doubles are mixed by bit pattern (the cache key must distinguish any
+  /// two option values that could change results bitwise).
+  Fnv1a& Mix(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return Mix(bits);
+  }
+
+  /// Length-prefixed, so adjacent strings cannot alias each other.
+  Fnv1a& Mix(std::string_view s) {
+    Mix(static_cast<std::uint64_t>(s.size()));
+    return MixBytes(s.data(), s.size());
+  }
+  Fnv1a& Mix(const std::string& s) { return Mix(std::string_view(s)); }
+  Fnv1a& Mix(const char* s) { return Mix(std::string_view(s)); }
+
+  /// Finalized digest (splitmix-style avalanche over the running state).
+  std::uint64_t Digest() const {
+    std::uint64_t h = h_;
+    h ^= h >> 30;
+    h *= 0xBF58476D1CE4E5B9ULL;
+    h ^= h >> 27;
+    h *= 0x94D049BB133111EBULL;
+    h ^= h >> 31;
+    return h;
+  }
+
+ private:
+  std::uint64_t h_ = 1469598103934665603ULL;  // FNV offset basis
+};
+
+}  // namespace cdi
+
+#endif  // CDI_COMMON_HASH_H_

@@ -1,0 +1,73 @@
+#include "common/histogram.h"
+
+#include <cmath>
+
+namespace cdi {
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (total_count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th sample, 1-based; ceil so Quantile(1.0) needs every
+  // sample and Quantile(0.0) needs the first.
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_count)));
+  const std::uint64_t target = rank == 0 ? 1 : rank;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen >= target) return LatencyHistogram::BucketUpperBoundSeconds(i);
+  }
+  return LatencyHistogram::BucketUpperBoundSeconds(counts.size() - 1);
+}
+
+HistogramSnapshot HistogramSnapshot::Since(
+    const HistogramSnapshot& earlier) const {
+  HistogramSnapshot out;
+  out.counts.resize(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t before =
+        i < earlier.counts.size() ? earlier.counts[i] : 0;
+    out.counts[i] = counts[i] - before;
+    out.total_count += out.counts[i];
+  }
+  out.total_ns = total_ns - earlier.total_ns;
+  return out;
+}
+
+void LatencyHistogram::Record(double seconds) {
+  if (!(seconds >= 0.0)) seconds = 0.0;  // NaN / negative -> bucket 0
+  counts_[BucketFor(seconds)].fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(static_cast<std::uint64_t>(seconds * 1e9),
+                      std::memory_order_relaxed);
+}
+
+std::size_t LatencyHistogram::BucketFor(double seconds) {
+  const double us = seconds * 1e6;
+  if (!(us >= 1.0)) return 0;
+  // Bucket i (i >= 1) holds [2^(i-1), 2^i) microseconds.
+  const auto floor_log2 =
+      static_cast<std::size_t>(std::floor(std::log2(us)));
+  const std::size_t bucket = floor_log2 + 1;
+  return bucket >= kNumBuckets ? kNumBuckets - 1 : bucket;
+}
+
+double LatencyHistogram::BucketUpperBoundSeconds(std::size_t i) {
+  if (i == 0) return 1e-6;
+  // Upper bound 2^i us; the overflow bucket reports its lower bound.
+  const std::size_t exp = i >= kNumBuckets - 1 ? kNumBuckets - 2 : i;
+  return std::ldexp(1e-6, static_cast<int>(exp));
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.counts.resize(kNumBuckets);
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    snap.total_count += snap.counts[i];
+  }
+  snap.total_ns = total_ns_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+}  // namespace cdi

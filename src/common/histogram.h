@@ -1,0 +1,69 @@
+#ifndef CDI_COMMON_HISTOGRAM_H_
+#define CDI_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace cdi {
+
+/// Immutable point-in-time copy of a LatencyHistogram (plain integers;
+/// safe to pass across threads, subtract, or serialize).
+struct HistogramSnapshot {
+  /// counts[i] = samples whose latency fell in bucket i (see
+  /// LatencyHistogram for the bucket bounds).
+  std::vector<std::uint64_t> counts;
+  std::uint64_t total_count = 0;
+  /// Sum of all recorded latencies, in nanoseconds.
+  std::uint64_t total_ns = 0;
+
+  /// Latency (seconds) at quantile `q` in [0, 1]: the upper bound of the
+  /// first bucket whose cumulative count reaches q * total_count — a
+  /// conservative (over-)estimate with bounded relative error given the
+  /// 2x-spaced buckets. Returns 0 when empty.
+  double Quantile(double q) const;
+
+  double MeanSeconds() const {
+    return total_count == 0 ? 0.0
+                            : static_cast<double>(total_ns) * 1e-9 /
+                                  static_cast<double>(total_count);
+  }
+
+  /// Elementwise difference `*this - earlier` (for interval metrics, e.g.
+  /// "since warmup"). Snapshots must come from the same histogram.
+  HistogramSnapshot Since(const HistogramSnapshot& earlier) const;
+};
+
+/// Thread-safe fixed-bucket latency histogram.
+///
+/// Buckets are powers of two of a microsecond: bucket i holds samples in
+/// [2^(i-1) us, 2^i us) (bucket 0: anything below 1 us), with the last
+/// bucket catching everything from ~2.3 hours up. Recording is one relaxed
+/// atomic increment — no allocation, no lock — so it can sit on the
+/// serving hot path; quantiles are computed from snapshots.
+class LatencyHistogram {
+ public:
+  /// 44 buckets: 2^43 us ~ 2.4 hours before the overflow bucket.
+  static constexpr std::size_t kNumBuckets = 44;
+
+  LatencyHistogram() = default;
+
+  void Record(double seconds);
+
+  /// Bucket index a latency maps to (exposed for tests).
+  static std::size_t BucketFor(double seconds);
+  /// Upper latency bound (seconds) of bucket i (inclusive scan bound used
+  /// by Quantile); the last bucket reports its lower bound.
+  static double BucketUpperBoundSeconds(std::size_t i);
+
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> counts_{};
+  std::atomic<std::uint64_t> total_ns_{0};
+};
+
+}  // namespace cdi
+
+#endif  // CDI_COMMON_HISTOGRAM_H_

@@ -8,6 +8,15 @@ namespace cdi {
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
 
+/// Emits one complete log line with a *single* fwrite call. stdio locks
+/// the stream around each call, so concurrent worker-thread logs are
+/// serialized whole-line — streaming the parts separately (or a separate
+/// fprintf for the trailing newline) can shear lines under concurrency.
+void EmitLine(std::string line) {
+  line.push_back('\n');
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
 const char* LevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
@@ -41,7 +50,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   if (static_cast<int>(level_) >=
       g_min_level.load(std::memory_order_relaxed)) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    EmitLine(stream_.str());
   }
 }
 
@@ -52,7 +61,7 @@ FatalLogMessage::FatalLogMessage(const char* file, int line,
 }
 
 FatalLogMessage::~FatalLogMessage() {
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  EmitLine(stream_.str());
   std::abort();
 }
 

@@ -19,6 +19,13 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kUnimplemented,
+  /// The request was refused for capacity reasons (e.g. a bounded
+  /// admission queue is full). Retryable by the caller.
+  kResourceExhausted,
+  /// The request's deadline expired before the work completed.
+  kDeadlineExceeded,
+  /// The request was cancelled (explicitly, or by server shutdown).
+  kCancelled,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -56,6 +63,15 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -217,9 +217,12 @@ Result<CdagBuildResult> CdagBuilder::Build(
       if (oracle_ == nullptr) {
         return Status::InvalidArgument("oracle required for this mode");
       }
-      const std::size_t before = oracle_->query_count();
       claim_graph = oracle_->QueryAllPairs(topics, meter);
-      result.oracle_queries = oracle_->query_count() - before;
+      // QueryAllPairs asks every ordered pair exactly once. Count locally:
+      // a query_count() delta on the shared oracle would also absorb the
+      // queries of concurrent pipeline runs against the same scenario,
+      // making this result field nondeterministic under serving load.
+      result.oracle_queries = topics.size() * (topics.size() - 1);
       if (options_.inference == EdgeInference::kHybrid) {
         // PC-style redundant-edge pruning: remove a claimed edge when the
         // two clusters test conditionally independent given some subset of

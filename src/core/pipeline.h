@@ -1,8 +1,10 @@
 #ifndef CDI_CORE_PIPELINE_H_
 #define CDI_CORE_PIPELINE_H_
 
+#include <cstdint>
 #include <string>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "common/timer.h"
 #include "core/cdag_builder.h"
@@ -24,6 +26,15 @@ struct PipelineOptions {
   /// identical at any thread count.
   int num_threads = 1;
 };
+
+/// Canonical 64-bit fingerprint of every *semantic* pipeline option — the
+/// fields that can change what Run computes. Execution-strategy fields
+/// (`num_threads` at every level, `discovery.use_ci_cache`) are excluded:
+/// all parallel stages and the CI cache are bitwise-deterministic, so two
+/// configurations differing only there produce identical results and must
+/// share a result-cache entry. Stable across runs and platforms (explicit
+/// FNV-1a over bit patterns, not std::hash).
+std::uint64_t PipelineOptionsFingerprint(const PipelineOptions& options);
 
 /// Wall-clock seconds per stage (actual compute on this machine).
 struct StageTimings {
@@ -64,10 +75,23 @@ class Pipeline {
       : kg_(kg), lake_(lake), oracle_(oracle), topics_(topics),
         options_(options) {}
 
+  /// Runs the three stages plus downstream effect estimation.
+  ///
+  /// Validates up front that `entity_column`, `exposure` and `outcome`
+  /// exist in `input` and that exposure != outcome, returning a
+  /// descriptive kInvalidArgument instead of crashing downstream.
+  ///
+  /// `cancel` (optional, borrowed; may be shared across threads) makes the
+  /// run cooperatively cancellable: the token is polled at each stage
+  /// boundary — before extraction, organization, C-DAG build and effect
+  /// estimation — and the run returns the token's kCancelled /
+  /// kDeadlineExceeded status at the first expired checkpoint. Work
+  /// already done inside a stage is discarded; no partial result escapes.
   Result<PipelineResult> Run(const table::Table& input,
                              const std::string& entity_column,
                              const std::string& exposure,
-                             const std::string& outcome) const;
+                             const std::string& outcome,
+                             const CancelToken* cancel = nullptr) const;
 
  private:
   const knowledge::KnowledgeGraph* kg_;

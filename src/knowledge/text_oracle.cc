@@ -59,7 +59,7 @@ double TextCausalOracle::HashUniform(const std::string& a,
 
 bool TextCausalOracle::DoesCause(const std::string& a, const std::string& b,
                                  LatencyMeter* meter) const {
-  ++query_count_;
+  query_count_.fetch_add(1, std::memory_order_relaxed);
   if (meter != nullptr) {
     meter->Charge(kServiceName, options_.seconds_per_query);
   }
@@ -85,7 +85,7 @@ bool TextCausalOracle::DoesCause(const std::string& a, const std::string& b,
 int TextCausalOracle::PreferredDirection(const std::string& a,
                                          const std::string& b,
                                          LatencyMeter* meter) const {
-  ++query_count_;
+  query_count_.fetch_add(1, std::memory_order_relaxed);
   if (meter != nullptr) {
     meter->Charge(kServiceName, options_.seconds_per_query);
   }

@@ -1,6 +1,7 @@
 #ifndef CDI_KNOWLEDGE_TEXT_ORACLE_H_
 #define CDI_KNOWLEDGE_TEXT_ORACLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -65,7 +66,9 @@ class TextCausalOracle {
   graph::Digraph QueryAllPairs(const std::vector<std::string>& concepts,
                                LatencyMeter* meter = nullptr) const;
 
-  std::size_t query_count() const { return query_count_; }
+  std::size_t query_count() const {
+    return query_count_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Resolves a surface name to a world node id (or npos).
@@ -79,7 +82,11 @@ class TextCausalOracle {
   OracleOptions options_;
   std::vector<std::vector<bool>> reachable_;  // transitive closure
   std::map<std::string, std::string> aliases_;
-  mutable std::size_t query_count_ = 0;
+  /// Relaxed atomic: the serving layer runs concurrent pipelines against
+  /// one shared scenario, so const query methods bump this from multiple
+  /// threads. A plain counter here was the one data race TSan found in
+  /// the whole serving stack.
+  mutable std::atomic<std::size_t> query_count_{0};
 };
 
 }  // namespace cdi::knowledge

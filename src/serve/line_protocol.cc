@@ -1,0 +1,215 @@
+#include "serve/line_protocol.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace cdi::serve {
+
+const char* ResponseSourceName(ResponseSource source) {
+  switch (source) {
+    case ResponseSource::kError:
+      return "error";
+    case ResponseSource::kExecuted:
+      return "executed";
+    case ResponseSource::kCacheHit:
+      return "hit";
+    case ResponseSource::kCoalesced:
+      return "coalesced";
+  }
+  return "?";
+}
+
+namespace {
+
+void MixEffect(Fnv1a& h, const core::EffectEstimate& e) {
+  h.Mix(e.effect).Mix(e.abs_effect).Mix(e.std_error).Mix(e.p_value);
+  h.Mix(static_cast<std::uint64_t>(e.n_used));
+  h.Mix(static_cast<std::uint64_t>(e.adjusted_for.size()));
+  for (const auto& a : e.adjusted_for) h.Mix(a);
+}
+
+void MixEdges(Fnv1a& h,
+              const std::vector<std::pair<std::string, std::string>>& edges) {
+  h.Mix(static_cast<std::uint64_t>(edges.size()));
+  for (const auto& [from, to] : edges) h.Mix(from).Mix(to);
+}
+
+}  // namespace
+
+std::uint64_t ResultFingerprint(const core::PipelineResult& result) {
+  Fnv1a h("cdi::serve::ResultFingerprint/v1");
+
+  const core::ExtractionResult& ex = result.extraction;
+  h.Mix(static_cast<std::uint64_t>(ex.augmented.num_rows()))
+      .Mix(static_cast<std::uint64_t>(ex.augmented.num_cols()))
+      .Mix(static_cast<std::uint64_t>(ex.kg_columns_found))
+      .Mix(static_cast<std::uint64_t>(ex.lake_columns_found))
+      .Mix(static_cast<std::uint64_t>(ex.attributes.size()));
+  for (const auto& a : ex.attributes) {
+    h.Mix(a.name)
+        .Mix(a.source)
+        .Mix(a.corr_with_exposure)
+        .Mix(a.corr_with_outcome)
+        .Mix(a.kept)
+        .Mix(a.drop_reason);
+  }
+
+  const core::OrganizerResult& org = result.organization;
+  h.Mix(static_cast<std::uint64_t>(org.organized.num_rows()))
+      .Mix(static_cast<std::uint64_t>(org.organized.num_cols()));
+  for (const auto& name : org.organized.ColumnNames()) h.Mix(name);
+  h.Mix(static_cast<std::uint64_t>(org.dropped_fd_attributes.size()));
+  for (const auto& d : org.dropped_fd_attributes) h.Mix(d);
+  h.Mix(static_cast<std::uint64_t>(org.winsorized_cells.size()));
+  for (const auto& [attr, cells] : org.winsorized_cells) {
+    h.Mix(attr).Mix(static_cast<std::uint64_t>(cells));
+  }
+  h.Mix(static_cast<std::uint64_t>(org.missingness.size()));
+  for (const auto& m : org.missingness) {
+    h.Mix(m.attribute)
+        .Mix(m.missing_fraction)
+        .Mix(m.p_vs_exposure)
+        .Mix(m.p_vs_outcome)
+        .Mix(m.selection_bias_risk);
+  }
+  h.Mix(static_cast<std::uint64_t>(org.row_weights.size()));
+  for (double w : org.row_weights) h.Mix(w);
+  h.Mix(static_cast<std::uint64_t>(org.duplicate_rows_removed));
+
+  const core::CdagBuildResult& build = result.build;
+  h.Mix(static_cast<std::uint64_t>(build.cdag.num_clusters()));
+  MixEdges(h, build.claims);
+  MixEdges(h, build.definite);
+  MixEdges(h, build.pruned_edges);
+  MixEdges(h, build.cycle_repaired_edges);
+  h.Mix(static_cast<std::uint64_t>(build.cluster_topics.size()));
+  for (const auto& t : build.cluster_topics) h.Mix(t);
+  h.Mix(static_cast<std::uint64_t>(build.oracle_queries))
+      .Mix(static_cast<std::uint64_t>(build.ci_tests));
+
+  MixEffect(h, result.direct_effect);
+  MixEffect(h, result.total_effect);
+  h.Mix(result.direct_effect_sensitivity.risk_ratio)
+      .Mix(result.direct_effect_sensitivity.e_value)
+      .Mix(result.direct_effect_sensitivity.bias_bound_at_2x);
+
+  // Simulated external latency is deterministic (unlike wall clock).
+  h.Mix(static_cast<std::uint64_t>(result.external.entries().size()));
+  for (const auto& [service, entry] : result.external.entries()) {
+    h.Mix(service)
+        .Mix(static_cast<std::int64_t>(entry.calls))
+        .Mix(entry.seconds);
+  }
+
+  return h.Digest();
+}
+
+std::string FormatResultPayload(const core::PipelineResult& result) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "direct=%.17g direct_p=%.17g total=%.17g total_p=%.17g "
+      "e_value=%.17g clusters=%zu edges=%zu n=%zu fingerprint=%016llx",
+      result.direct_effect.effect, result.direct_effect.p_value,
+      result.total_effect.effect, result.total_effect.p_value,
+      result.direct_effect_sensitivity.e_value,
+      result.build.cdag.num_clusters(), result.build.claims.size(),
+      result.direct_effect.n_used,
+      static_cast<unsigned long long>(ResultFingerprint(result)));
+  return buf;
+}
+
+namespace {
+
+/// Error messages are folded onto one line and double quotes are
+/// replaced so the response always parses as a single line of
+/// space-separated key=value fields plus one quoted message.
+std::string SanitizeMessage(std::string msg) {
+  for (char& c : msg) {
+    if (c == '\n' || c == '\r') c = ' ';
+    if (c == '"') c = '\'';
+  }
+  return msg;
+}
+
+}  // namespace
+
+std::string FormatResponseLine(const CdiQuery& query,
+                               const QueryResponse& response) {
+  std::ostringstream out;
+  if (response.status.ok()) {
+    out << "ok scenario=" << query.scenario << " T=" << query.exposure
+        << " O=" << query.outcome
+        << " source=" << ResponseSourceName(response.source) << " "
+        << FormatResultPayload(*response.result);
+    char tail[96];
+    std::snprintf(tail, sizeof(tail), " latency_us=%.1f",
+                  response.latency_seconds * 1e6);
+    out << tail;
+  } else {
+    out << "error scenario=" << query.scenario << " T=" << query.exposure
+        << " O=" << query.outcome
+        << " code=" << StatusCodeName(response.status.code())
+        << " message=\"" << SanitizeMessage(response.status.message())
+        << "\"";
+  }
+  return out.str();
+}
+
+Result<ServerCommand> ParseCommandLine(const std::string& line) {
+  const std::string trimmed = Trim(line);
+  if (trimmed.empty() || trimmed[0] == '#') {
+    return Status::InvalidArgument("");
+  }
+  std::istringstream in(trimmed);
+  std::string verb;
+  in >> verb;
+  ServerCommand cmd;
+  if (verb == "metrics") {
+    cmd.kind = ServerCommand::Kind::kMetrics;
+    return cmd;
+  }
+  if (verb == "scenarios") {
+    cmd.kind = ServerCommand::Kind::kScenarios;
+    return cmd;
+  }
+  if (verb == "quit" || verb == "exit") {
+    cmd.kind = ServerCommand::Kind::kQuit;
+    return cmd;
+  }
+  if (verb != "query") {
+    return Status::InvalidArgument("unknown command '" + verb +
+                                   "' (expected query|metrics|scenarios|"
+                                   "quit)");
+  }
+  cmd.kind = ServerCommand::Kind::kQuery;
+  in >> cmd.query.scenario >> cmd.query.exposure >> cmd.query.outcome;
+  if (cmd.query.scenario.empty() || cmd.query.exposure.empty() ||
+      cmd.query.outcome.empty()) {
+    return Status::InvalidArgument(
+        "usage: query <scenario> <exposure> <outcome> [timeout=<seconds>]");
+  }
+  std::string extra;
+  while (in >> extra) {
+    if (extra.rfind("timeout=", 0) == 0) {
+      char* end = nullptr;
+      const std::string value = extra.substr(8);
+      const double seconds = std::strtod(value.c_str(), &end);
+      if (end == nullptr || *end != '\0' || value.empty()) {
+        return Status::InvalidArgument("bad timeout value '" + value + "'");
+      }
+      cmd.query.timeout_seconds = seconds;
+    } else {
+      return Status::InvalidArgument("unknown query argument '" + extra +
+                                     "'");
+    }
+  }
+  return cmd;
+}
+
+}  // namespace cdi::serve

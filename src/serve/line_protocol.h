@@ -1,0 +1,58 @@
+#ifndef CDI_SERVE_LINE_PROTOCOL_H_
+#define CDI_SERVE_LINE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/pipeline.h"
+#include "serve/query_server.h"
+
+namespace cdi::serve {
+
+/// Stable display name for a response source ("executed", "hit",
+/// "coalesced", "error").
+const char* ResponseSourceName(ResponseSource source);
+
+/// Canonical 64-bit fingerprint of everything a served PipelineResult
+/// answers with: extraction attributes, organization repairs and weights,
+/// C-DAG claims/topics, both effect estimates (bit patterns), the
+/// sensitivity report, and the simulated external-latency accounting.
+/// Wall-clock timings are excluded — they are the only fields that vary
+/// between otherwise bitwise-identical runs. Two results fingerprint
+/// equal iff the pipeline produced the same answer bit for bit.
+std::uint64_t ResultFingerprint(const core::PipelineResult& result);
+
+/// Deterministic response payload, identical for every service of the
+/// same result (doubles as %.17g round-trip exactly):
+///   `direct=... direct_p=... total=... total_p=... e_value=...
+///    clusters=N edges=M n=K fingerprint=<16 hex>`
+/// The load generator compares served payloads byte-for-byte against a
+/// direct Pipeline::Run to prove served == computed with zero torn
+/// responses.
+std::string FormatResultPayload(const core::PipelineResult& result);
+
+/// Full single-line response for the cdi_serve stdout protocol:
+///   `ok scenario=S T=... O=... source=hit <payload> latency_us=...`
+///   `error scenario=S T=... O=... code=DeadlineExceeded message="..."`
+/// Never contains embedded newlines.
+std::string FormatResponseLine(const CdiQuery& query,
+                               const QueryResponse& response);
+
+/// One parsed cdi_serve stdin command.
+struct ServerCommand {
+  enum class Kind { kQuery, kMetrics, kScenarios, kQuit };
+  Kind kind = Kind::kQuery;
+  CdiQuery query;  // meaningful when kind == kQuery
+};
+
+/// Parses one protocol line:
+///   `query <scenario> <exposure> <outcome> [timeout=<seconds>]`
+///   `metrics` | `scenarios` | `quit`
+/// Blank lines and `#` comments return kInvalidArgument with an empty
+/// message (callers skip those silently).
+Result<ServerCommand> ParseCommandLine(const std::string& line);
+
+}  // namespace cdi::serve
+
+#endif  // CDI_SERVE_LINE_PROTOCOL_H_

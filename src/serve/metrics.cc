@@ -1,0 +1,72 @@
+#include "serve/metrics.h"
+
+#include <cstdio>
+
+namespace cdi::serve {
+
+MetricsSnapshot MetricsSnapshot::Since(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot out;
+  out.submitted = submitted - earlier.submitted;
+  out.served = served - earlier.served;
+  out.rejected = rejected - earlier.rejected;
+  out.failed = failed - earlier.failed;
+  out.deadline_exceeded = deadline_exceeded - earlier.deadline_exceeded;
+  out.cancelled = cancelled - earlier.cancelled;
+  out.cache_hits = cache_hits - earlier.cache_hits;
+  out.coalesced = coalesced - earlier.coalesced;
+  out.executions = executions - earlier.executions;
+  out.queue_depth_high_water = queue_depth_high_water;
+  out.latency = latency.Since(earlier.latency);
+  return out;
+}
+
+std::string MetricsSnapshot::ToLine() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "submitted=%llu served=%llu rejected=%llu failed=%llu "
+      "deadline_exceeded=%llu cancelled=%llu cache_hits=%llu coalesced=%llu "
+      "executions=%llu queue_hwm=%llu hit_rate=%.4f "
+      "p50_us=%.0f p95_us=%.0f p99_us=%.0f mean_us=%.0f",
+      static_cast<unsigned long long>(submitted),
+      static_cast<unsigned long long>(served),
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(failed),
+      static_cast<unsigned long long>(deadline_exceeded),
+      static_cast<unsigned long long>(cancelled),
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(coalesced),
+      static_cast<unsigned long long>(executions),
+      static_cast<unsigned long long>(queue_depth_high_water),
+      CacheHitRate(), latency.Quantile(0.50) * 1e6,
+      latency.Quantile(0.95) * 1e6, latency.Quantile(0.99) * 1e6,
+      latency.MeanSeconds() * 1e6);
+  return buf;
+}
+
+void ServerMetrics::ObserveQueueDepth(std::uint64_t depth) {
+  std::uint64_t cur =
+      queue_depth_high_water.load(std::memory_order_relaxed);
+  while (cur < depth && !queue_depth_high_water.compare_exchange_weak(
+                            cur, depth, std::memory_order_relaxed)) {
+  }
+}
+
+MetricsSnapshot ServerMetrics::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.submitted = submitted.load(std::memory_order_relaxed);
+  snap.served = served.load(std::memory_order_relaxed);
+  snap.rejected = rejected.load(std::memory_order_relaxed);
+  snap.failed = failed.load(std::memory_order_relaxed);
+  snap.deadline_exceeded = deadline_exceeded.load(std::memory_order_relaxed);
+  snap.cancelled = cancelled.load(std::memory_order_relaxed);
+  snap.cache_hits = cache_hits.load(std::memory_order_relaxed);
+  snap.coalesced = coalesced.load(std::memory_order_relaxed);
+  snap.executions = executions.load(std::memory_order_relaxed);
+  snap.queue_depth_high_water =
+      queue_depth_high_water.load(std::memory_order_relaxed);
+  snap.latency = latency.Snapshot();
+  return snap;
+}
+
+}  // namespace cdi::serve

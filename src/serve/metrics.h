@@ -1,0 +1,88 @@
+#ifndef CDI_SERVE_METRICS_H_
+#define CDI_SERVE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.h"
+
+namespace cdi::serve {
+
+/// Point-in-time copy of the query server's counters. Plain integers —
+/// copyable, subtractable (for interval windows), serializable.
+///
+/// Counter relationships (in a quiesced server):
+///   submitted = served + rejected + failed
+///   served    = executions + cache_hits + coalesced   (every OK response)
+///   failed    counts error responses, of which deadline_exceeded and
+///             cancelled are also tallied separately by cause.
+struct MetricsSnapshot {
+  std::uint64_t submitted = 0;
+  /// OK responses delivered (leader executions + cache hits + coalesced).
+  std::uint64_t served = 0;
+  /// Admission-queue-full rejections (kResourceExhausted).
+  std::uint64_t rejected = 0;
+  /// Error responses (validation failures, deadline, cancellation, ...).
+  std::uint64_t failed = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t cancelled = 0;
+  /// Requests that found a completed cache entry (no queue slot used).
+  std::uint64_t cache_hits = 0;
+  /// Requests coalesced onto an identical in-flight computation
+  /// (single-flight dedup; no queue slot used).
+  std::uint64_t coalesced = 0;
+  /// Actual pipeline executions (cache misses that ran).
+  std::uint64_t executions = 0;
+  /// Highest admission-queue depth observed since start.
+  std::uint64_t queue_depth_high_water = 0;
+  /// Submit-to-response latency of OK responses.
+  HistogramSnapshot latency;
+
+  /// cache_hits / served (0 when nothing served). Coalesced responses are
+  /// not counted as hits: they did wait on a computation.
+  double CacheHitRate() const {
+    return served == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) /
+                     static_cast<double>(served);
+  }
+
+  double LatencyQuantileSeconds(double q) const {
+    return latency.Quantile(q);
+  }
+
+  /// Counter-wise difference `*this - earlier` (queue high-water is taken
+  /// from `*this`; it is a running maximum, not a rate).
+  MetricsSnapshot Since(const MetricsSnapshot& earlier) const;
+
+  /// Single-line summary, e.g. for the cdi_serve `metrics` command:
+  /// `served=128 rejected=0 ... p50_us=12 p95_us=900 p99_us=51000`.
+  std::string ToLine() const;
+};
+
+/// Lock-free counter block the server updates on the hot path; every
+/// counter is a relaxed atomic (metrics never synchronize anything).
+class ServerMetrics {
+ public:
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> served{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::atomic<std::uint64_t> deadline_exceeded{0};
+  std::atomic<std::uint64_t> cancelled{0};
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> coalesced{0};
+  std::atomic<std::uint64_t> executions{0};
+  std::atomic<std::uint64_t> queue_depth_high_water{0};
+  LatencyHistogram latency;
+
+  /// Raises the high-water mark to at least `depth`.
+  void ObserveQueueDepth(std::uint64_t depth);
+
+  MetricsSnapshot Snapshot() const;
+};
+
+}  // namespace cdi::serve
+
+#endif  // CDI_SERVE_METRICS_H_

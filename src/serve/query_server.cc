@@ -1,0 +1,377 @@
+#include "serve/query_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace cdi::serve {
+
+std::uint64_t QueryCacheKey(const ScenarioBundle& bundle,
+                            const CdiQuery& query) {
+  const std::uint64_t options_fingerprint =
+      query.options.has_value()
+          ? core::PipelineOptionsFingerprint(*query.options)
+          : bundle.default_options_fingerprint;
+  return Fnv1a("cdi::serve::QueryKey/v1")
+      .Mix(bundle.name)
+      .Mix(bundle.epoch)
+      .Mix(query.exposure)
+      .Mix(query.outcome)
+      .Mix(options_fingerprint)
+      .Digest();
+}
+
+QueryServer::QueryServer(const ScenarioRegistry* registry,
+                         QueryServerOptions options)
+    : registry_(registry), options_(std::move(options)) {
+  if (options_.num_workers < 1) options_.num_workers = 1;
+  if (options_.pipeline_threads < 1) options_.pipeline_threads = 1;
+  workers_.reserve(static_cast<std::size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryServer::~QueryServer() { Shutdown(); }
+
+Status QueryServer::ValidateQuery(const ScenarioBundle& bundle,
+                                  const CdiQuery& query) const {
+  const auto check = [&bundle](const char* role,
+                               const std::string& attr) -> Status {
+    const std::size_t idx = bundle.NumericIndex(attr);
+    if (idx == ScenarioBundle::kNotNumeric) {
+      std::string msg = std::string(role) + " '" + attr +
+                        "' is not a numeric attribute of scenario '" +
+                        bundle.name + "' (available:";
+      for (const auto& a : bundle.numeric_attributes) msg += " " + a;
+      msg += ")";
+      return Status::InvalidArgument(std::move(msg));
+    }
+    // The shared per-dataset sufficient statistics make this check O(1):
+    // a zero diagonal entry of S means the column is constant over the
+    // complete rows, which no effect estimate can use.
+    if (bundle.input_stats != nullptr &&
+        bundle.input_stats->cross_products()(idx, idx) <= 0.0) {
+      return Status::InvalidArgument(
+          std::string(role) + " '" + attr + "' has no variance in scenario '" +
+          bundle.name + "'");
+    }
+    return Status::OK();
+  };
+  CDI_RETURN_IF_ERROR(check("exposure", query.exposure));
+  CDI_RETURN_IF_ERROR(check("outcome", query.outcome));
+  if (query.exposure == query.outcome) {
+    return Status::InvalidArgument(
+        "exposure and outcome must be distinct (both '" + query.exposure +
+        "')");
+  }
+  return Status::OK();
+}
+
+QueryResponse QueryServer::ErrorResponse(
+    Status status, std::uint64_t key, std::uint64_t epoch,
+    Clock::time_point submit_time) const {
+  QueryResponse response;
+  response.status = std::move(status);
+  response.source = ResponseSource::kError;
+  response.cache_key = key;
+  response.scenario_epoch = epoch;
+  response.latency_seconds =
+      std::chrono::duration<double>(Clock::now() - submit_time).count();
+  return response;
+}
+
+void QueryServer::Respond(std::promise<QueryResponse>* promise,
+                          QueryResponse response) {
+  if (response.status.ok()) {
+    metrics_.served.fetch_add(1, std::memory_order_relaxed);
+    metrics_.latency.Record(response.latency_seconds);
+  } else {
+    switch (response.status.code()) {
+      case StatusCode::kResourceExhausted:
+        metrics_.rejected.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case StatusCode::kDeadlineExceeded:
+        metrics_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+        metrics_.failed.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case StatusCode::kCancelled:
+        metrics_.cancelled.fetch_add(1, std::memory_order_relaxed);
+        metrics_.failed.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        metrics_.failed.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+  promise->set_value(std::move(response));
+}
+
+std::future<QueryResponse> QueryServer::Submit(CdiQuery query) {
+  metrics_.submitted.fetch_add(1, std::memory_order_relaxed);
+  const Clock::time_point submit_time = Clock::now();
+  std::promise<QueryResponse> promise;
+  std::future<QueryResponse> future = promise.get_future();
+
+  // Resolve + validate outside the server lock (registry has its own).
+  auto bundle_or = registry_->Snapshot(query.scenario);
+  if (!bundle_or.ok()) {
+    Respond(&promise, ErrorResponse(bundle_or.status(), 0, 0, submit_time));
+    return future;
+  }
+  std::shared_ptr<const ScenarioBundle> bundle = *std::move(bundle_or);
+  if (Status v = ValidateQuery(*bundle, query); !v.ok()) {
+    Respond(&promise,
+            ErrorResponse(std::move(v), 0, bundle->epoch, submit_time));
+    return future;
+  }
+
+  const std::uint64_t key = QueryCacheKey(*bundle, query);
+  const std::uint64_t epoch = bundle->epoch;
+  const Clock::time_point deadline =
+      query.timeout_seconds > 0.0
+          ? submit_time + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(
+                                  query.timeout_seconds))
+          : Clock::time_point::max();
+
+  std::shared_ptr<const core::PipelineResult> hit_result;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) {
+      lock.unlock();
+      Respond(&promise,
+              ErrorResponse(Status::Cancelled("server is shut down"), key,
+                            epoch, submit_time));
+      return future;
+    }
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      if (it->second.done) {
+        hit_result = it->second.result;  // fall through; respond unlocked
+      } else {
+        // Single-flight: attach to the in-flight leader. No queue slot.
+        metrics_.coalesced.fetch_add(1, std::memory_order_relaxed);
+        it->second.waiters.push_back(
+            Waiter{std::move(promise), submit_time});
+        return future;
+      }
+    } else {
+      if (queue_.size() >= options_.max_queue_depth) {
+        lock.unlock();
+        Respond(&promise,
+                ErrorResponse(
+                    Status::ResourceExhausted(
+                        "admission queue is full (depth " +
+                        std::to_string(options_.max_queue_depth) + ")"),
+                    key, epoch, submit_time));
+        return future;
+      }
+      // Claim the cache entry pending *now* so identical queries coalesce
+      // from this moment on, then enqueue the leader.
+      cache_.emplace(key, CacheEntry{});
+      Request request;
+      request.query = std::move(query);
+      request.bundle = std::move(bundle);
+      request.key = key;
+      request.submit_time = submit_time;
+      request.deadline = deadline;
+      request.promise = std::move(promise);
+      queue_.push_back(std::move(request));
+      metrics_.ObserveQueueDepth(queue_.size());
+      work_ready_.notify_one();
+      return future;
+    }
+  }
+
+  // Completed-entry cache hit: serve without a worker.
+  metrics_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+  QueryResponse response;
+  response.status = Status::OK();
+  response.result = std::move(hit_result);
+  response.source = ResponseSource::kCacheHit;
+  response.cache_key = key;
+  response.scenario_epoch = epoch;
+  response.latency_seconds =
+      std::chrono::duration<double>(Clock::now() - submit_time).count();
+  Respond(&promise, std::move(response));
+  return future;
+}
+
+QueryResponse QueryServer::Execute(CdiQuery query) {
+  return Submit(std::move(query)).get();
+}
+
+void QueryServer::WorkerLoop() {
+  for (;;) {
+    Request request;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock,
+                       [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;  // Shutdown already drained the queue
+      request = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    ExecuteRequest(std::move(request));
+  }
+}
+
+void QueryServer::ExecuteRequest(Request request) {
+  CancelToken token;
+  if (request.deadline != Clock::time_point::max()) {
+    token.set_deadline(request.deadline);
+  }
+
+  // Fails the leader *and* its coalesced waiters, evicting the pending
+  // single-flight claim so the next identical query recomputes — a failed
+  // run must never poison the cache.
+  const auto fail = [this, &request](const Status& status) {
+    std::vector<Waiter> waiters;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = cache_.find(request.key);
+      if (it != cache_.end() && !it->second.done) {
+        waiters.swap(it->second.waiters);
+        cache_.erase(it);
+      }
+    }
+    Respond(&request.promise,
+            ErrorResponse(status, request.key, request.bundle->epoch,
+                          request.submit_time));
+    for (Waiter& w : waiters) {
+      Respond(&w.promise, ErrorResponse(status, request.key,
+                                        request.bundle->epoch,
+                                        w.submit_time));
+    }
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_tokens_.push_back(&token);
+    // Raced with Shutdown after being popped: Shutdown's token sweep
+    // missed this request, so deliver the cancellation here.
+    if (stopping_) token.Cancel();
+  }
+  const auto unregister_token = [this, &token] {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_tokens_.erase(
+        std::remove(active_tokens_.begin(), active_tokens_.end(), &token),
+        active_tokens_.end());
+  };
+
+  // The deadline covers queueing: a request that waited past it fails
+  // here without burning pipeline work.
+  if (Status s = token.Check(); !s.ok()) {
+    fail(s);
+    unregister_token();
+    return;
+  }
+
+  if (options_.pre_execute_hook) options_.pre_execute_hook();
+
+  core::PipelineOptions pipeline_options =
+      request.query.options.has_value() ? *request.query.options
+                                        : request.bundle->default_options;
+  pipeline_options.num_threads = options_.pipeline_threads;
+
+  const datagen::Scenario& sc = *request.bundle->scenario;
+  core::Pipeline pipeline(&sc.kg, &sc.lake, sc.oracle.get(), &sc.topics,
+                          pipeline_options);
+  auto run = pipeline.Run(sc.input_table, sc.spec.entity_column,
+                          request.query.exposure, request.query.outcome,
+                          &token);
+  unregister_token();
+
+  if (!run.ok()) {
+    fail(run.status());
+    return;
+  }
+
+  auto result =
+      std::make_shared<const core::PipelineResult>(*std::move(run));
+  std::vector<Waiter> waiters;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CacheEntry& entry = cache_[request.key];
+    entry.done = true;
+    entry.result = result;
+    waiters.swap(entry.waiters);
+  }
+  metrics_.executions.fetch_add(1, std::memory_order_relaxed);
+
+  QueryResponse response;
+  response.status = Status::OK();
+  response.result = result;
+  response.source = ResponseSource::kExecuted;
+  response.cache_key = request.key;
+  response.scenario_epoch = request.bundle->epoch;
+  response.latency_seconds = std::chrono::duration<double>(
+                                 Clock::now() - request.submit_time)
+                                 .count();
+  Respond(&request.promise, std::move(response));
+
+  for (Waiter& w : waiters) {
+    QueryResponse coalesced;
+    coalesced.status = Status::OK();
+    coalesced.result = result;
+    coalesced.source = ResponseSource::kCoalesced;
+    coalesced.cache_key = request.key;
+    coalesced.scenario_epoch = request.bundle->epoch;
+    coalesced.latency_seconds =
+        std::chrono::duration<double>(Clock::now() - w.submit_time).count();
+    Respond(&w.promise, std::move(coalesced));
+  }
+}
+
+std::size_t QueryServer::InvalidateCache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t dropped = 0;
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->second.done) {
+      it = cache_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+void QueryServer::Shutdown() {
+  std::deque<Request> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    dropped.swap(queue_);
+    for (CancelToken* token : active_tokens_) token->Cancel();
+    work_ready_.notify_all();
+  }
+  const Status shutdown = Status::Cancelled("server shutting down");
+  for (Request& request : dropped) {
+    std::vector<Waiter> waiters;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = cache_.find(request.key);
+      if (it != cache_.end() && !it->second.done) {
+        waiters.swap(it->second.waiters);
+        cache_.erase(it);
+      }
+    }
+    Respond(&request.promise,
+            ErrorResponse(shutdown, request.key, request.bundle->epoch,
+                          request.submit_time));
+    for (Waiter& w : waiters) {
+      Respond(&w.promise, ErrorResponse(shutdown, request.key,
+                                        request.bundle->epoch,
+                                        w.submit_time));
+    }
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+}  // namespace cdi::serve

@@ -1,0 +1,187 @@
+#ifndef CDI_SERVE_QUERY_SERVER_H_
+#define CDI_SERVE_QUERY_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/status.h"
+#include "core/pipeline.h"
+#include "serve/metrics.h"
+#include "serve/scenario_registry.h"
+
+namespace cdi::serve {
+
+/// One causal query against a registered scenario: "what is the effect of
+/// `exposure` on `outcome`?" — the repeated analyst question the serving
+/// layer amortizes ingest and statistics across.
+struct CdiQuery {
+  std::string scenario;
+  std::string exposure;
+  std::string outcome;
+  /// Pipeline options override; unset = the bundle's default options.
+  /// Only *semantic* fields contribute to the cache key (see
+  /// core::PipelineOptionsFingerprint).
+  std::optional<core::PipelineOptions> options;
+  /// Relative deadline in seconds from submission (covers queueing AND
+  /// execution); <= 0 means no deadline.
+  double timeout_seconds = 0.0;
+};
+
+/// How a response was produced.
+enum class ResponseSource {
+  kError,     ///< no result (rejected, invalid, deadline, cancelled, ...)
+  kExecuted,  ///< this request ran the pipeline (cache-miss leader)
+  kCacheHit,  ///< served from a completed cache entry
+  kCoalesced  ///< waited on an identical in-flight computation
+};
+
+struct QueryResponse {
+  Status status;
+  /// Shared immutable result; null iff !status.ok(). Identical queries
+  /// may receive the *same* pointer (memoization is by reference).
+  std::shared_ptr<const core::PipelineResult> result;
+  ResponseSource source = ResponseSource::kError;
+  /// Single-flight cache key: hash of (scenario epoch, T, O, options
+  /// fingerprint). 0 when the request failed before key computation.
+  std::uint64_t cache_key = 0;
+  std::uint64_t scenario_epoch = 0;
+  double latency_seconds = 0.0;
+};
+
+struct QueryServerOptions {
+  /// Worker threads executing pipeline runs.
+  int num_workers = 4;
+  /// Bound on queued-but-not-started requests. A request that would
+  /// exceed it is rejected immediately with kResourceExhausted — explicit
+  /// load shedding instead of unbounded memory growth. Cache hits and
+  /// coalesced requests never occupy a slot.
+  std::size_t max_queue_depth = 64;
+  /// `num_threads` handed to each pipeline run (results are
+  /// bitwise-identical at any value, so this is pure latency tuning).
+  int pipeline_threads = 1;
+  /// Test hook: runs on the worker thread right before each pipeline
+  /// execution (used to hold a worker to make queue-full and
+  /// mid-execution-deadline scenarios deterministic). Not for production.
+  std::function<void()> pre_execute_hook;
+};
+
+/// Concurrent query-serving layer over a ScenarioRegistry.
+///
+/// Requests flow: admission (resolve scenario snapshot, validate the
+/// query against the bundle's shared sufficient statistics, consult the
+/// result cache) -> bounded FIFO queue -> worker pool -> pipeline run
+/// with a per-request CancelToken -> response.
+///
+/// Single-flight result cache: the cache entry for a key is claimed
+/// *pending* at admission, so any identical query arriving while the
+/// first is queued or running attaches to it as a waiter instead of
+/// enqueueing a duplicate execution; all of them receive the same shared
+/// PipelineResult. Completed entries serve subsequent identical queries
+/// at submit time without touching the queue. A failed execution (error,
+/// deadline) evicts its pending entry and propagates the error to its
+/// waiters — the cache never stores a failure, so the next identical
+/// query recomputes cleanly.
+///
+/// Every pipeline stage is bitwise-deterministic, so a served result is
+/// bitwise-identical to a direct Pipeline::Run of the same query
+/// regardless of worker count, cache state, or coalescing.
+class QueryServer {
+ public:
+  /// `registry` is borrowed and must outlive the server.
+  QueryServer(const ScenarioRegistry* registry,
+              QueryServerOptions options = QueryServerOptions());
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Shuts down (drains nothing: queued requests fail with kCancelled).
+  ~QueryServer();
+
+  /// Admits `query` and returns a future for its response. Never blocks
+  /// on pipeline work; admission rejections (unknown scenario, invalid
+  /// query, queue full) come back as already-satisfied futures carrying
+  /// the non-OK status.
+  std::future<QueryResponse> Submit(CdiQuery query);
+
+  /// Submit + wait (the convenience used by tests and tools).
+  QueryResponse Execute(CdiQuery query);
+
+  MetricsSnapshot Metrics() const { return metrics_.Snapshot(); }
+
+  /// Drops completed cache entries (pending single-flight claims stay —
+  /// they carry waiters). Returns the number of entries dropped.
+  std::size_t InvalidateCache();
+
+  /// Stops accepting work, fails queued requests with kCancelled, signals
+  /// in-flight runs' cancel tokens, and joins the workers. Idempotent.
+  void Shutdown();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Waiter {
+    std::promise<QueryResponse> promise;
+    Clock::time_point submit_time;
+  };
+
+  struct CacheEntry {
+    bool done = false;
+    std::shared_ptr<const core::PipelineResult> result;  // set when done
+    std::vector<Waiter> waiters;  // attached while pending
+  };
+
+  struct Request {
+    CdiQuery query;
+    std::shared_ptr<const ScenarioBundle> bundle;
+    std::uint64_t key = 0;
+    Clock::time_point submit_time;
+    Clock::time_point deadline;  // Clock::time_point::max() = none
+    std::promise<QueryResponse> promise;
+  };
+
+  /// Admission-time validation against the bundle's shared statistics.
+  Status ValidateQuery(const ScenarioBundle& bundle,
+                       const CdiQuery& query) const;
+
+  void WorkerLoop();
+  void ExecuteRequest(Request request);
+
+  /// Fulfills one promise and bumps the per-response counters.
+  void Respond(std::promise<QueryResponse>* promise, QueryResponse response);
+  QueryResponse ErrorResponse(Status status, std::uint64_t key,
+                              std::uint64_t epoch,
+                              Clock::time_point submit_time) const;
+
+  const ScenarioRegistry* registry_;
+  QueryServerOptions options_;
+  mutable ServerMetrics metrics_;
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::deque<Request> queue_;
+  std::unordered_map<std::uint64_t, CacheEntry> cache_;
+  /// Cancel tokens of currently-executing requests (for Shutdown).
+  std::vector<CancelToken*> active_tokens_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Canonical cache key of a query against a bundle snapshot.
+std::uint64_t QueryCacheKey(const ScenarioBundle& bundle,
+                            const CdiQuery& query);
+
+}  // namespace cdi::serve
+
+#endif  // CDI_SERVE_QUERY_SERVER_H_

@@ -1,0 +1,115 @@
+#include "serve/scenario_registry.h"
+
+#include <mutex>
+#include <utility>
+
+#include "core/evaluation.h"
+#include "table/column.h"
+
+namespace cdi::serve {
+
+std::size_t ScenarioBundle::NumericIndex(const std::string& attribute) const {
+  for (std::size_t i = 0; i < numeric_attributes.size(); ++i) {
+    if (numeric_attributes[i] == attribute) return i;
+  }
+  return kNotNumeric;
+}
+
+Result<std::shared_ptr<const ScenarioBundle>> ScenarioRegistry::Register(
+    const std::string& name,
+    std::unique_ptr<const datagen::Scenario> scenario,
+    std::optional<core::PipelineOptions> default_options) {
+  return Insert(name, std::move(scenario), std::move(default_options),
+                /*allow_replace=*/false);
+}
+
+Result<std::shared_ptr<const ScenarioBundle>> ScenarioRegistry::Replace(
+    const std::string& name,
+    std::unique_ptr<const datagen::Scenario> scenario,
+    std::optional<core::PipelineOptions> default_options) {
+  return Insert(name, std::move(scenario), std::move(default_options),
+                /*allow_replace=*/true);
+}
+
+Result<std::shared_ptr<const ScenarioBundle>> ScenarioRegistry::Insert(
+    const std::string& name,
+    std::unique_ptr<const datagen::Scenario> scenario,
+    std::optional<core::PipelineOptions> default_options,
+    bool allow_replace) {
+  if (name.empty()) {
+    return Status::InvalidArgument("scenario name must be non-empty");
+  }
+  if (scenario == nullptr) {
+    return Status::InvalidArgument("scenario must be non-null");
+  }
+
+  // Build the bundle outside the lock; only the map insert is serialized.
+  auto bundle = std::make_shared<ScenarioBundle>();
+  bundle->name = name;
+  bundle->scenario = std::move(scenario);
+  bundle->default_options =
+      default_options.has_value()
+          ? *std::move(default_options)
+          : core::DefaultEvaluationOptions(*bundle->scenario);
+  bundle->default_options_fingerprint =
+      core::PipelineOptionsFingerprint(bundle->default_options);
+
+  // Shared per-dataset sufficient statistics over the input table's
+  // numeric columns. Spans borrow the table's buffers; the bundle keeps
+  // the scenario alive for as long as any query holds the snapshot.
+  const table::Table& input = bundle->scenario->input_table;
+  stats::NumericDataset ds;
+  for (std::size_t c = 0; c < input.num_cols(); ++c) {
+    const table::Column& col = input.ColumnAt(c);
+    if (col.type() == table::DataType::kString) continue;
+    if (col.name() == bundle->scenario->spec.entity_column) continue;
+    bundle->numeric_attributes.push_back(col.name());
+    ds.columns.push_back(col.View());
+  }
+  if (!ds.columns.empty()) {
+    auto stats = stats::SufficientStats::Compute(ds);
+    if (!stats.ok()) {
+      return Status(stats.status().code(),
+                    "registering scenario '" + name +
+                        "': " + stats.status().message());
+    }
+    bundle->input_stats = std::make_shared<const stats::SufficientStats>(
+        *std::move(stats));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = bundles_.find(name);
+  if (it != bundles_.end() && !allow_replace) {
+    return Status::AlreadyExists("scenario '" + name +
+                                 "' is already registered");
+  }
+  bundle->epoch = next_epoch_++;
+  std::shared_ptr<const ScenarioBundle> out = std::move(bundle);
+  bundles_[name] = out;
+  return out;
+}
+
+Result<std::shared_ptr<const ScenarioBundle>> ScenarioRegistry::Snapshot(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = bundles_.find(name);
+  if (it == bundles_.end()) {
+    return Status::NotFound("scenario '" + name + "' is not registered");
+  }
+  return it->second;
+}
+
+std::vector<std::string> ScenarioRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(bundles_.size());
+  for (const auto& [name, bundle] : bundles_) names.push_back(name);
+  return names;
+}
+
+std::size_t ScenarioRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bundles_.size();
+}
+
+}  // namespace cdi::serve

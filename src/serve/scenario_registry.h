@@ -1,0 +1,115 @@
+#ifndef CDI_SERVE_SCENARIO_REGISTRY_H_
+#define CDI_SERVE_SCENARIO_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/pipeline.h"
+#include "datagen/scenario.h"
+#include "stats/sufficient_stats.h"
+
+namespace cdi::serve {
+
+/// One registered, fully materialized scenario: the analyst-facing input
+/// table plus every knowledge source the pipeline consults, preloaded once
+/// and shared read-only by all queries against it.
+///
+/// A bundle is immutable after registration — the query server hands
+/// `shared_ptr<const ScenarioBundle>` snapshots to requests, so a bundle
+/// that is replaced in the registry stays alive (and consistent) for every
+/// in-flight query that already resolved it.
+struct ScenarioBundle {
+  std::string name;
+  /// Monotonic registration stamp, unique across the registry's lifetime.
+  /// The result cache keys on it, so replacing a scenario under the same
+  /// name implicitly invalidates every cached result for the old data
+  /// (old entries simply stop being reachable).
+  std::uint64_t epoch = 0;
+  /// The immutable scenario data (input table, KG, lake, oracle, topics).
+  /// Declared before the members below that borrow from it: C++ destroys
+  /// in reverse declaration order, so borrowers die first.
+  std::unique_ptr<const datagen::Scenario> scenario;
+  /// Options applied to queries that do not carry their own (defaults to
+  /// core::DefaultEvaluationOptions for the scenario).
+  core::PipelineOptions default_options;
+  /// Fingerprint of `default_options` (precomputed; on the cache-hit path
+  /// the key must not cost a full options walk).
+  std::uint64_t default_options_fingerprint = 0;
+  /// Shared sufficient statistics (means / covariance / complete-row mask)
+  /// over the input table's numeric columns — computed once per dataset at
+  /// registration. Serving uses it for admission-time query validation
+  /// (exposure/outcome must be numeric with nonzero variance) without
+  /// touching a worker; it is also the natural seed for future
+  /// statistics reuse across requests. Spans borrow from `scenario`.
+  std::shared_ptr<const stats::SufficientStats> input_stats;
+  /// Input-table numeric columns (query exposure/outcome candidates), in
+  /// schema order, paired with their index into `input_stats`.
+  std::vector<std::string> numeric_attributes;
+
+  /// Index of `attribute` in `numeric_attributes` / `input_stats`, or
+  /// npos when the column is missing or non-numeric.
+  static constexpr std::size_t kNotNumeric = static_cast<std::size_t>(-1);
+  std::size_t NumericIndex(const std::string& attribute) const;
+};
+
+/// Thread-safe name -> bundle map with snapshot semantics.
+///
+/// Readers (`Snapshot`) and writers (`Register` / `Replace`) synchronize
+/// on one mutex held only for the map operation itself — bundle
+/// construction (scenario materialization + sufficient statistics) happens
+/// outside the lock, and lookups return a shared_ptr copy, so the serving
+/// hot path never blocks behind a registration.
+class ScenarioRegistry {
+ public:
+  ScenarioRegistry() = default;
+
+  ScenarioRegistry(const ScenarioRegistry&) = delete;
+  ScenarioRegistry& operator=(const ScenarioRegistry&) = delete;
+
+  /// Registers `scenario` under `name`. kAlreadyExists when the name is
+  /// taken (use Replace to swap). `default_options` falls back to
+  /// core::DefaultEvaluationOptions(*scenario).
+  Result<std::shared_ptr<const ScenarioBundle>> Register(
+      const std::string& name,
+      std::unique_ptr<const datagen::Scenario> scenario,
+      std::optional<core::PipelineOptions> default_options = std::nullopt);
+
+  /// Like Register but allowed to overwrite; the new bundle gets a fresh
+  /// epoch, so cached results for the old bundle can never be served for
+  /// the new one. In-flight queries holding the old snapshot finish
+  /// against the old data.
+  Result<std::shared_ptr<const ScenarioBundle>> Replace(
+      const std::string& name,
+      std::unique_ptr<const datagen::Scenario> scenario,
+      std::optional<core::PipelineOptions> default_options = std::nullopt);
+
+  /// Current bundle for `name` (kNotFound when unregistered).
+  Result<std::shared_ptr<const ScenarioBundle>> Snapshot(
+      const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  std::size_t size() const;
+
+ private:
+  Result<std::shared_ptr<const ScenarioBundle>> Insert(
+      const std::string& name,
+      std::unique_ptr<const datagen::Scenario> scenario,
+      std::optional<core::PipelineOptions> default_options,
+      bool allow_replace);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const ScenarioBundle>> bundles_;
+  std::uint64_t next_epoch_ = 1;
+};
+
+}  // namespace cdi::serve
+
+#endif  // CDI_SERVE_SCENARIO_REGISTRY_H_

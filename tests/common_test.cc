@@ -1,10 +1,21 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <set>
+#include <sstream>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "common/cancellation.h"
+#include "common/hash.h"
+#include "common/histogram.h"
+#include "common/logging.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/string_util.h"
@@ -371,6 +382,187 @@ TEST(TimerTest, LatencyMeterAccounting) {
   EXPECT_EQ(meter.Calls("absent"), 0);
   meter.Clear();
   EXPECT_DOUBLE_EQ(meter.TotalSeconds(), 0.0);
+}
+
+// ----------------------------------------------------------- CancelToken
+
+TEST(CancelTokenTest, DefaultIsLive) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_TRUE(token.Check().ok());
+  EXPECT_TRUE(CheckCancel(&token).ok());
+  EXPECT_TRUE(CheckCancel(nullptr).ok());  // null token = not cancellable
+}
+
+TEST(CancelTokenTest, CancelWinsAndSticks) {
+  CancelToken token;
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.Check().code(), StatusCode::kCancelled);
+  EXPECT_EQ(token.Check().code(), StatusCode::kCancelled);  // idempotent
+}
+
+TEST(CancelTokenTest, ExpiredDeadlineReportsDeadlineExceeded) {
+  CancelToken token;
+  token.set_deadline(std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1));
+  EXPECT_EQ(token.Check().code(), StatusCode::kDeadlineExceeded);
+
+  CancelToken future_deadline;
+  future_deadline.set_deadline(std::chrono::steady_clock::now() +
+                               std::chrono::hours(1));
+  EXPECT_TRUE(future_deadline.Check().ok());
+  // Explicit cancellation beats a live deadline.
+  future_deadline.Cancel();
+  EXPECT_EQ(future_deadline.Check().code(), StatusCode::kCancelled);
+}
+
+// ----------------------------------------------------------------- Fnv1a
+
+TEST(Fnv1aTest, DeterministicAndDomainSeparated) {
+  const std::uint64_t a =
+      Fnv1a("test/v1").Mix(std::uint64_t{42}).Mix("abc").Digest();
+  const std::uint64_t b =
+      Fnv1a("test/v1").Mix(std::uint64_t{42}).Mix("abc").Digest();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, Fnv1a("test/v2").Mix(std::uint64_t{42}).Mix("abc").Digest());
+  EXPECT_NE(a, Fnv1a("test/v1").Mix(std::uint64_t{43}).Mix("abc").Digest());
+}
+
+TEST(Fnv1aTest, StringsAreLengthPrefixed) {
+  // Without length prefixes "ab"+"c" and "a"+"bc" would collide.
+  EXPECT_NE(Fnv1a("t").Mix("ab").Mix("c").Digest(),
+            Fnv1a("t").Mix("a").Mix("bc").Digest());
+}
+
+TEST(Fnv1aTest, DoubleMixesBitPattern) {
+  EXPECT_NE(Fnv1a("t").Mix(0.0).Digest(), Fnv1a("t").Mix(-0.0).Digest());
+  EXPECT_EQ(Fnv1a("t").Mix(1.5).Digest(), Fnv1a("t").Mix(1.5).Digest());
+}
+
+// ------------------------------------------------------ LatencyHistogram
+
+TEST(LatencyHistogramTest, BucketBoundaries) {
+  // Bucket i holds [2^(i-1), 2^i) microseconds; bucket 0 is sub-1us.
+  EXPECT_EQ(LatencyHistogram::BucketFor(0.0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketFor(0.5e-6), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketFor(1.0e-6), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketFor(1.9e-6), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketFor(2.0e-6), 2u);
+  EXPECT_EQ(LatencyHistogram::BucketFor(1.0), 20u);  // 1 s ~ 2^19.9 us
+  // Absurd latencies land in the overflow bucket instead of out of range.
+  EXPECT_EQ(LatencyHistogram::BucketFor(1e12),
+            LatencyHistogram::kNumBuckets - 1);
+  // Strictly increasing bounds (the overflow bucket reports its lower
+  // bound, so it repeats the previous bucket's value and is skipped).
+  for (std::size_t i = 0; i + 2 < LatencyHistogram::kNumBuckets; ++i) {
+    EXPECT_LT(LatencyHistogram::BucketUpperBoundSeconds(i),
+              LatencyHistogram::BucketUpperBoundSeconds(i + 1));
+  }
+}
+
+TEST(LatencyHistogramTest, QuantilesAreConservativeUpperBounds) {
+  LatencyHistogram histogram;
+  EXPECT_DOUBLE_EQ(histogram.Snapshot().Quantile(0.5), 0.0);  // empty
+
+  // 90 fast samples (~10 us) and 10 slow ones (~10 ms).
+  for (int i = 0; i < 90; ++i) histogram.Record(10e-6);
+  for (int i = 0; i < 10; ++i) histogram.Record(10e-3);
+  const auto snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.total_count, 100u);
+
+  const double p50 = snapshot.Quantile(0.5);
+  EXPECT_GE(p50, 10e-6);
+  EXPECT_LT(p50, 32e-6);  // within the 2x bucket of the true value
+  const double p99 = snapshot.Quantile(0.99);
+  EXPECT_GE(p99, 10e-3);
+  EXPECT_LT(p99, 32e-3);
+  EXPECT_NEAR(snapshot.MeanSeconds(), (90 * 10e-6 + 10 * 10e-3) / 100.0,
+              1e-9);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsAllLand) {
+  LatencyHistogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (int i = 0; i < kPerThread; ++i) histogram.Record(5e-6);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(histogram.Snapshot().total_count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(LatencyHistogramTest, SnapshotSinceSubtracts) {
+  LatencyHistogram histogram;
+  histogram.Record(1e-3);
+  const auto before = histogram.Snapshot();
+  histogram.Record(1e-3);
+  histogram.Record(2e-3);
+  const auto delta = histogram.Snapshot().Since(before);
+  EXPECT_EQ(delta.total_count, 2u);
+}
+
+// ---------------------------------------------------------------- Logging
+
+/// Regression test for torn log lines: with a multi-part emission (prefix
+/// fprintf + newline fprintf) concurrent writers interleave mid-line; the
+/// single-fwrite emission keeps every line atomic. Redirects stderr to a
+/// file, hammers CDI_LOG from 8 threads, and checks every line came
+/// through whole.
+TEST(LoggingTest, ConcurrentLogLinesNeverTear) {
+  std::string path = ::testing::TempDir() + "/cdi_log_tear_test.txt";
+  std::fflush(stderr);
+  const int saved_fd = dup(fileno(stderr));
+  ASSERT_GE(saved_fd, 0);
+  FILE* capture = std::fopen(path.c_str(), "w");
+  ASSERT_NE(capture, nullptr);
+  ASSERT_GE(dup2(fileno(capture), fileno(stderr)), 0);
+
+  const LogLevel saved_level = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+
+  constexpr int kThreads = 8;
+  constexpr int kLinesPerThread = 200;
+  const std::string filler(40, 'x');  // long enough to straddle writes
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &filler] {
+      for (int i = 0; i < kLinesPerThread; ++i) {
+        CDI_LOG(Info) << "tearprobe t=" << t << " i=" << i << " " << filler
+                      << " end";
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  SetLogLevel(saved_level);
+  std::fflush(stderr);
+  ASSERT_GE(dup2(saved_fd, fileno(stderr)), 0);  // restore stderr
+  close(saved_fd);
+  std::fclose(capture);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  int probes = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("tearprobe") == std::string::npos) continue;
+    ++probes;
+    // A whole line: one INFO prefix, one probe marker, intact tail.
+    EXPECT_EQ(line.rfind("[INFO ", 0), 0u) << line;
+    EXPECT_EQ(line.find("tearprobe", line.find("tearprobe") + 1),
+              std::string::npos)
+        << "two probes fused into one line: " << line;
+    EXPECT_EQ(line.substr(line.size() - (filler.size() + 4)),
+              filler + " end")
+        << line;
+  }
+  std::remove(path.c_str());
+  EXPECT_EQ(probes, kThreads * kLinesPerThread);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <set>
 
@@ -260,6 +261,94 @@ TEST(PipelineIntegrationTest, RuntimeAccountingShape) {
             covid_run.timings.total_seconds);
   EXPECT_GT(flights_run.external.TotalSeconds(),
             covid_run.external.TotalSeconds());
+}
+
+TEST(PipelineValidationTest, RejectsMissingOrConflictingColumns) {
+  auto spec = datagen::CovidSpec();
+  spec.num_entities = 120;
+  auto scenario = Build(spec);
+  core::Pipeline pipeline(&scenario->kg, &scenario->lake,
+                          scenario->oracle.get(), &scenario->topics,
+                          core::DefaultEvaluationOptions(*scenario));
+  const auto& input = scenario->input_table;
+  const std::string entity = scenario->spec.entity_column;
+  const std::string exposure = scenario->exposure_attribute;
+  const std::string outcome = scenario->outcome_attribute;
+
+  // Missing exposure: descriptive error naming the column and the table's
+  // actual schema, instead of a crash three stages downstream.
+  auto missing_t = pipeline.Run(input, entity, "no_such_column", outcome);
+  ASSERT_FALSE(missing_t.ok());
+  EXPECT_EQ(missing_t.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(missing_t.status().message().find("no_such_column"),
+            std::string::npos)
+      << missing_t.status().ToString();
+  EXPECT_NE(missing_t.status().message().find(exposure), std::string::npos)
+      << "message should list the available columns: "
+      << missing_t.status().ToString();
+
+  auto missing_o = pipeline.Run(input, entity, exposure, "no_such_column");
+  ASSERT_FALSE(missing_o.ok());
+  EXPECT_EQ(missing_o.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(missing_o.status().message().find("outcome"),
+            std::string::npos);
+
+  auto missing_e = pipeline.Run(input, "no_such_entity", exposure, outcome);
+  ASSERT_FALSE(missing_e.ok());
+  EXPECT_EQ(missing_e.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(missing_e.status().message().find("no_such_entity"),
+            std::string::npos);
+
+  auto self_effect = pipeline.Run(input, entity, exposure, exposure);
+  ASSERT_FALSE(self_effect.ok());
+  EXPECT_EQ(self_effect.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(self_effect.status().message().find("distinct"),
+            std::string::npos)
+      << self_effect.status().ToString();
+
+  auto entity_as_exposure = pipeline.Run(input, entity, entity, outcome);
+  ASSERT_FALSE(entity_as_exposure.ok());
+  EXPECT_EQ(entity_as_exposure.status().code(),
+            StatusCode::kInvalidArgument);
+
+  // And the same inputs pass validation when spelled correctly.
+  auto ok_run = pipeline.Run(input, entity, exposure, outcome);
+  EXPECT_TRUE(ok_run.ok()) << ok_run.status().ToString();
+}
+
+TEST(PipelineCancellationTest, TokenStopsRunAtStageBoundaries) {
+  auto spec = datagen::CovidSpec();
+  spec.num_entities = 120;
+  auto scenario = Build(spec);
+  core::Pipeline pipeline(&scenario->kg, &scenario->lake,
+                          scenario->oracle.get(), &scenario->topics,
+                          core::DefaultEvaluationOptions(*scenario));
+
+  CancelToken cancelled;
+  cancelled.Cancel();
+  auto run = pipeline.Run(scenario->input_table, scenario->spec.entity_column,
+                          scenario->exposure_attribute,
+                          scenario->outcome_attribute, &cancelled);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kCancelled);
+
+  CancelToken expired;
+  expired.set_deadline(CancelToken::Clock::now() -
+                       std::chrono::milliseconds(1));
+  auto late = pipeline.Run(scenario->input_table,
+                           scenario->spec.entity_column,
+                           scenario->exposure_attribute,
+                           scenario->outcome_attribute, &expired);
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kDeadlineExceeded);
+
+  // A live token does not disturb the run.
+  CancelToken live;
+  auto ok_run = pipeline.Run(scenario->input_table,
+                             scenario->spec.entity_column,
+                             scenario->exposure_attribute,
+                             scenario->outcome_attribute, &live);
+  EXPECT_TRUE(ok_run.ok()) << ok_run.status().ToString();
 }
 
 }  // namespace

@@ -1,0 +1,591 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "datagen/covid.h"
+#include "datagen/scenario.h"
+#include "serve/line_protocol.h"
+#include "serve/metrics.h"
+#include "serve/query_server.h"
+#include "serve/scenario_registry.h"
+
+namespace cdi::serve {
+namespace {
+
+constexpr std::size_t kEntities = 120;
+
+std::unique_ptr<const datagen::Scenario> BuildCovid(
+    std::size_t entities = kEntities) {
+  auto spec = datagen::CovidSpec();
+  spec.num_entities = entities;
+  auto built = datagen::BuildScenario(spec);
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  return std::unique_ptr<const datagen::Scenario>(std::move(built).value());
+}
+
+CdiQuery Query(const std::string& exposure, const std::string& outcome,
+               double timeout_seconds = 0.0) {
+  CdiQuery q;
+  q.scenario = "covid";
+  q.exposure = exposure;
+  q.outcome = outcome;
+  q.timeout_seconds = timeout_seconds;
+  return q;
+}
+
+/// Rendezvous point for the worker pre-execute hook: workers block in
+/// Arrive() until Open(); the test waits for a known number of arrivals
+/// so queue / in-flight state is deterministic before it proceeds.
+class Gate {
+ public:
+  void Arrive() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++arrived_;
+    cv_.notify_all();
+    cv_.wait(lock, [this] { return open_; });
+  }
+
+  void WaitForArrivals(int n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this, n] { return arrived_ >= n; });
+  }
+
+  void Open() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int arrived_ = 0;
+  bool open_ = false;
+};
+
+// ------------------------------------------------------ ScenarioRegistry
+
+TEST(ScenarioRegistryTest, RegisterSnapshotAndNumericAttributes) {
+  ScenarioRegistry registry;
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_EQ(registry.Snapshot("covid").status().code(),
+            StatusCode::kNotFound);
+
+  auto registered = registry.Register("covid", BuildCovid());
+  ASSERT_TRUE(registered.ok()) << registered.status().ToString();
+  const auto bundle = *registered;
+  EXPECT_EQ(bundle->name, "covid");
+  EXPECT_EQ(bundle->epoch, 1u);
+  EXPECT_NE(bundle->input_stats, nullptr);
+  EXPECT_NE(bundle->default_options_fingerprint, 0u);
+
+  // Numeric attributes exclude the entity column and string columns.
+  EXPECT_EQ(bundle->numeric_attributes.size(), 3u);
+  for (const auto& attr : bundle->numeric_attributes) {
+    EXPECT_NE(attr, "entity");
+    EXPECT_NE(bundle->NumericIndex(attr), ScenarioBundle::kNotNumeric);
+  }
+  EXPECT_EQ(bundle->NumericIndex("entity"), ScenarioBundle::kNotNumeric);
+  EXPECT_EQ(bundle->NumericIndex("no_such"), ScenarioBundle::kNotNumeric);
+
+  // The shared sufficient statistics cover exactly those columns.
+  EXPECT_EQ(bundle->input_stats->num_vars(),
+            bundle->numeric_attributes.size());
+
+  auto snapshot = registry.Snapshot("covid");
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->get(), bundle.get());  // same shared bundle
+
+  EXPECT_EQ(registry.Register("covid", BuildCovid()).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(ScenarioRegistryTest, ReplaceBumpsEpochAndKeepsOldSnapshotAlive) {
+  ScenarioRegistry registry;
+  auto first = registry.Register("covid", BuildCovid());
+  ASSERT_TRUE(first.ok());
+  const auto old_bundle = *first;
+  const std::uint64_t old_epoch = old_bundle->epoch;
+  const std::size_t old_rows =
+      old_bundle->scenario->input_table.num_rows();
+
+  auto second = registry.Replace("covid", BuildCovid(140));
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT((*second)->epoch, old_epoch);
+  EXPECT_EQ((*second)->scenario->input_table.num_rows(), 140u);
+
+  // The old snapshot is still fully usable for in-flight queries.
+  EXPECT_EQ(old_bundle->scenario->input_table.num_rows(), old_rows);
+  EXPECT_EQ(old_bundle->epoch, old_epoch);
+
+  auto current = registry.Snapshot("covid");
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(current->get(), second->get());
+}
+
+// ------------------------------------------------- Cache key fingerprint
+
+TEST(QueryCacheKeyTest, OptionsFingerprintIgnoresExecutionStrategy) {
+  core::PipelineOptions a;
+  core::PipelineOptions b = a;
+  b.num_threads = 8;
+  b.builder.num_threads = 8;
+  b.builder.discovery.num_threads = 8;
+  b.builder.discovery.use_ci_cache = !a.builder.discovery.use_ci_cache;
+  // Thread counts and the CI cache cannot change results (everything is
+  // bitwise-deterministic), so they must share a result-cache entry.
+  EXPECT_EQ(core::PipelineOptionsFingerprint(a),
+            core::PipelineOptionsFingerprint(b));
+
+  core::PipelineOptions c = a;
+  c.builder.alpha *= 0.5;
+  EXPECT_NE(core::PipelineOptionsFingerprint(a),
+            core::PipelineOptionsFingerprint(c));
+  core::PipelineOptions d = a;
+  d.builder.varclus.min_clusters += 1;
+  EXPECT_NE(core::PipelineOptionsFingerprint(a),
+            core::PipelineOptionsFingerprint(d));
+}
+
+TEST(QueryCacheKeyTest, KeyCoversEpochExposureOutcomeAndOptions) {
+  ScenarioRegistry registry;
+  auto bundle = *registry.Register("covid", BuildCovid());
+  const auto& attrs = bundle->numeric_attributes;
+  ASSERT_GE(attrs.size(), 2u);
+
+  const auto q = Query(attrs[0], attrs[1]);
+  const std::uint64_t key = QueryCacheKey(*bundle, q);
+  EXPECT_EQ(QueryCacheKey(*bundle, q), key);  // stable
+
+  EXPECT_NE(QueryCacheKey(*bundle, Query(attrs[1], attrs[0])), key);
+
+  CdiQuery with_options = q;
+  with_options.options = bundle->default_options;
+  with_options.options->builder.alpha *= 0.5;
+  EXPECT_NE(QueryCacheKey(*bundle, with_options), key);
+
+  // Default options carried explicitly hash like no override at all.
+  CdiQuery same_options = q;
+  same_options.options = bundle->default_options;
+  EXPECT_EQ(QueryCacheKey(*bundle, same_options), key);
+
+  // Replacing the scenario bumps the epoch -> every key changes.
+  auto replaced = *registry.Replace("covid", BuildCovid());
+  EXPECT_NE(QueryCacheKey(*replaced, q), key);
+}
+
+// ------------------------------------------------------- Admission paths
+
+TEST(QueryServerTest, RejectsInvalidQueriesAtAdmission) {
+  ScenarioRegistry registry;
+  auto bundle = *registry.Register("covid", BuildCovid());
+  const auto& attrs = bundle->numeric_attributes;
+  QueryServerOptions options;
+  options.num_workers = 1;
+  QueryServer server(&registry, options);
+
+  auto unknown = server.Execute(
+      [] { auto q = Query("a", "b"); q.scenario = "nope"; return q; }());
+  EXPECT_EQ(unknown.status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(unknown.result, nullptr);
+  EXPECT_EQ(unknown.source, ResponseSource::kError);
+
+  auto bad_exposure = server.Execute(Query("entity", attrs[0]));
+  EXPECT_EQ(bad_exposure.status.code(), StatusCode::kInvalidArgument);
+
+  auto self_effect = server.Execute(Query(attrs[0], attrs[0]));
+  EXPECT_EQ(self_effect.status.code(), StatusCode::kInvalidArgument);
+
+  const auto metrics = server.Metrics();
+  EXPECT_EQ(metrics.submitted, 3u);
+  EXPECT_EQ(metrics.failed, 3u);
+  EXPECT_EQ(metrics.served, 0u);
+  EXPECT_EQ(metrics.executions, 0u);
+}
+
+// --------------------------------------- Served == direct Pipeline::Run
+
+TEST(QueryServerTest, ServedBitwiseEqualsDirectRunAtOneAndEightWorkers) {
+  ScenarioRegistry registry;
+  auto bundle = *registry.Register("covid", BuildCovid());
+  const auto& attrs = bundle->numeric_attributes;
+
+  // Ground truth: direct pipeline runs for every ordered attribute pair.
+  std::vector<CdiQuery> queries;
+  std::vector<std::string> expected;
+  {
+    const datagen::Scenario& sc = *bundle->scenario;
+    core::Pipeline pipeline(&sc.kg, &sc.lake, sc.oracle.get(), &sc.topics,
+                            bundle->default_options);
+    for (const auto& t : attrs) {
+      for (const auto& o : attrs) {
+        if (t == o) continue;
+        auto run = pipeline.Run(sc.input_table, sc.spec.entity_column, t, o);
+        ASSERT_TRUE(run.ok()) << run.status().ToString();
+        queries.push_back(Query(t, o));
+        expected.push_back(FormatResultPayload(*run));
+      }
+    }
+  }
+  ASSERT_EQ(queries.size(), 6u);
+
+  for (const int workers : {1, 8}) {
+    QueryServerOptions options;
+    options.num_workers = workers;
+    QueryServer server(&registry, options);
+
+    // All queries in flight at once (exercises worker parallelism at 8).
+    std::vector<std::future<QueryResponse>> futures;
+    for (const auto& q : queries) futures.push_back(server.Submit(q));
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      auto response = futures[i].get();
+      ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+      EXPECT_EQ(FormatResultPayload(*response.result), expected[i])
+          << "workers=" << workers << " query " << i;
+    }
+
+    // Second pass: everything is a cache hit with the identical payload.
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      auto response = server.Execute(queries[i]);
+      ASSERT_TRUE(response.status.ok());
+      EXPECT_EQ(response.source, ResponseSource::kCacheHit);
+      EXPECT_EQ(FormatResultPayload(*response.result), expected[i]);
+    }
+
+    const auto metrics = server.Metrics();
+    EXPECT_EQ(metrics.executions, 6u) << "workers=" << workers;
+    EXPECT_EQ(metrics.cache_hits, 6u);
+    EXPECT_EQ(metrics.served, metrics.executions + metrics.cache_hits +
+                                  metrics.coalesced);
+    EXPECT_EQ(metrics.submitted,
+              metrics.served + metrics.rejected + metrics.failed);
+  }
+}
+
+// ----------------------------------------------------------Single-flight
+
+TEST(QueryServerTest, ConcurrentIdenticalQueriesExecuteOnce) {
+  ScenarioRegistry registry;
+  auto bundle = *registry.Register("covid", BuildCovid());
+  const auto& attrs = bundle->numeric_attributes;
+
+  Gate gate;
+  QueryServerOptions options;
+  options.num_workers = 4;
+  options.pre_execute_hook = [&gate] { gate.Arrive(); };
+  QueryServer server(&registry, options);
+
+  const auto q = Query(attrs[0], attrs[1]);
+  auto leader = server.Submit(q);
+  gate.WaitForArrivals(1);  // leader is in a worker, pre-execution
+
+  // Identical queries submitted while the leader runs attach as waiters
+  // (Submit returns only after the waiter is attached, so this is
+  // race-free by construction).
+  constexpr int kFollowers = 7;
+  std::vector<std::future<QueryResponse>> followers;
+  for (int i = 0; i < kFollowers; ++i) followers.push_back(server.Submit(q));
+  gate.Open();
+
+  auto lead = leader.get();
+  ASSERT_TRUE(lead.status.ok()) << lead.status.ToString();
+  EXPECT_EQ(lead.source, ResponseSource::kExecuted);
+  for (auto& f : followers) {
+    auto response = f.get();
+    ASSERT_TRUE(response.status.ok());
+    EXPECT_EQ(response.source, ResponseSource::kCoalesced);
+    // Memoization is by reference: the identical shared result object.
+    EXPECT_EQ(response.result.get(), lead.result.get());
+  }
+
+  const auto metrics = server.Metrics();
+  EXPECT_EQ(metrics.executions, 1u);
+  EXPECT_EQ(metrics.coalesced, static_cast<std::uint64_t>(kFollowers));
+  EXPECT_EQ(metrics.served, 1u + kFollowers);
+}
+
+// ------------------------------------------------------ Admission control
+
+TEST(QueryServerTest, FullQueueRejectsWithResourceExhausted) {
+  ScenarioRegistry registry;
+  auto bundle = *registry.Register("covid", BuildCovid());
+  const auto& attrs = bundle->numeric_attributes;
+  ASSERT_GE(attrs.size(), 3u);
+
+  Gate gate;
+  QueryServerOptions options;
+  options.num_workers = 1;
+  options.max_queue_depth = 1;
+  options.pre_execute_hook = [&gate] { gate.Arrive(); };
+  QueryServer server(&registry, options);
+
+  // A occupies the only worker (blocked at the gate, queue empty again).
+  auto a = server.Submit(Query(attrs[0], attrs[1]));
+  gate.WaitForArrivals(1);
+  // B fills the queue's single slot.
+  auto b = server.Submit(Query(attrs[1], attrs[2]));
+  // C must be shed, immediately and with the explicit capacity status.
+  auto c = server.Execute(Query(attrs[2], attrs[0]));
+  EXPECT_EQ(c.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(c.source, ResponseSource::kError);
+
+  gate.Open();
+  EXPECT_TRUE(a.get().status.ok());
+  EXPECT_TRUE(b.get().status.ok());
+
+  const auto metrics = server.Metrics();
+  EXPECT_EQ(metrics.rejected, 1u);
+  EXPECT_EQ(metrics.served, 2u);
+  EXPECT_EQ(metrics.queue_depth_high_water, 1u);
+  EXPECT_EQ(metrics.submitted,
+            metrics.served + metrics.rejected + metrics.failed);
+}
+
+// ------------------------------------------------------------- Deadlines
+
+TEST(QueryServerTest, QueuedPastDeadlineFailsWithoutCorruptingCache) {
+  ScenarioRegistry registry;
+  auto bundle = *registry.Register("covid", BuildCovid());
+  const auto& attrs = bundle->numeric_attributes;
+
+  Gate gate;
+  QueryServerOptions options;
+  options.num_workers = 1;
+  options.pre_execute_hook = [&gate] { gate.Arrive(); };
+  QueryServer server(&registry, options);
+
+  // A holds the only worker; B (1 ms deadline) waits behind it in the
+  // queue until the deadline has long passed.
+  auto a = server.Submit(Query(attrs[0], attrs[1]));
+  gate.WaitForArrivals(1);
+  auto b = server.Submit(Query(attrs[1], attrs[2], /*timeout=*/0.001));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.Open();
+
+  EXPECT_TRUE(a.get().status.ok());
+  auto expired = b.get();
+  EXPECT_EQ(expired.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(expired.result, nullptr);
+
+  // The failed request's pending cache claim was evicted, never stored:
+  // the same query without a deadline recomputes cleanly...
+  auto retry = server.Execute(Query(attrs[1], attrs[2]));
+  ASSERT_TRUE(retry.status.ok()) << retry.status.ToString();
+  EXPECT_EQ(retry.source, ResponseSource::kExecuted);
+
+  // ...and matches a direct pipeline run bit for bit.
+  const datagen::Scenario& sc = *bundle->scenario;
+  core::Pipeline pipeline(&sc.kg, &sc.lake, sc.oracle.get(), &sc.topics,
+                          bundle->default_options);
+  auto direct = pipeline.Run(sc.input_table, sc.spec.entity_column,
+                             attrs[1], attrs[2]);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(FormatResultPayload(*retry.result),
+            FormatResultPayload(*direct));
+
+  const auto metrics = server.Metrics();
+  EXPECT_EQ(metrics.deadline_exceeded, 1u);
+  EXPECT_EQ(metrics.failed, 1u);
+  EXPECT_EQ(metrics.submitted,
+            metrics.served + metrics.rejected + metrics.failed);
+}
+
+TEST(QueryServerTest, MidExecutionDeadlineCancelsThePipelineRun) {
+  ScenarioRegistry registry;
+  auto bundle = *registry.Register("covid", BuildCovid());
+  const auto& attrs = bundle->numeric_attributes;
+
+  // The hook sleeps past the request deadline *after* the pre-execution
+  // deadline check, so the expiry is only observable via the CancelToken
+  // polled inside Pipeline::Run at stage boundaries.
+  QueryServerOptions options;
+  options.num_workers = 1;
+  options.pre_execute_hook = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  };
+  QueryServer server(&registry, options);
+
+  auto expired = server.Execute(Query(attrs[0], attrs[1], /*timeout=*/0.005));
+  EXPECT_EQ(expired.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(expired.result, nullptr);
+
+  auto retry = server.Execute(Query(attrs[0], attrs[1]));
+  ASSERT_TRUE(retry.status.ok()) << retry.status.ToString();
+  EXPECT_EQ(retry.source, ResponseSource::kExecuted);
+}
+
+// -------------------------------------------------------------- Shutdown
+
+TEST(QueryServerTest, ShutdownCancelsQueuedAndInFlightWork) {
+  ScenarioRegistry registry;
+  auto bundle = *registry.Register("covid", BuildCovid());
+  const auto& attrs = bundle->numeric_attributes;
+
+  Gate gate;
+  QueryServerOptions options;
+  options.num_workers = 1;
+  options.pre_execute_hook = [&gate] { gate.Arrive(); };
+  QueryServer server(&registry, options);
+
+  auto in_flight = server.Submit(Query(attrs[0], attrs[1]));
+  gate.WaitForArrivals(1);
+  auto queued = server.Submit(Query(attrs[1], attrs[2]));
+
+  std::thread shutdown([&server] { server.Shutdown(); });
+  // Shutdown drains the queue first, then joins the gated worker.
+  EXPECT_EQ(queued.get().status.code(), StatusCode::kCancelled);
+  gate.Open();
+  shutdown.join();
+
+  // The in-flight run saw its cancel token and aborted at a stage
+  // boundary instead of completing.
+  EXPECT_EQ(in_flight.get().status.code(), StatusCode::kCancelled);
+
+  auto after = server.Execute(Query(attrs[0], attrs[1]));
+  EXPECT_EQ(after.status.code(), StatusCode::kCancelled);
+}
+
+// --------------------------------------------------- Cache invalidation
+
+TEST(QueryServerTest, InvalidateCacheDropsCompletedEntriesOnly) {
+  ScenarioRegistry registry;
+  auto bundle = *registry.Register("covid", BuildCovid());
+  const auto& attrs = bundle->numeric_attributes;
+  QueryServerOptions options;
+  options.num_workers = 1;
+  QueryServer server(&registry, options);
+
+  const auto q = Query(attrs[0], attrs[1]);
+  EXPECT_EQ(server.Execute(q).source, ResponseSource::kExecuted);
+  EXPECT_EQ(server.Execute(q).source, ResponseSource::kCacheHit);
+  EXPECT_EQ(server.InvalidateCache(), 1u);
+  EXPECT_EQ(server.Execute(q).source, ResponseSource::kExecuted);
+  EXPECT_EQ(server.Metrics().executions, 2u);
+}
+
+// ---------------------------------------------------------Line protocol
+
+TEST(LineProtocolTest, ParseCommandLine) {
+  auto query = ParseCommandLine("query covid country_code covid_death_rate");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->kind, ServerCommand::Kind::kQuery);
+  EXPECT_EQ(query->query.scenario, "covid");
+  EXPECT_EQ(query->query.exposure, "country_code");
+  EXPECT_EQ(query->query.outcome, "covid_death_rate");
+  EXPECT_EQ(query->query.timeout_seconds, 0.0);
+
+  auto timed = ParseCommandLine("query covid a b timeout=0.25");
+  ASSERT_TRUE(timed.ok());
+  EXPECT_DOUBLE_EQ(timed->query.timeout_seconds, 0.25);
+
+  EXPECT_EQ(ParseCommandLine("metrics")->kind,
+            ServerCommand::Kind::kMetrics);
+  EXPECT_EQ(ParseCommandLine("scenarios")->kind,
+            ServerCommand::Kind::kScenarios);
+  EXPECT_EQ(ParseCommandLine("quit")->kind, ServerCommand::Kind::kQuit);
+
+  // Blank lines / comments are skipped silently (empty error message).
+  for (const char* silent : {"", "   ", "# comment"}) {
+    auto parsed = ParseCommandLine(silent);
+    EXPECT_FALSE(parsed.ok());
+    EXPECT_TRUE(parsed.status().message().empty()) << "'" << silent << "'";
+  }
+  // Real mistakes carry a message.
+  for (const char* bad : {"query covid only_two", "frobnicate", "query"}) {
+    auto parsed = ParseCommandLine(bad);
+    EXPECT_FALSE(parsed.ok());
+    EXPECT_FALSE(parsed.status().message().empty()) << "'" << bad << "'";
+  }
+}
+
+TEST(LineProtocolTest, PayloadAndFingerprintAreDeterministic) {
+  ScenarioRegistry registry;
+  auto bundle = *registry.Register("covid", BuildCovid());
+  const auto& attrs = bundle->numeric_attributes;
+  const datagen::Scenario& sc = *bundle->scenario;
+  core::Pipeline pipeline(&sc.kg, &sc.lake, sc.oracle.get(), &sc.topics,
+                          bundle->default_options);
+
+  auto first = pipeline.Run(sc.input_table, sc.spec.entity_column, attrs[0],
+                            attrs[1]);
+  auto second = pipeline.Run(sc.input_table, sc.spec.entity_column, attrs[0],
+                             attrs[1]);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(ResultFingerprint(*first), ResultFingerprint(*second));
+  EXPECT_EQ(FormatResultPayload(*first), FormatResultPayload(*second));
+
+  auto other = pipeline.Run(sc.input_table, sc.spec.entity_column, attrs[1],
+                            attrs[0]);
+  ASSERT_TRUE(other.ok());
+  EXPECT_NE(ResultFingerprint(*first), ResultFingerprint(*other));
+}
+
+TEST(LineProtocolTest, FormatResponseLineIsSingleLine) {
+  ScenarioRegistry registry;
+  auto bundle = *registry.Register("covid", BuildCovid());
+  const auto& attrs = bundle->numeric_attributes;
+  QueryServer server(&registry);
+
+  const auto q = Query(attrs[0], attrs[1]);
+  const auto ok_line = FormatResponseLine(q, server.Execute(q));
+  EXPECT_EQ(ok_line.find('\n'), std::string::npos);
+  EXPECT_EQ(ok_line.rfind("ok ", 0), 0u) << ok_line;
+  EXPECT_NE(ok_line.find("source=executed"), std::string::npos) << ok_line;
+  EXPECT_NE(ok_line.find("fingerprint="), std::string::npos) << ok_line;
+
+  const auto bad = Query(attrs[0], attrs[0]);
+  const auto error_line = FormatResponseLine(bad, server.Execute(bad));
+  EXPECT_EQ(error_line.find('\n'), std::string::npos);
+  EXPECT_EQ(error_line.rfind("error ", 0), 0u) << error_line;
+  EXPECT_NE(error_line.find("code=InvalidArgument"), std::string::npos)
+      << error_line;
+}
+
+// ---------------------------------------------------------------Metrics
+
+TEST(MetricsTest, SnapshotSinceSubtractsCounters) {
+  ServerMetrics metrics;
+  metrics.submitted.store(10);
+  metrics.served.store(7);
+  metrics.failed.store(3);
+  metrics.latency.Record(1e-4);
+  const auto before = metrics.Snapshot();
+
+  metrics.submitted.store(15);
+  metrics.served.store(11);
+  metrics.failed.store(4);
+  metrics.latency.Record(1e-3);
+  metrics.ObserveQueueDepth(5);
+
+  const auto delta = metrics.Snapshot().Since(before);
+  EXPECT_EQ(delta.submitted, 5u);
+  EXPECT_EQ(delta.served, 4u);
+  EXPECT_EQ(delta.failed, 1u);
+  EXPECT_EQ(delta.queue_depth_high_water, 5u);  // running max, not a rate
+  EXPECT_EQ(delta.latency.total_count, 1u);
+
+  EXPECT_FALSE(delta.ToLine().empty());
+}
+
+TEST(MetricsTest, ObserveQueueDepthKeepsMaximum) {
+  ServerMetrics metrics;
+  metrics.ObserveQueueDepth(3);
+  metrics.ObserveQueueDepth(1);
+  EXPECT_EQ(metrics.Snapshot().queue_depth_high_water, 3u);
+  metrics.ObserveQueueDepth(9);
+  EXPECT_EQ(metrics.Snapshot().queue_depth_high_water, 9u);
+}
+
+}  // namespace
+}  // namespace cdi::serve

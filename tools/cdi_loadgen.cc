@@ -1,0 +1,280 @@
+// cdi_loadgen — seeded closed-loop load generator for the query server.
+//
+// Usage:
+//   cdi_loadgen [--scenario covid|flights] [--entities N] [--clients C]
+//               [--requests R] [--workers W] [--queue-depth D]
+//               [--distinct K] [--seed S] [--min-hit-rate F] [--no-verify]
+//               [--no-warmup]
+//
+// Spawns an in-process QueryServer over one registered scenario, derives a
+// seeded mix of K distinct (exposure, outcome) queries from the
+// scenario's numeric attributes, warms the cache with one pass over the
+// mix, then runs C closed-loop client threads issuing R requests each
+// (submit -> wait -> next), replaying the mix under a seeded schedule.
+//
+// Verification (default on): every served response's payload line —
+// effects at full %.17g precision plus a 64-bit fingerprint over the
+// entire result — is compared byte-for-byte against a direct
+// Pipeline::Run of the same query computed before the server starts. Any
+// mismatch is a "torn response" and fails the run; so does a warm-phase
+// cache hit rate below --min-hit-rate (default 0.9). Exit code 0 = clean.
+//
+// Prints the warm-phase MetricsSnapshot and a verification summary. Run
+// under TSan (-DCDI_TSAN=ON) in CI as the serving layer's race gate.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/pipeline.h"
+#include "datagen/covid.h"
+#include "datagen/flights.h"
+#include "datagen/scenario.h"
+#include "serve/line_protocol.h"
+#include "serve/query_server.h"
+#include "serve/scenario_registry.h"
+
+namespace {
+
+struct Args {
+  std::string scenario = "covid";
+  std::size_t entities = 200;
+  int clients = 8;
+  int requests = 50;  // per client
+  int workers = 4;
+  std::size_t queue_depth = 64;
+  int distinct = 6;
+  std::uint64_t seed = 1;
+  double min_hit_rate = 0.9;
+  bool verify = true;
+  bool warmup = true;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--scenario covid|flights] [--entities N] [--clients C] "
+      "[--requests R] [--workers W] [--queue-depth D] [--distinct K] "
+      "[--seed S] [--min-hit-rate F] [--no-verify] [--no-warmup]\n",
+      argv0);
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (flag == "--scenario" && (v = next())) {
+      args->scenario = v;
+    } else if (flag == "--entities" && (v = next())) {
+      args->entities = static_cast<std::size_t>(std::atoll(v));
+    } else if (flag == "--clients" && (v = next())) {
+      args->clients = std::atoi(v);
+    } else if (flag == "--requests" && (v = next())) {
+      args->requests = std::atoi(v);
+    } else if (flag == "--workers" && (v = next())) {
+      args->workers = std::atoi(v);
+    } else if (flag == "--queue-depth" && (v = next())) {
+      args->queue_depth = static_cast<std::size_t>(std::atoll(v));
+    } else if (flag == "--distinct" && (v = next())) {
+      args->distinct = std::atoi(v);
+    } else if (flag == "--seed" && (v = next())) {
+      args->seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (flag == "--min-hit-rate" && (v = next())) {
+      args->min_hit_rate = std::atof(v);
+    } else if (flag == "--no-verify") {
+      args->verify = false;
+    } else if (flag == "--no-warmup") {
+      args->warmup = false;
+    } else {
+      std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return args->clients > 0 && args->requests > 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
+
+  // ---- Scenario ingest (amortized across every request). -----------------
+  cdi::datagen::ScenarioSpec spec;
+  if (args.scenario == "covid") {
+    spec = cdi::datagen::CovidSpec();
+  } else if (args.scenario == "flights") {
+    spec = cdi::datagen::FlightsSpec();
+  } else {
+    std::fprintf(stderr, "unknown scenario '%s'\n", args.scenario.c_str());
+    return 1;
+  }
+  if (args.entities > 0) spec.num_entities = args.entities;
+  auto built = cdi::datagen::BuildScenario(spec);
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    return 1;
+  }
+
+  cdi::serve::ScenarioRegistry registry;
+  auto registered = registry.Register(
+      args.scenario, std::unique_ptr<const cdi::datagen::Scenario>(
+                         std::move(built).value()));
+  if (!registered.ok()) {
+    std::fprintf(stderr, "%s\n", registered.status().ToString().c_str());
+    return 1;
+  }
+  const auto bundle = *registered;
+
+  // ---- Seeded query mix: K distinct (T, O) pairs. ------------------------
+  std::vector<cdi::serve::CdiQuery> mix;
+  {
+    const auto& attrs = bundle->numeric_attributes;
+    std::vector<std::pair<std::string, std::string>> pairs;
+    for (const auto& t : attrs) {
+      for (const auto& o : attrs) {
+        if (t != o) pairs.emplace_back(t, o);
+      }
+    }
+    if (pairs.empty()) {
+      std::fprintf(stderr,
+                   "scenario '%s' has fewer than two numeric attributes\n",
+                   args.scenario.c_str());
+      return 1;
+    }
+    cdi::Rng rng(args.seed * 0x9E3779B97F4A7C15ULL + 7);
+    rng.Shuffle(&pairs);
+    const std::size_t k =
+        std::min<std::size_t>(pairs.size(),
+                              args.distinct > 0 ? args.distinct : 1);
+    for (std::size_t i = 0; i < k; ++i) {
+      cdi::serve::CdiQuery q;
+      q.scenario = args.scenario;
+      q.exposure = pairs[i].first;
+      q.outcome = pairs[i].second;
+      mix.push_back(std::move(q));
+    }
+  }
+
+  // ---- Ground truth: direct Pipeline::Run per distinct query. ------------
+  std::vector<std::string> expected(mix.size());
+  if (args.verify) {
+    const cdi::datagen::Scenario& sc = *bundle->scenario;
+    cdi::core::Pipeline pipeline(&sc.kg, &sc.lake, sc.oracle.get(),
+                                 &sc.topics, bundle->default_options);
+    for (std::size_t i = 0; i < mix.size(); ++i) {
+      auto run = pipeline.Run(sc.input_table, sc.spec.entity_column,
+                              mix[i].exposure, mix[i].outcome);
+      if (!run.ok()) {
+        std::fprintf(stderr, "direct run %s->%s: %s\n",
+                     mix[i].exposure.c_str(), mix[i].outcome.c_str(),
+                     run.status().ToString().c_str());
+        return 1;
+      }
+      expected[i] = cdi::serve::FormatResultPayload(*run);
+    }
+  }
+
+  // ---- Server + warmup. --------------------------------------------------
+  cdi::serve::QueryServerOptions options;
+  options.num_workers = args.workers;
+  options.max_queue_depth = args.queue_depth;
+  cdi::serve::QueryServer server(&registry, options);
+
+  std::atomic<std::uint64_t> torn{0};     // payload mismatch vs direct run
+  std::atomic<std::uint64_t> errors{0};   // non-OK responses
+  std::atomic<std::uint64_t> retried{0};  // queue-full rejections retried
+
+  if (args.warmup) {
+    for (std::size_t i = 0; i < mix.size(); ++i) {
+      const auto response = server.Execute(mix[i]);
+      if (!response.status.ok()) {
+        std::fprintf(stderr, "warmup %s->%s: %s\n", mix[i].exposure.c_str(),
+                     mix[i].outcome.c_str(),
+                     response.status.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  const auto warm_start = server.Metrics();
+
+  // ---- Closed-loop clients. ----------------------------------------------
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(args.clients));
+  for (int c = 0; c < args.clients; ++c) {
+    clients.emplace_back([&, c] {
+      // Per-client seeded schedule: which mix entry each request replays.
+      cdi::Rng rng(args.seed + 0x51ED2700 + static_cast<std::uint64_t>(c));
+      for (int r = 0; r < args.requests; ++r) {
+        const std::size_t pick = rng.UniformInt(mix.size());
+        const auto response = server.Execute(mix[pick]);
+        if (!response.status.ok()) {
+          // Closed-loop clients normally cannot overflow the queue, but a
+          // tiny --queue-depth can shed load; retry once then count.
+          if (response.status.code() ==
+              cdi::StatusCode::kResourceExhausted) {
+            retried.fetch_add(1, std::memory_order_relaxed);
+            --r;
+            continue;
+          }
+          errors.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (args.verify &&
+            cdi::serve::FormatResultPayload(*response.result) !=
+                expected[pick]) {
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  const auto warm = server.Metrics().Since(warm_start);
+  server.Shutdown();
+
+  // ---- Report. -----------------------------------------------------------
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(args.clients) *
+      static_cast<std::uint64_t>(args.requests);
+  std::printf("loadgen scenario=%s entities=%zu clients=%d requests=%llu "
+              "distinct=%zu workers=%d seed=%llu\n",
+              args.scenario.c_str(), spec.num_entities, args.clients,
+              static_cast<unsigned long long>(total), mix.size(),
+              args.workers, static_cast<unsigned long long>(args.seed));
+  std::printf("metrics %s\n", warm.ToLine().c_str());
+  std::printf("verify torn=%llu errors=%llu retried=%llu hit_rate=%.4f\n",
+              static_cast<unsigned long long>(torn.load()),
+              static_cast<unsigned long long>(errors.load()),
+              static_cast<unsigned long long>(retried.load()),
+              warm.CacheHitRate());
+
+  bool ok = torn.load() == 0 && errors.load() == 0;
+  if (args.warmup && warm.CacheHitRate() < args.min_hit_rate) {
+    std::fprintf(stderr, "FAIL: warm cache hit rate %.4f < %.4f\n",
+                 warm.CacheHitRate(), args.min_hit_rate);
+    ok = false;
+  }
+  if (torn.load() != 0) {
+    std::fprintf(stderr, "FAIL: %llu torn responses (served != direct run)\n",
+                 static_cast<unsigned long long>(torn.load()));
+  }
+  if (errors.load() != 0) {
+    std::fprintf(stderr, "FAIL: %llu error responses\n",
+                 static_cast<unsigned long long>(errors.load()));
+  }
+  std::printf("%s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,201 @@
+// cdi_serve — interactive line-protocol server over registered scenarios.
+//
+// Usage:
+//   cdi_serve [--workers N] [--queue-depth D] [--pipeline-threads N]
+//             [--entities N] [--scenarios covid,flights]
+//
+// Preloads the named benchmark scenarios (input table, knowledge graph,
+// data lake, oracle, topics, shared sufficient statistics) into a
+// ScenarioRegistry, then answers causal queries from stdin, one command
+// per line:
+//
+//   query <scenario> <exposure> <outcome> [timeout=<seconds>]
+//   metrics        # one-line MetricsSnapshot
+//   scenarios      # registered scenarios and their numeric attributes
+//   quit
+//
+// Every response is exactly one '\n'-terminated line, emitted with a
+// single write, so responses never interleave or tear. Identical queries
+// are answered from the single-flight result cache (source=hit /
+// source=coalesced in the response line).
+//
+// Example session:
+//   $ build/tools/cdi_serve --entities 200
+//   ready scenarios=covid,flights workers=4 queue_depth=64
+//   query covid country_code covid_death_rate
+//   ok scenario=covid T=country_code O=covid_death_rate source=executed \
+//      direct=... fingerprint=... latency_us=...
+//   query covid country_code covid_death_rate
+//   ok ... source=hit ... latency_us=...
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "datagen/covid.h"
+#include "datagen/flights.h"
+#include "datagen/scenario.h"
+#include "serve/line_protocol.h"
+#include "serve/query_server.h"
+#include "serve/scenario_registry.h"
+
+namespace {
+
+struct Args {
+  int workers = 4;
+  std::size_t queue_depth = 64;
+  int pipeline_threads = 1;
+  std::size_t entities = 0;  // 0 = scenario default
+  std::vector<std::string> scenarios = {"covid", "flights"};
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--workers N] [--queue-depth D] "
+               "[--pipeline-threads N] [--entities N] "
+               "[--scenarios covid,flights]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (flag == "--workers" && (v = next())) {
+      args->workers = std::atoi(v);
+    } else if (flag == "--queue-depth" && (v = next())) {
+      args->queue_depth = static_cast<std::size_t>(std::atoll(v));
+    } else if (flag == "--pipeline-threads" && (v = next())) {
+      args->pipeline_threads = std::atoi(v);
+    } else if (flag == "--entities" && (v = next())) {
+      args->entities = static_cast<std::size_t>(std::atoll(v));
+    } else if (flag == "--scenarios" && (v = next())) {
+      args->scenarios = cdi::Split(v, ',');
+    } else {
+      std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return !args->scenarios.empty();
+}
+
+/// Single-write line emission: one fwrite + flush per response, so
+/// concurrent stderr logging can never shear a protocol line.
+void EmitLine(std::string line) {
+  line.push_back('\n');
+  std::fwrite(line.data(), 1, line.size(), stdout);
+  std::fflush(stdout);
+}
+
+cdi::Result<std::unique_ptr<const cdi::datagen::Scenario>> BuildNamed(
+    const std::string& name, std::size_t entities) {
+  cdi::datagen::ScenarioSpec spec;
+  if (name == "covid") {
+    spec = cdi::datagen::CovidSpec();
+  } else if (name == "flights") {
+    spec = cdi::datagen::FlightsSpec();
+  } else {
+    return cdi::Status::InvalidArgument(
+        "unknown scenario '" + name + "' (available: covid, flights)");
+  }
+  if (entities > 0) spec.num_entities = entities;
+  CDI_ASSIGN_OR_RETURN(auto scenario, cdi::datagen::BuildScenario(spec));
+  return std::unique_ptr<const cdi::datagen::Scenario>(std::move(scenario));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
+
+  cdi::serve::ScenarioRegistry registry;
+  for (const auto& name : args.scenarios) {
+    auto scenario = BuildNamed(name, args.entities);
+    if (!scenario.ok()) {
+      std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
+      return 1;
+    }
+    auto registered =
+        registry.Register(name, std::move(scenario).value());
+    if (!registered.ok()) {
+      std::fprintf(stderr, "%s\n", registered.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  cdi::serve::QueryServerOptions options;
+  options.num_workers = args.workers;
+  options.max_queue_depth = args.queue_depth;
+  options.pipeline_threads = args.pipeline_threads;
+  cdi::serve::QueryServer server(&registry, options);
+
+  {
+    std::string ready = "ready scenarios=";
+    const auto names = registry.Names();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (i > 0) ready += ",";
+      ready += names[i];
+    }
+    ready += " workers=" + std::to_string(args.workers) +
+             " queue_depth=" + std::to_string(args.queue_depth);
+    EmitLine(ready);
+  }
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    auto cmd = cdi::serve::ParseCommandLine(line);
+    if (!cmd.ok()) {
+      if (!cmd.status().message().empty()) {
+        EmitLine("error code=" +
+                 std::string(cdi::StatusCodeName(cmd.status().code())) +
+                 " message=\"" + cmd.status().message() + "\"");
+      }
+      continue;  // blank line / comment
+    }
+    switch (cmd->kind) {
+      case cdi::serve::ServerCommand::Kind::kQuery: {
+        const auto response = server.Execute(cmd->query);
+        EmitLine(cdi::serve::FormatResponseLine(cmd->query, response));
+        break;
+      }
+      case cdi::serve::ServerCommand::Kind::kMetrics:
+        EmitLine("metrics " + server.Metrics().ToLine());
+        break;
+      case cdi::serve::ServerCommand::Kind::kScenarios: {
+        for (const auto& name : registry.Names()) {
+          auto bundle = registry.Snapshot(name);
+          if (!bundle.ok()) continue;
+          std::string out = "scenario name=" + name +
+                            " epoch=" + std::to_string((*bundle)->epoch) +
+                            " rows=" +
+                            std::to_string(
+                                (*bundle)->scenario->input_table.num_rows()) +
+                            " attributes=";
+          const auto& attrs = (*bundle)->numeric_attributes;
+          for (std::size_t i = 0; i < attrs.size(); ++i) {
+            if (i > 0) out += ",";
+            out += attrs[i];
+          }
+          EmitLine(out);
+        }
+        break;
+      }
+      case cdi::serve::ServerCommand::Kind::kQuit:
+        server.Shutdown();
+        EmitLine("bye " + server.Metrics().ToLine());
+        return 0;
+    }
+  }
+  server.Shutdown();
+  return 0;
+}

@@ -1,18 +1,19 @@
 #!/usr/bin/env python3
-"""Perf smoke gate for the sufficient-statistics kernel benchmarks.
+"""Perf smoke gate for the kernel and serving-layer benchmarks.
 
 Runs the bench_micro kernel benchmarks (blocked covariance, reference
-kernel, incremental append) with a short --benchmark_min_time, then
-compares per-benchmark cpu_time against the checked-in baseline
-(BENCH_PR4.json at the repo root). Exits non-zero when the benchmark
+kernel, incremental append) plus the query-serving paths (cache hit,
+cache miss, single-flight coalescing) with a short --benchmark_min_time,
+then compares per-benchmark cpu_time against the checked-in baseline
+(BENCH_PR5.json at the repo root). Exits non-zero when the benchmark
 binary crashes or any benchmark regresses by more than --max-regression
 (default 3x) — a deliberately loose bound that tolerates runner-to-runner
 variance while still catching algorithmic regressions (e.g. the blocked
 kernel silently falling back to a quadratic path).
 
 Usage:
-  perf_smoke.py --bench build/bench/bench_micro [--baseline BENCH_PR4.json]
-  perf_smoke.py --bench build/bench/bench_micro --write-baseline BENCH_PR4.json
+  perf_smoke.py --bench build/bench/bench_micro [--baseline BENCH_PR5.json]
+  perf_smoke.py --bench build/bench/bench_micro --write-baseline BENCH_PR5.json
 """
 
 import argparse
@@ -20,11 +21,13 @@ import json
 import subprocess
 import sys
 
-# The benchmarks guarded by this gate. Kept to the kernels this layer owns
-# so unrelated benches (joins, pipeline end-to-end) don't add noise.
+# The benchmarks guarded by this gate: the statistics kernels plus the
+# serving-layer paths. Unrelated benches (joins, pipeline end-to-end)
+# stay out so they don't add noise.
 BENCH_FILTER = (
     "BM_CorrelationMatrix|BM_CovarianceReference|BM_CovarianceBlockedSweep|"
-    "BM_SufficientStatsAppend"
+    "BM_SufficientStatsAppend|BM_ServeCacheHit|BM_ServeCacheMiss|"
+    "BM_ServeSingleFlight"
 )
 
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
@@ -69,7 +72,7 @@ def run_benchmarks(bench, min_time):
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--bench", required=True, help="path to bench_micro")
-    ap.add_argument("--baseline", default="BENCH_PR4.json")
+    ap.add_argument("--baseline", default="BENCH_PR5.json")
     ap.add_argument("--write-baseline", metavar="PATH",
                     help="write the current run as the new baseline and exit")
     ap.add_argument("--max-regression", type=float, default=3.0)
