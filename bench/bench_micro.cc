@@ -13,6 +13,7 @@
 #include "common/thread_pool.h"
 #include "core/pipeline.h"
 #include "core/evaluation.h"
+#include "core/plan.h"
 #include "core/varclus.h"
 #include "datagen/covid.h"
 #include "datagen/flights.h"
@@ -506,6 +507,54 @@ void BM_ServeSingleFlight(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ServeSingleFlight)->UseRealTime();
+
+/// Planner steady state: C-DAG plan warm, result cache cold (invalidated
+/// each iteration; InvalidateCache leaves the plan cache alone). Each
+/// iteration is admission + queue + a worker answering the pair off the
+/// cached plan — identification + sufficient-statistics linear algebra,
+/// no pipeline run. Compare against BM_ServeCacheMiss: this is the
+/// amortization the planner buys.
+void BM_ServePlannedQuery(benchmark::State& state) {
+  auto& f = ServeFixture::Get();
+  cdi::serve::CdiQuery query = f.query;
+  query.mode = cdi::serve::QueryMode::kPlanned;
+  CDI_CHECK(f.server.Execute(query).status.ok());  // warm the plan
+  for (auto _ : state) {
+    f.server.InvalidateCache();
+    auto response = f.server.Execute(query);
+    benchmark::DoNotOptimize(response.status.ok());
+  }
+}
+BENCHMARK(BM_ServePlannedQuery)->UseRealTime();
+
+/// One-time cost the planner amortizes: a full canonical-pair pipeline
+/// run plus CdagPlan construction (panel statistics) — what the first
+/// planned query on a scenario epoch pays under single-flight.
+void BM_CdagArtifactBuild(benchmark::State& state) {
+  static const cdi::datagen::Scenario* scenario = [] {
+    auto spec = cdi::datagen::CovidSpec();
+    spec.num_entities = 120;
+    auto built = cdi::datagen::BuildScenario(spec);
+    CDI_CHECK(built.ok()) << built.status().ToString();
+    return std::move(built).value().release();
+  }();
+  const auto& sc = *scenario;
+  cdi::core::PipelineOptions options =
+      cdi::core::DefaultEvaluationOptions(sc);
+  cdi::core::Pipeline pipeline(&sc.kg, &sc.lake, sc.oracle.get(),
+                               &sc.topics, options);
+  for (auto _ : state) {
+    auto run = pipeline.Run(sc.input_table, sc.spec.entity_column,
+                            sc.exposure_attribute, sc.outcome_attribute);
+    CDI_CHECK(run.ok());
+    auto artifact = std::make_shared<const cdi::core::PipelineResult>(
+        *std::move(run));
+    auto plan = cdi::core::CdagPlan::Build(std::move(artifact));
+    CDI_CHECK(plan.ok());
+    benchmark::DoNotOptimize(plan->attributes().size());
+  }
+}
+BENCHMARK(BM_CdagArtifactBuild)->UseRealTime();
 
 }  // namespace
 

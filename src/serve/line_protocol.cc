@@ -1,5 +1,6 @@
 #include "serve/line_protocol.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -109,6 +110,37 @@ std::uint64_t ResultFingerprint(const core::PipelineResult& result) {
   return h.Digest();
 }
 
+std::uint64_t PairAnswerFingerprint(const core::PairAnswer& answer) {
+  Fnv1a h("cdi::serve::PairAnswerFingerprint/v1");
+  h.Mix(answer.exposure)
+      .Mix(answer.outcome)
+      .Mix(answer.exposure_cluster)
+      .Mix(answer.outcome_cluster);
+  h.Mix(static_cast<std::uint64_t>(answer.mediator_clusters.size()));
+  for (const auto& c : answer.mediator_clusters) h.Mix(c);
+  h.Mix(static_cast<std::uint64_t>(answer.confounder_clusters.size()));
+  for (const auto& c : answer.confounder_clusters) h.Mix(c);
+  MixEffect(h, answer.direct_effect);
+  MixEffect(h, answer.total_effect);
+  return h.Digest();
+}
+
+std::string FormatPairAnswerPayload(const core::PairAnswer& answer) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "direct=%.17g direct_p=%.17g total=%.17g total_p=%.17g "
+      "mediators=%zu confounders=%zu adj_direct=%zu adj_total=%zu n=%zu "
+      "fingerprint=%016llx",
+      answer.direct_effect.effect, answer.direct_effect.p_value,
+      answer.total_effect.effect, answer.total_effect.p_value,
+      answer.mediator_clusters.size(), answer.confounder_clusters.size(),
+      answer.direct_effect.adjusted_for.size(),
+      answer.total_effect.adjusted_for.size(), answer.direct_effect.n_used,
+      static_cast<unsigned long long>(PairAnswerFingerprint(answer)));
+  return buf;
+}
+
 std::string FormatResultPayload(const core::PipelineResult& result) {
   char buf[512];
   std::snprintf(
@@ -144,9 +176,12 @@ std::string FormatResponseLine(const CdiQuery& query,
   std::ostringstream out;
   if (response.status.ok()) {
     out << "ok scenario=" << query.scenario << " T=" << query.exposure
-        << " O=" << query.outcome
-        << " source=" << ResponseSourceName(response.source) << " "
-        << FormatResultPayload(*response.result);
+        << " O=" << query.outcome;
+    if (response.planned != nullptr) out << " mode=planned";
+    out << " source=" << ResponseSourceName(response.source) << " "
+        << (response.planned != nullptr
+                ? FormatPairAnswerPayload(*response.planned)
+                : FormatResultPayload(*response.result));
     char tail[96];
     std::snprintf(tail, sizeof(tail), " latency_us=%.1f",
                   response.latency_seconds * 1e6);
@@ -192,7 +227,8 @@ Result<ServerCommand> ParseCommandLine(const std::string& line) {
   if (cmd.query.scenario.empty() || cmd.query.exposure.empty() ||
       cmd.query.outcome.empty()) {
     return Status::InvalidArgument(
-        "usage: query <scenario> <exposure> <outcome> [timeout=<seconds>]");
+        "usage: query <scenario> <exposure> <outcome> [timeout=<seconds>] "
+        "[mode=planned|full]");
   }
   std::string extra;
   while (in >> extra) {
@@ -203,7 +239,24 @@ Result<ServerCommand> ParseCommandLine(const std::string& line) {
       if (end == nullptr || *end != '\0' || value.empty()) {
         return Status::InvalidArgument("bad timeout value '" + value + "'");
       }
+      // strtod happily parses "-5", "nan", "inf" — all of which would
+      // silently mean "no deadline" downstream. Reject them here.
+      if (!std::isfinite(seconds) || seconds < 0.0) {
+        return Status::InvalidArgument(
+            "timeout must be a finite non-negative number of seconds, "
+            "got '" + value + "'");
+      }
       cmd.query.timeout_seconds = seconds;
+    } else if (extra.rfind("mode=", 0) == 0) {
+      const std::string value = extra.substr(5);
+      if (value == "planned") {
+        cmd.query.mode = QueryMode::kPlanned;
+      } else if (value == "full") {
+        cmd.query.mode = QueryMode::kFull;
+      } else {
+        return Status::InvalidArgument(
+            "bad mode value '" + value + "' (expected planned|full)");
+      }
     } else {
       return Status::InvalidArgument("unknown query argument '" + extra +
                                      "'");

@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "core/pipeline.h"
+#include "core/plan.h"
 #include "serve/query_server.h"
 
 namespace cdi::serve {
@@ -32,10 +33,25 @@ std::uint64_t ResultFingerprint(const core::PipelineResult& result);
 /// responses.
 std::string FormatResultPayload(const core::PipelineResult& result);
 
+/// Canonical 64-bit fingerprint of a planned pair answer: both endpoints,
+/// their clusters, the mediator/confounder cluster lists, both adjustment
+/// sets, and both effect estimates (bit patterns). Two answers
+/// fingerprint equal iff the planner produced the same answer bit for
+/// bit — the sweep verifier's equality witness.
+std::uint64_t PairAnswerFingerprint(const core::PairAnswer& answer);
+
+/// Deterministic payload of a planned pair answer (%.17g, like
+/// FormatResultPayload):
+///   `direct=... direct_p=... total=... total_p=... mediators=N
+///    confounders=M adj_direct=A adj_total=B n=K fingerprint=<16 hex>`
+std::string FormatPairAnswerPayload(const core::PairAnswer& answer);
+
 /// Full single-line response for the cdi_serve stdout protocol:
 ///   `ok scenario=S T=... O=... source=hit <payload> latency_us=...`
+///   `ok scenario=S T=... O=... mode=planned source=hit <payload> ...`
 ///   `error scenario=S T=... O=... code=DeadlineExceeded message="..."`
-/// Never contains embedded newlines.
+/// Never contains embedded newlines. Planned responses (response.planned
+/// set) carry the pair-answer payload; full responses the pipeline one.
 std::string FormatResponseLine(const CdiQuery& query,
                                const QueryResponse& response);
 
@@ -47,10 +63,14 @@ struct ServerCommand {
 };
 
 /// Parses one protocol line:
-///   `query <scenario> <exposure> <outcome> [timeout=<seconds>]`
+///   `query <scenario> <exposure> <outcome> [timeout=<seconds>]
+///    [mode=planned|full]`
 ///   `metrics` | `scenarios` | `quit`
-/// Blank lines and `#` comments return kInvalidArgument with an empty
-/// message (callers skip those silently).
+/// `timeout` must be a finite, non-negative number of seconds — negative,
+/// NaN and infinite values are rejected here with a descriptive error
+/// instead of silently meaning "no deadline" downstream. Blank lines and
+/// `#` comments return kInvalidArgument with an empty message (callers
+/// skip those silently).
 Result<ServerCommand> ParseCommandLine(const std::string& line);
 
 }  // namespace cdi::serve

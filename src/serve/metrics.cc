@@ -15,18 +15,23 @@ MetricsSnapshot MetricsSnapshot::Since(const MetricsSnapshot& earlier) const {
   out.cache_hits = cache_hits - earlier.cache_hits;
   out.coalesced = coalesced - earlier.coalesced;
   out.executions = executions - earlier.executions;
+  out.plan_builds = plan_builds - earlier.plan_builds;
+  out.evicted_stale = evicted_stale - earlier.evicted_stale;
   out.queue_depth_high_water = queue_depth_high_water;
+  out.result_cache_entries = result_cache_entries;
+  out.plan_cache_entries = plan_cache_entries;
   out.latency = latency.Since(earlier.latency);
   return out;
 }
 
 std::string MetricsSnapshot::ToLine() const {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "submitted=%llu served=%llu rejected=%llu failed=%llu "
       "deadline_exceeded=%llu cancelled=%llu cache_hits=%llu coalesced=%llu "
-      "executions=%llu queue_hwm=%llu hit_rate=%.4f "
+      "executions=%llu plan_builds=%llu evicted_stale=%llu "
+      "result_cache=%llu plan_cache=%llu queue_hwm=%llu hit_rate=%.4f "
       "p50_us=%.0f p95_us=%.0f p99_us=%.0f mean_us=%.0f",
       static_cast<unsigned long long>(submitted),
       static_cast<unsigned long long>(served),
@@ -37,6 +42,10 @@ std::string MetricsSnapshot::ToLine() const {
       static_cast<unsigned long long>(cache_hits),
       static_cast<unsigned long long>(coalesced),
       static_cast<unsigned long long>(executions),
+      static_cast<unsigned long long>(plan_builds),
+      static_cast<unsigned long long>(evicted_stale),
+      static_cast<unsigned long long>(result_cache_entries),
+      static_cast<unsigned long long>(plan_cache_entries),
       static_cast<unsigned long long>(queue_depth_high_water),
       CacheHitRate(), latency.Quantile(0.50) * 1e6,
       latency.Quantile(0.95) * 1e6, latency.Quantile(0.99) * 1e6,
@@ -63,6 +72,8 @@ MetricsSnapshot ServerMetrics::Snapshot() const {
   snap.cache_hits = cache_hits.load(std::memory_order_relaxed);
   snap.coalesced = coalesced.load(std::memory_order_relaxed);
   snap.executions = executions.load(std::memory_order_relaxed);
+  snap.plan_builds = plan_builds.load(std::memory_order_relaxed);
+  snap.evicted_stale = evicted_stale.load(std::memory_order_relaxed);
   snap.queue_depth_high_water =
       queue_depth_high_water.load(std::memory_order_relaxed);
   snap.latency = latency.Snapshot();

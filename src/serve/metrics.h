@@ -34,8 +34,20 @@ struct MetricsSnapshot {
   std::uint64_t coalesced = 0;
   /// Actual pipeline executions (cache misses that ran).
   std::uint64_t executions = 0;
+  /// C-DAG plan artifacts built (planned-mode cache misses that ran the
+  /// full pipeline; single-flight keeps this at one per scenario epoch).
+  std::uint64_t plan_builds = 0;
+  /// Cache entries evicted because their scenario epoch was superseded by
+  /// a registry Replace (the stale-epoch leak fix).
+  std::uint64_t evicted_stale = 0;
   /// Highest admission-queue depth observed since start.
   std::uint64_t queue_depth_high_water = 0;
+  /// Current result-cache entry count (gauge, filled by
+  /// QueryServer::Metrics; not a counter — Since() copies it from the
+  /// later snapshot).
+  std::uint64_t result_cache_entries = 0;
+  /// Current plan-cache entry count (gauge, as above).
+  std::uint64_t plan_cache_entries = 0;
   /// Submit-to-response latency of OK responses.
   HistogramSnapshot latency;
 
@@ -74,6 +86,8 @@ class ServerMetrics {
   std::atomic<std::uint64_t> cache_hits{0};
   std::atomic<std::uint64_t> coalesced{0};
   std::atomic<std::uint64_t> executions{0};
+  std::atomic<std::uint64_t> plan_builds{0};
+  std::atomic<std::uint64_t> evicted_stale{0};
   std::atomic<std::uint64_t> queue_depth_high_water{0};
   LatencyHistogram latency;
 

@@ -18,6 +18,20 @@ std::uint64_t QueryCacheKey(const ScenarioBundle& bundle,
       .Mix(bundle.epoch)
       .Mix(query.exposure)
       .Mix(query.outcome)
+      .Mix(static_cast<std::uint64_t>(query.mode))
+      .Mix(options_fingerprint)
+      .Digest();
+}
+
+std::uint64_t PlanCacheKey(const ScenarioBundle& bundle,
+                           const CdiQuery& query) {
+  const std::uint64_t options_fingerprint =
+      query.options.has_value()
+          ? core::PipelineOptionsFingerprint(*query.options)
+          : bundle.default_options_fingerprint;
+  return Fnv1a("cdi::serve::PlanKey/v1")
+      .Mix(bundle.name)
+      .Mix(bundle.epoch)
       .Mix(options_fingerprint)
       .Digest();
 }
@@ -37,6 +51,22 @@ QueryServer::~QueryServer() { Shutdown(); }
 
 Status QueryServer::ValidateQuery(const ScenarioBundle& bundle,
                                   const CdiQuery& query) const {
+  // The entity column can never be an exposure or outcome — it is the
+  // join key, not a variable. Rejecting it here (O(1), before the queue)
+  // keeps such queries from occupying a slot and a worker only to fail
+  // inside Pipeline::Run's validation.
+  const std::string& entity = bundle.scenario->spec.entity_column;
+  const auto entity_check = [&](const char* role,
+                                const std::string& attr) -> Status {
+    if (attr == entity) {
+      return Status::InvalidArgument(
+          std::string(role) + " '" + attr + "' is the entity column of " +
+          "scenario '" + bundle.name + "', not a variable");
+    }
+    return Status::OK();
+  };
+  CDI_RETURN_IF_ERROR(entity_check("exposure", query.exposure));
+  CDI_RETURN_IF_ERROR(entity_check("outcome", query.outcome));
   const auto check = [&bundle](const char* role,
                                const std::string& attr) -> Status {
     const std::size_t idx = bundle.NumericIndex(attr);
@@ -137,6 +167,7 @@ std::future<QueryResponse> QueryServer::Submit(CdiQuery query) {
           : Clock::time_point::max();
 
   std::shared_ptr<const core::PipelineResult> hit_result;
+  std::shared_ptr<const core::PairAnswer> hit_planned;
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (stopping_) {
@@ -146,10 +177,15 @@ std::future<QueryResponse> QueryServer::Submit(CdiQuery query) {
                             epoch, submit_time));
       return future;
     }
+    // Touching a scenario under a fresh epoch evicts every done entry of
+    // the superseded epochs — registry Replace + next touch bounds the
+    // cache without a flush call.
+    EvictStaleLocked(query.scenario, epoch);
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       if (it->second.done) {
         hit_result = it->second.result;  // fall through; respond unlocked
+        hit_planned = it->second.planned;
       } else {
         // Single-flight: attach to the in-flight leader. No queue slot.
         metrics_.coalesced.fetch_add(1, std::memory_order_relaxed);
@@ -170,7 +206,10 @@ std::future<QueryResponse> QueryServer::Submit(CdiQuery query) {
       }
       // Claim the cache entry pending *now* so identical queries coalesce
       // from this moment on, then enqueue the leader.
-      cache_.emplace(key, CacheEntry{});
+      CacheEntry claim;
+      claim.scenario = query.scenario;
+      claim.epoch = epoch;
+      cache_.emplace(key, std::move(claim));
       Request request;
       request.query = std::move(query);
       request.bundle = std::move(bundle);
@@ -190,6 +229,7 @@ std::future<QueryResponse> QueryServer::Submit(CdiQuery query) {
   QueryResponse response;
   response.status = Status::OK();
   response.result = std::move(hit_result);
+  response.planned = std::move(hit_planned);
   response.source = ResponseSource::kCacheHit;
   response.cache_key = key;
   response.scenario_epoch = epoch;
@@ -271,39 +311,74 @@ void QueryServer::ExecuteRequest(Request request) {
 
   if (options_.pre_execute_hook) options_.pre_execute_hook();
 
-  core::PipelineOptions pipeline_options =
-      request.query.options.has_value() ? *request.query.options
-                                        : request.bundle->default_options;
-  pipeline_options.num_threads = options_.pipeline_threads;
+  std::shared_ptr<const core::PipelineResult> result;
+  std::shared_ptr<const core::PairAnswer> planned;
+  if (request.query.mode == QueryMode::kPlanned) {
+    // Planned path: answer off the scenario's cached C-DAG plan — the
+    // first planned query builds it (single-flight); every subsequent
+    // pair is identification + linear algebra on the shared statistics.
+    auto plan = GetOrBuildPlan(request, &token);
+    unregister_token();
+    if (!plan.ok()) {
+      fail(plan.status());
+      return;
+    }
+    auto answer = (*plan)->AnswerPair(request.query.exposure,
+                                      request.query.outcome);
+    if (!answer.ok()) {
+      fail(answer.status());
+      return;
+    }
+    planned = std::make_shared<const core::PairAnswer>(*std::move(answer));
+  } else {
+    core::PipelineOptions pipeline_options =
+        request.query.options.has_value() ? *request.query.options
+                                          : request.bundle->default_options;
+    pipeline_options.num_threads = options_.pipeline_threads;
 
-  const datagen::Scenario& sc = *request.bundle->scenario;
-  core::Pipeline pipeline(&sc.kg, &sc.lake, sc.oracle.get(), &sc.topics,
-                          pipeline_options);
-  auto run = pipeline.Run(sc.input_table, sc.spec.entity_column,
-                          request.query.exposure, request.query.outcome,
-                          &token);
-  unregister_token();
+    const datagen::Scenario& sc = *request.bundle->scenario;
+    core::Pipeline pipeline(&sc.kg, &sc.lake, sc.oracle.get(), &sc.topics,
+                            pipeline_options);
+    auto run = pipeline.Run(sc.input_table, sc.spec.entity_column,
+                            request.query.exposure, request.query.outcome,
+                            &token);
+    unregister_token();
 
-  if (!run.ok()) {
-    fail(run.status());
-    return;
+    if (!run.ok()) {
+      fail(run.status());
+      return;
+    }
+    result = std::make_shared<const core::PipelineResult>(*std::move(run));
   }
 
-  auto result =
-      std::make_shared<const core::PipelineResult>(*std::move(run));
   std::vector<Waiter> waiters;
+  bool stale = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     CacheEntry& entry = cache_[request.key];
     entry.done = true;
     entry.result = result;
+    entry.planned = planned;
+    entry.scenario = request.query.scenario;
+    entry.epoch = request.bundle->epoch;
     waiters.swap(entry.waiters);
+    // A result whose epoch was superseded while it ran answers its own
+    // waiters but is not retained — retaining it would recreate the
+    // stale-epoch leak through the completion path.
+    auto latest = latest_epoch_.find(request.query.scenario);
+    if (latest != latest_epoch_.end() &&
+        latest->second > request.bundle->epoch) {
+      cache_.erase(request.key);
+      stale = true;
+    }
   }
+  if (stale) metrics_.evicted_stale.fetch_add(1, std::memory_order_relaxed);
   metrics_.executions.fetch_add(1, std::memory_order_relaxed);
 
   QueryResponse response;
   response.status = Status::OK();
   response.result = result;
+  response.planned = planned;
   response.source = ResponseSource::kExecuted;
   response.cache_key = request.key;
   response.scenario_epoch = request.bundle->epoch;
@@ -316,6 +391,7 @@ void QueryServer::ExecuteRequest(Request request) {
     QueryResponse coalesced;
     coalesced.status = Status::OK();
     coalesced.result = result;
+    coalesced.planned = planned;
     coalesced.source = ResponseSource::kCoalesced;
     coalesced.cache_key = request.key;
     coalesced.scenario_epoch = request.bundle->epoch;
@@ -323,6 +399,135 @@ void QueryServer::ExecuteRequest(Request request) {
         std::chrono::duration<double>(Clock::now() - w.submit_time).count();
     Respond(&w.promise, std::move(coalesced));
   }
+}
+
+Result<std::shared_ptr<const core::CdagPlan>> QueryServer::GetOrBuildPlan(
+    const Request& request, CancelToken* token) {
+  const std::uint64_t plan_key =
+      PlanCacheKey(*request.bundle, request.query);
+  std::shared_ptr<PlanEntry> entry;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = plan_cache_.find(plan_key);
+    if (it != plan_cache_.end()) {
+      entry = it->second;
+      if (!entry->done) {
+        // Another worker is building this plan: wait for it, observing
+        // this request's own deadline (the leader's build keeps going —
+        // a waiter timing out must not evict the shared build).
+        const auto ready = [&] { return entry->done || stopping_; };
+        if (request.deadline != Clock::time_point::max()) {
+          if (!plan_ready_.wait_until(lock, request.deadline, ready)) {
+            return Status::DeadlineExceeded(
+                "deadline expired while waiting for the scenario C-DAG "
+                "plan build");
+          }
+        } else {
+          plan_ready_.wait(lock, ready);
+        }
+        if (!entry->done) {
+          return Status::Cancelled("server shutting down");
+        }
+      }
+      if (!entry->status.ok()) return entry->status;
+      return entry->plan;
+    }
+    // Single-flight claim: this request builds the plan.
+    entry = std::make_shared<PlanEntry>();
+    entry->scenario = request.query.scenario;
+    entry->epoch = request.bundle->epoch;
+    plan_cache_.emplace(plan_key, entry);
+  }
+
+  // Publishes the build outcome and wakes the waiters. Failed builds are
+  // evicted (current waiters get the error; the next planned query
+  // rebuilds cleanly), as are builds whose epoch was superseded while
+  // they ran.
+  const auto finish =
+      [&](Status status, std::shared_ptr<const core::CdagPlan> plan)
+      -> Result<std::shared_ptr<const core::CdagPlan>> {
+    std::lock_guard<std::mutex> lock(mu_);
+    entry->done = true;
+    entry->status = status;
+    entry->plan = plan;
+    bool evict = !status.ok();
+    auto latest = latest_epoch_.find(request.query.scenario);
+    if (latest != latest_epoch_.end() && latest->second > entry->epoch) {
+      evict = true;
+    }
+    if (evict) {
+      auto it = plan_cache_.find(plan_key);
+      if (it != plan_cache_.end() && it->second == entry) {
+        plan_cache_.erase(it);
+      }
+    }
+    plan_ready_.notify_all();
+    if (!status.ok()) return status;
+    return plan;
+  };
+
+  // The artifact is the full pipeline result for the scenario's canonical
+  // exposure/outcome pair — built once per (scenario, epoch, options),
+  // then shared by every planned pair query.
+  core::PipelineOptions pipeline_options =
+      request.query.options.has_value() ? *request.query.options
+                                        : request.bundle->default_options;
+  pipeline_options.num_threads = options_.pipeline_threads;
+  const datagen::Scenario& sc = *request.bundle->scenario;
+  core::Pipeline pipeline(&sc.kg, &sc.lake, sc.oracle.get(), &sc.topics,
+                          pipeline_options);
+  auto run = pipeline.Run(sc.input_table, sc.spec.entity_column,
+                          sc.exposure_attribute, sc.outcome_attribute,
+                          token);
+  if (!run.ok()) return finish(run.status(), nullptr);
+  auto artifact =
+      std::make_shared<const core::PipelineResult>(*std::move(run));
+  auto plan = core::CdagPlan::Build(std::move(artifact));
+  if (!plan.ok()) return finish(plan.status(), nullptr);
+  metrics_.plan_builds.fetch_add(1, std::memory_order_relaxed);
+  return finish(Status::OK(),
+                std::make_shared<const core::CdagPlan>(*std::move(plan)));
+}
+
+void QueryServer::EvictStaleLocked(const std::string& scenario,
+                                   std::uint64_t epoch) {
+  auto [it, inserted] = latest_epoch_.try_emplace(scenario, epoch);
+  if (!inserted) {
+    if (it->second >= epoch) return;  // no epoch bump — nothing newly stale
+    it->second = epoch;
+  }
+  std::uint64_t evicted = 0;
+  for (auto e = cache_.begin(); e != cache_.end();) {
+    if (e->second.done && e->second.scenario == scenario &&
+        e->second.epoch < epoch) {
+      e = cache_.erase(e);
+      ++evicted;
+    } else {
+      ++e;  // pending claims keep their waiters; evicted at completion
+    }
+  }
+  for (auto p = plan_cache_.begin(); p != plan_cache_.end();) {
+    if (p->second->done && p->second->scenario == scenario &&
+        p->second->epoch < epoch) {
+      p = plan_cache_.erase(p);
+      ++evicted;
+    } else {
+      ++p;
+    }
+  }
+  if (evicted > 0) {
+    metrics_.evicted_stale.fetch_add(evicted, std::memory_order_relaxed);
+  }
+}
+
+MetricsSnapshot QueryServer::Metrics() const {
+  MetricsSnapshot snap = metrics_.Snapshot();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.result_cache_entries = cache_.size();
+    snap.plan_cache_entries = plan_cache_.size();
+  }
+  return snap;
 }
 
 std::size_t QueryServer::InvalidateCache() {
@@ -347,6 +552,7 @@ void QueryServer::Shutdown() {
     dropped.swap(queue_);
     for (CancelToken* token : active_tokens_) token->Cancel();
     work_ready_.notify_all();
+    plan_ready_.notify_all();  // plan-build waiters unblock as cancelled
   }
   const Status shutdown = Status::Cancelled("server shutting down");
   for (Request& request : dropped) {

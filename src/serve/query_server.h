@@ -18,10 +18,25 @@
 #include "common/cancellation.h"
 #include "common/status.h"
 #include "core/pipeline.h"
+#include "core/plan.h"
 #include "serve/metrics.h"
 #include "serve/scenario_registry.h"
 
 namespace cdi::serve {
+
+/// How a query wants its answer computed.
+enum class QueryMode {
+  /// Run the full pipeline for this exact (exposure, outcome) pair — the
+  /// pair-exact path; every stage (extraction, organization, discovery)
+  /// is conditioned on the pair.
+  kFull,
+  /// Answer from the scenario's cached C-DAG plan: one artifact per
+  /// (scenario, epoch) built under single-flight, every pair served off
+  /// it by the ClusterDag multi-query API + sufficient-statistics effect
+  /// estimates — microseconds of linear algebra instead of a pipeline
+  /// run.
+  kPlanned,
+};
 
 /// One causal query against a registered scenario: "what is the effect of
 /// `exposure` on `outcome`?" — the repeated analyst question the serving
@@ -30,6 +45,7 @@ struct CdiQuery {
   std::string scenario;
   std::string exposure;
   std::string outcome;
+  QueryMode mode = QueryMode::kFull;
   /// Pipeline options override; unset = the bundle's default options.
   /// Only *semantic* fields contribute to the cache key (see
   /// core::PipelineOptionsFingerprint).
@@ -49,9 +65,13 @@ enum class ResponseSource {
 
 struct QueryResponse {
   Status status;
-  /// Shared immutable result; null iff !status.ok(). Identical queries
-  /// may receive the *same* pointer (memoization is by reference).
+  /// Shared immutable full-pipeline result (QueryMode::kFull); null on
+  /// error and for planned-mode responses. Identical queries may receive
+  /// the *same* pointer (memoization is by reference).
   std::shared_ptr<const core::PipelineResult> result;
+  /// Shared planned answer (QueryMode::kPlanned); null on error and for
+  /// full-mode responses.
+  std::shared_ptr<const core::PairAnswer> planned;
   ResponseSource source = ResponseSource::kError;
   /// Single-flight cache key: hash of (scenario epoch, T, O, options
   /// fingerprint). 0 when the request failed before key computation.
@@ -97,6 +117,16 @@ struct QueryServerOptions {
 /// Every pipeline stage is bitwise-deterministic, so a served result is
 /// bitwise-identical to a direct Pipeline::Run of the same query
 /// regardless of worker count, cache state, or coalescing.
+///
+/// Two-tier cache: alongside the per-query result cache, a scenario-level
+/// plan cache holds one C-DAG artifact per (scenario, epoch, options) —
+/// built once under single-flight by the first QueryMode::kPlanned query
+/// and reused by every subsequent planned pair query on that scenario
+/// (identification + sufficient-statistics effect estimation, no
+/// rediscovery). Both tiers are epoch-aware: when a registry Replace
+/// bumps a scenario's epoch, the first touch under the new epoch evicts
+/// every done entry of the superseded epochs, so churn keeps both caches
+/// bounded and no stale-epoch result is ever retained.
 class QueryServer {
  public:
   /// `registry` is borrowed and must outlive the server.
@@ -118,10 +148,15 @@ class QueryServer {
   /// Submit + wait (the convenience used by tests and tools).
   QueryResponse Execute(CdiQuery query);
 
-  MetricsSnapshot Metrics() const { return metrics_.Snapshot(); }
+  /// Counters plus current cache-size gauges (result_cache_entries /
+  /// plan_cache_entries, read under the server lock).
+  MetricsSnapshot Metrics() const;
 
-  /// Drops completed cache entries (pending single-flight claims stay —
-  /// they carry waiters). Returns the number of entries dropped.
+  /// Drops completed result-cache entries (pending single-flight claims
+  /// stay — they carry waiters). The scenario plan cache is untouched:
+  /// plans are evicted by epoch supersession, and keeping them warm is
+  /// what makes this the "result cache cold, C-DAG warm" benchmark knob.
+  /// Returns the number of entries dropped.
   std::size_t InvalidateCache();
 
   /// Stops accepting work, fails queued requests with kCancelled, signals
@@ -138,8 +173,24 @@ class QueryServer {
 
   struct CacheEntry {
     bool done = false;
-    std::shared_ptr<const core::PipelineResult> result;  // set when done
+    std::shared_ptr<const core::PipelineResult> result;  // full mode, done
+    std::shared_ptr<const core::PairAnswer> planned;  // planned mode, done
     std::vector<Waiter> waiters;  // attached while pending
+    /// Scenario + epoch the entry answers for: stale-epoch eviction scans
+    /// these when a registry Replace supersedes an epoch.
+    std::string scenario;
+    std::uint64_t epoch = 0;
+  };
+
+  /// Single-flight slot for a scenario's C-DAG plan artifact. Held by
+  /// shared_ptr so waiters blocked on a build keep the slot alive even
+  /// after a failed build is evicted from the map.
+  struct PlanEntry {
+    bool done = false;
+    Status status;  // meaningful when done; failures are also evicted
+    std::shared_ptr<const core::CdagPlan> plan;  // set when done && ok
+    std::string scenario;
+    std::uint64_t epoch = 0;
   };
 
   struct Request {
@@ -158,6 +209,22 @@ class QueryServer {
   void WorkerLoop();
   void ExecuteRequest(Request request);
 
+  /// Records `epoch` as the latest seen for `scenario` and, when it
+  /// supersedes an older one, evicts every done cache / plan entry of the
+  /// older epochs (the stale-epoch leak fix: Replace'd bundles' results
+  /// must not be retained forever). Caller holds mu_.
+  void EvictStaleLocked(const std::string& scenario, std::uint64_t epoch);
+
+  /// Resolves the scenario's C-DAG plan for a planned request:
+  /// single-flight per (scenario, epoch, options) — the first request
+  /// builds the artifact (one full canonical-pair pipeline run + plan
+  /// construction) on its worker; concurrent planned requests block on
+  /// plan_ready_ until the build completes (observing their own
+  /// deadlines). A failed build propagates to current waiters and is
+  /// evicted so the next planned query rebuilds cleanly.
+  Result<std::shared_ptr<const core::CdagPlan>> GetOrBuildPlan(
+      const Request& request, CancelToken* token);
+
   /// Fulfills one promise and bumps the per-response counters.
   void Respond(std::promise<QueryResponse>* promise, QueryResponse response);
   QueryResponse ErrorResponse(Status status, std::uint64_t key,
@@ -168,19 +235,34 @@ class QueryServer {
   QueryServerOptions options_;
   mutable ServerMetrics metrics_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_ready_;
+  /// Signalled when a plan build completes (success or failure).
+  std::condition_variable plan_ready_;
   std::deque<Request> queue_;
   std::unordered_map<std::uint64_t, CacheEntry> cache_;
+  /// Scenario-level C-DAG plan artifacts, keyed by PlanCacheKey.
+  std::unordered_map<std::uint64_t, std::shared_ptr<PlanEntry>> plan_cache_;
+  /// Latest bundle epoch observed per scenario (drives stale eviction).
+  std::unordered_map<std::string, std::uint64_t> latest_epoch_;
   /// Cancel tokens of currently-executing requests (for Shutdown).
   std::vector<CancelToken*> active_tokens_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };
 
-/// Canonical cache key of a query against a bundle snapshot.
+/// Canonical cache key of a query against a bundle snapshot. Planned and
+/// full answers to the same pair are distinct entries (the mode is mixed
+/// into the key): they are different result types with different
+/// listwise-deletion semantics.
 std::uint64_t QueryCacheKey(const ScenarioBundle& bundle,
                             const CdiQuery& query);
+
+/// Canonical key of a scenario's C-DAG plan artifact: (scenario name,
+/// epoch, options fingerprint) — one artifact per bundle snapshot per
+/// semantic option set.
+std::uint64_t PlanCacheKey(const ScenarioBundle& bundle,
+                           const CdiQuery& query);
 
 }  // namespace cdi::serve
 

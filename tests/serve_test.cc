@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "core/plan.h"
 #include "datagen/covid.h"
+#include "datagen/flights.h"
 #include "datagen/scenario.h"
 #include "serve/line_protocol.h"
 #include "serve/metrics.h"
@@ -33,6 +35,15 @@ std::unique_ptr<const datagen::Scenario> BuildCovid(
   return std::unique_ptr<const datagen::Scenario>(std::move(built).value());
 }
 
+std::unique_ptr<const datagen::Scenario> BuildFlights(
+    std::size_t entities = kEntities) {
+  auto spec = datagen::FlightsSpec();
+  spec.num_entities = entities;
+  auto built = datagen::BuildScenario(spec);
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  return std::unique_ptr<const datagen::Scenario>(std::move(built).value());
+}
+
 CdiQuery Query(const std::string& exposure, const std::string& outcome,
                double timeout_seconds = 0.0) {
   CdiQuery q;
@@ -41,6 +52,23 @@ CdiQuery Query(const std::string& exposure, const std::string& outcome,
   q.outcome = outcome;
   q.timeout_seconds = timeout_seconds;
   return q;
+}
+
+/// Freshly builds the scenario's C-DAG plan exactly the way the serving
+/// layer does on a planned-mode miss: a full canonical-pair pipeline run
+/// + CdagPlan::Build. The planner determinism contract says served
+/// answers must match this byte for byte.
+core::CdagPlan FreshPlan(const ScenarioBundle& bundle) {
+  const datagen::Scenario& sc = *bundle.scenario;
+  core::Pipeline pipeline(&sc.kg, &sc.lake, sc.oracle.get(), &sc.topics,
+                          bundle.default_options);
+  auto run = pipeline.Run(sc.input_table, sc.spec.entity_column,
+                          sc.exposure_attribute, sc.outcome_attribute);
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+  auto plan = core::CdagPlan::Build(
+      std::make_shared<const core::PipelineResult>(std::move(run).value()));
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return std::move(plan).value();
 }
 
 /// Rendezvous point for the worker pre-execute hook: workers block in
@@ -201,15 +229,28 @@ TEST(QueryServerTest, RejectsInvalidQueriesAtAdmission) {
   EXPECT_EQ(unknown.result, nullptr);
   EXPECT_EQ(unknown.source, ResponseSource::kError);
 
-  auto bad_exposure = server.Execute(Query("entity", attrs[0]));
+  // The entity column is rejected O(1) at admission for either role, with
+  // a message that says what it is instead of a generic "not numeric".
+  const std::string entity = bundle->scenario->spec.entity_column;
+  auto bad_exposure = server.Execute(Query(entity, attrs[0]));
   EXPECT_EQ(bad_exposure.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_exposure.status.message().find("entity column"),
+            std::string::npos)
+      << bad_exposure.status.ToString();
+
+  auto bad_outcome = server.Execute(Query(attrs[0], entity));
+  EXPECT_EQ(bad_outcome.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_outcome.status.message().find("entity column"),
+            std::string::npos)
+      << bad_outcome.status.ToString();
 
   auto self_effect = server.Execute(Query(attrs[0], attrs[0]));
   EXPECT_EQ(self_effect.status.code(), StatusCode::kInvalidArgument);
 
+  // Every rejection happened at admission: zero pipeline executions.
   const auto metrics = server.Metrics();
-  EXPECT_EQ(metrics.submitted, 3u);
-  EXPECT_EQ(metrics.failed, 3u);
+  EXPECT_EQ(metrics.submitted, 4u);
+  EXPECT_EQ(metrics.failed, 4u);
   EXPECT_EQ(metrics.served, 0u);
   EXPECT_EQ(metrics.executions, 0u);
 }
@@ -271,6 +312,209 @@ TEST(QueryServerTest, ServedBitwiseEqualsDirectRunAtOneAndEightWorkers) {
     EXPECT_EQ(metrics.submitted,
               metrics.served + metrics.rejected + metrics.failed);
   }
+}
+
+// ------------------------------------------- Planner (QueryMode::kPlanned)
+
+/// Full ordered (T, O) sweep on both benchmark scenarios at 1 and 8
+/// workers: every planned response must equal — byte for byte, including
+/// the fingerprint that covers the adjustment sets — what a freshly built
+/// plan (fresh canonical Pipeline::Run + fresh CdagPlan) answers for the
+/// same pair. Pairs the plan rejects (e.g. both attributes in one
+/// cluster) must come back as errors with the same status code.
+TEST(QueryServerTest, PlannedSweepMatchesFreshPlanOnBothScenarios) {
+  struct Expected {
+    StatusCode code;
+    std::string payload;  // valid when code == kOk
+  };
+  for (const bool flights : {false, true}) {
+    const std::string name = flights ? "flights" : "covid";
+    ScenarioRegistry registry;
+    auto bundle = *registry.Register(
+        name, flights ? BuildFlights() : BuildCovid());
+    const auto& attrs = bundle->numeric_attributes;
+    ASSERT_GE(attrs.size(), 2u) << name;
+
+    const core::CdagPlan fresh = FreshPlan(*bundle);
+    std::vector<CdiQuery> queries;
+    std::vector<Expected> expected;
+    for (const auto& t : attrs) {
+      for (const auto& o : attrs) {
+        if (t == o) continue;
+        auto q = Query(t, o);
+        q.scenario = name;
+        q.mode = QueryMode::kPlanned;
+        queries.push_back(q);
+        auto answer = fresh.AnswerPair(t, o);
+        expected.push_back(answer.ok()
+                               ? Expected{StatusCode::kOk,
+                                          FormatPairAnswerPayload(*answer)}
+                               : Expected{answer.status().code(), ""});
+      }
+    }
+
+    for (const int workers : {1, 8}) {
+      QueryServerOptions options;
+      options.num_workers = workers;
+      QueryServer server(&registry, options);
+
+      std::vector<std::future<QueryResponse>> futures;
+      for (const auto& q : queries) futures.push_back(server.Submit(q));
+      for (std::size_t i = 0; i < futures.size(); ++i) {
+        auto response = futures[i].get();
+        if (expected[i].code == StatusCode::kOk) {
+          ASSERT_TRUE(response.status.ok())
+              << name << " workers=" << workers << " pair " << i << ": "
+              << response.status.ToString();
+          ASSERT_NE(response.planned, nullptr);
+          EXPECT_EQ(response.result, nullptr);
+          EXPECT_EQ(FormatPairAnswerPayload(*response.planned),
+                    expected[i].payload)
+              << name << " workers=" << workers << " pair " << i;
+        } else {
+          EXPECT_EQ(response.status.code(), expected[i].code)
+              << name << " workers=" << workers << " pair " << i;
+        }
+      }
+
+      // One scenario epoch, one option set -> exactly one artifact build
+      // no matter how many pairs were served off it.
+      const auto metrics = server.Metrics();
+      EXPECT_EQ(metrics.plan_builds, 1u)
+          << name << " workers=" << workers;
+      EXPECT_EQ(metrics.plan_cache_entries, 1u);
+    }
+  }
+}
+
+/// N planned first-queries for *different* pairs racing on a cold server
+/// must produce exactly one C-DAG build: the plan cache is single-flight
+/// per (scenario, epoch, options), not per query key.
+TEST(QueryServerTest, ConcurrentPlannedFirstQueriesBuildPlanOnce) {
+  ScenarioRegistry registry;
+  auto bundle = *registry.Register("covid", BuildCovid());
+  const auto& attrs = bundle->numeric_attributes;
+  ASSERT_GE(attrs.size(), 2u);
+
+  Gate gate;
+  QueryServerOptions options;
+  options.num_workers = 8;
+  options.pre_execute_hook = [&gate] { gate.Arrive(); };
+  QueryServer server(&registry, options);
+
+  // All distinct ordered pairs, submitted while the gate holds every
+  // worker pre-execution, so the plan builds race when it opens.
+  std::vector<std::future<QueryResponse>> futures;
+  int submitted = 0;
+  for (const auto& t : attrs) {
+    for (const auto& o : attrs) {
+      if (t == o) continue;
+      auto q = Query(t, o);
+      q.mode = QueryMode::kPlanned;
+      futures.push_back(server.Submit(q));
+      ++submitted;
+    }
+  }
+  gate.WaitForArrivals(submitted);
+  gate.Open();
+
+  int ok = 0;
+  for (auto& f : futures) {
+    auto response = f.get();
+    if (response.status.ok()) {
+      ++ok;
+      EXPECT_NE(response.planned, nullptr);
+    } else {
+      // Same-cluster pairs are legitimately unanswerable off the C-DAG.
+      EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+    }
+  }
+  EXPECT_GT(ok, 0);
+
+  const auto metrics = server.Metrics();
+  EXPECT_EQ(metrics.plan_builds, 1u);
+  EXPECT_EQ(metrics.plan_cache_entries, 1u);
+}
+
+// ------------------------------------------------- Epoch churn / staleness
+
+/// The stale-epoch leak fix: >= 100 registry Replace cycles with queries
+/// in flight must keep both cache tiers bounded (entries for superseded
+/// epochs are evicted on the next touch, not retained forever), and the
+/// answers served after the churn must match a plan freshly built from
+/// the *final* bundle — no stale-epoch result survives.
+TEST(QueryServerTest, EpochChurnKeepsCachesBoundedAndServesFreshResults) {
+  constexpr int kReplaces = 120;
+  constexpr std::size_t kSmall = 80;
+
+  ScenarioRegistry registry;
+  auto first = registry.Register("covid", BuildCovid(kSmall));
+  ASSERT_TRUE(first.ok());
+  const auto& attrs = (*first)->numeric_attributes;
+  ASSERT_GE(attrs.size(), 2u);
+
+  QueryServerOptions options;
+  options.num_workers = 4;
+  QueryServer server(&registry, options);
+
+  // Background client hammering planned queries across the churn. Status
+  // is not asserted here (a query can legitimately race a Replace); the
+  // assertions below are about cache bounds and end-state freshness.
+  std::atomic<bool> churn_done{false};
+  std::thread client([&] {
+    std::size_t i = 0;
+    while (!churn_done.load(std::memory_order_relaxed)) {
+      auto q = Query(attrs[i % attrs.size()],
+                     attrs[(i + 1) % attrs.size()]);
+      q.mode = (i % 3 == 0) ? QueryMode::kFull : QueryMode::kPlanned;
+      (void)server.Execute(q);
+      ++i;
+    }
+  });
+
+  // Alternate entity counts so successive epochs genuinely answer
+  // differently — a stale retained result would be detectable, not a
+  // harmless duplicate.
+  for (int i = 0; i < kReplaces; ++i) {
+    auto replaced = registry.Replace(
+        "covid", BuildCovid(kSmall + (i % 2) * 24));
+    ASSERT_TRUE(replaced.ok()) << replaced.status().ToString();
+  }
+  churn_done.store(true);
+  client.join();
+
+  // Serve every pair off the final epoch and compare against a plan
+  // freshly built from the final bundle snapshot.
+  auto final_bundle = registry.Snapshot("covid");
+  ASSERT_TRUE(final_bundle.ok());
+  const core::CdagPlan fresh = FreshPlan(**final_bundle);
+  for (const auto& t : attrs) {
+    for (const auto& o : attrs) {
+      if (t == o) continue;
+      auto q = Query(t, o);
+      q.mode = QueryMode::kPlanned;
+      auto response = server.Execute(q);
+      auto answer = fresh.AnswerPair(t, o);
+      if (answer.ok()) {
+        ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+        EXPECT_EQ(FormatPairAnswerPayload(*response.planned),
+                  FormatPairAnswerPayload(*answer))
+            << t << " -> " << o;
+        EXPECT_EQ(response.scenario_epoch, (*final_bundle)->epoch);
+      } else {
+        EXPECT_EQ(response.status.code(), answer.status().code());
+      }
+    }
+  }
+
+  // Bounded caches: entries scale with live pairs x modes, never with the
+  // 100+ superseded epochs; the eviction counter proves the sweeps ran.
+  const std::size_t pairs = attrs.size() * (attrs.size() - 1);
+  const auto metrics = server.Metrics();
+  EXPECT_GT(metrics.evicted_stale, 0u);
+  EXPECT_LE(metrics.result_cache_entries, 2 * pairs);
+  EXPECT_LE(metrics.plan_cache_entries, 2u);
+  EXPECT_GE(metrics.plan_builds, 1u);
 }
 
 // ----------------------------------------------------------Single-flight
@@ -507,6 +751,67 @@ TEST(LineProtocolTest, ParseCommandLine) {
     EXPECT_FALSE(parsed.ok());
     EXPECT_FALSE(parsed.status().message().empty()) << "'" << bad << "'";
   }
+}
+
+TEST(LineProtocolTest, RejectsNonFiniteAndNegativeTimeouts) {
+  // strtod accepts all of these, and each would have silently meant "no
+  // deadline" downstream; the parser must reject them with a message.
+  for (const char* bad :
+       {"timeout=-5", "timeout=-0.001", "timeout=nan", "timeout=inf",
+        "timeout=-inf", "timeout=1e999"}) {
+    auto parsed =
+        ParseCommandLine(std::string("query covid a b ") + bad);
+    EXPECT_FALSE(parsed.ok()) << bad;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << bad;
+    EXPECT_NE(parsed.status().message().find("timeout"), std::string::npos)
+        << bad << ": " << parsed.status().ToString();
+  }
+  // Valid timeouts still round-trip exactly.
+  for (const auto& [arg, want] :
+       std::vector<std::pair<const char*, double>>{
+           {"timeout=0", 0.0}, {"timeout=0.25", 0.25},
+           {"timeout=1e-3", 1e-3}}) {
+    auto parsed = ParseCommandLine(std::string("query covid a b ") + arg);
+    ASSERT_TRUE(parsed.ok()) << arg << ": " << parsed.status().ToString();
+    EXPECT_DOUBLE_EQ(parsed->query.timeout_seconds, want) << arg;
+  }
+}
+
+TEST(LineProtocolTest, ParsesQueryMode) {
+  EXPECT_EQ(ParseCommandLine("query covid a b")->query.mode,
+            QueryMode::kFull);
+  EXPECT_EQ(ParseCommandLine("query covid a b mode=full")->query.mode,
+            QueryMode::kFull);
+  EXPECT_EQ(ParseCommandLine("query covid a b mode=planned")->query.mode,
+            QueryMode::kPlanned);
+  auto combined =
+      ParseCommandLine("query covid a b timeout=0.5 mode=planned");
+  ASSERT_TRUE(combined.ok());
+  EXPECT_EQ(combined->query.mode, QueryMode::kPlanned);
+  EXPECT_DOUBLE_EQ(combined->query.timeout_seconds, 0.5);
+
+  auto bad = ParseCommandLine("query covid a b mode=bogus");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.status().message().find("mode"), std::string::npos);
+}
+
+TEST(LineProtocolTest, PlannedResponseLineCarriesModeAndPairPayload) {
+  ScenarioRegistry registry;
+  auto bundle = *registry.Register("covid", BuildCovid());
+  const auto& attrs = bundle->numeric_attributes;
+  QueryServer server(&registry);
+
+  auto q = Query(attrs[0], attrs[1]);
+  q.mode = QueryMode::kPlanned;
+  const auto response = server.Execute(q);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  const auto line = FormatResponseLine(q, response);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_NE(line.find("mode=planned"), std::string::npos) << line;
+  EXPECT_NE(line.find("mediators="), std::string::npos) << line;
+  EXPECT_NE(line.find("confounders="), std::string::npos) << line;
+  EXPECT_NE(line.find("fingerprint="), std::string::npos) << line;
 }
 
 TEST(LineProtocolTest, PayloadAndFingerprintAreDeterministic) {

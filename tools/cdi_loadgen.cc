@@ -4,7 +4,7 @@
 //   cdi_loadgen [--scenario covid|flights] [--entities N] [--clients C]
 //               [--requests R] [--workers W] [--queue-depth D]
 //               [--distinct K] [--seed S] [--min-hit-rate F] [--no-verify]
-//               [--no-warmup]
+//               [--no-warmup] [--sweep]
 //
 // Spawns an in-process QueryServer over one registered scenario, derives a
 // seeded mix of K distinct (exposure, outcome) queries from the
@@ -18,6 +18,15 @@
 // Pipeline::Run of the same query computed before the server starts. Any
 // mismatch is a "torn response" and fails the run; so does a warm-phase
 // cache hit rate below --min-hit-rate (default 0.9). Exit code 0 = clean.
+//
+// --sweep switches to the planner acceptance mode: the mix becomes EVERY
+// ordered (exposure, outcome) pair of the scenario's numeric attributes,
+// issued as QueryMode::kPlanned queries, and each served pair answer is
+// compared byte-for-byte against a freshly computed baseline — a fresh
+// full Pipeline::Run of the scenario's canonical pair plus a fresh
+// CdagPlan built from it, answering the same pair. Pairs the planner
+// rejects (same cluster, attribute dropped during organization) must be
+// rejected by the server with the same status code.
 //
 // Prints the warm-phase MetricsSnapshot and a verification summary. Run
 // under TSan (-DCDI_TSAN=ON) in CI as the serving layer's race gate.
@@ -35,6 +44,7 @@
 
 #include "common/rng.h"
 #include "core/pipeline.h"
+#include "core/plan.h"
 #include "datagen/covid.h"
 #include "datagen/flights.h"
 #include "datagen/scenario.h"
@@ -56,6 +66,7 @@ struct Args {
   double min_hit_rate = 0.9;
   bool verify = true;
   bool warmup = true;
+  bool sweep = false;
 };
 
 int Usage(const char* argv0) {
@@ -63,7 +74,8 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s [--scenario covid|flights] [--entities N] [--clients C] "
       "[--requests R] [--workers W] [--queue-depth D] [--distinct K] "
-      "[--seed S] [--min-hit-rate F] [--no-verify] [--no-warmup]\n",
+      "[--seed S] [--min-hit-rate F] [--no-verify] [--no-warmup] "
+      "[--sweep]\n",
       argv0);
   return 2;
 }
@@ -97,6 +109,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->verify = false;
     } else if (flag == "--no-warmup") {
       args->warmup = false;
+    } else if (flag == "--sweep") {
+      args->sweep = true;
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
       return false;
@@ -138,7 +152,8 @@ int main(int argc, char** argv) {
   }
   const auto bundle = *registered;
 
-  // ---- Seeded query mix: K distinct (T, O) pairs. ------------------------
+  // ---- Seeded query mix: K distinct (T, O) pairs, or the full ordered
+  // pair sweep in --sweep mode (planned queries). --------------------------
   std::vector<cdi::serve::CdiQuery> mix;
   {
     const auto& attrs = bundle->numeric_attributes;
@@ -154,36 +169,69 @@ int main(int argc, char** argv) {
                    args.scenario.c_str());
       return 1;
     }
-    cdi::Rng rng(args.seed * 0x9E3779B97F4A7C15ULL + 7);
-    rng.Shuffle(&pairs);
-    const std::size_t k =
-        std::min<std::size_t>(pairs.size(),
-                              args.distinct > 0 ? args.distinct : 1);
+    std::size_t k = pairs.size();
+    if (!args.sweep) {
+      cdi::Rng rng(args.seed * 0x9E3779B97F4A7C15ULL + 7);
+      rng.Shuffle(&pairs);
+      k = std::min<std::size_t>(pairs.size(),
+                                args.distinct > 0 ? args.distinct : 1);
+    }
     for (std::size_t i = 0; i < k; ++i) {
       cdi::serve::CdiQuery q;
       q.scenario = args.scenario;
       q.exposure = pairs[i].first;
       q.outcome = pairs[i].second;
+      if (args.sweep) q.mode = cdi::serve::QueryMode::kPlanned;
       mix.push_back(std::move(q));
     }
   }
 
-  // ---- Ground truth: direct Pipeline::Run per distinct query. ------------
+  // ---- Ground truth per distinct query: a direct Pipeline::Run of the
+  // exact pair (default), or — in sweep mode — a fresh full-pipeline run
+  // of the scenario's canonical pair plus a fresh CdagPlan answering the
+  // pair (the planner's determinism contract: cached == freshly built).
+  // Planner-rejected pairs record the expected error line instead.
   std::vector<std::string> expected(mix.size());
   if (args.verify) {
     const cdi::datagen::Scenario& sc = *bundle->scenario;
     cdi::core::Pipeline pipeline(&sc.kg, &sc.lake, sc.oracle.get(),
                                  &sc.topics, bundle->default_options);
-    for (std::size_t i = 0; i < mix.size(); ++i) {
+    if (args.sweep) {
       auto run = pipeline.Run(sc.input_table, sc.spec.entity_column,
-                              mix[i].exposure, mix[i].outcome);
+                              sc.exposure_attribute, sc.outcome_attribute);
       if (!run.ok()) {
-        std::fprintf(stderr, "direct run %s->%s: %s\n",
-                     mix[i].exposure.c_str(), mix[i].outcome.c_str(),
+        std::fprintf(stderr, "canonical run: %s\n",
                      run.status().ToString().c_str());
         return 1;
       }
-      expected[i] = cdi::serve::FormatResultPayload(*run);
+      auto artifact = std::make_shared<const cdi::core::PipelineResult>(
+          *std::move(run));
+      auto plan = cdi::core::CdagPlan::Build(std::move(artifact));
+      if (!plan.ok()) {
+        std::fprintf(stderr, "plan build: %s\n",
+                     plan.status().ToString().c_str());
+        return 1;
+      }
+      for (std::size_t i = 0; i < mix.size(); ++i) {
+        auto answer = plan->AnswerPair(mix[i].exposure, mix[i].outcome);
+        expected[i] =
+            answer.ok()
+                ? cdi::serve::FormatPairAnswerPayload(*answer)
+                : std::string("error code=") +
+                      cdi::StatusCodeName(answer.status().code());
+      }
+    } else {
+      for (std::size_t i = 0; i < mix.size(); ++i) {
+        auto run = pipeline.Run(sc.input_table, sc.spec.entity_column,
+                                mix[i].exposure, mix[i].outcome);
+        if (!run.ok()) {
+          std::fprintf(stderr, "direct run %s->%s: %s\n",
+                       mix[i].exposure.c_str(), mix[i].outcome.c_str(),
+                       run.status().ToString().c_str());
+          return 1;
+        }
+        expected[i] = cdi::serve::FormatResultPayload(*run);
+      }
     }
   }
 
@@ -197,10 +245,26 @@ int main(int argc, char** argv) {
   std::atomic<std::uint64_t> errors{0};   // non-OK responses
   std::atomic<std::uint64_t> retried{0};  // queue-full rejections retried
 
+  // In sweep mode the planner legitimately rejects some pairs (same
+  // cluster, attribute dropped during organization); those must match the
+  // expected error instead of failing the warmup.
+  const auto served_line =
+      [](const cdi::serve::QueryResponse& response) -> std::string {
+    if (!response.status.ok()) {
+      return std::string("error code=") +
+             cdi::StatusCodeName(response.status.code());
+    }
+    return response.planned != nullptr
+               ? cdi::serve::FormatPairAnswerPayload(*response.planned)
+               : cdi::serve::FormatResultPayload(*response.result);
+  };
+
   if (args.warmup) {
     for (std::size_t i = 0; i < mix.size(); ++i) {
       const auto response = server.Execute(mix[i]);
-      if (!response.status.ok()) {
+      if (!response.status.ok() &&
+          !(args.sweep && args.verify &&
+            served_line(response) == expected[i])) {
         std::fprintf(stderr, "warmup %s->%s: %s\n", mix[i].exposure.c_str(),
                      mix[i].outcome.c_str(),
                      response.status.ToString().c_str());
@@ -229,12 +293,14 @@ int main(int argc, char** argv) {
             --r;
             continue;
           }
+          // Expected planner rejections verify like any other response.
+          if (args.verify && served_line(response) == expected[pick]) {
+            continue;
+          }
           errors.fetch_add(1, std::memory_order_relaxed);
           continue;
         }
-        if (args.verify &&
-            cdi::serve::FormatResultPayload(*response.result) !=
-                expected[pick]) {
+        if (args.verify && served_line(response) != expected[pick]) {
           torn.fetch_add(1, std::memory_order_relaxed);
         }
       }
@@ -250,10 +316,11 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(args.clients) *
       static_cast<std::uint64_t>(args.requests);
   std::printf("loadgen scenario=%s entities=%zu clients=%d requests=%llu "
-              "distinct=%zu workers=%d seed=%llu\n",
+              "distinct=%zu workers=%d seed=%llu sweep=%d\n",
               args.scenario.c_str(), spec.num_entities, args.clients,
               static_cast<unsigned long long>(total), mix.size(),
-              args.workers, static_cast<unsigned long long>(args.seed));
+              args.workers, static_cast<unsigned long long>(args.seed),
+              args.sweep ? 1 : 0);
   std::printf("metrics %s\n", warm.ToLine().c_str());
   std::printf("verify torn=%llu errors=%llu retried=%llu hit_rate=%.4f\n",
               static_cast<unsigned long long>(torn.load()),

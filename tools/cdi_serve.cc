@@ -10,9 +10,15 @@
 // per line:
 //
 //   query <scenario> <exposure> <outcome> [timeout=<seconds>]
+//                  [mode=planned|full]
 //   metrics        # one-line MetricsSnapshot
 //   scenarios      # registered scenarios and their numeric attributes
 //   quit
+//
+// mode=planned answers from the scenario's cached C-DAG plan (built once
+// per scenario epoch under single-flight): adjustment sets read off the
+// one C-DAG, effects from shared sufficient statistics — microsecond
+// steady-state latency instead of a full pipeline run per cache miss.
 //
 // Every response is exactly one '\n'-terminated line, emitted with a
 // single write, so responses never interleave or tear. Identical queries
