@@ -182,6 +182,46 @@ void BM_SufficientStatsAppendRecompute(benchmark::State& state) {
 }
 BENCHMARK(BM_SufficientStatsAppendRecompute);
 
+// Streaming row ingest: delta-refreshing a 200-column Gram after a
+// k-row batch vs recomputing from scratch over the grown data. The delta
+// path must re-sweep the Gram (the means move, so every centered
+// accumulation changes — bitwise contract), but it skips the full-table
+// NaN prescan and column-sum scans, so it wins by the scan cost.
+void BM_AppendRows(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const std::size_t n0 = 2000;
+  auto data = ChainData(200, n0 + k, 7);
+  cdi::stats::NumericDataset base;
+  for (const auto& col : data) {
+    base.columns.push_back(cdi::DoubleSpan::Borrow(col.data(), n0));
+  }
+  std::vector<cdi::DoubleSpan> full;
+  for (const auto& col : data) full.emplace_back(col);
+  auto stats = cdi::stats::SufficientStats::Compute(base);
+  CDI_CHECK(stats.ok());
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto s = *stats;
+    state.ResumeTiming();
+    CDI_CHECK(s.AppendRows(full, k).ok());
+    benchmark::DoNotOptimize(s.num_rows());
+  }
+}
+BENCHMARK(BM_AppendRows)->Arg(64)->Arg(512);
+
+void BM_AppendRowsRecompute(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  auto data = ChainData(200, 2000 + k, 7);
+  cdi::stats::NumericDataset ds;
+  for (const auto& col : data) ds.columns.emplace_back(col);
+  for (auto _ : state) {
+    auto s = cdi::stats::SufficientStats::Compute(ds);
+    CDI_CHECK(s.ok());
+    benchmark::DoNotOptimize(s->num_rows());
+  }
+}
+BENCHMARK(BM_AppendRowsRecompute)->Arg(64)->Arg(512);
+
 void BM_FisherZPartialCorrelation(benchmark::State& state) {
   auto ds = cdi::stats::NumericDataset::Own(ChainData(20, 1000, 7));
   auto test = cdi::discovery::FisherZTest::Create(ds);
@@ -555,6 +595,102 @@ void BM_CdagArtifactBuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CdagArtifactBuild)->UseRealTime();
+
+/// Epoch rollover: one 25-row batch through ScenarioRegistry's
+/// UpdateScenario — table copy + typed chunk splice + sufficient-stats
+/// delta refresh + publish. Iteration count is pinned so the table grows
+/// by a bounded, reproducible amount (256 * 25 rows) instead of drifting
+/// with the benchmark runner's time budget.
+void BM_UpdateScenario(benchmark::State& state) {
+  static cdi::serve::ScenarioRegistry* registry = [] {
+    auto* r = new cdi::serve::ScenarioRegistry();
+    auto spec = cdi::datagen::CovidSpec();
+    spec.num_entities = 300;
+    auto built = cdi::datagen::BuildScenario(spec);
+    CDI_CHECK(built.ok());
+    CDI_CHECK(r->Register("covid",
+                          std::unique_ptr<const cdi::datagen::Scenario>(
+                              std::move(built).value()))
+                  .ok());
+    return r;
+  }();
+  auto bundle = registry->Snapshot("covid");
+  CDI_CHECK(bundle.ok());
+  std::vector<std::size_t> picks;
+  for (std::size_t r = 0; r < 25; ++r) picks.push_back(r);
+  const cdi::table::Table batch = (*bundle)->input->TakeRows(picks);
+  for (auto _ : state) {
+    auto updated = registry->UpdateScenario("covid", batch);
+    CDI_CHECK(updated.ok()) << updated.status().ToString();
+    benchmark::DoNotOptimize((*updated)->epoch);
+  }
+}
+BENCHMARK(BM_UpdateScenario)->Iterations(256);
+
+/// The alternative streaming ingest replaces: a full re-ingest of the
+/// scenario (source rebuild + registration with cold sufficient
+/// statistics) via Replace. UpdateScenario must beat this by orders of
+/// magnitude — that is the point of the delta path.
+void BM_UpdateScenarioFullReingest(benchmark::State& state) {
+  static cdi::serve::ScenarioRegistry* registry = [] {
+    auto* r = new cdi::serve::ScenarioRegistry();
+    auto spec = cdi::datagen::CovidSpec();
+    spec.num_entities = 300;
+    auto built = cdi::datagen::BuildScenario(spec);
+    CDI_CHECK(built.ok());
+    CDI_CHECK(r->Register("covid",
+                          std::unique_ptr<const cdi::datagen::Scenario>(
+                              std::move(built).value()))
+                  .ok());
+    return r;
+  }();
+  auto spec = cdi::datagen::CovidSpec();
+  spec.num_entities = 300;
+  for (auto _ : state) {
+    auto built = cdi::datagen::BuildScenario(spec);
+    CDI_CHECK(built.ok());
+    auto replaced = registry->Replace(
+        "covid", std::unique_ptr<const cdi::datagen::Scenario>(
+                     std::move(built).value()));
+    CDI_CHECK(replaced.ok());
+    benchmark::DoNotOptimize((*replaced)->epoch);
+  }
+}
+BENCHMARK(BM_UpdateScenarioFullReingest);
+
+/// Warm vs cold PC on the same 20-variable Gaussian chain: Arg(1) seeds
+/// the skeleton with the previous run's edges (the epoch-rollover
+/// pattern), Arg(0) starts from the complete graph. The warm run prunes
+/// from a linear-size candidate set instead of a quadratic one.
+void BM_WarmStartDiscovery(benchmark::State& state) {
+  const bool warm = state.range(0) != 0;
+  const std::size_t p = 20;
+  auto ds = cdi::stats::NumericDataset::Own(ChainData(p, 1500, 11));
+  std::vector<std::string> names;
+  for (std::size_t v = 0; v < p; ++v) {
+    names.push_back("v" + std::to_string(v));
+  }
+  auto test = cdi::discovery::FisherZTest::Create(ds);
+  CDI_CHECK(test.ok());
+  cdi::discovery::PcOptions options;
+  if (warm) {
+    auto prev = cdi::discovery::RunPc(**test, names);
+    CDI_CHECK(prev.ok());
+    options.warm_start = true;
+    for (const auto& e : prev->graph.DirectedEdges()) {
+      options.warm_edges.push_back(e);
+    }
+    for (const auto& e : prev->graph.UndirectedEdges()) {
+      options.warm_edges.push_back(e);
+    }
+  }
+  for (auto _ : state) {
+    auto result = cdi::discovery::RunPc(**test, names, options);
+    CDI_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->ci_tests);
+  }
+}
+BENCHMARK(BM_WarmStartDiscovery)->Arg(0)->Arg(1);
 
 }  // namespace
 

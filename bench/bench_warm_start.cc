@@ -1,0 +1,186 @@
+// Warm-start discovery sweep for the streaming-ingest path (PR 7).
+//
+// Simulates an epoch rollover at several delta sizes: the "previous
+// epoch" runs data-driven discovery (PC / GES on cluster
+// representatives) over the first N - delta rows of a scenario, the
+// rollover appends the remaining delta rows, and the next plan build
+// runs either cold (complete-graph start) or warm (seeded with the
+// previous epoch's discovery warm-seed — PC skeleton / GES DAG, exactly
+// what QueryServer::UpdateScenario stashes as warm_start_edges). For
+// each (scenario, method, delta) cell it reports the C-DAG-build stage
+// time, the number of CI tests / search steps discovery actually ran,
+// and the edge-presence F1 against the ground-truth cluster DAG — the
+// acceptance bar is warm time < cold time with F1 no worse.
+//
+// Each cell is averaged over several scenario seeds (single draws are
+// noisy: one decoy edge surviving or dying moves F1 by ~0.05).
+//
+// Regenerates the "Streaming-ingest sweep" table in EXPERIMENTS.md:
+//   ./build/bench/bench_warm_start [entities] [repeats] [seeds]
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/cdag_builder.h"
+#include "core/evaluation.h"
+#include "core/pipeline.h"
+#include "datagen/covid.h"
+#include "datagen/flights.h"
+#include "graph/metrics.h"
+
+namespace {
+
+using cdi::core::EdgeInference;
+
+/// Edge-presence F1 of topic-space claims against the ground-truth
+/// cluster DAG (same mapping as core::EvaluateMethod: unknown topics get
+/// fresh ids so they count as false positives).
+double PresenceF1(
+    const std::vector<std::pair<std::string, std::string>>& claims,
+    const cdi::graph::Digraph& truth) {
+  std::map<std::string, cdi::graph::NodeId> extra;
+  auto id_of = [&](const std::string& name) {
+    auto id = truth.NodeIdOf(name);
+    if (id.ok()) return *id;
+    auto [it, inserted] = extra.emplace(name, truth.num_nodes() + extra.size());
+    return it->second;
+  };
+  std::vector<cdi::graph::Edge> mapped;
+  for (const auto& [from, to] : claims) mapped.emplace_back(id_of(from), id_of(to));
+  return cdi::graph::CompareEdgeSets(truth.num_nodes(), mapped, truth.Edges())
+      .presence.f1;
+}
+
+struct Cell {
+  double build_ms = 0.0;  // median C-DAG-build stage time
+  std::size_t ci_tests = 0;
+  double f1 = 0.0;
+};
+
+/// Runs the pipeline on `input` with the given discovery mode and warm
+/// seed, `repeats` times; returns the median build-stage time plus the
+/// (deterministic) CI-test count and presence F1.
+Cell Measure(const cdi::datagen::Scenario& s, const cdi::table::Table& input,
+             EdgeInference mode,
+             const std::vector<std::pair<std::string, std::string>>& seed,
+             int repeats) {
+  auto options = cdi::core::DefaultEvaluationOptions(s);
+  options.builder.inference = mode;
+  options.builder.warm_start_edges = seed;
+  cdi::core::Pipeline pipeline(&s.kg, &s.lake, s.oracle.get(), &s.topics,
+                               options);
+  Cell cell;
+  std::vector<double> times;
+  for (int r = 0; r < repeats; ++r) {
+    auto run = pipeline.Run(input, s.spec.entity_column, s.exposure_attribute,
+                            s.outcome_attribute);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+      std::exit(1);
+    }
+    times.push_back(run->timings.build_seconds * 1e3);
+    cell.ci_tests = run->build.ci_tests;
+    cell.f1 = PresenceF1(run->build.claims, s.cluster_dag);
+  }
+  std::sort(times.begin(), times.end());
+  cell.build_ms = times[times.size() / 2];
+  return cell;
+}
+
+int SweepScenario(const char* label, cdi::datagen::ScenarioSpec spec,
+                  int repeats, int seeds) {
+  std::printf("%s (%d seeds, median-of-%d build times)\n", label, seeds,
+              repeats);
+  std::printf(
+      "  method  delta   cold ms /   CI / F1        warm ms /   CI / F1\n");
+  const std::uint64_t base_seed = spec.seed;
+  for (EdgeInference mode : {EdgeInference::kDataPc, EdgeInference::kDataGes}) {
+    // delta = 0 is a plumbing self-check: seeding with the same data's
+    // own discovery output must reproduce the cold run exactly.
+    for (std::size_t delta : {std::size_t{0}, std::size_t{5}, std::size_t{25},
+                              std::size_t{100}}) {
+      Cell cold_sum, warm_sum;
+      for (int trial = 0; trial < seeds; ++trial) {
+        spec.seed = base_seed + static_cast<std::uint64_t>(trial);
+        auto built = cdi::datagen::BuildScenario(spec);
+        if (!built.ok()) {
+          std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+          return 1;
+        }
+        const auto& s = **built;
+        const std::size_t n = s.input_table.num_rows();
+        if (delta >= n) continue;
+
+        // Previous epoch: discovery over the first n - delta rows; its
+        // definite C-DAG edges are the rollover's warm seed.
+        std::vector<std::size_t> base_rows(n - delta);
+        std::iota(base_rows.begin(), base_rows.end(), 0);
+        const cdi::table::Table base = s.input_table.TakeRows(base_rows);
+        auto options = cdi::core::DefaultEvaluationOptions(s);
+        options.builder.inference = mode;
+        cdi::core::Pipeline p0(&s.kg, &s.lake, s.oracle.get(), &s.topics,
+                               options);
+        auto run0 = p0.Run(base, s.spec.entity_column, s.exposure_attribute,
+                           s.outcome_attribute);
+        if (!run0.ok()) {
+          std::fprintf(stderr, "%s\n", run0.status().ToString().c_str());
+          return 1;
+        }
+
+        // Rollover: the full table is the new epoch's input.
+        const Cell cold = Measure(s, s.input_table, mode, {}, repeats);
+        const Cell warm =
+            Measure(s, s.input_table, mode, run0->build.warm_seed, repeats);
+        cold_sum.build_ms += cold.build_ms;
+        cold_sum.ci_tests += cold.ci_tests;
+        cold_sum.f1 += cold.f1;
+        warm_sum.build_ms += warm.build_ms;
+        warm_sum.ci_tests += warm.ci_tests;
+        warm_sum.f1 += warm.f1;
+      }
+      const double k = seeds;
+      const bool is_pc = mode == EdgeInference::kDataPc;
+      char cold_ci[16], warm_ci[16];
+      if (is_pc) {
+        std::snprintf(cold_ci, sizeof cold_ci, "%4.0f", cold_sum.ci_tests / k);
+        std::snprintf(warm_ci, sizeof warm_ci, "%4.0f", warm_sum.ci_tests / k);
+      } else {
+        std::snprintf(cold_ci, sizeof cold_ci, "   -");
+        std::snprintf(warm_ci, sizeof warm_ci, "   -");
+      }
+      std::printf(
+          "  %-6s  %5zu   %7.2f / %s / %.3f     %7.2f / %s / %.3f%s\n",
+          cdi::core::EdgeInferenceName(mode), delta, cold_sum.build_ms / k,
+          cold_ci, cold_sum.f1 / k, warm_sum.build_ms / k, warm_ci,
+          warm_sum.f1 / k,
+          warm_sum.f1 + 1e-9 < cold_sum.f1 ? "   <-- F1 regressed" : "");
+    }
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t entities =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 220;
+  const int repeats = argc > 2 ? std::atoi(argv[2]) : 5;
+  const int seeds = argc > 3 ? std::atoi(argv[3]) : 5;
+
+  auto covid = cdi::datagen::CovidSpec();
+  covid.num_entities = entities;
+  auto flights = cdi::datagen::FlightsSpec();
+  flights.num_entities = entities;
+
+  int rc = SweepScenario("COVID-19", covid, repeats, seeds);
+  if (rc == 0) rc = SweepScenario("FLIGHTS", flights, repeats, seeds);
+  return rc;
+}

@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "Unknown";
 }

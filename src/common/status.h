@@ -26,6 +26,10 @@ enum class StatusCode {
   kDeadlineExceeded,
   /// The request was cancelled (explicitly, or by server shutdown).
   kCancelled,
+  /// The operation lost a race with a concurrent mutation (e.g. a
+  /// scenario was replaced while a row-batch delta was being prepared).
+  /// Retryable against a fresh snapshot.
+  kAborted,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -72,6 +76,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -217,10 +217,28 @@ Result<ServerCommand> ParseCommandLine(const std::string& line) {
     cmd.kind = ServerCommand::Kind::kQuit;
     return cmd;
   }
+  if (verb == "update") {
+    cmd.kind = ServerCommand::Kind::kUpdate;
+    in >> cmd.update_scenario;
+    std::string arg;
+    while (in >> arg) {
+      if (arg.rfind("rows=", 0) == 0) {
+        cmd.update_rows_path = arg.substr(5);
+      } else {
+        return Status::InvalidArgument("unknown update argument '" + arg +
+                                       "'");
+      }
+    }
+    if (cmd.update_scenario.empty() || cmd.update_rows_path.empty()) {
+      return Status::InvalidArgument(
+          "usage: update <scenario> rows=<csv-path>");
+    }
+    return cmd;
+  }
   if (verb != "query") {
     return Status::InvalidArgument("unknown command '" + verb +
-                                   "' (expected query|metrics|scenarios|"
-                                   "quit)");
+                                   "' (expected query|update|metrics|"
+                                   "scenarios|quit)");
   }
   cmd.kind = ServerCommand::Kind::kQuery;
   in >> cmd.query.scenario >> cmd.query.exposure >> cmd.query.outcome;

@@ -57,14 +57,19 @@ std::string FormatResponseLine(const CdiQuery& query,
 
 /// One parsed cdi_serve stdin command.
 struct ServerCommand {
-  enum class Kind { kQuery, kMetrics, kScenarios, kQuit };
+  enum class Kind { kQuery, kMetrics, kScenarios, kUpdate, kQuit };
   Kind kind = Kind::kQuery;
   CdiQuery query;  // meaningful when kind == kQuery
+  /// kUpdate: target scenario and the CSV file holding the row batch
+  /// (header row; schema must match the scenario's input table).
+  std::string update_scenario;
+  std::string update_rows_path;
 };
 
 /// Parses one protocol line:
 ///   `query <scenario> <exposure> <outcome> [timeout=<seconds>]
 ///    [mode=planned|full]`
+///   `update <scenario> rows=<csv-path>`
 ///   `metrics` | `scenarios` | `quit`
 /// `timeout` must be a finite, non-negative number of seconds — negative,
 /// NaN and infinite values are rejected here with a descriptive error

@@ -17,22 +17,28 @@ MetricsSnapshot MetricsSnapshot::Since(const MetricsSnapshot& earlier) const {
   out.executions = executions - earlier.executions;
   out.plan_builds = plan_builds - earlier.plan_builds;
   out.evicted_stale = evicted_stale - earlier.evicted_stale;
+  out.epoch_rollovers = epoch_rollovers - earlier.epoch_rollovers;
+  out.rows_appended = rows_appended - earlier.rows_appended;
+  out.warm_start_hits = warm_start_hits - earlier.warm_start_hits;
   out.queue_depth_high_water = queue_depth_high_water;
   out.result_cache_entries = result_cache_entries;
   out.plan_cache_entries = plan_cache_entries;
   out.latency = latency.Since(earlier.latency);
+  out.update_latency = update_latency.Since(earlier.update_latency);
   return out;
 }
 
 std::string MetricsSnapshot::ToLine() const {
-  char buf[768];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "submitted=%llu served=%llu rejected=%llu failed=%llu "
       "deadline_exceeded=%llu cancelled=%llu cache_hits=%llu coalesced=%llu "
       "executions=%llu plan_builds=%llu evicted_stale=%llu "
+      "epoch_rollovers=%llu rows_appended=%llu warm_start_hits=%llu "
       "result_cache=%llu plan_cache=%llu queue_hwm=%llu hit_rate=%.4f "
-      "p50_us=%.0f p95_us=%.0f p99_us=%.0f mean_us=%.0f",
+      "p50_us=%.0f p95_us=%.0f p99_us=%.0f mean_us=%.0f "
+      "update_p50_us=%.0f update_p99_us=%.0f",
       static_cast<unsigned long long>(submitted),
       static_cast<unsigned long long>(served),
       static_cast<unsigned long long>(rejected),
@@ -44,12 +50,16 @@ std::string MetricsSnapshot::ToLine() const {
       static_cast<unsigned long long>(executions),
       static_cast<unsigned long long>(plan_builds),
       static_cast<unsigned long long>(evicted_stale),
+      static_cast<unsigned long long>(epoch_rollovers),
+      static_cast<unsigned long long>(rows_appended),
+      static_cast<unsigned long long>(warm_start_hits),
       static_cast<unsigned long long>(result_cache_entries),
       static_cast<unsigned long long>(plan_cache_entries),
       static_cast<unsigned long long>(queue_depth_high_water),
       CacheHitRate(), latency.Quantile(0.50) * 1e6,
       latency.Quantile(0.95) * 1e6, latency.Quantile(0.99) * 1e6,
-      latency.MeanSeconds() * 1e6);
+      latency.MeanSeconds() * 1e6, update_latency.Quantile(0.50) * 1e6,
+      update_latency.Quantile(0.99) * 1e6);
   return buf;
 }
 
@@ -74,9 +84,13 @@ MetricsSnapshot ServerMetrics::Snapshot() const {
   snap.executions = executions.load(std::memory_order_relaxed);
   snap.plan_builds = plan_builds.load(std::memory_order_relaxed);
   snap.evicted_stale = evicted_stale.load(std::memory_order_relaxed);
+  snap.epoch_rollovers = epoch_rollovers.load(std::memory_order_relaxed);
+  snap.rows_appended = rows_appended.load(std::memory_order_relaxed);
+  snap.warm_start_hits = warm_start_hits.load(std::memory_order_relaxed);
   snap.queue_depth_high_water =
       queue_depth_high_water.load(std::memory_order_relaxed);
   snap.latency = latency.Snapshot();
+  snap.update_latency = update_latency.Snapshot();
   return snap;
 }
 

@@ -40,6 +40,14 @@ struct MetricsSnapshot {
   /// Cache entries evicted because their scenario epoch was superseded by
   /// a registry Replace (the stale-epoch leak fix).
   std::uint64_t evicted_stale = 0;
+  /// Successful UpdateScenario epoch bumps (streaming row-batch ingests
+  /// that republished a scenario under a fresh epoch).
+  std::uint64_t epoch_rollovers = 0;
+  /// Total rows appended across all successful UpdateScenario calls.
+  std::uint64_t rows_appended = 0;
+  /// Plan builds seeded from a previous epoch's C-DAG edges (warm-start
+  /// discovery; only when QueryServerOptions::warm_start_plans is on).
+  std::uint64_t warm_start_hits = 0;
   /// Highest admission-queue depth observed since start.
   std::uint64_t queue_depth_high_water = 0;
   /// Current result-cache entry count (gauge, filled by
@@ -50,6 +58,10 @@ struct MetricsSnapshot {
   std::uint64_t plan_cache_entries = 0;
   /// Submit-to-response latency of OK responses.
   HistogramSnapshot latency;
+  /// End-to-end latency of successful UpdateScenario calls (table copy +
+  /// delta stats refresh + publish) — the delta-refresh cost the epoch
+  /// rollover pays instead of a full re-ingest.
+  HistogramSnapshot update_latency;
 
   /// cache_hits / served (0 when nothing served). Coalesced responses are
   /// not counted as hits: they did wait on a computation.
@@ -88,8 +100,12 @@ class ServerMetrics {
   std::atomic<std::uint64_t> executions{0};
   std::atomic<std::uint64_t> plan_builds{0};
   std::atomic<std::uint64_t> evicted_stale{0};
+  std::atomic<std::uint64_t> epoch_rollovers{0};
+  std::atomic<std::uint64_t> rows_appended{0};
+  std::atomic<std::uint64_t> warm_start_hits{0};
   std::atomic<std::uint64_t> queue_depth_high_water{0};
   LatencyHistogram latency;
+  LatencyHistogram update_latency;
 
   /// Raises the high-water mark to at least `depth`.
   void ObserveQueueDepth(std::uint64_t depth);

@@ -36,7 +36,7 @@ std::uint64_t PlanCacheKey(const ScenarioBundle& bundle,
       .Digest();
 }
 
-QueryServer::QueryServer(const ScenarioRegistry* registry,
+QueryServer::QueryServer(ScenarioRegistry* registry,
                          QueryServerOptions options)
     : registry_(registry), options_(std::move(options)) {
   if (options_.num_workers < 1) options_.num_workers = 1;
@@ -243,6 +243,39 @@ QueryResponse QueryServer::Execute(CdiQuery query) {
   return Submit(std::move(query)).get();
 }
 
+Result<std::shared_ptr<const ScenarioBundle>> QueryServer::UpdateScenario(
+    const std::string& name, const table::Table& row_batch) {
+  const Clock::time_point start = Clock::now();
+
+  // Harvest the superseded epoch's discovery warm-seed (the algorithm's
+  // own preferred shape: PC skeleton / GES DAG / C-DAG definite edges)
+  // for the new epoch's first plan build. Best-effort: no snapshot or no
+  // built plan simply means a cold start.
+  std::vector<std::pair<std::string, std::string>> warm_edges;
+  if (auto old = registry_->Snapshot(name); old.ok()) {
+    CdiQuery probe;  // default options -> the bundle's fingerprint
+    probe.scenario = name;
+    const std::uint64_t plan_key = PlanCacheKey(**old, probe);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = plan_cache_.find(plan_key);
+    if (it != plan_cache_.end() && it->second->done &&
+        it->second->status.ok() && it->second->plan != nullptr) {
+      warm_edges = it->second->plan->artifact().build.warm_seed;
+    }
+  }
+
+  auto updated =
+      registry_->UpdateScenario(name, row_batch, std::move(warm_edges));
+  if (!updated.ok()) return updated;
+
+  metrics_.epoch_rollovers.fetch_add(1, std::memory_order_relaxed);
+  metrics_.rows_appended.fetch_add(row_batch.num_rows(),
+                                   std::memory_order_relaxed);
+  metrics_.update_latency.Record(
+      std::chrono::duration<double>(Clock::now() - start).count());
+  return updated;
+}
+
 void QueryServer::WorkerLoop() {
   for (;;) {
     Request request;
@@ -339,7 +372,10 @@ void QueryServer::ExecuteRequest(Request request) {
     const datagen::Scenario& sc = *request.bundle->scenario;
     core::Pipeline pipeline(&sc.kg, &sc.lake, sc.oracle.get(), &sc.topics,
                             pipeline_options);
-    auto run = pipeline.Run(sc.input_table, sc.spec.entity_column,
+    // The bundle's live table, not the scenario's original: after an
+    // UpdateScenario rollover they differ, and the epoch in the cache key
+    // refers to the former.
+    auto run = pipeline.Run(*request.bundle->input, sc.spec.entity_column,
                             request.query.exposure, request.query.outcome,
                             &token);
     unregister_token();
@@ -473,10 +509,20 @@ Result<std::shared_ptr<const core::CdagPlan>> QueryServer::GetOrBuildPlan(
       request.query.options.has_value() ? *request.query.options
                                         : request.bundle->default_options;
   pipeline_options.num_threads = options_.pipeline_threads;
+  // Warm-start: seed the discovery stage with the superseded epoch's
+  // C-DAG (stashed on the bundle by UpdateScenario). Opt-in — a warm run
+  // may converge differently than a cold one, and the seed is part of the
+  // options fingerprint, so the two never share cache keys.
+  const bool warm = options_.warm_start_plans &&
+                    !request.bundle->warm_start_edges.empty();
+  if (warm) {
+    pipeline_options.builder.warm_start_edges =
+        request.bundle->warm_start_edges;
+  }
   const datagen::Scenario& sc = *request.bundle->scenario;
   core::Pipeline pipeline(&sc.kg, &sc.lake, sc.oracle.get(), &sc.topics,
                           pipeline_options);
-  auto run = pipeline.Run(sc.input_table, sc.spec.entity_column,
+  auto run = pipeline.Run(*request.bundle->input, sc.spec.entity_column,
                           sc.exposure_attribute, sc.outcome_attribute,
                           token);
   if (!run.ok()) return finish(run.status(), nullptr);
@@ -485,6 +531,9 @@ Result<std::shared_ptr<const core::CdagPlan>> QueryServer::GetOrBuildPlan(
   auto plan = core::CdagPlan::Build(std::move(artifact));
   if (!plan.ok()) return finish(plan.status(), nullptr);
   metrics_.plan_builds.fetch_add(1, std::memory_order_relaxed);
+  if (warm) {
+    metrics_.warm_start_hits.fetch_add(1, std::memory_order_relaxed);
+  }
   return finish(Status::OK(),
                 std::make_shared<const core::CdagPlan>(*std::move(plan)));
 }

@@ -91,6 +91,15 @@ struct QueryServerOptions {
   /// `num_threads` handed to each pipeline run (results are
   /// bitwise-identical at any value, so this is pure latency tuning).
   int pipeline_threads = 1;
+  /// Warm-start planned builds: when a bundle carries warm_start_edges
+  /// (stashed by UpdateScenario from the superseded epoch's C-DAG), seed
+  /// the plan build's discovery stage with them instead of starting cold.
+  /// Off by default: a warm-started discovery run can legitimately
+  /// converge to a different graph than a cold one, so deployments that
+  /// verify served answers byte-for-byte against a cold pipeline (the
+  /// loadgen churn check) must leave this off. The seed is mixed into the
+  /// options fingerprint, so warm and cold plans never share cache keys.
+  bool warm_start_plans = false;
   /// Test hook: runs on the worker thread right before each pipeline
   /// execution (used to hold a worker to make queue-full and
   /// mid-execution-deadline scenarios deterministic). Not for production.
@@ -129,8 +138,9 @@ struct QueryServerOptions {
 /// bounded and no stale-epoch result is ever retained.
 class QueryServer {
  public:
-  /// `registry` is borrowed and must outlive the server.
-  QueryServer(const ScenarioRegistry* registry,
+  /// `registry` is borrowed and must outlive the server. Non-const:
+  /// UpdateScenario publishes new epochs through it.
+  QueryServer(ScenarioRegistry* registry,
               QueryServerOptions options = QueryServerOptions());
 
   QueryServer(const QueryServer&) = delete;
@@ -147,6 +157,17 @@ class QueryServer {
 
   /// Submit + wait (the convenience used by tests and tools).
   QueryResponse Execute(CdiQuery query);
+
+  /// Streaming row ingest through the serving layer: appends `row_batch`
+  /// to the scenario (ScenarioRegistry::UpdateScenario — delta-refreshed
+  /// statistics, fresh epoch) and stashes the superseded epoch's C-DAG
+  /// edges on the new bundle as a warm-start seed for its first plan
+  /// build (consumed only when QueryServerOptions::warm_start_plans is
+  /// on). In-flight queries finish against the old snapshot; the next
+  /// touch under the new epoch evicts the superseded cache entries.
+  /// Records epoch_rollovers / rows_appended / update-latency metrics.
+  Result<std::shared_ptr<const ScenarioBundle>> UpdateScenario(
+      const std::string& name, const table::Table& row_batch);
 
   /// Counters plus current cache-size gauges (result_cache_entries /
   /// plan_cache_entries, read under the server lock).
@@ -231,7 +252,7 @@ class QueryServer {
                               std::uint64_t epoch,
                               Clock::time_point submit_time) const;
 
-  const ScenarioRegistry* registry_;
+  ScenarioRegistry* registry_;
   QueryServerOptions options_;
   mutable ServerMetrics metrics_;
 

@@ -46,7 +46,12 @@ Result<std::shared_ptr<const ScenarioBundle>> ScenarioRegistry::Insert(
   // Build the bundle outside the lock; only the map insert is serialized.
   auto bundle = std::make_shared<ScenarioBundle>();
   bundle->name = name;
-  bundle->scenario = std::move(scenario);
+  bundle->scenario = std::shared_ptr<const datagen::Scenario>(
+      std::move(scenario));
+  // Fresh registrations serve the scenario's own table; the aliasing
+  // constructor keeps the scenario alive through `input` without a copy.
+  bundle->input = std::shared_ptr<const table::Table>(
+      bundle->scenario, &bundle->scenario->input_table);
   bundle->default_options =
       default_options.has_value()
           ? *std::move(default_options)
@@ -57,7 +62,7 @@ Result<std::shared_ptr<const ScenarioBundle>> ScenarioRegistry::Insert(
   // Shared per-dataset sufficient statistics over the input table's
   // numeric columns. Spans borrow the table's buffers; the bundle keeps
   // the scenario alive for as long as any query holds the snapshot.
-  const table::Table& input = bundle->scenario->input_table;
+  const table::Table& input = *bundle->input;
   stats::NumericDataset ds;
   for (std::size_t c = 0; c < input.num_cols(); ++c) {
     const table::Column& col = input.ColumnAt(c);
@@ -82,6 +87,79 @@ Result<std::shared_ptr<const ScenarioBundle>> ScenarioRegistry::Insert(
   if (it != bundles_.end() && !allow_replace) {
     return Status::AlreadyExists("scenario '" + name +
                                  "' is already registered");
+  }
+  bundle->epoch = next_epoch_++;
+  std::shared_ptr<const ScenarioBundle> out = std::move(bundle);
+  bundles_[name] = out;
+  return out;
+}
+
+Result<std::shared_ptr<const ScenarioBundle>> ScenarioRegistry::UpdateScenario(
+    const std::string& name, const table::Table& row_batch,
+    std::vector<std::pair<std::string, std::string>> warm_start_edges) {
+  if (row_batch.num_rows() == 0) {
+    return Status::InvalidArgument("row batch for scenario '" + name +
+                                   "' has no rows");
+  }
+  std::shared_ptr<const ScenarioBundle> old;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = bundles_.find(name);
+    if (it == bundles_.end()) {
+      return Status::NotFound("scenario '" + name + "' is not registered");
+    }
+    old = it->second;
+  }
+
+  // Everything expensive happens outside the lock, against the snapshot.
+  // Grow a private copy of the live table: the previous epoch's buffers —
+  // and every span the old bundle's statistics borrowed from them — stay
+  // untouched for in-flight queries holding the old snapshot.
+  auto grown = std::make_shared<table::Table>(*old->input);
+  if (Status s = grown->AppendRows(row_batch); !s.ok()) {
+    return Status(s.code(),
+                  "updating scenario '" + name + "': " + s.message());
+  }
+
+  auto bundle = std::make_shared<ScenarioBundle>();
+  bundle->name = name;
+  bundle->scenario = old->scenario;
+  bundle->input = grown;
+  bundle->default_options = old->default_options;
+  bundle->default_options_fingerprint = old->default_options_fingerprint;
+  bundle->numeric_attributes = old->numeric_attributes;
+  bundle->warm_start_edges = std::move(warm_start_edges);
+  bundle->rows_appended = row_batch.num_rows();
+
+  if (old->input_stats != nullptr) {
+    // Delta-refresh: continue the previous epoch's accumulators over the
+    // appended rows instead of recomputing from scratch. The copied stats
+    // adopt full-length spans into the grown table, so the new bundle is
+    // self-contained.
+    auto stats =
+        std::make_shared<stats::SufficientStats>(*old->input_stats);
+    std::vector<DoubleSpan> views;
+    views.reserve(bundle->numeric_attributes.size());
+    for (const auto& attr : bundle->numeric_attributes) {
+      auto col = grown->GetColumn(attr);
+      if (!col.ok()) return col.status();  // unreachable after AppendRows
+      views.push_back((*col)->View());
+    }
+    if (Status s = stats->AppendRows(views, row_batch.num_rows()); !s.ok()) {
+      return Status(s.code(),
+                    "updating scenario '" + name + "': " + s.message());
+    }
+    bundle->input_stats = std::move(stats);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = bundles_.find(name);
+  if (it == bundles_.end() || it->second != old) {
+    // Lost a race with Replace/another update: the delta was computed
+    // against a superseded table, so publishing it would drop rows.
+    return Status::Aborted("scenario '" + name +
+                           "' changed while the row batch was being "
+                           "applied; retry against the new snapshot");
   }
   bundle->epoch = next_epoch_++;
   std::shared_ptr<const ScenarioBundle> out = std::move(bundle);

@@ -31,10 +31,18 @@ struct ScenarioBundle {
   /// name implicitly invalidates every cached result for the old data
   /// (old entries simply stop being reachable).
   std::uint64_t epoch = 0;
-  /// The immutable scenario data (input table, KG, lake, oracle, topics).
-  /// Declared before the members below that borrow from it: C++ destroys
-  /// in reverse declaration order, so borrowers die first.
-  std::unique_ptr<const datagen::Scenario> scenario;
+  /// The immutable scenario assets (KG, lake, oracle, topics — plus the
+  /// *original* input table). Shared across epochs: UpdateScenario bundles
+  /// reuse the same scenario object and only replace `input`. Declared
+  /// before the members below that borrow from it: C++ destroys in
+  /// reverse declaration order, so borrowers die first.
+  std::shared_ptr<const datagen::Scenario> scenario;
+  /// The live input table of *this epoch* — what queries run against.
+  /// Freshly registered bundles alias `scenario->input_table`; bundles
+  /// published by UpdateScenario own a grown copy (the previous epoch's
+  /// table, and every span borrowed from it, stays untouched for
+  /// in-flight queries). Never null after registration.
+  std::shared_ptr<const table::Table> input;
   /// Options applied to queries that do not carry their own (defaults to
   /// core::DefaultEvaluationOptions for the scenario).
   core::PipelineOptions default_options;
@@ -51,6 +59,15 @@ struct ScenarioBundle {
   /// Input-table numeric columns (query exposure/outcome candidates), in
   /// schema order, paired with their index into `input_stats`.
   std::vector<std::string> numeric_attributes;
+  /// Warm-start seed for this epoch's discovery runs: the previous
+  /// epoch's C-DAG edges in cluster-topic space, stashed by
+  /// UpdateScenario when the caller has one (typically the superseded
+  /// epoch's built plan). Empty = cold. Consumed opt-in by the query
+  /// server's plan builds (QueryServerOptions::warm_start_plans).
+  std::vector<std::pair<std::string, std::string>> warm_start_edges;
+  /// Rows appended by the UpdateScenario that published this bundle
+  /// (0 for Register/Replace bundles).
+  std::size_t rows_appended = 0;
 
   /// Index of `attribute` in `numeric_attributes` / `input_stats`, or
   /// npos when the column is missing or non-numeric.
@@ -88,6 +105,27 @@ class ScenarioRegistry {
       const std::string& name,
       std::unique_ptr<const datagen::Scenario> scenario,
       std::optional<core::PipelineOptions> default_options = std::nullopt);
+
+  /// Streaming row ingest: appends `row_batch` (schema must match the
+  /// scenario's input table — see Table::AppendRows) to the scenario's
+  /// live input table and republishes it under a fresh epoch. The new
+  /// bundle shares the immutable scenario assets with the previous epoch
+  /// and owns the grown table copy; its sufficient statistics are
+  /// delta-refreshed via SufficientStats::AppendRows (bitwise what a
+  /// fresh Compute over the grown table yields) instead of recomputed
+  /// from scratch. In-flight queries holding the old snapshot keep
+  /// observing the old table and statistics; the epoch bump makes the
+  /// query server's stale-epoch eviction retire superseded cache
+  /// entries, exactly as for Replace. `warm_start_edges` (optional) is
+  /// stashed on the new bundle for warm-started discovery.
+  ///
+  /// kNotFound when unregistered; kInvalidArgument on schema mismatch or
+  /// an empty batch; kAborted when the scenario was concurrently
+  /// replaced while the delta was being prepared (retry with a fresh
+  /// snapshot).
+  Result<std::shared_ptr<const ScenarioBundle>> UpdateScenario(
+      const std::string& name, const table::Table& row_batch,
+      std::vector<std::pair<std::string, std::string>> warm_start_edges = {});
 
   /// Current bundle for `name` (kNotFound when unregistered).
   Result<std::shared_ptr<const ScenarioBundle>> Snapshot(

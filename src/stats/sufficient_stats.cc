@@ -266,6 +266,7 @@ Result<SufficientStats> SufficientStats::Compute(const NumericDataset& data,
   }
   if (s.wsum_ <= 0) return Status::InvalidArgument("weights sum to zero");
 
+  s.col_sums_.assign(p, 0.0);
   s.means_.assign(p, 0.0);
   ParallelFor(pool, p, [&](std::size_t v) {
     const DoubleSpan& col = s.columns_[v];
@@ -275,6 +276,7 @@ Result<SufficientStats> SufficientStats::Compute(const NumericDataset& data,
     } else {
       for (std::size_t r : rows) mv += s.weights_[r] * col[r];
     }
+    s.col_sums_[v] = mv;
     s.means_[v] = mv / s.wsum_;
   });
 
@@ -359,6 +361,7 @@ Status SufficientStats::AppendColumns(const std::vector<DoubleSpan>& cols,
   const auto rows = SetBitIndices(mask_, complete_rows_);
   const std::size_t m = rows.size();
 
+  std::vector<double> nsums(k, 0.0);
   std::vector<double> nmeans(k, 0.0);
   ParallelFor(pool, k, [&](std::size_t j) {
     const DoubleSpan& col = cols[j];
@@ -368,6 +371,7 @@ Status SufficientStats::AppendColumns(const std::vector<DoubleSpan>& cols,
     } else {
       for (std::size_t r : rows) mv += col[r];
     }
+    nsums[j] = mv;
     nmeans[j] = mv / wsum_;
   });
 
@@ -444,9 +448,125 @@ Status SufficientStats::AppendColumns(const std::vector<DoubleSpan>& cols,
   });
 
   columns_.insert(columns_.end(), cols.begin(), cols.end());
+  col_sums_.insert(col_sums_.end(), nsums.begin(), nsums.end());
   means_.insert(means_.end(), nmeans.begin(), nmeans.end());
   sxx_ = std::move(ns);
   last_append_incremental_ = true;
+  return Status::OK();
+}
+
+Status SufficientStats::AppendRows(const std::vector<DoubleSpan>& cols,
+                                   std::size_t new_rows,
+                                   const std::vector<double>& weights,
+                                   ThreadPool* pool) {
+  if (columns_.empty()) {
+    return Status::FailedPrecondition("append to empty SufficientStats");
+  }
+  if (cols.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "AppendRows got " + std::to_string(cols.size()) +
+        " columns, statistics have " + std::to_string(columns_.size()));
+  }
+  const std::size_t total = num_rows_ + new_rows;
+  for (const auto& col : cols) {
+    if (col.size() != total) return Status::InvalidArgument("ragged dataset");
+  }
+  if (weighted() != !weights.empty()) {
+    return Status::InvalidArgument(
+        weighted() ? "weighted statistics need the full weight vector"
+                   : "unweighted statistics got weights");
+  }
+  if (!weights.empty() && weights.size() != total) {
+    return Status::InvalidArgument("weights size mismatch");
+  }
+
+  // Extend the complete-row mask: words before the one containing row
+  // num_rows_ are untouched; the boundary word's low (old) bits recompute
+  // to their existing values because the prefix is value-identical, so
+  // rebuilding tail words from the full columns splices exactly what
+  // BuildMask over the concatenated dataset would produce.
+  std::vector<std::uint64_t> mask = mask_;
+  const std::size_t words = WordCount(total);
+  mask.resize(words, 0);
+  for (std::size_t w = num_rows_ / 64; w < words; ++w) {
+    const std::size_t base = w * 64;
+    const std::size_t len = std::min<std::size_t>(64, total - base);
+    std::uint64_t bits =
+        len == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << len) - 1;
+    for (const auto& col : cols) {
+      if (bits == 0) break;
+      bits &= PresentBitsWord(col.data() + base, len);
+    }
+    mask[w] = bits;
+  }
+
+  // Complete rows in the appended region only (ascending) — the rows
+  // Compute's sequential scans would visit after the old prefix.
+  std::vector<std::size_t> fresh;
+  for (std::size_t w = num_rows_ / 64; w < words; ++w) {
+    std::uint64_t bits = mask[w];
+    while (bits != 0) {
+      const std::size_t r =
+          w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      if (r >= num_rows_) fresh.push_back(r);
+    }
+  }
+
+  const std::size_t complete = complete_rows_ + fresh.size();
+  double wsum = wsum_;
+  if (weights.empty()) {
+    wsum = static_cast<double>(complete);
+  } else {
+    for (std::size_t r : fresh) wsum += weights[r];
+    if (wsum <= 0) return Status::InvalidArgument("weights sum to zero");
+  }
+
+  if (fresh.empty()) {
+    // No new complete row: means and S cannot move. Adopt the re-borrowed
+    // spans and the extended mask; skip the Gram sweep.
+    columns_ = cols;
+    weights_ = weights;
+    mask_ = std::move(mask);
+    num_rows_ = total;
+    last_append_incremental_ = true;
+    return Status::OK();
+  }
+
+  // Continue the pre-division column sums over the fresh rows, then
+  // re-derive every mean with the new weight sum — the same sequential
+  // accumulation and single division Compute performs over the full data.
+  const std::size_t p = columns_.size();
+  std::vector<double> sums = col_sums_;
+  std::vector<double> means(p);
+  ParallelFor(pool, p, [&](std::size_t v) {
+    const DoubleSpan& col = cols[v];
+    double mv = sums[v];
+    if (weights.empty()) {
+      for (std::size_t r : fresh) mv += col[r];
+    } else {
+      for (std::size_t r : fresh) mv += weights[r] * col[r];
+    }
+    sums[v] = mv;
+    means[v] = mv / wsum;
+  });
+
+  // The means moved, so every centered entry's accumulation sequence
+  // changed: re-sweep the Gram over the full complete-row set. Bitwise
+  // identical to Compute by the kernel's determinism.
+  const auto rows = SetBitIndices(mask, complete);
+  Matrix sxx = BlockedGram(cols, weights, rows, means, pool);
+
+  columns_ = cols;
+  weights_ = weights;
+  mask_ = std::move(mask);
+  num_rows_ = total;
+  complete_rows_ = complete;
+  wsum_ = wsum;
+  col_sums_ = std::move(sums);
+  means_ = std::move(means);
+  sxx_ = std::move(sxx);
+  last_append_incremental_ = false;
   return Status::OK();
 }
 

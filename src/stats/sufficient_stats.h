@@ -95,8 +95,35 @@ class SufficientStats {
   Status AppendColumns(const std::vector<DoubleSpan>& cols,
                        ThreadPool* pool = nullptr);
 
-  /// Whether the last AppendColumns took the incremental path
-  /// (benchmark/test introspection).
+  /// Extends the statistics with `new_rows` rows appended to every
+  /// column. `cols` are full-length spans over the *concatenated*
+  /// columns (old rows first, then the new ones); the old prefix must
+  /// hold exactly the values the statistics were computed over. Passing
+  /// fresh spans is deliberate: appending to a table reallocates its
+  /// buffers, so the caller re-borrows views over the grown storage and
+  /// this object drops its now-dangling spans. For weighted statistics
+  /// `weights` must likewise be the full concatenated weight vector;
+  /// pass empty for unweighted statistics.
+  ///
+  /// Contract, mirroring AppendColumns: the result is bitwise identical
+  /// to Compute() over the concatenated dataset, at any thread count. A
+  /// true rank-k update of the *centered* Gram cannot meet that bar —
+  /// appended rows shift every column mean, which changes every entry's
+  /// floating-point accumulation sequence — so the per-column
+  /// accumulators (complete-row mask, weight sum, pre-division column
+  /// sums, hence means) are continued in O(new_rows * p) exactly where
+  /// Compute's sequential scans would resume, and the Gram is re-swept
+  /// through the blocked kernel over the full row set. When the appended
+  /// rows contain no complete row the means cannot move and the sweep is
+  /// skipped: the whole append is O(new_rows * p). On error the object
+  /// is unchanged.
+  Status AppendRows(const std::vector<DoubleSpan>& cols, std::size_t new_rows,
+                    const std::vector<double>& weights = {},
+                    ThreadPool* pool = nullptr);
+
+  /// Whether the last AppendColumns/AppendRows took the incremental path
+  /// (for AppendRows: the Gram sweep was skipped — no new complete rows).
+  /// Benchmark/test introspection.
   bool last_append_incremental() const { return last_append_incremental_; }
 
   /// Gaussian BIC of regressing `target` on `parents`, computed from S by
@@ -121,6 +148,9 @@ class SufficientStats {
   std::size_t num_rows_ = 0;
   std::size_t complete_rows_ = 0;
   double wsum_ = 0.0;
+  /// Pre-division weighted column sums over complete rows — the running
+  /// accumulators AppendRows continues; means_ = col_sums_ / wsum_.
+  std::vector<double> col_sums_;
   std::vector<double> means_;
   Matrix sxx_;
   bool last_append_incremental_ = false;

@@ -225,6 +225,80 @@ Status Column::AppendFrom(const Column& src, std::size_t row) {
   return Status::Internal("bad column type");
 }
 
+Status Column::AppendChunk(const Column& src) {
+  const bool widen_ints =
+      type_ == DataType::kDouble && src.type_ == DataType::kInt64;
+  if (src.type_ != type_ && !widen_ints) {
+    return Status::InvalidArgument(
+        "cannot append " + std::string(DataTypeName(src.type_)) +
+        " chunk '" + src.name_ + "' to column '" + name_ + "' of type " +
+        DataTypeName(type_));
+  }
+  if (src.size_ == 0) return Status::OK();
+
+  // 1. Splice the typed value buffers (null slots already hold the right
+  //    fillers in `src`, except the int64 -> double widening, which must
+  //    rewrite null filler 0 as NaN).
+  switch (type_) {
+    case DataType::kDouble:
+      if (widen_ints) {
+        doubles_.reserve(size_ + src.size_);
+        for (std::size_t r = 0; r < src.size_; ++r) {
+          doubles_.push_back(src.NullBit(r)
+                                 ? std::nan("")
+                                 : static_cast<double>(src.ints_[r]));
+        }
+      } else {
+        doubles_.insert(doubles_.end(), src.doubles_.begin(),
+                        src.doubles_.end());
+      }
+      break;
+    case DataType::kInt64:
+      ints_.insert(ints_.end(), src.ints_.begin(), src.ints_.end());
+      break;
+    case DataType::kBool:
+      bools_.insert(bools_.end(), src.bools_.begin(), src.bools_.end());
+      break;
+    case DataType::kString: {
+      // Remap dictionary codes: intern each distinct referenced string
+      // once, then push remapped codes.
+      std::vector<int32_t> code_map(src.dict_.size(), -1);
+      codes_.reserve(size_ + src.size_);
+      for (std::size_t r = 0; r < src.size_; ++r) {
+        const int32_t c = src.codes_[r];
+        if (c < 0) {
+          codes_.push_back(-1);
+          continue;
+        }
+        int32_t& mapped = code_map[static_cast<std::size_t>(c)];
+        if (mapped < 0) mapped = Intern(src.dict_[static_cast<std::size_t>(c)]);
+        codes_.push_back(mapped);
+      }
+      break;
+    }
+  }
+
+  // 2. Merge the null bitmap: shift src's words onto our bit offset. Bits
+  //    past src.size_ in its last word are zero by construction, so the
+  //    shifted OR never sets stray bits.
+  const std::size_t offset = size_ & 63;
+  const std::size_t new_size = size_ + src.size_;
+  null_bits_.resize((new_size + 63) / 64, 0);
+  const std::size_t src_words = (src.size_ + 63) / 64;
+  for (std::size_t w = 0; w < src_words; ++w) {
+    const uint64_t bits = src.null_bits_[w];
+    const std::size_t base_word = (size_ >> 6) + w;
+    null_bits_[base_word] |= bits << offset;
+    if (offset != 0 && base_word + 1 < null_bits_.size()) {
+      null_bits_[base_word + 1] |= bits >> (64 - offset);
+    }
+  }
+
+  size_ = new_size;
+  null_count_ += src.null_count_;
+  return Status::OK();
+}
+
 Value Column::Get(std::size_t row) const {
   CDI_CHECK(row < size_);
   if (NullBit(row)) return Value::Null();

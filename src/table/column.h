@@ -59,6 +59,15 @@ class Column {
   /// Appends `src`'s cell at `row` (types must be compatible as in Append).
   Status AppendFrom(const Column& src, std::size_t row);
 
+  /// Appends all of `src`'s cells in order — the batch-ingest fast path:
+  /// typed buffers are spliced wholesale (no per-row Value boxing), the
+  /// null bitmap is bit-shift merged word-at-a-time, and string cells are
+  /// re-interned once per distinct dictionary code rather than per row.
+  /// `src` must have the same type, or be an int64 column appended into a
+  /// double column (the same widening Append performs). All-or-nothing:
+  /// on type mismatch the column is unchanged.
+  Status AppendChunk(const Column& src);
+
   /// Unchecked access; reconstructs a Value from the typed buffers.
   Value Get(std::size_t row) const;
 

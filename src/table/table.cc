@@ -107,6 +107,48 @@ Status Table::AppendRow(const std::vector<Value>& values) {
   return Status::OK();
 }
 
+Status Table::AppendRows(const Table& batch) {
+  if (batch.num_cols() != num_cols()) {
+    return Status::InvalidArgument(
+        "batch arity " + std::to_string(batch.num_cols()) +
+        " != schema arity " + std::to_string(num_cols()) + " (table '" +
+        name_ + "' expects columns [" + [this] {
+          std::string s;
+          for (const auto& c : columns_) {
+            if (!s.empty()) s += ", ";
+            s += c.name();
+          }
+          return s;
+        }() + "])");
+  }
+  // Resolve every batch column and validate types before mutating
+  // anything, so a failed append leaves the table rectangular and
+  // untouched.
+  std::vector<const Column*> sources(columns_.size(), nullptr);
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    const auto idx = batch.ColumnIndex(columns_[i].name());
+    if (!idx.ok()) {
+      return Status::InvalidArgument("batch is missing column '" +
+                                     columns_[i].name() + "' of table '" +
+                                     name_ + "'");
+    }
+    const Column& src = batch.columns_[idx.value()];
+    const bool widen_ints = columns_[i].type() == DataType::kDouble &&
+                            src.type() == DataType::kInt64;
+    if (src.type() != columns_[i].type() && !widen_ints) {
+      return Status::InvalidArgument(
+          "batch column '" + src.name() + "' has type " +
+          DataTypeName(src.type()) + " but table '" + name_ + "' expects " +
+          DataTypeName(columns_[i].type()));
+    }
+    sources[i] = &src;
+  }
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    CDI_RETURN_IF_ERROR(columns_[i].AppendChunk(*sources[i]));
+  }
+  return Status::OK();
+}
+
 Result<Table> Table::SelectColumns(
     const std::vector<std::string>& names) const {
   Table out(name_);

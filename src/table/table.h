@@ -69,6 +69,16 @@ class Table {
   /// Appends one row; `values` must match the schema arity and types.
   Status AppendRow(const std::vector<Value>& values);
 
+  /// Appends every row of `batch` — the streaming-ingest fast path. The
+  /// batch must carry exactly this table's columns (matched by name, any
+  /// order) with compatible types (exact match, or int64 batch columns
+  /// widened into double columns, as in AppendRow). Column buffers are
+  /// spliced wholesale via Column::AppendChunk; no per-row Value boxing.
+  /// All-or-nothing: on any schema mismatch the table is unchanged, with
+  /// an error naming the offending column. Invalidates Column::View()
+  /// spans, like any append.
+  Status AppendRows(const Table& batch);
+
   /// New table with only the named columns, in the given order.
   Result<Table> SelectColumns(const std::vector<std::string>& names) const;
 

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstring>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -11,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/logging.h"
 #include "core/pipeline.h"
 #include "core/plan.h"
 #include "datagen/covid.h"
@@ -160,6 +162,90 @@ TEST(ScenarioRegistryTest, ReplaceBumpsEpochAndKeepsOldSnapshotAlive) {
   auto current = registry.Snapshot("covid");
   ASSERT_TRUE(current.ok());
   EXPECT_EQ(current->get(), second->get());
+}
+
+bool BitwiseEqual(const stats::Matrix& a, const stats::Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data().data(), b.data().data(),
+                     sizeof(double) * a.rows() * a.cols()) == 0;
+}
+
+TEST(ScenarioRegistryTest, UpdateScenarioDeltaRefreshesStatsBitwise) {
+  ScenarioRegistry registry;
+  auto registered = registry.Register("covid", BuildCovid());
+  ASSERT_TRUE(registered.ok());
+  const auto old_bundle = *registered;
+  const std::size_t old_rows = old_bundle->input->num_rows();
+
+  // The row batch reuses the head of the scenario's own table, so its
+  // schema matches by construction.
+  std::vector<std::size_t> picks;
+  for (std::size_t r = 0; r < 25; ++r) picks.push_back(r);
+  const table::Table batch = old_bundle->input->TakeRows(picks);
+
+  auto updated = registry.UpdateScenario(
+      "covid", batch, {{"mobility", "infection pressure"}});
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+  const auto fresh_bundle = *updated;
+  EXPECT_GT(fresh_bundle->epoch, old_bundle->epoch);
+  EXPECT_EQ(fresh_bundle->rows_appended, 25u);
+  EXPECT_EQ(fresh_bundle->input->num_rows(), old_rows + 25);
+  EXPECT_EQ(fresh_bundle->scenario.get(), old_bundle->scenario.get());
+  EXPECT_EQ(fresh_bundle->numeric_attributes,
+            old_bundle->numeric_attributes);
+  ASSERT_EQ(fresh_bundle->warm_start_edges.size(), 1u);
+  EXPECT_EQ(fresh_bundle->warm_start_edges[0].first, "mobility");
+
+  // The superseded snapshot is untouched for in-flight queries.
+  EXPECT_EQ(old_bundle->input->num_rows(), old_rows);
+  EXPECT_EQ(old_bundle->input_stats->num_rows(), old_rows);
+
+  // Delta-refreshed statistics are bitwise what a cold Compute over the
+  // grown table yields — the property that makes epoch rollover safe.
+  stats::NumericDataset ds;
+  for (const auto& attr : fresh_bundle->numeric_attributes) {
+    auto col = fresh_bundle->input->GetColumn(attr);
+    ASSERT_TRUE(col.ok());
+    ds.columns.push_back((*col)->View());
+  }
+  auto cold = stats::SufficientStats::Compute(ds);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  const stats::SufficientStats& warm = *fresh_bundle->input_stats;
+  EXPECT_EQ(warm.complete_rows(), cold->complete_rows());
+  EXPECT_EQ(warm.complete_mask(), cold->complete_mask());
+  ASSERT_EQ(warm.means().size(), cold->means().size());
+  for (std::size_t v = 0; v < cold->means().size(); ++v) {
+    EXPECT_EQ(warm.means()[v], cold->means()[v]) << "mean " << v;
+  }
+  EXPECT_TRUE(BitwiseEqual(warm.cross_products(), cold->cross_products()));
+
+  // Registry state: Snapshot serves the new epoch.
+  EXPECT_EQ(registry.Snapshot("covid")->get(), fresh_bundle.get());
+}
+
+TEST(ScenarioRegistryTest, UpdateScenarioRejectsBadBatches) {
+  ScenarioRegistry registry;
+  auto bundle = *registry.Register("covid", BuildCovid());
+
+  EXPECT_EQ(registry.UpdateScenario("nope", *bundle->input).status().code(),
+            StatusCode::kNotFound);
+
+  table::Table empty("empty");
+  EXPECT_EQ(registry.UpdateScenario("covid", empty).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Schema mismatch: the error names the scenario and what is missing.
+  table::Table wrong("w");
+  CDI_CHECK(wrong.AddColumn(
+                    table::Column::FromDoubles("bogus", {1.0, 2.0}))
+                .ok());
+  auto st = registry.UpdateScenario("covid", wrong).status();
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("updating scenario 'covid'"),
+            std::string::npos)
+      << st.ToString();
+  // The failed update published nothing.
+  EXPECT_EQ(registry.Snapshot("covid")->get(), bundle.get());
 }
 
 // ------------------------------------------------- Cache key fingerprint
@@ -718,6 +804,115 @@ TEST(QueryServerTest, InvalidateCacheDropsCompletedEntriesOnly) {
   EXPECT_EQ(server.Metrics().executions, 2u);
 }
 
+// ------------------------------------------- Streaming updates (epoch roll)
+
+/// UpdateScenario through the server: answers served after the rollover
+/// must equal — byte for byte — a direct Pipeline::Run on the grown
+/// table, the previous epoch's plan seeds the new bundle's warm-start
+/// edges, and the streaming counters tick.
+TEST(QueryServerTest, UpdateScenarioServesFreshAnswersAndStashesWarmEdges) {
+  ScenarioRegistry registry;
+  auto bundle = *registry.Register("covid", BuildCovid());
+  const auto& attrs = bundle->numeric_attributes;
+  QueryServerOptions options;
+  options.num_workers = 2;
+  QueryServer server(&registry, options);
+
+  // Build the epoch-1 plan (planned query) so the update has warm edges
+  // to harvest, plus a full-mode answer to go stale.
+  auto planned = Query(attrs[0], attrs[1]);
+  planned.mode = QueryMode::kPlanned;
+  (void)server.Execute(planned);
+  const auto q = Query(attrs[0], attrs[1]);
+  auto before = server.Execute(q);
+  ASSERT_TRUE(before.status.ok());
+  EXPECT_EQ(before.scenario_epoch, bundle->epoch);
+
+  std::vector<std::size_t> picks;
+  for (std::size_t r = 0; r < 30; ++r) picks.push_back(r);
+  const table::Table batch = bundle->input->TakeRows(picks);
+  auto updated = server.UpdateScenario("covid", batch);
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+  EXPECT_GT((*updated)->epoch, bundle->epoch);
+
+  // Warm edges harvested from the superseded epoch's built plan — the
+  // discovery warm-seed shape (== definite edges for the hybrid mode).
+  const core::CdagPlan fresh = FreshPlan(*bundle);
+  EXPECT_EQ((*updated)->warm_start_edges, fresh.artifact().build.warm_seed);
+  EXPECT_EQ(fresh.artifact().build.warm_seed,
+            fresh.artifact().build.definite);
+
+  auto after = server.Execute(q);
+  ASSERT_TRUE(after.status.ok()) << after.status.ToString();
+  EXPECT_EQ(after.source, ResponseSource::kExecuted);  // stale entry gone
+  EXPECT_EQ(after.scenario_epoch, (*updated)->epoch);
+  {
+    const datagen::Scenario& sc = *bundle->scenario;
+    core::Pipeline pipeline(&sc.kg, &sc.lake, sc.oracle.get(), &sc.topics,
+                            bundle->default_options);
+    auto direct = pipeline.Run(*(*updated)->input, sc.spec.entity_column,
+                               attrs[0], attrs[1]);
+    ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+    EXPECT_EQ(FormatResultPayload(*after.result),
+              FormatResultPayload(*direct));
+  }
+
+  const auto metrics = server.Metrics();
+  EXPECT_EQ(metrics.epoch_rollovers, 1u);
+  EXPECT_EQ(metrics.rows_appended, 30u);
+  EXPECT_EQ(metrics.update_latency.total_count, 1u);
+
+  // Unknown scenario surfaces the registry error untouched.
+  EXPECT_EQ(server.UpdateScenario("nope", batch).status().code(),
+            StatusCode::kNotFound);
+}
+
+/// With warm_start_plans on, the post-update plan build consumes the
+/// stashed seed (warm_start_hits ticks) and still answers every pair the
+/// cold plan answers.
+TEST(QueryServerTest, WarmStartedPlanRebuildAnswersAllPairs) {
+  ScenarioRegistry registry;
+  auto bundle = *registry.Register("covid", BuildCovid());
+  const auto& attrs = bundle->numeric_attributes;
+  QueryServerOptions options;
+  options.num_workers = 2;
+  options.warm_start_plans = true;
+  QueryServer server(&registry, options);
+
+  auto planned = Query(attrs[0], attrs[1]);
+  planned.mode = QueryMode::kPlanned;
+  auto cold = server.Execute(planned);
+  ASSERT_TRUE(cold.status.ok()) << cold.status.ToString();
+  EXPECT_EQ(server.Metrics().warm_start_hits, 0u);  // epoch 1 had no seed
+
+  std::vector<std::size_t> picks;
+  for (std::size_t r = 0; r < 20; ++r) picks.push_back(r);
+  auto updated =
+      server.UpdateScenario("covid", bundle->input->TakeRows(picks));
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+  ASSERT_FALSE((*updated)->warm_start_edges.empty());
+
+  int answered = 0;
+  for (const auto& t : attrs) {
+    for (const auto& o : attrs) {
+      if (t == o) continue;
+      auto q = Query(t, o);
+      q.mode = QueryMode::kPlanned;
+      auto response = server.Execute(q);
+      if (response.status.ok()) {
+        ++answered;
+        EXPECT_EQ(response.scenario_epoch, (*updated)->epoch);
+      } else {
+        EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+      }
+    }
+  }
+  EXPECT_GT(answered, 0);
+  const auto metrics = server.Metrics();
+  EXPECT_EQ(metrics.plan_builds, 2u);      // one cold, one warm
+  EXPECT_EQ(metrics.warm_start_hits, 1u);  // only the rebuild had a seed
+}
+
 // ---------------------------------------------------------Line protocol
 
 TEST(LineProtocolTest, ParseCommandLine) {
@@ -751,6 +946,36 @@ TEST(LineProtocolTest, ParseCommandLine) {
     EXPECT_FALSE(parsed.ok());
     EXPECT_FALSE(parsed.status().message().empty()) << "'" << bad << "'";
   }
+}
+
+TEST(LineProtocolTest, ParsesUpdateCommand) {
+  auto update = ParseCommandLine("update covid rows=/tmp/batch.csv");
+  ASSERT_TRUE(update.ok()) << update.status().ToString();
+  EXPECT_EQ(update->kind, ServerCommand::Kind::kUpdate);
+  EXPECT_EQ(update->update_scenario, "covid");
+  EXPECT_EQ(update->update_rows_path, "/tmp/batch.csv");
+
+  // Every malformed variant carries the usage line or names the bad
+  // argument — never a silent skip.
+  for (const char* bad :
+       {"update", "update covid", "update rows=/tmp/x.csv",
+        "update covid rows="}) {
+    auto parsed = ParseCommandLine(bad);
+    EXPECT_FALSE(parsed.ok()) << "'" << bad << "'";
+    EXPECT_NE(parsed.status().message().find("usage: update"),
+              std::string::npos)
+        << "'" << bad << "': " << parsed.status().ToString();
+  }
+  auto unknown = ParseCommandLine("update covid rows=/tmp/x.csv retry=3");
+  EXPECT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().message().find("unknown update argument "
+                                            "'retry=3'"),
+            std::string::npos)
+      << unknown.status().ToString();
+  // The unknown-verb message advertises the verb.
+  auto verb = ParseCommandLine("upsert covid");
+  EXPECT_FALSE(verb.ok());
+  EXPECT_NE(verb.status().message().find("update"), std::string::npos);
 }
 
 TEST(LineProtocolTest, RejectsNonFiniteAndNegativeTimeouts) {
@@ -881,6 +1106,35 @@ TEST(MetricsTest, SnapshotSinceSubtractsCounters) {
   EXPECT_EQ(delta.latency.total_count, 1u);
 
   EXPECT_FALSE(delta.ToLine().empty());
+}
+
+TEST(MetricsTest, StreamingCountersSubtractAndRender) {
+  ServerMetrics metrics;
+  metrics.epoch_rollovers.store(2);
+  metrics.rows_appended.store(50);
+  metrics.warm_start_hits.store(1);
+  metrics.update_latency.Record(2e-3);
+  const auto before = metrics.Snapshot();
+  EXPECT_EQ(before.epoch_rollovers, 2u);
+  EXPECT_EQ(before.rows_appended, 50u);
+  EXPECT_EQ(before.warm_start_hits, 1u);
+  EXPECT_EQ(before.update_latency.total_count, 1u);
+
+  metrics.epoch_rollovers.store(3);
+  metrics.rows_appended.store(75);
+  metrics.warm_start_hits.store(3);
+  metrics.update_latency.Record(4e-3);
+  const auto delta = metrics.Snapshot().Since(before);
+  EXPECT_EQ(delta.epoch_rollovers, 1u);
+  EXPECT_EQ(delta.rows_appended, 25u);
+  EXPECT_EQ(delta.warm_start_hits, 2u);
+  EXPECT_EQ(delta.update_latency.total_count, 1u);
+
+  const std::string line = metrics.Snapshot().ToLine();
+  EXPECT_NE(line.find("epoch_rollovers=3"), std::string::npos) << line;
+  EXPECT_NE(line.find("rows_appended=75"), std::string::npos) << line;
+  EXPECT_NE(line.find("warm_start_hits=3"), std::string::npos) << line;
+  EXPECT_NE(line.find("update_p99_us="), std::string::npos) << line;
 }
 
 TEST(MetricsTest, ObserveQueueDepthKeepsMaximum) {

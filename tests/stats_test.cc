@@ -891,6 +891,257 @@ TEST(SufficientStatsTest, AppendWithNewNansFallsBackToRecompute) {
                            full->cross_products()));
 }
 
+// Borrowing spans over the first `rows` cells of each column.
+std::vector<DoubleSpan> PrefixSpans(
+    const std::vector<std::vector<double>>& cols, std::size_t rows) {
+  std::vector<DoubleSpan> out;
+  out.reserve(cols.size());
+  for (const auto& col : cols) {
+    out.push_back(DoubleSpan::Borrow(col.data(), rows));
+  }
+  return out;
+}
+
+TEST(SufficientStatsTest, AppendRowsEqualsRecomputeBitwiseAcrossThreads) {
+  // 21 columns (tile padding exercised), 200 -> 257 rows: the row batch
+  // crosses a 64-row mask-word boundary and leaves a ragged tail. The
+  // delta-refreshed S must be bitwise the full recompute at every thread
+  // count — the contract the serving layer's epoch rollover relies on.
+  const std::size_t n0 = 200, n1 = 257;
+  auto data = NoisyData(21, n1, 0.04, 131);
+  NumericDataset full_ds;
+  full_ds.columns = cdi::SpansOf(data);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+    NumericDataset base;
+    base.columns = PrefixSpans(data, n0);
+    auto stats = SufficientStats::Compute(base, pool.get());
+    ASSERT_TRUE(stats.ok());
+    ASSERT_TRUE(
+        stats->AppendRows(cdi::SpansOf(data), n1 - n0, {}, pool.get())
+            .ok());
+    auto full = SufficientStats::Compute(full_ds, pool.get());
+    ASSERT_TRUE(full.ok());
+    EXPECT_EQ(stats->complete_rows(), full->complete_rows());
+    EXPECT_EQ(stats->complete_mask(), full->complete_mask());
+    EXPECT_EQ(stats->weight_sum(), full->weight_sum());
+    ASSERT_EQ(stats->means().size(), full->means().size());
+    for (std::size_t v = 0; v < full->means().size(); ++v) {
+      EXPECT_EQ(stats->means()[v], full->means()[v])
+          << "mean " << v << " at " << threads << " threads";
+    }
+    EXPECT_TRUE(
+        BitwiseEqual(stats->cross_products(), full->cross_products()))
+        << threads << " threads";
+    EXPECT_TRUE(BitwiseEqual(stats->Covariance(), full->Covariance()))
+        << threads << " threads";
+  }
+}
+
+TEST(SufficientStatsTest, AppendRowsNanAtWordBoundaries) {
+  // Base sizes straddling the 64-row mask word (63, 64, 65) with NaNs
+  // planted on both sides of the seam: the boundary word is rebuilt from
+  // the full columns, so a stale tail bit would poison the row set.
+  for (std::size_t n0 : {std::size_t{63}, std::size_t{64},
+                         std::size_t{65}}) {
+    const std::size_t n1 = n0 + 70;
+    auto data = NoisyData(5, n1, 0.0, 133 + n0);
+    data[0][n0 - 1] = kNaN;  // last base row
+    data[1][n0] = kNaN;      // first appended row
+    data[2][63] = kNaN;
+    data[3][64] = kNaN;
+    data[2][127] = kNaN;
+    data[4][n1 - 1] = kNaN;  // last appended row
+    NumericDataset base;
+    base.columns = PrefixSpans(data, n0);
+    auto stats = SufficientStats::Compute(base);
+    ASSERT_TRUE(stats.ok());
+    ASSERT_TRUE(stats->AppendRows(cdi::SpansOf(data), n1 - n0).ok());
+    NumericDataset full_ds;
+    full_ds.columns = cdi::SpansOf(data);
+    auto full = SufficientStats::Compute(full_ds);
+    ASSERT_TRUE(full.ok());
+    EXPECT_EQ(stats->complete_rows(), full->complete_rows()) << "n0=" << n0;
+    EXPECT_EQ(stats->complete_mask(), full->complete_mask()) << "n0=" << n0;
+    EXPECT_TRUE(
+        BitwiseEqual(stats->cross_products(), full->cross_products()))
+        << "n0=" << n0;
+  }
+}
+
+TEST(SufficientStatsTest, AppendRowsWeightedEqualsRecompute) {
+  // Weighted statistics take the full-length weight vector on append; the
+  // continued sum/wsum accumulators and the Gram re-sweep must land on
+  // bitwise the weighted recompute.
+  Rng rng(137);
+  const std::size_t n0 = 180, n1 = 240;
+  auto data = NoisyData(7, n1, 0.03, 139);
+  std::vector<double> w(n1);
+  for (auto& x : w) x = rng.Uniform(0.25, 2.0);
+  NumericDataset base;
+  base.columns = PrefixSpans(data, n0);
+  base.weights = std::vector<double>(w.begin(), w.begin() + n0);
+  auto stats = SufficientStats::Compute(base);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(stats->AppendRows(cdi::SpansOf(data), n1 - n0, w).ok());
+  NumericDataset full_ds;
+  full_ds.columns = cdi::SpansOf(data);
+  full_ds.weights = w;
+  auto full = SufficientStats::Compute(full_ds);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(stats->weight_sum(), full->weight_sum());
+  for (std::size_t v = 0; v < full->means().size(); ++v) {
+    EXPECT_EQ(stats->means()[v], full->means()[v]) << "mean " << v;
+  }
+  EXPECT_TRUE(
+      BitwiseEqual(stats->cross_products(), full->cross_products()));
+}
+
+TEST(SufficientStatsTest, AppendRowsAllIncompleteSkipsGramSweep) {
+  // Every appended row has a NaN somewhere: no new complete rows, so the
+  // incremental path adopts the grown spans and mask without touching S.
+  const std::size_t n0 = 100, n1 = 120;
+  auto data = NoisyData(4, n1, 0.0, 141);
+  for (std::size_t i = n0; i < n1; ++i) data[i % 4][i] = kNaN;
+  NumericDataset base;
+  base.columns = PrefixSpans(data, n0);
+  auto stats = SufficientStats::Compute(base);
+  ASSERT_TRUE(stats.ok());
+  const Matrix before = stats->cross_products();
+  ASSERT_TRUE(stats->AppendRows(cdi::SpansOf(data), n1 - n0).ok());
+  EXPECT_TRUE(stats->last_append_incremental());
+  EXPECT_EQ(stats->complete_rows(), n0);
+  EXPECT_TRUE(BitwiseEqual(before, stats->cross_products()));
+  NumericDataset full_ds;
+  full_ds.columns = cdi::SpansOf(data);
+  auto full = SufficientStats::Compute(full_ds);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(stats->complete_mask(), full->complete_mask());
+  EXPECT_TRUE(
+      BitwiseEqual(stats->cross_products(), full->cross_products()));
+}
+
+TEST(SufficientStatsTest, AppendRowsInterleavedWithAppendColumns) {
+  // Grow both ways — rows, then columns, then rows again — and land on
+  // bitwise the one-shot compute over the final rectangle. This is the
+  // serving-layer life cycle: epoch rollovers interleaved with lake
+  // augmentation.
+  const std::size_t n0 = 150, n1 = 185, n2 = 205;
+  auto data = NoisyData(6, n2, 0.03, 143);
+  auto extra = NoisyData(2, n2, 0.0, 145);
+  NumericDataset base;
+  base.columns = PrefixSpans(data, n0);
+  auto stats = SufficientStats::Compute(base);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(stats->AppendRows(PrefixSpans(data, n1), n1 - n0).ok());
+  ASSERT_TRUE(stats->AppendColumns(PrefixSpans(extra, n1)).ok());
+  auto grown = PrefixSpans(data, n2);
+  for (const auto& s : PrefixSpans(extra, n2)) grown.push_back(s);
+  ASSERT_TRUE(stats->AppendRows(grown, n2 - n1).ok());
+  NumericDataset full_ds;
+  full_ds.columns = grown;
+  auto full = SufficientStats::Compute(full_ds);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(stats->complete_rows(), full->complete_rows());
+  EXPECT_EQ(stats->complete_mask(), full->complete_mask());
+  for (std::size_t v = 0; v < full->means().size(); ++v) {
+    EXPECT_EQ(stats->means()[v], full->means()[v]) << "mean " << v;
+  }
+  EXPECT_TRUE(
+      BitwiseEqual(stats->cross_products(), full->cross_products()));
+}
+
+TEST(SufficientStatsTest, AppendRowsRandomizedFuzzHarness) {
+  // Randomized sweep of the whole contract surface: random shape, NaN
+  // rate, weighting, batch count, and thread count per trial, with the
+  // delta-refreshed statistics checked bitwise against a cold Compute
+  // after every batch.
+  Rng rng(151);
+  ThreadPool pool(8);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t p = 1 + rng.UniformInt(24);
+    const std::size_t n0 = 3 + rng.UniformInt(200);
+    const std::size_t batches = 1 + rng.UniformInt(3);
+    const double nan_rate = rng.Uniform() < 0.5 ? 0.0 : rng.Uniform(0, 0.1);
+    const bool weighted = rng.Bernoulli(0.3);
+    std::vector<std::size_t> sizes = {n0};
+    for (std::size_t b = 0; b < batches; ++b) {
+      sizes.push_back(sizes.back() + 1 + rng.UniformInt(90));
+    }
+    auto data = NoisyData(p, sizes.back(), nan_rate,
+                          1000 + static_cast<uint64_t>(trial));
+    std::vector<double> w(sizes.back());
+    for (auto& x : w) x = rng.Uniform(0.1, 3.0);
+
+    NumericDataset base;
+    base.columns = PrefixSpans(data, n0);
+    if (weighted) {
+      base.weights = std::vector<double>(w.begin(), w.begin() + n0);
+    }
+    auto stats = SufficientStats::Compute(base);
+    if (!stats.ok()) continue;  // tiny shapes can lack complete rows
+    for (std::size_t b = 1; b < sizes.size(); ++b) {
+      const std::size_t n = sizes[b];
+      ThreadPool* tp = rng.Bernoulli(0.5) ? &pool : nullptr;
+      ASSERT_TRUE(stats
+                      ->AppendRows(PrefixSpans(data, n), n - sizes[b - 1],
+                                   weighted ? std::vector<double>(
+                                                  w.begin(), w.begin() + n)
+                                            : std::vector<double>{},
+                                   tp)
+                      .ok())
+          << "trial " << trial << " batch " << b;
+      NumericDataset full_ds;
+      full_ds.columns = PrefixSpans(data, n);
+      if (weighted) {
+        full_ds.weights = std::vector<double>(w.begin(), w.begin() + n);
+      }
+      auto cold = SufficientStats::Compute(full_ds);
+      ASSERT_TRUE(cold.ok()) << "trial " << trial << " batch " << b;
+      ASSERT_EQ(stats->complete_mask(), cold->complete_mask())
+          << "trial " << trial << " batch " << b;
+      ASSERT_EQ(stats->weight_sum(), cold->weight_sum())
+          << "trial " << trial << " batch " << b;
+      for (std::size_t v = 0; v < p; ++v) {
+        ASSERT_EQ(stats->means()[v], cold->means()[v])
+            << "trial " << trial << " batch " << b << " mean " << v;
+      }
+      ASSERT_TRUE(
+          BitwiseEqual(stats->cross_products(), cold->cross_products()))
+          << "trial " << trial << " batch " << b;
+    }
+  }
+}
+
+TEST(SufficientStatsTest, AppendRowsRejectsMalformedBatches) {
+  auto data = NoisyData(3, 100, 0.0, 147);
+  NumericDataset base;
+  base.columns = cdi::SpansOf(data);
+  auto stats = SufficientStats::Compute(base);
+  ASSERT_TRUE(stats.ok());
+  auto grown = NoisyData(3, 120, 0.0, 149);
+  // Wrong column count.
+  auto two = PrefixSpans(grown, 120);
+  two.pop_back();
+  auto st = stats->AppendRows(two, 20);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("2 columns"), std::string::npos)
+      << st.message();
+  // Ragged: one span shorter than num_rows + new_rows.
+  auto ragged = PrefixSpans(grown, 120);
+  ragged[1] = DoubleSpan::Borrow(grown[1].data(), 119);
+  EXPECT_FALSE(stats->AppendRows(ragged, 20).ok());
+  // Weights on unweighted statistics.
+  std::vector<double> w(120, 1.0);
+  auto wst = stats->AppendRows(PrefixSpans(grown, 120), 20, w);
+  EXPECT_FALSE(wst.ok());
+  EXPECT_NE(wst.message().find("unweighted"), std::string::npos)
+      << wst.message();
+  // The failures must not have mutated the statistics.
+  EXPECT_EQ(stats->complete_rows(), 100u);
+}
+
 TEST(SufficientStatsTest, NullWordsMaskMatchesNanScan) {
   // Columns whose null bitmap agrees with their NaN cells (the typed
   // Column contract for int64/bool views): supplying null_words must give

@@ -648,5 +648,151 @@ TEST(CsvTest, DictionaryStringRoundTrip) {
   }
 }
 
+// ----------------------------------------- Batch row append (AppendRows)
+
+Table MakeTyped() {
+  Table t("typed");
+  CDI_CHECK(t.AddColumn(Column::FromStrings("city", {"rome", "oslo"})).ok());
+  CDI_CHECK(t.AddColumn(Column::FromDoubles("temp", {21.5, 4.0})).ok());
+  CDI_CHECK(t.AddColumn(Column::FromInts("cases", {10, 20})).ok());
+  return t;
+}
+
+TEST(TableTest, AppendRowsMatchesPerRowAppend) {
+  // The typed chunk-splice path must land on exactly the rows the boxed
+  // per-row path produces — values, nulls, and string dictionaries alike.
+  Column city("city", DataType::kString);
+  CDI_CHECK(city.Append(Value("rome")).ok());
+  city.AppendNull();
+  CDI_CHECK(city.Append(Value("kyoto")).ok());
+  Column temp("temp", DataType::kDouble);
+  CDI_CHECK(temp.Append(Value::Null()).ok());
+  CDI_CHECK(temp.Append(Value(-3.25)).ok());
+  CDI_CHECK(temp.Append(Value(17.0)).ok());
+  Column cases("cases", DataType::kInt64);
+  CDI_CHECK(cases.Append(Value(7)).ok());
+  CDI_CHECK(cases.Append(Value(8)).ok());
+  cases.AppendNull();
+  Table batch("batch");
+  CDI_CHECK(batch.AddColumn(std::move(city)).ok());
+  CDI_CHECK(batch.AddColumn(std::move(temp)).ok());
+  CDI_CHECK(batch.AddColumn(std::move(cases)).ok());
+
+  Table bulk = MakeTyped();
+  ASSERT_TRUE(bulk.AppendRows(batch).ok());
+  Table boxed = MakeTyped();
+  for (std::size_t r = 0; r < batch.num_rows(); ++r) {
+    std::vector<Value> row;
+    for (std::size_t c = 0; c < batch.num_cols(); ++c) {
+      row.push_back(batch.ColumnAt(c).Get(r));
+    }
+    CDI_CHECK(boxed.AppendRow(row).ok());
+  }
+  ASSERT_EQ(bulk.num_rows(), boxed.num_rows());
+  for (std::size_t c = 0; c < bulk.num_cols(); ++c) {
+    EXPECT_EQ(bulk.ColumnAt(c).NullCount(), boxed.ColumnAt(c).NullCount());
+    for (std::size_t r = 0; r < bulk.num_rows(); ++r) {
+      EXPECT_EQ(bulk.ColumnAt(c).Get(r), boxed.ColumnAt(c).Get(r))
+          << "col " << c << " row " << r;
+    }
+  }
+}
+
+TEST(TableTest, AppendRowsMatchesByNameAndWidensInts) {
+  // Batch columns arrive in a different order, and an int64 batch column
+  // (what CSV inference yields for "42") lands in a double table column.
+  Table t("t");
+  CDI_CHECK(t.AddColumn(Column::FromDoubles("x", {1.5})).ok());
+  CDI_CHECK(t.AddColumn(Column::FromStrings("k", {"a"})).ok());
+  Table batch("b");
+  CDI_CHECK(batch.AddColumn(Column::FromStrings("k", {"b", "c"})).ok());
+  Column xs("x", DataType::kInt64);
+  CDI_CHECK(xs.Append(Value(4)).ok());
+  xs.AppendNull();
+  CDI_CHECK(batch.AddColumn(std::move(xs)).ok());
+  ASSERT_TRUE(t.AppendRows(batch).ok());
+  ASSERT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.ColumnAt(0).type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(t.GetCell(1, "x")->as_double(), 4.0);
+  EXPECT_TRUE(t.GetCell(2, "x")->is_null());
+  EXPECT_TRUE(t.ColumnAt(0).IsNull(2));
+  EXPECT_EQ(t.GetCell(2, "k")->as_string(), "c");
+}
+
+TEST(TableTest, AppendRowsSchemaMismatchIsAtomicAndDescriptive) {
+  Table t = MakeTyped();
+  // Wrong arity.
+  Table narrow("n");
+  CDI_CHECK(narrow.AddColumn(Column::FromStrings("city", {"x"})).ok());
+  auto st = t.AppendRows(narrow);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("schema arity"), std::string::npos)
+      << st.message();
+  // Right arity, missing name.
+  Table misnamed("m");
+  CDI_CHECK(misnamed.AddColumn(Column::FromStrings("city", {"x"})).ok());
+  CDI_CHECK(misnamed.AddColumn(Column::FromDoubles("temp", {1.0})).ok());
+  CDI_CHECK(misnamed.AddColumn(Column::FromInts("count", {1})).ok());
+  st = t.AppendRows(misnamed);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("missing column 'cases'"), std::string::npos)
+      << st.message();
+  // Right names, wrong type.
+  Table mistyped("w");
+  CDI_CHECK(mistyped.AddColumn(Column::FromStrings("city", {"x"})).ok());
+  CDI_CHECK(mistyped.AddColumn(Column::FromStrings("temp", {"warm"})).ok());
+  CDI_CHECK(mistyped.AddColumn(Column::FromInts("cases", {1})).ok());
+  st = t.AppendRows(mistyped);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("expects"), std::string::npos) << st.message();
+  // Every failure left the table untouched.
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.ColumnAt(0).size(), 2u);
+}
+
+TEST(ColumnTest, AppendChunkMergesNullBitmapAcrossWordBoundary) {
+  // 63 base rows + 10-row chunk: the chunk's bitmap is spliced at bit 63,
+  // so its bits shift across the first word into the second.
+  std::vector<double> base(63, 1.0);
+  Column c = Column::FromDoubles("x", std::move(base));
+  CDI_CHECK(c.Set(62, Value::Null()).ok());
+  std::vector<double> extra(10, 2.0);
+  Column chunk = Column::FromDoubles("x", std::move(extra));
+  CDI_CHECK(chunk.Set(0, Value::Null()).ok());
+  CDI_CHECK(chunk.Set(1, Value::Null()).ok());
+  CDI_CHECK(chunk.Set(5, Value::Null()).ok());
+  ASSERT_TRUE(c.AppendChunk(chunk).ok());
+  ASSERT_EQ(c.size(), 73u);
+  EXPECT_EQ(c.NullCount(), 4u);
+  for (std::size_t r : {std::size_t{62}, std::size_t{63}, std::size_t{64},
+                        std::size_t{68}}) {
+    EXPECT_TRUE(c.IsNull(r)) << "row " << r;
+  }
+  EXPECT_FALSE(c.IsNull(65));
+  EXPECT_TRUE(std::isnan(c.NumericAt(63)));
+  EXPECT_DOUBLE_EQ(c.NumericAt(66), 2.0);
+}
+
+TEST(ColumnTest, AppendChunkReInternsStringDictionary) {
+  // The chunk's codes reference its own dictionary; the splice must remap
+  // them into the destination's, interning only referenced strings.
+  Column c = Column::FromStrings("s", {"rome", "oslo"});
+  Column chunk("s", DataType::kString);
+  CDI_CHECK(chunk.Append(Value("kyoto")).ok());
+  CDI_CHECK(chunk.Append(Value("rome")).ok());
+  chunk.AppendNull();
+  ASSERT_TRUE(c.AppendChunk(chunk).ok());
+  ASSERT_EQ(c.size(), 5u);
+  EXPECT_EQ(c.StringAt(2), "kyoto");
+  EXPECT_EQ(c.StringAt(3), "rome");
+  EXPECT_TRUE(c.IsNull(4));
+  EXPECT_EQ(c.DistinctCount(), 3u);
+  // Appending a chunk of a mismatched type is rejected with both names.
+  Column ints = Column::FromInts("n", {1});
+  auto st = c.AppendChunk(ints);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("'n'"), std::string::npos) << st.message();
+}
+
 }  // namespace
 }  // namespace cdi::table

@@ -4,7 +4,7 @@
 //   cdi_loadgen [--scenario covid|flights] [--entities N] [--clients C]
 //               [--requests R] [--workers W] [--queue-depth D]
 //               [--distinct K] [--seed S] [--min-hit-rate F] [--no-verify]
-//               [--no-warmup] [--sweep]
+//               [--no-warmup] [--sweep] [--churn-rows N [--churn-batches B]]
 //
 // Spawns an in-process QueryServer over one registered scenario, derives a
 // seeded mix of K distinct (exposure, outcome) queries from the
@@ -28,11 +28,22 @@
 // rejects (same cluster, attribute dropped during organization) must be
 // rejected by the server with the same status code.
 //
+// --churn-rows N switches to the streaming-ingest acceptance mode: the
+// scenario is registered with its last N*B rows held back, and an updater
+// thread interleaves B row-batch updates (QueryServer::UpdateScenario —
+// epoch rollover with delta-refreshed statistics) with the client
+// queries. Every served answer carries its scenario epoch, and is
+// compared byte-for-byte against a fresh direct Pipeline::Run over
+// exactly that epoch's table (head + the batches applied so far),
+// computed up front — zero torn and zero stale answers required. The
+// warm-hit-rate gate is skipped (rollovers legitimately cool the cache).
+//
 // Prints the warm-phase MetricsSnapshot and a verification summary. Run
 // under TSan (-DCDI_TSAN=ON) in CI as the serving layer's race gate.
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -51,6 +62,7 @@
 #include "serve/line_protocol.h"
 #include "serve/query_server.h"
 #include "serve/scenario_registry.h"
+#include "table/table.h"
 
 namespace {
 
@@ -67,6 +79,8 @@ struct Args {
   bool verify = true;
   bool warmup = true;
   bool sweep = false;
+  std::size_t churn_rows = 0;  // >0 enables streaming-ingest churn mode
+  int churn_batches = 3;
 };
 
 int Usage(const char* argv0) {
@@ -75,7 +89,7 @@ int Usage(const char* argv0) {
       "usage: %s [--scenario covid|flights] [--entities N] [--clients C] "
       "[--requests R] [--workers W] [--queue-depth D] [--distinct K] "
       "[--seed S] [--min-hit-rate F] [--no-verify] [--no-warmup] "
-      "[--sweep]\n",
+      "[--sweep] [--churn-rows N [--churn-batches B]]\n",
       argv0);
   return 2;
 }
@@ -111,10 +125,22 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->warmup = false;
     } else if (flag == "--sweep") {
       args->sweep = true;
+    } else if (flag == "--churn-rows" && (v = next())) {
+      args->churn_rows = static_cast<std::size_t>(std::atoll(v));
+    } else if (flag == "--churn-batches" && (v = next())) {
+      args->churn_batches = std::atoi(v);
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
       return false;
     }
+  }
+  if (args->sweep && args->churn_rows > 0) {
+    std::fprintf(stderr, "--sweep and --churn-rows are mutually exclusive\n");
+    return false;
+  }
+  if (args->churn_rows > 0 && args->churn_batches < 1) {
+    std::fprintf(stderr, "--churn-batches must be >= 1\n");
+    return false;
   }
   return args->clients > 0 && args->requests > 0;
 }
@@ -140,6 +166,34 @@ int main(int argc, char** argv) {
   if (!built.ok()) {
     std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
     return 1;
+  }
+
+  // ---- Churn setup: hold back the last B*N rows as update batches, so
+  // every appended row is a genuinely new entity the knowledge sources
+  // already cover. phase e's table = head + batches[0..e). -----------------
+  const bool churn = args.churn_rows > 0;
+  const int num_batches = churn ? args.churn_batches : 0;
+  std::vector<cdi::table::Table> batches;
+  if (churn) {
+    cdi::table::Table& full = built.value()->input_table;
+    const std::size_t held =
+        args.churn_rows * static_cast<std::size_t>(num_batches);
+    if (full.num_rows() < held + 20) {
+      std::fprintf(stderr,
+                   "churn needs %zu held-back rows but the scenario has "
+                   "only %zu (raise --entities)\n",
+                   held, full.num_rows());
+      return 1;
+    }
+    const std::size_t head = full.num_rows() - held;
+    for (int k = 0; k < num_batches; ++k) {
+      std::vector<std::size_t> rows(args.churn_rows);
+      for (std::size_t i = 0; i < args.churn_rows; ++i) {
+        rows[i] = head + static_cast<std::size_t>(k) * args.churn_rows + i;
+      }
+      batches.push_back(full.TakeRows(rows));
+    }
+    full = full.Head(head);
   }
 
   cdi::serve::ScenarioRegistry registry;
@@ -192,7 +246,41 @@ int main(int argc, char** argv) {
   // pair (the planner's determinism contract: cached == freshly built).
   // Planner-rejected pairs record the expected error line instead.
   std::vector<std::string> expected(mix.size());
-  if (args.verify) {
+  /// Churn mode: ground truth per phase e (the table after e batches) per
+  /// mix entry — a fresh direct Pipeline::Run over exactly the data the
+  /// server serves at that epoch.
+  std::vector<std::vector<std::string>> expected_phase;
+  if (args.verify && churn) {
+    const cdi::datagen::Scenario& sc = *bundle->scenario;
+    cdi::core::Pipeline pipeline(&sc.kg, &sc.lake, sc.oracle.get(),
+                                 &sc.topics, bundle->default_options);
+    expected_phase.resize(static_cast<std::size_t>(num_batches) + 1);
+    cdi::table::Table phase_table = sc.input_table;  // the head
+    for (int e = 0; e <= num_batches; ++e) {
+      if (e > 0) {
+        if (auto s = phase_table.AppendRows(batches[static_cast<std::size_t>(
+                e - 1)]);
+            !s.ok()) {
+          std::fprintf(stderr, "phase %d append: %s\n", e,
+                       s.ToString().c_str());
+          return 1;
+        }
+      }
+      auto& exp = expected_phase[static_cast<std::size_t>(e)];
+      exp.resize(mix.size());
+      for (std::size_t i = 0; i < mix.size(); ++i) {
+        auto run = pipeline.Run(phase_table, sc.spec.entity_column,
+                                mix[i].exposure, mix[i].outcome);
+        if (!run.ok()) {
+          std::fprintf(stderr, "phase %d direct run %s->%s: %s\n", e,
+                       mix[i].exposure.c_str(), mix[i].outcome.c_str(),
+                       run.status().ToString().c_str());
+          return 1;
+        }
+        exp[i] = cdi::serve::FormatResultPayload(*run);
+      }
+    }
+  } else if (args.verify) {
     const cdi::datagen::Scenario& sc = *bundle->scenario;
     cdi::core::Pipeline pipeline(&sc.kg, &sc.lake, sc.oracle.get(),
                                  &sc.topics, bundle->default_options);
@@ -244,6 +332,32 @@ int main(int argc, char** argv) {
   std::atomic<std::uint64_t> torn{0};     // payload mismatch vs direct run
   std::atomic<std::uint64_t> errors{0};   // non-OK responses
   std::atomic<std::uint64_t> retried{0};  // queue-full rejections retried
+  std::atomic<std::uint64_t> completed{0};  // finished client requests
+  std::atomic<int> updates_done{0};
+  std::atomic<bool> update_failed{false};
+
+  // Epoch of each churn phase: [0] = the registered bundle, [k] = the
+  // bundle published by the k-th update. A served response maps back to
+  // its phase (and its expected payload) through its scenario_epoch.
+  std::vector<std::atomic<std::uint64_t>> phase_epoch(
+      static_cast<std::size_t>(num_batches) + 1);
+  for (auto& p : phase_epoch) p.store(0, std::memory_order_relaxed);
+  phase_epoch[0].store(bundle->epoch, std::memory_order_release);
+
+  const auto phase_of_epoch = [&](std::uint64_t epoch) -> int {
+    for (int spin = 0; spin < 2000; ++spin) {
+      for (int e = 0; e <= num_batches; ++e) {
+        if (phase_epoch[static_cast<std::size_t>(e)].load(
+                std::memory_order_acquire) == epoch) {
+          return e;
+        }
+      }
+      // The updater publishes the fresh epoch right after UpdateScenario
+      // returns; a racing client can observe it a beat earlier.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return -1;
+  };
 
   // In sweep mode the planner legitimately rejects some pairs (same
   // cluster, attribute dropped during organization); those must match the
@@ -274,6 +388,9 @@ int main(int argc, char** argv) {
   }
   const auto warm_start = server.Metrics();
 
+  const std::uint64_t total = static_cast<std::uint64_t>(args.clients) *
+                              static_cast<std::uint64_t>(args.requests);
+
   // ---- Closed-loop clients. ----------------------------------------------
   std::vector<std::thread> clients;
   clients.reserve(static_cast<std::size_t>(args.clients));
@@ -282,6 +399,26 @@ int main(int argc, char** argv) {
       // Per-client seeded schedule: which mix entry each request replays.
       cdi::Rng rng(args.seed + 0x51ED2700 + static_cast<std::uint64_t>(c));
       for (int r = 0; r < args.requests; ++r) {
+        if (churn) {
+          // Pace the run against the updater: once the fleet's progress
+          // crosses an update threshold, wait for that rollover to be
+          // published before issuing more queries — otherwise cache-hit
+          // traffic (microseconds per request) outruns the updater and
+          // every answer would be served from epoch 0.
+          const std::uint64_t done =
+              completed.load(std::memory_order_relaxed);
+          int crossed = 0;
+          for (int k = 1; k <= num_batches; ++k) {
+            if (done >= total * static_cast<std::uint64_t>(k) /
+                            static_cast<std::uint64_t>(num_batches + 1)) {
+              ++crossed;
+            }
+          }
+          while (updates_done.load(std::memory_order_acquire) < crossed &&
+                 !update_failed.load(std::memory_order_relaxed)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        }
         const std::size_t pick = rng.UniformInt(mix.size());
         const auto response = server.Execute(mix[pick]);
         if (!response.status.ok()) {
@@ -294,33 +431,79 @@ int main(int argc, char** argv) {
             continue;
           }
           // Expected planner rejections verify like any other response.
-          if (args.verify && served_line(response) == expected[pick]) {
+          if (args.verify && !churn &&
+              served_line(response) == expected[pick]) {
+            completed.fetch_add(1, std::memory_order_relaxed);
             continue;
           }
           errors.fetch_add(1, std::memory_order_relaxed);
+          completed.fetch_add(1, std::memory_order_relaxed);
           continue;
         }
-        if (args.verify && served_line(response) != expected[pick]) {
-          torn.fetch_add(1, std::memory_order_relaxed);
+        if (args.verify) {
+          // Map the answer to its ground truth: in churn mode the served
+          // epoch selects which phase's table the answer must match — a
+          // stale answer (old data under a new epoch, or vice versa) is
+          // exactly a torn response here.
+          const std::string* want = nullptr;
+          if (churn) {
+            const int phase = phase_of_epoch(response.scenario_epoch);
+            if (phase >= 0) {
+              want = &expected_phase[static_cast<std::size_t>(phase)][pick];
+            }
+          } else {
+            want = &expected[pick];
+          }
+          if (want == nullptr || served_line(response) != *want) {
+            torn.fetch_add(1, std::memory_order_relaxed);
+          }
         }
+        completed.fetch_add(1, std::memory_order_relaxed);
       }
     });
   }
+
+  // ---- Churn updater: interleaves B row-batch epoch rollovers with the
+  // client traffic, spaced across the run by completed-request count. -----
+  std::thread updater;
+  if (churn) {
+    updater = std::thread([&] {
+      for (int k = 0; k < num_batches; ++k) {
+        const std::uint64_t threshold =
+            total * static_cast<std::uint64_t>(k + 1) /
+            static_cast<std::uint64_t>(num_batches + 1);
+        while (completed.load(std::memory_order_relaxed) < threshold) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        auto updated = server.UpdateScenario(
+            args.scenario, batches[static_cast<std::size_t>(k)]);
+        if (!updated.ok()) {
+          std::fprintf(stderr, "update %d: %s\n", k + 1,
+                       updated.status().ToString().c_str());
+          update_failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        phase_epoch[static_cast<std::size_t>(k) + 1].store(
+            (*updated)->epoch, std::memory_order_release);
+        updates_done.fetch_add(1, std::memory_order_release);
+      }
+    });
+  }
+
   for (auto& t : clients) t.join();
+  if (updater.joinable()) updater.join();
 
   const auto warm = server.Metrics().Since(warm_start);
   server.Shutdown();
 
   // ---- Report. -----------------------------------------------------------
-  const std::uint64_t total =
-      static_cast<std::uint64_t>(args.clients) *
-      static_cast<std::uint64_t>(args.requests);
   std::printf("loadgen scenario=%s entities=%zu clients=%d requests=%llu "
-              "distinct=%zu workers=%d seed=%llu sweep=%d\n",
+              "distinct=%zu workers=%d seed=%llu sweep=%d churn_rows=%zu "
+              "churn_batches=%d\n",
               args.scenario.c_str(), spec.num_entities, args.clients,
               static_cast<unsigned long long>(total), mix.size(),
               args.workers, static_cast<unsigned long long>(args.seed),
-              args.sweep ? 1 : 0);
+              args.sweep ? 1 : 0, args.churn_rows, num_batches);
   std::printf("metrics %s\n", warm.ToLine().c_str());
   std::printf("verify torn=%llu errors=%llu retried=%llu hit_rate=%.4f\n",
               static_cast<unsigned long long>(torn.load()),
@@ -329,9 +512,22 @@ int main(int argc, char** argv) {
               warm.CacheHitRate());
 
   bool ok = torn.load() == 0 && errors.load() == 0;
-  if (args.warmup && warm.CacheHitRate() < args.min_hit_rate) {
+  // Epoch rollovers legitimately cool the cache, so the churn mode trades
+  // the hit-rate gate for the per-epoch byte-for-byte answer check.
+  if (args.warmup && !churn && warm.CacheHitRate() < args.min_hit_rate) {
     std::fprintf(stderr, "FAIL: warm cache hit rate %.4f < %.4f\n",
                  warm.CacheHitRate(), args.min_hit_rate);
+    ok = false;
+  }
+  if (update_failed.load()) {
+    std::fprintf(stderr, "FAIL: a row-batch update failed\n");
+    ok = false;
+  }
+  if (churn && warm.epoch_rollovers !=
+                   static_cast<std::uint64_t>(num_batches)) {
+    std::fprintf(stderr, "FAIL: %llu epoch rollovers, expected %d\n",
+                 static_cast<unsigned long long>(warm.epoch_rollovers),
+                 num_batches);
     ok = false;
   }
   if (torn.load() != 0) {

@@ -11,9 +11,17 @@
 //
 //   query <scenario> <exposure> <outcome> [timeout=<seconds>]
 //                  [mode=planned|full]
+//   update <scenario> rows=<csv-path>   # streaming row-batch ingest
 //   metrics        # one-line MetricsSnapshot
 //   scenarios      # registered scenarios and their numeric attributes
 //   quit
+//
+// `update` appends the CSV's rows (header must match the scenario's
+// input schema) under a fresh epoch: sufficient statistics are
+// delta-refreshed rather than recomputed, in-flight queries finish
+// against the old snapshot, and superseded cache entries are evicted on
+// the next touch. The response line reports the new epoch and row count:
+//   updated scenario=covid epoch=3 rows_appended=25 rows=175 latency_us=...
 //
 // mode=planned answers from the scenario's cached C-DAG plan (built once
 // per scenario epoch under single-flight): adjustment sets read off the
@@ -43,12 +51,14 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "common/timer.h"
 #include "datagen/covid.h"
 #include "datagen/flights.h"
 #include "datagen/scenario.h"
 #include "serve/line_protocol.h"
 #include "serve/query_server.h"
 #include "serve/scenario_registry.h"
+#include "table/csv.h"
 
 namespace {
 
@@ -184,8 +194,7 @@ int main(int argc, char** argv) {
           std::string out = "scenario name=" + name +
                             " epoch=" + std::to_string((*bundle)->epoch) +
                             " rows=" +
-                            std::to_string(
-                                (*bundle)->scenario->input_table.num_rows()) +
+                            std::to_string((*bundle)->input->num_rows()) +
                             " attributes=";
           const auto& attrs = (*bundle)->numeric_attributes;
           for (std::size_t i = 0; i < attrs.size(); ++i) {
@@ -194,6 +203,32 @@ int main(int argc, char** argv) {
           }
           EmitLine(out);
         }
+        break;
+      }
+      case cdi::serve::ServerCommand::Kind::kUpdate: {
+        cdi::Stopwatch sw;
+        auto batch = cdi::table::ReadCsvFile(cmd->update_rows_path);
+        if (!batch.ok()) {
+          EmitLine("error scenario=" + cmd->update_scenario + " code=" +
+                   std::string(cdi::StatusCodeName(batch.status().code())) +
+                   " message=\"" + batch.status().message() + "\"");
+          break;
+        }
+        auto updated = server.UpdateScenario(cmd->update_scenario, *batch);
+        if (!updated.ok()) {
+          EmitLine("error scenario=" + cmd->update_scenario + " code=" +
+                   std::string(
+                       cdi::StatusCodeName(updated.status().code())) +
+                   " message=\"" + updated.status().message() + "\"");
+          break;
+        }
+        char tail[64];
+        std::snprintf(tail, sizeof(tail), " latency_us=%.1f",
+                      sw.ElapsedSeconds() * 1e6);
+        EmitLine("updated scenario=" + cmd->update_scenario + " epoch=" +
+                 std::to_string((*updated)->epoch) + " rows_appended=" +
+                 std::to_string((*updated)->rows_appended) + " rows=" +
+                 std::to_string((*updated)->input->num_rows()) + tail);
         break;
       }
       case cdi::serve::ServerCommand::Kind::kQuit:
