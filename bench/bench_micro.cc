@@ -6,7 +6,9 @@
 
 #include <cmath>
 #include <future>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <utility>
 
 #include "common/rng.h"
@@ -17,6 +19,7 @@
 #include "core/varclus.h"
 #include "datagen/covid.h"
 #include "datagen/flights.h"
+#include "datagen/grid.h"
 #include "discovery/cached_ci.h"
 #include "discovery/ci_test.h"
 #include "discovery/ges.h"
@@ -691,6 +694,112 @@ void BM_WarmStartDiscovery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WarmStartDiscovery)->Arg(0)->Arg(1);
+
+// ------------------------------------------------------ Sharded registry
+
+/// One built scenario shared across registry benches: registration cost
+/// then isolates the serving-layer work (stats recompute, byte
+/// accounting, LRU maintenance) from data generation.
+std::shared_ptr<const cdi::datagen::Scenario> BenchScenario() {
+  static const std::shared_ptr<const cdi::datagen::Scenario> scenario = [] {
+    auto spec = cdi::datagen::CovidSpec();
+    spec.num_entities = 120;
+    auto built = cdi::datagen::BuildScenario(spec);
+    CDI_CHECK(built.ok()) << built.status().ToString();
+    return std::shared_ptr<const cdi::datagen::Scenario>(
+        std::move(built).value());
+  }();
+  return scenario;
+}
+
+/// Runtime registration end to end: a deterministic grid-cell build plus
+/// the Replace publish (bundle assembly, sufficient statistics, byte
+/// accounting) — the cost a `generate` verb pays per scenario.
+void BM_RegisterScenario(benchmark::State& state) {
+  cdi::serve::ScenarioRegistry registry;
+  for (auto _ : state) {
+    auto built =
+        cdi::datagen::BuildGridScenario("grid_c4_lin_cont_m0_p1_o0", 120);
+    CDI_CHECK(built.ok()) << built.status().ToString();
+    auto bundle = registry.Replace(
+        "bench", std::shared_ptr<const cdi::datagen::Scenario>(
+                     std::move(built).value()));
+    CDI_CHECK(bundle.ok());
+    benchmark::DoNotOptimize((*bundle)->memory_bytes);
+  }
+}
+BENCHMARK(BM_RegisterScenario);
+
+/// Registries for the lookup contention sweep, keyed by shard count.
+/// Unbudgeted, so Snapshot is a pure map find under the shard mutex —
+/// the comparison isolates lock spreading from LRU maintenance.
+cdi::serve::ScenarioRegistry& LookupRegistry(std::size_t shards) {
+  static constexpr std::size_t kNames = 64;
+  static auto* registries =
+      new std::map<std::size_t,
+                   std::unique_ptr<cdi::serve::ScenarioRegistry>>();
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = (*registries)[shards];
+  if (slot == nullptr) {
+    cdi::serve::RegistryOptions options;
+    options.num_shards = shards;
+    slot = std::make_unique<cdi::serve::ScenarioRegistry>(options);
+    for (std::size_t i = 0; i < kNames; ++i) {
+      CDI_CHECK(
+          slot->Register("s" + std::to_string(i), BenchScenario()).ok());
+    }
+  }
+  return *slot;
+}
+
+/// Snapshot throughput over 64 names at 1..8 reader threads, single
+/// mutex (Arg = 1 shard) vs sharded (Arg = 8). The scale-out acceptance
+/// bar: 8 shards at 8 threads >= 2x the 1-shard throughput.
+void BM_RegistryLookupSharded(benchmark::State& state) {
+  auto& registry =
+      LookupRegistry(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < 64; ++i) {
+    names.push_back("s" + std::to_string(i));
+  }
+  // Per-thread stride keeps threads on different names (and shards).
+  std::size_t i = static_cast<std::size_t>(state.thread_index()) * 7;
+  for (auto _ : state) {
+    auto bundle = registry.Snapshot(names[i++ & 63]);
+    benchmark::DoNotOptimize(bundle.ok());
+  }
+}
+BENCHMARK(BM_RegistryLookupSharded)
+    ->UseRealTime()
+    ->Arg(1)
+    ->Arg(8)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8);
+
+/// Budget-forced churn: eight names round-robin through a budget that
+/// holds four, so every Replace publishes one bundle and evicts another
+/// (LRU pop, byte refund, eviction bookkeeping).
+void BM_EvictionChurn(benchmark::State& state) {
+  cdi::serve::ScenarioRegistry probe;
+  const std::size_t per =
+      (*probe.Register("probe", BenchScenario()))->memory_bytes;
+  cdi::serve::RegistryOptions options;
+  options.num_shards = 1;
+  options.memory_budget_bytes = per * 4 + per / 2;
+  cdi::serve::ScenarioRegistry registry(options);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto bundle =
+        registry.Replace("c" + std::to_string(i++ & 7), BenchScenario());
+    CDI_CHECK(bundle.ok());
+    benchmark::DoNotOptimize((*bundle)->epoch);
+  }
+  state.counters["evicted"] = static_cast<double>(
+      registry.Stats().scenarios_evicted);
+}
+BENCHMARK(BM_EvictionChurn);
 
 }  // namespace
 

@@ -1,0 +1,274 @@
+#include "datagen/grid.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace cdi::datagen {
+namespace {
+
+bool ValidCell(const GridCell& cell) {
+  return cell.clusters >= 3 && cell.attrs_per_cluster >= 1 &&
+         cell.mnar_level >= 0 && cell.mnar_level <= 2 &&
+         cell.oracle_noise >= 0 && cell.oracle_noise <= 2;
+}
+
+/// Parses a decimal token with a one-letter prefix ("c4" -> 4); returns
+/// false on anything else (empty digits, trailing garbage, overflow).
+bool ParseAxisToken(const std::string& token, char prefix, long* out) {
+  if (token.size() < 2 || token[0] != prefix) return false;
+  char* end = nullptr;
+  const long v = std::strtol(token.c_str() + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || v < 0) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string GridCellName(const GridCell& cell) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "grid_c%zu_%s_%s_m%d_p%d_o%d", cell.clusters,
+                cell.nonlinear ? "quad" : "lin",
+                cell.binary_outcome ? "bin" : "cont", cell.mnar_level,
+                cell.attrs_per_cluster, cell.oracle_noise);
+  return buf;
+}
+
+Result<GridCell> ParseGridCellName(const std::string& name) {
+  const auto fail = [&name]() {
+    return Status::InvalidArgument(
+        "'" + name +
+        "' is not a grid cell name; expected "
+        "grid_c<clusters>_<lin|quad>_<cont|bin>_m<0-2>_p<split>_o<0-2>");
+  };
+  const std::vector<std::string> tokens = Split(name, '_');
+  if (tokens.size() != 7 || tokens[0] != "grid") return fail();
+  GridCell cell;
+  long clusters = 0, mnar = 0, split = 0, oracle = 0;
+  if (!ParseAxisToken(tokens[1], 'c', &clusters)) return fail();
+  if (tokens[2] == "lin") {
+    cell.nonlinear = false;
+  } else if (tokens[2] == "quad") {
+    cell.nonlinear = true;
+  } else {
+    return fail();
+  }
+  if (tokens[3] == "cont") {
+    cell.binary_outcome = false;
+  } else if (tokens[3] == "bin") {
+    cell.binary_outcome = true;
+  } else {
+    return fail();
+  }
+  if (!ParseAxisToken(tokens[4], 'm', &mnar)) return fail();
+  if (!ParseAxisToken(tokens[5], 'p', &split)) return fail();
+  if (!ParseAxisToken(tokens[6], 'o', &oracle)) return fail();
+  cell.clusters = static_cast<std::size_t>(clusters);
+  cell.mnar_level = static_cast<int>(mnar);
+  cell.attrs_per_cluster = static_cast<int>(split);
+  cell.oracle_noise = static_cast<int>(oracle);
+  if (!ValidCell(cell)) return fail();
+  // Canonical form only: "grid_c04_..." must not alias "grid_c4_...".
+  if (GridCellName(cell) != name) return fail();
+  return cell;
+}
+
+std::vector<GridCell> EnumerateGrid(const ScenarioGridSpec& grid) {
+  std::vector<GridCell> cells;
+  for (std::size_t clusters : grid.cluster_counts) {
+    for (int mech : grid.mechanisms) {
+      for (int outcome : grid.outcome_kinds) {
+        for (int mnar : grid.mnar_levels) {
+          for (int split : grid.attribute_splits) {
+            for (int oracle : grid.oracle_noise_levels) {
+              GridCell cell;
+              cell.clusters = clusters;
+              cell.nonlinear = mech != 0;
+              cell.binary_outcome = outcome != 0;
+              cell.mnar_level = mnar;
+              cell.attrs_per_cluster = split;
+              cell.oracle_noise = oracle;
+              if (ValidCell(cell)) cells.push_back(cell);
+            }
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+ScenarioSpec GridScenarioSpec(const GridCell& cell, std::size_t num_entities,
+                              std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = GridCellName(cell);
+  spec.num_entities = num_entities;
+  spec.entity_prefix = "Unit";
+  spec.entity_column = "unit";
+  spec.exposure_cluster = "treat";
+  spec.outcome_cluster = "result";
+  spec.noise = cell.nonlinear ? NoiseKind::kGaussian : NoiseKind::kLaplace;
+  // Seed the SCM from the cell name so distinct cells differ even when the
+  // base seed is shared, and distinct base seeds shift the whole family.
+  Fnv1a hasher("cdi.grid.seed");
+  hasher.Mix(spec.name);
+  hasher.Mix(seed);
+  spec.seed = hasher.Digest();
+
+  auto attr = [](std::string name, Placement placement,
+                 std::string lake_table = "") {
+    AttributeSpec a;
+    a.name = std::move(name);
+    a.placement = placement;
+    a.lake_table = std::move(lake_table);
+    return a;
+  };
+
+  // Exposure cluster: the analyst's treatment code in the input table.
+  {
+    ClusterSpec c;
+    c.name = "treat";
+    c.attributes = {attr("treatment_code", Placement::kInputTable)};
+    c.topic_keywords = {"treat", "treatment", "exposure"};
+    spec.clusters.push_back(c);
+  }
+
+  // Mediator chain: factor1 -> factor2 -> ... -> factor{k}. Drivers cycle
+  // across the knowledge graph and two lake tables; extra members (the
+  // large-p split axis) land in the same source as their driver.
+  const std::size_t num_mids = cell.clusters - 2;
+  const char* lake_tables[2] = {"grid_panel_a", "grid_panel_b"};
+  for (std::size_t i = 1; i <= num_mids; ++i) {
+    ClusterSpec c;
+    char name[32];
+    std::snprintf(name, sizeof(name), "factor%zu", i);
+    c.name = name;
+    Placement placement;
+    std::string lake_table;
+    switch (i % 3) {
+      case 1:
+        placement = Placement::kKnowledgeGraph;
+        break;
+      case 2:
+        placement = Placement::kLakeTable;
+        lake_table = lake_tables[0];
+        break;
+      default:
+        placement = Placement::kLakeTable;
+        lake_table = lake_tables[1];
+        break;
+    }
+    char driver[48];
+    std::snprintf(driver, sizeof(driver), "factor%zu_score", i);
+    c.attributes = {attr(driver, placement, lake_table)};
+    for (int j = 1; j < cell.attrs_per_cluster; ++j) {
+      char member[48];
+      std::snprintf(member, sizeof(member), "factor%zu_ind%d", i, j);
+      AttributeSpec a = attr(member, placement, lake_table);
+      a.loading = (j % 2 ? 0.9 : -0.85);
+      c.attributes.push_back(a);
+    }
+    // MNAR severity applies to mediator members (driver included): the
+    // paper's selection-bias failure mode, dialed by the m-axis.
+    if (cell.mnar_level == 1) {
+      for (auto& a : c.attributes) {
+        a.missing_rate = 0.03;
+        a.mnar_strength = 0.15;
+      }
+    } else if (cell.mnar_level == 2) {
+      for (auto& a : c.attributes) {
+        a.missing_rate = 0.06;
+        a.mnar_strength = 0.35;
+      }
+    }
+    c.driver_noise = 1.0;
+    c.member_noise = 0.35;
+    c.topic_keywords = {c.name, "factor", "indicator"};
+    spec.clusters.push_back(c);
+  }
+
+  // Outcome cluster: the analyst's score column; the b-axis binarizes it
+  // through a logistic draw while clean_data keeps the latent score.
+  {
+    ClusterSpec c;
+    c.name = "result";
+    AttributeSpec outcome = attr("outcome_score", Placement::kInputTable);
+    outcome.binary_logistic = cell.binary_outcome;
+    c.attributes = {outcome};
+    c.topic_keywords = {"result", "outcome", "score"};
+    spec.clusters.push_back(c);
+  }
+
+  // Edges: treat -> factor1 -> ... -> factor{k} -> result, plus a direct
+  // treat -> result path. Signs alternate along the chain; nonlinear cells
+  // shift every other chain edge's signal into the quadratic component
+  // ("relations not present in the data" — the oracle still claims them).
+  auto edge = [&cell](std::string from, std::string to, double coef,
+                      bool quad_eligible) {
+    ClusterEdgeSpec e;
+    e.from = std::move(from);
+    e.to = std::move(to);
+    if (cell.nonlinear && quad_eligible) {
+      e.coef = coef * 0.15;
+      e.quad = 0.35 * (coef < 0 ? -1.0 : 1.0);
+    } else {
+      e.coef = coef;
+    }
+    return e;
+  };
+  std::string prev = "treat";
+  for (std::size_t i = 1; i <= num_mids; ++i) {
+    char to[32];
+    std::snprintf(to, sizeof(to), "factor%zu", i);
+    const double coef = (i % 2 ? 0.55 : -0.5);
+    spec.edges.push_back(edge(prev, to, coef, /*quad_eligible=*/i % 2 == 0));
+    prev = to;
+  }
+  spec.edges.push_back(edge(prev, "result", 0.5, /*quad_eligible=*/true));
+  spec.edges.push_back(
+      edge("treat", "result", 0.2, /*quad_eligible=*/false));
+
+  // A functionally determined attribute per source kind, so the Data
+  // Organizer's positivity filter stays exercised at every grid point.
+  spec.fd_attributes = {
+      {"unit_registry_id", /*numeric=*/true, Placement::kKnowledgeGraph, ""},
+  };
+
+  // Oracle noise presets for the o-axis.
+  switch (cell.oracle_noise) {
+    case 0:
+      spec.oracle.direct_recall = 0.99;
+      spec.oracle.transitive_claim_prob = 0.90;
+      spec.oracle.reverse_claim_prob = 0.05;
+      spec.oracle.unrelated_claim_prob = 0.02;
+      break;
+    case 1:
+      spec.oracle.direct_recall = 0.92;
+      spec.oracle.transitive_claim_prob = 0.80;
+      spec.oracle.reverse_claim_prob = 0.20;
+      spec.oracle.unrelated_claim_prob = 0.08;
+      break;
+    default:
+      spec.oracle.direct_recall = 0.80;
+      spec.oracle.transitive_claim_prob = 0.70;
+      spec.oracle.reverse_claim_prob = 0.40;
+      spec.oracle.unrelated_claim_prob = 0.18;
+      break;
+  }
+  spec.oracle.seed = 77;
+
+  spec.one_to_many_tables = {"grid_panel_b"};
+  return spec;
+}
+
+Result<std::unique_ptr<Scenario>> BuildGridScenario(
+    const std::string& cell_name, std::size_t num_entities,
+    std::uint64_t seed) {
+  CDI_ASSIGN_OR_RETURN(GridCell cell, ParseGridCellName(cell_name));
+  return BuildScenario(GridScenarioSpec(cell, num_entities, seed));
+}
+
+}  // namespace cdi::datagen

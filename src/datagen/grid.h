@@ -1,0 +1,85 @@
+#ifndef CDI_DATAGEN_GRID_H_
+#define CDI_DATAGEN_GRID_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/scenario.h"
+
+namespace cdi::datagen {
+
+/// One cell of the scenario-family grid — the six axes the serving layer
+/// scales out over. A cell fully determines a ScenarioSpec (given an
+/// entity count and base seed), and its canonical name round-trips
+/// through GridCellName / ParseGridCellName, so a cell can be named over
+/// the wire (`generate <name> grid=<cell>`) and rebuilt bit-identically
+/// anywhere.
+struct GridCell {
+  /// Total cluster count including the exposure and outcome clusters
+  /// (>= 3: exposure, at least one mediator chain cluster, outcome).
+  std::size_t clusters = 4;
+  /// Quadratic cross-cluster components on every other edge ("relations
+  /// not present in the data"); linear cells use Laplace structural noise
+  /// (LiNGAM-identifiable), nonlinear cells Gaussian.
+  bool nonlinear = false;
+  /// Binary-logistic outcome: the outcome driver is binarized through a
+  /// seeded logistic draw (AttributeSpec::binary_logistic).
+  bool binary_outcome = false;
+  /// MNAR-missingness severity on mediator members: 0 = clean,
+  /// 1 = moderate (3% MCAR + 0.15 MNAR), 2 = severe (6% + 0.35).
+  int mnar_level = 0;
+  /// Attributes per mediator cluster (the "large-p" split axis): the
+  /// driver plus attrs_per_cluster - 1 noisy indicator members, spread
+  /// across the knowledge graph and two lake tables.
+  int attrs_per_cluster = 1;
+  /// Causal-oracle noise level: 0 = near-perfect recall, 1 = noisy,
+  /// 2 = adversarial (frequent reverse + unrelated claims).
+  int oracle_noise = 0;
+};
+
+/// The grid itself: the axis values to enumerate (cross product). The
+/// defaults span 2 x 2 x 2 x 3 x 3 x 3 = 216 distinct named scenarios.
+struct ScenarioGridSpec {
+  std::vector<std::size_t> cluster_counts = {4, 6};
+  std::vector<int> mechanisms = {0, 1};        // 0 linear, 1 nonlinear
+  std::vector<int> outcome_kinds = {0, 1};     // 0 continuous, 1 binary
+  std::vector<int> mnar_levels = {0, 1, 2};
+  std::vector<int> attribute_splits = {1, 2, 3};
+  std::vector<int> oracle_noise_levels = {0, 1, 2};
+};
+
+/// Canonical cell name, e.g. "grid_c4_quad_bin_m1_p2_o0".
+std::string GridCellName(const GridCell& cell);
+
+/// Inverse of GridCellName; kInvalidArgument (with the expected shape in
+/// the message) on anything that is not a canonical cell name.
+Result<GridCell> ParseGridCellName(const std::string& name);
+
+/// Enumerates every cell of the grid, in deterministic row-major axis
+/// order (clusters outermost, oracle noise innermost). Invalid axis
+/// values (clusters < 3, splits < 1, levels outside 0..2) are skipped.
+std::vector<GridCell> EnumerateGrid(const ScenarioGridSpec& grid);
+
+/// Deterministic ScenarioSpec for a cell: a mediator-chain family
+/// (exposure -> mediator chain -> outcome, plus a direct edge) whose
+/// structure, placements, quality injection and oracle behavior follow
+/// the cell's axes. spec.seed is derived by hashing the cell name with
+/// `seed`, so distinct cells — and distinct base seeds — generate
+/// distinct data, while the same (cell, entities, seed) is bit-stable
+/// across processes and platforms.
+ScenarioSpec GridScenarioSpec(const GridCell& cell,
+                              std::size_t num_entities = 120,
+                              std::uint64_t seed = 9001);
+
+/// ParseGridCellName + GridScenarioSpec + BuildScenario in one step —
+/// the `generate grid=...` fast path.
+Result<std::unique_ptr<Scenario>> BuildGridScenario(
+    const std::string& cell_name, std::size_t num_entities = 120,
+    std::uint64_t seed = 9001);
+
+}  // namespace cdi::datagen
+
+#endif  // CDI_DATAGEN_GRID_H_

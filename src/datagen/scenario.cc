@@ -179,6 +179,28 @@ Result<std::unique_ptr<Scenario>> BuildScenario(const ScenarioSpec& spec) {
     }
   }
 
+  // ---- 4b. Logistic binarization (after quality injection, so MNAR acts
+  // on the latent continuous value; the dedicated fork keeps the streams
+  // of steps 4/5/6/7 bit-identical whether or not any attribute opts in).
+  {
+    Rng logistic_rng = rng.Fork(505);
+    for (const auto& cluster : spec.clusters) {
+      for (const auto& attr : cluster.attributes) {
+        if (!attr.binary_logistic) continue;
+        const auto& clean = scenario->clean_data.at(attr.name);
+        auto& col = observed.at(attr.name);
+        const double mean = stats::Mean(clean);
+        const double sd = stats::StdDev(clean);
+        for (std::size_t r = 0; r < n; ++r) {
+          if (std::isnan(col[r])) continue;
+          const double z = sd > 0 ? (clean[r] - mean) / sd : 0.0;
+          const double p = 1.0 / (1.0 + std::exp(-1.7 * z));
+          col[r] = logistic_rng.Bernoulli(p) ? 1.0 : 0.0;
+        }
+      }
+    }
+  }
+
   // ---- 5. Input table. ----------------------------------------------------
   {
     Rng alias_rng = rng.Fork(202);

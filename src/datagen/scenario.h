@@ -44,6 +44,13 @@ struct AttributeSpec {
   double mnar_strength = 0.0;
   /// Fraction of cells corrupted into gross outliers (x50 scale).
   double outlier_rate = 0.0;
+  /// Binarize the observed column through a logistic draw: each non-missing
+  /// cell becomes 1 with probability sigmoid(1.7 * z) of its *clean* value's
+  /// z-score, else 0 (the grid's binary-logistic outcome family). Applied
+  /// after quality injection, so MNAR selection still acts on the latent
+  /// continuous value; missing cells stay missing. clean_data keeps the
+  /// latent continuous column.
+  bool binary_logistic = false;
 };
 
 struct ClusterSpec {

@@ -1,0 +1,91 @@
+#include "knowledge/loaders.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "table/csv.h"
+#include "table/table.h"
+
+namespace cdi::knowledge {
+
+Status LoadKgTriplesCsv(const std::string& path, KnowledgeGraph* kg) {
+  CDI_ASSIGN_OR_RETURN(table::Table t, table::ReadCsvFile(path));
+  if (t.num_cols() < 3) {
+    return Status::InvalidArgument(path +
+                                   ": expected entity,property,value columns");
+  }
+  const auto& ec = t.ColumnAt(0);
+  const auto& pc = t.ColumnAt(1);
+  const auto& vc = t.ColumnAt(2);
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    if (ec.IsNull(r) || pc.IsNull(r) || vc.IsNull(r)) continue;
+    kg->AddLiteral(ec.Get(r).ToString(), pc.Get(r).ToString(), vc.Get(r));
+  }
+  return Status::OK();
+}
+
+Result<DomainKnowledge> LoadDomainKnowledge(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  DomainKnowledge out;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    line = Trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string kind;
+    ss >> kind;
+    if (kind == "edge") {
+      std::string a, b;
+      ss >> a >> b;
+      if (a.empty() || b.empty()) {
+        return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                       ": edge needs two concepts");
+      }
+      out.edges.emplace_back(a, b);
+    } else if (kind == "alias") {
+      std::string attr, concept_name;
+      ss >> attr >> concept_name;
+      if (attr.empty() || concept_name.empty()) {
+        return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                       ": alias needs attribute and concept");
+      }
+      out.aliases.emplace_back(attr, concept_name);
+    } else if (kind == "topic") {
+      std::string name, kw;
+      ss >> name;
+      if (name.empty()) {
+        return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                       ": topic needs a name");
+      }
+      while (ss >> kw) out.topics[name].push_back(kw);
+    } else {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": unknown directive " + kind);
+    }
+  }
+  return out;
+}
+
+Result<graph::Digraph> ConceptGraph(const DomainKnowledge& knowledge) {
+  std::set<std::string> names;
+  for (const auto& [a, b] : knowledge.edges) {
+    names.insert(a);
+    names.insert(b);
+  }
+  graph::Digraph concepts(std::vector<std::string>(names.begin(), names.end()));
+  for (const auto& [a, b] : knowledge.edges) {
+    Status s = concepts.AddEdge(a, b);
+    if (!s.ok()) {
+      return Status::InvalidArgument("knowledge edge " + a + " -> " + b + ": " +
+                                     s.message());
+    }
+  }
+  return concepts;
+}
+
+}  // namespace cdi::knowledge

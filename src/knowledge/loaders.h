@@ -1,0 +1,43 @@
+#ifndef CDI_KNOWLEDGE_LOADERS_H_
+#define CDI_KNOWLEDGE_LOADERS_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/digraph.h"
+#include "knowledge/knowledge_graph.h"
+
+namespace cdi::knowledge {
+
+/// Parsed contents of a domain-knowledge file (the `--knowledge` input of
+/// cdi_cli and the `knowledge=` argument of the serve-layer `register`
+/// verb). Line formats:
+///     edge <concept_a> <concept_b>     # a causes b
+///     alias <attribute> <concept>
+///     topic <name> <keyword> [keyword...]
+/// '#' starts a comment; blank lines are ignored.
+struct DomainKnowledge {
+  std::vector<std::pair<std::string, std::string>> edges;
+  std::vector<std::pair<std::string, std::string>> aliases;
+  std::map<std::string, std::vector<std::string>> topics;
+};
+
+/// Loads entity,property,value triples from a CSV file into the KG. The
+/// file must have at least three columns (entity, property, value, in
+/// that order); rows with a null in any of the three are skipped.
+Status LoadKgTriplesCsv(const std::string& path, KnowledgeGraph* kg);
+
+/// Parses a domain-knowledge file; parse errors cite path:lineno.
+Result<DomainKnowledge> LoadDomainKnowledge(const std::string& path);
+
+/// Concept digraph over the edge list (nodes = every concept mentioned),
+/// ready to back a TextCausalOracle. Fails on self-loops/duplicates the
+/// same way Digraph::AddEdge does, citing the offending edge.
+Result<graph::Digraph> ConceptGraph(const DomainKnowledge& knowledge);
+
+}  // namespace cdi::knowledge
+
+#endif  // CDI_KNOWLEDGE_LOADERS_H_

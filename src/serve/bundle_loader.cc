@@ -1,0 +1,75 @@
+#include "serve/bundle_loader.h"
+
+#include <utility>
+
+#include "knowledge/loaders.h"
+#include "table/csv.h"
+
+namespace cdi::serve {
+
+Result<std::unique_ptr<datagen::Scenario>> LoadScenarioFromFiles(
+    const std::string& name, const ScenarioFileInputs& inputs) {
+  if (name.empty()) {
+    return Status::InvalidArgument("scenario name must be non-empty");
+  }
+  if (inputs.input_csv.empty() || inputs.entity_column.empty()) {
+    return Status::InvalidArgument(
+        "registering scenario '" + name +
+        "' needs an input CSV and an entity column");
+  }
+
+  auto scenario = std::make_unique<datagen::Scenario>();
+  scenario->spec.name = name;
+  scenario->spec.entity_column = inputs.entity_column;
+
+  auto input = table::ReadCsvFile(inputs.input_csv);
+  if (!input.ok()) {
+    return Status(input.status().code(), "reading " + inputs.input_csv +
+                                             ": " + input.status().message());
+  }
+  if (!input->HasColumn(inputs.entity_column)) {
+    return Status::InvalidArgument(inputs.input_csv +
+                                   " has no entity column '" +
+                                   inputs.entity_column + "'");
+  }
+  scenario->spec.num_entities = input->num_rows();
+  input->set_name(name);
+  scenario->input_table = *std::move(input);
+
+  for (const auto& path : inputs.kg_csvs) {
+    CDI_RETURN_IF_ERROR(knowledge::LoadKgTriplesCsv(path, &scenario->kg));
+  }
+  for (const auto& path : inputs.lake_csvs) {
+    auto t = table::ReadCsvFile(path);
+    if (!t.ok()) {
+      return Status(t.status().code(),
+                    "reading " + path + ": " + t.status().message());
+    }
+    t->set_name(path);
+    scenario->lake.AddTable(*std::move(t));
+  }
+
+  // Domain knowledge -> oracle + topics. With no file, the oracle knows
+  // nothing and serving degrades to data-only augmentation + naming —
+  // the same fallback cdi_cli provides.
+  knowledge::DomainKnowledge dk;
+  if (!inputs.knowledge_file.empty()) {
+    CDI_ASSIGN_OR_RETURN(dk,
+                         knowledge::LoadDomainKnowledge(inputs.knowledge_file));
+  }
+  CDI_ASSIGN_OR_RETURN(graph::Digraph concepts, knowledge::ConceptGraph(dk));
+  scenario->oracle = std::make_unique<knowledge::TextCausalOracle>(
+      concepts, knowledge::OracleOptions{});
+  for (const auto& [attr, concept_name] : dk.aliases) {
+    scenario->oracle->RegisterAlias(attr, concept_name);
+  }
+  for (const auto& [topic, keywords] : dk.topics) {
+    scenario->topics.AddTopic(topic, keywords);
+  }
+
+  scenario->exposure_attribute = inputs.exposure;
+  scenario->outcome_attribute = inputs.outcome;
+  return scenario;
+}
+
+}  // namespace cdi::serve

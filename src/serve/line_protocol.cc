@@ -235,9 +235,92 @@ Result<ServerCommand> ParseCommandLine(const std::string& line) {
     }
     return cmd;
   }
+  if (verb == "unregister") {
+    cmd.kind = ServerCommand::Kind::kUnregister;
+    in >> cmd.target;
+    std::string extra;
+    if (cmd.target.empty() || (in >> extra)) {
+      return Status::InvalidArgument("usage: unregister <scenario>");
+    }
+    return cmd;
+  }
+  if (verb == "register") {
+    cmd.kind = ServerCommand::Kind::kRegister;
+    in >> cmd.target;
+    std::string arg;
+    while (in >> arg) {
+      if (arg.rfind("input=", 0) == 0) {
+        cmd.register_input = arg.substr(6);
+      } else if (arg.rfind("entity=", 0) == 0) {
+        cmd.register_entity = arg.substr(7);
+      } else if (arg.rfind("kg=", 0) == 0) {
+        cmd.register_kg.push_back(arg.substr(3));
+      } else if (arg.rfind("lake=", 0) == 0) {
+        cmd.register_lake.push_back(arg.substr(5));
+      } else if (arg.rfind("knowledge=", 0) == 0) {
+        cmd.register_knowledge = arg.substr(10);
+      } else if (arg.rfind("exposure=", 0) == 0) {
+        cmd.register_exposure = arg.substr(9);
+      } else if (arg.rfind("outcome=", 0) == 0) {
+        cmd.register_outcome = arg.substr(8);
+      } else if (arg == "replace") {
+        cmd.replace = true;
+      } else {
+        return Status::InvalidArgument("unknown register argument '" + arg +
+                                       "'");
+      }
+    }
+    if (cmd.target.empty() || cmd.register_input.empty() ||
+        cmd.register_entity.empty()) {
+      return Status::InvalidArgument(
+          "usage: register <name> input=<csv> entity=<col> [kg=<csv>]... "
+          "[lake=<csv>]... [knowledge=<file>] [exposure=<attr>] "
+          "[outcome=<attr>] [replace]");
+    }
+    return cmd;
+  }
+  if (verb == "generate") {
+    cmd.kind = ServerCommand::Kind::kGenerate;
+    in >> cmd.target;
+    std::string arg;
+    while (in >> arg) {
+      if (arg.rfind("grid=", 0) == 0) {
+        cmd.grid_cell = arg.substr(5);
+      } else if (arg.rfind("entities=", 0) == 0 ||
+                 arg.rfind("seed=", 0) == 0) {
+        const bool is_seed = arg[0] == 's';
+        const std::string value = arg.substr(is_seed ? 5 : 9);
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || value.empty()) {
+          return Status::InvalidArgument("bad " +
+                                         std::string(is_seed ? "seed"
+                                                             : "entities") +
+                                         " value '" + value + "'");
+        }
+        if (is_seed) {
+          cmd.generate_seed = v;
+        } else {
+          cmd.generate_entities = static_cast<std::size_t>(v);
+        }
+      } else if (arg == "replace") {
+        cmd.replace = true;
+      } else {
+        return Status::InvalidArgument("unknown generate argument '" + arg +
+                                       "'");
+      }
+    }
+    if (cmd.target.empty() || cmd.grid_cell.empty()) {
+      return Status::InvalidArgument(
+          "usage: generate <name> grid=<cell> [entities=<n>] [seed=<s>] "
+          "[replace]");
+    }
+    return cmd;
+  }
   if (verb != "query") {
     return Status::InvalidArgument("unknown command '" + verb +
-                                   "' (expected query|update|metrics|"
+                                   "' (expected query|update|register|"
+                                   "generate|unregister|metrics|"
                                    "scenarios|quit)");
   }
   cmd.kind = ServerCommand::Kind::kQuery;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "core/pipeline.h"
@@ -57,19 +58,48 @@ std::string FormatResponseLine(const CdiQuery& query,
 
 /// One parsed cdi_serve stdin command.
 struct ServerCommand {
-  enum class Kind { kQuery, kMetrics, kScenarios, kUpdate, kQuit };
+  enum class Kind {
+    kQuery,
+    kMetrics,
+    kScenarios,
+    kUpdate,
+    kRegister,
+    kGenerate,
+    kUnregister,
+    kQuit,
+  };
   Kind kind = Kind::kQuery;
   CdiQuery query;  // meaningful when kind == kQuery
   /// kUpdate: target scenario and the CSV file holding the row batch
   /// (header row; schema must match the scenario's input table).
   std::string update_scenario;
   std::string update_rows_path;
+  /// kRegister / kGenerate / kUnregister: the scenario name.
+  std::string target;
+  /// kRegister / kGenerate: overwrite an existing registration.
+  bool replace = false;
+  /// kRegister: file inputs (mirrors cdi_cli's flags).
+  std::string register_input;            // input=<csv>, required
+  std::string register_entity;           // entity=<column>, required
+  std::vector<std::string> register_kg;  // kg=<triples-csv>, repeatable
+  std::vector<std::string> register_lake;  // lake=<csv>, repeatable
+  std::string register_knowledge;        // knowledge=<domain-file>
+  std::string register_exposure;         // exposure=<attr> (optional)
+  std::string register_outcome;          // outcome=<attr> (optional)
+  /// kGenerate: grid cell to materialize (datagen::ParseGridCellName).
+  std::string grid_cell;
+  std::size_t generate_entities = 120;
+  std::uint64_t generate_seed = 9001;
 };
 
 /// Parses one protocol line:
 ///   `query <scenario> <exposure> <outcome> [timeout=<seconds>]
 ///    [mode=planned|full]`
 ///   `update <scenario> rows=<csv-path>`
+///   `register <name> input=<csv> entity=<col> [kg=<csv>]... [lake=<csv>]...
+///    [knowledge=<file>] [exposure=<attr>] [outcome=<attr>] [replace]`
+///   `generate <name> grid=<cell> [entities=<n>] [seed=<s>] [replace]`
+///   `unregister <name>`
 ///   `metrics` | `scenarios` | `quit`
 /// `timeout` must be a finite, non-negative number of seconds — negative,
 /// NaN and infinite values are rejected here with a descriptive error

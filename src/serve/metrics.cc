@@ -20,22 +20,32 @@ MetricsSnapshot MetricsSnapshot::Since(const MetricsSnapshot& earlier) const {
   out.epoch_rollovers = epoch_rollovers - earlier.epoch_rollovers;
   out.rows_appended = rows_appended - earlier.rows_appended;
   out.warm_start_hits = warm_start_hits - earlier.warm_start_hits;
+  out.scenarios_registered = scenarios_registered - earlier.scenarios_registered;
+  out.scenarios_evicted = scenarios_evicted - earlier.scenarios_evicted;
+  out.scenarios_unregistered =
+      scenarios_unregistered - earlier.scenarios_unregistered;
   out.queue_depth_high_water = queue_depth_high_water;
   out.result_cache_entries = result_cache_entries;
   out.plan_cache_entries = plan_cache_entries;
+  out.registry_bytes = registry_bytes;
+  out.registry_scenarios = registry_scenarios;
+  out.shard_bytes = shard_bytes;
   out.latency = latency.Since(earlier.latency);
   out.update_latency = update_latency.Since(earlier.update_latency);
   return out;
 }
 
 std::string MetricsSnapshot::ToLine() const {
-  char buf[1024];
+  char buf[1536];
   std::snprintf(
       buf, sizeof(buf),
       "submitted=%llu served=%llu rejected=%llu failed=%llu "
       "deadline_exceeded=%llu cancelled=%llu cache_hits=%llu coalesced=%llu "
       "executions=%llu plan_builds=%llu evicted_stale=%llu "
       "epoch_rollovers=%llu rows_appended=%llu warm_start_hits=%llu "
+      "scenarios_registered=%llu scenarios_evicted=%llu "
+      "scenarios_unregistered=%llu registry_bytes=%llu "
+      "registry_scenarios=%llu "
       "result_cache=%llu plan_cache=%llu queue_hwm=%llu hit_rate=%.4f "
       "p50_us=%.0f p95_us=%.0f p99_us=%.0f mean_us=%.0f "
       "update_p50_us=%.0f update_p99_us=%.0f",
@@ -53,6 +63,11 @@ std::string MetricsSnapshot::ToLine() const {
       static_cast<unsigned long long>(epoch_rollovers),
       static_cast<unsigned long long>(rows_appended),
       static_cast<unsigned long long>(warm_start_hits),
+      static_cast<unsigned long long>(scenarios_registered),
+      static_cast<unsigned long long>(scenarios_evicted),
+      static_cast<unsigned long long>(scenarios_unregistered),
+      static_cast<unsigned long long>(registry_bytes),
+      static_cast<unsigned long long>(registry_scenarios),
       static_cast<unsigned long long>(result_cache_entries),
       static_cast<unsigned long long>(plan_cache_entries),
       static_cast<unsigned long long>(queue_depth_high_water),
@@ -60,7 +75,15 @@ std::string MetricsSnapshot::ToLine() const {
       latency.Quantile(0.95) * 1e6, latency.Quantile(0.99) * 1e6,
       latency.MeanSeconds() * 1e6, update_latency.Quantile(0.50) * 1e6,
       update_latency.Quantile(0.99) * 1e6);
-  return buf;
+  std::string line = buf;
+  // Per-shard byte gauges, appended only when sharding is in play so the
+  // single-registry line format stays stable.
+  for (std::size_t i = 0; i < shard_bytes.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), " shard%zu_bytes=%llu", i,
+                  static_cast<unsigned long long>(shard_bytes[i]));
+    line += buf;
+  }
+  return line;
 }
 
 void ServerMetrics::ObserveQueueDepth(std::uint64_t depth) {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/histogram.h"
 
@@ -48,6 +49,15 @@ struct MetricsSnapshot {
   /// Plan builds seeded from a previous epoch's C-DAG edges (warm-start
   /// discovery; only when QueryServerOptions::warm_start_plans is on).
   std::uint64_t warm_start_hits = 0;
+  /// Scenario registrations published (Register / Replace / re-register
+  /// after eviction; counter, sourced from the registry by
+  /// QueryServer::Metrics — zero on a bare ServerMetrics::Snapshot).
+  std::uint64_t scenarios_registered = 0;
+  /// Scenarios dropped by the registry's memory budget (counter, sourced
+  /// from the registry as above).
+  std::uint64_t scenarios_evicted = 0;
+  /// Scenarios removed via unregister (counter, sourced as above).
+  std::uint64_t scenarios_unregistered = 0;
   /// Highest admission-queue depth observed since start.
   std::uint64_t queue_depth_high_water = 0;
   /// Current result-cache entry count (gauge, filled by
@@ -56,6 +66,12 @@ struct MetricsSnapshot {
   std::uint64_t result_cache_entries = 0;
   /// Current plan-cache entry count (gauge, as above).
   std::uint64_t plan_cache_entries = 0;
+  /// Live registry byte charge and scenario count (gauges, as above).
+  std::uint64_t registry_bytes = 0;
+  std::uint64_t registry_scenarios = 0;
+  /// Per-shard live byte charge (gauge vector; empty on a bare
+  /// ServerMetrics::Snapshot). Index = shard number.
+  std::vector<std::uint64_t> shard_bytes;
   /// Submit-to-response latency of OK responses.
   HistogramSnapshot latency;
   /// End-to-end latency of successful UpdateScenario calls (table copy +

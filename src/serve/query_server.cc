@@ -41,6 +41,19 @@ QueryServer::QueryServer(ScenarioRegistry* registry,
     : registry_(registry), options_(std::move(options)) {
   if (options_.num_workers < 1) options_.num_workers = 1;
   if (options_.pipeline_threads < 1) options_.pipeline_threads = 1;
+  // Registry evictions (memory budget or unregister) sweep the departed
+  // scenario's cache entries through the ordinary stale-epoch path: the
+  // eviction epoch is stamped above every epoch the scenario published,
+  // so EvictStaleLocked retires exactly its entries — and refuses to
+  // retain results of in-flight queries that complete after the
+  // eviction. The registry fires the listener outside its shard locks;
+  // the only lock taken inside is mu_, and no QueryServer path calls
+  // into the registry while holding mu_, so the order is acyclic.
+  registry_->SetEvictionListener(
+      [this](const std::string& name, std::uint64_t eviction_epoch) {
+        std::lock_guard<std::mutex> lock(mu_);
+        EvictStaleLocked(name, eviction_epoch);
+      });
   workers_.reserve(static_cast<std::size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -274,6 +287,77 @@ Result<std::shared_ptr<const ScenarioBundle>> QueryServer::UpdateScenario(
   metrics_.update_latency.Record(
       std::chrono::duration<double>(Clock::now() - start).count());
   return updated;
+}
+
+Result<std::shared_ptr<const ScenarioBundle>> QueryServer::RegisterScenario(
+    const std::string& name, ScenarioBuilder build, bool replace,
+    std::optional<core::PipelineOptions> default_options) {
+  if (!build) {
+    return Status::InvalidArgument("RegisterScenario needs a builder");
+  }
+  std::shared_ptr<RegEntry> entry;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (stopping_) return Status::Cancelled("server is shut down");
+      auto it = pending_reg_.find(name);
+      if (it == pending_reg_.end()) break;
+      // Single-flight: somebody is already building this name — wait and
+      // share their outcome instead of materializing a duplicate.
+      std::shared_ptr<RegEntry> leader = it->second;
+      reg_ready_.wait(lock,
+                      [&] { return leader->done || stopping_; });
+      if (leader->done) {
+        if (!leader->status.ok()) return leader->status;
+        return leader->bundle;
+      }
+    }
+    entry = std::make_shared<RegEntry>();
+    pending_reg_.emplace(name, entry);
+  }
+
+  // Leader: build outside all server locks, publish, then wake followers.
+  // The registry re-checks name collisions atomically at publish, so the
+  // fast-path existence check here is just to skip an expensive build.
+  Result<std::shared_ptr<const ScenarioBundle>> published =
+      Status::Internal("unreachable");
+  if (!replace && registry_->Snapshot(name).ok()) {
+    published = Status::AlreadyExists("scenario '" + name +
+                                      "' is already registered");
+  } else {
+    auto scenario = build();
+    if (!scenario.ok()) {
+      published = Status(scenario.status().code(),
+                         "building scenario '" + name +
+                             "': " + scenario.status().message());
+    } else if (*scenario == nullptr) {
+      published =
+          Status::InvalidArgument("builder for scenario '" + name +
+                                  "' returned null");
+    } else {
+      published = replace ? registry_->Replace(name, *std::move(scenario),
+                                               std::move(default_options))
+                          : registry_->Register(name, *std::move(scenario),
+                                                std::move(default_options));
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entry->done = true;
+    entry->status = published.ok() ? Status::OK() : published.status();
+    if (published.ok()) entry->bundle = *published;
+    pending_reg_.erase(name);
+    reg_ready_.notify_all();
+  }
+  return published;
+}
+
+Status QueryServer::UnregisterScenario(const std::string& name) {
+  // The registry stamps the eviction epoch and fires the listener, which
+  // sweeps the scenario's result/plan cache entries under mu_ before
+  // Unregister returns.
+  return registry_->Unregister(name);
 }
 
 void QueryServer::WorkerLoop() {
@@ -576,6 +660,14 @@ MetricsSnapshot QueryServer::Metrics() const {
     snap.result_cache_entries = cache_.size();
     snap.plan_cache_entries = plan_cache_.size();
   }
+  const RegistryStats registry = registry_->Stats();
+  snap.scenarios_registered = registry.scenarios_registered;
+  snap.scenarios_evicted = registry.scenarios_evicted;
+  snap.scenarios_unregistered = registry.scenarios_unregistered;
+  snap.registry_bytes = registry.registry_bytes;
+  snap.registry_scenarios = registry.scenarios;
+  snap.shard_bytes.assign(registry.shard_bytes.begin(),
+                          registry.shard_bytes.end());
   return snap;
 }
 
@@ -594,6 +686,11 @@ std::size_t QueryServer::InvalidateCache() {
 }
 
 void QueryServer::Shutdown() {
+  // Detach from the registry first: after this returns, no eviction can
+  // call back into a server that is tearing down. SetEvictionListener
+  // serializes with in-flight listener calls, and mu_ is not held here,
+  // so the listener's listener_mu_ -> mu_ order cannot deadlock.
+  registry_->SetEvictionListener(nullptr);
   std::deque<Request> dropped;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -602,6 +699,7 @@ void QueryServer::Shutdown() {
     for (CancelToken* token : active_tokens_) token->Cancel();
     work_ready_.notify_all();
     plan_ready_.notify_all();  // plan-build waiters unblock as cancelled
+    reg_ready_.notify_all();   // registration followers unblock as cancelled
   }
   const Status shutdown = Status::Cancelled("server shutting down");
   for (Request& request : dropped) {

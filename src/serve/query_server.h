@@ -138,8 +138,16 @@ struct QueryServerOptions {
 /// bounded and no stale-epoch result is ever retained.
 class QueryServer {
  public:
+  /// Builds (or loads) a scenario for RegisterScenario. Runs on the
+  /// calling thread, outside every server lock; may be arbitrarily
+  /// expensive (grid materialization, CSV ingest).
+  using ScenarioBuilder =
+      std::function<Result<std::shared_ptr<const datagen::Scenario>>()>;
+
   /// `registry` is borrowed and must outlive the server. Non-const:
-  /// UpdateScenario publishes new epochs through it.
+  /// UpdateScenario publishes new epochs through it. The server installs
+  /// itself as the registry's eviction listener (cleared again on
+  /// Shutdown), so a registry serves at most one QueryServer at a time.
   QueryServer(ScenarioRegistry* registry,
               QueryServerOptions options = QueryServerOptions());
 
@@ -169,8 +177,31 @@ class QueryServer {
   Result<std::shared_ptr<const ScenarioBundle>> UpdateScenario(
       const std::string& name, const table::Table& row_batch);
 
+  /// Runtime scenario registration with single-flight bundle
+  /// construction: concurrent RegisterScenario calls for the same name
+  /// run `build` exactly once — the first caller builds (outside all
+  /// server locks) and publishes; the rest block and share its outcome
+  /// (bundle or error). `replace=false` fails fast with kAlreadyExists
+  /// when the name is live. Registration may evict LRU scenarios under a
+  /// registry memory budget; the eviction listener sweeps their cache
+  /// entries before this call returns. `default_options` seeds the
+  /// bundle's per-query defaults; unset falls back to
+  /// core::DefaultEvaluationOptions, which needs the scenario's
+  /// ground-truth cluster DAG — file-loaded scenarios (no ground truth)
+  /// must pass explicit options (plain PipelineOptions{} is fine).
+  Result<std::shared_ptr<const ScenarioBundle>> RegisterScenario(
+      const std::string& name, ScenarioBuilder build, bool replace = false,
+      std::optional<core::PipelineOptions> default_options = std::nullopt);
+
+  /// Removes a scenario at runtime. In-flight queries finish on their
+  /// snapshots; the scenario's result/plan cache entries are swept, and
+  /// subsequent queries get a descriptive kNotFound until the name is
+  /// registered again. kNotFound when the name is not live.
+  Status UnregisterScenario(const std::string& name);
+
   /// Counters plus current cache-size gauges (result_cache_entries /
-  /// plan_cache_entries, read under the server lock).
+  /// plan_cache_entries, read under the server lock) and the registry's
+  /// registration/eviction counters and byte gauges.
   MetricsSnapshot Metrics() const;
 
   /// Drops completed result-cache entries (pending single-flight claims
@@ -212,6 +243,14 @@ class QueryServer {
     std::shared_ptr<const core::CdagPlan> plan;  // set when done && ok
     std::string scenario;
     std::uint64_t epoch = 0;
+  };
+
+  /// Single-flight slot for an in-progress RegisterScenario. Followers
+  /// hold the shared_ptr, so the slot outlives its map entry.
+  struct RegEntry {
+    bool done = false;
+    Status status;
+    std::shared_ptr<const ScenarioBundle> bundle;
   };
 
   struct Request {
@@ -260,7 +299,11 @@ class QueryServer {
   std::condition_variable work_ready_;
   /// Signalled when a plan build completes (success or failure).
   std::condition_variable plan_ready_;
+  /// Signalled when a single-flight registration completes.
+  std::condition_variable reg_ready_;
   std::deque<Request> queue_;
+  /// In-progress RegisterScenario slots, by scenario name.
+  std::unordered_map<std::string, std::shared_ptr<RegEntry>> pending_reg_;
   std::unordered_map<std::uint64_t, CacheEntry> cache_;
   /// Scenario-level C-DAG plan artifacts, keyed by PlanCacheKey.
   std::unordered_map<std::uint64_t, std::shared_ptr<PlanEntry>> plan_cache_;

@@ -1,12 +1,16 @@
 #ifndef CDI_SERVE_SCENARIO_REGISTRY_H_
 #define CDI_SERVE_SCENARIO_REGISTRY_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -22,8 +26,8 @@ namespace cdi::serve {
 ///
 /// A bundle is immutable after registration — the query server hands
 /// `shared_ptr<const ScenarioBundle>` snapshots to requests, so a bundle
-/// that is replaced in the registry stays alive (and consistent) for every
-/// in-flight query that already resolved it.
+/// that is replaced in (or evicted from) the registry stays alive (and
+/// consistent) for every in-flight query that already resolved it.
 struct ScenarioBundle {
   std::string name;
   /// Monotonic registration stamp, unique across the registry's lifetime.
@@ -68,6 +72,11 @@ struct ScenarioBundle {
   /// Rows appended by the UpdateScenario that published this bundle
   /// (0 for Register/Replace bundles).
   std::size_t rows_appended = 0;
+  /// Deterministic resident-byte estimate of this bundle (see
+  /// EstimateBundleBytes), fixed at publication. The registry's memory
+  /// budget charges exactly this number, so the accounting invariant
+  /// `registry_bytes == sum of live bundles' memory_bytes` is testable.
+  std::size_t memory_bytes = 0;
 
   /// Index of `attribute` in `numeric_attributes` / `input_stats`, or
   /// npos when the column is missing or non-numeric.
@@ -75,26 +84,89 @@ struct ScenarioBundle {
   std::size_t NumericIndex(const std::string& attribute) const;
 };
 
-/// Thread-safe name -> bundle map with snapshot semantics.
+/// Deterministic estimate of a bundle's resident heap bytes: the live
+/// input table's buffers (Table::ByteSize — content-based, no capacity
+/// slack) plus the sufficient-statistics accumulators and the attribute
+/// name list. Knowledge assets (KG / lake / oracle) are shared across
+/// epochs of a scenario and are charged with the table they ride in on.
+std::size_t EstimateBundleBytes(const ScenarioBundle& bundle);
+
+struct RegistryOptions {
+  /// Shards (>= 1); names map to shards by hash. More shards means less
+  /// mutex contention for concurrent lookups of different scenarios.
+  std::size_t num_shards = 8;
+  /// Total memory budget over all shards, in bytes; 0 = unlimited. Each
+  /// shard enforces budget/num_shards with LRU eviction: registering or
+  /// growing a bundle past the budget evicts the shard's least recently
+  /// used scenarios (never the one just published). Evicted scenarios
+  /// answer Snapshot with a descriptive kNotFound until re-registered.
+  std::size_t memory_budget_bytes = 0;
+};
+
+/// Aggregate registry counters and gauges (see ScenarioRegistry::Stats).
+struct RegistryStats {
+  /// Successful Register / Replace / re-register publications.
+  std::uint64_t scenarios_registered = 0;
+  /// Scenarios dropped by the memory budget.
+  std::uint64_t scenarios_evicted = 0;
+  /// Scenarios removed by Unregister.
+  std::uint64_t scenarios_unregistered = 0;
+  /// Live byte charge / scenario count, total and per shard.
+  std::size_t registry_bytes = 0;
+  std::size_t scenarios = 0;
+  std::vector<std::size_t> shard_bytes;
+  std::vector<std::size_t> shard_scenarios;
+};
+
+/// Thread-safe name -> bundle map with snapshot semantics, sharded by
+/// name hash with an optional byte-accounted LRU memory budget.
 ///
-/// Readers (`Snapshot`) and writers (`Register` / `Replace`) synchronize
-/// on one mutex held only for the map operation itself — bundle
-/// construction (scenario materialization + sufficient statistics) happens
-/// outside the lock, and lookups return a shared_ptr copy, so the serving
-/// hot path never blocks behind a registration.
+/// Readers (`Snapshot`) and writers (`Register` / `Replace` /
+/// `Unregister`) synchronize on the owning shard's mutex, held only for
+/// the map operation itself — bundle construction (scenario
+/// materialization + sufficient statistics) happens outside any lock, and
+/// lookups return a shared_ptr copy, so the serving hot path never blocks
+/// behind a registration, and lookups of scenarios on different shards
+/// never contend at all.
+///
+/// Removal (eviction or unregistration) stamps a fresh epoch — the
+/// "eviction epoch" — strictly above every epoch the scenario ever
+/// published, and reports it through the eviction listener. Layered
+/// caches keyed on (scenario, epoch) retire everything below it, and a
+/// later re-registration gets a higher epoch still, so stale entries can
+/// never be served across an evict/re-register cycle.
 class ScenarioRegistry {
  public:
-  ScenarioRegistry() = default;
+  /// Fired on every eviction or unregistration, outside all shard locks:
+  /// (scenario name, eviction epoch). Serialized: listener calls never
+  /// overlap. The query server uses it to sweep result/plan cache
+  /// entries for the departed scenario.
+  using EvictionListener =
+      std::function<void(const std::string& name, std::uint64_t epoch)>;
+
+  explicit ScenarioRegistry(RegistryOptions options = {});
 
   ScenarioRegistry(const ScenarioRegistry&) = delete;
   ScenarioRegistry& operator=(const ScenarioRegistry&) = delete;
 
+  /// Installs (or, with nullptr, clears) the eviction listener. The
+  /// caller must clear the listener before destroying whatever it
+  /// captures; SetEvictionListener(nullptr) returns only after any
+  /// in-flight listener call has finished.
+  void SetEvictionListener(EvictionListener listener);
+
   /// Registers `scenario` under `name`. kAlreadyExists when the name is
   /// taken (use Replace to swap). `default_options` falls back to
-  /// core::DefaultEvaluationOptions(*scenario).
+  /// core::DefaultEvaluationOptions(*scenario). The shared_ptr overloads
+  /// allow one materialized scenario to back many names (the bundle only
+  /// ever reads it).
   Result<std::shared_ptr<const ScenarioBundle>> Register(
       const std::string& name,
       std::unique_ptr<const datagen::Scenario> scenario,
+      std::optional<core::PipelineOptions> default_options = std::nullopt);
+  Result<std::shared_ptr<const ScenarioBundle>> Register(
+      const std::string& name,
+      std::shared_ptr<const datagen::Scenario> scenario,
       std::optional<core::PipelineOptions> default_options = std::nullopt);
 
   /// Like Register but allowed to overwrite; the new bundle gets a fresh
@@ -105,6 +177,16 @@ class ScenarioRegistry {
       const std::string& name,
       std::unique_ptr<const datagen::Scenario> scenario,
       std::optional<core::PipelineOptions> default_options = std::nullopt);
+  Result<std::shared_ptr<const ScenarioBundle>> Replace(
+      const std::string& name,
+      std::shared_ptr<const datagen::Scenario> scenario,
+      std::optional<core::PipelineOptions> default_options = std::nullopt);
+
+  /// Removes `name`, stamping an eviction epoch and firing the listener.
+  /// In-flight queries holding the bundle finish on their snapshots; a
+  /// subsequent Snapshot reports kNotFound ("unregistered") until the
+  /// name is registered again. kNotFound when not currently registered.
+  Status Unregister(const std::string& name);
 
   /// Streaming row ingest: appends `row_batch` (schema must match the
   /// scenario's input table — see Table::AppendRows) to the scenario's
@@ -119,33 +201,85 @@ class ScenarioRegistry {
   /// entries, exactly as for Replace. `warm_start_edges` (optional) is
   /// stashed on the new bundle for warm-started discovery.
   ///
-  /// kNotFound when unregistered; kInvalidArgument on schema mismatch or
-  /// an empty batch; kAborted when the scenario was concurrently
-  /// replaced while the delta was being prepared (retry with a fresh
-  /// snapshot).
+  /// kNotFound when unregistered (or evicted meanwhile); kInvalidArgument
+  /// on schema mismatch or an empty batch; kAborted when the scenario was
+  /// concurrently replaced while the delta was being prepared (retry with
+  /// a fresh snapshot).
   Result<std::shared_ptr<const ScenarioBundle>> UpdateScenario(
       const std::string& name, const table::Table& row_batch,
       std::vector<std::pair<std::string, std::string>> warm_start_edges = {});
 
-  /// Current bundle for `name` (kNotFound when unregistered).
+  /// Current bundle for `name`. kNotFound when unregistered, with a
+  /// message that says *why* the name is gone when it used to be live
+  /// ("evicted by the memory budget" vs "unregistered"). Under a memory
+  /// budget a hit also freshens the scenario's LRU position.
   Result<std::shared_ptr<const ScenarioBundle>> Snapshot(
       const std::string& name) const;
 
-  /// Registered names, sorted.
+  /// Registered names, sorted — deterministic for any shard count.
   std::vector<std::string> Names() const;
 
   std::size_t size() const;
 
+  /// Point-in-time counters and byte gauges (per shard and total).
+  RegistryStats Stats() const;
+
+  const RegistryOptions& options() const { return options_; }
+
  private:
+  struct Shard {
+    struct Entry {
+      std::shared_ptr<const ScenarioBundle> bundle;
+      /// Position in `lru` (stable across list splices).
+      std::list<std::string>::iterator lru_it;
+    };
+    mutable std::mutex mu;
+    std::map<std::string, Entry> entries;
+    /// Front = most recently used. Maintained only under a memory budget.
+    mutable std::list<std::string> lru;
+    std::size_t bytes = 0;
+    /// Why a formerly live name is gone (cleared on re-register).
+    std::map<std::string, std::string> evicted_reason;
+  };
+
+  Shard& ShardFor(const std::string& name) const;
+
   Result<std::shared_ptr<const ScenarioBundle>> Insert(
       const std::string& name,
-      std::unique_ptr<const datagen::Scenario> scenario,
+      std::shared_ptr<const datagen::Scenario> scenario,
       std::optional<core::PipelineOptions> default_options,
       bool allow_replace);
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<const ScenarioBundle>> bundles_;
-  std::uint64_t next_epoch_ = 1;
+  /// Publishes `bundle` into `shard` under its lock: stamps the epoch,
+  /// adjusts the byte charge, freshens LRU, enforces the budget (never
+  /// evicting `bundle` itself), and appends evictions to `evicted`.
+  void PublishLocked(Shard& shard, const std::string& name,
+                     std::shared_ptr<ScenarioBundle> bundle,
+                     std::vector<std::pair<std::string, std::uint64_t>>*
+                         evicted);
+
+  /// Drops LRU-tail scenarios while the shard is over its budget slice,
+  /// skipping `keep` (the entry just published).
+  void EnforceBudgetLocked(Shard& shard, const std::string& keep,
+                           std::vector<std::pair<std::string, std::uint64_t>>*
+                               evicted);
+
+  /// Runs the listener for each (name, eviction epoch), outside shard
+  /// locks but under listener_mu_ (serialized with SetEvictionListener).
+  void NotifyEvicted(
+      const std::vector<std::pair<std::string, std::uint64_t>>& evicted);
+
+  const RegistryOptions options_;
+  const std::size_t per_shard_budget_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> next_epoch_{1};
+
+  std::atomic<std::uint64_t> registered_{0};
+  std::atomic<std::uint64_t> evicted_{0};
+  std::atomic<std::uint64_t> unregistered_{0};
+
+  mutable std::mutex listener_mu_;
+  EvictionListener listener_;
 };
 
 }  // namespace cdi::serve

@@ -539,6 +539,20 @@ Column Column::Take(const std::vector<std::size_t>& rows) const {
   return out;
 }
 
+std::size_t Column::ByteSize() const {
+  std::size_t bytes = null_bits_.size() * sizeof(uint64_t);
+  bytes += doubles_.size() * sizeof(double);
+  bytes += ints_.size() * sizeof(int64_t);
+  bytes += bools_.size() * sizeof(uint8_t);
+  bytes += codes_.size() * sizeof(int32_t);
+  for (const std::string& s : dict_) bytes += s.size() + sizeof(std::string);
+  // Each dictionary-index entry stores the string once more plus a code.
+  for (const auto& [s, code] : dict_index_) {
+    bytes += s.size() + sizeof(std::string) + sizeof(code);
+  }
+  return bytes;
+}
+
 bool Column::TypeChecks() const {
   const std::size_t active = type_ == DataType::kDouble   ? doubles_.size()
                              : type_ == DataType::kInt64  ? ints_.size()

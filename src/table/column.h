@@ -126,6 +126,14 @@ class Column {
   /// Structural invariants: buffer sizes match, dictionary codes in range.
   bool TypeChecks() const;
 
+  /// Heap bytes held by the column's buffers (typed storage, null bitmap,
+  /// string dictionary contents + index). A deterministic *estimate* of
+  /// resident size — capacity slack and allocator overhead are excluded
+  /// so the value is a pure function of the column's contents, which is
+  /// what byte-accounted caches (the scenario registry's LRU budget) need
+  /// to reconcile against.
+  std::size_t ByteSize() const;
+
   /// Appends an exact typed encoding of the cell at `row` to `out`, for
   /// composite hash keys (join / group-by / distinct). Numeric cells
   /// (double, int64) encode as the bit pattern of their double value with

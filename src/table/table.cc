@@ -236,6 +236,12 @@ Table Table::DistinctRows() const {
   return TakeRows(keep);
 }
 
+std::size_t Table::ByteSize() const {
+  std::size_t bytes = 0;
+  for (const Column& c : columns_) bytes += c.ByteSize();
+  return bytes;
+}
+
 std::string Table::ToString(std::size_t max_rows) const {
   const std::size_t rows = std::min(max_rows, num_rows());
   std::vector<std::size_t> widths(columns_.size());

@@ -109,6 +109,10 @@ class Table {
   /// Pretty-prints up to `max_rows` rows in a fixed-width layout.
   std::string ToString(std::size_t max_rows = 20) const;
 
+  /// Sum of Column::ByteSize over all columns — a deterministic estimate
+  /// of the table's resident heap bytes, used by byte-accounted caches.
+  std::size_t ByteSize() const;
+
  private:
   std::string name_;
   std::vector<Column> columns_;

@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
+#include <thread>
 
 #include "common/rng.h"
 #include "datagen/covid.h"
 #include "datagen/flights.h"
+#include "datagen/grid.h"
 #include "datagen/scenario.h"
 #include "datagen/scm.h"
 #include "discovery/discovery.h"
@@ -416,6 +419,127 @@ TEST(SeedStabilityTest, SeedChangesTheData) {
   ASSERT_TRUE(b.ok());
   EXPECT_NE(table::WriteCsvString((*a)->input_table),
             table::WriteCsvString((*b)->input_table));
+}
+
+// --------------------------------------------------------- scenario grid
+
+TEST(ScenarioGridTest, EnumerationIsDeterministicRowMajorAndUnique) {
+  const auto cells = EnumerateGrid(ScenarioGridSpec{});
+  EXPECT_EQ(cells.size(), 216u);  // 2*2*2*3*3*3
+  // Row-major axis order: clusters outermost, oracle noise innermost.
+  EXPECT_EQ(GridCellName(cells[0]), "grid_c4_lin_cont_m0_p1_o0");
+  EXPECT_EQ(GridCellName(cells[1]), "grid_c4_lin_cont_m0_p1_o1");
+  EXPECT_EQ(GridCellName(cells[3]), "grid_c4_lin_cont_m0_p2_o0");
+  EXPECT_EQ(GridCellName(cells.back()), "grid_c6_quad_bin_m2_p3_o2");
+  std::set<std::string> names;
+  for (const auto& cell : cells) names.insert(GridCellName(cell));
+  EXPECT_EQ(names.size(), cells.size());
+  // Invalid axis values are skipped, not enumerated.
+  ScenarioGridSpec sparse;
+  sparse.cluster_counts = {2, 5};  // 2 < exposure + mediator + outcome
+  EXPECT_EQ(EnumerateGrid(sparse).size(), 108u);
+}
+
+TEST(ScenarioGridTest, NameSpecNameRoundTripsAcross100Cells) {
+  const auto cells = EnumerateGrid(ScenarioGridSpec{});
+  ASSERT_GE(cells.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    const std::string name = GridCellName(cells[i]);
+    auto parsed = ParseGridCellName(name);
+    ASSERT_TRUE(parsed.ok()) << name;
+    EXPECT_EQ(parsed->clusters, cells[i].clusters) << name;
+    EXPECT_EQ(parsed->nonlinear, cells[i].nonlinear) << name;
+    EXPECT_EQ(parsed->binary_outcome, cells[i].binary_outcome) << name;
+    EXPECT_EQ(parsed->mnar_level, cells[i].mnar_level) << name;
+    EXPECT_EQ(parsed->attrs_per_cluster, cells[i].attrs_per_cluster) << name;
+    EXPECT_EQ(parsed->oracle_noise, cells[i].oracle_noise) << name;
+    EXPECT_EQ(GridCellName(*parsed), name);
+  }
+}
+
+TEST(ScenarioGridTest, RejectsNonCanonicalNames) {
+  const char* bad[] = {
+      "",
+      "grid",
+      "grid_c4_lin_cont_m0_p1",       // missing axis
+      "grid_c4_lin_cont_m0_p1_o0_x",  // trailing token
+      "grid_c04_lin_cont_m0_p1_o0",   // non-canonical zero padding
+      "grid_c2_lin_cont_m0_p1_o0",    // clusters below the floor
+      "grid_c4_cubic_cont_m0_p1_o0",  // unknown mechanism
+      "grid_c4_lin_cont_m3_p1_o0",    // MNAR level out of range
+      "grid_c4_lin_cont_m0_p0_o0",    // split below 1
+      "grid_c4_lin_cont_m0_p1_o9",    // oracle noise out of range
+  };
+  for (const char* name : bad) {
+    EXPECT_FALSE(ParseGridCellName(name).ok()) << name;
+  }
+}
+
+TEST(ScenarioGridTest, CellsRebuildBitwiseAcrossRunsAndThreads) {
+  const std::string cell = "grid_c4_quad_bin_m1_p2_o1";
+  auto first = BuildGridScenario(cell, 80);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const std::string want = Fingerprint(**first);
+
+  // Concurrent rebuilds (the serving layer re-registers evicted grid
+  // scenarios from racing client threads) must all be bit-identical.
+  std::vector<std::string> got(4);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < got.size(); ++t) {
+    threads.emplace_back([&, t] {
+      auto rebuilt = BuildGridScenario(cell, 80);
+      if (rebuilt.ok()) got[t] = Fingerprint(**rebuilt);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& fp : got) EXPECT_EQ(fp, want);
+}
+
+TEST(ScenarioGridTest, NeighboringCellsProduceDistinctData) {
+  // Vary one axis at a time off a base cell: every variant must differ
+  // from the base and from each other.
+  const char* cells[] = {
+      "grid_c4_lin_cont_m0_p1_o0", "grid_c6_lin_cont_m0_p1_o0",
+      "grid_c4_quad_cont_m0_p1_o0", "grid_c4_lin_bin_m0_p1_o0",
+      "grid_c4_lin_cont_m1_p1_o0", "grid_c4_lin_cont_m0_p2_o0",
+  };
+  std::set<std::string> fingerprints;
+  for (const char* cell : cells) {
+    auto built = BuildGridScenario(cell, 80);
+    ASSERT_TRUE(built.ok()) << cell << ": " << built.status().ToString();
+    fingerprints.insert(Fingerprint(**built));
+  }
+  EXPECT_EQ(fingerprints.size(), std::size(cells));
+  // Distinct base seeds also change the data of the same cell.
+  auto reseeded = BuildGridScenario(cells[0], 80, /*seed=*/9002);
+  ASSERT_TRUE(reseeded.ok());
+  EXPECT_EQ(fingerprints.count(Fingerprint(**reseeded)), 0u);
+}
+
+TEST(ScenarioGridTest, BinaryOutcomeCellsBinarizeTheOutcomeDriver) {
+  auto built = BuildGridScenario("grid_c4_lin_bin_m0_p1_o0", 80);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const auto col = (*built)->input_table.GetColumn("outcome_score");
+  ASSERT_TRUE(col.ok());
+  bool saw_zero = false, saw_one = false;
+  for (std::size_t r = 0; r < (*col)->size(); ++r) {
+    const double v = (*col)->NumericAt(r);
+    if (std::isnan(v)) continue;
+    EXPECT_TRUE(v == 0.0 || v == 1.0) << "row " << r << " = " << v;
+    saw_zero |= v == 0.0;
+    saw_one |= v == 1.0;
+  }
+  EXPECT_TRUE(saw_zero);
+  EXPECT_TRUE(saw_one);
+  // Ground truth stays continuous: the logistic draw rides on top of the
+  // clean structural value, it does not replace it.
+  const auto clean = (*built)->clean_data.find("outcome_score");
+  ASSERT_NE(clean, (*built)->clean_data.end());
+  bool clean_nonbinary = false;
+  for (const double v : clean->second) {
+    if (!std::isnan(v) && v != 0.0 && v != 1.0) clean_nonbinary = true;
+  }
+  EXPECT_TRUE(clean_nonbinary);
 }
 
 }  // namespace

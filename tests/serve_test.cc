@@ -17,6 +17,7 @@
 #include "core/plan.h"
 #include "datagen/covid.h"
 #include "datagen/flights.h"
+#include "datagen/grid.h"
 #include "datagen/scenario.h"
 #include "serve/line_protocol.h"
 #include "serve/metrics.h"
@@ -1144,6 +1145,456 @@ TEST(MetricsTest, ObserveQueueDepthKeepsMaximum) {
   EXPECT_EQ(metrics.Snapshot().queue_depth_high_water, 3u);
   metrics.ObserveQueueDepth(9);
   EXPECT_EQ(metrics.Snapshot().queue_depth_high_water, 9u);
+}
+
+// -------------------------------------- sharded registry & memory budget
+
+/// A grid cell as a QueryServer::ScenarioBuilder — the serving layer's
+/// runtime-registration path. Grid rebuilds are bit-identical, which is
+/// what lets eviction recovery re-register a name and still serve
+/// byte-equal answers under a fresh epoch.
+QueryServer::ScenarioBuilder GridBuilder(const std::string& cell,
+                                         std::size_t entities = 60) {
+  return [cell,
+          entities]() -> Result<std::shared_ptr<const datagen::Scenario>> {
+    auto built = datagen::BuildGridScenario(cell, entities);
+    if (!built.ok()) return built.status();
+    return std::shared_ptr<const datagen::Scenario>(
+        std::move(built).value());
+  };
+}
+
+/// Sum of memory_bytes over every live bundle, via public snapshots —
+/// the ground truth the registry_bytes gauge must equal at quiescence.
+std::size_t LiveBundleBytes(ScenarioRegistry& registry) {
+  std::size_t sum = 0;
+  for (const auto& name : registry.Names()) {
+    auto bundle = registry.Snapshot(name);
+    if (bundle.ok()) sum += (*bundle)->memory_bytes;
+  }
+  return sum;
+}
+
+std::uint64_t SumShardBytes(const RegistryStats& stats) {
+  std::uint64_t sum = 0;
+  for (const auto b : stats.shard_bytes) sum += b;
+  return sum;
+}
+
+TEST(ShardedRegistryTest, MemoryBudgetEvictsUnderSkewedMixOf120Names) {
+  // One built scenario shared under 120 names: per-registration cost is
+  // a stats recompute, so the mix stays fast while every name carries a
+  // real byte charge.
+  std::shared_ptr<const datagen::Scenario> scenario(BuildCovid());
+  ScenarioRegistry probe;
+  const std::size_t per = (*probe.Register("probe", scenario))->memory_bytes;
+  ASSERT_GT(per, 0u);
+
+  RegistryOptions options;
+  options.num_shards = 4;
+  options.memory_budget_bytes = per * 12;  // ~3 live bundles per shard
+  ScenarioRegistry registry(options);
+  std::vector<std::string> names;
+  for (int i = 0; i < 120; ++i) {
+    names.push_back("s" + std::to_string(i));
+    ASSERT_TRUE(registry.Register(names.back(), scenario).ok()) << i;
+    // Skew: re-touch the first name after every registration, so it is
+    // never the coldest entry of its shard when the budget enforces.
+    (void)registry.Snapshot(names.front());
+  }
+
+  const auto stats = registry.Stats();
+  EXPECT_EQ(stats.scenarios_registered, 120u);
+  EXPECT_GT(stats.scenarios_evicted, 0u);
+  EXPECT_EQ(stats.scenarios_evicted + registry.size(), 120u);
+  EXPECT_LT(registry.size(), 120u);
+  // Byte accounting: the gauge equals the live bundles, shard gauges sum
+  // to the total, and every shard respects its slice of the budget.
+  EXPECT_EQ(stats.registry_bytes, LiveBundleBytes(registry));
+  EXPECT_EQ(SumShardBytes(stats), stats.registry_bytes);
+  ASSERT_EQ(stats.shard_bytes.size(), 4u);
+  for (const auto bytes : stats.shard_bytes) {
+    EXPECT_LE(bytes, options.memory_budget_bytes / 4);
+  }
+  // The hot name survived the churn.
+  EXPECT_TRUE(registry.Snapshot(names.front()).ok());
+
+  // Evicted names reject with a descriptive NotFound...
+  std::string evicted;
+  for (const auto& name : names) {
+    if (!registry.Snapshot(name).ok()) {
+      evicted = name;
+      break;
+    }
+  }
+  ASSERT_FALSE(evicted.empty());
+  const auto miss = registry.Snapshot(evicted).status();
+  EXPECT_EQ(miss.code(), StatusCode::kNotFound);
+  EXPECT_NE(miss.message().find("evicted by the memory budget"),
+            std::string::npos)
+      << miss.ToString();
+  // ...and re-register cleanly, with the accounting still exact.
+  ASSERT_TRUE(registry.Register(evicted, scenario).ok());
+  EXPECT_TRUE(registry.Snapshot(evicted).ok());
+  EXPECT_EQ(registry.Stats().registry_bytes, LiveBundleBytes(registry));
+}
+
+TEST(ShardedRegistryTest, SingleShardLruEvictsColdestAndTouchFreshens) {
+  std::shared_ptr<const datagen::Scenario> scenario(BuildCovid());
+  ScenarioRegistry probe;
+  const std::size_t per = (*probe.Register("probe", scenario))->memory_bytes;
+
+  RegistryOptions options;
+  options.num_shards = 1;
+  options.memory_budget_bytes = per * 3 + per / 2;  // room for exactly 3
+  ScenarioRegistry registry(options);
+  ASSERT_TRUE(registry.Register("a", scenario).ok());
+  ASSERT_TRUE(registry.Register("b", scenario).ok());
+  ASSERT_TRUE(registry.Register("c", scenario).ok());
+  EXPECT_EQ(registry.size(), 3u);
+
+  // Touch `a`: `b` is now the coldest, so the next registration evicts
+  // it — not the oldest-registered `a`.
+  ASSERT_TRUE(registry.Snapshot("a").ok());
+  ASSERT_TRUE(registry.Register("d", scenario).ok());
+  EXPECT_TRUE(registry.Snapshot("a").ok());
+  EXPECT_TRUE(registry.Snapshot("c").ok());
+  EXPECT_TRUE(registry.Snapshot("d").ok());
+  EXPECT_EQ(registry.Snapshot("b").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.Stats().scenarios_evicted, 1u);
+}
+
+TEST(ShardedRegistryTest, ByteAccountingSurvivesChurnInterleavings) {
+  std::shared_ptr<const datagen::Scenario> scenario(BuildCovid());
+  ScenarioRegistry probe;
+  const std::size_t per = (*probe.Register("probe", scenario))->memory_bytes;
+
+  RegistryOptions options;
+  options.num_shards = 2;
+  options.memory_budget_bytes = per * 8;
+  ScenarioRegistry registry(options);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(
+        registry.Register("n" + std::to_string(i), scenario).ok());
+  }
+  // Replace bumps an epoch without double-charging the name.
+  ASSERT_TRUE(registry.Replace("n2", scenario).ok());
+  // Unregister refunds its bytes.
+  ASSERT_TRUE(registry.Unregister("n3").ok());
+  // A row-batch update recharges the grown bundle.
+  {
+    auto bundle = registry.Snapshot("n4");
+    ASSERT_TRUE(bundle.ok());
+    std::vector<std::size_t> picks = {0, 1, 2, 3, 4};
+    const std::size_t before = (*bundle)->memory_bytes;
+    auto updated =
+        registry.UpdateScenario("n4", (*bundle)->input->TakeRows(picks));
+    ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+    EXPECT_GT((*updated)->memory_bytes, before);
+  }
+
+  const auto stats = registry.Stats();
+  EXPECT_EQ(stats.registry_bytes, LiveBundleBytes(registry));
+  EXPECT_EQ(SumShardBytes(stats), stats.registry_bytes);
+  EXPECT_EQ(stats.scenarios_unregistered, 1u);
+  EXPECT_EQ(stats.scenarios, registry.size());
+
+  // An unregistered name reports why it is gone — distinct from the
+  // budget-eviction message.
+  const auto miss = registry.Snapshot("n3").status();
+  EXPECT_EQ(miss.code(), StatusCode::kNotFound);
+  EXPECT_NE(miss.message().find("unregistered"), std::string::npos)
+      << miss.ToString();
+}
+
+TEST(ShardedRegistryTest, NamesAreSortedAndShardCountInvariant) {
+  std::shared_ptr<const datagen::Scenario> scenario(BuildCovid());
+  const std::vector<std::string> names = {"zeta", "alpha", "mid",
+                                          "beta9", "beta10"};
+  std::vector<std::vector<std::string>> listings;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4},
+                                   std::size_t{8}}) {
+    RegistryOptions options;
+    options.num_shards = shards;
+    ScenarioRegistry registry(options);
+    for (const auto& name : names) {
+      ASSERT_TRUE(registry.Register(name, scenario).ok());
+    }
+    listings.push_back(registry.Names());
+  }
+  const std::vector<std::string> want = {"alpha", "beta10", "beta9", "mid",
+                                         "zeta"};
+  for (const auto& listing : listings) EXPECT_EQ(listing, want);
+}
+
+TEST(ShardedRegistryTest, EvictionRacingInFlightUpdatePreservesSnapshot) {
+  RegistryOptions options;
+  options.num_shards = 1;
+  ScenarioRegistry registry(options);
+  auto registered = registry.Register("covid", BuildCovid());
+  ASSERT_TRUE(registered.ok());
+  const auto snapshot = *registered;
+  const std::size_t rows = snapshot->input->num_rows();
+
+  // The name disappears (budget eviction and unregister share the same
+  // path) while a consumer still holds the snapshot.
+  ASSERT_TRUE(registry.Unregister("covid").ok());
+  EXPECT_EQ(snapshot->input->num_rows(), rows);
+  EXPECT_EQ(snapshot->input_stats->num_rows(), rows);
+
+  // Publishing a row batch to the evicted name is rejected with the
+  // reason and the remedy, not applied to a ghost entry.
+  std::vector<std::size_t> picks = {0, 1, 2};
+  const auto st =
+      registry.UpdateScenario("covid", snapshot->input->TakeRows(picks))
+          .status();
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_NE(st.message().find("unregistered"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("re-register"), std::string::npos)
+      << st.ToString();
+}
+
+// ---------------------------------------- runtime register / unregister
+
+TEST(QueryServerTest, RegisterScenarioSingleFlightBuildsOnce) {
+  ScenarioRegistry registry;
+  QueryServer server(&registry);
+
+  std::atomic<int> builds{0};
+  const auto slow_build =
+      [&]() -> Result<std::shared_ptr<const datagen::Scenario>> {
+    builds.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    auto built = datagen::BuildGridScenario("grid_c4_lin_cont_m0_p1_o0", 60);
+    if (!built.ok()) return built.status();
+    return std::shared_ptr<const datagen::Scenario>(
+        std::move(built).value());
+  };
+
+  std::vector<std::future<Result<std::shared_ptr<const ScenarioBundle>>>>
+      futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(std::async(std::launch::async, [&] {
+      return server.RegisterScenario("grid", slow_build);
+    }));
+  }
+  std::vector<std::shared_ptr<const ScenarioBundle>> bundles;
+  for (auto& f : futures) {
+    auto result = f.get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    bundles.push_back(*result);
+  }
+  // One build; every caller shares the one published bundle.
+  EXPECT_EQ(builds.load(), 1);
+  for (const auto& b : bundles) EXPECT_EQ(b.get(), bundles[0].get());
+  // A later non-replace registration fails fast without rebuilding.
+  EXPECT_EQ(server.RegisterScenario("grid", slow_build).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(builds.load(), 1);
+  server.Shutdown();
+}
+
+TEST(QueryServerTest, UnregisterSweepsOnlyThatScenariosCacheEntries) {
+  ScenarioRegistry registry;
+  (void)registry.Register("covid", BuildCovid());
+  auto flights = *registry.Register("flights", BuildFlights());
+  QueryServer server(&registry);
+
+  CdiQuery covid_q = Query("country_code", "covid_death_rate");
+  CdiQuery flights_q;
+  flights_q.scenario = "flights";
+  flights_q.exposure = flights->numeric_attributes[0];
+  flights_q.outcome = flights->numeric_attributes[1];
+
+  ASSERT_TRUE(server.Execute(covid_q).status.ok());
+  const auto flights_first = server.Execute(flights_q);
+  ASSERT_TRUE(flights_first.status.ok());
+
+  ASSERT_TRUE(server.UnregisterScenario("covid").ok());
+
+  // The flights entry survived the sweep: still a byte-identical hit.
+  const auto flights_again = server.Execute(flights_q);
+  ASSERT_TRUE(flights_again.status.ok());
+  EXPECT_EQ(flights_again.source, ResponseSource::kCacheHit);
+  EXPECT_EQ(FormatResultPayload(*flights_again.result),
+            FormatResultPayload(*flights_first.result));
+
+  // The covid name rejects descriptively; unregistering twice says why.
+  const auto miss = server.Execute(covid_q).status;
+  EXPECT_EQ(miss.code(), StatusCode::kNotFound);
+  EXPECT_NE(miss.message().find("unregistered"), std::string::npos);
+  EXPECT_EQ(server.UnregisterScenario("covid").code(),
+            StatusCode::kNotFound);
+
+  // Re-registering the name serves fresh answers again.
+  auto again = server.RegisterScenario(
+      "covid",
+      []() -> Result<std::shared_ptr<const datagen::Scenario>> {
+        return std::shared_ptr<const datagen::Scenario>(BuildCovid());
+      });
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_TRUE(server.Execute(covid_q).status.ok());
+  server.Shutdown();
+}
+
+TEST(QueryServerTest, ConcurrentRegisterUnregisterQueryRacesStayCoherent) {
+  // Three known-good grid cells at 60 entities; a budget that holds
+  // roughly two of them keeps eviction churn running throughout.
+  const std::vector<std::string> cells = {"grid_c4_lin_cont_m0_p1_o0",
+                                          "grid_c4_lin_cont_m0_p1_o1",
+                                          "grid_c4_lin_cont_m0_p2_o0"};
+
+  // Expected payload per cell from a direct pipeline run over a private
+  // build — the served answer must byte-match at every epoch.
+  std::vector<std::string> expected;
+  std::size_t cell_bytes = 0;
+  {
+    ScenarioRegistry probe;
+    for (const auto& cell : cells) {
+      auto built = datagen::BuildGridScenario(cell, 60);
+      ASSERT_TRUE(built.ok()) << built.status().ToString();
+      auto bundle = probe.Register(
+          cell, std::shared_ptr<const datagen::Scenario>(
+                    std::move(built).value()));
+      ASSERT_TRUE(bundle.ok());
+      cell_bytes = (*bundle)->memory_bytes;
+      const datagen::Scenario& sc = *(*bundle)->scenario;
+      core::Pipeline pipeline(&sc.kg, &sc.lake, sc.oracle.get(), &sc.topics,
+                              (*bundle)->default_options);
+      auto run = pipeline.Run(sc.input_table, sc.spec.entity_column,
+                              sc.exposure_attribute, sc.outcome_attribute);
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      expected.push_back(FormatResultPayload(*run));
+    }
+  }
+
+  RegistryOptions options;
+  options.num_shards = 4;
+  options.memory_budget_bytes = cell_bytes * 5 / 2;
+  ScenarioRegistry registry(options);
+  QueryServerOptions server_options;
+  server_options.num_workers = 8;
+  QueryServer server(&registry, server_options);
+
+  std::atomic<std::uint64_t> torn{0};
+  std::atomic<std::uint64_t> unexpected{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < 30; ++i) {
+        const std::size_t pick =
+            static_cast<std::size_t>(t + i) % cells.size();
+        const auto& cell = cells[pick];
+        switch ((t + i) % 4) {
+          case 0:
+            (void)server.RegisterScenario(cell, GridBuilder(cell), true);
+            break;
+          case 1:
+            // NotFound when another thread already removed it is the
+            // expected race outcome; anything else is a bug.
+            if (const auto st = server.UnregisterScenario(cell);
+                !st.ok() && st.code() != StatusCode::kNotFound) {
+              unexpected.fetch_add(1);
+            }
+            break;
+          default: {
+            CdiQuery q;
+            q.scenario = cell;
+            q.exposure = "treatment_code";
+            q.outcome = "outcome_score";
+            const auto response = server.Execute(q);
+            if (response.status.ok()) {
+              if (FormatResultPayload(*response.result) != expected[pick]) {
+                torn.fetch_add(1);
+              }
+            } else if (response.status.code() != StatusCode::kNotFound) {
+              unexpected.fetch_add(1);
+            }
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(unexpected.load(), 0u);
+  const auto stats = registry.Stats();
+  EXPECT_EQ(stats.registry_bytes, LiveBundleBytes(registry));
+  EXPECT_EQ(SumShardBytes(stats), stats.registry_bytes);
+  server.Shutdown();
+}
+
+TEST(MetricsTest, RegistryGaugesFlowThroughServerMetricsAndToLine) {
+  RegistryOptions options;
+  options.num_shards = 2;
+  ScenarioRegistry registry(options);
+  QueryServer server(&registry);
+  const std::string cell = "grid_c4_lin_cont_m0_p1_o0";
+  ASSERT_TRUE(server.RegisterScenario(cell, GridBuilder(cell)).ok());
+
+  const auto metrics = server.Metrics();
+  EXPECT_EQ(metrics.scenarios_registered, 1u);
+  EXPECT_EQ(metrics.registry_scenarios, 1u);
+  EXPECT_GT(metrics.registry_bytes, 0u);
+  ASSERT_EQ(metrics.shard_bytes.size(), 2u);
+  EXPECT_EQ(metrics.shard_bytes[0] + metrics.shard_bytes[1],
+            metrics.registry_bytes);
+  const std::string line = metrics.ToLine();
+  EXPECT_NE(line.find("scenarios_registered=1"), std::string::npos) << line;
+  EXPECT_NE(line.find("registry_bytes="), std::string::npos) << line;
+  EXPECT_NE(line.find("shard0_bytes="), std::string::npos) << line;
+  EXPECT_NE(line.find("shard1_bytes="), std::string::npos) << line;
+
+  ASSERT_TRUE(server.UnregisterScenario(cell).ok());
+  const auto after = server.Metrics();
+  EXPECT_EQ(after.scenarios_unregistered, 1u);
+  EXPECT_EQ(after.registry_scenarios, 0u);
+  EXPECT_EQ(after.registry_bytes, 0u);
+  server.Shutdown();
+}
+
+TEST(LineProtocolTest, ParsesRegisterGenerateAndUnregister) {
+  auto reg = ParseCommandLine(
+      "register mysc input=in.csv entity=unit kg=k1.csv kg=k2.csv "
+      "lake=l1.csv knowledge=dk.txt exposure=dose outcome=resp replace");
+  ASSERT_TRUE(reg.ok()) << reg.status().ToString();
+  EXPECT_EQ(reg->kind, ServerCommand::Kind::kRegister);
+  EXPECT_EQ(reg->target, "mysc");
+  EXPECT_EQ(reg->register_input, "in.csv");
+  EXPECT_EQ(reg->register_entity, "unit");
+  EXPECT_EQ(reg->register_kg,
+            (std::vector<std::string>{"k1.csv", "k2.csv"}));
+  EXPECT_EQ(reg->register_lake, (std::vector<std::string>{"l1.csv"}));
+  EXPECT_EQ(reg->register_knowledge, "dk.txt");
+  EXPECT_EQ(reg->register_exposure, "dose");
+  EXPECT_EQ(reg->register_outcome, "resp");
+  EXPECT_TRUE(reg->replace);
+
+  // input= and entity= are mandatory.
+  EXPECT_EQ(ParseCommandLine("register x input=in.csv").status().code(),
+            StatusCode::kInvalidArgument);
+
+  auto gen = ParseCommandLine(
+      "generate g grid=grid_c4_lin_cont_m0_p1_o0 entities=60 seed=5");
+  ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+  EXPECT_EQ(gen->kind, ServerCommand::Kind::kGenerate);
+  EXPECT_EQ(gen->target, "g");
+  EXPECT_EQ(gen->grid_cell, "grid_c4_lin_cont_m0_p1_o0");
+  EXPECT_EQ(gen->generate_entities, 60u);
+  EXPECT_EQ(gen->generate_seed, 5u);
+  EXPECT_FALSE(gen->replace);
+  EXPECT_EQ(ParseCommandLine("generate g entities=60").status().code(),
+            StatusCode::kInvalidArgument);
+
+  auto unreg = ParseCommandLine("unregister mysc");
+  ASSERT_TRUE(unreg.ok());
+  EXPECT_EQ(unreg->kind, ServerCommand::Kind::kUnregister);
+  EXPECT_EQ(unreg->target, "mysc");
+  EXPECT_EQ(ParseCommandLine("unregister a b").status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -29,17 +29,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <map>
-#include <set>
-#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "common/string_util.h"
 #include "core/pipeline.h"
 #include "graph/dot.h"
 #include "knowledge/data_lake.h"
 #include "knowledge/knowledge_graph.h"
+#include "knowledge/loaders.h"
 #include "knowledge/text_oracle.h"
 #include "knowledge/topic_model.h"
 #include "table/csv.h"
@@ -105,68 +103,6 @@ bool ParseArgs(int argc, char** argv, Args* args) {
          !args->exposure.empty() && !args->outcome.empty();
 }
 
-/// Loads entity,property,value triples into the KG.
-cdi::Status LoadKg(const std::string& path,
-                   cdi::knowledge::KnowledgeGraph* kg) {
-  CDI_ASSIGN_OR_RETURN(cdi::table::Table t, cdi::table::ReadCsvFile(path));
-  if (t.num_cols() < 3) {
-    return cdi::Status::InvalidArgument(
-        path + ": expected entity,property,value columns");
-  }
-  for (std::size_t r = 0; r < t.num_rows(); ++r) {
-    const auto& ec = t.ColumnAt(0);
-    const auto& pc = t.ColumnAt(1);
-    const auto& vc = t.ColumnAt(2);
-    if (ec.IsNull(r) || pc.IsNull(r) || vc.IsNull(r)) continue;
-    kg->AddLiteral(ec.Get(r).ToString(), pc.Get(r).ToString(), vc.Get(r));
-  }
-  return cdi::Status::OK();
-}
-
-/// Parses the domain-knowledge file into a concept graph, aliases, topics.
-cdi::Status LoadKnowledge(const std::string& path,
-                          std::vector<std::pair<std::string, std::string>>*
-                              edges,
-                          std::vector<std::pair<std::string, std::string>>*
-                              aliases,
-                          std::map<std::string, std::vector<std::string>>*
-                              topics) {
-  std::ifstream in(path);
-  if (!in) return cdi::Status::NotFound("cannot open " + path);
-  std::string line;
-  int lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    line = cdi::Trim(line);
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream ss(line);
-    std::string kind;
-    ss >> kind;
-    if (kind == "edge") {
-      std::string a, b;
-      ss >> a >> b;
-      if (a.empty() || b.empty()) {
-        return cdi::Status::InvalidArgument(path + ":" +
-                                            std::to_string(lineno));
-      }
-      edges->emplace_back(a, b);
-    } else if (kind == "alias") {
-      std::string attr, concept_name;
-      ss >> attr >> concept_name;
-      aliases->emplace_back(attr, concept_name);
-    } else if (kind == "topic") {
-      std::string name, kw;
-      ss >> name;
-      while (ss >> kw) (*topics)[name].push_back(kw);
-    } else {
-      return cdi::Status::InvalidArgument(path + ":" +
-                                          std::to_string(lineno) +
-                                          ": unknown directive " + kind);
-    }
-  }
-  return cdi::Status::OK();
-}
-
 int Run(const Args& args) {
   auto input = cdi::table::ReadCsvFile(args.input);
   if (!input.ok()) {
@@ -177,7 +113,7 @@ int Run(const Args& args) {
 
   cdi::knowledge::KnowledgeGraph kg;
   for (const auto& f : args.kg_files) {
-    auto s = LoadKg(f, &kg);
+    auto s = cdi::knowledge::LoadKgTriplesCsv(f, &kg);
     if (!s.ok()) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());
       return 1;
@@ -197,38 +133,27 @@ int Run(const Args& args) {
 
   // Domain knowledge -> oracle + topics. With no file, the oracle knows
   // nothing and the build degrades to data-only augmentation + naming.
-  std::vector<std::pair<std::string, std::string>> edges, aliases;
-  std::map<std::string, std::vector<std::string>> topic_map;
+  cdi::knowledge::DomainKnowledge dk;
   if (!args.knowledge_file.empty()) {
-    auto s = LoadKnowledge(args.knowledge_file, &edges, &aliases,
-                           &topic_map);
-    if (!s.ok()) {
-      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    auto loaded = cdi::knowledge::LoadDomainKnowledge(args.knowledge_file);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
       return 1;
     }
+    dk = std::move(*loaded);
   }
-  std::set<std::string> concept_names;
-  for (const auto& [a, b] : edges) {
-    concept_names.insert(a);
-    concept_names.insert(b);
-  }
-  cdi::graph::Digraph concepts(std::vector<std::string>(
-      concept_names.begin(), concept_names.end()));
-  for (const auto& [a, b] : edges) {
-    auto s = concepts.AddEdge(a, b);
-    if (!s.ok()) {
-      std::fprintf(stderr, "knowledge edge %s -> %s: %s\n", a.c_str(),
-                   b.c_str(), s.ToString().c_str());
-      return 1;
-    }
+  auto concepts = cdi::knowledge::ConceptGraph(dk);
+  if (!concepts.ok()) {
+    std::fprintf(stderr, "%s\n", concepts.status().ToString().c_str());
+    return 1;
   }
   cdi::knowledge::OracleOptions oracle_options;
-  cdi::knowledge::TextCausalOracle oracle(concepts, oracle_options);
-  for (const auto& [attr, concept_name] : aliases) {
+  cdi::knowledge::TextCausalOracle oracle(*concepts, oracle_options);
+  for (const auto& [attr, concept_name] : dk.aliases) {
     oracle.RegisterAlias(attr, concept_name);
   }
   cdi::knowledge::TopicModel topics;
-  for (const auto& [name, keywords] : topic_map) {
+  for (const auto& [name, keywords] : dk.topics) {
     topics.AddTopic(name, keywords);
   }
 

@@ -5,6 +5,8 @@
 //               [--requests R] [--workers W] [--queue-depth D]
 //               [--distinct K] [--seed S] [--min-hit-rate F] [--no-verify]
 //               [--no-warmup] [--sweep] [--churn-rows N [--churn-batches B]]
+//               [--scenarios N [--skew zipf|uniform] [--zipf-s S]
+//                [--registry-shards N] [--memory-budget-kb K]]
 //
 // Spawns an in-process QueryServer over one registered scenario, derives a
 // seeded mix of K distinct (exposure, outcome) queries from the
@@ -38,12 +40,27 @@
 // computed up front — zero torn and zero stale answers required. The
 // warm-hit-rate gate is skipped (rollovers legitimately cool the cache).
 //
+// --scenarios N switches to the scale-out acceptance mode: the first N
+// cells of the default scenario-family grid (datagen/grid.h) are
+// registered at runtime through QueryServer::RegisterScenario, and the
+// clients replay a skewed closed-loop mix — each request picks a
+// scenario by Zipf(--zipf-s) or uniform draw and queries its canonical
+// (exposure, outcome) pair. With --memory-budget-kb the sharded registry
+// evicts cold scenarios under the churn; a client that draws an evicted
+// scenario re-registers it (the grid rebuild is bit-identical) and
+// replays the request. Every served answer is compared byte-for-byte
+// against a direct Pipeline::Run captured at first registration — one
+// payload per scenario covers every epoch, precisely because rebuilds
+// are deterministic. Gates: zero torn, zero errors, and (when a budget
+// is set) at least one eviction. The hit-rate gate is skipped.
+//
 // Prints the warm-phase MetricsSnapshot and a verification summary. Run
 // under TSan (-DCDI_TSAN=ON) in CI as the serving layer's race gate.
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -58,6 +75,7 @@
 #include "core/plan.h"
 #include "datagen/covid.h"
 #include "datagen/flights.h"
+#include "datagen/grid.h"
 #include "datagen/scenario.h"
 #include "serve/line_protocol.h"
 #include "serve/query_server.h"
@@ -81,6 +99,11 @@ struct Args {
   bool sweep = false;
   std::size_t churn_rows = 0;  // >0 enables streaming-ingest churn mode
   int churn_batches = 3;
+  std::size_t grid_scenarios = 0;  // >0 enables grid scale-out mode
+  std::string skew = "zipf";
+  double zipf_s = 1.1;
+  std::size_t registry_shards = 8;
+  std::size_t memory_budget_kb = 0;  // 0 = unlimited
 };
 
 int Usage(const char* argv0) {
@@ -89,7 +112,9 @@ int Usage(const char* argv0) {
       "usage: %s [--scenario covid|flights] [--entities N] [--clients C] "
       "[--requests R] [--workers W] [--queue-depth D] [--distinct K] "
       "[--seed S] [--min-hit-rate F] [--no-verify] [--no-warmup] "
-      "[--sweep] [--churn-rows N [--churn-batches B]]\n",
+      "[--sweep] [--churn-rows N [--churn-batches B]] "
+      "[--scenarios N [--skew zipf|uniform] [--zipf-s S] "
+      "[--registry-shards N] [--memory-budget-kb K]]\n",
       argv0);
   return 2;
 }
@@ -129,6 +154,16 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->churn_rows = static_cast<std::size_t>(std::atoll(v));
     } else if (flag == "--churn-batches" && (v = next())) {
       args->churn_batches = std::atoi(v);
+    } else if (flag == "--scenarios" && (v = next())) {
+      args->grid_scenarios = static_cast<std::size_t>(std::atoll(v));
+    } else if (flag == "--skew" && (v = next())) {
+      args->skew = v;
+    } else if (flag == "--zipf-s" && (v = next())) {
+      args->zipf_s = std::atof(v);
+    } else if (flag == "--registry-shards" && (v = next())) {
+      args->registry_shards = static_cast<std::size_t>(std::atoll(v));
+    } else if (flag == "--memory-budget-kb" && (v = next())) {
+      args->memory_budget_kb = static_cast<std::size_t>(std::atoll(v));
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
       return false;
@@ -138,6 +173,15 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     std::fprintf(stderr, "--sweep and --churn-rows are mutually exclusive\n");
     return false;
   }
+  if (args->grid_scenarios > 0 && (args->sweep || args->churn_rows > 0)) {
+    std::fprintf(stderr,
+                 "--scenarios (grid mode) excludes --sweep/--churn-rows\n");
+    return false;
+  }
+  if (args->skew != "zipf" && args->skew != "uniform") {
+    std::fprintf(stderr, "--skew must be zipf or uniform\n");
+    return false;
+  }
   if (args->churn_rows > 0 && args->churn_batches < 1) {
     std::fprintf(stderr, "--churn-batches must be >= 1\n");
     return false;
@@ -145,11 +189,202 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   return args->clients > 0 && args->requests > 0;
 }
 
+/// The byte-comparable form of a served response: the payload line for OK
+/// answers, "error code=<code>" otherwise.
+std::string ServedLine(const cdi::serve::QueryResponse& response) {
+  if (!response.status.ok()) {
+    return std::string("error code=") +
+           cdi::StatusCodeName(response.status.code());
+  }
+  return response.planned != nullptr
+             ? cdi::serve::FormatPairAnswerPayload(*response.planned)
+             : cdi::serve::FormatResultPayload(*response.result);
+}
+
+/// --scenarios N: grid scale-out acceptance. Registers the first N cells
+/// of the default grid through the server's single-flight registration,
+/// then drives a skewed closed-loop mix over them; evicted scenarios are
+/// re-registered on demand and every answer is verified byte-for-byte
+/// against the direct pipeline run captured at first registration.
+int RunGridMode(const Args& args) {
+  const auto cells =
+      cdi::datagen::EnumerateGrid(cdi::datagen::ScenarioGridSpec{});
+  if (args.grid_scenarios > cells.size()) {
+    std::fprintf(stderr, "--scenarios %zu exceeds the %zu-cell grid\n",
+                 args.grid_scenarios, cells.size());
+    return 1;
+  }
+  const std::size_t n = args.grid_scenarios;
+  const std::size_t entities = args.entities > 0 ? args.entities : 120;
+
+  std::vector<std::string> names(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    names[i] = cdi::datagen::GridCellName(cells[i]);
+  }
+  // A scenario's builder: the bit-stable grid rebuild. Used both for the
+  // initial registration and for on-demand re-registration after an
+  // eviction — determinism is what makes one expected payload per
+  // scenario cover every epoch.
+  const auto builder_for = [entities](const std::string& cell) {
+    return [cell, entities]()
+               -> cdi::Result<std::shared_ptr<const cdi::datagen::Scenario>> {
+      auto scenario = cdi::datagen::BuildGridScenario(cell, entities);
+      if (!scenario.ok()) return scenario.status();
+      return std::shared_ptr<const cdi::datagen::Scenario>(
+          std::move(scenario).value());
+    };
+  };
+
+  cdi::serve::RegistryOptions registry_options;
+  registry_options.num_shards = args.registry_shards;
+  registry_options.memory_budget_bytes = args.memory_budget_kb * 1024;
+  cdi::serve::ScenarioRegistry registry(registry_options);
+
+  cdi::serve::QueryServerOptions options;
+  options.num_workers = args.workers;
+  options.max_queue_depth = args.queue_depth;
+  cdi::serve::QueryServer server(&registry, options);
+
+  // Register the slice and capture per-scenario ground truth from the
+  // exact bundle just published (its snapshot stays valid even if the
+  // budget evicts the name while later cells register).
+  std::vector<cdi::serve::CdiQuery> mix(n);
+  std::vector<std::string> expected(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto bundle = server.RegisterScenario(names[i], builder_for(names[i]));
+    if (!bundle.ok()) {
+      std::fprintf(stderr, "register %s: %s\n", names[i].c_str(),
+                   bundle.status().ToString().c_str());
+      return 1;
+    }
+    const cdi::datagen::Scenario& sc = *(*bundle)->scenario;
+    mix[i].scenario = names[i];
+    mix[i].exposure = sc.exposure_attribute;
+    mix[i].outcome = sc.outcome_attribute;
+    if (args.verify) {
+      // Cells the pipeline deterministically rejects (e.g. severe MNAR at
+      // tiny entity counts drops every extracted attribute) stay in the
+      // mix: the server must reproduce the exact same error.
+      cdi::core::Pipeline pipeline(&sc.kg, &sc.lake, sc.oracle.get(),
+                                   &sc.topics, (*bundle)->default_options);
+      auto run = pipeline.Run(sc.input_table, sc.spec.entity_column,
+                              mix[i].exposure, mix[i].outcome);
+      expected[i] = run.ok() ? cdi::serve::FormatResultPayload(*run)
+                             : std::string("error code=") +
+                                   cdi::StatusCodeName(run.status().code());
+    }
+  }
+
+  // Skewed scenario-pick weights: Zipf over registration order (cell 0
+  // hottest), or uniform.
+  std::vector<double> weights(n, 1.0);
+  if (args.skew == "zipf") {
+    for (std::size_t i = 0; i < n; ++i) {
+      weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), args.zipf_s);
+    }
+  }
+
+  std::atomic<std::uint64_t> torn{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> retried{0};       // queue-full replays
+  std::atomic<std::uint64_t> reregistered{0};  // eviction recoveries
+  std::atomic<std::uint64_t> completed{0};
+
+  const std::uint64_t total = static_cast<std::uint64_t>(args.clients) *
+                              static_cast<std::uint64_t>(args.requests);
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(args.clients));
+  for (int c = 0; c < args.clients; ++c) {
+    clients.emplace_back([&, c] {
+      cdi::Rng rng(args.seed + 0xA11CE5 + static_cast<std::uint64_t>(c));
+      for (int r = 0; r < args.requests; ++r) {
+        const std::size_t pick = rng.Categorical(weights);
+        bool done = false;
+        // Bounded replay loop: queue-full shed and eviction recovery both
+        // retry the same request; anything else resolves it.
+        for (int attempt = 0; attempt < 200 && !done; ++attempt) {
+          const auto response = server.Execute(mix[pick]);
+          if (response.status.code() ==
+              cdi::StatusCode::kResourceExhausted) {
+            retried.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          if (response.status.code() == cdi::StatusCode::kNotFound) {
+            // Evicted by the memory budget: re-register the deterministic
+            // rebuild and replay. Concurrent recoveries of the same name
+            // coalesce under the server's single-flight registration.
+            auto again = server.RegisterScenario(
+                names[pick], builder_for(names[pick]), /*replace=*/true);
+            if (!again.ok()) {
+              errors.fetch_add(1, std::memory_order_relaxed);
+              done = true;
+              break;
+            }
+            reregistered.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          if (args.verify) {
+            // A served error that byte-matches the direct run's error is a
+            // verified answer; any payload/error mismatch is torn.
+            if (ServedLine(response) != expected[pick]) {
+              torn.fetch_add(1, std::memory_order_relaxed);
+            }
+          } else if (!response.status.ok()) {
+            errors.fetch_add(1, std::memory_order_relaxed);
+          }
+          done = true;
+        }
+        if (!done) errors.fetch_add(1, std::memory_order_relaxed);
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  const auto metrics = server.Metrics();
+  server.Shutdown();
+
+  std::printf("loadgen grid scenarios=%zu entities=%zu clients=%d "
+              "requests=%llu skew=%s zipf_s=%.2f shards=%zu budget_kb=%zu "
+              "seed=%llu\n",
+              n, entities, args.clients,
+              static_cast<unsigned long long>(total), args.skew.c_str(),
+              args.zipf_s, args.registry_shards, args.memory_budget_kb,
+              static_cast<unsigned long long>(args.seed));
+  std::printf("metrics %s\n", metrics.ToLine().c_str());
+  std::printf("verify torn=%llu errors=%llu retried=%llu reregistered=%llu "
+              "evicted=%llu\n",
+              static_cast<unsigned long long>(torn.load()),
+              static_cast<unsigned long long>(errors.load()),
+              static_cast<unsigned long long>(retried.load()),
+              static_cast<unsigned long long>(reregistered.load()),
+              static_cast<unsigned long long>(metrics.scenarios_evicted));
+
+  bool ok = torn.load() == 0 && errors.load() == 0;
+  if (torn.load() != 0) {
+    std::fprintf(stderr, "FAIL: %llu torn responses (served != direct run)\n",
+                 static_cast<unsigned long long>(torn.load()));
+  }
+  if (errors.load() != 0) {
+    std::fprintf(stderr, "FAIL: %llu error responses\n",
+                 static_cast<unsigned long long>(errors.load()));
+  }
+  if (args.memory_budget_kb > 0 && metrics.scenarios_evicted == 0) {
+    std::fprintf(stderr,
+                 "FAIL: a memory budget was set but nothing was evicted "
+                 "(raise --scenarios or lower --memory-budget-kb)\n");
+    ok = false;
+  }
+  std::printf("%s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
+  if (args.grid_scenarios > 0) return RunGridMode(args);
 
   // ---- Scenario ingest (amortized across every request). -----------------
   cdi::datagen::ScenarioSpec spec;
@@ -362,16 +597,7 @@ int main(int argc, char** argv) {
   // In sweep mode the planner legitimately rejects some pairs (same
   // cluster, attribute dropped during organization); those must match the
   // expected error instead of failing the warmup.
-  const auto served_line =
-      [](const cdi::serve::QueryResponse& response) -> std::string {
-    if (!response.status.ok()) {
-      return std::string("error code=") +
-             cdi::StatusCodeName(response.status.code());
-    }
-    return response.planned != nullptr
-               ? cdi::serve::FormatPairAnswerPayload(*response.planned)
-               : cdi::serve::FormatResultPayload(*response.result);
-  };
+  const auto served_line = ServedLine;
 
   if (args.warmup) {
     for (std::size_t i = 0; i < mix.size(); ++i) {

@@ -3,6 +3,7 @@
 // Usage:
 //   cdi_serve [--workers N] [--queue-depth D] [--pipeline-threads N]
 //             [--entities N] [--scenarios covid,flights]
+//             [--registry-shards N] [--memory-budget-kb K]
 //
 // Preloads the named benchmark scenarios (input table, knowledge graph,
 // data lake, oracle, topics, shared sufficient statistics) into a
@@ -12,9 +13,22 @@
 //   query <scenario> <exposure> <outcome> [timeout=<seconds>]
 //                  [mode=planned|full]
 //   update <scenario> rows=<csv-path>   # streaming row-batch ingest
+//   register <name> input=<csv> entity=<col> [kg=<csv>]... [lake=<csv>]...
+//            [knowledge=<file>] [exposure=<attr>] [outcome=<attr>]
+//            [replace]                  # runtime registration from files
+//   generate <name> grid=<cell> [entities=<n>] [seed=<s>] [replace]
+//                                       # fast path: materialize a named
+//                                       # generator-grid cell in process
+//   unregister <name>                   # runtime removal
 //   metrics        # one-line MetricsSnapshot
 //   scenarios      # registered scenarios and their numeric attributes
 //   quit
+//
+// --registry-shards / --memory-budget-kb configure the sharded registry:
+// with a budget, least-recently-used scenarios are evicted when the
+// byte-accounted charge exceeds it; evicted names answer queries with a
+// descriptive NotFound until re-registered (a `generate ... replace` of
+// the same cell rebuilds bit-identical data).
 //
 // `update` appends the CSV's rows (header must match the scenario's
 // input schema) under a fresh epoch: sufficient statistics are
@@ -52,9 +66,12 @@
 
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "core/pipeline.h"
 #include "datagen/covid.h"
 #include "datagen/flights.h"
+#include "datagen/grid.h"
 #include "datagen/scenario.h"
+#include "serve/bundle_loader.h"
 #include "serve/line_protocol.h"
 #include "serve/query_server.h"
 #include "serve/scenario_registry.h"
@@ -68,13 +85,16 @@ struct Args {
   int pipeline_threads = 1;
   std::size_t entities = 0;  // 0 = scenario default
   std::vector<std::string> scenarios = {"covid", "flights"};
+  std::size_t registry_shards = 8;
+  std::size_t memory_budget_kb = 0;  // 0 = unlimited
 };
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--workers N] [--queue-depth D] "
                "[--pipeline-threads N] [--entities N] "
-               "[--scenarios covid,flights]\n",
+               "[--scenarios covid,flights] "
+               "[--registry-shards N] [--memory-budget-kb K]\n",
                argv0);
   return 2;
 }
@@ -96,6 +116,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->entities = static_cast<std::size_t>(std::atoll(v));
     } else if (flag == "--scenarios" && (v = next())) {
       args->scenarios = cdi::Split(v, ',');
+    } else if (flag == "--registry-shards" && (v = next())) {
+      args->registry_shards = static_cast<std::size_t>(std::atoll(v));
+    } else if (flag == "--memory-budget-kb" && (v = next())) {
+      args->memory_budget_kb = static_cast<std::size_t>(std::atoll(v));
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
       return false;
@@ -128,13 +152,24 @@ cdi::Result<std::unique_ptr<const cdi::datagen::Scenario>> BuildNamed(
   return std::unique_ptr<const cdi::datagen::Scenario>(std::move(scenario));
 }
 
+/// "error scenario=<name> code=<code> message=\"...\"" for a failed
+/// register/generate/unregister/update.
+void EmitError(const std::string& scenario, const cdi::Status& status) {
+  EmitLine("error scenario=" + scenario + " code=" +
+           std::string(cdi::StatusCodeName(status.code())) + " message=\"" +
+           status.message() + "\"");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
 
-  cdi::serve::ScenarioRegistry registry;
+  cdi::serve::RegistryOptions registry_options;
+  registry_options.num_shards = args.registry_shards;
+  registry_options.memory_budget_bytes = args.memory_budget_kb * 1024;
+  cdi::serve::ScenarioRegistry registry(registry_options);
   for (const auto& name : args.scenarios) {
     auto scenario = BuildNamed(name, args.entities);
     if (!scenario.ok()) {
@@ -209,17 +244,12 @@ int main(int argc, char** argv) {
         cdi::Stopwatch sw;
         auto batch = cdi::table::ReadCsvFile(cmd->update_rows_path);
         if (!batch.ok()) {
-          EmitLine("error scenario=" + cmd->update_scenario + " code=" +
-                   std::string(cdi::StatusCodeName(batch.status().code())) +
-                   " message=\"" + batch.status().message() + "\"");
+          EmitError(cmd->update_scenario, batch.status());
           break;
         }
         auto updated = server.UpdateScenario(cmd->update_scenario, *batch);
         if (!updated.ok()) {
-          EmitLine("error scenario=" + cmd->update_scenario + " code=" +
-                   std::string(
-                       cdi::StatusCodeName(updated.status().code())) +
-                   " message=\"" + updated.status().message() + "\"");
+          EmitError(cmd->update_scenario, updated.status());
           break;
         }
         char tail[64];
@@ -229,6 +259,82 @@ int main(int argc, char** argv) {
                  std::to_string((*updated)->epoch) + " rows_appended=" +
                  std::to_string((*updated)->rows_appended) + " rows=" +
                  std::to_string((*updated)->input->num_rows()) + tail);
+        break;
+      }
+      case cdi::serve::ServerCommand::Kind::kRegister: {
+        cdi::Stopwatch sw;
+        cdi::serve::ScenarioFileInputs inputs;
+        inputs.input_csv = cmd->register_input;
+        inputs.entity_column = cmd->register_entity;
+        inputs.kg_csvs = cmd->register_kg;
+        inputs.lake_csvs = cmd->register_lake;
+        inputs.knowledge_file = cmd->register_knowledge;
+        inputs.exposure = cmd->register_exposure;
+        inputs.outcome = cmd->register_outcome;
+        // File-loaded scenarios have no ground-truth cluster DAG, so the
+        // evaluation defaults don't apply: pass plain pipeline options.
+        auto bundle = server.RegisterScenario(
+            cmd->target,
+            [&]() -> cdi::Result<
+                      std::shared_ptr<const cdi::datagen::Scenario>> {
+              CDI_ASSIGN_OR_RETURN(
+                  auto scenario,
+                  cdi::serve::LoadScenarioFromFiles(cmd->target, inputs));
+              return std::shared_ptr<const cdi::datagen::Scenario>(
+                  std::move(scenario));
+            },
+            cmd->replace, cdi::core::PipelineOptions{});
+        if (!bundle.ok()) {
+          EmitError(cmd->target, bundle.status());
+          break;
+        }
+        char tail[64];
+        std::snprintf(tail, sizeof(tail), " latency_us=%.1f",
+                      sw.ElapsedSeconds() * 1e6);
+        EmitLine("registered scenario=" + cmd->target + " epoch=" +
+                 std::to_string((*bundle)->epoch) + " rows=" +
+                 std::to_string((*bundle)->input->num_rows()) + " bytes=" +
+                 std::to_string((*bundle)->memory_bytes) + tail);
+        break;
+      }
+      case cdi::serve::ServerCommand::Kind::kGenerate: {
+        cdi::Stopwatch sw;
+        // Grid scenarios carry ground truth, so the evaluation defaults
+        // (cluster-count bracket from the true C-DAG) apply unchanged.
+        auto bundle = server.RegisterScenario(
+            cmd->target,
+            [&]() -> cdi::Result<
+                      std::shared_ptr<const cdi::datagen::Scenario>> {
+              CDI_ASSIGN_OR_RETURN(
+                  auto scenario,
+                  cdi::datagen::BuildGridScenario(cmd->grid_cell,
+                                                  cmd->generate_entities,
+                                                  cmd->generate_seed));
+              return std::shared_ptr<const cdi::datagen::Scenario>(
+                  std::move(scenario));
+            },
+            cmd->replace);
+        if (!bundle.ok()) {
+          EmitError(cmd->target, bundle.status());
+          break;
+        }
+        char tail[64];
+        std::snprintf(tail, sizeof(tail), " latency_us=%.1f",
+                      sw.ElapsedSeconds() * 1e6);
+        EmitLine("generated scenario=" + cmd->target + " grid=" +
+                 cmd->grid_cell + " epoch=" +
+                 std::to_string((*bundle)->epoch) + " rows=" +
+                 std::to_string((*bundle)->input->num_rows()) + " bytes=" +
+                 std::to_string((*bundle)->memory_bytes) + tail);
+        break;
+      }
+      case cdi::serve::ServerCommand::Kind::kUnregister: {
+        const auto status = server.UnregisterScenario(cmd->target);
+        if (!status.ok()) {
+          EmitError(cmd->target, status);
+          break;
+        }
+        EmitLine("unregistered scenario=" + cmd->target);
         break;
       }
       case cdi::serve::ServerCommand::Kind::kQuit:
