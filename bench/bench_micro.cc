@@ -29,6 +29,7 @@
 #include "serve/query_server.h"
 #include "serve/scenario_registry.h"
 #include "stats/correlation.h"
+#include "stats/gram_kernel.h"
 #include "stats/linalg.h"
 #include "stats/sufficient_stats.h"
 #include "table/aggregate.h"
@@ -103,6 +104,29 @@ void BM_CorrelationMatrix(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CorrelationMatrix)->Arg(10)->Arg(30)->Arg(100)->Arg(200)->Arg(400);
+
+// One full statistics pass (400 vars x 1000 rows) pinned to each SIMD
+// backend compiled into this binary. Arg(0) indexes AvailableGramKernels()
+// (0 = scalar, then avx2/neon, then avx512); unavailable indices report
+// as skipped rather than silently re-measuring another backend. Results
+// are bitwise identical across rows — only the speed may differ.
+void BM_GramSimd(benchmark::State& state) {
+  const auto kernels = cdi::stats::AvailableGramKernels();
+  const auto idx = static_cast<std::size_t>(state.range(0));
+  if (idx >= kernels.size()) {
+    state.SkipWithError("backend not compiled in / not supported here");
+    return;
+  }
+  cdi::stats::SetGramKernelForTesting(kernels[idx]);
+  auto ds = cdi::stats::NumericDataset::Own(ChainData(400, 1000, 5));
+  for (auto _ : state) {
+    auto corr = cdi::stats::CorrelationMatrix(ds);
+    benchmark::DoNotOptimize(corr->rows());
+  }
+  cdi::stats::SetGramKernelForTesting(nullptr);
+  state.SetLabel(kernels[idx]->name);
+}
+BENCHMARK(BM_GramSimd)->Arg(0)->Arg(1)->Arg(2);
 
 // ------------------------------------- sufficient-statistics sweep
 // The blocked Gram kernel vs the retired scalar reference, a threads ×
@@ -234,6 +258,81 @@ void BM_FisherZPartialCorrelation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FisherZPartialCorrelation);
+
+// PC's inner pattern — lexicographic subsets of one candidate pool as
+// conditioning sets — with the factor cache on (Arg = 1) vs per-query
+// from-scratch Cholesky (Arg = 0). Consecutive subsets share prefixes,
+// which is exactly what the cache extends; answers are bitwise equal.
+void BM_PartialCorrBatched(benchmark::State& state) {
+  const bool batched = state.range(0) != 0;
+  auto ds = cdi::stats::NumericDataset::Own(ChainData(20, 1000, 7));
+  auto test = cdi::discovery::FisherZTest::Create(ds);
+  CDI_CHECK(test.ok());
+  (*test)->set_batched(batched);
+  const std::vector<std::size_t> pool = {2, 4, 5, 8, 9, 11, 13, 16};
+  std::vector<std::size_t> cond(4);
+  for (auto _ : state) {
+    double sum = 0.0;
+    // All 70 4-subsets of the 8-candidate pool, in subset order.
+    for (std::size_t a = 0; a < pool.size(); ++a) {
+      for (std::size_t b = a + 1; b < pool.size(); ++b) {
+        for (std::size_t c = b + 1; c < pool.size(); ++c) {
+          for (std::size_t d = c + 1; d < pool.size(); ++d) {
+            cond = {pool[a], pool[b], pool[c], pool[d]};
+            sum += (*test)->PValue(0, 10, cond);
+          }
+        }
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetLabel(batched ? "batched" : "scratch");
+}
+BENCHMARK(BM_PartialCorrBatched)->Arg(0)->Arg(1);
+
+// Each variable loads on its three predecessors, so the skeleton keeps
+// edges through the low levels and PC runs many size-2..4 conditioning
+// sets — the regime the factor cache targets. A plain chain is useless
+// here: PC separates almost every pair at level 0/1, where there is no
+// factorization to reuse.
+std::vector<std::vector<double>> DenseData(std::size_t vars, std::size_t n,
+                                           uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> cols(vars, std::vector<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t v = 0; v < vars; ++v) {
+      double x = rng.Normal();
+      for (std::size_t k = 1; k <= 3 && k <= v; ++k) {
+        x += 0.45 * cols[v - k][i];
+      }
+      cols[v][i] = x;
+    }
+  }
+  return cols;
+}
+
+// Full PC-stable skeleton with the batched CI engine on/off. The win
+// grows with the variable count: higher levels mean larger conditioning
+// sets, where re-factorizing from scratch is quadratically dearer than
+// extending a cached prefix.
+void BM_PcSkeletonBatched(benchmark::State& state) {
+  const bool batched = state.range(0) != 0;
+  const std::size_t vars = 30;
+  auto ds = cdi::stats::NumericDataset::Own(DenseData(vars, 800, 9));
+  std::vector<std::string> names;
+  for (std::size_t v = 0; v < vars; ++v) {
+    names.push_back("v" + std::to_string(v));
+  }
+  auto test = cdi::discovery::FisherZTest::Create(ds);
+  CDI_CHECK(test.ok());
+  (*test)->set_batched(batched);
+  for (auto _ : state) {
+    auto result = cdi::discovery::RunPc(**test, names);
+    benchmark::DoNotOptimize(result->ci_tests);
+  }
+  state.SetLabel(batched ? "batched" : "scratch");
+}
+BENCHMARK(BM_PcSkeletonBatched)->Arg(0)->Arg(1);
 
 void BM_PcScaling(benchmark::State& state) {
   const auto vars = static_cast<std::size_t>(state.range(0));

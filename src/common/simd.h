@@ -1,0 +1,201 @@
+#ifndef CDI_COMMON_SIMD_H_
+#define CDI_COMMON_SIMD_H_
+
+#include <cmath>
+#include <cstddef>
+
+/// Portable 4-lane double vector for the stats microkernels.
+///
+/// Backend selection is purely compile-time, per translation unit:
+///   - AVX2 + FMA when the TU is compiled with -mavx2 -mfma
+///   - NEON on aarch64 (baseline — FMA is architectural)
+///   - scalar std::fma lanes otherwise
+/// A TU can force the scalar backend by defining CDI_SIMD_FORCE_SCALAR
+/// before including this header (the SIMD-vs-scalar identity tests and
+/// the always-available fallback kernel do exactly that).
+///
+/// Determinism contract: every operation is lanewise IEEE-754, and
+/// MulAdd is a *fused* multiply-add on every backend (std::fma is
+/// correctly rounded by definition; vfmadd/ vfmaq are the hardware
+/// equivalent). A computation expressed in V4 lanes therefore produces
+/// bitwise-identical results on every backend and on the scalar
+/// fallback — the property the Gram kernel's tests pin down.
+
+#if !defined(CDI_SIMD_FORCE_SCALAR) && defined(__AVX2__) && defined(__FMA__)
+#define CDI_SIMD_BACKEND_AVX2 1
+#include <immintrin.h>
+#elif !defined(CDI_SIMD_FORCE_SCALAR) && defined(__aarch64__)
+#define CDI_SIMD_BACKEND_NEON 1
+#include <arm_neon.h>
+#else
+#define CDI_SIMD_BACKEND_SCALAR 1
+#endif
+
+namespace cdi::simd {
+
+constexpr std::size_t kLanes = 4;
+
+/// Read-prefetch hint; never changes results (and never faults, even
+/// past the end of an allocation). The Gram microkernels issue it a few
+/// rows ahead so the packed panels stream from L2 without stalling the
+/// FMA pipe.
+inline void Prefetch(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+#if defined(CDI_SIMD_BACKEND_AVX2)
+
+struct V4 {
+  __m256d v;
+};
+
+inline const char* BackendName() { return "avx2"; }
+inline V4 Zero() { return {_mm256_setzero_pd()}; }
+inline V4 Load(const double* p) { return {_mm256_loadu_pd(p)}; }
+inline void Store(double* p, V4 a) { _mm256_storeu_pd(p, a.v); }
+inline V4 Broadcast(double x) { return {_mm256_set1_pd(x)}; }
+inline V4 Add(V4 a, V4 b) { return {_mm256_add_pd(a.v, b.v)}; }
+inline V4 Mul(V4 a, V4 b) { return {_mm256_mul_pd(a.v, b.v)}; }
+/// acc + a * b, fused (single rounding).
+inline V4 MulAdd(V4 a, V4 b, V4 acc) {
+  return {_mm256_fmadd_pd(a.v, b.v, acc.v)};
+}
+/// Lanewise IEEE division — correctly rounded, so bitwise identical to
+/// the scalar `/` on the same operands.
+inline V4 Div(V4 a, V4 b) { return {_mm256_div_pd(a.v, b.v)}; }
+/// Lanewise IEEE square root — correctly rounded, matches std::sqrt.
+inline V4 Sqrt(V4 a) { return {_mm256_sqrt_pd(a.v)}; }
+/// std::clamp(x, -1.0, 1.0) per lane: x < -1 -> -1, 1 < x -> 1, else x
+/// (NaN compares false twice and passes through, exactly like
+/// std::clamp).
+inline V4 ClampPm1(V4 a) {
+  const __m256d lo = _mm256_set1_pd(-1.0);
+  const __m256d hi = _mm256_set1_pd(1.0);
+  __m256d v = a.v;
+  v = _mm256_blendv_pd(v, lo, _mm256_cmp_pd(v, lo, _CMP_LT_OQ));
+  v = _mm256_blendv_pd(v, hi, _mm256_cmp_pd(hi, v, _CMP_LT_OQ));
+  return {v};
+}
+/// Lane i: guard[i] > 0 ? v[i] : +0.0 (false for NaN guards, like the
+/// scalar `guard > 0` test).
+inline V4 ZeroUnlessPos(V4 guard, V4 v) {
+  const __m256d m = _mm256_cmp_pd(guard.v, _mm256_setzero_pd(), _CMP_GT_OQ);
+  return {_mm256_and_pd(v.v, m)};
+}
+
+#elif defined(CDI_SIMD_BACKEND_NEON)
+
+struct V4 {
+  float64x2_t lo;
+  float64x2_t hi;
+};
+
+inline const char* BackendName() { return "neon"; }
+inline V4 Zero() { return {vdupq_n_f64(0.0), vdupq_n_f64(0.0)}; }
+inline V4 Load(const double* p) { return {vld1q_f64(p), vld1q_f64(p + 2)}; }
+inline void Store(double* p, V4 a) {
+  vst1q_f64(p, a.lo);
+  vst1q_f64(p + 2, a.hi);
+}
+inline V4 Broadcast(double x) { return {vdupq_n_f64(x), vdupq_n_f64(x)}; }
+inline V4 Add(V4 a, V4 b) {
+  return {vaddq_f64(a.lo, b.lo), vaddq_f64(a.hi, b.hi)};
+}
+inline V4 Mul(V4 a, V4 b) {
+  return {vmulq_f64(a.lo, b.lo), vmulq_f64(a.hi, b.hi)};
+}
+/// acc + a * b, fused (single rounding).
+inline V4 MulAdd(V4 a, V4 b, V4 acc) {
+  return {vfmaq_f64(acc.lo, a.lo, b.lo), vfmaq_f64(acc.hi, a.hi, b.hi)};
+}
+/// Lanewise IEEE division — correctly rounded, so bitwise identical to
+/// the scalar `/` on the same operands.
+inline V4 Div(V4 a, V4 b) {
+  return {vdivq_f64(a.lo, b.lo), vdivq_f64(a.hi, b.hi)};
+}
+/// Lanewise IEEE square root — correctly rounded, matches std::sqrt.
+inline V4 Sqrt(V4 a) { return {vsqrtq_f64(a.lo), vsqrtq_f64(a.hi)}; }
+/// std::clamp(x, -1.0, 1.0) per lane (NaN passes through).
+inline V4 ClampPm1(V4 a) {
+  const float64x2_t lo = vdupq_n_f64(-1.0);
+  const float64x2_t hi = vdupq_n_f64(1.0);
+  auto clamp2 = [&](float64x2_t v) {
+    v = vbslq_f64(vcltq_f64(v, lo), lo, v);
+    v = vbslq_f64(vcltq_f64(hi, v), hi, v);
+    return v;
+  };
+  return {clamp2(a.lo), clamp2(a.hi)};
+}
+/// Lane i: guard[i] > 0 ? v[i] : +0.0.
+inline V4 ZeroUnlessPos(V4 guard, V4 v) {
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  return {vbslq_f64(vcgtq_f64(guard.lo, zero), v.lo, zero),
+          vbslq_f64(vcgtq_f64(guard.hi, zero), v.hi, zero)};
+}
+
+#else  // scalar
+
+struct V4 {
+  double l[kLanes];
+};
+
+inline const char* BackendName() { return "scalar"; }
+inline V4 Zero() { return {{0.0, 0.0, 0.0, 0.0}}; }
+inline V4 Load(const double* p) { return {{p[0], p[1], p[2], p[3]}}; }
+inline void Store(double* p, V4 a) {
+  p[0] = a.l[0];
+  p[1] = a.l[1];
+  p[2] = a.l[2];
+  p[3] = a.l[3];
+}
+inline V4 Broadcast(double x) { return {{x, x, x, x}}; }
+inline V4 Add(V4 a, V4 b) {
+  return {{a.l[0] + b.l[0], a.l[1] + b.l[1], a.l[2] + b.l[2],
+           a.l[3] + b.l[3]}};
+}
+inline V4 Mul(V4 a, V4 b) {
+  return {{a.l[0] * b.l[0], a.l[1] * b.l[1], a.l[2] * b.l[2],
+           a.l[3] * b.l[3]}};
+}
+/// acc + a * b, fused (std::fma is correctly rounded, so this matches
+/// the hardware FMA backends bit for bit).
+inline V4 MulAdd(V4 a, V4 b, V4 acc) {
+  return {{std::fma(a.l[0], b.l[0], acc.l[0]),
+           std::fma(a.l[1], b.l[1], acc.l[1]),
+           std::fma(a.l[2], b.l[2], acc.l[2]),
+           std::fma(a.l[3], b.l[3], acc.l[3])}};
+}
+/// Lanewise IEEE division — the scalar `/` itself.
+inline V4 Div(V4 a, V4 b) {
+  return {{a.l[0] / b.l[0], a.l[1] / b.l[1], a.l[2] / b.l[2],
+           a.l[3] / b.l[3]}};
+}
+/// Lanewise IEEE square root (std::sqrt is correctly rounded).
+inline V4 Sqrt(V4 a) {
+  return {{std::sqrt(a.l[0]), std::sqrt(a.l[1]), std::sqrt(a.l[2]),
+           std::sqrt(a.l[3])}};
+}
+/// std::clamp(x, -1.0, 1.0) per lane (NaN passes through).
+inline V4 ClampPm1(V4 a) {
+  V4 r = a;
+  for (double& x : r.l) x = x < -1.0 ? -1.0 : (1.0 < x ? 1.0 : x);
+  return r;
+}
+/// Lane i: guard[i] > 0 ? v[i] : +0.0.
+inline V4 ZeroUnlessPos(V4 guard, V4 v) {
+  V4 r;
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    r.l[i] = guard.l[i] > 0 ? v.l[i] : 0.0;
+  }
+  return r;
+}
+
+#endif
+
+}  // namespace cdi::simd
+
+#endif  // CDI_COMMON_SIMD_H_

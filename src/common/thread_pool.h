@@ -54,10 +54,27 @@ class ThreadPool {
 /// all calls return. Iterations must be independent; they are handed out
 /// dynamically, so any iteration may run on any worker in any order —
 /// callers that need determinism must write results to per-index slots.
+/// Fans out to at most hardware_concurrency tasks regardless of pool
+/// width (an oversubscribed pool only adds context-switch overhead).
 /// Runs inline (plain loop) when `pool` is null, has a single worker, or
 /// `n <= 1`.
 void ParallelFor(ThreadPool* pool, std::size_t n,
                  const std::function<void(std::size_t)>& fn);
+
+/// Range-chunked variant for loops whose per-index work is too small for
+/// ParallelFor's one-index-per-pull scheduling but too uneven for static
+/// splitting: [0, n) is cut into contiguous chunks of at least
+/// `min_grain` indices (at most ~4 chunks per worker), workers pull
+/// chunks dynamically, and `fn(begin, end)` runs once per chunk. Unlike
+/// ParallelFor there is no minimum-work heuristic — the caller states
+/// the grain, so even a 50-iteration loop fans out. Fans out to at most
+/// hardware_concurrency tasks regardless of pool width. Runs inline as
+/// fn(0, n) when `pool` is null, has a single worker, or everything fits
+/// one chunk. Chunk boundaries are load balancing only; callers must
+/// produce results independent of them (per-index output slots).
+void ParallelForRanges(
+    ThreadPool* pool, std::size_t n, std::size_t min_grain,
+    const std::function<void(std::size_t, std::size_t)>& fn);
 
 }  // namespace cdi
 

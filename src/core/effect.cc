@@ -5,6 +5,7 @@
 
 #include "common/span.h"
 #include "stats/distributions.h"
+#include "stats/factor_cache.h"
 #include "stats/linalg.h"
 #include "stats/regression.h"
 
@@ -52,6 +53,15 @@ Result<EffectEstimate> EstimateEffectFromStats(
     const stats::SufficientStats& stats,
     const std::vector<std::string>& names, const std::string& exposure,
     const std::string& outcome, const std::vector<std::string>& adjustment) {
+  return EstimateEffectFromStats(stats, names, exposure, outcome, adjustment,
+                                 nullptr, nullptr);
+}
+
+Result<EffectEstimate> EstimateEffectFromStats(
+    const stats::SufficientStats& stats,
+    const std::vector<std::string>& names, const std::string& exposure,
+    const std::string& outcome, const std::vector<std::string>& adjustment,
+    const stats::Matrix* corr, stats::FactorCache* fcache) {
   if (names.size() != stats.num_vars()) {
     return Status::InvalidArgument(
         "names/statistics size mismatch: " + std::to_string(names.size()) +
@@ -98,15 +108,36 @@ Result<EffectEstimate> EstimateEffectFromStats(
   }
 
   // Standardized slopes from the correlation submatrix: R_xx b = R_xy.
-  const stats::Matrix corr = stats.Correlation();
+  stats::Matrix local_corr;
+  if (corr == nullptr) {
+    local_corr = stats.Correlation();
+    corr = &local_corr;
+  }
   stats::Matrix rxx(p, p);
   std::vector<double> rxy(p);
   for (std::size_t i = 0; i < p; ++i) {
-    for (std::size_t j = 0; j < p; ++j) rxx(i, j) = corr(xs[i], xs[j]);
-    rxy[i] = corr(xs[i], o_idx);
+    for (std::size_t j = 0; j < p; ++j) rxx(i, j) = (*corr)(xs[i], xs[j]);
+    rxy[i] = (*corr)(xs[i], o_idx);
   }
-  CDI_ASSIGN_OR_RETURN(std::vector<double> beta,
-                       stats::SolveNormalEquations(rxx, rxy, 1e-9));
+  std::vector<double> beta;
+  if (fcache != nullptr && fcache->ridge() == 1e-9) {
+    // The cached factor is Cholesky of R_xx + 1e-9 I — exactly
+    // SolveNormalEquations' first attempt — so a cache solve reproduces
+    // it bitwise. On failure (collinear predictors), replay its
+    // stronger-ridge retry: +1e-9 then +1e-6 as two separate adds.
+    auto cached = fcache->Solve(xs, rxy);
+    if (cached.ok()) {
+      beta = *std::move(cached);
+    } else {
+      stats::Matrix ridged = rxx;
+      for (std::size_t d = 0; d < p; ++d) ridged(d, d) += 1e-9;
+      for (std::size_t d = 0; d < p; ++d) ridged(d, d) += 1e-6;
+      CDI_ASSIGN_OR_RETURN(beta, stats::CholeskySolve(ridged, rxy));
+    }
+  } else {
+    CDI_ASSIGN_OR_RETURN(beta,
+                         stats::SolveNormalEquations(rxx, rxy, 1e-9));
+  }
 
   // rss on the standardized scale: total SS is W - 1 by construction.
   const double wsum = stats.weight_sum();

@@ -64,6 +64,12 @@ Result<double> PartialCorrelation(const Matrix& corr, std::size_t i,
   }
   // Non-SPD even with the ridge (severely collinear conditioning set):
   // fall back to the precision-matrix route, whose pivoting tolerates it.
+  return PartialCorrelationPrecisionFallback(corr, i, j, given);
+}
+
+double PartialCorrelationPrecisionFallback(
+    const Matrix& corr, std::size_t i, std::size_t j,
+    const std::vector<std::size_t>& given) {
   std::vector<std::size_t> pidx = {i, j};
   pidx.insert(pidx.end(), given.begin(), given.end());
   Matrix psub = corr.Submatrix(pidx);

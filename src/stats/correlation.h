@@ -76,6 +76,16 @@ Result<double> PartialCorrelation(const Matrix& corr, std::size_t i,
                                   std::size_t j,
                                   const std::vector<std::size_t>& given);
 
+/// The non-SPD escape hatch of PartialCorrelation: the pivoted
+/// precision-matrix route taken when Cholesky of the ridged submatrix
+/// fails (severely collinear conditioning set). Exposed so FactorCache's
+/// batched path lands on the *same* fallback arithmetic — bitwise — when
+/// a cached factorization is degenerate. Requires |given| >= 2 and valid
+/// distinct indices.
+double PartialCorrelationPrecisionFallback(
+    const Matrix& corr, std::size_t i, std::size_t j,
+    const std::vector<std::size_t>& given);
+
 /// Fisher-z two-sided p-value for testing rho = 0, where `r` is the
 /// (partial) correlation, `n` the sample size and `k` the size of the
 /// conditioning set. Returns 1 when n - k - 3 <= 0.

@@ -1,0 +1,100 @@
+// Gram kernel dispatch. Kernel bodies live in per-backend translation
+// units so each can be compiled with its own ISA flags while this TU —
+// and everything else — stays at the baseline target; selection happens
+// once at first use from (a) what was compiled in, (b) what the CPU
+// reports, (c) an optional CDI_SIMD env cap for A/B runs. All kernels
+// are bitwise interchangeable (see gram_kernel.h), so the choice is
+// purely about speed.
+#include "stats/gram_kernel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace cdi::stats {
+
+const GramKernelFns* CdiGramKernelScalar();
+#if defined(CDI_HAVE_SIMD_KERNEL)
+const GramKernelFns* CdiGramKernelSimd();
+#endif
+#if defined(CDI_HAVE_AVX512_KERNEL)
+const GramKernelFns* CdiGramKernelAvx512();
+#endif
+
+namespace {
+
+bool CpuHasSimd() {
+#if defined(__aarch64__)
+  return true;  // NEON + FMA are architectural
+#elif defined(__x86_64__) && defined(__GNUC__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool CpuHasAvx512() {
+#if defined(__x86_64__) && defined(__GNUC__)
+  return __builtin_cpu_supports("avx512f");
+#else
+  return false;
+#endif
+}
+
+const GramKernelFns* SimdKernelOrNull() {
+#if defined(CDI_HAVE_SIMD_KERNEL)
+  if (CpuHasSimd()) return CdiGramKernelSimd();
+#endif
+  return nullptr;
+}
+
+const GramKernelFns* Avx512KernelOrNull() {
+#if defined(CDI_HAVE_AVX512_KERNEL)
+  if (CpuHasAvx512()) return CdiGramKernelAvx512();
+#endif
+  return nullptr;
+}
+
+const GramKernelFns* Choose() {
+  if (const char* env = std::getenv("CDI_SIMD")) {
+    if (const GramKernelFns* k = GramKernelByName(env)) return k;
+    // Unknown or unavailable name: fall through to auto-selection.
+  }
+  if (const GramKernelFns* k = Avx512KernelOrNull()) return k;
+  if (const GramKernelFns* k = SimdKernelOrNull()) return k;
+  return CdiGramKernelScalar();
+}
+
+std::atomic<const GramKernelFns*> g_override{nullptr};
+
+}  // namespace
+
+const GramKernelFns& ActiveGramKernel() {
+  if (const GramKernelFns* k = g_override.load(std::memory_order_acquire)) {
+    return *k;
+  }
+  static const GramKernelFns* const chosen = Choose();
+  return *chosen;
+}
+
+const GramKernelFns* GramKernelByName(std::string_view name) {
+  if (name == "scalar") return CdiGramKernelScalar();
+  if (const GramKernelFns* k = SimdKernelOrNull()) {
+    if (name == k->name || name == "simd") return k;
+  }
+  if (name == "avx512") return Avx512KernelOrNull();
+  return nullptr;
+}
+
+std::vector<const GramKernelFns*> AvailableGramKernels() {
+  std::vector<const GramKernelFns*> out{CdiGramKernelScalar()};
+  if (const GramKernelFns* k = SimdKernelOrNull()) out.push_back(k);
+  if (const GramKernelFns* k = Avx512KernelOrNull()) out.push_back(k);
+  return out;
+}
+
+void SetGramKernelForTesting(const GramKernelFns* kernel) {
+  g_override.store(kernel, std::memory_order_release);
+}
+
+}  // namespace cdi::stats

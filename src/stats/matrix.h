@@ -2,12 +2,63 @@
 #define CDI_STATS_MATRIX_H_
 
 #include <cstddef>
+#include <memory>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
 
 namespace cdi::stats {
+
+namespace detail {
+/// Thread-local cache of large matrix storage blocks. glibc serves
+/// multi-MB allocations with fresh mmaps and returns them on free, so a
+/// loop that builds a few-hundred-variable matrix per iteration (PC
+/// sweeps, serving epochs, benchmarks) pays ~300 soft page faults per
+/// matrix. Recycling the handful of hot block sizes through a bounded
+/// per-thread freelist keeps the pages warm. Blocks are keyed by exact
+/// byte size; both functions only ever see blocks that came from
+/// `::operator new`.
+void* AcquireMatrixBlock(std::size_t bytes);          // nullptr on miss
+bool TryReleaseMatrixBlock(void* p, std::size_t bytes);  // false when full
+}  // namespace detail
+
+/// std::allocator that (a) default-initializes on no-argument construct,
+/// so `resize(n)` leaves doubles uninitialized instead of zero-filling,
+/// and (b) recycles large blocks through the thread-local cache above.
+/// Explicit fills (`vector(n, v)`) are unaffected. Exists so producers
+/// that overwrite every entry (Matrix::Uninitialized) can skip a full
+/// write pass over the storage, and so matrix-per-iteration loops do not
+/// churn mmapped pages.
+template <class T>
+struct DefaultInitAlloc : std::allocator<T> {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "block recycling skips destructors");
+  template <class U>
+  struct rebind {
+    using other = DefaultInitAlloc<U>;
+  };
+  T* allocate(std::size_t n) {
+    if (void* p = detail::AcquireMatrixBlock(n * sizeof(T))) {
+      return static_cast<T*>(p);
+    }
+    return std::allocator<T>::allocate(n);
+  }
+  void deallocate(T* p, std::size_t n) {
+    if (detail::TryReleaseMatrixBlock(p, n * sizeof(T))) return;
+    std::allocator<T>::deallocate(p, n);
+  }
+  template <class U, class... Args>
+  void construct(U* p, Args&&... args) {
+    if constexpr (sizeof...(Args) == 0) {
+      ::new (static_cast<void*>(p)) U;
+    } else {
+      ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+    }
+  }
+};
 
 /// Dense row-major matrix of doubles.
 ///
@@ -15,9 +66,22 @@ namespace cdi::stats {
 /// hundred attributes); all algorithms that use it are O(n^3) or better.
 class Matrix {
  public:
+  using Storage = std::vector<double, DefaultInitAlloc<double>>;
+
   Matrix() : rows_(0), cols_(0) {}
   Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
       : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Matrix whose storage is left uninitialized — for producers that
+  /// overwrite every entry, skipping the zero-fill pass the normal
+  /// constructor pays. Reading an entry before writing it is UB.
+  static Matrix Uninitialized(std::size_t rows, std::size_t cols) {
+    Matrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.data_.resize(rows * cols);
+    return m;
+  }
 
   /// Identity matrix of order n.
   static Matrix Identity(std::size_t n);
@@ -39,7 +103,16 @@ class Matrix {
   }
 
   /// Raw storage (row-major).
-  const std::vector<double>& data() const { return data_; }
+  const Storage& data() const { return data_; }
+
+  /// Unchecked raw row access (row-major; caller guarantees r < rows()).
+  /// For hot kernels where the per-access CDI_CHECK of operator() costs
+  /// real time or blocks vectorization; everything else should keep the
+  /// checked operator().
+  double* Row(std::size_t r) { return data_.data() + r * cols_; }
+  const double* Row(std::size_t r) const {
+    return data_.data() + r * cols_;
+  }
 
   Matrix Transpose() const;
 
@@ -71,7 +144,7 @@ class Matrix {
  private:
   std::size_t rows_;
   std::size_t cols_;
-  std::vector<double> data_;
+  Storage data_;
 };
 
 }  // namespace cdi::stats

@@ -159,7 +159,10 @@ Result<double> GaussianBicLocalScore(
   if (parents.empty()) {
     const double m = Mean(data[target]);
     rss = 0;
-    for (double v : data[target]) rss += (v - m) * (v - m);
+    // One fused multiply-add per row, rows ascending — the same per-entry
+    // operation sequence as the blocked Gram kernel, so the empty-parents
+    // score stays bitwise equal to SufficientStats::GaussianBicLocal.
+    for (double v : data[target]) rss = std::fma(v - m, v - m, rss);
   } else {
     std::vector<DoubleSpan> xs;
     for (std::size_t pidx : parents) xs.push_back(data[pidx]);

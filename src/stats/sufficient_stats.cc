@@ -7,68 +7,44 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "stats/factor_cache.h"
+#include "stats/gram_kernel.h"
 #include "stats/linalg.h"
 
 namespace cdi::stats {
 
 namespace {
 
-/// Microkernel tile width: each parallel task owns a kTile x kTile block
-/// of the Gram matrix. 8 doubles = one cache line per packed tile row,
-/// and the inner y-loop vectorizes with one independent accumulator per
-/// entry (lanewise identical to scalar evaluation — no reduction
-/// reassociation).
-constexpr std::size_t kTile = 8;
+/// Microkernel tile width (one cache line of doubles per packed tile
+/// row). The kernel bodies live in stats/gram_kernel_*.cc — a scalar
+/// std::fma fallback plus SIMD backends selected at runtime — all
+/// bitwise interchangeable: every Gram entry is accumulated with one
+/// fused multiply-add per row, rows ascending, one accumulator per
+/// entry, so neither the backend, the thread count, nor the task
+/// chunking can change a single bit of the result.
+constexpr std::size_t kTile = kGramTile;
 
 /// Rows per blocked sweep. The sweep re-reads the packed chunk once per
 /// tile pair, so the chunk (kRowBlock x padded-p doubles) should sit in
 /// cache: 256 rows x 400 attrs x 8 B ~ 820 KB.
 constexpr std::size_t kRowBlock = 256;
 
-/// Row-unroll depth of the microkernel: deep enough to amortize the
-/// accumulator loads/stores over several rows (the difference between a
-/// spill-bound and a near-peak kernel), shallow enough not to blow the
-/// register file. The unrolled adds feed one accumulator sequentially in
-/// row order, so the depth never changes results.
-constexpr std::size_t kRowUnroll = 4;
-
-/// Accumulates a kTile x kTile Gram tile over `count` packed rows:
-/// local[x][y] += sum_i ablk[i][x] * bblk[i][y], each entry summed in
-/// ascending row order. `ablk`/`bblk` are tile-contiguous panels (row i
-/// of a tile is kTile adjacent doubles — one cache line).
-void GramTile(const double* ablk, const double* bblk, std::size_t count,
-              double* local) {
-  std::size_t i = 0;
-  for (; i + kRowUnroll <= count; i += kRowUnroll) {
-    for (std::size_t x = 0; x < kTile; ++x) {
-      for (std::size_t y = 0; y < kTile; ++y) {
-        double t = local[x * kTile + y];
-        for (std::size_t u = 0; u < kRowUnroll; ++u) {
-          t += ablk[(i + u) * kTile + x] * bblk[(i + u) * kTile + y];
-        }
-        local[x * kTile + y] = t;
-      }
-    }
-  }
-  for (; i < count; ++i) {
-    for (std::size_t x = 0; x < kTile; ++x) {
-      const double ax = ablk[i * kTile + x];
-      for (std::size_t y = 0; y < kTile; ++y) {
-        local[x * kTile + y] += ax * bblk[i * kTile + y];
-      }
-    }
-  }
-}
+/// Panel bytes under which the whole row range runs as one block. Each
+/// extra block costs a full accumulator reload/flush, so when the packed
+/// panel fits in L2 next to the accumulators we skip the blocking
+/// entirely; past that, keeping the per-block panel L2-resident wins
+/// (measured: a single 3.3 MB panel at 400 vars is ~35% slower than
+/// 256-row blocks). Store/reload of a double is exact, so the block size
+/// never changes a bit of the result — it only moves memory traffic.
+constexpr std::size_t kOneBlockPanelBytes = std::size_t{1} << 20;
 
 std::size_t WordCount(std::size_t n) { return (n + 63) / 64; }
 
-/// Present (not-NaN) bits of col[0..count) packed LSB-first, branchlessly.
+/// Present (not-NaN) bits of col[0..count) packed LSB-first — dispatched
+/// to the active Gram kernel backend. The comparisons are exact, so every
+/// backend returns identical bits.
 inline std::uint64_t PresentBitsWord(const double* col, std::size_t count) {
-  std::uint64_t bits = 0;
-  for (std::size_t i = 0; i < count; ++i) {
-    bits |= static_cast<std::uint64_t>(col[i] == col[i]) << i;
-  }
-  return bits;
+  return ActiveGramKernel().present_bits(col, count);
 }
 
 /// mask &= present bits of `col` (n rows). Words already dead are skipped.
@@ -84,20 +60,68 @@ void AndColumnMask(const double* col, std::size_t n, std::uint64_t* mask) {
 /// Complete-row mask of `data`: all-ones (tail-clipped), AND'ed with each
 /// column's present bits — from its null bitmap when the caller opted in
 /// via NumericDataset::null_words, else from a NaN scan.
-std::vector<std::uint64_t> BuildMask(const NumericDataset& data) {
+///
+/// NaN-scanned columns also get a speculative full-column sum (ascending
+/// plain adds, the exact sequence the per-column sums pass runs when
+/// every row is complete) while the column is still cache-hot from the
+/// scan: if the final mask comes out all-ones, the caller skips its own
+/// pass over the data entirely. `spec_sums[v]` is meaningful only where
+/// `spec_ok[v]` is set.
+std::vector<std::uint64_t> BuildMask(const NumericDataset& data,
+                                     std::vector<double>* spec_sums,
+                                     std::vector<char>* spec_ok) {
   const std::size_t n = data.num_rows();
   const std::size_t words = WordCount(n);
   std::vector<std::uint64_t> mask(words, ~std::uint64_t{0});
   if (n % 64 != 0 && words > 0) {
     mask[words - 1] = (std::uint64_t{1} << (n % 64)) - 1;
   }
+  // Bitmap-backed columns first (no data read), then the NaN-scanned
+  // columns in groups of eight. AND-ing words is commutative, so the
+  // reordering cannot change the mask.
+  std::vector<std::size_t> scanned;
+  scanned.reserve(data.columns.size());
   for (std::size_t v = 0; v < data.columns.size(); ++v) {
     const std::uint64_t* nulls =
         v < data.null_words.size() ? data.null_words[v] : nullptr;
     if (nulls != nullptr) {
       for (std::size_t w = 0; w < words; ++w) mask[w] &= ~nulls[w];
     } else {
-      AndColumnMask(data.columns[v].data(), n, mask.data());
+      scanned.push_back(v);
+    }
+  }
+  // Per group: the NaN scan, then the speculative sums while the group's
+  // ~64 KB is still cache-resident — one DRAM pass instead of two. Each
+  // column keeps its own strictly ascending scalar add chain (the exact
+  // reference sequence); the eight independent chains cover the FP-add
+  // latency x throughput product that made a one-column sum
+  // serialization-bound.
+  std::size_t g = 0;
+  for (; g + 8 <= scanned.size(); g += 8) {
+    const double* c[8];
+    for (std::size_t u = 0; u < 8; ++u) {
+      c[u] = data.columns[scanned[g + u]].data();
+    }
+    for (std::size_t u = 0; u < 8; ++u) AndColumnMask(c[u], n, mask.data());
+    if (spec_sums != nullptr) {
+      double s[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t u = 0; u < 8; ++u) s[u] += c[u][i];
+      }
+      for (std::size_t u = 0; u < 8; ++u) {
+        (*spec_sums)[scanned[g + u]] = s[u];
+        (*spec_ok)[scanned[g + u]] = 1;
+      }
+    }
+  }
+  for (; g < scanned.size(); ++g) {
+    const double* col = data.columns[scanned[g]].data();
+    AndColumnMask(col, n, mask.data());
+    if (spec_sums != nullptr) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < n; ++i) sum += col[i];
+      (*spec_sums)[scanned[g]] = sum;
+      (*spec_ok)[scanned[g]] = 1;
     }
   }
   return mask;
@@ -125,10 +149,20 @@ std::vector<std::size_t> SetBitIndices(const std::vector<std::uint64_t>& mask,
 }
 
 /// Centered weighted cross-product matrix over the complete rows, blocked
-/// and parallel. Every (a, b) entry is accumulated by exactly one task
-/// slot, over rows in ascending order, as ((w * da) * db) — the exact
-/// expression shape of the straight-line reference kernel — so the result
-/// is bitwise identical to the reference and to any thread count.
+/// and parallel. Every (a, b) entry is accumulated by exactly one
+/// accumulator slab, over rows in ascending order, as
+/// fma(w * da, db, acc) — the exact per-entry operation sequence of the
+/// straight-line reference kernel and of every SIMD backend — so the
+/// result is bitwise identical to the reference, to every backend, and
+/// to any thread count.
+///
+/// Parallel structure (per row chunk): the centered panel is packed once
+/// — in parallel, shared by every sweep task — then the upper-triangle
+/// tile pairs are swept in contiguous *chunks* of pairs, so each pool
+/// task amortizes its dispatch over dozens of microkernel calls instead
+/// of one. Within a chunk, consecutive pairs sharing an A tile run
+/// through the fused two-B-tile kernel, halving the broadcast traffic.
+/// Neither chunking nor fusion touches per-entry accumulation order.
 Matrix BlockedGram(const std::vector<DoubleSpan>& cols,
                    const std::vector<double>& weights,
                    const std::vector<std::size_t>& rows,
@@ -138,84 +172,182 @@ Matrix BlockedGram(const std::vector<DoubleSpan>& cols,
   const bool weighted = !weights.empty();
   const std::size_t padded = (p + kTile - 1) / kTile * kTile;
   const std::size_t tiles = padded / kTile;
+  const GramKernelFns& kernel = ActiveGramKernel();
+  // All rows complete → the row list is the identity permutation and the
+  // pack can stream columns contiguously instead of gathering.
+  const bool dense_rows = !rows.empty() && rows.back() == m - 1;
 
-  // Upper-triangle tile pairs; each is one task owning its kTile x kTile
-  // accumulator slab across all row chunks.
+  // Upper-triangle tile pairs; each owns its kTile x kTile accumulator
+  // slab across all row chunks.
   std::vector<std::pair<std::size_t, std::size_t>> pairs;
   pairs.reserve(tiles * (tiles + 1) / 2);
   for (std::size_t ta = 0; ta < tiles; ++ta) {
     for (std::size_t tb = ta; tb < tiles; ++tb) pairs.emplace_back(ta, tb);
   }
-  std::vector<double> acc(pairs.size() * kTile * kTile, 0.0);
+  // Scratch is thread_local and reused across calls: a fresh ~2 MB of
+  // vectors per call costs more in page faults than the arithmetic they
+  // hold (the serving layer recomputes stats per scenario epoch, PC
+  // fuzz sweeps call Compute thousands of times). The accumulator must
+  // be re-zeroed; the panels are fully overwritten by the pack.
+  thread_local std::vector<double> acc_scratch;
+  thread_local std::vector<double> bpanel_scratch;
+  thread_local std::vector<double> apanel_scratch;
+  std::vector<double>& acc = acc_scratch;
+  acc.assign(pairs.size() * kTile * kTile, 0.0);
 
   // Chunk panels, packed tile-contiguous with zero padding: tile t's rows
   // occupy a dense count x kTile block, so the microkernel streams both
   // operands with unit stride. B holds centered values (x - mean), A
   // additionally scales by the row weight. Unweighted runs alias A to B
   // ((1.0 * da) == da bitwise).
-  std::vector<double> bpanel(kRowBlock * padded);
-  std::vector<double> apanel(weighted ? kRowBlock * padded : 0);
+  const std::size_t row_block =
+      m * padded * sizeof(double) <= kOneBlockPanelBytes ? m : kRowBlock;
+  std::vector<double>& bpanel = bpanel_scratch;
+  bpanel.resize(row_block * padded);
+  std::vector<double>& apanel = apanel_scratch;
+  if (weighted) apanel.resize(row_block * padded);
 
-  for (std::size_t start = 0; start < m; start += kRowBlock) {
-    const std::size_t count = std::min(kRowBlock, m - start);
+  for (std::size_t start = 0; start < m; start += row_block) {
+    const std::size_t count = std::min(row_block, m - start);
     const std::size_t tile_stride = count * kTile;
-    // One pack task per tile: contiguous column reads, one strided write
-    // stream per column, disjoint destination slots.
-    ParallelFor(pool, tiles, [&](std::size_t t) {
-      for (std::size_t lane = 0; lane < kTile; ++lane) {
-        const std::size_t v = t * kTile + lane;
-        double* dst = bpanel.data() + t * tile_stride + lane;
-        if (v >= p) {
-          for (std::size_t i = 0; i < count; ++i) dst[i * kTile] = 0.0;
-          if (weighted) {
-            double* wdst = apanel.data() + t * tile_stride + lane;
-            for (std::size_t i = 0; i < count; ++i) wdst[i * kTile] = 0.0;
+    // Parallel pack: contiguous column reads, one strided write stream
+    // per column, disjoint destination slots. Grain 2 because a whole
+    // tile is only ~2 us of work — ParallelFor's per-index pull heuristic
+    // would run all 50 tiles on one worker.
+    ParallelForRanges(pool, tiles, 2, [&](std::size_t t0, std::size_t t1) {
+      for (std::size_t t = t0; t < t1; ++t) {
+        if (dense_rows && !weighted) {
+          // Hot path: hand the whole tile to the kernel's transpose-pack
+          // (an in-register 8x8 on the vector backends). Padded lanes read
+          // a shared zero column with mean 0 — 0.0 - 0.0 packs the same
+          // 0.0 the guarded loop writes.
+          thread_local std::vector<double> zeros;
+          if (zeros.size() < count) zeros.assign(count, 0.0);
+          const double* colptr[kTile];
+          double mean8[kTile];
+          for (std::size_t lane = 0; lane < kTile; ++lane) {
+            const std::size_t v = t * kTile + lane;
+            if (v < p) {
+              colptr[lane] = cols[v].data() + start;
+              mean8[lane] = means[v];
+            } else {
+              colptr[lane] = zeros.data();
+              mean8[lane] = 0.0;
+            }
           }
+          kernel.pack_tile(colptr, mean8, count,
+                           bpanel.data() + t * tile_stride);
           continue;
         }
-        const DoubleSpan& col = cols[v];
-        const double mv = means[v];
-        for (std::size_t i = 0; i < count; ++i) {
-          dst[i * kTile] = col[rows[start + i]] - mv;
-        }
-        if (weighted) {
-          double* wdst = apanel.data() + t * tile_stride + lane;
-          for (std::size_t i = 0; i < count; ++i) {
-            wdst[i * kTile] = weights[rows[start + i]] * dst[i * kTile];
+        for (std::size_t lane = 0; lane < kTile; ++lane) {
+          const std::size_t v = t * kTile + lane;
+          double* dst = bpanel.data() + t * tile_stride + lane;
+          if (v >= p) {
+            for (std::size_t i = 0; i < count; ++i) dst[i * kTile] = 0.0;
+            if (weighted) {
+              double* wdst = apanel.data() + t * tile_stride + lane;
+              for (std::size_t i = 0; i < count; ++i) wdst[i * kTile] = 0.0;
+            }
+            continue;
+          }
+          const DoubleSpan& col = cols[v];
+          const double mv = means[v];
+          if (dense_rows) {
+            const double* src = col.data() + start;
+            for (std::size_t i = 0; i < count; ++i) {
+              dst[i * kTile] = src[i] - mv;
+            }
+          } else {
+            for (std::size_t i = 0; i < count; ++i) {
+              dst[i * kTile] = col[rows[start + i]] - mv;
+            }
+          }
+          if (weighted) {
+            double* wdst = apanel.data() + t * tile_stride + lane;
+            if (dense_rows) {
+              const double* wsrc = weights.data() + start;
+              for (std::size_t i = 0; i < count; ++i) {
+                wdst[i * kTile] = wsrc[i] * dst[i * kTile];
+              }
+            } else {
+              for (std::size_t i = 0; i < count; ++i) {
+                wdst[i * kTile] = weights[rows[start + i]] * dst[i * kTile];
+              }
+            }
           }
         }
       }
     });
     const double* a_base = weighted ? apanel.data() : bpanel.data();
     const double* b_base = bpanel.data();
-    ParallelFor(pool, pairs.size(), [&](std::size_t q) {
-      double local[kTile * kTile];
-      std::memcpy(local, acc.data() + q * kTile * kTile, sizeof(local));
-      GramTile(a_base + pairs[q].first * tile_stride,
-               b_base + pairs[q].second * tile_stride, count, local);
-      std::memcpy(acc.data() + q * kTile * kTile, local, sizeof(local));
-    });
+    ParallelForRanges(
+        pool, pairs.size(), 16, [&](std::size_t q0, std::size_t q1) {
+          std::size_t q = q0;
+          while (q < q1) {
+            const double* a_tile = a_base + pairs[q].first * tile_stride;
+            if (q + 1 < q1 && pairs[q + 1].first == pairs[q].first) {
+              kernel.tile2(a_tile,
+                           b_base + pairs[q].second * tile_stride,
+                           b_base + pairs[q + 1].second * tile_stride, count,
+                           acc.data() + q * kTile * kTile,
+                           acc.data() + (q + 1) * kTile * kTile);
+              q += 2;
+            } else {
+              kernel.tile(a_tile, b_base + pairs[q].second * tile_stride,
+                          count, acc.data() + q * kTile * kTile);
+              q += 1;
+            }
+          }
+        });
   }
 
-  // Scatter the tile slabs into the symmetric matrix; padded lanes and the
-  // sub-diagonal halves of diagonal tiles are discarded.
-  Matrix sxx(p, p);
-  for (std::size_t q = 0; q < pairs.size(); ++q) {
-    const std::size_t a0 = pairs[q].first * kTile;
-    const std::size_t b0 = pairs[q].second * kTile;
-    const double* slab = acc.data() + q * kTile * kTile;
-    for (std::size_t x = 0; x < kTile; ++x) {
-      const std::size_t a = a0 + x;
-      if (a >= p) break;
-      for (std::size_t y = 0; y < kTile; ++y) {
-        const std::size_t b = b0 + y;
-        if (b >= p) break;
-        if (b < a) continue;
-        sxx(a, b) = slab[x * kTile + y];
-        sxx(b, a) = slab[x * kTile + y];
+  // Scatter the tile slabs into the symmetric matrix; padded lanes and
+  // the sub-diagonal halves of diagonal tiles are discarded. Pairs
+  // (ta, ta..tiles-1) sit contiguously in `acc`, so each global row `a`
+  // streams its upper-triangle entries left to right in one contiguous
+  // write run; the lower triangle is mirrored afterwards in cache-blocked
+  // bands (pure copies — order is irrelevant to the bits).
+  Matrix sxx = Matrix::Uninitialized(p, p);  // every entry written below
+  std::vector<std::size_t> row_q0(tiles);
+  for (std::size_t ta = 0, q0 = 0; ta < tiles; ++ta) {
+    row_q0[ta] = q0;
+    q0 += tiles - ta;
+  }
+  ParallelForRanges(pool, tiles, 8, [&](std::size_t t0, std::size_t t1) {
+    for (std::size_t ta = t0; ta < t1; ++ta) {
+      const std::size_t nb = tiles - ta;
+      const std::size_t xmax = std::min(kTile, p - ta * kTile);
+      for (std::size_t x = 0; x < xmax; ++x) {
+        const std::size_t a = ta * kTile + x;
+        double* row = sxx.Row(a);
+        const double* slab_x =
+            acc.data() + row_q0[ta] * kTile * kTile + x * kTile;
+        for (std::size_t j = 0; j < nb; ++j) {
+          const double* sx = slab_x + j * kTile * kTile;
+          const std::size_t b0 = (ta + j) * kTile;
+          const std::size_t ylo = j == 0 ? x : 0;
+          const std::size_t yhi = std::min(kTile, p - b0);
+          for (std::size_t y = ylo; y < yhi; ++y) row[b0 + y] = sx[y];
+        }
       }
     }
-  }
+  });
+  // Mirror the lower triangle: strided reads over a 64-row band stay
+  // cache-resident while the writes run contiguous. Bands write disjoint
+  // column ranges, so they parallelize cleanly.
+  constexpr std::size_t kMirrorBlock = 64;
+  const std::size_t bands = (p + kMirrorBlock - 1) / kMirrorBlock;
+  ParallelForRanges(pool, bands, 2, [&](std::size_t g0, std::size_t g1) {
+    for (std::size_t g = g0; g < g1; ++g) {
+      const std::size_t i0 = g * kMirrorBlock;
+      const std::size_t i1 = std::min(i0 + kMirrorBlock, p);
+      for (std::size_t j = i0 + 1; j < p; ++j) {
+        double* rj = sxx.Row(j);
+        const std::size_t end = std::min(i1, j);
+        for (std::size_t i = i0; i < end; ++i) rj[i] = sxx.Row(i)[j];
+      }
+    }
+  });
   return sxx;
 }
 
@@ -249,12 +381,18 @@ Result<SufficientStats> SufficientStats::Compute(const NumericDataset& data,
   s.columns_ = data.columns;
   s.weights_ = data.weights;
   s.num_rows_ = data.num_rows();
-  s.mask_ = BuildMask(data);
+
+  std::vector<double> spec_sums(p, 0.0);
+  std::vector<char> spec_ok(p, 0);
+  const bool want_spec = data.weights.empty();
+  s.mask_ = BuildMask(data, want_spec ? &spec_sums : nullptr,
+                      want_spec ? &spec_ok : nullptr);
   s.complete_rows_ = PopCount(s.mask_);
   if (s.complete_rows_ < 2) {
     return Status::FailedPrecondition("fewer than 2 complete rows");
   }
   const auto rows = SetBitIndices(s.mask_, s.complete_rows_);
+
   if (s.weights_.empty()) {
     // Sequential += 1.0 is exact for any realistic row count, so the
     // popcount equals the reference kernel's accumulated weight sum.
@@ -268,10 +406,17 @@ Result<SufficientStats> SufficientStats::Compute(const NumericDataset& data,
 
   s.col_sums_.assign(p, 0.0);
   s.means_.assign(p, 0.0);
+  // When every row is complete, the speculative full-column sums from the
+  // mask scan ARE the complete-row sums (same ascending adds) — the whole
+  // pass below degenerates to a division per column.
+  const bool all_complete = s.complete_rows_ == s.num_rows_;
+
   ParallelFor(pool, p, [&](std::size_t v) {
     const DoubleSpan& col = s.columns_[v];
     double mv = 0.0;
-    if (s.weights_.empty()) {
+    if (all_complete && spec_ok[v]) {
+      mv = spec_sums[v];
+    } else if (s.weights_.empty()) {
       for (std::size_t r : rows) mv += col[r];
     } else {
       for (std::size_t r : rows) mv += s.weights_[r] * col[r];
@@ -287,31 +432,48 @@ Result<SufficientStats> SufficientStats::Compute(const NumericDataset& data,
 Matrix SufficientStats::Covariance() const {
   const std::size_t p = num_vars();
   const double denom = std::max(1.0, wsum_ - 1.0);
-  Matrix cov(p, p);
+
+  // S is bitwise symmetric (the mirror is a copy), so dividing full rows
+  // yields the same bits as divide-upper-then-mirror — and each row is
+  // one contiguous vector divide with no strided writes.
+  const GramKernelFns& kernel = ActiveGramKernel();
+  Matrix cov = Matrix::Uninitialized(p, p);  // div_row writes full rows
   for (std::size_t a = 0; a < p; ++a) {
-    for (std::size_t b = a; b < p; ++b) {
-      cov(a, b) = sxx_(a, b) / denom;
-      cov(b, a) = cov(a, b);
-    }
+    kernel.div_row(sxx_.Row(a), denom, p, cov.Row(a));
   }
   return cov;
 }
 
 Matrix SufficientStats::Correlation() const {
-  const Matrix cov = Covariance();
-  const std::size_t p = cov.rows();
-  Matrix corr(p, p);
+  const std::size_t p = num_vars();
+
+  // Derived straight from S without materializing Covariance(): var[a] is
+  // exactly Covariance()'s diagonal (sxx/denom) and each entry evaluates
+  // the identical expression (sxx(a,b)/denom) / sqrt(va*vb) on identical
+  // operands, so the result is bitwise unchanged — this only skips a
+  // p x p allocation and a full extra pass.
+  const double denom = std::max(1.0, wsum_ - 1.0);
+  std::vector<double> var(p);
+  for (std::size_t a = 0; a < p; ++a) var[a] = sxx_.Row(a)[a] / denom;
+  const GramKernelFns& kernel = ActiveGramKernel();
+  Matrix corr = Matrix::Uninitialized(p, p);  // diag + upper + mirror cover all
   for (std::size_t a = 0; a < p; ++a) {
-    corr(a, a) = 1.0;
-    for (std::size_t b = a + 1; b < p; ++b) {
-      const double va = cov(a, a);
-      const double vb = cov(b, b);
-      double r = 0.0;
-      if (va > 0 && vb > 0) {
-        r = std::clamp(cov(a, b) / std::sqrt(va * vb), -1.0, 1.0);
-      }
-      corr(a, b) = r;
-      corr(b, a) = r;
+    double* ra = corr.Row(a);
+    ra[a] = 1.0;
+    if (a + 1 < p) {
+      kernel.corr_row(sxx_.Row(a) + a + 1, var.data() + a + 1, var[a], denom,
+                      p - a - 1, ra + a + 1);
+    }
+  }
+  // Mirror the lower triangle in cache-blocked passes: strided reads over
+  // a 64-row band stay resident while the writes run contiguous.
+  constexpr std::size_t kMirrorBlock = 64;
+  for (std::size_t i0 = 0; i0 < p; i0 += kMirrorBlock) {
+    const std::size_t i1 = std::min(i0 + kMirrorBlock, p);
+    for (std::size_t j = i0 + 1; j < p; ++j) {
+      double* rj = corr.Row(j);
+      const std::size_t end = std::min(i1, j);
+      for (std::size_t i = i0; i < end; ++i) rj[i] = corr.Row(i)[j];
     }
   }
   return corr;
@@ -375,16 +537,18 @@ Status SufficientStats::AppendColumns(const std::vector<DoubleSpan>& cols,
     nmeans[j] = mv / wsum_;
   });
 
-  // Centered new-column panel (m x k row-major) + its w-scaled A-side.
-  std::vector<double> npanel(m * k);
-  std::vector<double> wnpanel(weighted ? m * k : 0);
+  // Centered new-column panel (m x k4 row-major, zero-padded to a
+  // multiple of 4 columns for the cross kernel) + its w-scaled A-side.
+  const std::size_t k4 = (k + 3) / 4 * 4;
+  std::vector<double> npanel(m * k4, 0.0);
+  std::vector<double> wnpanel(weighted ? m * k4 : 0, 0.0);
   ParallelFor(pool, m, [&](std::size_t i) {
     const std::size_t r = rows[i];
-    double* row = npanel.data() + i * k;
+    double* row = npanel.data() + i * k4;
     for (std::size_t j = 0; j < k; ++j) row[j] = cols[j][r] - nmeans[j];
     if (weighted) {
       const double w = weights_[r];
-      double* wrow = wnpanel.data() + i * k;
+      double* wrow = wnpanel.data() + i * k4;
       for (std::size_t j = 0; j < k; ++j) wrow[j] = w * row[j];
     }
   });
@@ -394,56 +558,47 @@ Status SufficientStats::AppendColumns(const std::vector<DoubleSpan>& cols,
     for (std::size_t b = 0; b < p; ++b) ns(a, b) = sxx_(a, b);
   }
 
-  // Cross block: entry (a, p + j) accumulates ((w * da) * dnew_j) over
-  // rows ascending — the lower index a supplies the weighted side, as in
-  // the full kernel. One task per existing column. Rows are unrolled by 4
-  // with each entry still accumulated in ascending row order into a single
-  // scalar, so the result stays bitwise identical to a full recompute
-  // while the local[j] load/store is amortized (same trick as GramTile).
+  // Cross block: entry (a, p + j) accumulates fma(w * da, dnew_j, acc)
+  // over rows ascending — the lower index a supplies the weighted side,
+  // as in the full kernel — via the dispatched cross kernel (one fused
+  // multiply-add per entry per row, vectorized over j), so the result
+  // stays bitwise identical to a full recompute. One task per existing
+  // column; the padded columns accumulate zeros and are dropped.
+  const GramKernelFns& kernel = ActiveGramKernel();
   ParallelFor(pool, p, [&](std::size_t a) {
     const DoubleSpan& col = columns_[a];
     const double ma = means_[a];
-    std::vector<double> local(k, 0.0);
-    const auto wda_at = [&](std::size_t i) {
-      const std::size_t r = rows[i];
-      const double da = col[r] - ma;
-      return weighted ? weights_[r] * da : da;
-    };
-    std::size_t i = 0;
-    for (; i + 4 <= m; i += 4) {
-      const double w0 = wda_at(i), w1 = wda_at(i + 1);
-      const double w2 = wda_at(i + 2), w3 = wda_at(i + 3);
-      const double* r0 = npanel.data() + i * k;
-      for (std::size_t j = 0; j < k; ++j) {
-        double t = local[j];
-        t += w0 * r0[j];
-        t += w1 * r0[k + j];
-        t += w2 * r0[2 * k + j];
-        t += w3 * r0[3 * k + j];
-        local[j] = t;
+    thread_local std::vector<double> wda;
+    wda.resize(m);
+    if (weighted) {
+      for (std::size_t i = 0; i < m; ++i) {
+        const std::size_t r = rows[i];
+        wda[i] = weights_[r] * (col[r] - ma);
       }
+    } else {
+      for (std::size_t i = 0; i < m; ++i) wda[i] = col[rows[i]] - ma;
     }
-    for (; i < m; ++i) {
-      const double wda = wda_at(i);
-      const double* row = npanel.data() + i * k;
-      for (std::size_t j = 0; j < k; ++j) local[j] += wda * row[j];
-    }
+    std::vector<double> local(k4, 0.0);
+    kernel.cross(wda.data(), npanel.data(), m, k4, local.data());
     for (std::size_t j = 0; j < k; ++j) {
       ns(a, p + j) = local[j];
       ns(p + j, a) = local[j];
     }
   });
 
-  // New x new tail.
+  // New x new tail: same kernel, with the (weighted) new column x as the
+  // shared left operand; entries below the diagonal are recomputed
+  // transposes and dropped.
   ParallelFor(pool, k, [&](std::size_t x) {
     const double* aside = weighted ? wnpanel.data() : npanel.data();
+    thread_local std::vector<double> ax;
+    ax.resize(m);
+    for (std::size_t i = 0; i < m; ++i) ax[i] = aside[i * k4 + x];
+    std::vector<double> local(k4, 0.0);
+    kernel.cross(ax.data(), npanel.data(), m, k4, local.data());
     for (std::size_t y = x; y < k; ++y) {
-      double s = 0.0;
-      for (std::size_t i = 0; i < m; ++i) {
-        s += aside[i * k + x] * npanel[i * k + y];
-      }
-      ns(p + x, p + y) = s;
-      ns(p + y, p + x) = s;
+      ns(p + x, p + y) = local[y];
+      ns(p + y, p + x) = local[y];
     }
   });
 
@@ -572,6 +727,12 @@ Status SufficientStats::AppendRows(const std::vector<DoubleSpan>& cols,
 
 Result<double> SufficientStats::GaussianBicLocal(
     std::size_t target, const std::vector<std::size_t>& parents) const {
+  return GaussianBicLocal(target, parents, nullptr);
+}
+
+Result<double> SufficientStats::GaussianBicLocal(
+    std::size_t target, const std::vector<std::size_t>& parents,
+    FactorCache* fcache) const {
   const std::size_t p = num_vars();
   if (target >= p) return Status::InvalidArgument("bad target index");
   for (std::size_t pa : parents) {
@@ -588,12 +749,30 @@ Result<double> SufficientStats::GaussianBicLocal(
     // — bitwise the legacy GaussianBicLocalScore residual sum.
     rss = sxx_(target, target);
   } else {
-    Matrix spp = sxx_.Submatrix(parents);
     std::vector<double> spy(parents.size());
     for (std::size_t j = 0; j < parents.size(); ++j) {
       spy[j] = sxx_(parents[j], target);
     }
-    CDI_ASSIGN_OR_RETURN(std::vector<double> beta, SolveRidged(spp, spy));
+    std::vector<double> beta;
+    // The cache solve is CholeskySolve on sxx_[parents, parents] + 1e-9 I
+    // to the bit — SolveRidged's first attempt. If it reports degenerate,
+    // that attempt would have failed identically, so fall through to the
+    // stronger-ridge retry exactly as SolveRidged stages it (two separate
+    // diagonal adds, not one fused 1.001e-6).
+    if (fcache != nullptr && fcache->ridge() == 1e-9) {
+      auto cached = fcache->Solve(parents, spy);
+      if (cached.ok()) {
+        beta = *std::move(cached);
+      } else {
+        Matrix spp = sxx_.Submatrix(parents);
+        for (std::size_t d = 0; d < spp.rows(); ++d) spp(d, d) += 1e-9;
+        for (std::size_t d = 0; d < spp.rows(); ++d) spp(d, d) += 1e-6;
+        CDI_ASSIGN_OR_RETURN(beta, CholeskySolve(spp, spy));
+      }
+    } else {
+      Matrix spp = sxx_.Submatrix(parents);
+      CDI_ASSIGN_OR_RETURN(beta, SolveRidged(spp, spy));
+    }
     double fitted = 0.0;
     for (std::size_t j = 0; j < beta.size(); ++j) fitted += beta[j] * spy[j];
     rss = sxx_(target, target) - fitted;
@@ -671,11 +850,18 @@ Result<Matrix> ReferenceCovarianceMatrix(const NumericDataset& data) {
 
   Matrix cov(p, p);
   for (std::size_t r : rows) {
-    const double w = data.weights.empty() ? 1.0 : data.weights[r];
     for (std::size_t a = 0; a < p; ++a) {
       const double da = data.columns[a][r] - mean[a];
+      // Weighted side pre-scaled, then one *fused* multiply-add per
+      // entry — the per-entry operation sequence the blocked kernel's
+      // backends implement, making this the bitwise reference for all
+      // of them. Unweighted data skips the scale entirely, matching the
+      // kernel's panel aliasing.
+      const double wda =
+          data.weights.empty() ? da : data.weights[r] * da;
       for (std::size_t b = a; b < p; ++b) {
-        cov(a, b) += w * da * (data.columns[b][r] - mean[b]);
+        cov(a, b) =
+            std::fma(wda, data.columns[b][r] - mean[b], cov(a, b));
       }
     }
   }

@@ -15,6 +15,8 @@ class ThreadPool;
 
 namespace cdi::stats {
 
+class FactorCache;
+
 /// Shared sufficient statistics of a numeric dataset: the complete-row
 /// mask, per-column weighted means and the centered weighted
 /// cross-product matrix S(a, b) = sum_r w_r (x_a - m_a)(x_b - m_b) over
@@ -23,13 +25,16 @@ namespace cdi::stats {
 /// scores, OLS effect estimates — is small linear algebra on submatrices
 /// of S; nothing downstream re-reads the raw rows.
 ///
-/// The kernel is cache-blocked (tiled syrk-style over column pairs) and
-/// parallelized with ParallelFor, with a *deterministic reduction*: each
-/// matrix entry is accumulated by exactly one task, sequentially over
-/// complete rows in ascending order. Results are therefore bitwise
-/// identical for any thread count — and bitwise identical to the plain
-/// scalar reference kernel, because the per-entry floating-point
-/// operation sequence is the same; only the memory access order changes.
+/// The kernel is cache-blocked (tiled syrk-style over column pairs),
+/// parallelized in chunked tile-pair tasks, and vectorized through the
+/// runtime-dispatched Gram microkernels (stats/gram_kernel.h: scalar
+/// std::fma, AVX2/NEON, AVX-512), with a *deterministic reduction*: each
+/// matrix entry is accumulated by exactly one slab, with one fused
+/// multiply-add per complete row in ascending row order. Results are
+/// therefore bitwise identical for any thread count, for any SIMD
+/// backend (FMA is correctly rounded on all of them), and to the scalar
+/// reference kernel — only the memory access order and the number of
+/// independent entries advanced per instruction change.
 ///
 /// The complete-row mask is built word-level: each column's NaN positions
 /// are packed into 64-bit words (branchlessly, or taken from a
@@ -134,6 +139,17 @@ class SufficientStats {
   Result<double> GaussianBicLocal(
       std::size_t target, const std::vector<std::size_t>& parents) const;
 
+  /// Batched variant: the parents' Cholesky factor comes from `fcache`
+  /// (which must be built over this object's cross_products() with ridge
+  /// 1e-9 — anything else falls back to the unbatched path), so GES
+  /// rescoring target/parent combinations that share or extend parent
+  /// sets skips the re-factorization. Values are bitwise identical to the
+  /// two-argument overload, including the stronger-ridge retry on
+  /// degenerate parent sets.
+  Result<double> GaussianBicLocal(std::size_t target,
+                                  const std::vector<std::size_t>& parents,
+                                  FactorCache* fcache) const;
+
   /// OLS coefficients (intercept first, then one slope per entry of `xs`,
   /// in order) of column `y` on columns `xs`, solved from the normal
   /// equations in centered form: slopes from S[xs, xs] beta = S[xs, y]
@@ -158,9 +174,11 @@ class SufficientStats {
 
 /// Straight-line scalar covariance kernel (the pre-blocking
 /// implementation): listwise deletion via a per-row isnan scan, then a
-/// row-interleaved O(n p^2) accumulation. Kept as the bitwise reference
-/// for the blocked kernel's tests and as the "before" side of the
-/// benchmark sweep; production callers use SufficientStats.
+/// row-interleaved O(n p^2) accumulation using one std::fma per entry
+/// per row — the same per-entry operation sequence as every blocked
+/// backend. Kept as the bitwise reference for the blocked kernel's
+/// tests and as the "before" side of the benchmark sweep; production
+/// callers use SufficientStats.
 Result<Matrix> ReferenceCovarianceMatrix(const NumericDataset& data);
 
 }  // namespace cdi::stats

@@ -371,6 +371,53 @@ TEST(ThreadPoolTest, ParallelForMatchesSerialSum) {
   }
 }
 
+TEST(ThreadPoolTest, ParallelForRangesCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (std::size_t n : {std::size_t{1}, std::size_t{49}, std::size_t{50},
+                        std::size_t{1000}}) {
+    for (std::size_t grain : {std::size_t{1}, std::size_t{13},
+                              std::size_t{64}}) {
+      std::vector<std::atomic<int>> hits(n);
+      ParallelForRanges(&pool, n, grain,
+                        [&hits](std::size_t begin, std::size_t end) {
+                          for (std::size_t i = begin; i < end; ++i) {
+                            hits[i].fetch_add(1);
+                          }
+                        });
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "n=" << n << " grain=" << grain;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForRangesInlineFallbacks) {
+  // Null pool, single worker, or one-chunk-sized work all run inline as
+  // fn(0, n) — exactly one callback over the whole range.
+  std::vector<std::pair<std::size_t, std::size_t>> calls;
+  auto record = [&calls](std::size_t b, std::size_t e) {
+    calls.emplace_back(b, e);
+  };
+  ParallelForRanges(nullptr, 100, 10, record);
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0], std::make_pair(std::size_t{0}, std::size_t{100}));
+
+  ThreadPool single(1);
+  calls.clear();
+  ParallelForRanges(&single, 100, 10, record);
+  ASSERT_EQ(calls.size(), 1u);
+
+  ThreadPool pool(4);
+  calls.clear();
+  ParallelForRanges(&pool, 8, 100, record);  // grain swallows the range
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0], std::make_pair(std::size_t{0}, std::size_t{8}));
+
+  calls.clear();
+  ParallelForRanges(&pool, 0, 10, record);  // n == 0: never runs
+  EXPECT_TRUE(calls.empty());
+}
+
 TEST(TimerTest, LatencyMeterAccounting) {
   LatencyMeter meter;
   meter.Charge("llm", 1.5);

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.h"
+#include "datagen/covid.h"
+#include "datagen/flights.h"
+#include "datagen/scenario.h"
 #include "discovery/cached_ci.h"
 #include "discovery/ci_test.h"
 #include "discovery/discovery.h"
@@ -709,6 +713,114 @@ TEST(ThreadDeterminismTest, RunDiscoveryCacheDoesNotChangeResults) {
     EXPECT_EQ(a->claims, b->claims);
     EXPECT_EQ(a->definite, b->definite);
     EXPECT_EQ(a->ci_tests, b->ci_tests);
+  }
+}
+
+// ------------------------------------------------- batched CI engine
+
+/// Runs PC twice over the same FisherZ statistics — factor-cache batched
+/// and from-scratch — and requires identical output (graph, sepsets,
+/// query count). The batched engine's contract is bitwise replay, so any
+/// divergence at all is a bug.
+void ExpectBatchedPcMatchesUnbatched(const stats::NumericDataset& ds,
+                                     const std::string& context) {
+  auto batched = FisherZTest::Create(ds);
+  auto unbatched = FisherZTest::Create(ds);
+  ASSERT_TRUE(batched.ok()) << context;
+  ASSERT_TRUE(unbatched.ok()) << context;
+  (*unbatched)->set_batched(false);
+  std::vector<std::string> names;
+  for (std::size_t v = 0; v < (*batched)->num_vars(); ++v) {
+    names.push_back("v" + std::to_string(v));
+  }
+  PcOptions options;
+  auto rb = RunPc(**batched, names, options);
+  auto ru = RunPc(**unbatched, names, options);
+  ASSERT_TRUE(rb.ok()) << context;
+  ASSERT_TRUE(ru.ok()) << context;
+  EXPECT_EQ(rb->graph.DirectedEdges(), ru->graph.DirectedEdges()) << context;
+  EXPECT_EQ(rb->graph.UndirectedEdges(), ru->graph.UndirectedEdges())
+      << context;
+  EXPECT_EQ(rb->sepsets, ru->sepsets) << context;
+  EXPECT_EQ(rb->ci_tests, ru->ci_tests) << context;
+  // The batched run actually exercised the engine (small sets take the
+  // inline-factor path; larger ones go through the cache map).
+  EXPECT_GT((*batched)->factor_cache().hits() +
+                (*batched)->factor_cache().misses() +
+                (*batched)->factor_cache().inline_factors(),
+            0u)
+      << context;
+}
+
+TEST(BatchedCiTest, PcMatchesUnbatchedOnScenarioData) {
+  for (const auto& spec : {datagen::CovidSpec(), datagen::FlightsSpec()}) {
+    auto scenario = datagen::BuildScenario(spec);
+    ASSERT_TRUE(scenario.ok());
+    stats::NumericDataset ds;
+    for (const auto& [name, col] : (*scenario)->clean_data) {
+      ds.columns.emplace_back(cdi::DoubleSpan::Borrow(col.data(),
+                                                      col.size()));
+    }
+    ExpectBatchedPcMatchesUnbatched(ds, spec.name);
+  }
+}
+
+TEST(BatchedCiTest, PcMatchesUnbatchedAcrossFuzzSeeds) {
+  // 200 random linear-Gaussian problems, with NaN-masked rows on half of
+  // them so the statistics path with listwise deletion is covered too.
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(1000 + seed);
+    const std::size_t vars = 4 + seed % 4;
+    const std::size_t n = 200 + 10 * (seed % 7);
+    std::vector<std::vector<double>> cols(vars, std::vector<double>(n));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t v = 0; v < vars; ++v) {
+        double x = rng.Normal();
+        // Each variable leans on up to two random earlier ones.
+        for (int e = 0; e < 2 && v > 0; ++e) {
+          const std::size_t parent = rng.UniformInt(v);
+          x += (0.3 + rng.Uniform() * 0.6) * cols[parent][i];
+        }
+        cols[v][i] = x;
+      }
+    }
+    if (seed % 2 == 1) {
+      for (std::size_t v = 0; v < vars; ++v) {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (rng.Uniform() < 0.01) {
+            cols[v][i] = std::numeric_limits<double>::quiet_NaN();
+          }
+        }
+      }
+    }
+    stats::NumericDataset ds;
+    ds.columns = cdi::SpansOf(cols);
+    ExpectBatchedPcMatchesUnbatched(ds, "seed " + std::to_string(seed));
+  }
+}
+
+TEST(BatchedCiTest, LevelEvictionKeepsAnswersIdentical) {
+  // OnSkeletonLevel eviction is advisory: calling it at arbitrary points
+  // must not change a single answer.
+  const auto cols = WideChainData(8, 600, 67);
+  stats::NumericDataset ds;
+  ds.columns = cdi::SpansOf(cols);
+  auto a = FisherZTest::Create(ds);
+  auto b = FisherZTest::Create(ds);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  Rng rng(71);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t x = rng.UniformInt(8);
+    std::size_t y = rng.UniformInt(8);
+    if (y == x) y = (y + 1) % 8;
+    std::vector<std::size_t> s;
+    for (std::size_t v = 0; v < 8; ++v) {
+      if (v != x && v != y && rng.Uniform() < 0.3) s.push_back(v);
+    }
+    if (trial % 50 == 17) (*a)->OnSkeletonLevel(trial / 50);
+    EXPECT_EQ((*a)->PValue(x, y, s), (*b)->PValue(x, y, s))
+        << "trial " << trial;
   }
 }
 

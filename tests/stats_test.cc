@@ -9,6 +9,8 @@
 #include "stats/correlation.h"
 #include "stats/descriptive.h"
 #include "stats/distributions.h"
+#include "stats/factor_cache.h"
+#include "stats/gram_kernel.h"
 #include "stats/independence.h"
 #include "stats/linalg.h"
 #include "stats/logistic.h"
@@ -1198,6 +1200,335 @@ TEST(SufficientStatsTest, BicMatchesLegacyScore) {
   ASSERT_TRUE(legacy.ok());
   ASSERT_TRUE(fast.ok());
   EXPECT_NEAR(*legacy, *fast, 1e-6 * std::fabs(*legacy));
+}
+
+// ---------------------------------------------- Gram kernel backends
+
+/// Scoped kernel override; always restores auto-selection.
+struct KernelOverride {
+  explicit KernelOverride(const GramKernelFns* k) {
+    SetGramKernelForTesting(k);
+  }
+  ~KernelOverride() { SetGramKernelForTesting(nullptr); }
+};
+
+TEST(GramKernelTest, BackendsBitwiseIdenticalAcrossBattery) {
+  // Every compiled-in backend must reproduce the scalar kernel bit for
+  // bit over the full SufficientStats surface: clean, NaN-masked and
+  // weighted data, at row counts straddling the 64-row mask-word
+  // boundary (63/64/65) and the 8-wide tile/pack boundaries. 17 columns
+  // = 2 tiles + 1, so padded tile lanes are always live.
+  const auto kernels = AvailableGramKernels();
+  ASSERT_FALSE(kernels.empty());
+  ASSERT_STREQ(kernels.front()->name, "scalar");
+  const std::size_t vars = 17;
+  uint64_t seed = 211;
+  for (std::size_t rows : {std::size_t{63}, std::size_t{64}, std::size_t{65},
+                           std::size_t{129}, std::size_t{260}}) {
+    for (double nan_rate : {0.0, 0.08}) {
+      for (bool weighted : {false, true}) {
+        ++seed;
+        auto data = NoisyData(vars, rows, nan_rate, seed);
+        NumericDataset ds;
+        ds.columns = cdi::SpansOf(data);
+        std::vector<double> w;
+        if (weighted) {
+          Rng rng(seed ^ 0x9e3779b9);
+          w.resize(rows);
+          for (auto& x : w) x = rng.Uniform(0.25, 2.0);
+          ds.weights = w;
+        }
+        SufficientStats baseline;
+        {
+          KernelOverride scalar(kernels.front());
+          auto r = SufficientStats::Compute(ds);
+          ASSERT_TRUE(r.ok());
+          baseline = *std::move(r);
+        }
+        for (const GramKernelFns* k : kernels) {
+          KernelOverride use(k);
+          // A 4-thread pool at the largest size doubles as a
+          // thread-count determinism check per backend.
+          std::unique_ptr<ThreadPool> pool;
+          if (rows == 260) pool = std::make_unique<ThreadPool>(4);
+          auto got = SufficientStats::Compute(ds, pool.get());
+          ASSERT_TRUE(got.ok()) << k->name;
+          const std::string ctx = std::string(k->name) + " rows=" +
+                                  std::to_string(rows) +
+                                  (weighted ? " weighted" : "") +
+                                  (nan_rate > 0 ? " nan" : "");
+          EXPECT_EQ(got->complete_mask(), baseline.complete_mask()) << ctx;
+          EXPECT_EQ(got->means(), baseline.means()) << ctx;
+          EXPECT_EQ(got->weight_sum(), baseline.weight_sum()) << ctx;
+          EXPECT_TRUE(BitwiseEqual(got->cross_products(),
+                                   baseline.cross_products()))
+              << ctx;
+        }
+      }
+    }
+  }
+}
+
+TEST(GramKernelTest, AppendPathsBitwiseIdenticalPerBackend) {
+  // The incremental AppendColumns / AppendRows paths route through the
+  // same kernel hooks (cross, pack, present-bits); each backend must
+  // land on the bitwise recompute just like the scalar one does.
+  const std::size_t n0 = 150, n1 = 221;
+  auto data = NoisyData(9, n1, 0.05, 311);
+  auto extra = NoisyData(3, n0, 0.0, 313);
+  for (const GramKernelFns* k : AvailableGramKernels()) {
+    KernelOverride use(k);
+    NumericDataset base;
+    base.columns = PrefixSpans(data, n0);
+    auto stats = SufficientStats::Compute(base);
+    ASSERT_TRUE(stats.ok()) << k->name;
+
+    auto cols_appended = *stats;
+    ASSERT_TRUE(cols_appended.AppendColumns(cdi::SpansOf(extra)).ok())
+        << k->name;
+    NumericDataset wide = base;
+    for (const auto& col : extra) wide.columns.emplace_back(col);
+    auto wide_full = SufficientStats::Compute(wide);
+    ASSERT_TRUE(wide_full.ok()) << k->name;
+    EXPECT_TRUE(BitwiseEqual(cols_appended.cross_products(),
+                             wide_full->cross_products()))
+        << k->name;
+
+    auto rows_appended = *stats;
+    ASSERT_TRUE(rows_appended.AppendRows(cdi::SpansOf(data), n1 - n0).ok())
+        << k->name;
+    NumericDataset tall;
+    tall.columns = cdi::SpansOf(data);
+    auto tall_full = SufficientStats::Compute(tall);
+    ASSERT_TRUE(tall_full.ok()) << k->name;
+    EXPECT_EQ(rows_appended.complete_mask(), tall_full->complete_mask())
+        << k->name;
+    EXPECT_TRUE(BitwiseEqual(rows_appended.cross_products(),
+                             tall_full->cross_products()))
+        << k->name;
+  }
+}
+
+// ------------------------------------------ Cholesky updates / factors
+
+TEST(LinalgTest, CholeskyUpdateMatchesRefactorization) {
+  Rng rng(401);
+  const std::size_t n = 8;
+  auto data = NoisyData(n, 200, 0.0, 403);
+  NumericDataset ds;
+  ds.columns = cdi::SpansOf(data);
+  auto stats = SufficientStats::Compute(ds);
+  ASSERT_TRUE(stats.ok());
+  Matrix a = stats->Covariance();
+  auto l = Cholesky(a);
+  ASSERT_TRUE(l.ok());
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.Normal();
+  Matrix updated = *l;
+  ASSERT_TRUE(CholeskyUpdate(&updated, v).ok());
+  Matrix a_plus = a;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a_plus(i, j) += v[i] * v[j];
+  }
+  auto ref = Cholesky(a_plus);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_LT(updated.MaxAbsDiff(*ref), 1e-10);
+
+  // Downdating the update lands back on the original factor (to
+  // rounding — the doc'd tolerance contract, not bitwise).
+  Matrix roundtrip = updated;
+  ASSERT_TRUE(CholeskyDowndate(&roundtrip, v).ok());
+  EXPECT_LT(roundtrip.MaxAbsDiff(*l), 1e-9);
+
+  // Downdating by more than the matrix holds must fail, not NaN out.
+  std::vector<double> huge(n, 1e6);
+  Matrix doomed = *l;
+  EXPECT_FALSE(CholeskyDowndate(&doomed, huge).ok());
+}
+
+TEST(LinalgTest, CholeskyRemoveVariableMatchesSubmatrixFactor) {
+  auto data = NoisyData(7, 300, 0.0, 409);
+  NumericDataset ds;
+  ds.columns = cdi::SpansOf(data);
+  auto stats = SufficientStats::Compute(ds);
+  ASSERT_TRUE(stats.ok());
+  Matrix a = stats->Covariance();
+  auto l = Cholesky(a);
+  ASSERT_TRUE(l.ok());
+  for (std::size_t q : {std::size_t{0}, std::size_t{3}, std::size_t{6}}) {
+    auto removed = CholeskyRemoveVariable(*l, q);
+    ASSERT_TRUE(removed.ok()) << "q=" << q;
+    std::vector<std::size_t> keep;
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      if (i != q) keep.push_back(i);
+    }
+    auto ref = Cholesky(a.Submatrix(keep));
+    ASSERT_TRUE(ref.ok());
+    EXPECT_LT(removed->MaxAbsDiff(*ref), 1e-10) << "q=" << q;
+  }
+}
+
+// ------------------------------------------------------- FactorCache
+
+/// Correlation matrix of a well-conditioned random dataset.
+Matrix RandomCorrelation(std::size_t vars, uint64_t seed) {
+  auto data = NoisyData(vars, 400, 0.0, seed);
+  NumericDataset ds;
+  ds.columns = cdi::SpansOf(data);
+  auto stats = SufficientStats::Compute(ds);
+  EXPECT_TRUE(stats.ok());
+  return stats->Correlation();
+}
+
+TEST(FactorCacheTest, PrefixExtensionMatchesScratchBitwise) {
+  const Matrix corr = RandomCorrelation(12, 421);
+  const std::vector<std::size_t> full = {1, 4, 7, 9, 11};
+
+  FactorCache scratch(&corr, 1e-10);
+  auto direct = scratch.FactorFor(full);
+  ASSERT_FALSE(direct->failed);
+  EXPECT_EQ(scratch.rows_extended(), 0u);
+
+  // Warm a second cache with every proper prefix, then ask for the full
+  // set: all but the last row comes from extension, and the packed
+  // factor must be bitwise the from-scratch one.
+  FactorCache warmed(&corr, 1e-10);
+  for (std::size_t len = 2; len < full.size(); ++len) {
+    auto f = warmed.FactorFor(
+        std::vector<std::size_t>(full.begin(), full.begin() + len));
+    ASSERT_FALSE(f->failed);
+  }
+  auto extended = warmed.FactorFor(full);
+  ASSERT_FALSE(extended->failed);
+  EXPECT_GT(warmed.rows_extended(), 0u);
+  ASSERT_EQ(extended->l.size(), direct->l.size());
+  EXPECT_EQ(0, std::memcmp(extended->l.data(), direct->l.data(),
+                           sizeof(double) * direct->l.size()));
+
+  // Second identical query is a pure hit.
+  const std::size_t hits_before = warmed.hits();
+  warmed.FactorFor(full);
+  EXPECT_GT(warmed.hits(), hits_before);
+}
+
+TEST(FactorCacheTest, PartialCorrelationMatchesUnbatchedBitwise) {
+  const Matrix corr = RandomCorrelation(10, 431);
+  FactorCache cache(&corr, 1e-10);
+  Rng rng(433);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t i = rng.UniformInt(10);
+    std::size_t j = rng.UniformInt(10);
+    if (j == i) j = (j + 1) % 10;
+    std::vector<std::size_t> given;
+    const std::size_t k = rng.UniformInt(5);
+    for (std::size_t v = 0; v < 10 && given.size() < k; ++v) {
+      if (v != i && v != j && rng.Uniform() < 0.5) given.push_back(v);
+    }
+    auto batched = cache.PartialCorrelation(i, j, given);
+    auto plain = PartialCorrelation(corr, i, j, given);
+    ASSERT_EQ(batched.ok(), plain.ok()) << "trial " << trial;
+    if (batched.ok()) {
+      EXPECT_EQ(*batched, *plain)
+          << "trial " << trial << " |S|=" << given.size();
+    }
+  }
+}
+
+TEST(FactorCacheTest, SolveMatchesCholeskySolveBitwise) {
+  const Matrix corr = RandomCorrelation(9, 441);
+  FactorCache cache(&corr, 1e-9);
+  Rng rng(443);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::size_t> s;
+    for (std::size_t v = 0; v < 9; ++v) {
+      if (rng.Uniform() < 0.5) s.push_back(v);
+    }
+    if (s.size() < 2) continue;
+    std::vector<double> rhs(s.size());
+    for (auto& x : rhs) x = rng.Normal();
+    Matrix ridged = corr.Submatrix(s);
+    for (std::size_t d = 0; d < s.size(); ++d) ridged(d, d) += 1e-9;
+    auto plain = CholeskySolve(ridged, rhs);
+    auto batched = cache.Solve(s, rhs);
+    ASSERT_TRUE(plain.ok());
+    ASSERT_TRUE(batched.ok());
+    ASSERT_EQ(batched->size(), plain->size());
+    for (std::size_t d = 0; d < plain->size(); ++d) {
+      EXPECT_EQ((*batched)[d], (*plain)[d]) << "trial " << trial;
+    }
+  }
+}
+
+TEST(FactorCacheTest, CollinearFailureIsCachedAndReported) {
+  // Exactly singular 3x3 (column 2 duplicates column 1) with no ridge:
+  // the pivot hits zero, the failure is cached, and both FactorFor and
+  // Solve report it instead of emitting NaNs.
+  Matrix bad = Matrix::FromRows(
+      {{1.0, 0.3, 0.3}, {0.3, 1.0, 1.0}, {0.3, 1.0, 1.0}});
+  FactorCache cache(&bad, 0.0);
+  auto f1 = cache.FactorFor({0, 1, 2});
+  EXPECT_TRUE(f1->failed);
+  EXPECT_FALSE(cache.Solve({0, 1, 2}, {1.0, 1.0, 1.0}).ok());
+  const std::size_t misses_before = cache.misses();
+  auto f2 = cache.FactorFor({0, 1, 2});
+  EXPECT_TRUE(f2->failed);
+  // The repeat probe is served from the cached failure.
+  EXPECT_EQ(cache.misses(), misses_before);
+  // A non-degenerate subset of the same base still factors fine.
+  EXPECT_FALSE(cache.FactorFor({0, 1})->failed);
+}
+
+TEST(FactorCacheTest, EvictionOnlyChangesSpeed) {
+  const Matrix corr = RandomCorrelation(8, 449);
+  FactorCache cache(&corr, 1e-10);
+  const std::vector<std::size_t> s = {0, 2, 4, 6};
+  auto before = cache.FactorFor(s);
+  cache.EvictSmallerThan(100);  // drop everything
+  EXPECT_EQ(cache.size(), 0u);
+  auto after = cache.FactorFor(s);
+  ASSERT_EQ(after->l.size(), before->l.size());
+  EXPECT_EQ(0, std::memcmp(after->l.data(), before->l.data(),
+                           sizeof(double) * before->l.size()));
+}
+
+TEST(SufficientStatsTest, BicBatchedMatchesUnbatchedBitwise) {
+  // The 3-arg GaussianBicLocal overload must replay the 2-arg path
+  // exactly — including on collinear parent sets, where the cache solve
+  // fails and the stronger-ridge retry runs. Column 7 duplicates column
+  // 0 to force that branch.
+  auto data = NoisyData(8, 300, 0.0, 457);
+  data[7] = data[0];
+  NumericDataset ds;
+  ds.columns = cdi::SpansOf(data);
+  auto stats = SufficientStats::Compute(ds);
+  ASSERT_TRUE(stats.ok());
+  FactorCache cache(&stats->cross_products(), 1e-9);
+  Rng rng(461);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t target = rng.UniformInt(8);
+    std::vector<std::size_t> parents;
+    for (std::size_t v = 0; v < 8; ++v) {
+      if (v != target && rng.Uniform() < 0.4) parents.push_back(v);
+    }
+    auto plain = stats->GaussianBicLocal(target, parents);
+    auto batched = stats->GaussianBicLocal(target, parents, &cache);
+    ASSERT_EQ(plain.ok(), batched.ok()) << "trial " << trial;
+    if (plain.ok()) {
+      EXPECT_EQ(*plain, *batched) << "trial " << trial;
+    }
+  }
+  // Sets containing both collinear columns exercised the retry at least
+  // once; the cache recorded the corresponding failed factorizations.
+  EXPECT_GT(cache.misses(), 0u);
+
+  // A cache with the wrong ridge must be ignored, not trusted.
+  FactorCache wrong(&stats->cross_products(), 1e-10);
+  auto plain = stats->GaussianBicLocal(2, {0, 1, 3});
+  auto guarded = stats->GaussianBicLocal(2, {0, 1, 3}, &wrong);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(guarded.ok());
+  EXPECT_EQ(*plain, *guarded);
+  EXPECT_EQ(wrong.hits() + wrong.misses(), 0u);
 }
 
 TEST(CorrelationTest, CompleteRowCountEdgePatterns) {
