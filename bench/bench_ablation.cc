@@ -12,13 +12,21 @@
 //   E. Data Organizer robustness features on/off (FD handling, outlier
 //      winsorization, IPW; §3.2)
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
 
 #include "core/pipeline.h"
 
+#include "core/effect.h"
 #include "core/evaluation.h"
 #include "datagen/covid.h"
+#include "datagen/flights.h"
+#include "datagen/grid.h"
+#include "summarize/summarize.h"
 
 namespace {
 
@@ -248,6 +256,93 @@ int main() {
                       s.input_table.num_cols(),
                   run->build.cdag.num_clusters(), run->build.claims.size(),
                   run->direct_effect.effect);
+    }
+  }
+
+  // H. C-DAG summarization sweep (CaGreS-style node budget k): build each
+  // scenario's C-DAG once, then summarize it at every achievable budget
+  // down to the safe floor. Per budget: size, compression, flipped
+  // marginal d-separation verdicts on the canonical pair sample, the
+  // direct-effect adjustment set read off the summary (member attributes
+  // of its mediator + confounder super-nodes — CATER's estimator set),
+  // and the direct-effect estimate adjusted by that set vs the one
+  // adjusted by the full C-DAG's set — the compression-vs-bias trade the
+  // summary cache serves. Ground truth for both scenarios: direct ~ 0.
+  std::printf("\nH. C-DAG summarization sweep (node budget k)\n");
+  {
+    // Member attributes of the summary's mediator + confounder
+    // super-nodes, sorted — the summary-derived analogue of
+    // ClusterDag::DirectEffectAdjustmentAttributes.
+    auto summary_adjustment = [](const cdi::summarize::SummaryDag& sd) {
+      std::set<std::string> picked = sd.MediatorNodes();
+      for (const auto& name : sd.ConfounderNodes()) picked.insert(name);
+      std::vector<std::string> attrs;
+      for (const auto& node : sd.nodes()) {
+        if (picked.count(node.name) == 0) continue;
+        attrs.insert(attrs.end(), node.attributes.begin(),
+                     node.attributes.end());
+      }
+      std::sort(attrs.begin(), attrs.end());
+      return attrs;
+    };
+    auto sweep = [&summary_adjustment](const char* label,
+                                       const cdi::datagen::Scenario& s) {
+      cdi::core::PipelineOptions o = cdi::core::DefaultEvaluationOptions(s);
+      cdi::core::Pipeline pipeline(&s.kg, &s.lake, s.oracle.get(),
+                                   &s.topics, o);
+      auto run = pipeline.Run(s.input_table, s.spec.entity_column,
+                              s.exposure_attribute, s.outcome_attribute);
+      if (!run.ok()) {
+        std::printf("  %-28s pipeline failed: %s\n", label,
+                    run.status().ToString().c_str());
+        return;
+      }
+      const auto& cdag = run->build.cdag;
+      const std::size_t n = cdag.num_clusters();
+      const auto full_adj = cdag.DirectEffectAdjustmentAttributes();
+      auto full_est = cdi::core::EstimateEffect(
+          run->organization.organized, s.exposure_attribute,
+          s.outcome_attribute, full_adj, run->organization.row_weights);
+      std::printf("  %-28s clusters=%2zu edges=%2zu |adj|=%2zu "
+                  "direct=%+0.3f\n",
+                  label, n, cdag.graph().num_edges(), full_adj.size(),
+                  full_est.ok() ? full_est->effect : 0.0);
+      cdi::summarize::SummarizeOptions sopts;
+      sopts.max_pairs = n * (n - 1) / 2;  // exhaustive: C-DAGs are small
+      for (std::size_t k = n - 1; k >= 2; --k) {
+        sopts.budget = k;
+        auto summary = cdi::summarize::SummarizeClusterDag(cdag, sopts);
+        if (!summary.ok()) {
+          std::printf("    k=%2zu  below the safe floor\n", k);
+          break;
+        }
+        const auto adj = summary_adjustment(*summary);
+        auto est = cdi::core::EstimateEffect(
+            run->organization.organized, s.exposure_attribute,
+            s.outcome_attribute, adj, run->organization.row_weights);
+        const double bias = (est.ok() && full_est.ok())
+                                ? std::fabs(est->effect - full_est->effect)
+                                : std::nan("");
+        std::printf("    k=%2zu  edges=%2zu  compression=%.2fx  "
+                    "pairs-flipped=%2zu/%2zu  |adj|=%2zu  "
+                    "direct=%+0.3f  bias=%0.3f\n",
+                    k, summary->num_edges(), summary->CompressionRatio(),
+                    summary->pairs_changed(), summary->pairs_scored(),
+                    adj.size(), est.ok() ? est->effect : 0.0, bias);
+      }
+    };
+    if (auto covid = cdi::datagen::BuildScenario(base_spec); covid.ok()) {
+      sweep("COVID-19", **covid);
+    }
+    if (auto flights = cdi::datagen::BuildScenario(
+            cdi::datagen::FlightsSpec());
+        flights.ok()) {
+      sweep("FLIGHTS", **flights);
+    }
+    if (auto cell = cdi::datagen::BuildGridScenario(
+            "grid_c6_quad_bin_m1_p2_o1", 120, 9001);
+        cell.ok()) {
+      sweep("grid_c6_quad_bin_m1_p2_o1", **cell);
     }
   }
   return 0;

@@ -28,6 +28,7 @@
 #include "graph/random_graph.h"
 #include "serve/query_server.h"
 #include "serve/scenario_registry.h"
+#include "summarize/summarize.h"
 #include "stats/correlation.h"
 #include "stats/gram_kernel.h"
 #include "stats/linalg.h"
@@ -697,6 +698,83 @@ void BM_CdagArtifactBuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CdagArtifactBuild)->UseRealTime();
+
+/// Direct summarization cost: the greedy CaGreS-style merge pass on the
+/// canonical COVID C-DAG, contracted to its safe floor (the deepest
+/// budget that still succeeds, probed once downward). This is what a
+/// cold `summarize` query pays on a worker once the plan is warm;
+/// BM_ServeSummaryHit is the cached path that amortizes it.
+void BM_SummarizeDag(benchmark::State& state) {
+  struct Setup {
+    cdi::core::ClusterDag cdag;
+    cdi::summarize::SummarizeOptions options;
+  };
+  static const Setup* setup = [] {
+    auto spec = cdi::datagen::CovidSpec();
+    spec.num_entities = 120;
+    auto built = cdi::datagen::BuildScenario(spec);
+    CDI_CHECK(built.ok()) << built.status().ToString();
+    const auto& sc = **built;
+    cdi::core::PipelineOptions options =
+        cdi::core::DefaultEvaluationOptions(sc);
+    cdi::core::Pipeline pipeline(&sc.kg, &sc.lake, sc.oracle.get(),
+                                 &sc.topics, options);
+    auto run = pipeline.Run(sc.input_table, sc.spec.entity_column,
+                            sc.exposure_attribute, sc.outcome_attribute);
+    CDI_CHECK(run.ok()) << run.status().ToString();
+    auto* s = new Setup{run->build.cdag, {}};
+    const std::size_t n = s->cdag.num_clusters();
+    std::size_t floor = n;  // budget == n is the identity summary
+    for (std::size_t k = n; k >= 2; --k) {
+      s->options.budget = k;
+      if (!cdi::summarize::SummarizeClusterDag(s->cdag, s->options).ok()) {
+        break;
+      }
+      floor = k;
+    }
+    s->options.budget = floor;
+    return s;
+  }();
+  for (auto _ : state) {
+    auto summary =
+        cdi::summarize::SummarizeClusterDag(setup->cdag, setup->options);
+    CDI_CHECK(summary.ok()) << summary.status().ToString();
+    benchmark::DoNotOptimize(summary->Fingerprint());
+  }
+}
+BENCHMARK(BM_SummarizeDag)->UseRealTime();
+
+/// Warm summary-cache hit: admission + per-(scenario, epoch, budget)
+/// summary-cache lookup + shared-artifact response, no merge pass. The
+/// interactive-latency target for a cached summary rides on this path;
+/// ->Threads(8) measures contention against readers of the same entry.
+void BM_ServeSummaryHit(benchmark::State& state) {
+  auto& f = ServeFixture::Get();
+  static const cdi::serve::CdiQuery query = [&f] {
+    cdi::serve::CdiQuery q = f.query;
+    q.mode = cdi::serve::QueryMode::kSummarize;
+    q.summarize_format = "dot";
+    // Probe downward for the deepest achievable budget; each successful
+    // probe also warms the summary cache for that budget.
+    std::size_t deepest = 0;
+    for (std::size_t k = 32; k >= 2; --k) {
+      q.summarize_k = k;
+      if (f.server.Execute(q).status.ok()) {
+        deepest = k;
+      } else if (deepest != 0) {
+        break;  // below the safe floor
+      }
+    }
+    CDI_CHECK(deepest >= 2);
+    q.summarize_k = deepest;
+    return q;
+  }();
+  for (auto _ : state) {
+    auto response = f.server.Execute(query);
+    benchmark::DoNotOptimize(response.summary != nullptr);
+  }
+}
+BENCHMARK(BM_ServeSummaryHit)->UseRealTime()->Threads(1)->Threads(8);
 
 /// Epoch rollover: one 25-row batch through ScenarioRegistry's
 /// UpdateScenario — table copy + typed chunk splice + sufficient-stats

@@ -141,6 +141,67 @@ std::string FormatPairAnswerPayload(const core::PairAnswer& answer) {
   return buf;
 }
 
+std::uint64_t SummaryFingerprint(const SummaryArtifact& artifact) {
+  Fnv1a h("cdi::serve::SummaryFingerprint/v1");
+  h.Mix(artifact.summary != nullptr ? artifact.summary->Fingerprint()
+                                    : std::uint64_t{0});
+  h.Mix(artifact.dot).Mix(artifact.json);
+  return h.Digest();
+}
+
+namespace {
+
+/// Escapes a rendering for the one-line protocol: backslashes, quotes,
+/// newlines, CRs and tabs become two-character escapes, so the payload
+/// is a single quoted token that round-trips losslessly.
+std::string EscapePayload(const std::string& payload) {
+  std::string out;
+  out.reserve(payload.size() + 16);
+  for (char c : payload) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatSummaryPayload(const SummaryArtifact& artifact,
+                                 const std::string& format) {
+  const summarize::SummaryDag& summary = *artifact.summary;
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "nodes=%zu edges=%zu original_nodes=%zu original_edges=%zu "
+      "compression=%.17g pairs_scored=%zu pairs_changed=%zu "
+      "fingerprint=%016llx payload=\"",
+      summary.num_nodes(), summary.num_edges(), summary.original_nodes(),
+      summary.original_edges(), summary.CompressionRatio(),
+      summary.pairs_scored(), summary.pairs_changed(),
+      static_cast<unsigned long long>(SummaryFingerprint(artifact)));
+  std::string out = buf;
+  out += EscapePayload(format == "json" ? artifact.json : artifact.dot);
+  out.push_back('"');
+  return out;
+}
+
 std::string FormatResultPayload(const core::PipelineResult& result) {
   char buf[512];
   std::snprintf(
@@ -174,22 +235,37 @@ std::string SanitizeMessage(std::string msg) {
 std::string FormatResponseLine(const CdiQuery& query,
                                const QueryResponse& response) {
   std::ostringstream out;
+  const bool summarize = query.mode == QueryMode::kSummarize;
   if (response.status.ok()) {
-    out << "ok scenario=" << query.scenario << " T=" << query.exposure
-        << " O=" << query.outcome;
-    if (response.planned != nullptr) out << " mode=planned";
-    out << " source=" << ResponseSourceName(response.source) << " "
-        << (response.planned != nullptr
-                ? FormatPairAnswerPayload(*response.planned)
-                : FormatResultPayload(*response.result));
+    out << "ok scenario=" << query.scenario;
+    if (summarize) {
+      out << " mode=summarize k=" << query.summarize_k
+          << " format=" << query.summarize_format;
+    } else {
+      out << " T=" << query.exposure << " O=" << query.outcome;
+      if (response.planned != nullptr) out << " mode=planned";
+    }
+    out << " source=" << ResponseSourceName(response.source) << " ";
+    if (response.summary != nullptr) {
+      out << FormatSummaryPayload(*response.summary, query.summarize_format);
+    } else if (response.planned != nullptr) {
+      out << FormatPairAnswerPayload(*response.planned);
+    } else {
+      out << FormatResultPayload(*response.result);
+    }
     char tail[96];
     std::snprintf(tail, sizeof(tail), " latency_us=%.1f",
                   response.latency_seconds * 1e6);
     out << tail;
   } else {
-    out << "error scenario=" << query.scenario << " T=" << query.exposure
-        << " O=" << query.outcome
-        << " code=" << StatusCodeName(response.status.code())
+    out << "error scenario=" << query.scenario;
+    if (summarize) {
+      out << " mode=summarize k=" << query.summarize_k
+          << " format=" << query.summarize_format;
+    } else {
+      out << " T=" << query.exposure << " O=" << query.outcome;
+    }
+    out << " code=" << StatusCodeName(response.status.code())
         << " message=\"" << SanitizeMessage(response.status.message())
         << "\"";
   }
@@ -317,10 +393,73 @@ Result<ServerCommand> ParseCommandLine(const std::string& line) {
     }
     return cmd;
   }
+  if (verb == "summarize") {
+    cmd.kind = ServerCommand::Kind::kSummarize;
+    cmd.query.mode = QueryMode::kSummarize;
+    in >> cmd.query.scenario;
+    bool have_k = false;
+    std::string arg;
+    while (in >> arg) {
+      if (arg.rfind("k=", 0) == 0) {
+        const std::string value = arg.substr(2);
+        // Strict non-negative integer: strtoull would silently accept
+        // "-3" (wrapping) and "4.5" would need the end-pointer check, so
+        // require every character to be a digit up front.
+        bool digits = !value.empty();
+        for (char c : value) digits = digits && c >= '0' && c <= '9';
+        if (!digits) {
+          return Status::InvalidArgument(
+              "bad k value '" + value +
+              "' (expected a non-negative integer)");
+        }
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0') {
+          return Status::InvalidArgument("bad k value '" + value + "'");
+        }
+        if (v < 2) {
+          return Status::InvalidArgument(
+              "summary budget k must be at least 2 (got " + value + ")");
+        }
+        cmd.query.summarize_k = static_cast<std::size_t>(v);
+        have_k = true;
+      } else if (arg.rfind("format=", 0) == 0) {
+        const std::string value = arg.substr(7);
+        if (value != "dot" && value != "json") {
+          return Status::InvalidArgument("bad format value '" + value +
+                                         "' (expected dot|json)");
+        }
+        cmd.query.summarize_format = value;
+      } else if (arg.rfind("timeout=", 0) == 0) {
+        char* end = nullptr;
+        const std::string value = arg.substr(8);
+        const double seconds = std::strtod(value.c_str(), &end);
+        if (end == nullptr || *end != '\0' || value.empty()) {
+          return Status::InvalidArgument("bad timeout value '" + value +
+                                         "'");
+        }
+        if (!std::isfinite(seconds) || seconds < 0.0) {
+          return Status::InvalidArgument(
+              "timeout must be a finite non-negative number of seconds, "
+              "got '" + value + "'");
+        }
+        cmd.query.timeout_seconds = seconds;
+      } else {
+        return Status::InvalidArgument("unknown summarize argument '" + arg +
+                                       "'");
+      }
+    }
+    if (cmd.query.scenario.empty() || !have_k) {
+      return Status::InvalidArgument(
+          "usage: summarize <scenario> k=<n> [format=dot|json] "
+          "[timeout=<seconds>]");
+    }
+    return cmd;
+  }
   if (verb != "query") {
     return Status::InvalidArgument("unknown command '" + verb +
-                                   "' (expected query|update|register|"
-                                   "generate|unregister|metrics|"
+                                   "' (expected query|summarize|update|"
+                                   "register|generate|unregister|metrics|"
                                    "scenarios|quit)");
   }
   cmd.kind = ServerCommand::Kind::kQuery;

@@ -47,12 +47,32 @@ std::uint64_t PairAnswerFingerprint(const core::PairAnswer& answer);
 ///    confounders=M adj_direct=A adj_total=B n=K fingerprint=<16 hex>`
 std::string FormatPairAnswerPayload(const core::PairAnswer& answer);
 
+/// Canonical 64-bit fingerprint of a served summary artifact: the
+/// SummaryDag's own structural fingerprint plus both rendered payload
+/// strings. Two artifacts fingerprint equal iff every byte a client
+/// could receive (DOT or JSON) is identical — the summarize-mix
+/// verifier's equality witness.
+std::uint64_t SummaryFingerprint(const SummaryArtifact& artifact);
+
+/// Deterministic payload of a served summary (one line; the rendering is
+/// escaped so embedded newlines/quotes survive the line protocol):
+///   `nodes=N edges=M original_nodes=P original_edges=Q compression=...
+///    pairs_scored=S pairs_changed=C fingerprint=<16 hex>
+///    payload="<escaped dot or json>"`
+/// `format` selects which pre-rendered string goes into payload=
+/// ("dot" or "json"; anything else falls back to "dot").
+std::string FormatSummaryPayload(const SummaryArtifact& artifact,
+                                 const std::string& format);
+
 /// Full single-line response for the cdi_serve stdout protocol:
 ///   `ok scenario=S T=... O=... source=hit <payload> latency_us=...`
 ///   `ok scenario=S T=... O=... mode=planned source=hit <payload> ...`
+///   `ok scenario=S mode=summarize k=6 format=dot source=hit <payload> ...`
 ///   `error scenario=S T=... O=... code=DeadlineExceeded message="..."`
 /// Never contains embedded newlines. Planned responses (response.planned
-/// set) carry the pair-answer payload; full responses the pipeline one.
+/// set) carry the pair-answer payload; summarize responses
+/// (response.summary set) the summary payload; full responses the
+/// pipeline one.
 std::string FormatResponseLine(const CdiQuery& query,
                                const QueryResponse& response);
 
@@ -60,6 +80,7 @@ std::string FormatResponseLine(const CdiQuery& query,
 struct ServerCommand {
   enum class Kind {
     kQuery,
+    kSummarize,
     kMetrics,
     kScenarios,
     kUpdate,
@@ -69,7 +90,10 @@ struct ServerCommand {
     kQuit,
   };
   Kind kind = Kind::kQuery;
-  CdiQuery query;  // meaningful when kind == kQuery
+  /// Meaningful when kind == kQuery or kSummarize (a summarize command
+  /// fills query.scenario / summarize_k / summarize_format /
+  /// timeout_seconds and sets query.mode = QueryMode::kSummarize).
+  CdiQuery query;
   /// kUpdate: target scenario and the CSV file holding the row batch
   /// (header row; schema must match the scenario's input table).
   std::string update_scenario;
@@ -95,6 +119,7 @@ struct ServerCommand {
 /// Parses one protocol line:
 ///   `query <scenario> <exposure> <outcome> [timeout=<seconds>]
 ///    [mode=planned|full]`
+///   `summarize <scenario> k=<n> [format=dot|json] [timeout=<seconds>]`
 ///   `update <scenario> rows=<csv-path>`
 ///   `register <name> input=<csv> entity=<col> [kg=<csv>]... [lake=<csv>]...
 ///    [knowledge=<file>] [exposure=<attr>] [outcome=<attr>] [replace]`
@@ -103,9 +128,13 @@ struct ServerCommand {
 ///   `metrics` | `scenarios` | `quit`
 /// `timeout` must be a finite, non-negative number of seconds — negative,
 /// NaN and infinite values are rejected here with a descriptive error
-/// instead of silently meaning "no deadline" downstream. Blank lines and
-/// `#` comments return kInvalidArgument with an empty message (callers
-/// skip those silently).
+/// instead of silently meaning "no deadline" downstream. `k` must be a
+/// plain non-negative integer >= 2 (non-integer, negative, and
+/// malformed values are rejected at parse; k above the C-DAG's node
+/// count is rejected at execution with an error naming the DAG size),
+/// and `format` must be `dot` or `json`. Blank lines and `#` comments
+/// return kInvalidArgument with an empty message (callers skip those
+/// silently).
 Result<ServerCommand> ParseCommandLine(const std::string& line);
 
 }  // namespace cdi::serve

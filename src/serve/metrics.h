@@ -38,6 +38,10 @@ struct MetricsSnapshot {
   /// C-DAG plan artifacts built (planned-mode cache misses that ran the
   /// full pipeline; single-flight keeps this at one per scenario epoch).
   std::uint64_t plan_builds = 0;
+  /// Summary artifacts built (summarize-mode cache misses that ran the
+  /// greedy merge pass; single-flight keeps this at one per
+  /// (scenario, epoch, k, options)).
+  std::uint64_t summary_builds = 0;
   /// Cache entries evicted because their scenario epoch was superseded by
   /// a registry Replace (the stale-epoch leak fix).
   std::uint64_t evicted_stale = 0;
@@ -66,6 +70,9 @@ struct MetricsSnapshot {
   std::uint64_t result_cache_entries = 0;
   /// Current plan-cache entry count (gauge, as above).
   std::uint64_t plan_cache_entries = 0;
+  /// Summarize-mode entries currently in the result cache (gauge, as
+  /// above; a subset of result_cache_entries).
+  std::uint64_t summary_cache_entries = 0;
   /// Live registry byte charge and scenario count (gauges, as above).
   std::uint64_t registry_bytes = 0;
   std::uint64_t registry_scenarios = 0;
@@ -78,6 +85,10 @@ struct MetricsSnapshot {
   /// delta stats refresh + publish) — the delta-refresh cost the epoch
   /// rollover pays instead of a full re-ingest.
   HistogramSnapshot update_latency;
+  /// Cold summary-build latency (merge pass + DOT/JSON rendering; the
+  /// plan build it may trigger is accounted under `latency`). Cache hits
+  /// do not touch this histogram.
+  HistogramSnapshot summary_latency;
 
   /// cache_hits / served (0 when nothing served). Coalesced responses are
   /// not counted as hits: they did wait on a computation.
@@ -115,6 +126,7 @@ class ServerMetrics {
   std::atomic<std::uint64_t> coalesced{0};
   std::atomic<std::uint64_t> executions{0};
   std::atomic<std::uint64_t> plan_builds{0};
+  std::atomic<std::uint64_t> summary_builds{0};
   std::atomic<std::uint64_t> evicted_stale{0};
   std::atomic<std::uint64_t> epoch_rollovers{0};
   std::atomic<std::uint64_t> rows_appended{0};
@@ -122,6 +134,7 @@ class ServerMetrics {
   std::atomic<std::uint64_t> queue_depth_high_water{0};
   LatencyHistogram latency;
   LatencyHistogram update_latency;
+  LatencyHistogram summary_latency;
 
   /// Raises the high-water mark to at least `depth`.
   void ObserveQueueDepth(std::uint64_t depth);

@@ -19,6 +19,7 @@ std::uint64_t QueryCacheKey(const ScenarioBundle& bundle,
       .Mix(query.exposure)
       .Mix(query.outcome)
       .Mix(static_cast<std::uint64_t>(query.mode))
+      .Mix(static_cast<std::uint64_t>(query.summarize_k))
       .Mix(options_fingerprint)
       .Digest();
 }
@@ -64,6 +65,23 @@ QueryServer::~QueryServer() { Shutdown(); }
 
 Status QueryServer::ValidateQuery(const ScenarioBundle& bundle,
                                   const CdiQuery& query) const {
+  if (query.mode == QueryMode::kSummarize) {
+    // Summaries are per-scenario, not per-pair: the exposure/outcome
+    // checks below do not apply. The budget floor is checked here (O(1),
+    // before the queue); the ceiling needs the built C-DAG's node count
+    // and is checked at execution by Summarize itself.
+    if (query.summarize_k < 2) {
+      return Status::InvalidArgument(
+          "summary budget k must be at least 2 (got " +
+          std::to_string(query.summarize_k) + ")");
+    }
+    if (query.summarize_format != "dot" && query.summarize_format != "json") {
+      return Status::InvalidArgument("bad summary format '" +
+                                     query.summarize_format +
+                                     "' (expected dot|json)");
+    }
+    return Status::OK();
+  }
   // The entity column can never be an exposure or outcome — it is the
   // join key, not a variable. Rejecting it here (O(1), before the queue)
   // keeps such queries from occupying a slot and a worker only to fail
@@ -181,6 +199,7 @@ std::future<QueryResponse> QueryServer::Submit(CdiQuery query) {
 
   std::shared_ptr<const core::PipelineResult> hit_result;
   std::shared_ptr<const core::PairAnswer> hit_planned;
+  std::shared_ptr<const SummaryArtifact> hit_summary;
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (stopping_) {
@@ -199,6 +218,7 @@ std::future<QueryResponse> QueryServer::Submit(CdiQuery query) {
       if (it->second.done) {
         hit_result = it->second.result;  // fall through; respond unlocked
         hit_planned = it->second.planned;
+        hit_summary = it->second.summary;
       } else {
         // Single-flight: attach to the in-flight leader. No queue slot.
         metrics_.coalesced.fetch_add(1, std::memory_order_relaxed);
@@ -222,6 +242,7 @@ std::future<QueryResponse> QueryServer::Submit(CdiQuery query) {
       CacheEntry claim;
       claim.scenario = query.scenario;
       claim.epoch = epoch;
+      claim.is_summary = query.mode == QueryMode::kSummarize;
       cache_.emplace(key, std::move(claim));
       Request request;
       request.query = std::move(query);
@@ -243,6 +264,7 @@ std::future<QueryResponse> QueryServer::Submit(CdiQuery query) {
   response.status = Status::OK();
   response.result = std::move(hit_result);
   response.planned = std::move(hit_planned);
+  response.summary = std::move(hit_summary);
   response.source = ResponseSource::kCacheHit;
   response.cache_key = key;
   response.scenario_epoch = epoch;
@@ -430,7 +452,39 @@ void QueryServer::ExecuteRequest(Request request) {
 
   std::shared_ptr<const core::PipelineResult> result;
   std::shared_ptr<const core::PairAnswer> planned;
-  if (request.query.mode == QueryMode::kPlanned) {
+  std::shared_ptr<const SummaryArtifact> summary;
+  if (request.query.mode == QueryMode::kSummarize) {
+    // Summarize path: the scenario's cached C-DAG plan supplies the
+    // graph (shared single-flight with planned queries — the expensive
+    // pipeline run happens at most once per scenario epoch), then the
+    // greedy merge pass runs to the requested budget and both renderings
+    // are built once. Everything after the plan lookup is a pure
+    // deterministic function of the artifact and k.
+    auto plan = GetOrBuildPlan(request, &token);
+    unregister_token();
+    if (!plan.ok()) {
+      fail(plan.status());
+      return;
+    }
+    const Clock::time_point build_start = Clock::now();
+    summarize::SummarizeOptions sopts;
+    sopts.budget = request.query.summarize_k;
+    auto built =
+        summarize::SummarizeClusterDag((*plan)->artifact().build.cdag, sopts);
+    if (!built.ok()) {
+      fail(built.status());
+      return;
+    }
+    auto artifact = std::make_shared<SummaryArtifact>();
+    artifact->summary = std::make_shared<const summarize::SummaryDag>(
+        *std::move(built));
+    artifact->dot = artifact->summary->ToDot();
+    artifact->json = artifact->summary->ToJson();
+    summary = std::move(artifact);
+    metrics_.summary_builds.fetch_add(1, std::memory_order_relaxed);
+    metrics_.summary_latency.Record(
+        std::chrono::duration<double>(Clock::now() - build_start).count());
+  } else if (request.query.mode == QueryMode::kPlanned) {
     // Planned path: answer off the scenario's cached C-DAG plan — the
     // first planned query builds it (single-flight); every subsequent
     // pair is identification + linear algebra on the shared statistics.
@@ -479,6 +533,8 @@ void QueryServer::ExecuteRequest(Request request) {
     entry.done = true;
     entry.result = result;
     entry.planned = planned;
+    entry.summary = summary;
+    entry.is_summary = request.query.mode == QueryMode::kSummarize;
     entry.scenario = request.query.scenario;
     entry.epoch = request.bundle->epoch;
     waiters.swap(entry.waiters);
@@ -499,6 +555,7 @@ void QueryServer::ExecuteRequest(Request request) {
   response.status = Status::OK();
   response.result = result;
   response.planned = planned;
+  response.summary = summary;
   response.source = ResponseSource::kExecuted;
   response.cache_key = request.key;
   response.scenario_epoch = request.bundle->epoch;
@@ -512,6 +569,7 @@ void QueryServer::ExecuteRequest(Request request) {
     coalesced.status = Status::OK();
     coalesced.result = result;
     coalesced.planned = planned;
+    coalesced.summary = summary;
     coalesced.source = ResponseSource::kCoalesced;
     coalesced.cache_key = request.key;
     coalesced.scenario_epoch = request.bundle->epoch;
@@ -659,6 +717,9 @@ MetricsSnapshot QueryServer::Metrics() const {
     std::lock_guard<std::mutex> lock(mu_);
     snap.result_cache_entries = cache_.size();
     snap.plan_cache_entries = plan_cache_.size();
+    for (const auto& [key, entry] : cache_) {
+      if (entry.is_summary) ++snap.summary_cache_entries;
+    }
   }
   const RegistryStats registry = registry_->Stats();
   snap.scenarios_registered = registry.scenarios_registered;

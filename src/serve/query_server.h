@@ -21,6 +21,7 @@
 #include "core/plan.h"
 #include "serve/metrics.h"
 #include "serve/scenario_registry.h"
+#include "summarize/summarize.h"
 
 namespace cdi::serve {
 
@@ -36,6 +37,22 @@ enum class QueryMode {
   /// estimates — microseconds of linear algebra instead of a pipeline
   /// run.
   kPlanned,
+  /// Summarize the scenario's C-DAG to a node budget (CaGreS-style
+  /// greedy merge): the scenario's cached plan artifact supplies the
+  /// C-DAG, the summary is rendered to DOT *and* JSON once, and the
+  /// rendered artifact is cached per (scenario, epoch, k, options)
+  /// under the same single-flight + epoch-eviction contract as results.
+  kSummarize,
+};
+
+/// A served summary: the SummaryDag plus both renderings, built once per
+/// (scenario, epoch, k, options) and shared by every cache hit. The
+/// format choice only selects which pre-rendered string a response line
+/// prints — it is deliberately *not* part of the cache key.
+struct SummaryArtifact {
+  std::shared_ptr<const summarize::SummaryDag> summary;
+  std::string dot;
+  std::string json;
 };
 
 /// One causal query against a registered scenario: "what is the effect of
@@ -43,9 +60,19 @@ enum class QueryMode {
 /// layer amortizes ingest and statistics across.
 struct CdiQuery {
   std::string scenario;
+  /// Exposure/outcome attributes; empty (and ignored) for
+  /// QueryMode::kSummarize, which always summarizes the scenario's
+  /// canonical C-DAG.
   std::string exposure;
   std::string outcome;
   QueryMode mode = QueryMode::kFull;
+  /// kSummarize: the node budget k (>= 2; validated against the built
+  /// C-DAG's node count at execution). Part of the cache key.
+  std::size_t summarize_k = 0;
+  /// kSummarize: which rendering a response line prints ("dot" or
+  /// "json"). Presentation only — not part of the cache key; both
+  /// renderings are built and cached together.
+  std::string summarize_format = "dot";
   /// Pipeline options override; unset = the bundle's default options.
   /// Only *semantic* fields contribute to the cache key (see
   /// core::PipelineOptionsFingerprint).
@@ -72,6 +99,8 @@ struct QueryResponse {
   /// Shared planned answer (QueryMode::kPlanned); null on error and for
   /// full-mode responses.
   std::shared_ptr<const core::PairAnswer> planned;
+  /// Shared summary artifact (QueryMode::kSummarize); null otherwise.
+  std::shared_ptr<const SummaryArtifact> summary;
   ResponseSource source = ResponseSource::kError;
   /// Single-flight cache key: hash of (scenario epoch, T, O, options
   /// fingerprint). 0 when the request failed before key computation.
@@ -227,6 +256,10 @@ class QueryServer {
     bool done = false;
     std::shared_ptr<const core::PipelineResult> result;  // full mode, done
     std::shared_ptr<const core::PairAnswer> planned;  // planned mode, done
+    std::shared_ptr<const SummaryArtifact> summary;  // summarize mode, done
+    /// True for summarize-mode entries from the moment they are claimed
+    /// (pending included) — drives the summary_cache_entries gauge.
+    bool is_summary = false;
     std::vector<Waiter> waiters;  // attached while pending
     /// Scenario + epoch the entry answers for: stale-epoch eviction scans
     /// these when a registry Replace supersedes an epoch.
@@ -318,7 +351,10 @@ class QueryServer {
 /// Canonical cache key of a query against a bundle snapshot. Planned and
 /// full answers to the same pair are distinct entries (the mode is mixed
 /// into the key): they are different result types with different
-/// listwise-deletion semantics.
+/// listwise-deletion semantics. Summarize entries additionally mix the
+/// node budget k, so each (scenario, epoch, k, options) summary is its
+/// own single-flight entry; the render format is not mixed (both
+/// renderings are cached together).
 std::uint64_t QueryCacheKey(const ScenarioBundle& bundle,
                             const CdiQuery& query);
 

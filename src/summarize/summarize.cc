@@ -1,0 +1,359 @@
+#include "summarize/summarize.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <tuple>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "graph/dsep.h"
+
+namespace cdi::summarize {
+
+namespace {
+
+/// Working state of the merge pass: each original node belongs to exactly
+/// one group; groups are identified by their canonical name (sorted
+/// member names joined by '+').
+struct MergeState {
+  /// Group name -> original node names, sorted.
+  std::map<std::string, std::vector<std::string>> groups;
+  /// Original node name -> owning group name.
+  std::map<std::string, std::string> owner;
+};
+
+/// The contraction of `dag` under the grouping, with `u` and `v`
+/// additionally unified under `merged_name` when both are non-empty.
+/// Node order is sorted group-name order (canonical), self-loops are
+/// dropped, duplicate edges collapse.
+graph::Digraph Contract(const graph::Digraph& dag, const MergeState& state,
+                        const std::string& u, const std::string& v,
+                        const std::string& merged_name) {
+  std::vector<std::string> names;
+  names.reserve(state.groups.size());
+  for (const auto& [name, _] : state.groups) {
+    if (!u.empty() && (name == u || name == v)) continue;
+    names.push_back(name);
+  }
+  if (!u.empty()) names.push_back(merged_name);
+  std::sort(names.begin(), names.end());
+  graph::Digraph out(names);
+  const auto project = [&](graph::NodeId id) -> const std::string& {
+    const std::string& group = state.owner.at(dag.NodeName(id));
+    if (!u.empty() && (group == u || group == v)) return merged_name;
+    return group;
+  };
+  for (const auto& [from, to] : dag.Edges()) {
+    const std::string& gf = project(from);
+    const std::string& gt = project(to);
+    if (gf == gt) continue;
+    CDI_CHECK(out.AddEdge(gf, gt).ok());
+  }
+  return out;
+}
+
+/// Canonical scoring sample: all unordered pairs of original node names
+/// when they fit in `max_pairs`, otherwise a seeded subsample whose seed
+/// is a pure function of the node names — the summary must not depend on
+/// anything but its inputs.
+std::vector<std::pair<std::string, std::string>> SamplePairs(
+    const std::vector<std::string>& sorted_names, std::size_t max_pairs) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  const std::size_t n = sorted_names.size();
+  pairs.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      pairs.emplace_back(sorted_names[i], sorted_names[j]);
+    }
+  }
+  if (pairs.size() <= max_pairs) return pairs;
+  Fnv1a h("cdi::summarize::PairSample/v1");
+  h.Mix(static_cast<std::uint64_t>(n));
+  for (const auto& name : sorted_names) h.Mix(name);
+  h.Mix(static_cast<std::uint64_t>(max_pairs));
+  Rng rng(h.Digest());
+  rng.Shuffle(&pairs);
+  pairs.resize(max_pairs);
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+/// Marginal d-separation verdicts of the sampled pairs on a contracted
+/// graph. nullopt when both endpoints project into the same group (the
+/// question is internal to one super-node).
+std::vector<std::optional<bool>> PairVerdicts(
+    const graph::Digraph& g, const MergeState& state, const std::string& u,
+    const std::string& v, const std::string& merged_name,
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  std::vector<std::optional<bool>> verdicts(pairs.size());
+  const auto project = [&](const std::string& node) -> const std::string& {
+    const std::string& group = state.owner.at(node);
+    if (!u.empty() && (group == u || group == v)) return merged_name;
+    return group;
+  };
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const std::string& ga = project(pairs[i].first);
+    const std::string& gb = project(pairs[i].second);
+    if (ga == gb) continue;
+    auto a = g.NodeIdOf(ga);
+    auto b = g.NodeIdOf(gb);
+    CDI_CHECK(a.ok() && b.ok());
+    auto sep = graph::DSeparated(g, *a, *b, {});
+    if (sep.ok()) verdicts[i] = *sep;
+  }
+  return verdicts;
+}
+
+}  // namespace
+
+/// Grants the merge pass access to SummaryDag's private fields; the
+/// artifact stays immutable to every other caller.
+class SummaryAssembler {
+ public:
+  static SummaryDag Assemble(
+      const graph::Digraph& dag, const MergeState& state,
+      const std::map<std::string, std::vector<std::string>>& members,
+      const std::string& exposure, const std::string& outcome,
+      std::size_t pairs_scored, std::size_t pairs_changed) {
+    SummaryDag out;
+    out.graph_ = Contract(dag, state, "", "", "");
+    out.nodes_.resize(out.graph_.num_nodes());
+    for (const auto& [name, group_members] : state.groups) {
+      auto id = out.graph_.NodeIdOf(name);
+      CDI_CHECK(id.ok());
+      SummaryNode& node = out.nodes_[*id];
+      node.name = name;
+      node.members = group_members;  // already sorted
+      std::set<std::string> attrs;
+      for (const auto& member : group_members) {
+        out.cluster_to_node_[member] = name;
+        auto it = members.find(member);
+        if (it != members.end()) {
+          attrs.insert(it->second.begin(), it->second.end());
+        } else {
+          attrs.insert(member);
+        }
+      }
+      node.attributes.assign(attrs.begin(), attrs.end());
+    }
+    out.exposure_node_ = state.owner.at(exposure);
+    out.outcome_node_ = state.owner.at(outcome);
+    out.original_nodes_ = dag.num_nodes();
+    out.original_edges_ = dag.num_edges();
+    out.pairs_scored_ = pairs_scored;
+    out.pairs_changed_ = pairs_changed;
+    return out;
+  }
+};
+
+Result<SummaryDag> Summarize(
+    const graph::Digraph& dag,
+    const std::map<std::string, std::vector<std::string>>& members,
+    const std::string& exposure, const std::string& outcome,
+    const SummarizeOptions& options) {
+  const std::size_t n = dag.num_nodes();
+  if (n == 0) {
+    return Status::InvalidArgument("cannot summarize an empty DAG");
+  }
+  if (!dag.HasNode(exposure)) {
+    return Status::InvalidArgument("exposure node '" + exposure +
+                                   "' is not in the DAG");
+  }
+  if (!dag.HasNode(outcome)) {
+    return Status::InvalidArgument("outcome node '" + outcome +
+                                   "' is not in the DAG");
+  }
+  if (exposure == outcome) {
+    return Status::InvalidArgument(
+        "exposure and outcome must be distinct (both '" + exposure + "')");
+  }
+  if (!dag.IsAcyclic()) {
+    return Status::FailedPrecondition(
+        "summarization requires an acyclic DAG (the input has a cycle)");
+  }
+  if (options.budget < 2) {
+    return Status::InvalidArgument(
+        "summary budget k must be at least 2 (got " +
+        std::to_string(options.budget) + ")");
+  }
+  if (options.budget > n) {
+    return Status::InvalidArgument(
+        "summary budget k=" + std::to_string(options.budget) +
+        " exceeds the DAG's " + std::to_string(n) + " nodes");
+  }
+
+  MergeState state;
+  std::vector<std::string> sorted_names = dag.NodeNames();
+  std::sort(sorted_names.begin(), sorted_names.end());
+  for (const auto& name : sorted_names) {
+    state.groups.emplace(name, std::vector<std::string>{name});
+    state.owner.emplace(name, name);
+  }
+
+  const std::vector<std::pair<std::string, std::string>> sample =
+      SamplePairs(sorted_names, options.max_pairs);
+  std::size_t pairs_changed = 0;
+
+  graph::Digraph cur = Contract(dag, state, "", "", "");
+  while (cur.num_nodes() > options.budget) {
+    // Baseline verdicts for this round, computed once on the current
+    // contraction.
+    const std::vector<std::optional<bool>> before =
+        PairVerdicts(cur, state, "", "", "", sample);
+
+    // Candidate pairs: adjacent or sharing a parent/child in the current
+    // graph — the merges CaGreS considers structurally meaningful. When
+    // none is legal (e.g. disconnected islands), fall back to every
+    // unprotected pair so the budget stays reachable.
+    const std::string& t_group = state.owner.at(exposure);
+    const std::string& o_group = state.owner.at(outcome);
+    const auto protected_group = [&](const std::string& g) {
+      return g == t_group || g == o_group;
+    };
+    std::set<std::pair<std::string, std::string>> candidates;
+    const auto add_candidate = [&](graph::NodeId a, graph::NodeId b) {
+      const std::string& na = cur.NodeName(a);
+      const std::string& nb = cur.NodeName(b);
+      if (protected_group(na) || protected_group(nb)) return;
+      candidates.insert(na < nb ? std::make_pair(na, nb)
+                                : std::make_pair(nb, na));
+    };
+    for (const auto& [from, to] : cur.Edges()) add_candidate(from, to);
+    for (graph::NodeId id = 0; id < cur.num_nodes(); ++id) {
+      const auto& kids = cur.Children(id);
+      for (auto a = kids.begin(); a != kids.end(); ++a) {
+        for (auto b = std::next(a); b != kids.end(); ++b) {
+          add_candidate(*a, *b);
+        }
+      }
+      const auto& parents = cur.Parents(id);
+      for (auto a = parents.begin(); a != parents.end(); ++a) {
+        for (auto b = std::next(a); b != parents.end(); ++b) {
+          add_candidate(*a, *b);
+        }
+      }
+    }
+    if (candidates.empty()) {
+      for (graph::NodeId a = 0; a < cur.num_nodes(); ++a) {
+        for (graph::NodeId b = a + 1; b < cur.num_nodes(); ++b) {
+          add_candidate(a, b);
+        }
+      }
+    }
+
+    // Score candidates in canonical (name, name) order; the best key is
+    // (semantic loss, merged degree, names) — strictly smaller wins, so
+    // the choice is a total order independent of enumeration details.
+    using Key = std::tuple<std::size_t, std::size_t, std::string,
+                           std::string>;
+    std::optional<Key> best_key;
+    std::optional<graph::Digraph> best_graph;
+    std::string best_merged_name;
+    for (const auto& [u, v] : candidates) {
+      // Canonical super-node name: all absorbed original names, sorted.
+      std::vector<std::string> merged_members;
+      const auto& mu = state.groups.at(u);
+      const auto& mv = state.groups.at(v);
+      merged_members.reserve(mu.size() + mv.size());
+      std::merge(mu.begin(), mu.end(), mv.begin(), mv.end(),
+                 std::back_inserter(merged_members));
+      std::string merged_name;
+      for (const auto& m : merged_members) {
+        if (!merged_name.empty()) merged_name += '+';
+        merged_name += m;
+      }
+
+      graph::Digraph contracted = Contract(dag, state, u, v, merged_name);
+      if (!contracted.IsAcyclic()) continue;  // illegal contraction
+
+      // Cheap structural tie-break: distinct external neighbors of the
+      // merged node (prefer absorbing peripheral structure).
+      const auto uid = cur.NodeIdOf(u);
+      const auto vid = cur.NodeIdOf(v);
+      CDI_CHECK(uid.ok() && vid.ok());
+      std::set<graph::NodeId> neighbors;
+      for (graph::NodeId x : {*uid, *vid}) {
+        neighbors.insert(cur.Parents(x).begin(), cur.Parents(x).end());
+        neighbors.insert(cur.Children(x).begin(), cur.Children(x).end());
+      }
+      neighbors.erase(*uid);
+      neighbors.erase(*vid);
+      const std::size_t degree = neighbors.size();
+
+      const std::size_t prune_loss =
+          best_key.has_value() ? std::get<0>(*best_key) : sample.size() + 1;
+      std::size_t loss = 0;
+      const auto project = [&](const std::string& node) -> const std::string& {
+        const std::string& group = state.owner.at(node);
+        if (group == u || group == v) return merged_name;
+        return group;
+      };
+      for (std::size_t i = 0; i < sample.size() && loss <= prune_loss;
+           ++i) {
+        if (!before[i].has_value()) continue;
+        const std::string& ga = project(sample[i].first);
+        const std::string& gb = project(sample[i].second);
+        if (ga == gb) {
+          // The pair collapsed into the merged node: a marginal
+          // independence statement it carried is lost.
+          if (*before[i]) ++loss;
+          continue;
+        }
+        auto a = contracted.NodeIdOf(ga);
+        auto b = contracted.NodeIdOf(gb);
+        CDI_CHECK(a.ok() && b.ok());
+        auto sep = graph::DSeparated(contracted, *a, *b, {});
+        if (sep.ok() && *sep != *before[i]) ++loss;
+      }
+      if (loss > prune_loss) continue;  // pruned mid-scoring
+
+      Key key{loss, degree, u, v};
+      if (!best_key.has_value() || key < *best_key) {
+        best_key = std::move(key);
+        best_graph = std::move(contracted);
+        best_merged_name = std::move(merged_name);
+      }
+    }
+
+    if (!best_key.has_value()) {
+      return Status::FailedPrecondition(
+          "cannot reach summary budget k=" + std::to_string(options.budget) +
+          ": " + std::to_string(cur.num_nodes()) +
+          " nodes remain and no legal contraction exists (exposure/outcome "
+          "are unmergeable and contractions must stay acyclic)");
+    }
+
+    // Apply the winning contraction.
+    const std::string u = std::get<2>(*best_key);
+    const std::string v = std::get<3>(*best_key);
+    std::vector<std::string> merged_members;
+    {
+      const auto& mu = state.groups.at(u);
+      const auto& mv = state.groups.at(v);
+      std::merge(mu.begin(), mu.end(), mv.begin(), mv.end(),
+                 std::back_inserter(merged_members));
+    }
+    for (const auto& m : merged_members) state.owner[m] = best_merged_name;
+    state.groups.erase(u);
+    state.groups.erase(v);
+    state.groups.emplace(best_merged_name, std::move(merged_members));
+    pairs_changed += std::get<0>(*best_key);
+    cur = *std::move(best_graph);
+    CDI_CHECK(cur.IsAcyclic()) << "contraction broke acyclicity";
+  }
+
+  return SummaryAssembler::Assemble(dag, state, members, exposure, outcome,
+                                    sample.size(), pairs_changed);
+}
+
+Result<SummaryDag> SummarizeClusterDag(const core::ClusterDag& cdag,
+                                       const SummarizeOptions& options) {
+  return Summarize(cdag.graph(), cdag.members(), cdag.exposure_cluster(),
+                   cdag.outcome_cluster(), options);
+}
+
+}  // namespace cdi::summarize

@@ -9,6 +9,7 @@
 #include "core/effect.h"
 #include "core/identifiability.h"
 #include "graph/dsep.h"
+#include "summarize/summarize.h"
 
 namespace cdi::testing {
 
@@ -88,6 +89,121 @@ std::vector<CheckFailure> CheckScenarioGroundTruth(
   if (scenario.input_table.num_rows() != scenario.entity_names.size()) {
     Fail(&failures, "truth-table-shape",
          "input table rows != entity count");
+  }
+  return failures;
+}
+
+std::vector<CheckFailure> CheckSummarizationAgainstTruth(
+    const datagen::Scenario& scenario) {
+  std::vector<CheckFailure> failures;
+  const graph::Digraph& truth = scenario.cluster_dag;
+  const auto& spec = scenario.spec;
+  const std::size_t n = truth.num_nodes();
+  if (n < 3) return failures;  // nothing to contract around the endpoints
+  auto t = truth.NodeIdOf(spec.exposure_cluster);
+  auto o = truth.NodeIdOf(spec.outcome_cluster);
+  CDI_CHECK(t.ok() && o.ok());
+
+  // Truth-derived adjustment set and its separation verdict — the left side
+  // of the differential oracle (identical to CheckPipelineAgainstTruth).
+  std::set<graph::NodeId> truth_set;
+  for (graph::NodeId v : truth.NodesOnDirectedPaths(*t, *o)) {
+    truth_set.insert(v);
+  }
+  const std::set<graph::NodeId> anc_t = truth.Ancestors(*t);
+  const std::set<graph::NodeId> anc_o = truth.Ancestors(*o);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (v == *t || v == *o) continue;
+    if (anc_t.count(v) && anc_o.count(v)) truth_set.insert(v);
+  }
+  auto truth_sep = graph::DSeparated(truth, *t, *o, truth_set);
+  if (!truth_sep.ok()) {
+    Fail(&failures, "summary-separation", "truth d-separation query failed");
+    return failures;
+  }
+
+  summarize::SummarizeOptions sopts;
+  sopts.max_pairs = n * (n - 1) / 2;  // score every pair: DAGs are small here
+  for (std::size_t k = n - 1; k >= 2; --k) {
+    char tag[64];
+    std::snprintf(tag, sizeof(tag), " (k=%zu, n=%zu)", k, n);
+    sopts.budget = k;
+    auto summary = summarize::Summarize(truth, scenario.cluster_members,
+                                        spec.exposure_cluster,
+                                        spec.outcome_cluster, sopts);
+    if (!summary.ok()) {
+      // The safe floor: endpoint protection + acyclicity can make budgets
+      // below some k unreachable. That is a legal outcome, not a failure.
+      if (summary.status().code() == StatusCode::kFailedPrecondition) break;
+      Fail(&failures, "summary-build",
+           summary.status().ToString() + tag);
+      continue;
+    }
+    if (!summary->graph().IsAcyclic()) {
+      Fail(&failures, "summary-acyclic", std::string("summary has a cycle") + tag);
+    }
+    if (summary->num_nodes() != k) {
+      Fail(&failures, "summary-budget",
+           Fmt("summary has %.0f nodes, budget %.0f",
+               static_cast<double>(summary->num_nodes()),
+               static_cast<double>(k)));
+    }
+    // Exposure/outcome survive as unmerged singletons.
+    for (const char* which : {"exposure", "outcome"}) {
+      const std::string& name = which[0] == 'e' ? spec.exposure_cluster
+                                                : spec.outcome_cluster;
+      auto node = summary->NodeOf(name);
+      if (!node.ok() || *node != name) {
+        Fail(&failures, "summary-endpoints",
+             std::string(which) + " cluster merged or lost" + tag);
+      }
+    }
+    // Members partition the original clusters, and NodeOf agrees.
+    std::set<std::string> seen;
+    for (const auto& node : summary->nodes()) {
+      for (const auto& member : node.members) {
+        if (!seen.insert(member).second) {
+          Fail(&failures, "summary-partition",
+               "cluster " + member + " in two super-nodes" + tag);
+        }
+        auto owner = summary->NodeOf(member);
+        if (!owner.ok() || *owner != node.name) {
+          Fail(&failures, "summary-partition",
+               "NodeOf(" + member + ") disagrees with member list" + tag);
+        }
+      }
+    }
+    if (seen.size() != n) {
+      Fail(&failures, "summary-partition",
+           Fmt("members cover %.0f of %.0f clusters",
+               static_cast<double>(seen.size()), static_cast<double>(n)));
+    }
+    // Differential adjustment-separation on the summary's adjustment set.
+    if (*truth_sep) {
+      std::vector<std::string> adjustment;
+      std::set<std::string> adj_nodes;
+      for (const auto& name : summary->MediatorNodes()) adj_nodes.insert(name);
+      for (const auto& name : summary->ConfounderNodes()) {
+        adj_nodes.insert(name);
+      }
+      for (const auto& node : summary->nodes()) {
+        if (!adj_nodes.count(node.name)) continue;
+        for (const auto& member : node.members) adjustment.push_back(member);
+      }
+      const std::set<graph::NodeId> rec_set =
+          TruthIds(truth, adjustment, *t, *o);
+      auto rec_sep = graph::DSeparated(truth, *t, *o, rec_set);
+      if (!rec_sep.ok()) {
+        Fail(&failures, "summary-separation",
+             std::string("summary d-separation query failed") + tag);
+      } else if (!*rec_sep) {
+        Fail(&failures, "summary-separation",
+             "summary adjustment set " + JoinNames(truth, rec_set) +
+                 " leaves exposure and outcome d-connected in the truth "
+                 "DAG (truth-derived set " + JoinNames(truth, truth_set) +
+                 " separates them)" + tag);
+      }
+    }
   }
   return failures;
 }

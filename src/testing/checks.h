@@ -57,6 +57,25 @@ std::vector<CheckFailure> CheckPipelineAgainstTruth(
     const datagen::Scenario& scenario, const core::PipelineResult& run,
     const CheckOptions& options = {});
 
+/// Summarization oracle: runs the greedy CaGreS-style merge pass over the
+/// ground-truth cluster DAG at every node budget from n-1 down to the
+/// safe floor (the largest k below which no legal contraction exists —
+/// exposure/outcome are unmergeable and contractions must stay acyclic).
+/// Every achievable summary must:
+///
+///  * stay acyclic and hit its budget exactly (num_nodes == k);
+///  * keep exposure and outcome as unmerged singleton super-nodes;
+///  * partition the original clusters (members disjoint, union complete,
+///    NodeOf provenance agreeing with the member lists);
+///  * adjustment-separation — the summary's adjustment set (mediator and
+///    confounder super-node members, projected back onto truth clusters)
+///    must still d-separate exposure and outcome in the ground-truth DAG
+///    whenever the truth-derived adjustment set does (the same
+///    differential oracle CheckPipelineAgainstTruth applies to the
+///    recovered C-DAG).
+std::vector<CheckFailure> CheckSummarizationAgainstTruth(
+    const datagen::Scenario& scenario);
+
 /// Scores recovered claims (topic-name pairs) against the ground-truth
 /// cluster DAG; topics unknown to the truth count as presence false
 /// positives (the evaluation harness's convention).

@@ -124,6 +124,13 @@ Result<TrialResult> RunFuzzTrial(uint64_t seed, const FuzzOptions& options) {
     }
   }
 
+  // ---- summarization oracle over the ground-truth DAG. --------------------
+  if (options.run_summarization) {
+    for (auto& f : CheckSummarizationAgainstTruth(*scenario)) {
+      result.failures.push_back(std::move(f));
+    }
+  }
+
   // ---- pipeline: serial reference + parallel bitwise differential. --------
   core::PipelineOptions pipe_options =
       core::DefaultEvaluationOptions(*scenario);
@@ -213,6 +220,7 @@ std::string ReproducerCommand(uint64_t seed, const FuzzOptions& options) {
   os << "cdi_fuzz --trials 1 --seed " << seed << " --num-threads "
      << options.num_threads;
   if (!options.run_metamorphic) os << " --no-metamorphic";
+  if (!options.run_summarization) os << " --no-summarize";
   if (options.fault != FaultKind::kNone) {
     os << " --inject-bug " << FaultKindName(options.fault);
   }

@@ -40,6 +40,9 @@ struct FuzzOptions {
   int num_threads = 8;
   /// Run the discovery-layer metamorphic relations each trial.
   bool run_metamorphic = true;
+  /// Run the summarization oracle (CheckSummarizationAgainstTruth: merge
+  /// pass over the truth DAG at every reachable budget) each trial.
+  bool run_summarization = true;
   FaultKind fault = FaultKind::kNone;
   /// Failure budget for a sweep: the pipeline is statistical end to end,
   /// so arbitrary seed ranges carry an irreducible flake floor (~0.5% of

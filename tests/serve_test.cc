@@ -7,6 +7,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <utility>
@@ -23,6 +24,7 @@
 #include "serve/metrics.h"
 #include "serve/query_server.h"
 #include "serve/scenario_registry.h"
+#include "summarize/summarize.h"
 
 namespace cdi::serve {
 namespace {
@@ -54,6 +56,16 @@ CdiQuery Query(const std::string& exposure, const std::string& outcome,
   q.exposure = exposure;
   q.outcome = outcome;
   q.timeout_seconds = timeout_seconds;
+  return q;
+}
+
+CdiQuery SummarizeQuery(std::size_t k, const std::string& format = "dot",
+                        const std::string& scenario = "covid") {
+  CdiQuery q;
+  q.scenario = scenario;
+  q.mode = QueryMode::kSummarize;
+  q.summarize_k = k;
+  q.summarize_format = format;
   return q;
 }
 
@@ -551,9 +563,16 @@ TEST(QueryServerTest, EpochChurnKeepsCachesBoundedAndServesFreshResults) {
   std::thread client([&] {
     std::size_t i = 0;
     while (!churn_done.load(std::memory_order_relaxed)) {
-      auto q = Query(attrs[i % attrs.size()],
-                     attrs[(i + 1) % attrs.size()]);
-      q.mode = (i % 3 == 0) ? QueryMode::kFull : QueryMode::kPlanned;
+      CdiQuery q;
+      if (i % 4 == 3) {
+        // Summarize traffic rides the same churn: budgets cycle over a
+        // small set so stale-epoch summary entries would accumulate if
+        // the sweeps missed them.
+        q = SummarizeQuery(4 + i % 3);
+      } else {
+        q = Query(attrs[i % attrs.size()], attrs[(i + 1) % attrs.size()]);
+        q.mode = (i % 3 == 0) ? QueryMode::kFull : QueryMode::kPlanned;
+      }
       (void)server.Execute(q);
       ++i;
     }
@@ -594,14 +613,195 @@ TEST(QueryServerTest, EpochChurnKeepsCachesBoundedAndServesFreshResults) {
     }
   }
 
-  // Bounded caches: entries scale with live pairs x modes, never with the
-  // 100+ superseded epochs; the eviction counter proves the sweeps ran.
+  // Summaries served off the final epoch are byte-identical to ones built
+  // directly from it — no stale-epoch summary survives the churn.
+  const auto& final_cdag = fresh.artifact().build.cdag;
+  for (std::size_t k = 4; k <= 6; ++k) {
+    auto response = server.Execute(SummarizeQuery(k));
+    summarize::SummarizeOptions sopts;
+    sopts.budget = k;
+    auto direct = summarize::SummarizeClusterDag(final_cdag, sopts);
+    if (direct.ok()) {
+      ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+      ASSERT_NE(response.summary, nullptr);
+      EXPECT_EQ(response.summary->dot, direct->ToDot()) << "k=" << k;
+      EXPECT_EQ(response.summary->json, direct->ToJson()) << "k=" << k;
+      EXPECT_EQ(response.scenario_epoch, (*final_bundle)->epoch);
+    } else {
+      EXPECT_EQ(response.status.code(), direct.status().code()) << "k=" << k;
+    }
+  }
+
+  // Bounded caches: entries scale with live pairs x modes plus the three
+  // live summary budgets, never with the 100+ superseded epochs; the
+  // eviction counter proves the sweeps ran.
   const std::size_t pairs = attrs.size() * (attrs.size() - 1);
   const auto metrics = server.Metrics();
   EXPECT_GT(metrics.evicted_stale, 0u);
-  EXPECT_LE(metrics.result_cache_entries, 2 * pairs);
+  EXPECT_LE(metrics.result_cache_entries, 2 * pairs + 3);
+  EXPECT_LE(metrics.summary_cache_entries, 3u);
   EXPECT_LE(metrics.plan_cache_entries, 2u);
   EXPECT_GE(metrics.plan_builds, 1u);
+}
+
+// --------------------------------------- Summaries (QueryMode::kSummarize)
+
+/// Every budget from 2 to the C-DAG's node count, served at 1 and 8
+/// workers: each served summary must be byte-identical — DOT, JSON and
+/// fingerprint — to a summary built directly from a fresh plan's C-DAG.
+/// Budgets the merge pass rejects (below the safe floor) must come back
+/// as errors with the same status code.
+TEST(QueryServerTest, SummarizeServedBitwiseEqualsDirectBuildAtOneAndEightWorkers) {
+  ScenarioRegistry registry;
+  auto bundle = *registry.Register("covid", BuildCovid());
+  const core::CdagPlan fresh = FreshPlan(*bundle);
+  const auto& cdag = fresh.artifact().build.cdag;
+  const std::size_t n = cdag.num_clusters();
+  ASSERT_GE(n, 4u);
+
+  struct Expected {
+    StatusCode code;
+    std::string dot, json;
+  };
+  std::vector<CdiQuery> queries;
+  std::vector<Expected> expected;
+  std::size_t achievable = 0;
+  for (std::size_t k = 2; k <= n; ++k) {
+    queries.push_back(SummarizeQuery(k));
+    summarize::SummarizeOptions sopts;
+    sopts.budget = k;
+    auto direct = summarize::SummarizeClusterDag(cdag, sopts);
+    if (direct.ok()) {
+      expected.push_back(
+          {StatusCode::kOk, direct->ToDot(), direct->ToJson()});
+      ++achievable;
+    } else {
+      expected.push_back({direct.status().code(), "", ""});
+    }
+  }
+  ASSERT_GE(achievable, 2u);  // covid's C-DAG must be summarizable at all
+
+  for (const int workers : {1, 8}) {
+    QueryServerOptions options;
+    options.num_workers = workers;
+    QueryServer server(&registry, options);
+
+    // All budgets in flight at once (exercises worker parallelism at 8).
+    std::vector<std::future<QueryResponse>> futures;
+    for (const auto& q : queries) futures.push_back(server.Submit(q));
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      auto response = futures[i].get();
+      if (expected[i].code == StatusCode::kOk) {
+        ASSERT_TRUE(response.status.ok())
+            << "workers=" << workers << " k=" << queries[i].summarize_k
+            << ": " << response.status.ToString();
+        ASSERT_NE(response.summary, nullptr);
+        EXPECT_EQ(response.summary->dot, expected[i].dot)
+            << "workers=" << workers << " k=" << queries[i].summarize_k;
+        EXPECT_EQ(response.summary->json, expected[i].json)
+            << "workers=" << workers << " k=" << queries[i].summarize_k;
+      } else {
+        EXPECT_EQ(response.status.code(), expected[i].code)
+            << "workers=" << workers << " k=" << queries[i].summarize_k;
+      }
+    }
+
+    // Second pass: achievable budgets are cache hits with the identical
+    // bytes; the format knob is presentation-only and re-uses the entry.
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      if (expected[i].code != StatusCode::kOk) continue;
+      for (const char* format : {"dot", "json"}) {
+        auto q = queries[i];
+        q.summarize_format = format;
+        auto response = server.Execute(q);
+        ASSERT_TRUE(response.status.ok());
+        EXPECT_EQ(response.source, ResponseSource::kCacheHit);
+        EXPECT_EQ(FormatSummaryPayload(*response.summary, format),
+                  FormatSummaryPayload(
+                      SummaryArtifact{response.summary->summary,
+                                      expected[i].dot, expected[i].json},
+                      format));
+      }
+    }
+
+    // One plan build feeds every summary; one summary build per
+    // achievable budget regardless of worker count.
+    const auto metrics = server.Metrics();
+    EXPECT_EQ(metrics.plan_builds, 1u) << "workers=" << workers;
+    EXPECT_EQ(metrics.summary_builds, achievable) << "workers=" << workers;
+    EXPECT_EQ(metrics.summary_cache_entries, achievable);
+  }
+}
+
+/// Concurrent identical summarize queries on a cold server must run the
+/// merge pass exactly once (single-flight on the result cache) and build
+/// the underlying plan exactly once.
+TEST(QueryServerTest, ConcurrentIdenticalSummariesBuildOnce) {
+  ScenarioRegistry registry;
+  auto bundle = *registry.Register("covid", BuildCovid());
+  const std::size_t n =
+      FreshPlan(*bundle).artifact().build.cdag.num_clusters();
+
+  QueryServerOptions options;
+  options.num_workers = 8;
+  QueryServer server(&registry, options);
+
+  constexpr int kClients = 12;
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < kClients; ++i) {
+    futures.push_back(server.Submit(SummarizeQuery(n - 1)));
+  }
+  std::set<std::uint64_t> fingerprints;
+  for (auto& f : futures) {
+    auto response = f.get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    ASSERT_NE(response.summary, nullptr);
+    fingerprints.insert(SummaryFingerprint(*response.summary));
+  }
+  EXPECT_EQ(fingerprints.size(), 1u);
+  const auto metrics = server.Metrics();
+  EXPECT_EQ(metrics.summary_builds, 1u);
+  EXPECT_EQ(metrics.plan_builds, 1u);
+}
+
+/// Update and unregister both sweep summarize-mode cache entries: a
+/// summary served after an epoch bump is rebuilt against the new epoch,
+/// and an unregistered scenario keeps no summary entries alive.
+TEST(QueryServerTest, UpdateAndUnregisterLeaveNoStaleSummaries) {
+  ScenarioRegistry registry;
+  auto bundle = *registry.Register("covid", BuildCovid());
+  const std::size_t n =
+      FreshPlan(*bundle).artifact().build.cdag.num_clusters();
+
+  QueryServer server(&registry);
+  const auto q = SummarizeQuery(n - 1);
+
+  const auto cold = server.Execute(q);
+  ASSERT_TRUE(cold.status.ok()) << cold.status.ToString();
+  EXPECT_EQ(cold.source, ResponseSource::kExecuted);
+  EXPECT_EQ(cold.scenario_epoch, bundle->epoch);
+  EXPECT_EQ(server.Execute(q).source, ResponseSource::kCacheHit);
+
+  // Epoch bump via streaming ingest: the old summary must not be served.
+  std::vector<std::size_t> picks;
+  for (std::size_t r = 0; r < 25; ++r) picks.push_back(r);
+  auto updated = server.UpdateScenario("covid", bundle->input->TakeRows(picks));
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+  const auto warm = server.Execute(q);
+  ASSERT_TRUE(warm.status.ok()) << warm.status.ToString();
+  EXPECT_NE(warm.source, ResponseSource::kCacheHit);
+  EXPECT_EQ(warm.scenario_epoch, (*updated)->epoch);
+  auto metrics = server.Metrics();
+  EXPECT_EQ(metrics.summary_builds, 2u);
+  EXPECT_EQ(metrics.summary_cache_entries, 1u);  // stale entry swept
+  EXPECT_GT(metrics.evicted_stale, 0u);
+
+  // Unregister sweeps the remaining summary entry with the scenario.
+  ASSERT_TRUE(server.UnregisterScenario("covid").ok());
+  metrics = server.Metrics();
+  EXPECT_EQ(metrics.summary_cache_entries, 0u);
+  EXPECT_EQ(server.Execute(q).status.code(), StatusCode::kNotFound);
+  server.Shutdown();
 }
 
 // ----------------------------------------------------------Single-flight
@@ -1020,6 +1220,103 @@ TEST(LineProtocolTest, ParsesQueryMode) {
   EXPECT_FALSE(bad.ok());
   EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
   EXPECT_NE(bad.status().message().find("mode"), std::string::npos);
+}
+
+TEST(LineProtocolTest, ParsesSummarizeCommand) {
+  auto parsed = ParseCommandLine("summarize covid k=6");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->kind, ServerCommand::Kind::kSummarize);
+  EXPECT_EQ(parsed->query.mode, QueryMode::kSummarize);
+  EXPECT_EQ(parsed->query.scenario, "covid");
+  EXPECT_EQ(parsed->query.summarize_k, 6u);
+  EXPECT_EQ(parsed->query.summarize_format, "dot");
+  EXPECT_EQ(parsed->query.timeout_seconds, 0.0);
+
+  auto full = ParseCommandLine("summarize flights k=2 format=json timeout=0.5");
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_EQ(full->query.scenario, "flights");
+  EXPECT_EQ(full->query.summarize_k, 2u);
+  EXPECT_EQ(full->query.summarize_format, "json");
+  EXPECT_DOUBLE_EQ(full->query.timeout_seconds, 0.5);
+
+  // Missing pieces fall back to the usage line.
+  for (const char* bad : {"summarize", "summarize covid"}) {
+    auto p = ParseCommandLine(bad);
+    EXPECT_FALSE(p.ok()) << "'" << bad << "'";
+    EXPECT_NE(p.status().message().find("usage: summarize"),
+              std::string::npos)
+        << "'" << bad << "': " << p.status().ToString();
+  }
+  // k below 2 is rejected at parse with the budget rule spelled out.
+  for (const char* bad : {"summarize covid k=0", "summarize covid k=1"}) {
+    auto p = ParseCommandLine(bad);
+    EXPECT_FALSE(p.ok()) << "'" << bad << "'";
+    EXPECT_EQ(p.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(p.status().message().find("at least 2"), std::string::npos)
+        << "'" << bad << "': " << p.status().ToString();
+  }
+  // Non-integer / negative / malformed k never reaches the server
+  // (strtoull would have silently wrapped the negatives).
+  for (const char* bad : {"summarize covid k=-3", "summarize covid k=4.5",
+                          "summarize covid k=abc", "summarize covid k="}) {
+    auto p = ParseCommandLine(bad);
+    EXPECT_FALSE(p.ok()) << "'" << bad << "'";
+    EXPECT_EQ(p.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(p.status().message().find("bad k value"), std::string::npos)
+        << "'" << bad << "': " << p.status().ToString();
+  }
+  auto bad_format = ParseCommandLine("summarize covid k=5 format=yaml");
+  EXPECT_FALSE(bad_format.ok());
+  EXPECT_NE(bad_format.status().message().find("expected dot|json"),
+            std::string::npos)
+      << bad_format.status().ToString();
+  auto unknown = ParseCommandLine("summarize covid k=5 depth=2");
+  EXPECT_FALSE(unknown.ok());
+  EXPECT_NE(
+      unknown.status().message().find("unknown summarize argument 'depth=2'"),
+      std::string::npos)
+      << unknown.status().ToString();
+  // Bad timeouts are rejected the same way as for query.
+  auto bad_timeout = ParseCommandLine("summarize covid k=5 timeout=-1");
+  EXPECT_FALSE(bad_timeout.ok());
+  EXPECT_NE(bad_timeout.status().message().find("timeout"),
+            std::string::npos);
+}
+
+TEST(LineProtocolTest, SummarizeResponseLineCarriesModeAndPayload) {
+  ScenarioRegistry registry;
+  auto bundle = *registry.Register("covid", BuildCovid());
+  const std::size_t n =
+      FreshPlan(*bundle).artifact().build.cdag.num_clusters();
+  QueryServer server(&registry);
+
+  const auto q = SummarizeQuery(n - 1);
+  const auto response = server.Execute(q);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  const auto line = FormatResponseLine(q, response);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_EQ(line.rfind("ok ", 0), 0u) << line;
+  EXPECT_NE(line.find("mode=summarize"), std::string::npos) << line;
+  EXPECT_NE(line.find("format=dot"), std::string::npos) << line;
+  EXPECT_NE(line.find("nodes="), std::string::npos) << line;
+  EXPECT_NE(line.find("compression="), std::string::npos) << line;
+  EXPECT_NE(line.find("fingerprint="), std::string::npos) << line;
+  EXPECT_NE(line.find("payload=\""), std::string::npos) << line;
+  // The DOT rendering is multi-line; the escaping must keep the protocol
+  // single-line and the raw bytes must not leak through unescaped.
+  EXPECT_NE(response.summary->dot.find('\n'), std::string::npos);
+  EXPECT_NE(line.find("\\n"), std::string::npos) << line;
+
+  // Budgets past the DAG size fail at execution, naming the size.
+  const auto too_big = SummarizeQuery(n + 1);
+  const auto err = server.Execute(too_big);
+  EXPECT_EQ(err.status.code(), StatusCode::kInvalidArgument);
+  const auto err_line = FormatResponseLine(too_big, err);
+  EXPECT_EQ(err_line.rfind("error ", 0), 0u) << err_line;
+  EXPECT_NE(err_line.find("mode=summarize"), std::string::npos) << err_line;
+  EXPECT_NE(err_line.find("code=InvalidArgument"), std::string::npos)
+      << err_line;
+  EXPECT_NE(err_line.find("exceeds"), std::string::npos) << err_line;
 }
 
 TEST(LineProtocolTest, PlannedResponseLineCarriesModeAndPairPayload) {

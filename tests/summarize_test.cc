@@ -1,0 +1,363 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/cdag.h"
+#include "graph/digraph.h"
+#include "graph/dsep.h"
+#include "summarize/summarize.h"
+#include "summarize/summary_dag.h"
+
+namespace cdi::summarize {
+namespace {
+
+using graph::Digraph;
+
+// C1 -> C2 -> C3 confounder chain feeding both endpoints, one mediator:
+//   C1 -> C2 -> C3, C3 -> T, C3 -> O, T -> M, M -> O.
+Digraph ConfounderChain() {
+  Digraph g({"C1", "C2", "C3", "M", "O", "T"});
+  CDI_CHECK(g.AddEdge("C1", "C2").ok());
+  CDI_CHECK(g.AddEdge("C2", "C3").ok());
+  CDI_CHECK(g.AddEdge("C3", "T").ok());
+  CDI_CHECK(g.AddEdge("C3", "O").ok());
+  CDI_CHECK(g.AddEdge("T", "M").ok());
+  CDI_CHECK(g.AddEdge("M", "O").ok());
+  return g;
+}
+
+// Three parallel mediators plus one confounder:
+//   T -> Mi -> O for i in 1..3, C -> T, C -> O.
+Digraph MediatorFan() {
+  Digraph g({"C", "M1", "M2", "M3", "O", "T"});
+  CDI_CHECK(g.AddEdge("T", "M1").ok());
+  CDI_CHECK(g.AddEdge("T", "M2").ok());
+  CDI_CHECK(g.AddEdge("T", "M3").ok());
+  CDI_CHECK(g.AddEdge("M1", "O").ok());
+  CDI_CHECK(g.AddEdge("M2", "O").ok());
+  CDI_CHECK(g.AddEdge("M3", "O").ok());
+  CDI_CHECK(g.AddEdge("C", "T").ok());
+  CDI_CHECK(g.AddEdge("C", "O").ok());
+  return g;
+}
+
+// Mediated T -> M -> O plus a disconnected A -> B pair and an isolated C.
+Digraph Disconnected() {
+  Digraph g({"A", "B", "C", "M", "O", "T"});
+  CDI_CHECK(g.AddEdge("T", "M").ok());
+  CDI_CHECK(g.AddEdge("M", "O").ok());
+  CDI_CHECK(g.AddEdge("A", "B").ok());
+  return g;
+}
+
+SummarizeOptions Budget(std::size_t k) {
+  SummarizeOptions options;
+  options.budget = k;
+  return options;
+}
+
+const std::map<std::string, std::vector<std::string>> kNoMembers;
+
+// ------------------------------------------------------------ merge pass
+
+TEST(SummarizeTest, ConfounderChainCollapsesToBudget) {
+  const Digraph g = ConfounderChain();
+  auto summary = Summarize(g, kNoMembers, "T", "O", Budget(4));
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary->num_nodes(), 4u);
+  EXPECT_EQ(summary->original_nodes(), 6u);
+  EXPECT_EQ(summary->original_edges(), 6u);
+  EXPECT_TRUE(summary->graph().IsAcyclic());
+  // The confounder chain is the only mergeable material: T, O and M must
+  // survive and C1..C3 end up in one super-node.
+  auto c1 = summary->NodeOf("C1");
+  auto c2 = summary->NodeOf("C2");
+  auto c3 = summary->NodeOf("C3");
+  ASSERT_TRUE(c1.ok() && c2.ok() && c3.ok());
+  EXPECT_EQ(*c1, "C1+C2+C3");
+  EXPECT_EQ(*c1, *c2);
+  EXPECT_EQ(*c2, *c3);
+  EXPECT_EQ(summary->exposure_node(), "T");
+  EXPECT_EQ(summary->outcome_node(), "O");
+  // Chain contractions lose no marginal independence: every pair was
+  // already d-connected.
+  EXPECT_EQ(summary->pairs_changed(), 0u);
+  EXPECT_DOUBLE_EQ(summary->CompressionRatio(), 6.0 / 4.0);
+}
+
+TEST(SummarizeTest, ConfounderChainAdjustmentReadsThroughSuperNode) {
+  const Digraph g = ConfounderChain();
+  auto summary = Summarize(g, kNoMembers, "T", "O", Budget(4));
+  ASSERT_TRUE(summary.ok());
+  const auto confounders = summary->ConfounderNodes();
+  ASSERT_EQ(confounders.size(), 1u);
+  EXPECT_EQ(*confounders.begin(), "C1+C2+C3");
+  const auto mediators = summary->MediatorNodes();
+  ASSERT_EQ(mediators.size(), 1u);
+  EXPECT_EQ(*mediators.begin(), "M");
+  EXPECT_EQ(summary->TotalEffectAdjustmentClusters(),
+            (std::vector<std::string>{"C1", "C2", "C3"}));
+}
+
+TEST(SummarizeTest, ConfounderChainSafeFloorIsFour) {
+  // Below k=4 the only remaining pair is (M, C-block); contracting it
+  // would create a cycle through T, so the budget is unreachable.
+  const Digraph g = ConfounderChain();
+  auto summary = Summarize(g, kNoMembers, "T", "O", Budget(3));
+  ASSERT_FALSE(summary.ok());
+  EXPECT_EQ(summary.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(summary.status().ToString().find("no legal contraction"),
+            std::string::npos)
+      << summary.status().ToString();
+}
+
+TEST(SummarizeTest, MediatorFanMergesMediatorsNotEndpoints) {
+  const Digraph g = MediatorFan();
+  auto summary = Summarize(g, kNoMembers, "T", "O", Budget(4));
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary->num_nodes(), 4u);
+  EXPECT_TRUE(summary->graph().IsAcyclic());
+  auto m1 = summary->NodeOf("M1");
+  auto m3 = summary->NodeOf("M3");
+  ASSERT_TRUE(m1.ok() && m3.ok());
+  EXPECT_EQ(*m1, "M1+M2+M3");
+  EXPECT_EQ(*m1, *m3);
+  // The lone confounder survives and still reads as the adjustment set.
+  EXPECT_EQ(summary->TotalEffectAdjustmentClusters(),
+            (std::vector<std::string>{"C"}));
+  // Parallel mediators share cause and effect: merging them flips no
+  // marginal verdict.
+  EXPECT_EQ(summary->pairs_changed(), 0u);
+}
+
+TEST(SummarizeTest, MediatorFanCannotMergeAcrossTheCausalPath) {
+  // k=3 would force C into the mediator block: C -> T plus T -> M makes
+  // that contraction cyclic, so the floor is 4.
+  const Digraph g = MediatorFan();
+  auto summary = Summarize(g, kNoMembers, "T", "O", Budget(3));
+  ASSERT_FALSE(summary.ok());
+  EXPECT_EQ(summary.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SummarizeTest, DisconnectedComponentsMergeCheaplyFirst) {
+  const Digraph g = Disconnected();
+  // k=5: the only adjacent unprotected pair is (A, B) — zero loss.
+  auto s5 = Summarize(g, kNoMembers, "T", "O", Budget(5));
+  ASSERT_TRUE(s5.ok()) << s5.status().ToString();
+  auto a = s5->NodeOf("A");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, "A+B");
+  EXPECT_EQ(s5->pairs_changed(), 0u);
+  // k=4: no adjacent candidates remain; the fallback merges the noise
+  // island with the isolate (loss 2: A-C and B-C were separated) rather
+  // than wiring noise into the causal path.
+  auto s4 = Summarize(g, kNoMembers, "T", "O", Budget(4));
+  ASSERT_TRUE(s4.ok()) << s4.status().ToString();
+  auto c = s4->NodeOf("C");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, "A+B+C");
+  EXPECT_EQ(s4->pairs_changed(), 2u);
+  auto m = s4->NodeOf("M");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(*m, "M");
+  // k=3 is still reachable (noise block merges with M, no cycle), k=2 is
+  // not (both remaining nodes are protected endpoints).
+  auto s3 = Summarize(g, kNoMembers, "T", "O", Budget(3));
+  ASSERT_TRUE(s3.ok()) << s3.status().ToString();
+  EXPECT_TRUE(s3->graph().IsAcyclic());
+  EXPECT_EQ(s3->exposure_node(), "T");
+  EXPECT_EQ(s3->outcome_node(), "O");
+  auto s2 = Summarize(g, kNoMembers, "T", "O", Budget(2));
+  ASSERT_FALSE(s2.ok());
+  EXPECT_EQ(s2.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SummarizeTest, EveryReachableBudgetStaysAcyclicWithLiveEndpoints) {
+  for (const Digraph& g :
+       {ConfounderChain(), MediatorFan(), Disconnected()}) {
+    for (std::size_t k = g.num_nodes(); k >= 2; --k) {
+      auto summary = Summarize(g, kNoMembers, "T", "O", Budget(k));
+      if (!summary.ok()) {
+        EXPECT_EQ(summary.status().code(), StatusCode::kFailedPrecondition);
+        break;  // safe floor: every smaller budget is unreachable too
+      }
+      EXPECT_EQ(summary->num_nodes(), k);
+      EXPECT_TRUE(summary->graph().IsAcyclic());
+      EXPECT_EQ(summary->exposure_node(), "T");
+      EXPECT_EQ(summary->outcome_node(), "O");
+      // Members partition the original node set.
+      std::set<std::string> seen;
+      for (const auto& node : summary->nodes()) {
+        for (const auto& member : node.members) {
+          EXPECT_TRUE(seen.insert(member).second) << member;
+        }
+      }
+      EXPECT_EQ(seen.size(), g.num_nodes());
+    }
+  }
+}
+
+// ---------------------------------------------------------- determinism
+
+TEST(SummarizeTest, RepeatedRunsAreByteIdentical) {
+  const Digraph g = MediatorFan();
+  auto first = Summarize(g, kNoMembers, "T", "O", Budget(4));
+  auto second = Summarize(g, kNoMembers, "T", "O", Budget(4));
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(first->ToDot(), second->ToDot());
+  EXPECT_EQ(first->ToJson(), second->ToJson());
+  EXPECT_EQ(first->Fingerprint(), second->Fingerprint());
+}
+
+TEST(SummarizeTest, FingerprintSeparatesDifferentBudgets) {
+  const Digraph g = ConfounderChain();
+  auto s5 = Summarize(g, kNoMembers, "T", "O", Budget(5));
+  auto s4 = Summarize(g, kNoMembers, "T", "O", Budget(4));
+  ASSERT_TRUE(s5.ok() && s4.ok());
+  EXPECT_NE(s5->Fingerprint(), s4->Fingerprint());
+}
+
+// -------------------------------------------------------------- members
+
+TEST(SummarizeTest, MemberMapProjectsToAttributes) {
+  const Digraph g = ConfounderChain();
+  const std::map<std::string, std::vector<std::string>> members = {
+      {"C1", {"c1_rate", "c1_score"}},
+      {"C2", {"c2_level"}},
+      {"C3", {"c3_index"}},
+      {"T", {"t"}},
+      {"O", {"o"}},
+      {"M", {"m"}},
+  };
+  auto summary = Summarize(g, members, "T", "O", Budget(4));
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->TotalEffectAdjustmentAttributes(),
+            (std::vector<std::string>{"c1_rate", "c1_score", "c2_level",
+                                      "c3_index"}));
+  // Attribute provenance survives in the JSON rendering.
+  const std::string json = summary->ToJson();
+  EXPECT_NE(json.find("\"c1_rate\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"C1+C2+C3\""), std::string::npos) << json;
+}
+
+TEST(SummarizeTest, ClusterDagEntryPointMatchesRawDigraph) {
+  const std::map<std::string, std::vector<std::string>> members = {
+      {"C1", {"c1"}}, {"C2", {"c2"}}, {"C3", {"c3"}},
+      {"T", {"t"}},   {"O", {"o"}},   {"M", {"m"}},
+  };
+  auto cdag = core::ClusterDag::Create(members, "T", "O");
+  ASSERT_TRUE(cdag.ok()) << cdag.status().ToString();
+  const Digraph ref = ConfounderChain();
+  for (const auto& edge : ref.Edges()) {
+    CDI_CHECK(cdag->mutable_graph()
+                  .AddEdge(ref.NodeName(edge.first), ref.NodeName(edge.second))
+                  .ok());
+  }
+  auto via_cdag = SummarizeClusterDag(*cdag, Budget(4));
+  ASSERT_TRUE(via_cdag.ok()) << via_cdag.status().ToString();
+  auto direct = Summarize(cdag->graph(), members, "T", "O", Budget(4));
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(via_cdag->ToJson(), direct->ToJson());
+  EXPECT_EQ(via_cdag->Fingerprint(), direct->Fingerprint());
+}
+
+// ------------------------------------------------------------ renderings
+
+TEST(SummarizeTest, DotAndJsonCarryTheSummary) {
+  const Digraph g = ConfounderChain();
+  auto summary = Summarize(g, kNoMembers, "T", "O", Budget(4));
+  ASSERT_TRUE(summary.ok());
+  const std::string dot = summary->ToDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("C1+C2+C3"), std::string::npos);
+  EXPECT_NE(dot.find("T"), std::string::npos);
+  const std::string json = summary->ToJson();
+  EXPECT_NE(json.find("\"exposure\":\"T\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"outcome\":\"O\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"original_nodes\":6"), std::string::npos) << json;
+}
+
+// ------------------------------------------------------------ validation
+
+TEST(SummarizeTest, RejectsBadInputs) {
+  const Digraph g = ConfounderChain();
+  auto too_small = Summarize(g, kNoMembers, "T", "O", Budget(1));
+  ASSERT_FALSE(too_small.ok());
+  EXPECT_EQ(too_small.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(too_small.status().ToString().find("at least 2"),
+            std::string::npos);
+
+  auto too_big = Summarize(g, kNoMembers, "T", "O", Budget(7));
+  ASSERT_FALSE(too_big.ok());
+  EXPECT_EQ(too_big.status().code(), StatusCode::kInvalidArgument);
+  // The error names the DAG's size so clients can re-ask sensibly.
+  EXPECT_NE(too_big.status().ToString().find("6 nodes"), std::string::npos)
+      << too_big.status().ToString();
+
+  auto no_such = Summarize(g, kNoMembers, "T", "Z", Budget(4));
+  ASSERT_FALSE(no_such.ok());
+  EXPECT_EQ(no_such.status().code(), StatusCode::kInvalidArgument);
+
+  auto same = Summarize(g, kNoMembers, "T", "T", Budget(4));
+  ASSERT_FALSE(same.ok());
+  EXPECT_EQ(same.status().code(), StatusCode::kInvalidArgument);
+
+  Digraph cyclic({"O", "T", "X"});
+  CDI_CHECK(cyclic.AddEdge("T", "X").ok());
+  CDI_CHECK(cyclic.AddEdge("X", "T").ok());
+  auto cyc = Summarize(cyclic, kNoMembers, "T", "O", Budget(2));
+  ASSERT_FALSE(cyc.ok());
+  EXPECT_EQ(cyc.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SummarizeTest, BudgetEqualToSizeIsIdentity) {
+  const Digraph g = MediatorFan();
+  auto summary = Summarize(g, kNoMembers, "T", "O", Budget(6));
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->num_nodes(), 6u);
+  EXPECT_EQ(summary->num_edges(), g.num_edges());
+  EXPECT_EQ(summary->pairs_changed(), 0u);
+  EXPECT_DOUBLE_EQ(summary->CompressionRatio(), 1.0);
+  for (const auto& node : summary->nodes()) {
+    EXPECT_EQ(node.members.size(), 1u);
+    EXPECT_EQ(node.members[0], node.name);
+  }
+}
+
+// The summary adjustment set, projected back onto the original DAG, keeps
+// d-separating T and O (same oracle the fuzz harness runs per trial).
+TEST(SummarizeTest, SummaryAdjustmentStillSeparatesInOriginal) {
+  const Digraph g = ConfounderChain();
+  auto t = g.NodeIdOf("T");
+  auto o = g.NodeIdOf("O");
+  ASSERT_TRUE(t.ok() && o.ok());
+  for (std::size_t k = 5; k >= 4; --k) {
+    auto summary = Summarize(g, kNoMembers, "T", "O", Budget(k));
+    ASSERT_TRUE(summary.ok());
+    std::set<graph::NodeId> adjust;
+    for (const auto& name : summary->TotalEffectAdjustmentClusters()) {
+      auto id = g.NodeIdOf(name);
+      ASSERT_TRUE(id.ok());
+      adjust.insert(*id);
+    }
+    for (const auto& node_name : summary->MediatorNodes()) {
+      for (const auto& node : summary->nodes()) {
+        if (node.name != node_name) continue;
+        for (const auto& member : node.members) {
+          auto id = g.NodeIdOf(member);
+          ASSERT_TRUE(id.ok());
+          adjust.insert(*id);
+        }
+      }
+    }
+    auto separated = graph::DSeparated(g, *t, *o, adjust);
+    ASSERT_TRUE(separated.ok());
+    EXPECT_TRUE(*separated) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace cdi::summarize

@@ -3,6 +3,7 @@
 //
 // Usage:
 //   cdi_fuzz --trials 200 --seed 1 [--num-threads N] [--no-metamorphic]
+//            [--no-summarize]
 //            [--inject-bug none|flip-outcome-edges|flip-true-edge]
 //            [--min-entities N] [--max-entities N] [--max-clusters K]
 //            [--direct-effect-tol X] [--quiet]
@@ -31,7 +32,8 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--trials N] [--seed S] [--num-threads N] "
-               "[--no-metamorphic] [--inject-bug KIND] [--min-entities N] "
+               "[--no-metamorphic] [--no-summarize] [--inject-bug KIND] "
+               "[--min-entities N] "
                "[--max-entities N] [--max-clusters K] "
                "[--direct-effect-tol X] [--max-failed-trials N] [--quiet]\n",
                argv0);
@@ -60,6 +62,8 @@ int main(int argc, char** argv) {
       options.num_threads = std::atoi(v);
     } else if (flag == "--no-metamorphic") {
       options.run_metamorphic = false;
+    } else if (flag == "--no-summarize") {
+      options.run_summarization = false;
     } else if (flag == "--inject-bug" && (v = next())) {
       auto kind = cdi::testing::ParseFaultKind(v);
       if (!kind.ok()) {

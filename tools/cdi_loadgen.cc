@@ -4,7 +4,8 @@
 //   cdi_loadgen [--scenario covid|flights] [--entities N] [--clients C]
 //               [--requests R] [--workers W] [--queue-depth D]
 //               [--distinct K] [--seed S] [--min-hit-rate F] [--no-verify]
-//               [--no-warmup] [--sweep] [--churn-rows N [--churn-batches B]]
+//               [--no-warmup] [--sweep] [--summarize-mix]
+//               [--churn-rows N [--churn-batches B]]
 //               [--scenarios N [--skew zipf|uniform] [--zipf-s S]
 //                [--registry-shards N] [--memory-budget-kb K]]
 //
@@ -29,6 +30,19 @@
 // CdagPlan built from it, answering the same pair. Pairs the planner
 // rejects (same cluster, attribute dropped during organization) must be
 // rejected by the server with the same status code.
+//
+// --summarize-mix interleaves summarize-mode queries into the closed-loop
+// mix: every budget from 2 to the scenario C-DAG's node count becomes one
+// extra mix entry (formats alternating dot/json), and every served
+// summary payload — whose fingerprint covers both renderings — is
+// compared byte-for-byte against a summary built directly from a fresh
+// canonical pipeline run + CdagPlan + SummarizeClusterDag. Budgets the
+// merge pass rejects (below the safe floor) must be rejected by the
+// server with the same status code. Composes with --churn-rows: each
+// epoch's summaries are verified against that epoch's freshly built
+// C-DAG (budgets not achievable in every phase are left out of the mix).
+// Requires verification (incompatible with --no-verify, --sweep and
+// --scenarios).
 //
 // --churn-rows N switches to the streaming-ingest acceptance mode: the
 // scenario is registered with its last N*B rows held back, and an updater
@@ -71,6 +85,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "core/cdag.h"
 #include "core/pipeline.h"
 #include "core/plan.h"
 #include "datagen/covid.h"
@@ -80,6 +95,7 @@
 #include "serve/line_protocol.h"
 #include "serve/query_server.h"
 #include "serve/scenario_registry.h"
+#include "summarize/summarize.h"
 #include "table/table.h"
 
 namespace {
@@ -97,6 +113,7 @@ struct Args {
   bool verify = true;
   bool warmup = true;
   bool sweep = false;
+  bool summarize_mix = false;
   std::size_t churn_rows = 0;  // >0 enables streaming-ingest churn mode
   int churn_batches = 3;
   std::size_t grid_scenarios = 0;  // >0 enables grid scale-out mode
@@ -112,7 +129,7 @@ int Usage(const char* argv0) {
       "usage: %s [--scenario covid|flights] [--entities N] [--clients C] "
       "[--requests R] [--workers W] [--queue-depth D] [--distinct K] "
       "[--seed S] [--min-hit-rate F] [--no-verify] [--no-warmup] "
-      "[--sweep] [--churn-rows N [--churn-batches B]] "
+      "[--sweep] [--summarize-mix] [--churn-rows N [--churn-batches B]] "
       "[--scenarios N [--skew zipf|uniform] [--zipf-s S] "
       "[--registry-shards N] [--memory-budget-kb K]]\n",
       argv0);
@@ -150,6 +167,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->warmup = false;
     } else if (flag == "--sweep") {
       args->sweep = true;
+    } else if (flag == "--summarize-mix") {
+      args->summarize_mix = true;
     } else if (flag == "--churn-rows" && (v = next())) {
       args->churn_rows = static_cast<std::size_t>(std::atoll(v));
     } else if (flag == "--churn-batches" && (v = next())) {
@@ -186,19 +205,66 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     std::fprintf(stderr, "--churn-batches must be >= 1\n");
     return false;
   }
+  if (args->summarize_mix &&
+      (args->sweep || args->grid_scenarios > 0 || !args->verify)) {
+    std::fprintf(stderr,
+                 "--summarize-mix needs verification and excludes "
+                 "--sweep/--scenarios\n");
+    return false;
+  }
   return args->clients > 0 && args->requests > 0;
 }
 
 /// The byte-comparable form of a served response: the payload line for OK
-/// answers, "error code=<code>" otherwise.
-std::string ServedLine(const cdi::serve::QueryResponse& response) {
+/// answers, "error code=<code>" otherwise. `summary_format` selects the
+/// rendering embedded in summary payloads (the fingerprint covers both
+/// renderings either way, so a single format still proves byte equality
+/// of DOT and JSON).
+std::string ServedLine(const cdi::serve::QueryResponse& response,
+                       const std::string& summary_format = "dot") {
   if (!response.status.ok()) {
     return std::string("error code=") +
            cdi::StatusCodeName(response.status.code());
   }
+  if (response.summary != nullptr) {
+    return cdi::serve::FormatSummaryPayload(*response.summary,
+                                            summary_format);
+  }
   return response.planned != nullptr
              ? cdi::serve::FormatPairAnswerPayload(*response.planned)
              : cdi::serve::FormatResultPayload(*response.result);
+}
+
+/// A summarize-mode mix entry: budget k against `scenario`, formats
+/// alternating so both renderings ride the wire.
+cdi::serve::CdiQuery SummarizeEntry(const std::string& scenario,
+                                    std::size_t k) {
+  cdi::serve::CdiQuery q;
+  q.scenario = scenario;
+  q.mode = cdi::serve::QueryMode::kSummarize;
+  q.summarize_k = k;
+  q.summarize_format = (k % 2 == 0) ? "dot" : "json";
+  return q;
+}
+
+/// The expected byte-comparable line for budget `k` against a freshly
+/// built C-DAG: the summary payload when the merge pass succeeds, the
+/// matching error line when it rejects the budget.
+std::string ExpectedSummaryLine(const cdi::core::ClusterDag& cdag,
+                                std::size_t k, const std::string& format) {
+  cdi::summarize::SummarizeOptions sopts;
+  sopts.budget = k;
+  auto summary = cdi::summarize::SummarizeClusterDag(cdag, sopts);
+  if (!summary.ok()) {
+    return std::string("error code=") +
+           cdi::StatusCodeName(summary.status().code());
+  }
+  cdi::serve::SummaryArtifact artifact;
+  artifact.dot = summary->ToDot();
+  artifact.json = summary->ToJson();
+  artifact.summary = std::make_shared<const cdi::summarize::SummaryDag>(
+      *std::move(summary));
+  return cdi::serve::FormatSummaryPayload(artifact, format);
 }
 
 /// --scenarios N: grid scale-out acceptance. Registers the first N cells
@@ -490,6 +556,10 @@ int main(int argc, char** argv) {
     cdi::core::Pipeline pipeline(&sc.kg, &sc.lake, sc.oracle.get(),
                                  &sc.topics, bundle->default_options);
     expected_phase.resize(static_cast<std::size_t>(num_batches) + 1);
+    // Each phase's C-DAG (from a fresh canonical run + plan build, the
+    // exact artifact the server summarizes from) — only when summaries
+    // join the mix.
+    std::vector<cdi::core::ClusterDag> phase_cdags;
     cdi::table::Table phase_table = sc.input_table;  // the head
     for (int e = 0; e <= num_batches; ++e) {
       if (e > 0) {
@@ -513,6 +583,47 @@ int main(int argc, char** argv) {
           return 1;
         }
         exp[i] = cdi::serve::FormatResultPayload(*run);
+      }
+      if (args.summarize_mix) {
+        auto run = pipeline.Run(phase_table, sc.spec.entity_column,
+                                sc.exposure_attribute, sc.outcome_attribute);
+        if (!run.ok()) {
+          std::fprintf(stderr, "phase %d canonical run: %s\n", e,
+                       run.status().ToString().c_str());
+          return 1;
+        }
+        phase_cdags.push_back(run->build.cdag);
+      }
+    }
+    // Summaries ride the churn too: one mix entry per budget achievable
+    // in EVERY phase (a budget below some phase's safe floor would need
+    // error responses mapped back to epochs, which error lines cannot
+    // do). Each phase's expected line is the summary of that phase's
+    // C-DAG — stale-epoch summaries are torn responses like any other.
+    if (args.summarize_mix) {
+      const std::size_t n0 = phase_cdags[0].num_clusters();
+      std::size_t added = 0;
+      for (std::size_t k = 2; k <= n0; ++k) {
+        const auto q = SummarizeEntry(args.scenario, k);
+        std::vector<std::string> lines;
+        bool all_ok = true;
+        for (const auto& cdag : phase_cdags) {
+          lines.push_back(ExpectedSummaryLine(cdag, k, q.summarize_format));
+          all_ok = all_ok && lines.back().rfind("error ", 0) != 0;
+        }
+        if (!all_ok) continue;
+        mix.push_back(q);
+        for (int e = 0; e <= num_batches; ++e) {
+          expected_phase[static_cast<std::size_t>(e)].push_back(
+              lines[static_cast<std::size_t>(e)]);
+        }
+        ++added;
+      }
+      if (added == 0) {
+        std::fprintf(stderr,
+                     "no summary budget is achievable in every churn "
+                     "phase\n");
+        return 1;
       }
     }
   } else if (args.verify) {
@@ -555,6 +666,26 @@ int main(int argc, char** argv) {
         }
         expected[i] = cdi::serve::FormatResultPayload(*run);
       }
+      // Summarize mix: one extra entry per budget from 2 to the C-DAG's
+      // node count, expected lines built from a fresh canonical run +
+      // plan + merge pass — below-floor budgets stay in the mix, the
+      // server must reproduce the exact error.
+      if (args.summarize_mix) {
+        auto run = pipeline.Run(sc.input_table, sc.spec.entity_column,
+                                sc.exposure_attribute, sc.outcome_attribute);
+        if (!run.ok()) {
+          std::fprintf(stderr, "canonical run: %s\n",
+                       run.status().ToString().c_str());
+          return 1;
+        }
+        const cdi::core::ClusterDag& cdag = run->build.cdag;
+        for (std::size_t k = 2; k <= cdag.num_clusters(); ++k) {
+          const auto q = SummarizeEntry(args.scenario, k);
+          expected.push_back(
+              ExpectedSummaryLine(cdag, k, q.summarize_format));
+          mix.push_back(q);
+        }
+      }
     }
   }
 
@@ -595,16 +726,15 @@ int main(int argc, char** argv) {
   };
 
   // In sweep mode the planner legitimately rejects some pairs (same
-  // cluster, attribute dropped during organization); those must match the
-  // expected error instead of failing the warmup.
-  const auto served_line = ServedLine;
-
+  // cluster, attribute dropped during organization), and a summarize mix
+  // carries below-floor budgets; those must match the expected error
+  // instead of failing the warmup.
   if (args.warmup) {
     for (std::size_t i = 0; i < mix.size(); ++i) {
       const auto response = server.Execute(mix[i]);
       if (!response.status.ok() &&
-          !(args.sweep && args.verify &&
-            served_line(response) == expected[i])) {
+          !((args.sweep || args.summarize_mix) && args.verify &&
+            ServedLine(response, mix[i].summarize_format) == expected[i])) {
         std::fprintf(stderr, "warmup %s->%s: %s\n", mix[i].exposure.c_str(),
                      mix[i].outcome.c_str(),
                      response.status.ToString().c_str());
@@ -656,9 +786,11 @@ int main(int argc, char** argv) {
             --r;
             continue;
           }
-          // Expected planner rejections verify like any other response.
+          // Expected planner/summarizer rejections verify like any other
+          // response.
           if (args.verify && !churn &&
-              served_line(response) == expected[pick]) {
+              ServedLine(response, mix[pick].summarize_format) ==
+                  expected[pick]) {
             completed.fetch_add(1, std::memory_order_relaxed);
             continue;
           }
@@ -680,7 +812,8 @@ int main(int argc, char** argv) {
           } else {
             want = &expected[pick];
           }
-          if (want == nullptr || served_line(response) != *want) {
+          if (want == nullptr ||
+              ServedLine(response, mix[pick].summarize_format) != *want) {
             torn.fetch_add(1, std::memory_order_relaxed);
           }
         }
@@ -724,12 +857,13 @@ int main(int argc, char** argv) {
 
   // ---- Report. -----------------------------------------------------------
   std::printf("loadgen scenario=%s entities=%zu clients=%d requests=%llu "
-              "distinct=%zu workers=%d seed=%llu sweep=%d churn_rows=%zu "
-              "churn_batches=%d\n",
+              "distinct=%zu workers=%d seed=%llu sweep=%d summarize_mix=%d "
+              "churn_rows=%zu churn_batches=%d\n",
               args.scenario.c_str(), spec.num_entities, args.clients,
               static_cast<unsigned long long>(total), mix.size(),
               args.workers, static_cast<unsigned long long>(args.seed),
-              args.sweep ? 1 : 0, args.churn_rows, num_batches);
+              args.sweep ? 1 : 0, args.summarize_mix ? 1 : 0,
+              args.churn_rows, num_batches);
   std::printf("metrics %s\n", warm.ToLine().c_str());
   std::printf("verify torn=%llu errors=%llu retried=%llu hit_rate=%.4f\n",
               static_cast<unsigned long long>(torn.load()),

@@ -12,6 +12,9 @@
 //
 //   query <scenario> <exposure> <outcome> [timeout=<seconds>]
 //                  [mode=planned|full]
+//   summarize <scenario> k=<n> [format=dot|json] [timeout=<seconds>]
+//                  # k-node C-DAG summary (CaGreS-style greedy merge),
+//                  # rendered as DOT or JSON in a one-line payload
 //   update <scenario> rows=<csv-path>   # streaming row-batch ingest
 //   register <name> input=<csv> entity=<col> [kg=<csv>]... [lake=<csv>]...
 //            [knowledge=<file>] [exposure=<attr>] [outcome=<attr>]
@@ -214,7 +217,8 @@ int main(int argc, char** argv) {
       continue;  // blank line / comment
     }
     switch (cmd->kind) {
-      case cdi::serve::ServerCommand::Kind::kQuery: {
+      case cdi::serve::ServerCommand::Kind::kQuery:
+      case cdi::serve::ServerCommand::Kind::kSummarize: {
         const auto response = server.Execute(cmd->query);
         EmitLine(cdi::serve::FormatResponseLine(cmd->query, response));
         break;

@@ -4,17 +4,18 @@
 Runs the bench_micro kernel benchmarks (blocked covariance, reference
 kernel, incremental append) plus the query-serving paths (cache hit,
 cache miss, single-flight coalescing, planned-query steady state, C-DAG
-artifact build) with a short --benchmark_min_time, then compares
-per-benchmark cpu_time against the checked-in baseline
-(BENCH_PR9.json at the repo root). Exits non-zero when the benchmark
+artifact build, summarization build and cached-summary hit) with a short
+--benchmark_min_time, then compares per-benchmark cpu_time against the
+checked-in baseline
+(BENCH_PR10.json at the repo root). Exits non-zero when the benchmark
 binary crashes or any benchmark regresses by more than --max-regression
 (default 3x) — a deliberately loose bound that tolerates runner-to-runner
 variance while still catching algorithmic regressions (e.g. the blocked
 kernel silently falling back to a quadratic path).
 
 Usage:
-  perf_smoke.py --bench build/bench/bench_micro [--baseline BENCH_PR9.json]
-  perf_smoke.py --bench build/bench/bench_micro --write-baseline BENCH_PR9.json
+  perf_smoke.py --bench build/bench/bench_micro [--baseline BENCH_PR10.json]
+  perf_smoke.py --bench build/bench/bench_micro --write-baseline BENCH_PR10.json
 """
 
 import argparse
@@ -31,7 +32,8 @@ BENCH_FILTER = (
     "BM_ServeCacheMiss|BM_ServeSingleFlight|BM_ServePlannedQuery|"
     "BM_CdagArtifactBuild|BM_UpdateScenario|BM_WarmStartDiscovery|"
     "BM_RegisterScenario|BM_RegistryLookupSharded|BM_EvictionChurn|"
-    "BM_GramSimd|BM_PartialCorrBatched|BM_PcSkeletonBatched"
+    "BM_GramSimd|BM_PartialCorrBatched|BM_PcSkeletonBatched|"
+    "BM_SummarizeDag|BM_ServeSummaryHit"
 )
 
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
@@ -76,7 +78,7 @@ def run_benchmarks(bench, min_time):
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--bench", required=True, help="path to bench_micro")
-    ap.add_argument("--baseline", default="BENCH_PR9.json")
+    ap.add_argument("--baseline", default="BENCH_PR10.json")
     ap.add_argument("--write-baseline", metavar="PATH",
                     help="write the current run as the new baseline and exit")
     ap.add_argument("--max-regression", type=float, default=3.0)
